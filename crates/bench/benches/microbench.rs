@@ -1,0 +1,224 @@
+//! **E10 — §2.4 microbenchmarks**: the per-operation costs behind the
+//! paper's performance-benefit claims, measured with Criterion.
+//!
+//! - `record_alloc`: allocating small data records — heap objects (with the
+//!   collector absorbing the garbage) vs paged records (with iteration
+//!   resets absorbing them).
+//! - `field_access`: reading/writing record fields on both backends.
+//! - `array_access`: i64 array element access on both backends.
+//! - `reclamation`: reclaiming one iteration's worth of records — a full
+//!   GC cycle vs an `iteration_end` page recycle.
+//! - `lock_pool`: the §3.4 shared lock pool, uncontended enter/exit.
+//! - `conversion`: §3.5 data conversion (heap object graph → paged records).
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use data_store::{ElemTy, FieldTy, Store};
+use facade_runtime::LockPool;
+use std::hint::black_box;
+use std::sync::atomic::AtomicU16;
+
+fn record_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_alloc");
+    group.bench_function("heap", |b| {
+        let mut store = Store::heap(64 << 20);
+        let class = store.register_class("T", &[FieldTy::I32, FieldTy::I64]);
+        b.iter(|| {
+            let r = store.alloc(class).unwrap();
+            black_box(r);
+        });
+    });
+    group.bench_function("facade", |b| {
+        let mut store = Store::facade_unbounded();
+        let class = store.register_class("T", &[FieldTy::I32, FieldTy::I64]);
+        let mut it = store.iteration_start();
+        let mut n = 0u32;
+        b.iter(|| {
+            let r = store.alloc(class).unwrap();
+            black_box(r);
+            n += 1;
+            if n == 1_000_000 {
+                store.iteration_end(it);
+                it = store.iteration_start();
+                n = 0;
+            }
+        });
+    });
+    group.finish();
+}
+
+fn field_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("field_access");
+    for (name, mut store) in [
+        ("heap", Store::heap(16 << 20)),
+        ("facade", Store::facade_unbounded()),
+    ] {
+        let class = store.register_class("T", &[FieldTy::I64, FieldTy::F64]);
+        let r = store.alloc(class).unwrap();
+        store.add_root(r);
+        group.bench_function(format!("{name}/write_read"), |b| {
+            let mut x = 0.0f64;
+            b.iter(|| {
+                store.set_f64(r, 1, x);
+                x = store.get_f64(r, 1) + 1.0;
+                black_box(x);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn array_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("array_access");
+    for (name, mut store) in [
+        ("heap", Store::heap(16 << 20)),
+        ("facade", Store::facade_unbounded()),
+    ] {
+        let arr = store.alloc_array(ElemTy::I64, 1024).unwrap();
+        store.add_root(arr);
+        group.bench_function(format!("{name}/sweep"), |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for i in 0..1024 {
+                    store.array_set_i64(arr, i, i as i64);
+                    acc = acc.wrapping_add(store.array_get_i64(arr, i));
+                }
+                black_box(acc);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn reclamation(c: &mut Criterion) {
+    // §2.4's claim: reclamation cost. The heap pays a trace of every live
+    // record on each full collection; the facade backend recycles an
+    // iteration's pages without visiting records at all.
+    let mut group = c.benchmark_group("reclamation");
+    group.sample_size(20);
+    const N: usize = 50_000;
+    group.bench_function("heap/full_gc_traces_50k_live", |b| {
+        let mut store = Store::heap(64 << 20);
+        let class = store.register_class("T", &[FieldTy::I64, FieldTy::I64]);
+        let arr = store.alloc_array(ElemTy::Ref, N).unwrap();
+        store.add_root(arr);
+        for i in 0..N {
+            let r = store.alloc(class).unwrap();
+            store.array_set_rec(arr, i, r);
+        }
+        b.iter(|| store.collect());
+    });
+    group.bench_function("facade/iteration_end_recycles_50k", |b| {
+        let mut store = Store::facade_unbounded();
+        let class = store.register_class("T", &[FieldTy::I64, FieldTy::I64]);
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let it = store.iteration_start();
+                for _ in 0..N {
+                    black_box(store.alloc(class).unwrap());
+                }
+                let t0 = std::time::Instant::now();
+                store.iteration_end(it);
+                total += t0.elapsed();
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+fn lock_pool(c: &mut Criterion) {
+    let pool = LockPool::with_default_config();
+    let word = AtomicU16::new(0);
+    c.bench_function("lock_pool/uncontended_enter_exit", |b| {
+        b.iter(|| {
+            pool.enter(&word);
+            pool.exit(&word);
+        });
+    });
+}
+
+fn conversion(c: &mut Criterion) {
+    use facade_compiler::{DataSpec, transform};
+    use facade_ir::{CmpOp, ProgramBuilder, Ty};
+    use facade_vm::Vm;
+
+    // A program whose control path hands a 64-node list into the data path
+    // every call: each run exercises convertFromA (§3.5).
+    let mut pb = ProgramBuilder::new();
+    let mut node_cb = pb.class("Node").field("v", Ty::I32);
+    let node = node_cb.id();
+    node_cb = node_cb.field("next", Ty::Ref(node));
+    let node = node_cb.build();
+    let mut len = pb
+        .method(node, "len")
+        .param(Ty::Ref(node))
+        .returns(Ty::I32)
+        .static_();
+    let head = len.param_local(0);
+    let cur = len.local(Ty::Ref(node));
+    len.move_(cur, head);
+    let n = len.local(Ty::I32);
+    let zero = len.const_i32(0);
+    len.move_(n, zero);
+    let null = len.const_null(Ty::Ref(node));
+    let hb = len.block();
+    let bb = len.block();
+    let db = len.block();
+    len.jump(hb);
+    len.switch_to(hb);
+    let more = len.cmp(CmpOp::Ne, cur, null);
+    len.branch(more, bb, db);
+    len.switch_to(bb);
+    let one = len.const_i32(1);
+    let n2 = len.bin(facade_ir::BinOp::Add, n, one);
+    len.move_(n, n2);
+    let nx = len.get_field(cur, "next");
+    len.move_(cur, nx);
+    len.jump(hb);
+    len.switch_to(db);
+    len.ret(Some(n));
+    let len_m = len.finish();
+
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let first = main.new_object(node);
+    let prev = main.local(Ty::Ref(node));
+    main.move_(prev, first);
+    for _ in 0..63 {
+        let nd = main.new_object(node);
+        main.set_field(prev, "next", nd);
+        main.move_(prev, nd);
+    }
+    let l = main.call_static(len_m, vec![first]).unwrap();
+    main.print(l);
+    main.ret(None);
+    let main_m = main.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+    let out = transform(&program, &DataSpec::new(["Node"])).expect("transforms");
+
+    c.bench_function("conversion/64_node_list_into_data_path", |b| {
+        // Small spaces so VM setup does not dominate the measurement.
+        let config = facade_vm::VmConfig {
+            heap: managed_heap::HeapConfig::with_capacity(1 << 20),
+            ..facade_vm::VmConfig::default()
+        };
+        b.iter(|| {
+            let mut vm = Vm::with_config(&out.program, Some(&out.meta), config.clone());
+            vm.run().unwrap();
+            black_box(vm.output().len());
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    record_alloc,
+    field_access,
+    array_access,
+    reclamation,
+    lock_pool,
+    conversion
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! **E2 — Figure 4(a)**: computational throughput (edges/second) of
+//! GraphChi PR and CC over a series of graph sizes, `P` vs `P'`.
+//!
+//! Expected shape: `P'` has higher throughput than `P` on every graph, with
+//! the relative gap largest on the smaller graphs (the paper measures 48%
+//! and 17% faster PR'/CC' on a 300M-edge graph vs 26.8%/5.8% on full
+//! twitter-2010).
+
+use datagen::{Graph, GraphSpec};
+use facade_bench::{mem_unit, scale, write_records};
+use graphchi_rs::{Backend, ConnectedComponents, Engine, EngineConfig, PageRank, VertexProgram};
+use metrics::TextTable;
+use metrics::report::RunRecord;
+
+fn main() {
+    let scale = scale();
+    let budget = 8 * mem_unit();
+    let series = GraphSpec::figure4a_series(scale, 5);
+    eprintln!(
+        "Figure 4(a): {} graph sizes, scale={scale}, budget {} bytes",
+        series.len(),
+        budget
+    );
+
+    let mut table = TextTable::new(&[
+        "Edges",
+        "PR (e/s)",
+        "PR' (e/s)",
+        "CC (e/s)",
+        "CC' (e/s)",
+    ]);
+    let mut records = Vec::new();
+
+    for spec in &series {
+        let graph = Graph::generate(spec);
+        let mut row = vec![format!("{}", graph.edge_count())];
+        for (app_name, app) in [
+            ("PR", Box::new(PageRank::new(4)) as Box<dyn VertexProgram>),
+            ("CC", Box::new(ConnectedComponents::new(20))),
+        ] {
+            for backend in [Backend::Heap, Backend::Facade] {
+                let mut engine = Engine::new(
+                    &graph,
+                    EngineConfig {
+                        backend,
+                        budget_bytes: budget,
+                        intervals: 20,
+                        ..EngineConfig::default()
+                    },
+                );
+                let out = engine.run(app.as_ref()).expect("run completes");
+                let throughput = out.edges_processed as f64 / out.timer.total().as_secs_f64();
+                row.push(format!("{throughput:.0}"));
+                let mut rec = RunRecord::new(
+                    "figure4a",
+                    app_name,
+                    &format!("{}-edges", graph.edge_count()),
+                    backend,
+                );
+                rec.budget_bytes = budget as u64;
+                rec.total_secs = out.timer.total().as_secs_f64();
+                rec.scale = out.edges_processed;
+                records.push(rec);
+            }
+        }
+        table.row_owned(row);
+    }
+    println!("{table}");
+    write_records("figure4a", &records);
+
+    // Shape check: P' throughput ≥ P throughput per size.
+    let mut wins = 0;
+    let mut total = 0;
+    for pair in records.chunks(2) {
+        if let [p, p2] = pair {
+            total += 1;
+            if p2.throughput() > p.throughput() {
+                wins += 1;
+            }
+        }
+    }
+    println!("P' out-throughputs P in {wins}/{total} configurations");
+}

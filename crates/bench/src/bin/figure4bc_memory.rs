@@ -1,0 +1,63 @@
+//! **E4/E5 — Figure 4(b) and 4(c)**: cluster peak memory usage of Hyracks
+//! ES and WC across the dataset series, `P` (bars) vs `P'` (line).
+//!
+//! Expected shape: `P'` uses less memory than `P` at every dataset size the
+//! two share; `P` bars are missing where it ran out of memory.
+
+use datagen::{CorpusSpec, corpus};
+use facade_bench::{mem_unit, mib, scale, workers, write_records};
+use hyracks_rs::{Backend, ClusterConfig, run_external_sort, run_wordcount};
+use metrics::TextTable;
+use metrics::report::{Outcome, RunRecord};
+
+fn main() {
+    let unit = (mem_unit() as f64 * scale()) as usize;
+    let per_worker_budget = 2 * mem_unit();
+    let n_workers = workers();
+    let series = CorpusSpec::table3_series(unit);
+
+    for (figure, app) in [("figure4b", "ES"), ("figure4c", "WC")] {
+        let mut table = TextTable::new(&["Data", "P PM(M)", "P' PM(M)"]);
+        let mut records = Vec::new();
+        for (label, spec) in &series {
+            let words = corpus(spec);
+            let mut row = vec![label.clone()];
+            for backend in [Backend::Heap, Backend::Facade] {
+                let config = ClusterConfig {
+                    workers: n_workers,
+                    backend,
+                    per_worker_budget,
+                    frame_bytes: 32 << 10,
+                };
+                let mut rec = RunRecord::new(figure, app, label, backend);
+                rec.budget_bytes = per_worker_budget as u64;
+                let result = if app == "ES" {
+                    run_external_sort(&words, &config)
+                        .map(|o| o.stats)
+                        .map_err(|e| e.after)
+                } else {
+                    run_wordcount(&words, &config)
+                        .map(|o| o.stats)
+                        .map_err(|e| e.after)
+                };
+                match result {
+                    Ok(stats) => {
+                        rec.peak_bytes = stats.peak_bytes;
+                        rec.total_secs = stats.elapsed.as_secs_f64();
+                        row.push(mib(stats.peak_bytes));
+                    }
+                    Err(after) => {
+                        rec.outcome = Outcome::OutOfMemory {
+                            after_secs: after.as_secs_f64(),
+                        };
+                        row.push("OME".into());
+                    }
+                }
+                records.push(rec);
+            }
+            table.row_owned(row);
+        }
+        println!("{} ({app} memory usage):\n{table}", figure);
+        write_records(figure, &records);
+    }
+}

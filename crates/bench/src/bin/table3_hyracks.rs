@@ -1,0 +1,100 @@
+//! **E3 — Table 3**: Hyracks external sort (ES) and word count (WC) total
+//! execution times over the {3,5,10,14,19} "GB" dataset series, with
+//! out-of-memory runs reported as `OME(n)`.
+//!
+//! Expected shape: `P'` scales to strictly larger datasets than `P` for WC
+//! (the paper's WC dies at 10GB while WC' finishes 19GB); ES completes on
+//! both but ES' is faster with the gap widening with size; on the smallest
+//! inputs WC' may be slower (pool/page overhead not yet amortized).
+
+use datagen::{CorpusSpec, corpus};
+use facade_bench::{mem_unit, scale, secs, workers, write_records};
+use hyracks_rs::{Backend, ClusterConfig, run_external_sort, run_wordcount};
+use metrics::TextTable;
+use metrics::report::{Outcome, RunRecord};
+
+fn main() {
+    let unit = (mem_unit() as f64 * scale()) as usize;
+    let per_worker_budget = 2 * mem_unit();
+    let n_workers = workers();
+    let series = CorpusSpec::table3_series(unit);
+    eprintln!(
+        "Table 3: corpus unit {} bytes, {n_workers} workers, {} per-worker budget",
+        unit, per_worker_budget
+    );
+
+    let mut table = TextTable::new(&["Data", "ES", "ES'", "WC", "WC'"]);
+    let mut records = Vec::new();
+
+    for (label, spec) in &series {
+        let words = corpus(spec);
+        let mut row = vec![label.clone()];
+        for (app, runner) in [
+            ("ES", true),
+            ("WC", false),
+        ] {
+            for backend in [Backend::Heap, Backend::Facade] {
+                let config = ClusterConfig {
+                    workers: n_workers,
+                    backend,
+                    per_worker_budget,
+                    frame_bytes: 32 << 10,
+                };
+                let mut rec = RunRecord::new("table3", app, label, backend);
+                rec.budget_bytes = per_worker_budget as u64;
+                rec.scale = words.len() as u64;
+                let cell = if runner {
+                    match run_external_sort(&words, &config) {
+                        Ok(out) => {
+                            rec.total_secs = out.stats.elapsed.as_secs_f64();
+                            rec.gc_secs = out.stats.gc_time.as_secs_f64();
+                            rec.peak_bytes = out.stats.peak_bytes;
+                            secs(out.stats.elapsed)
+                        }
+                        Err(e) => {
+                            rec.outcome = Outcome::OutOfMemory {
+                                after_secs: e.after.as_secs_f64(),
+                            };
+                            format!("OME({:.2})", e.after.as_secs_f64())
+                        }
+                    }
+                } else {
+                    match run_wordcount(&words, &config) {
+                        Ok(out) => {
+                            rec.total_secs = out.stats.elapsed.as_secs_f64();
+                            rec.gc_secs = out.stats.gc_time.as_secs_f64();
+                            rec.peak_bytes = out.stats.peak_bytes;
+                            secs(out.stats.elapsed)
+                        }
+                        Err(e) => {
+                            rec.outcome = Outcome::OutOfMemory {
+                                after_secs: e.after.as_secs_f64(),
+                            };
+                            format!("OME({:.2})", e.after.as_secs_f64())
+                        }
+                    }
+                };
+                row.push(cell);
+                records.push(rec);
+            }
+        }
+        table.row_owned(row);
+    }
+    println!("{table}");
+    write_records("table3", &records);
+
+    // Shape summary: the largest dataset each backend completes, per app.
+    for app in ["ES", "WC"] {
+        for backend in [Backend::Heap, Backend::Facade] {
+            let max = records
+                .iter()
+                .filter(|r| {
+                    r.app == app && r.backend == backend && r.outcome == Outcome::Completed
+                })
+                .map(|r| r.dataset.clone())
+                .next_back()
+                .unwrap_or_else(|| "none".into());
+            println!("{app} under {backend}: largest completed dataset = {max}");
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Shared helpers for the benchmark binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Every binary honours two environment variables:
+//!
+//! - `FACADE_SCALE` — workload scale factor (default `0.2`); `1.0`
+//!   approximates the largest laptop-friendly setting.
+//! - `FACADE_MEM_UNIT` — bytes standing in for the paper's "1 GB" of
+//!   memory budget (default 4 MiB).
+//!
+//! Results are printed as paper-style text tables and also written as JSON
+//! lines under `target/experiments/` for `EXPERIMENTS.md` regeneration.
+
+use metrics::report::RunRecord;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The workload scale factor from `FACADE_SCALE`.
+pub fn scale() -> f64 {
+    std::env::var("FACADE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2)
+}
+
+/// Bytes per "GB" of the paper's budgets, from `FACADE_MEM_UNIT`.
+pub fn mem_unit() -> usize {
+    std::env::var("FACADE_MEM_UNIT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4 << 20)
+}
+
+/// Number of simulated cluster workers, from `FACADE_WORKERS`.
+pub fn workers() -> usize {
+    std::env::var("FACADE_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Formats a duration as fractional seconds (the paper's table format).
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+/// Formats bytes as MiB with one decimal (the paper's `PM` columns are MB).
+pub fn mib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1 << 20) as f64)
+}
+
+/// Writes experiment records as JSON lines under `target/experiments/`.
+pub fn write_records(name: &str, records: &[RunRecord]) {
+    let dir = PathBuf::from("target/experiments");
+    if fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.jsonl"));
+        let _ = fs::write(&path, metrics::report::to_json_lines(records));
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Percentage reduction from `before` to `after` (positive = improvement).
+pub fn reduction_pct(before: f64, after: f64) -> f64 {
+    if before > 0.0 {
+        (before - after) / before * 100.0
+    } else {
+        0.0
+    }
+}
+
+/// Speedup factor `before / after`.
+pub fn speedup(before: f64, after: f64) -> f64 {
+    if after > 0.0 { before / after } else { f64::INFINITY }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_and_speedup_math() {
+        assert_eq!(reduction_pct(100.0, 75.0), 25.0);
+        assert_eq!(speedup(100.0, 50.0), 2.0);
+        assert_eq!(reduction_pct(0.0, 5.0), 0.0);
+        assert!(speedup(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.50");
+        assert_eq!(mib(3 << 20), "3.0");
+    }
+}

@@ -1,0 +1,713 @@
+//! One record-storage interface over the reproduction's two backends.
+//!
+//! The three Big Data frameworks (`graphchi-rs`, `hyracks-rs`, `gps-rs`)
+//! write their *data paths* against [`Store`]. A run constructs either
+//!
+//! - [`Store::heap`] — every record is a managed-heap object with a 12-byte
+//!   header, traced and reclaimed by the generational collector: the
+//!   original program `P`; or
+//! - [`Store::facade`] — every record is a paged native record with a
+//!   4-byte header, reclaimed in bulk at iteration ends: the transformed
+//!   program `P'`.
+//!
+//! This is the hand-written equivalent of the code the FACADE compiler
+//! generates (the compiler itself is validated separately on complete IR
+//! programs by `facade-vm`'s equivalence suite); it lets the frameworks run
+//! at data scale with native performance while keeping the two allocation
+//! regimes byte-comparable.
+//!
+//! # Examples
+//!
+//! ```
+//! use data_store::{FieldTy, Store};
+//!
+//! for mut store in [Store::heap(16 << 20), Store::facade(16 << 20)] {
+//!     let vertex = store.register_class("Vertex", &[FieldTy::F64, FieldTy::Ref]);
+//!     let it = store.iteration_start();
+//!     let v = store.alloc(vertex)?;
+//!     store.set_f64(v, 0, 0.85);
+//!     assert_eq!(store.get_f64(v, 0), 0.85);
+//!     store.iteration_end(it);
+//! }
+//! # Ok::<(), metrics::OutOfMemory>(())
+//! ```
+
+pub mod collections;
+
+use facade_runtime::{
+    ElemKind as PElem, FieldKind as PField, PageRef, PagedHeap, PagedHeapConfig, TypeId,
+};
+use managed_heap::{
+    ClassId as HClassId, ElemKind as HElem, FieldKind as HField, Heap, HeapConfig, ObjRef, RootId,
+};
+use metrics::OutOfMemory;
+use std::time::Duration;
+
+/// A field type in a record schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldTy {
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 64-bit float.
+    F64,
+    /// Reference to another record.
+    Ref,
+}
+
+/// An array element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemTy {
+    /// Bytes.
+    U8,
+    /// 32-bit integers.
+    I32,
+    /// 64-bit integers (also doubles, by bit pattern).
+    I64,
+    /// References.
+    Ref,
+}
+
+/// A registered record class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassTag(pub u16);
+
+/// A backend-independent record reference. The all-zero value is null.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rec(pub u64);
+
+impl Rec {
+    /// The null reference.
+    pub const NULL: Rec = Rec(0);
+
+    /// Returns `true` for the null reference.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for Rec {
+    fn default() -> Self {
+        Rec::NULL
+    }
+}
+
+/// An opaque root registration (meaningful on the heap backend only).
+#[derive(Debug, Clone, Copy)]
+pub struct Root(Option<RootId>);
+
+/// An opaque iteration handle.
+#[derive(Debug, Clone, Copy)]
+pub struct Iteration(Option<facade_runtime::IterationId>);
+
+/// Snapshot of a store's costs, feeding the benchmark tables.
+#[derive(Debug, Clone, Default)]
+pub struct StoreStats {
+    /// Time spent in garbage collection (zero for the facade backend).
+    pub gc_time: Duration,
+    /// Number of collections.
+    pub gc_count: u64,
+    /// Records ever allocated.
+    pub records_allocated: u64,
+    /// Live + retained bytes right now.
+    pub current_bytes: u64,
+    /// High-water mark of bytes.
+    pub peak_bytes: u64,
+    /// Pages created (facade backend).
+    pub pages_created: u64,
+    /// Objects traced by the collector (heap backend).
+    pub objects_traced: u64,
+    /// Heap objects allocated for data (heap backend; the paper's `O(s)`).
+    pub heap_objects: u64,
+}
+
+// The heap variant is much larger than the facade variant; stores are
+// few and long-lived, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum Inner {
+    Heap {
+        heap: Heap,
+        classes: Vec<HClassId>,
+    },
+    Facade {
+        paged: PagedHeap,
+        classes: Vec<TypeId>,
+    },
+}
+
+/// A record store backed by either the managed heap or the paged runtime.
+/// See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct Store {
+    inner: Inner,
+}
+
+fn h_field(f: FieldTy) -> HField {
+    match f {
+        FieldTy::I32 => HField::I32,
+        FieldTy::I64 | FieldTy::F64 => HField::I64,
+        FieldTy::Ref => HField::Ref,
+    }
+}
+
+fn p_field(f: FieldTy) -> PField {
+    match f {
+        FieldTy::I32 => PField::I32,
+        FieldTy::I64 | FieldTy::F64 => PField::I64,
+        FieldTy::Ref => PField::Ref,
+    }
+}
+
+fn h_elem(e: ElemTy) -> HElem {
+    match e {
+        ElemTy::U8 => HElem::U8,
+        ElemTy::I32 => HElem::I32,
+        ElemTy::I64 => HElem::I64,
+        ElemTy::Ref => HElem::Ref,
+    }
+}
+
+fn p_elem(e: ElemTy) -> PElem {
+    match e {
+        ElemTy::U8 => PElem::U8,
+        ElemTy::I32 => PElem::I32,
+        ElemTy::I64 => PElem::I64,
+        ElemTy::Ref => PElem::Ref,
+    }
+}
+
+impl Store {
+    /// Creates a heap-backed store (`P`) with the given byte budget.
+    pub fn heap(budget_bytes: usize) -> Self {
+        Self {
+            inner: Inner::Heap {
+                heap: Heap::new(HeapConfig::with_capacity(budget_bytes)),
+                classes: Vec::new(),
+            },
+        }
+    }
+
+    /// Creates a heap-backed store with an explicit configuration.
+    pub fn heap_with_config(config: HeapConfig) -> Self {
+        Self {
+            inner: Inner::Heap {
+                heap: Heap::new(config),
+                classes: Vec::new(),
+            },
+        }
+    }
+
+    /// Creates a facade-backed store (`P'`) with the given byte budget,
+    /// enforced over native pages per the paper's fair-comparison rule.
+    pub fn facade(budget_bytes: usize) -> Self {
+        Self {
+            inner: Inner::Facade {
+                paged: PagedHeap::with_config(PagedHeapConfig {
+                    budget_bytes: Some(budget_bytes as u64),
+                }),
+                classes: Vec::new(),
+            },
+        }
+    }
+
+    /// Creates a facade-backed store with no budget.
+    pub fn facade_unbounded() -> Self {
+        Self {
+            inner: Inner::Facade {
+                paged: PagedHeap::new(),
+                classes: Vec::new(),
+            },
+        }
+    }
+
+    /// Returns `true` if this store uses the facade (paged) backend.
+    pub fn is_facade(&self) -> bool {
+        matches!(self.inner, Inner::Facade { .. })
+    }
+
+    /// Registers a record class. Classes must be registered in the same
+    /// order on every store that shares record layouts.
+    pub fn register_class(&mut self, name: &str, fields: &[FieldTy]) -> ClassTag {
+        match &mut self.inner {
+            Inner::Heap { heap, classes } => {
+                let kinds: Vec<HField> = fields.iter().copied().map(h_field).collect();
+                classes.push(heap.register_class(name, &kinds));
+                ClassTag((classes.len() - 1) as u16)
+            }
+            Inner::Facade { paged, classes } => {
+                let kinds: Vec<PField> = fields.iter().copied().map(p_field).collect();
+                classes.push(paged.register_type(name, &kinds));
+                ClassTag((classes.len() - 1) as u16)
+            }
+        }
+    }
+
+    // ----- allocation -----------------------------------------------------
+
+    /// Allocates a record of `class`.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfMemory`] when the budget is exhausted (after a full collection
+    /// on the heap backend).
+    pub fn alloc(&mut self, class: ClassTag) -> Result<Rec, OutOfMemory> {
+        match &mut self.inner {
+            Inner::Heap { heap, classes } => heap
+                .alloc(classes[class.0 as usize])
+                .map(|r| Rec(r.raw() as u64)),
+            Inner::Facade { paged, classes } => paged
+                .alloc(classes[class.0 as usize])
+                .map(|r| Rec(r.raw())),
+        }
+    }
+
+    /// Allocates an array of `len` elements.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfMemory`] when the budget is exhausted.
+    pub fn alloc_array(&mut self, elem: ElemTy, len: usize) -> Result<Rec, OutOfMemory> {
+        match &mut self.inner {
+            Inner::Heap { heap, .. } => heap
+                .alloc_array(h_elem(elem), len)
+                .map(|r| Rec(r.raw() as u64)),
+            Inner::Facade { paged, .. } => {
+                paged.alloc_array(p_elem(elem), len).map(|r| Rec(r.raw()))
+            }
+        }
+    }
+
+    #[inline]
+    fn h(r: Rec) -> ObjRef {
+        ObjRef::from_raw(r.0 as u32)
+    }
+
+    #[inline]
+    fn p(r: Rec) -> PageRef {
+        PageRef::from_raw(r.0)
+    }
+
+    // ----- field access ----------------------------------------------------
+
+    /// Reads a 32-bit field.
+    pub fn get_i32(&self, r: Rec, field: usize) -> i32 {
+        match &self.inner {
+            Inner::Heap { heap, .. } => heap.get_i32(Self::h(r), field),
+            Inner::Facade { paged, .. } => paged.get_i32(Self::p(r), field),
+        }
+    }
+
+    /// Writes a 32-bit field.
+    pub fn set_i32(&mut self, r: Rec, field: usize, v: i32) {
+        match &mut self.inner {
+            Inner::Heap { heap, .. } => heap.set_i32(Self::h(r), field, v),
+            Inner::Facade { paged, .. } => paged.set_i32(Self::p(r), field, v),
+        }
+    }
+
+    /// Reads a 64-bit field.
+    pub fn get_i64(&self, r: Rec, field: usize) -> i64 {
+        match &self.inner {
+            Inner::Heap { heap, .. } => heap.get_i64(Self::h(r), field),
+            Inner::Facade { paged, .. } => paged.get_i64(Self::p(r), field),
+        }
+    }
+
+    /// Writes a 64-bit field.
+    pub fn set_i64(&mut self, r: Rec, field: usize, v: i64) {
+        match &mut self.inner {
+            Inner::Heap { heap, .. } => heap.set_i64(Self::h(r), field, v),
+            Inner::Facade { paged, .. } => paged.set_i64(Self::p(r), field, v),
+        }
+    }
+
+    /// Reads a double field.
+    pub fn get_f64(&self, r: Rec, field: usize) -> f64 {
+        match &self.inner {
+            Inner::Heap { heap, .. } => heap.get_f64(Self::h(r), field),
+            Inner::Facade { paged, .. } => paged.get_f64(Self::p(r), field),
+        }
+    }
+
+    /// Writes a double field.
+    pub fn set_f64(&mut self, r: Rec, field: usize, v: f64) {
+        match &mut self.inner {
+            Inner::Heap { heap, .. } => heap.set_f64(Self::h(r), field, v),
+            Inner::Facade { paged, .. } => paged.set_f64(Self::p(r), field, v),
+        }
+    }
+
+    /// Reads a reference field.
+    pub fn get_rec(&self, r: Rec, field: usize) -> Rec {
+        match &self.inner {
+            Inner::Heap { heap, .. } => Rec(heap.get_ref(Self::h(r), field).raw() as u64),
+            Inner::Facade { paged, .. } => Rec(paged.get_ref(Self::p(r), field).raw()),
+        }
+    }
+
+    /// Writes a reference field.
+    pub fn set_rec(&mut self, r: Rec, field: usize, v: Rec) {
+        match &mut self.inner {
+            Inner::Heap { heap, .. } => heap.set_ref(Self::h(r), field, Self::h(v)),
+            Inner::Facade { paged, .. } => paged.set_ref(Self::p(r), field, Self::p(v)),
+        }
+    }
+
+    // ----- array access ----------------------------------------------------
+
+    /// Array length in elements.
+    pub fn array_len(&self, r: Rec) -> usize {
+        match &self.inner {
+            Inner::Heap { heap, .. } => heap.array_len(Self::h(r)),
+            Inner::Facade { paged, .. } => paged.array_len(Self::p(r)),
+        }
+    }
+
+    /// Reads an `I32` element.
+    pub fn array_get_i32(&self, r: Rec, i: usize) -> i32 {
+        match &self.inner {
+            Inner::Heap { heap, .. } => heap.array_get_i32(Self::h(r), i),
+            Inner::Facade { paged, .. } => paged.array_get_i32(Self::p(r), i),
+        }
+    }
+
+    /// Writes an `I32` element.
+    pub fn array_set_i32(&mut self, r: Rec, i: usize, v: i32) {
+        match &mut self.inner {
+            Inner::Heap { heap, .. } => heap.array_set_i32(Self::h(r), i, v),
+            Inner::Facade { paged, .. } => paged.array_set_i32(Self::p(r), i, v),
+        }
+    }
+
+    /// Reads an `I64` element.
+    pub fn array_get_i64(&self, r: Rec, i: usize) -> i64 {
+        match &self.inner {
+            Inner::Heap { heap, .. } => heap.array_get_i64(Self::h(r), i),
+            Inner::Facade { paged, .. } => paged.array_get_i64(Self::p(r), i),
+        }
+    }
+
+    /// Writes an `I64` element.
+    pub fn array_set_i64(&mut self, r: Rec, i: usize, v: i64) {
+        match &mut self.inner {
+            Inner::Heap { heap, .. } => heap.array_set_i64(Self::h(r), i, v),
+            Inner::Facade { paged, .. } => paged.array_set_i64(Self::p(r), i, v),
+        }
+    }
+
+    /// Reads an `I64` element as a double.
+    pub fn array_get_f64(&self, r: Rec, i: usize) -> f64 {
+        f64::from_bits(self.array_get_i64(r, i) as u64)
+    }
+
+    /// Writes an `I64` element as a double.
+    pub fn array_set_f64(&mut self, r: Rec, i: usize, v: f64) {
+        self.array_set_i64(r, i, v.to_bits() as i64);
+    }
+
+    /// Reads a `U8` element.
+    pub fn array_get_u8(&self, r: Rec, i: usize) -> u8 {
+        match &self.inner {
+            Inner::Heap { heap, .. } => heap.array_get_u8(Self::h(r), i),
+            Inner::Facade { paged, .. } => paged.array_get_u8(Self::p(r), i),
+        }
+    }
+
+    /// Writes a `U8` element.
+    pub fn array_set_u8(&mut self, r: Rec, i: usize, v: u8) {
+        match &mut self.inner {
+            Inner::Heap { heap, .. } => heap.array_set_u8(Self::h(r), i, v),
+            Inner::Facade { paged, .. } => paged.array_set_u8(Self::p(r), i, v),
+        }
+    }
+
+    /// Bulk-writes bytes into a `U8` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than the array.
+    pub fn array_write_bytes(&mut self, r: Rec, data: &[u8]) {
+        match &mut self.inner {
+            Inner::Heap { heap, .. } => heap.array_write_bytes(Self::h(r), data),
+            Inner::Facade { paged, .. } => paged.array_write_bytes(Self::p(r), data),
+        }
+    }
+
+    /// Reads the whole contents of a `U8` array.
+    pub fn array_read_bytes(&self, r: Rec) -> Vec<u8> {
+        match &self.inner {
+            Inner::Heap { heap, .. } => heap.array_read_bytes(Self::h(r)),
+            Inner::Facade { paged, .. } => paged.array_read_bytes(Self::p(r)),
+        }
+    }
+
+    /// Reads a `Ref` element.
+    pub fn array_get_rec(&self, r: Rec, i: usize) -> Rec {
+        match &self.inner {
+            Inner::Heap { heap, .. } => Rec(heap.array_get_ref(Self::h(r), i).raw() as u64),
+            Inner::Facade { paged, .. } => Rec(paged.array_get_ref(Self::p(r), i).raw()),
+        }
+    }
+
+    /// Writes a `Ref` element.
+    pub fn array_set_rec(&mut self, r: Rec, i: usize, v: Rec) {
+        match &mut self.inner {
+            Inner::Heap { heap, .. } => heap.array_set_ref(Self::h(r), i, Self::h(v)),
+            Inner::Facade { paged, .. } => paged.array_set_ref(Self::p(r), i, Self::p(v)),
+        }
+    }
+
+    // ----- lifetime management ----------------------------------------------
+
+    /// Registers `r` as a GC root (heap backend) so the record graph under
+    /// it survives collections; a no-op for the facade backend, where
+    /// lifetime is iteration-scoped.
+    pub fn add_root(&mut self, r: Rec) -> Root {
+        match &mut self.inner {
+            Inner::Heap { heap, .. } => Root(Some(heap.add_root(Self::h(r)))),
+            Inner::Facade { .. } => Root(None),
+        }
+    }
+
+    /// Removes a root registration.
+    pub fn remove_root(&mut self, root: Root) {
+        if let (Inner::Heap { heap, .. }, Some(id)) = (&mut self.inner, root.0) {
+            heap.remove_root(id);
+        }
+    }
+
+    /// Marks an iteration start (§3.6): a no-op for the heap backend, a new
+    /// page manager for the facade backend.
+    pub fn iteration_start(&mut self) -> Iteration {
+        match &mut self.inner {
+            Inner::Heap { .. } => Iteration(None),
+            Inner::Facade { paged, .. } => Iteration(Some(paged.iteration_start())),
+        }
+    }
+
+    /// Ends an iteration, bulk-reclaiming its records on the facade backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if iterations are ended out of order (facade backend).
+    pub fn iteration_end(&mut self, it: Iteration) {
+        if let (Inner::Facade { paged, .. }, Some(id)) = (&mut self.inner, it.0) {
+            paged.iteration_end(id);
+        }
+    }
+
+    /// Frees an oversize record early on the facade backend (§3.6: pages
+    /// of the oversize class "can be deallocated earlier when they are no
+    /// longer needed, e.g., upon the resizing of a data structure"). A
+    /// no-op on the heap backend (the collector reclaims it) and for
+    /// records small enough to live on regular pages.
+    pub fn free_array_early(&mut self, r: Rec) {
+        if let Inner::Facade { paged, .. } = &mut self.inner {
+            let p = Self::p(r);
+            if p.is_oversize() {
+                paged.free_oversize(p);
+            }
+        }
+    }
+
+    /// Forces a full collection on the heap backend (no-op on facade).
+    /// Used by engines at phase boundaries, mirroring `System.gc()` hints.
+    pub fn collect(&mut self) {
+        if let Inner::Heap { heap, .. } = &mut self.inner {
+            heap.collect_full();
+        }
+    }
+
+    // ----- statistics --------------------------------------------------------
+
+    /// A snapshot of the store's cost counters.
+    pub fn stats(&self) -> StoreStats {
+        match &self.inner {
+            Inner::Heap { heap, .. } => {
+                let s = heap.stats();
+                StoreStats {
+                    gc_time: s.gc_time,
+                    gc_count: s.collections(),
+                    records_allocated: s.objects_allocated,
+                    current_bytes: heap.used_bytes() as u64,
+                    peak_bytes: s.peak_bytes,
+                    pages_created: 0,
+                    objects_traced: s.objects_traced,
+                    heap_objects: s.objects_allocated,
+                }
+            }
+            Inner::Facade { paged, .. } => {
+                let s = paged.stats();
+                StoreStats {
+                    gc_time: Duration::ZERO,
+                    gc_count: 0,
+                    records_allocated: s.records_allocated,
+                    current_bytes: paged.bytes_held(),
+                    peak_bytes: s.peak_bytes,
+                    pages_created: s.pages_created,
+                    objects_traced: 0,
+                    heap_objects: 0,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both() -> Vec<Store> {
+        vec![Store::heap(8 << 20), Store::facade(8 << 20)]
+    }
+
+    #[test]
+    fn record_roundtrip_on_both_backends() {
+        for mut s in both() {
+            let c = s.register_class("T", &[FieldTy::I32, FieldTy::F64, FieldTy::Ref]);
+            let a = s.alloc(c).unwrap();
+            let b = s.alloc(c).unwrap();
+            s.set_i32(a, 0, 7);
+            s.set_f64(a, 1, 1.25);
+            s.set_rec(a, 2, b);
+            assert_eq!(s.get_i32(a, 0), 7);
+            assert_eq!(s.get_f64(a, 1), 1.25);
+            assert_eq!(s.get_rec(a, 2), b);
+            assert!(s.get_rec(b, 2).is_null());
+        }
+    }
+
+    #[test]
+    fn arrays_roundtrip_on_both_backends() {
+        for mut s in both() {
+            let a = s.alloc_array(ElemTy::I64, 16).unwrap();
+            s.array_set_f64(a, 3, 0.75);
+            assert_eq!(s.array_get_f64(a, 3), 0.75);
+            assert_eq!(s.array_len(a), 16);
+
+            let bytes = s.alloc_array(ElemTy::U8, 5).unwrap();
+            s.array_write_bytes(bytes, b"abcde");
+            assert_eq!(s.array_read_bytes(bytes), b"abcde");
+            s.array_set_u8(bytes, 4, b'!');
+            assert_eq!(s.array_get_u8(bytes, 4), b'!');
+
+            let refs = s.alloc_array(ElemTy::Ref, 2).unwrap();
+            s.array_set_rec(refs, 1, a);
+            assert_eq!(s.array_get_rec(refs, 1), a);
+
+            let ints = s.alloc_array(ElemTy::I32, 3).unwrap();
+            s.array_set_i32(ints, 2, -9);
+            assert_eq!(s.array_get_i32(ints, 2), -9);
+        }
+    }
+
+    #[test]
+    fn heap_backend_collects_unrooted_garbage() {
+        let mut s = Store::heap(1 << 20);
+        let c = s.register_class("T", &[FieldTy::I64, FieldTy::I64]);
+        let keep = s.alloc(c).unwrap();
+        s.set_i64(keep, 0, 123);
+        let root = s.add_root(keep);
+        for _ in 0..100_000 {
+            s.alloc(c).unwrap();
+        }
+        let st = s.stats();
+        assert!(st.gc_count > 0);
+        assert!(st.gc_time > Duration::ZERO);
+        assert_eq!(s.get_i64(keep, 0), 123);
+        s.remove_root(root);
+    }
+
+    #[test]
+    fn facade_backend_never_collects() {
+        let mut s = Store::facade(64 << 20);
+        let c = s.register_class("T", &[FieldTy::I64, FieldTy::I64]);
+        let it = s.iteration_start();
+        for _ in 0..100_000 {
+            s.alloc(c).unwrap();
+        }
+        s.iteration_end(it);
+        let st = s.stats();
+        assert_eq!(st.gc_count, 0);
+        assert_eq!(st.gc_time, Duration::ZERO);
+        assert_eq!(st.records_allocated, 100_000);
+        assert!(st.pages_created > 0);
+        assert_eq!(st.heap_objects, 0);
+    }
+
+    #[test]
+    fn iteration_reuse_keeps_facade_footprint_flat() {
+        let mut s = Store::facade(64 << 20);
+        let c = s.register_class("T", &[FieldTy::I64; 4]);
+        let mut peaks = Vec::new();
+        for _ in 0..5 {
+            let it = s.iteration_start();
+            for _ in 0..10_000 {
+                s.alloc(c).unwrap();
+            }
+            s.iteration_end(it);
+            peaks.push(s.stats().current_bytes);
+        }
+        // Footprint stabilizes after the first iteration (pages recycle).
+        assert_eq!(peaks[0], peaks[4]);
+    }
+
+    #[test]
+    fn both_backends_honor_budgets() {
+        for mut s in [Store::heap(256 << 10), Store::facade(256 << 10)] {
+            let c = s.register_class("T", &[FieldTy::I64; 8]);
+            let mut roots = Vec::new();
+            let mut oom = false;
+            for _ in 0..100_000 {
+                match s.alloc(c) {
+                    Ok(r) => roots.push(s.add_root(r)),
+                    Err(_) => {
+                        oom = true;
+                        break;
+                    }
+                }
+            }
+            assert!(oom, "budget should be enforced");
+        }
+    }
+
+    #[test]
+    fn header_overhead_differs_as_in_the_paper() {
+        // §2.4: a record pays a 4-byte header in P' where an object pays 12
+        // bytes in P. Allocate the same live records on both backends; the
+        // heap must hold strictly more bytes per record.
+        let mut h = Store::heap(64 << 20);
+        let mut f = Store::facade(64 << 20);
+        let fields = [FieldTy::I32; 4];
+        let hc = h.register_class("T", &fields);
+        let fc = f.register_class("T", &fields);
+        let n = 100_000;
+        for _ in 0..n {
+            let r = h.alloc(hc).unwrap();
+            h.add_root(r);
+            f.alloc(fc).unwrap();
+        }
+        let heap_bytes = h.stats().peak_bytes as f64;
+        let facade_bytes = f.stats().peak_bytes as f64;
+        // Heap: 12 hdr + 16 body = 28 → 32 aligned. Facade: 4 hdr + 16 = 24
+        // (page-granular). Expect roughly the 32/24 ratio.
+        assert!(
+            heap_bytes / facade_bytes > 1.2,
+            "heap {heap_bytes} vs facade {facade_bytes}"
+        );
+    }
+
+    #[test]
+    fn collect_is_a_safe_hint_on_both() {
+        for mut s in both() {
+            let c = s.register_class("T", &[FieldTy::I32]);
+            let r = s.alloc(c).unwrap();
+            let _root = s.add_root(r);
+            s.set_i32(r, 0, 5);
+            s.collect();
+            assert_eq!(s.get_i32(r, 0), 5);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! R-MAT graph generation and dataset presets.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for a synthetic graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSpec {
+    /// Number of vertices (rounded up to a power of two internally for
+    /// R-MAT recursion; vertex ids are taken modulo this count).
+    pub vertices: u32,
+    /// Number of directed edges.
+    pub edges: u64,
+    /// R-MAT quadrant probabilities; the classic skewed setting is
+    /// `(0.57, 0.19, 0.19, 0.05)`.
+    pub rmat: (f64, f64, f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GraphSpec {
+    /// A spec with the classic R-MAT skew.
+    pub fn new(vertices: u32, edges: u64, seed: u64) -> Self {
+        Self {
+            vertices,
+            edges,
+            rmat: (0.57, 0.19, 0.19, 0.05),
+            seed,
+        }
+    }
+
+    /// A scaled-down twitter-2010 stand-in. `scale` = 1.0 gives 120k
+    /// vertices / 4.2M edges, preserving the original's ~36 edges/vertex
+    /// density and heavy skew.
+    pub fn twitter_like(scale: f64) -> Self {
+        let vertices = ((120_000.0 * scale) as u32).max(1_000);
+        let edges = ((4_200_000.0 * scale) as u64).max(10_000);
+        Self::new(vertices, edges, 0x7717_2010)
+    }
+
+    /// A scaled-down LiveJournal stand-in (the paper's GPS experiments):
+    /// lighter density (~14 edges/vertex).
+    pub fn livejournal_like(scale: f64) -> Self {
+        let vertices = ((100_000.0 * scale) as u32).max(1_000);
+        let edges = ((1_400_000.0 * scale) as u64).max(10_000);
+        Self::new(vertices, edges, 0x11ef_2013)
+    }
+
+    /// The `k`-th synthetic supergraph of the LiveJournal stand-in (§4.3:
+    /// "5 synthetic supergraphs of LiveJournal"): vertex and edge counts
+    /// grow linearly with `k`, `k = 0` being the base graph.
+    pub fn livejournal_supergraph(scale: f64, k: u32) -> Self {
+        let base = Self::livejournal_like(scale);
+        Self {
+            vertices: base.vertices * (k + 1),
+            edges: base.edges * u64::from(k + 1),
+            seed: base.seed.wrapping_add(u64::from(k)),
+            ..base
+        }
+    }
+
+    /// The size series of Figure 4(a): `n` graphs of increasing edge count
+    /// generated from the twitter-like distribution.
+    pub fn figure4a_series(scale: f64, n: usize) -> Vec<Self> {
+        (1..=n)
+            .map(|i| {
+                let f = i as f64 / n as f64;
+                let base = Self::twitter_like(scale * f);
+                Self {
+                    seed: base.seed.wrapping_add(i as u64),
+                    ..base
+                }
+            })
+            .collect()
+    }
+}
+
+/// A directed graph as an edge list, vertex ids dense in `0..vertices`.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Number of vertices.
+    pub vertices: u32,
+    /// Directed edges `(src, dst)`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Generates a graph from `spec` using R-MAT recursive quadrant
+    /// sampling.
+    pub fn generate(spec: &GraphSpec) -> Self {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let levels = 32 - (spec.vertices.max(2) - 1).leading_zeros();
+        let side = 1u64 << levels;
+        let (a, b, c, _d) = spec.rmat;
+        let mut edges = Vec::with_capacity(spec.edges as usize);
+        for _ in 0..spec.edges {
+            let (mut x0, mut x1, mut y0, mut y1) = (0u64, side, 0u64, side);
+            while x1 - x0 > 1 {
+                let r: f64 = rng.gen();
+                let (dx, dy) = if r < a {
+                    (0, 0)
+                } else if r < a + b {
+                    (1, 0)
+                } else if r < a + b + c {
+                    (0, 1)
+                } else {
+                    (1, 1)
+                };
+                let mx = (x0 + x1) / 2;
+                let my = (y0 + y1) / 2;
+                if dx == 0 {
+                    x1 = mx;
+                } else {
+                    x0 = mx;
+                }
+                if dy == 0 {
+                    y1 = my;
+                } else {
+                    y0 = my;
+                }
+            }
+            let src = (x0 % u64::from(spec.vertices)) as u32;
+            let dst = (y0 % u64::from(spec.vertices)) as u32;
+            edges.push((src, dst));
+        }
+        Self {
+            vertices: spec.vertices,
+            edges,
+        }
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.vertices as usize];
+        for &(s, _) in &self.edges {
+            deg[s as usize] += 1;
+        }
+        deg
+    }
+
+    /// In-degree of every vertex.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.vertices as usize];
+        for &(_, d) in &self.edges {
+            deg[d as usize] += 1;
+        }
+        deg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = GraphSpec::new(1000, 5000, 42);
+        let g1 = Graph::generate(&spec);
+        let g2 = Graph::generate(&spec);
+        assert_eq!(g1.edges, g2.edges);
+        assert_eq!(g1.edge_count(), 5000);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = Graph::generate(&GraphSpec::new(1000, 5000, 1));
+        let g2 = Graph::generate(&GraphSpec::new(1000, 5000, 2));
+        assert_ne!(g1.edges, g2.edges);
+    }
+
+    #[test]
+    fn vertex_ids_are_in_range() {
+        let spec = GraphSpec::new(777, 10_000, 9);
+        let g = Graph::generate(&spec);
+        assert!(g.edges.iter().all(|&(s, d)| s < 777 && d < 777));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // Power-law graphs concentrate edges: the top 1% of vertices should
+        // hold far more than 1% of edges.
+        let g = Graph::generate(&GraphSpec::new(10_000, 200_000, 7));
+        let mut deg = g.out_degrees();
+        deg.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u64 = deg[..100].iter().map(|&d| u64::from(d)).sum();
+        assert!(
+            top > 200_000 / 10,
+            "top-1% vertices hold {top} of 200000 edges"
+        );
+    }
+
+    #[test]
+    fn presets_scale_as_documented() {
+        let t = GraphSpec::twitter_like(0.5);
+        assert_eq!(t.vertices, 60_000);
+        assert_eq!(t.edges, 2_100_000);
+        let lj = GraphSpec::livejournal_like(1.0);
+        let sg = GraphSpec::livejournal_supergraph(1.0, 4);
+        assert_eq!(sg.vertices, lj.vertices * 5);
+        assert_eq!(sg.edges, lj.edges * 5);
+        let series = GraphSpec::figure4a_series(1.0, 5);
+        assert_eq!(series.len(), 5);
+        assert!(series.windows(2).all(|w| w[0].edges < w[1].edges));
+    }
+
+    #[test]
+    fn degrees_sum_to_edge_count() {
+        let g = Graph::generate(&GraphSpec::new(500, 3_000, 3));
+        let out: u64 = g.out_degrees().iter().map(|&d| u64::from(d)).sum();
+        let inn: u64 = g.in_degrees().iter().map(|&d| u64::from(d)).sum();
+        assert_eq!(out, 3_000);
+        assert_eq!(inn, 3_000);
+    }
+}

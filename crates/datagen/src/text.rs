@@ -1,0 +1,148 @@
+//! Zipf-distributed text corpora for the Hyracks experiments (Table 3,
+//! Figure 4(b)/(c)).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for a synthetic corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusSpec {
+    /// Approximate total size in bytes.
+    pub bytes: usize,
+    /// Vocabulary size (distinct words).
+    pub vocabulary: usize,
+    /// Zipf exponent (1.0 ≈ natural language).
+    pub exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CorpusSpec {
+    /// A corpus of roughly `bytes` bytes with natural-language-like word
+    /// frequencies.
+    pub fn new(bytes: usize, seed: u64) -> Self {
+        Self {
+            bytes,
+            vocabulary: 10_000,
+            exponent: 1.0,
+            seed,
+        }
+    }
+
+    /// The Table 3 dataset series. The paper uses {3, 5, 10, 14, 19} GB
+    /// split across 10 machines; `unit_bytes` is the scaled stand-in for
+    /// "1 GB" (e.g. `1 << 20` makes the series 3–19 MiB). The vocabulary
+    /// grows with corpus size, as distinct tokens do in real web text (the
+    /// property that makes WC's working set scale with the dataset).
+    pub fn table3_series(unit_bytes: usize) -> Vec<(String, Self)> {
+        [3usize, 5, 10, 14, 19]
+            .iter()
+            .map(|&gb| {
+                let bytes = gb * unit_bytes;
+                (
+                    format!("{gb}GB"),
+                    Self {
+                        bytes,
+                        vocabulary: (bytes / 40).max(1_000),
+                        exponent: 0.7,
+                        seed: 0xA17A_0000 + gb as u64,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Generates a corpus as a vector of words.
+///
+/// Word lengths follow the rank (frequent words are short, like natural
+/// text), and frequencies follow a Zipf law with the spec's exponent.
+pub fn corpus(spec: &CorpusSpec) -> Vec<String> {
+    let vocab: Vec<String> = (0..spec.vocabulary).map(word_for_rank).collect();
+    // Zipf CDF over ranks.
+    let mut cdf = Vec::with_capacity(spec.vocabulary);
+    let mut total = 0.0f64;
+    for rank in 1..=spec.vocabulary {
+        total += 1.0 / (rank as f64).powf(spec.exponent);
+        cdf.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut out = Vec::new();
+    let mut bytes = 0usize;
+    while bytes < spec.bytes {
+        let r: f64 = rng.gen::<f64>() * total;
+        let idx = cdf.partition_point(|&c| c < r).min(spec.vocabulary - 1);
+        let w = &vocab[idx];
+        bytes += w.len() + 1;
+        out.push(w.clone());
+    }
+    out
+}
+
+/// A deterministic pronounceable word for a frequency rank: frequent words
+/// are short.
+fn word_for_rank(rank: usize) -> String {
+    const CONSONANTS: &[u8] = b"bcdfghklmnprstvw";
+    const VOWELS: &[u8] = b"aeiou";
+    let syllables = 1 + (rank / 500).min(4);
+    let mut w = String::new();
+    let mut x = rank as u64 * 2_654_435_761 + 1;
+    for _ in 0..syllables {
+        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        w.push(CONSONANTS[(x >> 33) as usize % CONSONANTS.len()] as char);
+        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        w.push(VOWELS[(x >> 33) as usize % VOWELS.len()] as char);
+    }
+    // Disambiguate collisions with a rank suffix.
+    w.push_str(&rank.to_string());
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn corpus_is_deterministic_and_sized() {
+        let spec = CorpusSpec::new(10_000, 5);
+        let a = corpus(&spec);
+        let b = corpus(&spec);
+        assert_eq!(a, b);
+        let bytes: usize = a.iter().map(|w| w.len() + 1).sum();
+        assert!((10_000..11_000).contains(&bytes), "bytes = {bytes}");
+    }
+
+    #[test]
+    fn word_frequencies_are_zipfian() {
+        let spec = CorpusSpec::new(200_000, 7);
+        let words = corpus(&spec);
+        let mut counts: HashMap<&str, u64> = HashMap::new();
+        for w in &words {
+            *counts.entry(w).or_default() += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Rank-1 word should be vastly more frequent than rank-100.
+        assert!(freqs[0] > freqs.get(100).copied().unwrap_or(1) * 10);
+        // And there should be a long tail of distinct words.
+        assert!(counts.len() > 1_000, "distinct words: {}", counts.len());
+    }
+
+    #[test]
+    fn words_are_unique_per_rank() {
+        let a = word_for_rank(1);
+        let b = word_for_rank(2);
+        assert_ne!(a, b);
+        assert!(a.len() >= 3);
+    }
+
+    #[test]
+    fn table3_series_matches_paper_shape() {
+        let series = CorpusSpec::table3_series(1 << 10);
+        assert_eq!(series.len(), 5);
+        assert_eq!(series[0].0, "3GB");
+        assert_eq!(series[4].0, "19GB");
+        assert!(series.windows(2).all(|w| w[0].1.bytes < w[1].1.bytes));
+    }
+}

@@ -1,0 +1,224 @@
+//! The two closed-world assumption checks of §3.1.
+
+use crate::error::CompileError;
+use crate::DataSpec;
+use facade_ir::{ClassId, Program, Ty};
+use std::collections::BTreeSet;
+
+/// Returns `true` if `ty` is acceptable inside the data path given the set
+/// of data classes: primitives, data-class references, and arrays thereof.
+pub(crate) fn is_data_ty(program: &Program, data: &BTreeSet<ClassId>, ty: &Ty) -> bool {
+    match ty {
+        Ty::I32 | Ty::I64 | Ty::F64 => true,
+        Ty::Ref(c) => data.contains(c) || is_data_interface(program, data, *c),
+        Ty::Array(e) => is_data_ty(program, data, e),
+        Ty::PageRef | Ty::Facade(_) => true,
+    }
+}
+
+/// An interface is a *data interface* when every concrete implementor is a
+/// data class. (A mixed interface may still be implemented by data classes —
+/// §3.2 generates `IFacade` for it — but data-path variables must not be
+/// typed by it.)
+pub(crate) fn is_data_interface(
+    program: &Program,
+    data: &BTreeSet<ClassId>,
+    iface: ClassId,
+) -> bool {
+    if !program.class(iface).is_interface() {
+        return false;
+    }
+    let subs = program.all_subtypes(iface);
+    let mut any = false;
+    for s in subs {
+        if program.class(s).is_interface() {
+            continue;
+        }
+        any = true;
+        if !data.contains(&s) {
+            return false;
+        }
+    }
+    any
+}
+
+/// Validates the spec and both closed-world assumptions, returning the
+/// resolved set of data classes.
+///
+/// # Errors
+///
+/// - [`CompileError::UnknownClass`] / [`CompileError::InterfaceInSpec`] for
+///   malformed specs.
+/// - [`CompileError::NonDataField`] for reference-closed-world violations:
+///   every reference-typed field of a data class must have a data type.
+/// - [`CompileError::OpenHierarchy`] for type-closed-world violations: a
+///   data class's superclasses and subclasses must be data classes.
+pub(crate) fn check(
+    program: &Program,
+    spec: &DataSpec,
+) -> Result<BTreeSet<ClassId>, CompileError> {
+    let mut data = BTreeSet::new();
+    for name in spec.names() {
+        let id = program
+            .class_by_name(name)
+            .ok_or_else(|| CompileError::UnknownClass(name.to_string()))?;
+        if program.class(id).is_interface() {
+            return Err(CompileError::InterfaceInSpec(name.to_string()));
+        }
+        data.insert(id);
+    }
+
+    for &class in &data {
+        let def = program.class(class);
+        // Type-closed-world: superclasses must be data classes...
+        if let Some(s) = def.superclass {
+            if !data.contains(&s) {
+                return Err(CompileError::OpenHierarchy {
+                    class: def.name.clone(),
+                    relative: program.class(s).name.clone(),
+                    relation: "superclass",
+                });
+            }
+        }
+        // ... and so must subclasses.
+        for sub in program.all_subtypes(class) {
+            if !program.class(sub).is_interface() && !data.contains(&sub) {
+                return Err(CompileError::OpenHierarchy {
+                    class: def.name.clone(),
+                    relative: program.class(sub).name.clone(),
+                    relation: "subclass",
+                });
+            }
+        }
+        // Reference-closed-world: reference fields must have data types.
+        for (declaring, field) in program.flat_fields(class) {
+            if field.ty.is_reference() && !is_data_ty(program, &data, &field.ty) {
+                return Err(CompileError::NonDataField {
+                    class: program.class(declaring).name.clone(),
+                    field: field.name.clone(),
+                    field_ty: field.ty.to_string(),
+                });
+            }
+        }
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facade_ir::ProgramBuilder;
+
+    #[test]
+    fn accepts_valid_data_classes() {
+        let mut pb = ProgramBuilder::new();
+        let student = pb.class("Student").field("id", Ty::I32).build();
+        let _professor = pb
+            .class("Professor")
+            .field("students", Ty::array(Ty::Ref(student)))
+            .build();
+        let p = pb.finish();
+        let data = check(&p, &DataSpec::new(["Student", "Professor"])).unwrap();
+        assert_eq!(data.len(), 2);
+    }
+
+    #[test]
+    fn unknown_class_is_reported() {
+        let p = ProgramBuilder::new().finish();
+        let err = check(&p, &DataSpec::new(["Ghost"])).unwrap_err();
+        assert_eq!(err, CompileError::UnknownClass("Ghost".into()));
+    }
+
+    #[test]
+    fn interface_in_spec_is_rejected() {
+        let mut pb = ProgramBuilder::new();
+        pb.interface("I").build();
+        let p = pb.finish();
+        let err = check(&p, &DataSpec::new(["I"])).unwrap_err();
+        assert!(matches!(err, CompileError::InterfaceInSpec(_)));
+    }
+
+    #[test]
+    fn non_data_reference_field_is_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let logger = pb.class("Logger").build();
+        pb.class("Student").field("log", Ty::Ref(logger)).build();
+        let p = pb.finish();
+        let err = check(&p, &DataSpec::new(["Student"])).unwrap_err();
+        assert!(
+            matches!(err, CompileError::NonDataField { ref field, .. } if field == "log"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn non_data_superclass_is_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let base = pb.class("Base").build();
+        pb.class("Student").extends(base).build();
+        let p = pb.finish();
+        let err = check(&p, &DataSpec::new(["Student"])).unwrap_err();
+        assert!(
+            matches!(err, CompileError::OpenHierarchy { relation: "superclass", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn non_data_subclass_is_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let student = pb.class("Student").build();
+        pb.class("GradStudent").extends(student).build();
+        let p = pb.finish();
+        let err = check(&p, &DataSpec::new(["Student"])).unwrap_err();
+        assert!(
+            matches!(err, CompileError::OpenHierarchy { relation: "subclass", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn whole_data_hierarchy_is_accepted() {
+        let mut pb = ProgramBuilder::new();
+        let student = pb.class("Student").build();
+        pb.class("GradStudent").extends(student).build();
+        let p = pb.finish();
+        assert!(check(&p, &DataSpec::new(["Student", "GradStudent"])).is_ok());
+    }
+
+    #[test]
+    fn shared_interface_between_data_and_control_is_allowed() {
+        // §3.1: "we allow both a data class and a non-data class to
+        // implement the same Java interface".
+        let mut pb = ProgramBuilder::new();
+        let cmp = pb.interface("Comparable").build();
+        pb.class("Student").implements(cmp).build();
+        pb.class("Scheduler").implements(cmp).build();
+        let p = pb.finish();
+        assert!(check(&p, &DataSpec::new(["Student"])).is_ok());
+    }
+
+    #[test]
+    fn data_interface_field_is_allowed() {
+        let mut pb = ProgramBuilder::new();
+        let shape = pb.interface("Shape").build();
+        pb.class("Circle").implements(shape).build();
+        pb.class("Drawing").field("s", Ty::Ref(shape)).build();
+        let p = pb.finish();
+        // Shape's only implementor is a data class, so a Shape-typed field
+        // in a data class is fine.
+        assert!(check(&p, &DataSpec::new(["Circle", "Drawing"])).is_ok());
+    }
+
+    #[test]
+    fn mixed_interface_field_is_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let shape = pb.interface("Shape").build();
+        pb.class("Circle").implements(shape).build();
+        pb.class("Window").implements(shape).build(); // control class
+        pb.class("Drawing").field("s", Ty::Ref(shape)).build();
+        let p = pb.finish();
+        let err = check(&p, &DataSpec::new(["Circle", "Drawing"])).unwrap_err();
+        assert!(matches!(err, CompileError::NonDataField { .. }), "{err}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Static devirtualization (§3.6, optimization 2: "static resolution of
+//! virtual calls based on a points-to analysis").
+//!
+//! The paper uses a points-to analysis; a closed world makes class-hierarchy
+//! analysis (CHA) sufficient and sound here: a virtual call whose receiver's
+//! static class has exactly one reachable implementation of the callee is
+//! rewritten to a direct (`Special`) call, saving the `resolve` receiver
+//! lookup at run time and enabling direct dispatch in the interpreter.
+
+use facade_ir::{CallTarget, ClassId, Instr, MethodId, Program, Ty};
+
+/// Statistics from a devirtualization pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DevirtReport {
+    /// Virtual call sites inspected.
+    pub virtual_sites: usize,
+    /// Call sites rewritten to direct calls.
+    pub devirtualized: usize,
+}
+
+/// The set of implementations that could answer `declared` for receivers of
+/// static class (or interface) `static_class`.
+fn implementations(program: &Program, static_class: ClassId, declared: MethodId) -> Vec<MethodId> {
+    let mut receivers: Vec<ClassId> = program
+        .all_subtypes(static_class)
+        .into_iter()
+        .filter(|&c| !program.class(c).is_interface())
+        .collect();
+    if !program.class(static_class).is_interface() {
+        receivers.push(static_class);
+    }
+    // A receiver class without any implementation (an unimplemented
+    // interface method on an unused branch) makes the site unresolvable —
+    // leave it virtual rather than crash the compile.
+    let mut impls = Vec::with_capacity(receivers.len());
+    for c in receivers {
+        match program.try_resolve_virtual(c, declared) {
+            Some(m) => impls.push(m),
+            None => return Vec::new(),
+        }
+    }
+    impls.sort_unstable();
+    impls.dedup();
+    impls
+}
+
+/// Runs CHA devirtualization over every method body, in place.
+pub fn devirtualize(program: &mut Program) -> DevirtReport {
+    let mut report = DevirtReport::default();
+    // Collect rewrites first (program must stay immutable while inspecting).
+    let snapshot = program.clone();
+    let method_ids: Vec<MethodId> = snapshot.methods().map(|(id, _)| id).collect();
+    for mid in method_ids {
+        let Some(body) = &snapshot.method(mid).body else {
+            continue;
+        };
+        let mut rewrites: Vec<(usize, usize, MethodId)> = Vec::new();
+        for (bi, block) in body.blocks.iter().enumerate() {
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                let Instr::Call {
+                    target: CallTarget::Virtual(declared),
+                    args,
+                    ..
+                } = instr
+                else {
+                    continue;
+                };
+                report.virtual_sites += 1;
+                let Some(&recv) = args.first() else { continue };
+                let static_class = match body.local_ty(recv) {
+                    Ty::Ref(c) => *c,
+                    // Facade receivers dispatch on record type ids; their
+                    // hierarchy mirrors the data hierarchy, so CHA applies
+                    // to them identically.
+                    Ty::Facade(c) => *c,
+                    _ => continue,
+                };
+                let impls = implementations(&snapshot, static_class, *declared);
+                if let [only] = impls.as_slice() {
+                    if snapshot.method(*only).body.is_some() {
+                        rewrites.push((bi, ii, *only));
+                    }
+                }
+            }
+        }
+        if rewrites.is_empty() {
+            continue;
+        }
+        let body = program
+            .method_mut(mid)
+            .body
+            .as_mut()
+            .expect("body existed in snapshot");
+        for (bi, ii, target) in rewrites {
+            if let Instr::Call { target: t, .. } = &mut body.blocks[bi].instrs[ii] {
+                *t = CallTarget::Special(target);
+                report.devirtualized += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facade_ir::{ProgramBuilder, Ty};
+
+    fn hierarchy(with_override: bool) -> (Program, MethodId, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let base = pb.class("Base").build();
+        let sub = pb.class("Sub").extends(base).build();
+        let mut m = pb.method(base, "f").returns(Ty::I32);
+        let _ = m.this_local();
+        let one = m.const_i32(1);
+        m.ret(Some(one));
+        let base_f = m.finish();
+        if with_override {
+            let mut o = pb.method(sub, "f").returns(Ty::I32);
+            let _ = o.this_local();
+            let two = o.const_i32(2);
+            o.ret(Some(two));
+            o.finish();
+        }
+        // Caller with a Base-typed receiver.
+        let main = pb.class("Main").build();
+        let mut c = pb.method(main, "call").param(Ty::Ref(base)).static_();
+        let r = c.param_local(0);
+        c.call_virtual(base_f, vec![r]);
+        c.ret(None);
+        let caller = c.finish();
+        let _ = sub;
+        (pb.finish(), base_f, caller)
+    }
+
+    fn first_call_target(program: &Program, m: MethodId) -> CallTarget {
+        let body = program.method(m).body.as_ref().unwrap();
+        for block in &body.blocks {
+            for i in &block.instrs {
+                if let Instr::Call { target, .. } = i {
+                    return *target;
+                }
+            }
+        }
+        panic!("no call found");
+    }
+
+    #[test]
+    fn single_implementation_is_devirtualized() {
+        let (mut p, base_f, caller) = hierarchy(false);
+        let report = devirtualize(&mut p);
+        assert_eq!(report.virtual_sites, 1);
+        assert_eq!(report.devirtualized, 1);
+        assert_eq!(first_call_target(&p, caller), CallTarget::Special(base_f));
+    }
+
+    #[test]
+    fn overridden_method_stays_virtual() {
+        let (mut p, base_f, caller) = hierarchy(true);
+        let report = devirtualize(&mut p);
+        assert_eq!(report.virtual_sites, 1);
+        assert_eq!(report.devirtualized, 0);
+        assert_eq!(first_call_target(&p, caller), CallTarget::Virtual(base_f));
+    }
+
+    #[test]
+    fn interface_with_one_implementor_is_devirtualized() {
+        let mut pb = ProgramBuilder::new();
+        let iface = pb.interface("I").build();
+        let decl = pb.abstract_method(iface, "run", vec![], Some(Ty::I32));
+        let imp = pb.class("Impl").implements(iface).build();
+        let mut m = pb.method(imp, "run").returns(Ty::I32);
+        let _ = m.this_local();
+        let v = m.const_i32(9);
+        m.ret(Some(v));
+        let impl_run = m.finish();
+        let main = pb.class("Main").build();
+        let mut c = pb.method(main, "call").param(Ty::Ref(iface)).static_();
+        let r = c.param_local(0);
+        c.call_virtual(decl, vec![r]);
+        c.ret(None);
+        let caller = c.finish();
+        let mut p = pb.finish();
+        let report = devirtualize(&mut p);
+        assert_eq!(report.devirtualized, 1);
+        assert_eq!(first_call_target(&p, caller), CallTarget::Special(impl_run));
+    }
+
+    #[test]
+    fn devirtualized_program_still_verifies_and_runs_equivalently() {
+        let (mut p, _, _) = hierarchy(false);
+        devirtualize(&mut p);
+        p.verify().unwrap();
+    }
+}

@@ -1,0 +1,127 @@
+//! Compilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A FACADE compilation error.
+///
+/// The paper's compiler "reports compilation errors upon violations" of the
+/// two closed-world assumptions (§3.1); the developer is expected to
+/// refactor the program to fix them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The data spec names a class that does not exist in the program.
+    UnknownClass(String),
+    /// The data spec names an interface; list its implementing classes
+    /// instead (interfaces are transformed on demand).
+    InterfaceInSpec(String),
+    /// Reference-closed-world violation: a reference field of a data class
+    /// has a non-data type.
+    NonDataField {
+        /// The data class declaring the field.
+        class: String,
+        /// The offending field.
+        field: String,
+        /// The field's non-data type, rendered.
+        field_ty: String,
+    },
+    /// Type-closed-world violation: a data class has a non-data superclass
+    /// or subclass.
+    OpenHierarchy {
+        /// The data class.
+        class: String,
+        /// The related class that is not in the data spec.
+        relative: String,
+        /// `"superclass"` or `"subclass"`.
+        relation: &'static str,
+    },
+    /// A data-path method allocates a non-data class (the assumption that
+    /// data methods only create data records, Table 1 case 3.4's dual).
+    NonDataAllocation {
+        /// The data-path method.
+        method: String,
+        /// The non-data class being allocated.
+        class: String,
+    },
+    /// A data-path method stores a non-data value into a data record
+    /// (Table 1 cases 3.4 / 4.4).
+    AssumptionViolation {
+        /// The data-path method.
+        method: String,
+        /// Description of the violating instruction.
+        detail: String,
+    },
+    /// A data-path variable is typed by an interface implemented by both
+    /// data and non-data classes; the record's runtime type would be
+    /// ambiguous. Refactor so data-path variables use data types.
+    MixedInterfaceInDataPath {
+        /// The method containing the variable.
+        method: String,
+        /// The mixed interface.
+        interface: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownClass(name) => {
+                write!(f, "data spec names unknown class `{name}`")
+            }
+            CompileError::InterfaceInSpec(name) => write!(
+                f,
+                "data spec names interface `{name}`; list its implementing classes instead"
+            ),
+            CompileError::NonDataField {
+                class,
+                field,
+                field_ty,
+            } => write!(
+                f,
+                "reference-closed-world violation: data class `{class}` field `{field}` has \
+                 non-data type `{field_ty}`"
+            ),
+            CompileError::OpenHierarchy {
+                class,
+                relative,
+                relation,
+            } => write!(
+                f,
+                "type-closed-world violation: data class `{class}` has non-data {relation} \
+                 `{relative}`"
+            ),
+            CompileError::NonDataAllocation { method, class } => write!(
+                f,
+                "data-path method `{method}` allocates non-data class `{class}`"
+            ),
+            CompileError::AssumptionViolation { method, detail } => {
+                write!(f, "assumption violation in `{method}`: {detail}")
+            }
+            CompileError::MixedInterfaceInDataPath { method, interface } => write!(
+                f,
+                "data-path method `{method}` uses interface `{interface}`, which is implemented \
+                 by both data and non-data classes"
+            ),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_helpfully() {
+        let e = CompileError::NonDataField {
+            class: "Student".into(),
+            field: "logger".into(),
+            field_ty: "ref#7".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("Student"));
+        assert!(text.contains("logger"));
+        assert!(text.contains("reference-closed-world"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Facade class-hierarchy generation, record type IDs, and record layouts
+//! (§3.2's class hierarchy transformation).
+
+use crate::error::CompileError;
+use crate::meta::PagedMeta;
+use facade_ir::{ClassDef, ClassId, ClassKind, Program, Ty};
+use facade_runtime::{FieldKind, PoolBounds, RecordLayout};
+use std::collections::{BTreeSet, HashMap};
+
+/// Maps an IR type to its record field kind: references and arrays become
+/// 8-byte page references, matching Figure 1's layout.
+pub(crate) fn field_kind(ty: &Ty) -> FieldKind {
+    match ty {
+        Ty::I32 => FieldKind::I32,
+        Ty::I64 | Ty::F64 => FieldKind::I64,
+        Ty::Ref(_) | Ty::Array(_) => FieldKind::Ref,
+        Ty::PageRef | Ty::Facade(_) => FieldKind::Ref,
+    }
+}
+
+/// Generates facade classes and interfaces, assigns record type IDs, and
+/// computes record layouts.
+pub(crate) fn generate(
+    program: &mut Program,
+    data_classes: &BTreeSet<ClassId>,
+) -> Result<PagedMeta, CompileError> {
+    // Type IDs: 0..4 are the reserved array kinds; data classes follow in
+    // deterministic (ClassId) order.
+    let ordered: Vec<ClassId> = data_classes.iter().copied().collect();
+    let mut type_ids = HashMap::new();
+    let mut class_of_type = HashMap::new();
+    let mut layouts: Vec<RecordLayout> = ["byte[]", "int[]", "long[]", "ref[]"]
+        .iter()
+        .map(|n| RecordLayout::new(n, &[]))
+        .collect();
+    for (i, &class) in ordered.iter().enumerate() {
+        let tid = (4 + i) as u16;
+        type_ids.insert(class, tid);
+        class_of_type.insert(tid, class);
+        let fields: Vec<FieldKind> = program
+            .flat_fields(class)
+            .iter()
+            .map(|(_, f)| field_kind(&f.ty))
+            .collect();
+        layouts.push(RecordLayout::new(&program.class(class).name, &fields));
+    }
+
+    // Interfaces any data class implements get a facade interface (§3.2:
+    // "we create a new interface IFacade ... and make all facades DFacade
+    // implement IFacade").
+    let ifaces: Vec<ClassId> = program
+        .classes()
+        .filter(|(id, c)| {
+            c.is_interface() && ordered.iter().any(|&d| program.is_subtype(d, *id))
+        })
+        .map(|(id, _)| id)
+        .collect();
+    let mut facade_iface_of = HashMap::new();
+    for iface in ifaces {
+        let name = format!("{}$Facade", program.class(iface).name);
+        let fid = program.add_class(ClassDef {
+            name,
+            kind: ClassKind::Interface,
+            superclass: None,
+            interfaces: vec![],
+            fields: vec![],
+            methods: vec![],
+        });
+        facade_iface_of.insert(iface, fid);
+    }
+
+    // Facade classes: created empty first so `extends` links can be wired
+    // regardless of declaration order, then linked.
+    let mut facade_of = HashMap::new();
+    let mut data_of = HashMap::new();
+    for &class in &ordered {
+        let name = format!("{}$Facade", program.class(class).name);
+        let fid = program.add_class(ClassDef {
+            name,
+            kind: ClassKind::Class,
+            superclass: None,
+            interfaces: vec![],
+            // §3.2: "DFacade does not contain any instance field".
+            fields: vec![],
+            methods: vec![],
+        });
+        facade_of.insert(class, fid);
+        data_of.insert(fid, class);
+    }
+    for &class in &ordered {
+        let fid = facade_of[&class];
+        let def = program.class(class).clone();
+        if let Some(s) = def.superclass {
+            // The closed-world check guarantees the superclass is a data
+            // class, so its facade exists.
+            program.class_mut(fid).superclass = Some(facade_of[&s]);
+        }
+        for iface in &def.interfaces {
+            if let Some(&fi) = facade_iface_of.get(iface) {
+                program.class_mut(fid).interfaces.push(fi);
+            }
+        }
+    }
+
+    let n_types = 4 + ordered.len();
+    Ok(PagedMeta {
+        data_classes: ordered,
+        type_ids,
+        class_of_type,
+        facade_of,
+        data_of,
+        facade_iface_of,
+        method_map: HashMap::new(),
+        layouts,
+        bounds: PoolBounds::uniform(n_types, 1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facade_ir::ProgramBuilder;
+
+    fn setup() -> (Program, BTreeSet<ClassId>) {
+        let mut pb = ProgramBuilder::new();
+        let cmp = pb.interface("Comparable").build();
+        let student = pb
+            .class("Student")
+            .implements(cmp)
+            .field("id", Ty::I32)
+            .field("name", Ty::array(Ty::I32))
+            .build();
+        let grad = pb.class("Grad").extends(student).field("year", Ty::I32).build();
+        let p = pb.finish();
+        let mut data = BTreeSet::new();
+        data.insert(student);
+        data.insert(grad);
+        (p, data)
+    }
+
+    #[test]
+    fn facades_mirror_the_hierarchy() {
+        let (mut p, data) = setup();
+        let meta = generate(&mut p, &data).unwrap();
+        let student = p.class_by_name("Student").unwrap();
+        let grad = p.class_by_name("Grad").unwrap();
+        let sf = meta.facade(student).unwrap();
+        let gf = meta.facade(grad).unwrap();
+        assert_eq!(p.class(sf).name, "Student$Facade");
+        assert_eq!(p.class(gf).superclass, Some(sf));
+        assert!(p.class(sf).fields.is_empty());
+        assert!(p.class(gf).fields.is_empty());
+    }
+
+    #[test]
+    fn facade_implements_facade_interface() {
+        let (mut p, data) = setup();
+        let meta = generate(&mut p, &data).unwrap();
+        let student = p.class_by_name("Student").unwrap();
+        let cmp = p.class_by_name("Comparable").unwrap();
+        let sf = meta.facade(student).unwrap();
+        let cf = meta.facade_iface_of[&cmp];
+        assert!(p.class(sf).interfaces.contains(&cf));
+        assert!(p.class(cf).is_interface());
+        assert_eq!(p.class(cf).name, "Comparable$Facade");
+    }
+
+    #[test]
+    fn type_ids_start_after_reserved_arrays() {
+        let (mut p, data) = setup();
+        let meta = generate(&mut p, &data).unwrap();
+        let student = p.class_by_name("Student").unwrap();
+        let grad = p.class_by_name("Grad").unwrap();
+        let (a, b) = (meta.type_id(student), meta.type_id(grad));
+        assert!(a >= 4 && b >= 4);
+        assert_ne!(a, b);
+        assert_eq!(meta.class_of_type[&a], student);
+    }
+
+    #[test]
+    fn layouts_flatten_superclass_fields_first() {
+        let (mut p, data) = setup();
+        let meta = generate(&mut p, &data).unwrap();
+        let grad = p.class_by_name("Grad").unwrap();
+        let layout = meta.layout(meta.type_id(grad));
+        // Student: id (i32), name (array => ref). Grad adds year (i32).
+        assert_eq!(
+            layout.fields(),
+            &[FieldKind::I32, FieldKind::Ref, FieldKind::I32]
+        );
+        assert_eq!(layout.offset(0), 0);
+        assert_eq!(layout.offset(1), 8); // 8-byte aligned ref
+        assert_eq!(layout.offset(2), 16);
+    }
+
+    #[test]
+    fn field_kind_mapping() {
+        assert_eq!(field_kind(&Ty::I32), FieldKind::I32);
+        assert_eq!(field_kind(&Ty::F64), FieldKind::I64);
+        assert_eq!(field_kind(&Ty::Ref(ClassId(0))), FieldKind::Ref);
+        assert_eq!(field_kind(&Ty::array(Ty::I64)), FieldKind::Ref);
+    }
+}

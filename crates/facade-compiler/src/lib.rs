@@ -1,0 +1,151 @@
+//! The FACADE compiler.
+//!
+//! Given a program `P` and a user-provided list of *data classes* (§3: "a
+//! user needs to provide a list of data classes that form the data path"),
+//! the compiler produces a program `P'` in which:
+//!
+//! - every data record lives in paged native memory ([`facade_runtime`]),
+//! - heap objects for data types are reduced to a statically bounded pool of
+//!   *facades* per thread, and
+//! - data crossing the control/data boundary is converted by synthesized
+//!   conversion functions at *interaction points* (§3.5).
+//!
+//! The pipeline matches the paper:
+//!
+//! 1. closed-world checks — validate the reference- and type-closed-world
+//!    assumptions (§3.1); violations are compile errors.
+//! 2. hierarchy generation — generate the facade class hierarchy, record type IDs,
+//!    and record layouts (§3.2's class hierarchy transformation).
+//! 3. bound computation — compute the per-type facade-pool bounds by inspecting
+//!    every call site (§3.3).
+//! 4. [`transform`] (this crate's entry point) — rewrite instructions per Table 1: data-path methods
+//!    become facade methods over page references; control-path call sites
+//!    into the data path get conversions inserted.
+//!
+//! # Examples
+//!
+//! ```
+//! use facade_compiler::{DataSpec, transform};
+//! use facade_ir::{ProgramBuilder, Ty};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let point = pb.class("Point").field("x", Ty::I32).build();
+//! let mut get_x = pb.method(point, "getX").returns(Ty::I32);
+//! let this = get_x.this_local();
+//! let x = get_x.get_field(this, "x");
+//! get_x.ret(Some(x));
+//! get_x.finish();
+//! let program = pb.finish();
+//!
+//! let out = transform(&program, &DataSpec::new(["Point"]))?;
+//! assert_eq!(out.meta.data_classes.len(), 1);
+//! assert!(out.program.class_by_name("Point$Facade").is_some());
+//! # Ok::<(), facade_compiler::CompileError>(())
+//! ```
+
+mod bounds;
+mod closed_world;
+mod devirt;
+mod error;
+mod hierarchy;
+mod meta;
+mod report;
+mod transform;
+
+pub use devirt::{DevirtReport, devirtualize};
+pub use error::CompileError;
+pub use meta::PagedMeta;
+pub use report::TransformReport;
+
+use facade_ir::Program;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// The user's specification of the data path: the list of data classes
+/// (by name) to be transformed.
+#[derive(Debug, Clone, Default)]
+pub struct DataSpec {
+    names: BTreeSet<String>,
+}
+
+impl DataSpec {
+    /// Creates a spec from class names.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            names: names.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Adds a class name.
+    pub fn add(&mut self, name: &str) -> &mut Self {
+        self.names.insert(name.to_string());
+        self
+    }
+
+    /// The specified names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// Number of specified classes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no classes are specified.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// The result of a transformation: the generated program `P'`, the metadata
+/// the runtime needs (type IDs, layouts, pool bounds), and a report with the
+/// paper's compilation-speed statistics.
+#[derive(Debug)]
+pub struct TransformOutput {
+    /// The transformed program. Control-path methods are rewritten in place;
+    /// facade classes and methods are appended; the original data-path
+    /// method bodies remain but become unreachable.
+    pub program: Program,
+    /// Runtime metadata for `P'`.
+    pub meta: PagedMeta,
+    /// Transformation statistics.
+    pub report: TransformReport,
+}
+
+/// Runs the full FACADE transformation on `program`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] when the spec names an unknown class or when a
+/// closed-world assumption is violated (§3.1: "FACADE checks these two
+/// assumptions before transformation and reports compilation errors upon
+/// violations").
+pub fn transform(program: &Program, spec: &DataSpec) -> Result<TransformOutput, CompileError> {
+    let start = Instant::now();
+    let data_classes = closed_world::check(program, spec)?;
+    let mut program = program.clone();
+    let instructions_before = program.instr_count();
+    let mut meta = hierarchy::generate(&mut program, &data_classes)?;
+    bounds::compute(&program, &mut meta);
+    let ip_count = transform::run(&mut program, &mut meta)?;
+    let devirt = devirt::devirtualize(&mut program);
+    let duration = start.elapsed();
+    let report = TransformReport {
+        classes_transformed: meta.data_classes.len(),
+        methods_transformed: meta.method_map.len(),
+        instructions_transformed: instructions_before,
+        interaction_points: ip_count,
+        devirtualized_calls: devirt.devirtualized,
+        duration,
+    };
+    Ok(TransformOutput {
+        program,
+        meta,
+        report,
+    })
+}

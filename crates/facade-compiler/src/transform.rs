@@ -1,0 +1,847 @@
+//! The instruction transformation of Table 1.
+//!
+//! Data-path methods (methods declared on data classes and data interfaces)
+//! are given *facade* counterparts that operate on page references; every
+//! field access, allocation, call, `instanceof`, and monitor operation is
+//! rewritten per the table. Control-path methods are rewritten in place:
+//! call sites into the data path get conversions (interaction points, §3.5)
+//! and facade bindings inserted.
+
+use crate::bounds::attributed_class;
+use crate::closed_world::is_data_interface;
+use crate::error::CompileError;
+use crate::meta::PagedMeta;
+use facade_ir::{
+    Block, Body, CallTarget, ClassId, Instr, Local, MethodDef, MethodId, Program, Terminator, Ty,
+};
+use std::collections::{BTreeSet, HashMap};
+
+/// How a type participates in the data path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Kind {
+    /// A data class or data interface; values become page references.
+    Data(ClassId),
+    /// Any array; the data path pages all arrays.
+    DataArray,
+    /// A numeric primitive.
+    Prim,
+    /// A control-path reference; values stay heap objects.
+    Control,
+}
+
+struct Cx<'a> {
+    pr: &'a Program,
+    meta: &'a PagedMeta,
+    data: &'a BTreeSet<ClassId>,
+    method_name: String,
+    ips: usize,
+}
+
+impl Cx<'_> {
+    fn kind(&self, ty: &Ty) -> Result<Kind, CompileError> {
+        match ty {
+            Ty::I32 | Ty::I64 | Ty::F64 => Ok(Kind::Prim),
+            Ty::Array(_) => Ok(Kind::DataArray),
+            Ty::Ref(c) if self.data.contains(c) => Ok(Kind::Data(*c)),
+            Ty::Ref(c) if self.pr.class(*c).is_interface() => {
+                if is_data_interface(self.pr, self.data, *c) {
+                    Ok(Kind::Data(*c))
+                } else if self.meta.facade_iface_of.contains_key(c) {
+                    // Implemented by data classes *and* control classes:
+                    // a variable of this type in the data path is ambiguous.
+                    Err(CompileError::MixedInterfaceInDataPath {
+                        method: self.method_name.clone(),
+                        interface: self.pr.class(*c).name.clone(),
+                    })
+                } else {
+                    Ok(Kind::Control)
+                }
+            }
+            Ty::Ref(_) => Ok(Kind::Control),
+            Ty::PageRef | Ty::Facade(_) => Ok(Kind::Control),
+        }
+    }
+
+    fn is_data_method(&self, m: MethodId) -> bool {
+        let class = self.pr.method(m).class;
+        self.data.contains(&class) || self.meta.facade_iface_of.contains_key(&class)
+    }
+
+    /// Maps a signature type of a data-path method into its `P'` form.
+    fn map_sig_ty(&self, ty: &Ty) -> Result<Ty, CompileError> {
+        Ok(match self.kind(ty)? {
+            Kind::Data(c) => Ty::Facade(self.meta.facade(c).expect("facade generated")),
+            Kind::DataArray => Ty::PageRef,
+            Kind::Prim | Kind::Control => ty.clone(),
+        })
+    }
+}
+
+/// Runs the transformation over the whole program; returns the number of
+/// interaction points at which conversions were synthesized.
+pub(crate) fn run(program: &mut Program, meta: &mut PagedMeta) -> Result<usize, CompileError> {
+    let data: BTreeSet<ClassId> = meta.data_classes.iter().copied().collect();
+
+    // Classify methods up front (ids are stable under later additions).
+    let mut data_methods = Vec::new();
+    let mut control_methods = Vec::new();
+    for (id, m) in program.methods() {
+        if data.contains(&m.class) || meta.facade_iface_of.contains_key(&m.class) {
+            data_methods.push(id);
+        } else if !meta.data_of.contains_key(&m.class) {
+            control_methods.push(id);
+        }
+    }
+
+    // Pass 1: facade method stubs, so calls can be retargeted before any
+    // body exists.
+    for &m in &data_methods {
+        create_stub(program, meta, &data, m)?;
+    }
+
+    // Read-only snapshot for body construction; bodies are written back
+    // into `program` as they are finished.
+    let snapshot = program.clone();
+    let mut ips = 0;
+
+    // Pass 2: transform data-path bodies into their facade methods.
+    for &m in &data_methods {
+        if snapshot.method(m).body.is_none() {
+            continue;
+        }
+        let mut cx = Cx {
+            pr: &snapshot,
+            meta,
+            data: &data,
+            method_name: qualified_name(&snapshot, m),
+            ips: 0,
+        };
+        let body = transform_data_body(&mut cx, m)?;
+        ips += cx.ips;
+        let facade_m = meta.method_map[&m];
+        program.method_mut(facade_m).body = Some(body);
+    }
+
+    // Pass 3: rewrite control-path bodies in place (boundary call sites).
+    for &m in &control_methods {
+        if snapshot.method(m).body.is_none() {
+            continue;
+        }
+        let mut cx = Cx {
+            pr: &snapshot,
+            meta,
+            data: &data,
+            method_name: qualified_name(&snapshot, m),
+            ips: 0,
+        };
+        let body = rewrite_control_body(&mut cx, m)?;
+        ips += cx.ips;
+        program.method_mut(m).body = Some(body);
+    }
+
+    // If the entry point was a data-path method, run its facade version.
+    if let Some(e) = program.entry() {
+        if let Some(&e2) = meta.method_map.get(&e) {
+            program.set_entry(e2);
+        }
+    }
+    Ok(ips)
+}
+
+fn qualified_name(p: &Program, m: MethodId) -> String {
+    let def = p.method(m);
+    format!("{}::{}", p.class(def.class).name, def.name)
+}
+
+fn create_stub(
+    program: &mut Program,
+    meta: &mut PagedMeta,
+    data: &BTreeSet<ClassId>,
+    m: MethodId,
+) -> Result<(), CompileError> {
+    let def = program.method(m).clone();
+    let (params, ret) = {
+        let cx = Cx {
+            pr: program,
+            meta,
+            data,
+            method_name: qualified_name(program, m),
+            ips: 0,
+        };
+        let params = def
+            .params
+            .iter()
+            .map(|p| cx.map_sig_ty(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        let ret = def.ret.as_ref().map(|t| cx.map_sig_ty(t)).transpose()?;
+        (params, ret)
+    };
+    let owner = meta.facade(def.class).expect("facade generated");
+    // Constructors become regular methods (`facade$init`, Transformation 3).
+    let name = if def.is_ctor() {
+        "facade$init".to_string()
+    } else {
+        def.name.clone()
+    };
+    let id = program.add_method(MethodDef {
+        name,
+        class: owner,
+        params,
+        ret,
+        is_static: def.is_static,
+        body: None,
+    });
+    meta.method_map.insert(m, id);
+    Ok(())
+}
+
+/// Table 1 case 1 plus the whole body: builds the facade method's body for
+/// data-path method `m`.
+fn transform_data_body(cx: &mut Cx<'_>, m: MethodId) -> Result<Body, CompileError> {
+    let def = cx.pr.method(m).clone();
+    let old = def.body.as_ref().expect("data body");
+    let facade_m = cx.meta.method_map[&m];
+    let fdef = cx.pr.method(facade_m).clone();
+
+    let mut nb = Body::default();
+    // Parameter slots of the facade method.
+    if !fdef.is_static {
+        nb.add_local(Ty::Facade(cx.meta.facade(def.class).expect("facade")));
+    }
+    for p in &fdef.params {
+        nb.add_local(p.clone());
+    }
+    // Shadow locals for every original local (the "variable-reference
+    // table v" of Table 1): data-typed locals shadow as page references.
+    let mut var = Vec::with_capacity(old.locals.len());
+    for ty in &old.locals {
+        let shadow = match cx.kind(ty)? {
+            Kind::Data(_) | Kind::DataArray => Ty::PageRef,
+            _ => ty.clone(),
+        };
+        var.push(nb.add_local(shadow));
+    }
+
+    for (bi, ob) in old.blocks.iter().enumerate() {
+        let mut out = Vec::new();
+        if bi == 0 {
+            // Method prologue (case 1): release each facade parameter's
+            // page reference into the shadow local. (`slot` indexes both
+            // the parameter locals and their shadows, so indexing is the
+            // clearest form here.)
+            let slots = fdef.param_slot_count();
+            #[allow(clippy::needless_range_loop)]
+            for slot in 0..slots {
+                let param = Local(slot as u32);
+                let param_ty = &nb.locals[slot];
+                match param_ty {
+                    Ty::Facade(_) => out.push(Instr::ReleaseFacade {
+                        dst: var[slot],
+                        facade: param,
+                    }),
+                    _ => out.push(Instr::Move {
+                        dst: var[slot],
+                        src: param,
+                    }),
+                }
+            }
+        }
+        for instr in &ob.instrs {
+            transform_instr(cx, old, &mut nb, &var, instr, &mut out)?;
+        }
+        let term = transform_terminator(cx, old, &mut nb, &var, ob.term.as_ref(), &mut out)?;
+        nb.blocks.push(Block {
+            instrs: out,
+            term: Some(term),
+        });
+    }
+    Ok(nb)
+}
+
+fn transform_terminator(
+    cx: &mut Cx<'_>,
+    old: &Body,
+    nb: &mut Body,
+    var: &[Local],
+    term: Option<&Terminator>,
+    out: &mut Vec<Instr>,
+) -> Result<Terminator, CompileError> {
+    let v = |l: Local| var[l.0 as usize];
+    Ok(match term.expect("verified body") {
+        Terminator::Return(None) => Terminator::Return(None),
+        Terminator::Return(Some(l)) => {
+            let ty = old.local_ty(*l).clone();
+            match cx.kind(&ty)? {
+                // Case 5.1: bind pool facade 0 and return it.
+                Kind::Data(c) => {
+                    let concrete = cx
+                        .pr
+                        .any_concrete_subtype(c)
+                        .filter(|cc| cx.meta.type_ids.contains_key(cc))
+                        .unwrap_or(c);
+                    let rf = nb.add_local(Ty::Facade(cx.meta.facade(c).expect("facade")));
+                    out.push(Instr::BindParam {
+                        dst: rf,
+                        class: concrete,
+                        index: 0,
+                        src: v(*l),
+                    });
+                    Terminator::Return(Some(rf))
+                }
+                // Arrays travel as bare page references.
+                _ => Terminator::Return(Some(v(*l))),
+            }
+        }
+        Terminator::Jump(bb) => Terminator::Jump(*bb),
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => Terminator::Branch {
+            cond: v(*cond),
+            then_bb: *then_bb,
+            else_bb: *else_bb,
+        },
+    })
+}
+
+#[allow(clippy::too_many_lines)]
+fn transform_instr(
+    cx: &mut Cx<'_>,
+    old: &Body,
+    nb: &mut Body,
+    var: &[Local],
+    instr: &Instr,
+    out: &mut Vec<Instr>,
+) -> Result<(), CompileError> {
+    use Instr::*;
+    let v = |l: Local| var[l.0 as usize];
+    let t = |l: Local| old.local_ty(l).clone();
+    match instr {
+        ConstI32(d, c) => out.push(ConstI32(v(*d), *c)),
+        ConstI64(d, c) => out.push(ConstI64(v(*d), *c)),
+        ConstF64(d, c) => out.push(ConstF64(v(*d), *c)),
+        ConstNull(d) => out.push(ConstNull(v(*d))),
+        Move { dst, src } => {
+            // Case 2: reference assignments become page-reference
+            // assignments; crossings of the boundary convert.
+            let (kd, ks) = (cx.kind(&t(*dst))?, cx.kind(&t(*src))?);
+            match (kd, ks) {
+                (Kind::Control, Kind::Data(c)) => {
+                    out.push(ConvertToHeap {
+                        dst: v(*dst),
+                        src: v(*src),
+                        class: Some(c),
+                    });
+                    cx.ips += 1;
+                }
+                (Kind::Data(c), Kind::Control) => {
+                    out.push(ConvertToPage {
+                        dst: v(*dst),
+                        src: v(*src),
+                        class: Some(c),
+                    });
+                    cx.ips += 1;
+                }
+                _ => out.push(Move {
+                    dst: v(*dst),
+                    src: v(*src),
+                }),
+            }
+        }
+        Bin { dst, op, a, b } => out.push(Bin {
+            dst: v(*dst),
+            op: *op,
+            a: v(*a),
+            b: v(*b),
+        }),
+        Cmp { dst, op, a, b } => out.push(Cmp {
+            dst: v(*dst),
+            op: *op,
+            a: v(*a),
+            b: v(*b),
+        }),
+        NumCast { dst, src } => out.push(NumCast {
+            dst: v(*dst),
+            src: v(*src),
+        }),
+        New { dst, class } => {
+            // Transformation 3: allocations in the data path go to pages.
+            if !cx.data.contains(class) {
+                return Err(CompileError::NonDataAllocation {
+                    method: cx.method_name.clone(),
+                    class: cx.pr.class(*class).name.clone(),
+                });
+            }
+            out.push(PageAlloc {
+                dst: v(*dst),
+                class: *class,
+            });
+        }
+        NewArray { dst, elem, len } => out.push(PageNewArray {
+            dst: v(*dst),
+            elem: elem.clone(),
+            len: v(*len),
+        }),
+        GetField { dst, obj, field } => match cx.kind(&t(*obj))? {
+            Kind::Data(_) => {
+                let class = t(*obj).as_class().expect("field access on class");
+                out.push(PageGetField {
+                    dst: v(*dst),
+                    obj: v(*obj),
+                    class,
+                    field: *field,
+                });
+            }
+            // Case 4.3: reading a data value out of a control object is an
+            // interaction point.
+            _ => match cx.kind(&t(*dst))? {
+                Kind::Data(c) => {
+                    let tmp = nb.add_local(t(*dst));
+                    out.push(GetField {
+                        dst: tmp,
+                        obj: v(*obj),
+                        field: *field,
+                    });
+                    out.push(ConvertToPage {
+                        dst: v(*dst),
+                        src: tmp,
+                        class: Some(c),
+                    });
+                    cx.ips += 1;
+                }
+                Kind::DataArray => {
+                    let tmp = nb.add_local(t(*dst));
+                    out.push(GetField {
+                        dst: tmp,
+                        obj: v(*obj),
+                        field: *field,
+                    });
+                    out.push(ConvertToPage {
+                        dst: v(*dst),
+                        src: tmp,
+                        class: None,
+                    });
+                    cx.ips += 1;
+                }
+                _ => out.push(GetField {
+                    dst: v(*dst),
+                    obj: v(*obj),
+                    field: *field,
+                }),
+            },
+        },
+        SetField { obj, field, src } => match cx.kind(&t(*obj))? {
+            Kind::Data(_) => {
+                // Case 3.4: a non-data value flowing into a data record is
+                // an assumption violation.
+                if cx.kind(&t(*src))? == Kind::Control {
+                    return Err(CompileError::AssumptionViolation {
+                        method: cx.method_name.clone(),
+                        detail: format!(
+                            "control-path value of type `{}` stored into data record field \
+                             {field}",
+                            t(*src)
+                        ),
+                    });
+                }
+                let class = t(*obj).as_class().expect("field access on class");
+                out.push(PageSetField {
+                    obj: v(*obj),
+                    class,
+                    field: *field,
+                    src: v(*src),
+                });
+            }
+            // Case 3.3: a data value flowing into a control object converts.
+            _ => match cx.kind(&t(*src))? {
+                Kind::Data(c) => {
+                    let tmp = nb.add_local(t(*src));
+                    out.push(ConvertToHeap {
+                        dst: tmp,
+                        src: v(*src),
+                        class: Some(c),
+                    });
+                    out.push(SetField {
+                        obj: v(*obj),
+                        field: *field,
+                        src: tmp,
+                    });
+                    cx.ips += 1;
+                }
+                Kind::DataArray => {
+                    let tmp = nb.add_local(t(*src));
+                    out.push(ConvertToHeap {
+                        dst: tmp,
+                        src: v(*src),
+                        class: None,
+                    });
+                    out.push(SetField {
+                        obj: v(*obj),
+                        field: *field,
+                        src: tmp,
+                    });
+                    cx.ips += 1;
+                }
+                _ => out.push(SetField {
+                    obj: v(*obj),
+                    field: *field,
+                    src: v(*src),
+                }),
+            },
+        },
+        ArrayGet { dst, arr, idx } => {
+            let elem = match t(*arr) {
+                Ty::Array(e) => (*e).clone(),
+                _ => unreachable!("verified body"),
+            };
+            out.push(PageArrayGet {
+                dst: v(*dst),
+                arr: v(*arr),
+                idx: v(*idx),
+                elem,
+            });
+        }
+        ArraySet { arr, idx, src } => {
+            let elem = match t(*arr) {
+                Ty::Array(e) => (*e).clone(),
+                _ => unreachable!("verified body"),
+            };
+            out.push(PageArraySet {
+                arr: v(*arr),
+                idx: v(*idx),
+                src: v(*src),
+                elem,
+            });
+        }
+        ArrayLen { dst, arr } => out.push(PageArrayLen {
+            dst: v(*dst),
+            arr: v(*arr),
+        }),
+        Call { dst, target, args } => {
+            transform_call_in_data_path(cx, old, nb, var, *dst, *target, args, out)?;
+        }
+        InstanceOf { dst, src, class } => match cx.kind(&t(*src))? {
+            Kind::Data(_) => {
+                if cx.meta.is_data_class(*class) || cx.data.contains(class) {
+                    out.push(PageInstanceOf {
+                        dst: v(*dst),
+                        src: v(*src),
+                        class: *class,
+                    });
+                } else {
+                    // A data record is never an instance of a control class.
+                    out.push(ConstI32(v(*dst), 0));
+                }
+            }
+            _ => out.push(InstanceOf {
+                dst: v(*dst),
+                src: v(*src),
+                class: *class,
+            }),
+        },
+        MonitorEnter(l) => match cx.kind(&t(*l))? {
+            Kind::Data(_) | Kind::DataArray => out.push(PageMonitorEnter(v(*l))),
+            _ => out.push(MonitorEnter(v(*l))),
+        },
+        MonitorExit(l) => match cx.kind(&t(*l))? {
+            Kind::Data(_) | Kind::DataArray => out.push(PageMonitorExit(v(*l))),
+            _ => out.push(MonitorExit(v(*l))),
+        },
+        Print(l) => out.push(Print(v(*l))),
+        // Paged forms cannot appear in source programs.
+        other => out.push(other.clone()),
+    }
+    Ok(())
+}
+
+/// Table 1 case 6 inside the data path.
+#[allow(clippy::too_many_arguments)]
+fn transform_call_in_data_path(
+    cx: &mut Cx<'_>,
+    old: &Body,
+    nb: &mut Body,
+    var: &[Local],
+    dst: Option<Local>,
+    target: CallTarget,
+    args: &[Local],
+    out: &mut Vec<Instr>,
+) -> Result<(), CompileError> {
+    let v = |l: Local| var[l.0 as usize];
+    let t = |l: Local| old.local_ty(l).clone();
+    let callee_id = target.method();
+    let callee = cx.pr.method(callee_id).clone();
+
+    if cx.is_data_method(callee_id) {
+        let new_callee = cx.meta.method_map[&callee_id];
+        let mut new_args = Vec::with_capacity(args.len());
+        let mut ai = 0;
+        if target.has_receiver() {
+            // Case 6.1: resolve the receiver facade by runtime type.
+            let af = nb.add_local(Ty::Facade(
+                cx.meta.facade(callee.class).expect("facade generated"),
+            ));
+            out.push(Instr::Resolve {
+                dst: af,
+                class: callee.class,
+                src: v(args[0]),
+            });
+            new_args.push(af);
+            ai = 1;
+        }
+        let mut counts: HashMap<u16, usize> = HashMap::new();
+        for (p, &arg) in callee.params.iter().zip(&args[ai..]) {
+            match cx.kind(p)? {
+                Kind::Data(pc) => {
+                    let concrete = attributed_class(cx.pr, cx.meta, p).unwrap_or(pc);
+                    let tid = cx.meta.type_id(concrete);
+                    let slot = counts.entry(tid).or_default();
+                    let index = *slot;
+                    *slot += 1;
+                    let bf =
+                        nb.add_local(Ty::Facade(cx.meta.facade(pc).expect("facade generated")));
+                    out.push(Instr::BindParam {
+                        dst: bf,
+                        class: concrete,
+                        index,
+                        src: v(arg),
+                    });
+                    new_args.push(bf);
+                }
+                Kind::DataArray => new_args.push(v(arg)),
+                Kind::Prim => new_args.push(v(arg)),
+                Kind::Control => {
+                    // Case 6.2 — unless the *argument* is data flowing into
+                    // a control-typed parameter, which cannot happen for
+                    // data-path callees (their control params expect control
+                    // values; the verifier enforced assignability in P).
+                    new_args.push(v(arg));
+                }
+            }
+        }
+        let new_target = retarget(target, new_callee);
+        match (dst, callee.ret.as_ref()) {
+            (Some(d), Some(rty)) if matches!(cx.kind(rty)?, Kind::Data(_)) => {
+                let rc = rty.as_class().expect("data ret class");
+                let rf = nb.add_local(Ty::Facade(cx.meta.facade(rc).expect("facade generated")));
+                out.push(Instr::Call {
+                    dst: Some(rf),
+                    target: new_target,
+                    args: new_args,
+                });
+                // The caller immediately releases the returned facade.
+                out.push(Instr::ReleaseFacade {
+                    dst: v(d),
+                    facade: rf,
+                });
+            }
+            (d, _) => out.push(Instr::Call {
+                dst: d.map(v),
+                target: new_target,
+                args: new_args,
+            }),
+        }
+    } else {
+        // Case 6.3: calling into the control path — data arguments convert
+        // to heap objects.
+        let mut new_args = Vec::with_capacity(args.len());
+        let mut ai = 0;
+        if target.has_receiver() {
+            new_args.push(v(args[0]));
+            ai = 1;
+        }
+        for &arg in &args[ai..] {
+            match cx.kind(&t(arg))? {
+                Kind::Data(c) => {
+                    let tmp = nb.add_local(t(arg));
+                    out.push(Instr::ConvertToHeap {
+                        dst: tmp,
+                        src: v(arg),
+                        class: Some(c),
+                    });
+                    cx.ips += 1;
+                    new_args.push(tmp);
+                }
+                Kind::DataArray => {
+                    let tmp = nb.add_local(t(arg));
+                    out.push(Instr::ConvertToHeap {
+                        dst: tmp,
+                        src: v(arg),
+                        class: None,
+                    });
+                    cx.ips += 1;
+                    new_args.push(tmp);
+                }
+                _ => new_args.push(v(arg)),
+            }
+        }
+        match (dst, callee.ret.as_ref()) {
+            (Some(d), Some(rty)) if matches!(cx.kind(rty)?, Kind::Data(_)) => {
+                // A control method handing back a data value: convert it
+                // into a fresh record.
+                let tmp = nb.add_local(rty.clone());
+                out.push(Instr::Call {
+                    dst: Some(tmp),
+                    target,
+                    args: new_args,
+                });
+                out.push(Instr::ConvertToPage {
+                    dst: v(d),
+                    src: tmp,
+                    class: rty.as_class(),
+                });
+                cx.ips += 1;
+            }
+            (d, _) => out.push(Instr::Call {
+                dst: d.map(v),
+                target,
+                args: new_args,
+            }),
+        }
+    }
+    Ok(())
+}
+
+fn retarget(target: CallTarget, m: MethodId) -> CallTarget {
+    match target {
+        CallTarget::Static(_) => CallTarget::Static(m),
+        CallTarget::Virtual(_) => CallTarget::Virtual(m),
+        CallTarget::Special(_) => CallTarget::Special(m),
+    }
+}
+
+/// Pass 3: control-path methods keep their logic, but calls into the data
+/// path get conversions and facade bindings inserted (§3.5: conversion
+/// "often occurs before the execution of the data path or after it is
+/// done").
+fn rewrite_control_body(cx: &mut Cx<'_>, m: MethodId) -> Result<Body, CompileError> {
+    let def = cx.pr.method(m).clone();
+    let old = def.body.expect("control body");
+    let mut nb = Body {
+        locals: old.locals.clone(),
+        blocks: Vec::with_capacity(old.blocks.len()),
+    };
+    for ob in &old.blocks {
+        let mut out = Vec::new();
+        for instr in &ob.instrs {
+            let Instr::Call { dst, target, args } = instr else {
+                out.push(instr.clone());
+                continue;
+            };
+            let callee_id = target.method();
+            if !cx.is_data_method(callee_id) {
+                out.push(instr.clone());
+                continue;
+            }
+            let callee = cx.pr.method(callee_id).clone();
+            let new_callee = cx.meta.method_map[&callee_id];
+            let mut new_args = Vec::with_capacity(args.len());
+            let mut ai = 0;
+            if target.has_receiver() {
+                // Convert the heap receiver into a record and resolve its
+                // facade.
+                let r = nb.add_local(Ty::PageRef);
+                out.push(Instr::ConvertToPage {
+                    dst: r,
+                    src: args[0],
+                    class: Some(callee.class).filter(|c| cx.meta.type_ids.contains_key(c)),
+                });
+                cx.ips += 1;
+                let af = nb.add_local(Ty::Facade(
+                    cx.meta.facade(callee.class).expect("facade generated"),
+                ));
+                out.push(Instr::Resolve {
+                    dst: af,
+                    class: callee.class,
+                    src: r,
+                });
+                new_args.push(af);
+                ai = 1;
+            }
+            let mut counts: HashMap<u16, usize> = HashMap::new();
+            for (p, &arg) in callee.params.iter().zip(&args[ai..]) {
+                match cx.kind(p)? {
+                    Kind::Data(pc) => {
+                        let concrete = attributed_class(cx.pr, cx.meta, p).unwrap_or(pc);
+                        let r = nb.add_local(Ty::PageRef);
+                        out.push(Instr::ConvertToPage {
+                            dst: r,
+                            src: arg,
+                            class: Some(concrete),
+                        });
+                        cx.ips += 1;
+                        let tid = cx.meta.type_id(concrete);
+                        let slot = counts.entry(tid).or_default();
+                        let index = *slot;
+                        *slot += 1;
+                        let bf = nb
+                            .add_local(Ty::Facade(cx.meta.facade(pc).expect("facade generated")));
+                        out.push(Instr::BindParam {
+                            dst: bf,
+                            class: concrete,
+                            index,
+                            src: r,
+                        });
+                        new_args.push(bf);
+                    }
+                    Kind::DataArray => {
+                        let r = nb.add_local(Ty::PageRef);
+                        out.push(Instr::ConvertToPage {
+                            dst: r,
+                            src: arg,
+                            class: None,
+                        });
+                        cx.ips += 1;
+                        new_args.push(r);
+                    }
+                    _ => new_args.push(arg),
+                }
+            }
+            let new_target = retarget(*target, new_callee);
+            match (dst, callee.ret.as_ref()) {
+                (Some(d), Some(rty)) if matches!(cx.kind(rty)?, Kind::Data(_)) => {
+                    let rc = rty.as_class().expect("data ret class");
+                    let rf =
+                        nb.add_local(Ty::Facade(cx.meta.facade(rc).expect("facade generated")));
+                    out.push(Instr::Call {
+                        dst: Some(rf),
+                        target: new_target,
+                        args: new_args,
+                    });
+                    let r = nb.add_local(Ty::PageRef);
+                    out.push(Instr::ReleaseFacade { dst: r, facade: rf });
+                    out.push(Instr::ConvertToHeap {
+                        dst: *d,
+                        src: r,
+                        class: Some(rc),
+                    });
+                    cx.ips += 1;
+                }
+                (Some(d), Some(rty)) if matches!(cx.kind(rty)?, Kind::DataArray) => {
+                    let r = nb.add_local(Ty::PageRef);
+                    out.push(Instr::Call {
+                        dst: Some(r),
+                        target: new_target,
+                        args: new_args,
+                    });
+                    out.push(Instr::ConvertToHeap {
+                        dst: *d,
+                        src: r,
+                        class: None,
+                    });
+                    cx.ips += 1;
+                }
+                (d, _) => out.push(Instr::Call {
+                    dst: *d,
+                    target: new_target,
+                    args: new_args,
+                }),
+            }
+        }
+        nb.blocks.push(Block {
+            instrs: out,
+            term: ob.term.clone(),
+        });
+    }
+    Ok(nb)
+}

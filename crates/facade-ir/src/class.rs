@@ -1,0 +1,174 @@
+//! Class, interface, field, and method definitions.
+
+use crate::instr::{Instr, Terminator};
+use crate::types::{BlockId, ClassId, Local, MethodId, Ty};
+
+/// Whether a [`ClassDef`] is a concrete class or an interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassKind {
+    /// A concrete (instantiable) class.
+    Class,
+    /// An interface: no instance fields, methods may lack bodies.
+    Interface,
+}
+
+/// An instance field declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name (unique within the declaring class).
+    pub name: String,
+    /// Declared type.
+    pub ty: Ty,
+}
+
+/// A class or interface.
+#[derive(Debug, Clone)]
+pub struct ClassDef {
+    /// Class name (unique within the program).
+    pub name: String,
+    /// Concrete class or interface.
+    pub kind: ClassKind,
+    /// Superclass; `None` models `java.lang.Object` roots.
+    pub superclass: Option<ClassId>,
+    /// Implemented interfaces.
+    pub interfaces: Vec<ClassId>,
+    /// Fields declared by *this* class (not inherited ones); see
+    /// [`crate::Program::flat_fields`] for the flattened layout.
+    pub fields: Vec<FieldDef>,
+    /// Methods declared by this class.
+    pub methods: Vec<MethodId>,
+}
+
+impl ClassDef {
+    /// Returns `true` if this definition is an interface.
+    pub fn is_interface(&self) -> bool {
+        self.kind == ClassKind::Interface
+    }
+}
+
+/// A basic block: straight-line instructions ended by one terminator.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// The block's instructions in order.
+    pub instrs: Vec<Instr>,
+    /// The control transfer ending the block. `None` only while building.
+    pub term: Option<Terminator>,
+}
+
+/// A method body: typed locals and a CFG of basic blocks.
+///
+/// Parameters occupy the first locals: for instance methods, local 0 is the
+/// receiver (`this`), followed by the declared parameters; for static
+/// methods the parameters start at local 0.
+#[derive(Debug, Clone, Default)]
+pub struct Body {
+    /// Declared types of all locals (parameters first).
+    pub locals: Vec<Ty>,
+    /// The basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+impl Body {
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Adds a local of type `ty` and returns it.
+    pub fn add_local(&mut self, ty: Ty) -> Local {
+        self.locals.push(ty);
+        Local((self.locals.len() - 1) as u32)
+    }
+
+    /// The declared type of `local`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    pub fn local_ty(&self, local: Local) -> &Ty {
+        &self.locals[local.0 as usize]
+    }
+
+    /// Total number of instructions across all blocks (the unit of the
+    /// paper's "instructions per second" compilation-speed metric).
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len() + 1).sum()
+    }
+}
+
+/// A method definition.
+#[derive(Debug, Clone)]
+pub struct MethodDef {
+    /// Method name; constructors use the conventional name `<init>`.
+    pub name: String,
+    /// Declaring class.
+    pub class: ClassId,
+    /// Parameter types, excluding the receiver.
+    pub params: Vec<Ty>,
+    /// Return type; `None` is `void`.
+    pub ret: Option<Ty>,
+    /// Static methods have no receiver.
+    pub is_static: bool,
+    /// The body; `None` for abstract/interface methods.
+    pub body: Option<Body>,
+}
+
+impl MethodDef {
+    /// Number of locals the parameters occupy (receiver included).
+    pub fn param_slot_count(&self) -> usize {
+        self.params.len() + usize::from(!self.is_static)
+    }
+
+    /// Returns `true` if this is a constructor.
+    pub fn is_ctor(&self) -> bool {
+        self.name == "<init>"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_locals_and_counts() {
+        let mut b = Body::default();
+        let x = b.add_local(Ty::I32);
+        let y = b.add_local(Ty::I64);
+        assert_eq!(x, Local(0));
+        assert_eq!(y, Local(1));
+        assert_eq!(*b.local_ty(y), Ty::I64);
+        b.blocks.push(Block {
+            instrs: vec![Instr::ConstI32(x, 1)],
+            term: Some(Terminator::Return(None)),
+        });
+        assert_eq!(b.instr_count(), 2);
+    }
+
+    #[test]
+    fn method_slot_count_includes_receiver() {
+        let m = MethodDef {
+            name: "f".into(),
+            class: ClassId(0),
+            params: vec![Ty::I32, Ty::I32],
+            ret: None,
+            is_static: false,
+            body: None,
+        };
+        assert_eq!(m.param_slot_count(), 3);
+        let s = MethodDef { is_static: true, ..m };
+        assert_eq!(s.param_slot_count(), 2);
+    }
+
+    #[test]
+    fn ctor_detection() {
+        let m = MethodDef {
+            name: "<init>".into(),
+            class: ClassId(0),
+            params: vec![],
+            ret: None,
+            is_static: false,
+            body: None,
+        };
+        assert!(m.is_ctor());
+    }
+}

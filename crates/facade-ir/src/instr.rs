@@ -1,0 +1,312 @@
+//! The instruction set.
+//!
+//! The first group of instructions ("source forms") is what programs `P`
+//! are written in — one variant per row of the paper's Table 1. The second
+//! group ("paged forms") is what the FACADE transformation emits into `P'`:
+//! page-reference manipulation, facade pool accesses, `resolve`, and data
+//! conversion calls. The interpreter executes both.
+
+use crate::types::{BlockId, ClassId, Local, MethodId, Ty};
+
+/// Binary arithmetic/logical operators; operands must share one numeric
+/// type, results keep it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+/// Comparison operators; result is an `i32` boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// The callee of a [`Instr::Call`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallTarget {
+    /// Static method call: no receiver.
+    Static(MethodId),
+    /// Virtual call: dispatch on the runtime type of the receiver, starting
+    /// from the statically resolved declaration.
+    Virtual(MethodId),
+    /// Direct (non-virtual) instance call: constructors and super calls
+    /// (`invokespecial`).
+    Special(MethodId),
+}
+
+impl CallTarget {
+    /// The statically named method.
+    pub fn method(self) -> MethodId {
+        match self {
+            CallTarget::Static(m) | CallTarget::Virtual(m) | CallTarget::Special(m) => m,
+        }
+    }
+
+    /// Returns `true` when the call has a receiver argument.
+    pub fn has_receiver(self) -> bool {
+        !matches!(self, CallTarget::Static(_))
+    }
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    // ----- source forms (program P) -------------------------------------
+    /// `dst = constant`.
+    ConstI32(Local, i32),
+    /// `dst = constant`.
+    ConstI64(Local, i64),
+    /// `dst = constant`.
+    ConstF64(Local, f64),
+    /// `dst = null`.
+    ConstNull(Local),
+    /// `dst = src` (Table 1 case 2).
+    Move { dst: Local, src: Local },
+    /// `dst = a <op> b`.
+    Bin {
+        dst: Local,
+        op: BinOp,
+        a: Local,
+        b: Local,
+    },
+    /// `dst = a <cmp> b` producing 0/1.
+    Cmp {
+        dst: Local,
+        op: CmpOp,
+        a: Local,
+        b: Local,
+    },
+    /// `dst = (i64) src` and friends; numeric conversion.
+    NumCast { dst: Local, src: Local },
+    /// `dst = new C` (allocation only; constructors are explicit `Special`
+    /// calls, as in bytecode).
+    New { dst: Local, class: ClassId },
+    /// `dst = new elem[len]`.
+    NewArray { dst: Local, elem: Ty, len: Local },
+    /// `dst = obj.field` (case 4); `field` indexes the flattened layout.
+    GetField {
+        dst: Local,
+        obj: Local,
+        field: usize,
+    },
+    /// `obj.field = src` (case 3).
+    SetField {
+        obj: Local,
+        field: usize,
+        src: Local,
+    },
+    /// `dst = arr[idx]`.
+    ArrayGet { dst: Local, arr: Local, idx: Local },
+    /// `arr[idx] = src`.
+    ArraySet { arr: Local, idx: Local, src: Local },
+    /// `dst = arr.length`.
+    ArrayLen { dst: Local, arr: Local },
+    /// `dst = target(args...)` (case 6). For instance calls `args[0]` is the
+    /// receiver.
+    Call {
+        dst: Option<Local>,
+        target: CallTarget,
+        args: Vec<Local>,
+    },
+    /// `dst = src instanceof class` (case 7).
+    InstanceOf {
+        dst: Local,
+        src: Local,
+        class: ClassId,
+    },
+    /// `monitorenter src` — start of `synchronized (src) { ... }`.
+    MonitorEnter(Local),
+    /// `monitorexit src`.
+    MonitorExit(Local),
+    /// Prints a value (stands in for I/O in test programs; observable
+    /// output used by the P ≡ P' equivalence tests).
+    Print(Local),
+    /// Marks the start of an iteration (§3.6) — the user-inserted
+    /// `iteration-start` call. A no-op under the heap backend; opens a new
+    /// page manager under the paged backend.
+    IterationStart,
+    /// Marks the end of the innermost iteration; bulk-reclaims its pages
+    /// under the paged backend.
+    IterationEnd,
+
+    // ----- paged forms (program P') --------------------------------------
+    /// `dst = FacadeRuntime.allocate(typeId, size)` — allocates a record of
+    /// the paged type generated for `class`.
+    PageAlloc { dst: Local, class: ClassId },
+    /// `dst = new paged elem[len]`.
+    PageNewArray { dst: Local, elem: Ty, len: Local },
+    /// `dst = getField(obj_ref, offset)` where `field` indexes the
+    /// flattened layout of `class`.
+    PageGetField {
+        dst: Local,
+        obj: Local,
+        class: ClassId,
+        field: usize,
+    },
+    /// `setField(obj_ref, offset, src)`.
+    PageSetField {
+        obj: Local,
+        class: ClassId,
+        field: usize,
+        src: Local,
+    },
+    /// `dst = readArray(arr_ref, idx)`; `elem` is the element type.
+    PageArrayGet {
+        dst: Local,
+        arr: Local,
+        idx: Local,
+        elem: Ty,
+    },
+    /// `writeArray(arr_ref, idx, src)`.
+    PageArraySet {
+        arr: Local,
+        idx: Local,
+        src: Local,
+        elem: Ty,
+    },
+    /// `dst = arrayLength(arr_ref)`.
+    PageArrayLen { dst: Local, arr: Local },
+    /// `facade = Pools.<class>Facades[index]; facade.pageRef = src` — bind a
+    /// parameter-pool facade to a page reference (§2.3).
+    BindParam {
+        dst: Local,
+        class: ClassId,
+        index: usize,
+        src: Local,
+    },
+    /// `facade = resolve(src)` — bind the receiver-pool facade of the
+    /// *runtime* type of the record (§3.2). `class` is the static type.
+    Resolve {
+        dst: Local,
+        class: ClassId,
+        src: Local,
+    },
+    /// `dst = facade.pageRef` — release the binding (method prologue /
+    /// callee side, Table 1 case 1).
+    ReleaseFacade { dst: Local, facade: Local },
+    /// `dst = typeIdOf(src) <: class` — the transformed `instanceof`.
+    PageInstanceOf {
+        dst: Local,
+        src: Local,
+        class: ClassId,
+    },
+    /// `monitorenter` on a record's pool lock (§3.4).
+    PageMonitorEnter(Local),
+    /// `monitorexit` on a record's pool lock.
+    PageMonitorExit(Local),
+    /// Data conversion at an interaction point (§3.5): heap object →
+    /// fresh paged record (`convertFromA`). `class` is the static data
+    /// class when known (`None` for arrays); the converter dispatches on
+    /// the value's runtime type.
+    ConvertToPage {
+        dst: Local,
+        src: Local,
+        class: Option<ClassId>,
+    },
+    /// Data conversion at an interaction point: paged record → fresh heap
+    /// object (`convertToA`).
+    ConvertToHeap {
+        dst: Local,
+        src: Local,
+        class: Option<ClassId>,
+    },
+}
+
+/// A control transfer ending a basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Return, optionally with a value.
+    Return(Option<Local>),
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on an `i32` condition (non-zero = then).
+    Branch {
+        cond: Local,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
+}
+
+impl Instr {
+    /// The local this instruction defines, if any.
+    pub fn def(&self) -> Option<Local> {
+        use Instr::*;
+        match self {
+            ConstI32(d, _) | ConstI64(d, _) | ConstF64(d, _) | ConstNull(d) => Some(*d),
+            Move { dst, .. }
+            | Bin { dst, .. }
+            | Cmp { dst, .. }
+            | NumCast { dst, .. }
+            | New { dst, .. }
+            | NewArray { dst, .. }
+            | GetField { dst, .. }
+            | ArrayGet { dst, .. }
+            | ArrayLen { dst, .. }
+            | InstanceOf { dst, .. }
+            | PageAlloc { dst, .. }
+            | PageNewArray { dst, .. }
+            | PageGetField { dst, .. }
+            | PageArrayGet { dst, .. }
+            | PageArrayLen { dst, .. }
+            | BindParam { dst, .. }
+            | Resolve { dst, .. }
+            | ReleaseFacade { dst, .. }
+            | PageInstanceOf { dst, .. }
+            | ConvertToPage { dst, .. }
+            | ConvertToHeap { dst, .. } => Some(*dst),
+            Call { dst, .. } => *dst,
+            SetField { .. } | ArraySet { .. } | PageSetField { .. } | PageArraySet { .. }
+            | MonitorEnter(_) | MonitorExit(_) | Print(_) | PageMonitorEnter(_)
+            | PageMonitorExit(_) | IterationStart | IterationEnd => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_target_accessors() {
+        let m = MethodId(3);
+        assert_eq!(CallTarget::Static(m).method(), m);
+        assert!(!CallTarget::Static(m).has_receiver());
+        assert!(CallTarget::Virtual(m).has_receiver());
+        assert!(CallTarget::Special(m).has_receiver());
+    }
+
+    #[test]
+    fn def_reports_destinations() {
+        let i = Instr::Move {
+            dst: Local(2),
+            src: Local(1),
+        };
+        assert_eq!(i.def(), Some(Local(2)));
+        let s = Instr::SetField {
+            obj: Local(0),
+            field: 1,
+            src: Local(2),
+        };
+        assert_eq!(s.def(), None);
+        let c = Instr::Call {
+            dst: None,
+            target: CallTarget::Static(MethodId(0)),
+            args: vec![],
+        };
+        assert_eq!(c.def(), None);
+    }
+}

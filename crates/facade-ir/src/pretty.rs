@@ -1,0 +1,231 @@
+//! A Jimple-flavoured pretty printer, used by the `compile_and_run` example
+//! to show `P` next to `P'`.
+
+use crate::class::MethodDef;
+use crate::instr::{CallTarget, Instr, Terminator};
+use crate::program::Program;
+use crate::types::MethodId;
+use std::fmt::Write;
+
+impl Program {
+    /// Renders the whole program.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (id, class) in self.classes() {
+            let kind = if class.is_interface() {
+                "interface"
+            } else {
+                "class"
+            };
+            write!(out, "{kind} {}", class.name).unwrap();
+            if let Some(s) = class.superclass {
+                write!(out, " extends {}", self.class(s).name).unwrap();
+            }
+            if !class.interfaces.is_empty() {
+                let names: Vec<&str> = class
+                    .interfaces
+                    .iter()
+                    .map(|&i| self.class(i).name.as_str())
+                    .collect();
+                write!(out, " implements {}", names.join(", ")).unwrap();
+            }
+            out.push_str(" {\n");
+            for f in &class.fields {
+                writeln!(out, "  {} {};", f.ty, f.name).unwrap();
+            }
+            for &m in &class.methods {
+                out.push_str(&self.render_method(m));
+            }
+            out.push_str("}\n");
+            let _ = id;
+        }
+        out
+    }
+
+    /// Renders one method.
+    pub fn render_method(&self, id: MethodId) -> String {
+        let m = self.method(id);
+        let mut out = String::new();
+        out.push_str("  ");
+        if m.is_static {
+            out.push_str("static ");
+        }
+        match &m.ret {
+            Some(t) => write!(out, "{t} ").unwrap(),
+            None => out.push_str("void "),
+        }
+        let params: Vec<String> = m.params.iter().map(|p| p.to_string()).collect();
+        write!(out, "{}({})", m.name, params.join(", ")).unwrap();
+        let Some(body) = &m.body else {
+            out.push_str(";\n");
+            return out;
+        };
+        out.push_str(" {\n");
+        for (bi, block) in body.blocks.iter().enumerate() {
+            writeln!(out, "   bb{bi}:").unwrap();
+            for i in &block.instrs {
+                writeln!(out, "     {}", self.render_instr(m, i)).unwrap();
+            }
+            match &block.term {
+                Some(Terminator::Return(None)) => out.push_str("     return\n"),
+                Some(Terminator::Return(Some(l))) => {
+                    writeln!(out, "     return v{}", l.0).unwrap()
+                }
+                Some(Terminator::Jump(bb)) => writeln!(out, "     goto bb{}", bb.0).unwrap(),
+                Some(Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                }) => writeln!(
+                    out,
+                    "     if v{} then bb{} else bb{}",
+                    cond.0, then_bb.0, else_bb.0
+                )
+                .unwrap(),
+                None => out.push_str("     <unterminated>\n"),
+            }
+        }
+        out.push_str("  }\n");
+        out
+    }
+
+    fn call_name(&self, t: CallTarget) -> String {
+        let m = self.method(t.method());
+        let kind = match t {
+            CallTarget::Static(_) => "static",
+            CallTarget::Virtual(_) => "virtual",
+            CallTarget::Special(_) => "special",
+        };
+        format!("{kind} {}::{}", self.class(m.class).name, m.name)
+    }
+
+    fn render_instr(&self, _m: &MethodDef, i: &Instr) -> String {
+        use Instr::*;
+        match i {
+            ConstI32(d, v) => format!("v{} = {v}", d.0),
+            ConstI64(d, v) => format!("v{} = {v}L", d.0),
+            ConstF64(d, v) => format!("v{} = {v}f64", d.0),
+            ConstNull(d) => format!("v{} = null", d.0),
+            Move { dst, src } => format!("v{} = v{}", dst.0, src.0),
+            Bin { dst, op, a, b } => format!("v{} = v{} {op:?} v{}", dst.0, a.0, b.0),
+            Cmp { dst, op, a, b } => format!("v{} = v{} {op:?} v{}", dst.0, a.0, b.0),
+            NumCast { dst, src } => format!("v{} = cast v{}", dst.0, src.0),
+            New { dst, class } => format!("v{} = new {}", dst.0, self.class(*class).name),
+            NewArray { dst, elem, len } => format!("v{} = new {elem}[v{}]", dst.0, len.0),
+            GetField { dst, obj, field } => format!("v{} = v{}.f{field}", dst.0, obj.0),
+            SetField { obj, field, src } => format!("v{}.f{field} = v{}", obj.0, src.0),
+            ArrayGet { dst, arr, idx } => format!("v{} = v{}[v{}]", dst.0, arr.0, idx.0),
+            ArraySet { arr, idx, src } => format!("v{}[v{}] = v{}", arr.0, idx.0, src.0),
+            ArrayLen { dst, arr } => format!("v{} = v{}.length", dst.0, arr.0),
+            Call { dst, target, args } => {
+                let args: Vec<String> = args.iter().map(|a| format!("v{}", a.0)).collect();
+                let call = format!("{}({})", self.call_name(*target), args.join(", "));
+                match dst {
+                    Some(d) => format!("v{} = {call}", d.0),
+                    None => call,
+                }
+            }
+            InstanceOf { dst, src, class } => format!(
+                "v{} = v{} instanceof {}",
+                dst.0,
+                src.0,
+                self.class(*class).name
+            ),
+            MonitorEnter(l) => format!("monitorenter v{}", l.0),
+            MonitorExit(l) => format!("monitorexit v{}", l.0),
+            Print(l) => format!("print v{}", l.0),
+            IterationStart => "FacadeRuntime.iterationStart()".to_string(),
+            IterationEnd => "FacadeRuntime.iterationEnd()".to_string(),
+            PageAlloc { dst, class } => format!(
+                "v{} = FacadeRuntime.allocate({}_TypeId, {}_RecordSize)",
+                dst.0,
+                self.class(*class).name,
+                self.class(*class).name
+            ),
+            PageNewArray { dst, elem, len } => {
+                format!("v{} = FacadeRuntime.allocateArray({elem}, v{})", dst.0, len.0)
+            }
+            PageGetField { dst, obj, field, .. } => format!(
+                "v{} = FacadeRuntime.getField(v{}, f{field}_OFFSET)",
+                dst.0, obj.0
+            ),
+            PageSetField { obj, field, src, .. } => format!(
+                "FacadeRuntime.setField(v{}, f{field}_OFFSET, v{})",
+                obj.0, src.0
+            ),
+            PageArrayGet { dst, arr, idx, .. } => format!(
+                "v{} = FacadeRuntime.readArray(v{}, v{})",
+                dst.0, arr.0, idx.0
+            ),
+            PageArraySet { arr, idx, src, .. } => format!(
+                "FacadeRuntime.writeArray(v{}, v{}, v{})",
+                arr.0, idx.0, src.0
+            ),
+            PageArrayLen { dst, arr } => {
+                format!("v{} = FacadeRuntime.arrayLength(v{})", dst.0, arr.0)
+            }
+            BindParam {
+                dst,
+                class,
+                index,
+                src,
+            } => format!(
+                "v{} = Pools.{}Facades[{index}]; v{}.pageRef = v{}",
+                dst.0,
+                self.class(*class).name,
+                dst.0,
+                src.0
+            ),
+            Resolve { dst, src, .. } => format!("v{} = resolve(v{})", dst.0, src.0),
+            ReleaseFacade { dst, facade } => format!("v{} = v{}.pageRef", dst.0, facade.0),
+            PageInstanceOf { dst, src, class } => format!(
+                "v{} = typeIdOf(v{}) <: {}",
+                dst.0,
+                src.0,
+                self.class(*class).name
+            ),
+            PageMonitorEnter(l) => format!("lockPool.enter(v{})", l.0),
+            PageMonitorExit(l) => format!("lockPool.exit(v{})", l.0),
+            ConvertToPage { dst, src, class } => {
+                let name = (*class).map_or("Array".to_string(), |c| self.class(c).name.clone());
+                format!("v{} = convertFrom{name}(v{})", dst.0, src.0)
+            }
+            ConvertToHeap { dst, src, class } => {
+                let name = (*class).map_or("Array".to_string(), |c| self.class(c).name.clone());
+                format!("v{} = convertTo{name}(v{})", dst.0, src.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::types::Ty;
+
+    #[test]
+    fn renders_classes_and_methods() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.class("A").field("x", Ty::I32).build();
+        let mut m = pb.method(a, "get").returns(Ty::I32);
+        let this = m.this_local();
+        let x = m.get_field(this, "x");
+        m.ret(Some(x));
+        m.finish();
+        let text = pb.finish().render();
+        assert!(text.contains("class A {"), "{text}");
+        assert!(text.contains("i32 x;"), "{text}");
+        assert!(text.contains("i32 get()"), "{text}");
+        assert!(text.contains("return v"), "{text}");
+    }
+
+    #[test]
+    fn renders_interfaces() {
+        let mut pb = ProgramBuilder::new();
+        let i = pb.interface("I").build();
+        pb.abstract_method(i, "run", vec![], None);
+        let text = pb.finish().render();
+        assert!(text.contains("interface I {"), "{text}");
+        assert!(text.contains("void run();"), "{text}");
+    }
+}

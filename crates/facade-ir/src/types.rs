@@ -1,0 +1,105 @@
+//! Core identifiers and the type lattice.
+
+use std::fmt;
+
+/// Identifies a class or interface within a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+/// Identifies a method within a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodId(pub u32);
+
+/// Identifies a basic block within a method body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Identifies a local variable (register) within a method body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Local(pub u32);
+
+/// The static type of a local, field, or parameter.
+///
+/// The first five variants exist in source programs (`P`); the last two are
+/// introduced by the FACADE transformation into generated programs (`P'`):
+/// `PageRef` is the type of page references, and `Facade(c)` is the facade
+/// class generated for data class `c`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 32-bit integer (also booleans: 0/1).
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 64-bit float.
+    F64,
+    /// Reference to an instance of a class or interface.
+    Ref(ClassId),
+    /// Array; the element is any type (including `Ref` and nested arrays,
+    /// though the runtime stores nested arrays as reference elements).
+    Array(Box<Ty>),
+    /// A page reference into native memory (only in `P'`).
+    PageRef,
+    /// A facade for data class `c` (only in `P'`).
+    Facade(ClassId),
+}
+
+impl Ty {
+    /// Shorthand for an array of `elem`.
+    pub fn array(elem: Ty) -> Ty {
+        Ty::Array(Box::new(elem))
+    }
+
+    /// Returns the referenced class for `Ref` types.
+    pub fn as_class(&self) -> Option<ClassId> {
+        match self {
+            Ty::Ref(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for types that occupy a reference slot in `P`
+    /// (class references and arrays).
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Ty::Ref(_) | Ty::Array(_))
+    }
+
+    /// Returns `true` for numeric primitive types.
+    pub fn is_primitive(&self) -> bool {
+        matches!(self, Ty::I32 | Ty::I64 | Ty::F64)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::I32 => write!(f, "i32"),
+            Ty::I64 => write!(f, "i64"),
+            Ty::F64 => write!(f, "f64"),
+            Ty::Ref(c) => write!(f, "ref#{}", c.0),
+            Ty::Array(e) => write!(f, "{e}[]"),
+            Ty::PageRef => write!(f, "pageref"),
+            Ty::Facade(c) => write!(f, "facade#{}", c.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ty_helpers() {
+        assert!(Ty::Ref(ClassId(0)).is_reference());
+        assert!(Ty::array(Ty::I32).is_reference());
+        assert!(Ty::I64.is_primitive());
+        assert!(!Ty::PageRef.is_reference());
+        assert_eq!(Ty::Ref(ClassId(3)).as_class(), Some(ClassId(3)));
+        assert_eq!(Ty::I32.as_class(), None);
+    }
+
+    #[test]
+    fn ty_display() {
+        assert_eq!(Ty::array(Ty::I32).to_string(), "i32[]");
+        assert_eq!(Ty::Facade(ClassId(1)).to_string(), "facade#1");
+    }
+}

@@ -1,0 +1,577 @@
+//! A type checker for method bodies, run before and after transformation.
+
+use crate::class::Body;
+use crate::instr::{CallTarget, Instr, Terminator};
+use crate::program::Program;
+use crate::types::{ClassId, Local, MethodId, Ty};
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure: the offending method, block, instruction index,
+/// and a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Method the error was found in.
+    pub method: String,
+    /// Block index.
+    pub block: usize,
+    /// Instruction index within the block (`usize::MAX` for terminators).
+    pub instr: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "verification failed in {} (block {}, instr {}): {}",
+            self.method, self.block, self.instr, self.message
+        )
+    }
+}
+
+impl Error for VerifyError {}
+
+struct Checker<'p> {
+    program: &'p Program,
+    method_name: String,
+    body: &'p Body,
+    block: usize,
+    instr: usize,
+}
+
+impl Checker<'_> {
+    fn err(&self, message: impl Into<String>) -> VerifyError {
+        VerifyError {
+            method: self.method_name.clone(),
+            block: self.block,
+            instr: self.instr,
+            message: message.into(),
+        }
+    }
+
+    fn ty(&self, l: Local) -> Result<&Ty, VerifyError> {
+        self.body
+            .locals
+            .get(l.0 as usize)
+            .ok_or_else(|| self.err(format!("local {l:?} out of range")))
+    }
+
+    /// `src` is assignable to `dst`: identical, or reference widening.
+    fn assignable(&self, dst: &Ty, src: &Ty) -> bool {
+        if dst == src {
+            return true;
+        }
+        match (dst, src) {
+            (Ty::Ref(d), Ty::Ref(s)) => self.program.is_subtype(*s, *d),
+            // Facade widening mirrors reference widening in P'.
+            (Ty::Facade(d), Ty::Facade(s)) => self.program.is_subtype(*s, *d),
+            _ => false,
+        }
+    }
+
+    fn expect_assignable(&self, dst: &Ty, src: &Ty, what: &str) -> Result<(), VerifyError> {
+        if self.assignable(dst, src) {
+            Ok(())
+        } else {
+            Err(self.err(format!("{what}: `{src}` is not assignable to `{dst}`")))
+        }
+    }
+
+    fn check_instr(&self, i: &Instr) -> Result<(), VerifyError> {
+        use Instr::*;
+        match i {
+            ConstI32(d, _) => self.expect_assignable(self.ty(*d)?, &Ty::I32, "const"),
+            ConstI64(d, _) => self.expect_assignable(self.ty(*d)?, &Ty::I64, "const"),
+            ConstF64(d, _) => self.expect_assignable(self.ty(*d)?, &Ty::F64, "const"),
+            ConstNull(d) => {
+                let t = self.ty(*d)?;
+                if t.is_reference() || matches!(t, Ty::PageRef) {
+                    Ok(())
+                } else {
+                    Err(self.err(format!("null constant into non-reference `{t}`")))
+                }
+            }
+            Move { dst, src } => {
+                let (d, s) = (self.ty(*dst)?.clone(), self.ty(*src)?);
+                self.expect_assignable(&d, s, "move")
+            }
+            Bin { dst, a, b, .. } => {
+                let (d, ta, tb) = (self.ty(*dst)?, self.ty(*a)?, self.ty(*b)?);
+                if !ta.is_primitive() || ta != tb || d != ta {
+                    return Err(self.err(format!(
+                        "binary op requires matching primitives, got `{ta}`, `{tb}` -> `{d}`"
+                    )));
+                }
+                Ok(())
+            }
+            Cmp { dst, a, b, .. } => {
+                let (d, ta, tb) = (self.ty(*dst)?, self.ty(*a)?, self.ty(*b)?);
+                let comparable = (ta.is_primitive() && ta == tb)
+                    || (ta.is_reference() && tb.is_reference())
+                    || (matches!(ta, Ty::PageRef) && matches!(tb, Ty::PageRef));
+                if !comparable {
+                    return Err(self.err(format!("cannot compare `{ta}` with `{tb}`")));
+                }
+                if *d != Ty::I32 {
+                    return Err(self.err("comparison result must be i32"));
+                }
+                Ok(())
+            }
+            NumCast { dst, src } => {
+                let (d, s) = (self.ty(*dst)?, self.ty(*src)?);
+                if d.is_primitive() && s.is_primitive() {
+                    Ok(())
+                } else {
+                    Err(self.err(format!("numeric cast between `{s}` and `{d}`")))
+                }
+            }
+            New { dst, class } => {
+                if self.program.class(*class).is_interface() {
+                    return Err(self.err("cannot instantiate an interface"));
+                }
+                self.expect_assignable(self.ty(*dst)?, &Ty::Ref(*class), "new")
+            }
+            NewArray { dst, elem, len } => {
+                if *self.ty(*len)? != Ty::I32 {
+                    return Err(self.err("array length must be i32"));
+                }
+                self.expect_assignable(self.ty(*dst)?, &Ty::array(elem.clone()), "newarray")
+            }
+            GetField { dst, obj, field } => {
+                let class = self.field_class(*obj)?;
+                let fty = self
+                    .program
+                    .field_ty(class, *field)
+                    .ok_or_else(|| self.err(format!("field slot {field} out of range")))?;
+                self.expect_assignable(self.ty(*dst)?, &fty, "getfield")
+            }
+            SetField { obj, field, src } => {
+                let class = self.field_class(*obj)?;
+                let fty = self
+                    .program
+                    .field_ty(class, *field)
+                    .ok_or_else(|| self.err(format!("field slot {field} out of range")))?;
+                self.expect_assignable(&fty, self.ty(*src)?, "setfield")
+            }
+            ArrayGet { dst, arr, idx } => {
+                let elem = self.elem_ty(*arr)?;
+                if *self.ty(*idx)? != Ty::I32 {
+                    return Err(self.err("array index must be i32"));
+                }
+                self.expect_assignable(self.ty(*dst)?, &elem, "arrayget")
+            }
+            ArraySet { arr, idx, src } => {
+                let elem = self.elem_ty(*arr)?;
+                if *self.ty(*idx)? != Ty::I32 {
+                    return Err(self.err("array index must be i32"));
+                }
+                self.expect_assignable(&elem, self.ty(*src)?, "arrayset")
+            }
+            ArrayLen { dst, arr } => {
+                self.elem_ty(*arr)?;
+                if *self.ty(*dst)? != Ty::I32 {
+                    return Err(self.err("array length result must be i32"));
+                }
+                Ok(())
+            }
+            Call { dst, target, args } => self.check_call(*dst, *target, args),
+            InstanceOf { dst, src, .. } => {
+                let s = self.ty(*src)?;
+                if !s.is_reference() {
+                    return Err(self.err(format!("instanceof on non-reference `{s}`")));
+                }
+                if *self.ty(*dst)? != Ty::I32 {
+                    return Err(self.err("instanceof result must be i32"));
+                }
+                Ok(())
+            }
+            MonitorEnter(l) | MonitorExit(l) => {
+                let t = self.ty(*l)?;
+                if t.is_reference() {
+                    Ok(())
+                } else {
+                    Err(self.err(format!("monitor on non-reference `{t}`")))
+                }
+            }
+            Print(l) => self.ty(*l).map(|_| ()),
+            IterationStart | IterationEnd => Ok(()),
+
+            // Paged forms: structural checks only — they are generated, not
+            // hand-written.
+            PageAlloc { dst, .. } | PageNewArray { dst, .. } => {
+                if *self.ty(*dst)? != Ty::PageRef {
+                    return Err(self.err("paged allocation must produce a pageref"));
+                }
+                Ok(())
+            }
+            PageGetField { dst, obj, .. } | PageArrayGet { dst, arr: obj, .. } => {
+                if *self.ty(*obj)? != Ty::PageRef {
+                    return Err(self.err("paged access requires a pageref"));
+                }
+                self.ty(*dst).map(|_| ())
+            }
+            PageSetField { obj, src, .. } | PageArraySet { arr: obj, src, .. } => {
+                if *self.ty(*obj)? != Ty::PageRef {
+                    return Err(self.err("paged access requires a pageref"));
+                }
+                self.ty(*src).map(|_| ())
+            }
+            PageArrayLen { dst, arr } => {
+                if *self.ty(*arr)? != Ty::PageRef {
+                    return Err(self.err("paged access requires a pageref"));
+                }
+                if *self.ty(*dst)? != Ty::I32 {
+                    return Err(self.err("array length result must be i32"));
+                }
+                Ok(())
+            }
+            BindParam { dst, src, .. } | Resolve { dst, src, .. } => {
+                if *self.ty(*src)? != Ty::PageRef {
+                    return Err(self.err("facade binding requires a pageref"));
+                }
+                match self.ty(*dst)? {
+                    Ty::Facade(_) => Ok(()),
+                    other => Err(self.err(format!("facade binding into `{other}`"))),
+                }
+            }
+            ReleaseFacade { dst, facade } => {
+                if !matches!(self.ty(*facade)?, Ty::Facade(_)) {
+                    return Err(self.err("release requires a facade"));
+                }
+                if *self.ty(*dst)? != Ty::PageRef {
+                    return Err(self.err("release must produce a pageref"));
+                }
+                Ok(())
+            }
+            PageInstanceOf { dst, src, .. } => {
+                if *self.ty(*src)? != Ty::PageRef {
+                    return Err(self.err("paged instanceof requires a pageref"));
+                }
+                if *self.ty(*dst)? != Ty::I32 {
+                    return Err(self.err("instanceof result must be i32"));
+                }
+                Ok(())
+            }
+            PageMonitorEnter(l) | PageMonitorExit(l) => {
+                if *self.ty(*l)? != Ty::PageRef {
+                    return Err(self.err("paged monitor requires a pageref"));
+                }
+                Ok(())
+            }
+            ConvertToPage { dst, src, .. } => {
+                if !self.ty(*src)?.is_reference() {
+                    return Err(self.err("convertToPage requires a heap reference"));
+                }
+                if *self.ty(*dst)? != Ty::PageRef {
+                    return Err(self.err("convertToPage must produce a pageref"));
+                }
+                Ok(())
+            }
+            ConvertToHeap { dst, src, .. } => {
+                if *self.ty(*src)? != Ty::PageRef {
+                    return Err(self.err("convertToHeap requires a pageref"));
+                }
+                if !self.ty(*dst)?.is_reference() {
+                    return Err(self.err("convertToHeap must produce a heap reference"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn field_class(&self, obj: Local) -> Result<ClassId, VerifyError> {
+        self.ty(obj)?
+            .as_class()
+            .ok_or_else(|| self.err("field access on a non-class local"))
+    }
+
+    fn elem_ty(&self, arr: Local) -> Result<Ty, VerifyError> {
+        match self.ty(arr)? {
+            Ty::Array(e) => Ok((**e).clone()),
+            other => Err(self.err(format!("array access on non-array `{other}`"))),
+        }
+    }
+
+    fn check_call(
+        &self,
+        dst: Option<Local>,
+        target: CallTarget,
+        args: &[Local],
+    ) -> Result<(), VerifyError> {
+        let callee = self.program.method(target.method());
+        let expected = callee.params.len() + usize::from(target.has_receiver());
+        if args.len() != expected {
+            return Err(self.err(format!(
+                "call to {} expects {expected} args, got {}",
+                callee.name,
+                args.len()
+            )));
+        }
+        let mut idx = 0;
+        if target.has_receiver() {
+            let recv = self.ty(args[0])?;
+            let ok = match recv {
+                Ty::Ref(c) => {
+                    self.program.is_subtype(*c, callee.class)
+                        || self.program.is_subtype(callee.class, *c)
+                }
+                Ty::Facade(c) => {
+                    self.program.is_subtype(*c, callee.class)
+                        || self.program.is_subtype(callee.class, *c)
+                }
+                _ => false,
+            };
+            if !ok {
+                return Err(self.err(format!(
+                    "receiver type `{recv}` incompatible with {}",
+                    self.program.class(callee.class).name
+                )));
+            }
+            idx = 1;
+        }
+        for (p, &a) in callee.params.iter().zip(&args[idx..]) {
+            let at = self.ty(a)?;
+            // In P', facade arguments flow into facade parameters; the
+            // transformation keeps declared types in sync.
+            self.expect_assignable(p, at, "argument")?;
+        }
+        if let Some(d) = dst {
+            let rty = callee
+                .ret
+                .as_ref()
+                .ok_or_else(|| self.err("void call assigned to a local"))?;
+            self.expect_assignable(self.ty(d)?, rty, "call result")?;
+        }
+        Ok(())
+    }
+}
+
+impl Program {
+    /// Verifies every method body: block structure and instruction typing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VerifyError`] found.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        for (id, _) in self.methods() {
+            self.verify_method(id)?;
+        }
+        Ok(())
+    }
+
+    /// Verifies a single method body (no-op for abstract methods).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VerifyError`] found.
+    pub fn verify_method(&self, id: MethodId) -> Result<(), VerifyError> {
+        let m = self.method(id);
+        let Some(body) = &m.body else {
+            return Ok(());
+        };
+        let method_name = format!("{}::{}", self.class(m.class).name, m.name);
+        // Parameter slots must match the declared signature.
+        let slots = m.param_slot_count();
+        if body.locals.len() < slots {
+            return Err(VerifyError {
+                method: method_name,
+                block: 0,
+                instr: 0,
+                message: "fewer locals than parameter slots".into(),
+            });
+        }
+        let mut checker = Checker {
+            program: self,
+            method_name,
+            body,
+            block: 0,
+            instr: 0,
+        };
+        for (bi, block) in body.blocks.iter().enumerate() {
+            checker.block = bi;
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                checker.instr = ii;
+                checker.check_instr(instr)?;
+            }
+            checker.instr = usize::MAX;
+            match &block.term {
+                None => {
+                    return Err(checker.err("missing terminator"));
+                }
+                Some(Terminator::Return(v)) => match (v, &m.ret) {
+                    (None, None) => {}
+                    (Some(l), Some(rty)) => {
+                        let lt = checker.ty(*l)?;
+                        checker.expect_assignable(rty, lt, "return")?;
+                    }
+                    (None, Some(_)) => return Err(checker.err("missing return value")),
+                    (Some(_), None) => return Err(checker.err("return value in void method")),
+                },
+                Some(Terminator::Jump(bb)) => {
+                    if bb.0 as usize >= body.blocks.len() {
+                        return Err(checker.err("jump target out of range"));
+                    }
+                }
+                Some(Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                }) => {
+                    if *checker.ty(*cond)? != Ty::I32 {
+                        return Err(checker.err("branch condition must be i32"));
+                    }
+                    if then_bb.0 as usize >= body.blocks.len()
+                        || else_bb.0 as usize >= body.blocks.len()
+                    {
+                        return Err(checker.err("branch target out of range"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::{BinOp, CmpOp};
+
+    #[test]
+    fn wellformed_program_verifies() {
+        let mut pb = ProgramBuilder::new();
+        let node = pb.class("Node").field("v", Ty::I32).build();
+        let mut m = pb
+            .method(node, "sum")
+            .param(Ty::Ref(node))
+            .returns(Ty::I32)
+            .static_();
+        let n = m.param_local(0);
+        let v = m.get_field(n, "v");
+        let two = m.const_i32(2);
+        let s = m.bin(BinOp::Add, v, two);
+        m.ret(Some(s));
+        m.finish();
+        assert!(pb.finish().verify().is_ok());
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.class("Main").build();
+        let mut m = pb.method(main, "bad").static_();
+        let a = m.const_i32(1);
+        let b = m.const_i64(2);
+        // Manually emit an ill-typed add (the convenience builder would type
+        // the destination from `a`).
+        let d = m.local(Ty::I32);
+        m.emit(Instr::Bin {
+            dst: d,
+            op: BinOp::Add,
+            a,
+            b,
+        });
+        m.ret(None);
+        m.finish();
+        let err = pb.finish().verify().unwrap_err();
+        assert!(err.message.contains("binary op"), "{err}");
+    }
+
+    #[test]
+    fn branch_condition_must_be_i32() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.class("Main").build();
+        let mut m = pb.method(main, "bad").static_();
+        let c = m.const_i64(1);
+        let t = m.block();
+        let e = m.block();
+        m.branch(c, t, e);
+        m.switch_to(t);
+        m.ret(None);
+        m.switch_to(e);
+        m.ret(None);
+        m.finish();
+        let err = pb.finish().verify().unwrap_err();
+        assert!(err.message.contains("branch condition"), "{err}");
+    }
+
+    #[test]
+    fn call_arity_is_checked() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.class("Main").build();
+        let mut callee = pb.method(main, "take2").param(Ty::I32).param(Ty::I32).static_();
+        callee.ret(None);
+        let callee = callee.finish();
+        let mut m = pb.method(main, "bad").static_();
+        let a = m.const_i32(1);
+        m.emit(Instr::Call {
+            dst: None,
+            target: CallTarget::Static(callee),
+            args: vec![a],
+        });
+        m.ret(None);
+        m.finish();
+        let err = pb.finish().verify().unwrap_err();
+        assert!(err.message.contains("expects 2 args"), "{err}");
+    }
+
+    #[test]
+    fn reference_widening_is_allowed() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.class("A").build();
+        let b = pb.class("B").extends(a).build();
+        let mut m = pb.method(a, "widen").param(Ty::Ref(b)).static_();
+        let src = m.param_local(0);
+        let dst = m.local(Ty::Ref(a));
+        m.move_(dst, src);
+        m.ret(None);
+        m.finish();
+        assert!(pb.finish().verify().is_ok());
+    }
+
+    #[test]
+    fn narrowing_is_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.class("A").build();
+        let b = pb.class("B").extends(a).build();
+        let mut m = pb.method(a, "narrow").param(Ty::Ref(a)).static_();
+        let src = m.param_local(0);
+        let dst = m.local(Ty::Ref(b));
+        m.move_(dst, src);
+        m.ret(None);
+        m.finish();
+        assert!(pb.finish().verify().is_err());
+    }
+
+    #[test]
+    fn return_type_is_checked() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.class("Main").build();
+        let mut m = pb.method(main, "bad").returns(Ty::I32).static_();
+        m.ret(None);
+        m.finish();
+        let err = pb.finish().verify().unwrap_err();
+        assert!(err.message.contains("missing return value"), "{err}");
+    }
+
+    #[test]
+    fn cmp_result_must_be_i32_and_refs_comparable() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.class("A").build();
+        let mut m = pb
+            .method(a, "eq")
+            .param(Ty::Ref(a))
+            .param(Ty::Ref(a))
+            .returns(Ty::I32)
+            .static_();
+        let x = m.param_local(0);
+        let y = m.param_local(1);
+        let r = m.cmp(CmpOp::Eq, x, y);
+        m.ret(Some(r));
+        m.finish();
+        assert!(pb.finish().verify().is_ok());
+    }
+}

@@ -1,0 +1,911 @@
+//! The paged heap: page managers, iteration-based reclamation, allocation,
+//! and record access.
+
+use crate::layout::{
+    ARRAY_HEADER_BYTES, ElemKind, FieldKind, RECORD_HEADER_BYTES, RecordLayout, TypeId,
+};
+use crate::page::{PAGE_BYTES, PAGE_CAPACITY, Page, PageRef};
+use crate::stats::NativeStats;
+use metrics::OutOfMemory;
+
+/// Reserved type IDs for the four array kinds; user types start afterwards.
+pub(crate) const ARRAY_TYPE_U8: u16 = 0;
+pub(crate) const ARRAY_TYPE_I32: u16 = 1;
+pub(crate) const ARRAY_TYPE_I64: u16 = 2;
+pub(crate) const ARRAY_TYPE_REF: u16 = 3;
+/// First type ID handed out by [`PagedHeap::register_type`].
+pub const FIRST_USER_TYPE: u16 = 4;
+
+/// Identifies a page manager in the manager tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ManagerId(pub(crate) u32);
+
+/// Identifies a running iteration; returned by
+/// [`PagedHeap::iteration_start`] and consumed by
+/// [`PagedHeap::iteration_end`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IterationId(pub(crate) u32);
+
+/// Records at least this large are placed on a fresh, empty page (§3.6
+/// policy 2). Records can never span pages here (allocation is bump-within-
+/// page), so the fresh-page rule is only worth its page-fill waste for
+/// records that dominate a page anyway.
+const LARGE_RECORD_BYTES: usize = PAGE_CAPACITY / 2;
+
+/// Number of size classes for small records.
+const SIZE_CLASS_LIMITS: [usize; 5] = [64, 256, 1024, 8192, PAGE_CAPACITY];
+
+fn size_class(size: usize) -> usize {
+    SIZE_CLASS_LIMITS
+        .iter()
+        .position(|&limit| size <= limit)
+        .expect("oversize records do not use size classes")
+}
+
+/// Sizing for a [`PagedHeap`].
+#[derive(Debug, Clone, Default)]
+pub struct PagedHeapConfig {
+    /// Optional cap on total native bytes (pages + oversize buffers). When
+    /// set, exceeding it is an out-of-memory error, which is how the
+    /// harness enforces the paper's "fair comparison" rule (§4.2: a `P'`
+    /// execution consuming more than the budget counts as a failure).
+    pub budget_bytes: Option<u64>,
+}
+
+/// One page manager: the allocation context of a ⟨iteration, thread⟩ pair
+/// (§3.6). Ending the iteration releases the manager's pages and those of
+/// its whole subtree.
+#[derive(Debug)]
+struct PageManager {
+    parent: Option<u32>,
+    children: Vec<u32>,
+    alive: bool,
+    /// Page slots per size class; the last page of a class is the current
+    /// bump target.
+    class_pages: [Vec<u32>; SIZE_CLASS_LIMITS.len()],
+    /// Oversize-table indices owned by this manager.
+    oversize: Vec<u32>,
+}
+
+impl PageManager {
+    fn new(parent: Option<u32>) -> Self {
+        Self {
+            parent,
+            children: Vec::new(),
+            alive: true,
+            class_pages: Default::default(),
+            oversize: Vec::new(),
+        }
+    }
+}
+
+/// The paged native heap for one thread of execution.
+///
+/// Multi-threaded programs give each thread its own `PagedHeap` (the paper's
+/// per-thread page managers, §3.6) and share only the [`crate::LockPool`].
+/// See the [crate documentation](crate) for an example.
+#[derive(Debug)]
+pub struct PagedHeap {
+    types: Vec<RecordLayout>,
+    pages: Vec<Page>,
+    free_pages: Vec<u32>,
+    oversize: Vec<Option<Vec<u8>>>,
+    free_oversize: Vec<u32>,
+    managers: Vec<PageManager>,
+    free_managers: Vec<u32>,
+    /// Stack of active iterations; the top is the current allocation target.
+    iteration_stack: Vec<u32>,
+    config: PagedHeapConfig,
+    stats: NativeStats,
+    type_alloc_counts: Vec<u64>,
+    /// Cached `bytes_held` (pages + live oversize buffers).
+    held_bytes: u64,
+}
+
+impl PagedHeap {
+    /// Creates a heap with no memory budget.
+    pub fn new() -> Self {
+        Self::with_config(PagedHeapConfig::default())
+    }
+
+    /// Creates a heap with the given configuration.
+    pub fn with_config(config: PagedHeapConfig) -> Self {
+        let mut types = Vec::new();
+        let mut type_alloc_counts = Vec::new();
+        for name in ["byte[]", "int[]", "long[]", "ref[]"] {
+            types.push(RecordLayout::new(name, &[]));
+            type_alloc_counts.push(0);
+        }
+        Self {
+            types,
+            pages: Vec::new(),
+            free_pages: Vec::new(),
+            oversize: Vec::new(),
+            free_oversize: Vec::new(),
+            // Manager 0 is the default ⟨⊥, t⟩ manager that lives until the
+            // thread (heap) terminates.
+            managers: vec![PageManager::new(None)],
+            free_managers: Vec::new(),
+            iteration_stack: vec![0],
+            config,
+            stats: NativeStats::default(),
+            type_alloc_counts,
+            held_bytes: 0,
+        }
+    }
+
+    /// Registers a data type and returns its record type ID.
+    pub fn register_type(&mut self, name: &str, fields: &[FieldKind]) -> TypeId {
+        let id = TypeId(self.types.len() as u16);
+        self.types.push(RecordLayout::new(name, fields));
+        self.type_alloc_counts.push(0);
+        id
+    }
+
+    /// The layout registered for `ty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` was not registered with this heap.
+    pub fn layout(&self, ty: TypeId) -> &RecordLayout {
+        &self.types[ty.0 as usize]
+    }
+
+    /// Number of records ever allocated for `ty`.
+    pub fn alloc_count(&self, ty: TypeId) -> u64 {
+        self.type_alloc_counts[ty.0 as usize]
+    }
+
+    /// Allocation statistics.
+    pub fn stats(&self) -> &NativeStats {
+        &self.stats
+    }
+
+    /// Native bytes currently held (all pages ever created that have not
+    /// been returned to the OS, plus live oversize buffers). Recycled pages
+    /// are retained memory and therefore count.
+    pub fn bytes_held(&self) -> u64 {
+        self.held_bytes
+    }
+
+    /// Number of page objects currently alive (live + recycled); the `p` of
+    /// the paper's `O(t*n + p)` object bound.
+    pub fn page_objects(&self) -> usize {
+        self.pages.len()
+    }
+
+    // ----- iterations ------------------------------------------------------
+
+    /// Starts a (possibly nested) iteration: creates a page manager as a
+    /// child of the current one and makes it the allocation target.
+    pub fn iteration_start(&mut self) -> IterationId {
+        let parent = *self.iteration_stack.last().expect("default manager");
+        let id = if let Some(slot) = self.free_managers.pop() {
+            self.managers[slot as usize] = PageManager::new(Some(parent));
+            slot
+        } else {
+            self.managers.push(PageManager::new(Some(parent)));
+            (self.managers.len() - 1) as u32
+        };
+        self.managers[parent as usize].children.push(id);
+        self.iteration_stack.push(id);
+        self.stats.iterations_started += 1;
+        IterationId(id)
+    }
+
+    /// Ends an iteration, recycling every page of its manager subtree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iter` is not the innermost running iteration (iterations
+    /// must nest).
+    pub fn iteration_end(&mut self, iter: IterationId) {
+        let top = self.iteration_stack.pop().expect("default manager");
+        assert_eq!(
+            top, iter.0,
+            "iteration_end out of order: ending {:?} but innermost is {top}",
+            iter
+        );
+        assert!(
+            !self.iteration_stack.is_empty(),
+            "cannot end the default manager"
+        );
+        self.release_subtree(iter.0);
+        self.stats.iterations_ended += 1;
+    }
+
+    fn release_subtree(&mut self, root: u32) {
+        // Detach the subtree root from its parent; every other manager in
+        // the subtree has its parent inside the subtree.
+        if let Some(parent) = self.managers[root as usize].parent {
+            self.managers[parent as usize].children.retain(|&c| c != root);
+        }
+        let mut stack = vec![root];
+        while let Some(m) = stack.pop() {
+            let (children, class_pages, oversize) = {
+                let mgr = &mut self.managers[m as usize];
+                mgr.alive = false;
+                (
+                    std::mem::take(&mut mgr.children),
+                    std::mem::take(&mut mgr.class_pages),
+                    std::mem::take(&mut mgr.oversize),
+                )
+            };
+            stack.extend_from_slice(&children);
+            for pages in class_pages {
+                for slot in pages {
+                    self.pages[slot as usize].recycle();
+                    self.free_pages.push(slot);
+                    self.stats.pages_recycled += 1;
+                }
+            }
+            for idx in oversize {
+                if let Some(buf) = self.oversize[idx as usize].take() {
+                    self.stats.oversize_freed += 1;
+                    self.held_bytes -= buf.len() as u64;
+                    drop(buf);
+                    self.free_oversize.push(idx);
+                }
+            }
+            self.free_managers.push(m);
+        }
+    }
+
+    /// Depth of iteration nesting (0 = only the default manager is active).
+    pub fn iteration_depth(&self) -> usize {
+        self.iteration_stack.len() - 1
+    }
+
+    // ----- allocation ------------------------------------------------------
+
+    fn grab_page(&mut self) -> Result<u32, OutOfMemory> {
+        if let Some(slot) = self.free_pages.pop() {
+            return Ok(slot);
+        }
+        let next = self.held_bytes + PAGE_BYTES as u64;
+        if let Some(budget) = self.config.budget_bytes {
+            if next > budget {
+                return Err(OutOfMemory {
+                    attempted: next,
+                    budget,
+                });
+            }
+        }
+        self.pages.push(Page::new());
+        self.stats.pages_created += 1;
+        self.held_bytes = next;
+        if next > self.stats.peak_bytes {
+            self.stats.peak_bytes = next;
+        }
+        Ok((self.pages.len() - 1) as u32)
+    }
+
+    /// Allocates `size` bytes in the current manager and returns the page
+    /// slot and offset.
+    fn allocate_raw(&mut self, size: usize) -> Result<PageRef, OutOfMemory> {
+        debug_assert!(size <= PAGE_CAPACITY);
+        let mgr_id = *self.iteration_stack.last().expect("default manager") as usize;
+        let class = size_class(size);
+        if size >= LARGE_RECORD_BYTES {
+            // Policy 2: large records start on an empty page.
+            let slot = self.grab_page()?;
+            let offset = self.pages[slot as usize]
+                .bump(size)
+                .expect("fresh page fits a large record");
+            self.managers[mgr_id].class_pages[class].push(slot);
+            return Ok(PageRef::paged(slot, offset));
+        }
+        // Policy 1: continuous allocations go to the current page of the
+        // class; fall back to a short first-fit scan, then a new page.
+        let mut candidates = [u32::MAX; 4];
+        for (i, &slot) in self.managers[mgr_id].class_pages[class]
+            .iter()
+            .rev()
+            .take(4)
+            .enumerate()
+        {
+            candidates[i] = slot;
+        }
+        for &slot in candidates.iter().take_while(|&&s| s != u32::MAX) {
+            if let Some(offset) = self.pages[slot as usize].bump(size) {
+                return Ok(PageRef::paged(slot, offset));
+            }
+        }
+        let slot = self.grab_page()?;
+        let offset = self.pages[slot as usize]
+            .bump(size)
+            .expect("fresh page fits a small record");
+        self.managers[mgr_id].class_pages[class].push(slot);
+        Ok(PageRef::paged(slot, offset))
+    }
+
+    fn allocate_oversize(&mut self, size: usize) -> Result<PageRef, OutOfMemory> {
+        let next = self.held_bytes + size as u64;
+        if let Some(budget) = self.config.budget_bytes {
+            if next > budget {
+                return Err(OutOfMemory {
+                    attempted: next,
+                    budget,
+                });
+            }
+        }
+        let buf = vec![0u8; size];
+        let idx = if let Some(idx) = self.free_oversize.pop() {
+            self.oversize[idx as usize] = Some(buf);
+            idx
+        } else {
+            self.oversize.push(Some(buf));
+            (self.oversize.len() - 1) as u32
+        };
+        let mgr_id = *self.iteration_stack.last().expect("default manager") as usize;
+        self.managers[mgr_id].oversize.push(idx);
+        self.stats.oversize_created += 1;
+        self.held_bytes = next;
+        if next > self.stats.peak_bytes {
+            self.stats.peak_bytes = next;
+        }
+        Ok(PageRef::oversize(idx))
+    }
+
+    /// Allocates a record of type `ty`, zero-initialized, in the current
+    /// iteration's pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] if the configured budget would be exceeded.
+    pub fn alloc(&mut self, ty: TypeId) -> Result<PageRef, OutOfMemory> {
+        let size = {
+            let raw = self.types[ty.0 as usize].record_bytes();
+            ((raw + 7) & !7) as usize
+        };
+        self.type_alloc_counts[ty.0 as usize] += 1;
+        self.stats.records_allocated += 1;
+        let r = if size > PAGE_CAPACITY {
+            self.allocate_oversize(size)?
+        } else {
+            self.allocate_raw(size)?
+        };
+        self.write_u16_at(r, 0, ty.0);
+        Ok(r)
+    }
+
+    /// Allocates an array record of `len` elements of `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] if the configured budget would be exceeded.
+    pub fn alloc_array(&mut self, kind: ElemKind, len: usize) -> Result<PageRef, OutOfMemory> {
+        let raw = ARRAY_HEADER_BYTES as usize + len * kind.size() as usize;
+        let size = (raw + 7) & !7;
+        let type_id = match kind {
+            ElemKind::U8 => ARRAY_TYPE_U8,
+            ElemKind::I32 => ARRAY_TYPE_I32,
+            ElemKind::I64 => ARRAY_TYPE_I64,
+            ElemKind::Ref => ARRAY_TYPE_REF,
+        };
+        self.type_alloc_counts[type_id as usize] += 1;
+        self.stats.records_allocated += 1;
+        let r = if size > PAGE_CAPACITY {
+            self.allocate_oversize(size)?
+        } else {
+            self.allocate_raw(size)?
+        };
+        self.write_u16_at(r, 0, type_id);
+        self.write_u32_at(r, 4, len as u32);
+        Ok(r)
+    }
+
+    /// Frees an oversize buffer early (§3.6: oversize pages "can be
+    /// deallocated earlier when they are no longer needed, e.g., upon the
+    /// resizing of a data structure").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not an oversize reference or was already freed.
+    pub fn free_oversize(&mut self, r: PageRef) {
+        assert!(r.is_oversize(), "free_oversize on a paged record");
+        let idx = r.oversize_index();
+        let buf = self.oversize[idx as usize]
+            .take()
+            .expect("oversize double free");
+        self.held_bytes -= buf.len() as u64;
+        drop(buf);
+        self.free_oversize.push(idx);
+        for mgr in &mut self.managers {
+            if let Some(pos) = mgr.oversize.iter().position(|&o| o == idx) {
+                mgr.oversize.swap_remove(pos);
+                break;
+            }
+        }
+        self.stats.oversize_freed += 1;
+    }
+
+    // ----- raw access (header-relative) ------------------------------------
+
+    #[inline]
+    fn record_bytes(&self, r: PageRef) -> &[u8] {
+        debug_assert!(!r.is_null(), "null page reference");
+        if r.is_oversize() {
+            self.oversize[r.oversize_index() as usize]
+                .as_ref()
+                .expect("use after oversize free")
+        } else {
+            let page = &self.pages[r.slot() as usize];
+            &page.bytes[r.offset() as usize..]
+        }
+    }
+
+    /// Field-splitting variant of [`PagedHeap::record_bytes`] for mutation:
+    /// returns the record slice together with the layout table so writers
+    /// can resolve field offsets without a second lookup.
+    #[inline]
+    fn record_bytes_mut_with_types<'a>(
+        pages: &'a mut [Page],
+        oversize: &'a mut [Option<Vec<u8>>],
+        r: PageRef,
+    ) -> &'a mut [u8] {
+        debug_assert!(!r.is_null(), "null page reference");
+        if r.is_oversize() {
+            oversize[r.oversize_index() as usize]
+                .as_mut()
+                .expect("use after oversize free")
+        } else {
+            let page = &mut pages[r.slot() as usize];
+            &mut page.bytes[r.offset() as usize..]
+        }
+    }
+
+    #[inline]
+    fn record_bytes_mut(&mut self, r: PageRef) -> &mut [u8] {
+        Self::record_bytes_mut_with_types(&mut self.pages, &mut self.oversize, r)
+    }
+
+    pub(crate) fn write_u16_at(&mut self, r: PageRef, at: usize, v: u16) {
+        let b = self.record_bytes_mut(r);
+        b[at..at + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn write_u32_at(&mut self, r: PageRef, at: usize, v: u32) {
+        let b = self.record_bytes_mut(r);
+        b[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn u16_of(b: &[u8], at: usize) -> u16 {
+        u16::from_le_bytes([b[at], b[at + 1]])
+    }
+
+    #[inline]
+    fn u32_of(b: &[u8], at: usize) -> u32 {
+        u32::from_le_bytes(b[at..at + 4].try_into().expect("4-byte read"))
+    }
+
+    #[inline]
+    fn u64_of(b: &[u8], at: usize) -> u64 {
+        u64::from_le_bytes(b[at..at + 8].try_into().expect("8-byte read"))
+    }
+
+    /// The record's type ID (first header field), used by `resolve` for
+    /// virtual dispatch (§3.2).
+    pub fn type_of(&self, r: PageRef) -> TypeId {
+        TypeId(Self::u16_of(self.record_bytes(r), 0))
+    }
+
+    /// Returns `true` if `r` refers to an array record.
+    pub fn is_array(&self, r: PageRef) -> bool {
+        Self::u16_of(self.record_bytes(r), 0) < FIRST_USER_TYPE
+    }
+
+    /// The record's lock ID header field (0 = unlocked); see
+    /// [`crate::LockPool`].
+    pub fn lock_word(&self, r: PageRef) -> u16 {
+        Self::u16_of(self.record_bytes(r), 2)
+    }
+
+    /// Sets the record's lock ID header field.
+    pub fn set_lock_word(&mut self, r: PageRef, v: u16) {
+        self.write_u16_at(r, 2, v);
+    }
+
+    // ----- field access -----------------------------------------------------
+
+    #[inline]
+    fn field_offset_of(types: &[RecordLayout], b: &[u8], field: usize) -> usize {
+        let ty = Self::u16_of(b, 0);
+        debug_assert!(ty >= FIRST_USER_TYPE, "field access on array record");
+        RECORD_HEADER_BYTES as usize + types[ty as usize].offset(field) as usize
+    }
+
+    /// Reads a 32-bit field.
+    pub fn get_i32(&self, r: PageRef, field: usize) -> i32 {
+        let b = self.record_bytes(r);
+        let at = Self::field_offset_of(&self.types, b, field);
+        Self::u32_of(b, at) as i32
+    }
+
+    /// Writes a 32-bit field.
+    pub fn set_i32(&mut self, r: PageRef, field: usize, v: i32) {
+        let b = Self::record_bytes_mut_with_types(&mut self.pages, &mut self.oversize, r);
+        let at = Self::field_offset_of(&self.types, b, field);
+        b[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a 64-bit field.
+    pub fn get_i64(&self, r: PageRef, field: usize) -> i64 {
+        let b = self.record_bytes(r);
+        let at = Self::field_offset_of(&self.types, b, field);
+        Self::u64_of(b, at) as i64
+    }
+
+    /// Writes a 64-bit field.
+    pub fn set_i64(&mut self, r: PageRef, field: usize, v: i64) {
+        let b = Self::record_bytes_mut_with_types(&mut self.pages, &mut self.oversize, r);
+        let at = Self::field_offset_of(&self.types, b, field);
+        b[at..at + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a 64-bit field as a double.
+    pub fn get_f64(&self, r: PageRef, field: usize) -> f64 {
+        f64::from_bits(self.get_i64(r, field) as u64)
+    }
+
+    /// Writes a 64-bit field as a double.
+    pub fn set_f64(&mut self, r: PageRef, field: usize, v: f64) {
+        self.set_i64(r, field, v.to_bits() as i64);
+    }
+
+    /// Reads a reference field.
+    pub fn get_ref(&self, r: PageRef, field: usize) -> PageRef {
+        PageRef::from_raw(self.get_i64(r, field) as u64)
+    }
+
+    /// Writes a reference field. No write barrier is needed: pages are never
+    /// traced (§2.4).
+    pub fn set_ref(&mut self, r: PageRef, field: usize, v: PageRef) {
+        self.set_i64(r, field, v.raw() as i64);
+    }
+
+    // ----- array access -----------------------------------------------------
+
+    #[inline]
+    fn elem_offset(b: &[u8], idx: usize, elem_size: usize) -> usize {
+        let len = Self::u32_of(b, 4) as usize;
+        assert!(idx < len, "array index {idx} out of bounds (len {len})");
+        ARRAY_HEADER_BYTES as usize + idx * elem_size
+    }
+
+    /// Length (in elements) of an array record.
+    pub fn array_len(&self, r: PageRef) -> usize {
+        debug_assert!(self.is_array(r), "array_len on non-array record");
+        Self::u32_of(self.record_bytes(r), 4) as usize
+    }
+
+    /// Element kind of an array record.
+    pub fn array_kind(&self, r: PageRef) -> ElemKind {
+        match Self::u16_of(self.record_bytes(r), 0) {
+            ARRAY_TYPE_U8 => ElemKind::U8,
+            ARRAY_TYPE_I32 => ElemKind::I32,
+            ARRAY_TYPE_I64 => ElemKind::I64,
+            ARRAY_TYPE_REF => ElemKind::Ref,
+            other => panic!("record type {other} is not an array"),
+        }
+    }
+
+    /// Reads an `I32` array element.
+    pub fn array_get_i32(&self, r: PageRef, idx: usize) -> i32 {
+        let b = self.record_bytes(r);
+        let at = Self::elem_offset(b, idx, 4);
+        Self::u32_of(b, at) as i32
+    }
+
+    /// Writes an `I32` array element.
+    pub fn array_set_i32(&mut self, r: PageRef, idx: usize, v: i32) {
+        let b = self.record_bytes_mut(r);
+        let at = Self::elem_offset(b, idx, 4);
+        b[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads an `I64` array element.
+    pub fn array_get_i64(&self, r: PageRef, idx: usize) -> i64 {
+        let b = self.record_bytes(r);
+        let at = Self::elem_offset(b, idx, 8);
+        Self::u64_of(b, at) as i64
+    }
+
+    /// Writes an `I64` array element.
+    pub fn array_set_i64(&mut self, r: PageRef, idx: usize, v: i64) {
+        let b = self.record_bytes_mut(r);
+        let at = Self::elem_offset(b, idx, 8);
+        b[at..at + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads an `I64` array element as a double.
+    pub fn array_get_f64(&self, r: PageRef, idx: usize) -> f64 {
+        f64::from_bits(self.array_get_i64(r, idx) as u64)
+    }
+
+    /// Writes an `I64` array element as a double.
+    pub fn array_set_f64(&mut self, r: PageRef, idx: usize, v: f64) {
+        self.array_set_i64(r, idx, v.to_bits() as i64);
+    }
+
+    /// Reads a `U8` array element.
+    pub fn array_get_u8(&self, r: PageRef, idx: usize) -> u8 {
+        let b = self.record_bytes(r);
+        b[Self::elem_offset(b, idx, 1)]
+    }
+
+    /// Writes a `U8` array element.
+    pub fn array_set_u8(&mut self, r: PageRef, idx: usize, v: u8) {
+        let b = self.record_bytes_mut(r);
+        let at = Self::elem_offset(b, idx, 1);
+        b[at] = v;
+    }
+
+    /// Copies a byte slice into a `U8` array starting at element 0
+    /// (models `System.arraycopy`, which the paper hand-models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than the array.
+    pub fn array_write_bytes(&mut self, r: PageRef, data: &[u8]) {
+        let b = self.record_bytes_mut(r);
+        let len = Self::u32_of(b, 4) as usize;
+        assert!(data.len() <= len);
+        let at = ARRAY_HEADER_BYTES as usize;
+        b[at..at + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads the whole contents of a `U8` array.
+    pub fn array_read_bytes(&self, r: PageRef) -> Vec<u8> {
+        let b = self.record_bytes(r);
+        let len = Self::u32_of(b, 4) as usize;
+        let at = ARRAY_HEADER_BYTES as usize;
+        b[at..at + len].to_vec()
+    }
+
+    /// Reads a `Ref` array element.
+    pub fn array_get_ref(&self, r: PageRef, idx: usize) -> PageRef {
+        let b = self.record_bytes(r);
+        let at = Self::elem_offset(b, idx, 8);
+        PageRef::from_raw(Self::u64_of(b, at))
+    }
+
+    /// Writes a `Ref` array element.
+    pub fn array_set_ref(&mut self, r: PageRef, idx: usize, v: PageRef) {
+        let b = self.record_bytes_mut(r);
+        let at = Self::elem_offset(b, idx, 8);
+        b[at..at + 8].copy_from_slice(&v.raw().to_le_bytes());
+    }
+}
+
+impl Default for PagedHeap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip_all_field_kinds() {
+        let mut h = PagedHeap::new();
+        let t = h.register_type("T", &[FieldKind::I32, FieldKind::I64, FieldKind::Ref]);
+        let r = h.alloc(t).unwrap();
+        h.set_i32(r, 0, -5);
+        h.set_i64(r, 1, 1 << 50);
+        let other = h.alloc(t).unwrap();
+        h.set_ref(r, 2, other);
+        assert_eq!(h.get_i32(r, 0), -5);
+        assert_eq!(h.get_i64(r, 1), 1 << 50);
+        assert_eq!(h.get_ref(r, 2), other);
+        assert_eq!(h.type_of(r), t);
+        assert!(!h.is_array(r));
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut h = PagedHeap::new();
+        let t = h.register_type("D", &[FieldKind::I64]);
+        let r = h.alloc(t).unwrap();
+        h.set_f64(r, 0, -2.75);
+        assert_eq!(h.get_f64(r, 0), -2.75);
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let mut h = PagedHeap::new();
+        let a = h.alloc_array(ElemKind::I32, 100).unwrap();
+        assert!(h.is_array(a));
+        assert_eq!(h.array_len(a), 100);
+        assert_eq!(h.array_kind(a), ElemKind::I32);
+        h.array_set_i32(a, 99, 7);
+        assert_eq!(h.array_get_i32(a, 99), 7);
+
+        let b = h.alloc_array(ElemKind::U8, 11).unwrap();
+        h.array_write_bytes(b, b"hello world");
+        assert_eq!(h.array_read_bytes(b), b"hello world");
+        h.array_set_u8(b, 0, b'H');
+        assert_eq!(h.array_get_u8(b, 0), b'H');
+
+        let c = h.alloc_array(ElemKind::Ref, 3).unwrap();
+        h.array_set_ref(c, 2, a);
+        assert_eq!(h.array_get_ref(c, 2), a);
+
+        let d = h.alloc_array(ElemKind::I64, 2).unwrap();
+        h.array_set_f64(d, 1, 0.5);
+        assert_eq!(h.array_get_f64(d, 1), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn array_bounds_are_checked() {
+        let mut h = PagedHeap::new();
+        let a = h.alloc_array(ElemKind::I32, 4).unwrap();
+        h.array_get_i32(a, 4);
+    }
+
+    #[test]
+    fn iteration_end_recycles_pages() {
+        let mut h = PagedHeap::new();
+        let t = h.register_type("T", &[FieldKind::I64; 4]);
+        let it = h.iteration_start();
+        for _ in 0..10_000 {
+            h.alloc(t).unwrap();
+        }
+        let created = h.stats().pages_created;
+        assert!(created > 1);
+        h.iteration_end(it);
+        assert_eq!(h.stats().pages_recycled, created);
+
+        // A second iteration reuses the recycled pages: no new creations.
+        let it = h.iteration_start();
+        for _ in 0..10_000 {
+            h.alloc(t).unwrap();
+        }
+        h.iteration_end(it);
+        assert_eq!(h.stats().pages_created, created);
+    }
+
+    #[test]
+    fn nested_iterations_release_subtrees() {
+        let mut h = PagedHeap::new();
+        let t = h.register_type("T", &[FieldKind::I64]);
+        let outer = h.iteration_start();
+        h.alloc(t).unwrap();
+        let inner = h.iteration_start();
+        assert_eq!(h.iteration_depth(), 2);
+        h.alloc(t).unwrap();
+        h.iteration_end(inner);
+        assert_eq!(h.iteration_depth(), 1);
+        h.iteration_end(outer);
+        assert_eq!(h.iteration_depth(), 0);
+        assert_eq!(h.stats().pages_recycled, h.stats().pages_created);
+    }
+
+    #[test]
+    fn ending_outer_iteration_releases_unfinished_children() {
+        // The paper releases "pages controlled by the managers in the
+        // subtree rooted at m" — even if a child manager was left running
+        // (e.g. a thread's manager).
+        let mut h = PagedHeap::new();
+        let t = h.register_type("T", &[FieldKind::I64]);
+        let outer = h.iteration_start();
+        let _inner = h.iteration_start();
+        h.alloc(t).unwrap();
+        // End inner first as required by nesting.
+        h.iteration_end(_inner);
+        h.iteration_end(outer);
+        assert_eq!(h.stats().pages_recycled, h.stats().pages_created);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn iteration_end_must_match_innermost() {
+        let mut h = PagedHeap::new();
+        let outer = h.iteration_start();
+        let _inner = h.iteration_start();
+        h.iteration_end(outer);
+    }
+
+    #[test]
+    fn default_manager_allocations_persist_across_iterations() {
+        let mut h = PagedHeap::new();
+        let t = h.register_type("T", &[FieldKind::I32]);
+        let pre = h.alloc(t).unwrap();
+        h.set_i32(pre, 0, 9);
+        let it = h.iteration_start();
+        h.alloc(t).unwrap();
+        h.iteration_end(it);
+        // The pre-iteration record is untouched.
+        assert_eq!(h.get_i32(pre, 0), 9);
+    }
+
+    #[test]
+    fn large_records_get_fresh_pages() {
+        let mut h = PagedHeap::new();
+        let a = h.alloc_array(ElemKind::U8, 20_000).unwrap();
+        let b = h.alloc_array(ElemKind::U8, 20_000).unwrap();
+        assert_ne!(a.slot(), b.slot(), "large arrays must not share a page");
+        assert_eq!(a.offset(), b.offset());
+    }
+
+    #[test]
+    fn mid_size_records_pack_onto_shared_pages() {
+        // 4-8 KiB arrays must not waste a 32 KiB page each.
+        let mut h = PagedHeap::new();
+        let a = h.alloc_array(ElemKind::U8, 5000).unwrap();
+        let b = h.alloc_array(ElemKind::U8, 5000).unwrap();
+        assert_eq!(a.slot(), b.slot(), "mid-size arrays share pages");
+    }
+
+    #[test]
+    fn oversize_records_roundtrip_and_free_early() {
+        let mut h = PagedHeap::new();
+        let a = h.alloc_array(ElemKind::I64, 10_000).unwrap();
+        assert!(a.is_oversize());
+        assert_eq!(h.array_len(a), 10_000);
+        h.array_set_i64(a, 9_999, 42);
+        assert_eq!(h.array_get_i64(a, 9_999), 42);
+        let held = h.bytes_held();
+        h.free_oversize(a);
+        assert!(h.bytes_held() < held);
+        assert_eq!(h.stats().oversize_freed, 1);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut h = PagedHeap::with_config(PagedHeapConfig {
+            budget_bytes: Some(3 * PAGE_BYTES as u64),
+        });
+        let t = h.register_type("T", &[FieldKind::I64; 8]);
+        let mut failed = false;
+        for _ in 0..10_000 {
+            if h.alloc(t).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "expected the page budget to be exhausted");
+        assert!(h.bytes_held() <= 3 * PAGE_BYTES as u64);
+    }
+
+    #[test]
+    fn alloc_counts_per_type() {
+        let mut h = PagedHeap::new();
+        let t = h.register_type("T", &[FieldKind::I32]);
+        let u = h.register_type("U", &[FieldKind::I32]);
+        h.alloc(t).unwrap();
+        h.alloc(t).unwrap();
+        h.alloc(u).unwrap();
+        assert_eq!(h.alloc_count(t), 2);
+        assert_eq!(h.alloc_count(u), 1);
+        assert_eq!(h.stats().records_allocated, 3);
+    }
+
+    #[test]
+    fn lock_word_roundtrip() {
+        let mut h = PagedHeap::new();
+        let t = h.register_type("T", &[FieldKind::I32]);
+        let r = h.alloc(t).unwrap();
+        assert_eq!(h.lock_word(r), 0);
+        h.set_lock_word(r, 253);
+        assert_eq!(h.lock_word(r), 253);
+        // The type header is untouched by lock writes.
+        assert_eq!(h.type_of(r), t);
+    }
+
+    #[test]
+    fn continuous_allocations_are_contiguous() {
+        // §3.6 policy 1: consecutive requests of one size class land
+        // contiguously on the same page.
+        let mut h = PagedHeap::new();
+        let t = h.register_type("T", &[FieldKind::I32, FieldKind::I32]);
+        let a = h.alloc(t).unwrap();
+        let b = h.alloc(t).unwrap();
+        assert_eq!(a.slot(), b.slot());
+        assert_eq!(b.offset() - a.offset(), 16); // 4 hdr + 8 body, aligned
+    }
+}

@@ -1,0 +1,51 @@
+//! The FACADE runtime: paged native storage for data records, iteration-based
+//! memory management, facade pools, and the shared lock pool.
+//!
+//! This crate implements §2.1, §2.3, §3.3, §3.4 and §3.6 of the paper. Data
+//! records live in fixed-size (32 KiB) *pages* of "native" memory — memory
+//! that the managed heap's collector never scans. Each record starts with a
+//! 2-byte type ID and a 2-byte lock ID (arrays add a 4-byte length), so a
+//! plain record pays a 4-byte header where a heap object pays 12 bytes.
+//!
+//! Reclamation is *iteration-based*: [`PagedHeap::iteration_start`] /
+//! [`PagedHeap::iteration_end`] bracket a repeatedly executed block whose
+//! allocations have disjoint lifetimes; ending an iteration recycles every
+//! page of its page-manager subtree at once. There is no per-record free and
+//! no tracing.
+//!
+//! The *facade pools* ([`FacadePools`]) hold the statically bounded set of
+//! heap objects the transformed program uses to carry page references
+//! through control code (§2.3), and the *lock pool* ([`LockPool`]) supplies
+//! shared locks for `synchronized` blocks keyed by the lock ID stored in the
+//! record header (§3.4).
+//!
+//! # Examples
+//!
+//! ```
+//! use facade_runtime::{FieldKind, PagedHeap};
+//!
+//! let mut heap = PagedHeap::new();
+//! let student = heap.register_type("Student", &[FieldKind::I32, FieldKind::Ref]);
+//!
+//! let iter = heap.iteration_start();
+//! let s = heap.alloc(student)?;
+//! heap.set_i32(s, 0, 42);
+//! assert_eq!(heap.get_i32(s, 0), 42);
+//! heap.iteration_end(iter);          // bulk-reclaims every record of the iteration
+//! # Ok::<(), metrics::OutOfMemory>(())
+//! ```
+
+mod heap;
+mod layout;
+mod locks;
+mod page;
+mod pools;
+mod stats;
+
+pub use heap::{FIRST_USER_TYPE, IterationId, ManagerId, PagedHeap, PagedHeapConfig};
+pub use layout::{ElemKind, FieldKind, RecordLayout, TypeId};
+pub use locks::{LockPool, LockPoolConfig};
+pub use metrics::OutOfMemory;
+pub use page::{PAGE_BYTES, PAGE_CAPACITY, PageRef};
+pub use pools::{Facade, FacadePools, PoolBounds};
+pub use stats::NativeStats;

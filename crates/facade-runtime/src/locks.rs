@@ -1,0 +1,445 @@
+//! The shared lock pool backing `synchronized` blocks in transformed code
+//! (§3.4).
+//!
+//! In the original program, any object can serve as an intrinsic lock. In
+//! the transformed program, data records live in pages and facades are
+//! transient, so neither can carry a monitor. FACADE instead keeps a pool of
+//! lock objects *shared among threads*, tracked by an atomic bit vector. A
+//! record's 2-byte lock-ID header field names the pool lock currently
+//! protecting it (0 = none); the ID is installed on first `monitorenter` and
+//! cleared — returning the lock to the pool — when the last thread exits.
+//!
+//! Locks are reentrant and support `wait`/`notify_all`, mirroring Java
+//! intrinsic monitors.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
+use std::thread::ThreadId;
+
+/// Configuration for a [`LockPool`].
+#[derive(Debug, Clone)]
+pub struct LockPoolConfig {
+    /// Number of pool locks. Must be at most `2^15 - 1` so IDs fit the
+    /// record header's 15 usable bits (§2.1). The paper bounds concurrent
+    /// lock demand by threads × nesting depth, so small pools suffice.
+    pub capacity: usize,
+}
+
+impl Default for LockPoolConfig {
+    fn default() -> Self {
+        Self { capacity: 1024 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    owner: Option<ThreadId>,
+    /// Reentrancy count of the current owner.
+    count: u32,
+    /// Threads currently inside enter/exit (including waiters); the lock
+    /// returns to the pool only when this reaches zero.
+    users: u32,
+    /// Bumped by `notify_all` to release waiting threads.
+    generation: u64,
+}
+
+#[derive(Debug, Default)]
+struct PoolLock {
+    state: Mutex<LockState>,
+    monitor_cv: Condvar,
+    wait_cv: Condvar,
+}
+
+/// A pool of shared, reentrant locks tracked by an atomic bit vector.
+///
+/// The *lock word* arguments are the record's 2-byte lock header field,
+/// viewed atomically (`0` = unlocked; otherwise pool index + 1).
+///
+/// # Examples
+///
+/// ```
+/// use facade_runtime::LockPool;
+/// use std::sync::atomic::AtomicU16;
+///
+/// let pool = LockPool::with_default_config();
+/// let word = AtomicU16::new(0);
+/// pool.enter(&word);
+/// // ... critical section on the data record ...
+/// pool.exit(&word);
+/// assert_eq!(word.load(std::sync::atomic::Ordering::SeqCst), 0); // returned
+/// ```
+#[derive(Debug)]
+pub struct LockPool {
+    bits: Vec<AtomicU64>,
+    locks: Box<[PoolLock]>,
+}
+
+impl LockPool {
+    /// Creates a pool with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or does not fit 15-bit lock IDs.
+    pub fn new(config: LockPoolConfig) -> Self {
+        assert!(
+            config.capacity > 0 && config.capacity < (1 << 15),
+            "lock pool capacity must be in 1..=32767"
+        );
+        let words = config.capacity.div_ceil(64);
+        let mut bits: Vec<AtomicU64> = (0..words).map(|_| AtomicU64::new(0)).collect();
+        // Mark the tail beyond `capacity` as permanently taken.
+        let tail = words * 64 - config.capacity;
+        if tail > 0 {
+            let mask = !0u64 << (64 - tail);
+            bits[words - 1] = AtomicU64::new(mask);
+        }
+        let locks = (0..config.capacity)
+            .map(|_| PoolLock::default())
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self { bits, locks }
+    }
+
+    /// Creates a pool with the default capacity.
+    pub fn with_default_config() -> Self {
+        Self::new(LockPoolConfig::default())
+    }
+
+    /// Number of pool locks.
+    pub fn capacity(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Number of locks currently checked out (set bits).
+    pub fn in_use(&self) -> usize {
+        let total: u32 = self.bits.iter().map(|w| w.load(Ordering::Relaxed).count_ones()).sum();
+        let tail = self.bits.len() * 64 - self.locks.len();
+        total as usize - tail
+    }
+
+    fn claim_bit(&self) -> usize {
+        loop {
+            for (w, word) in self.bits.iter().enumerate() {
+                let mut current = word.load(Ordering::Relaxed);
+                while current != !0u64 {
+                    let bit = (!current).trailing_zeros();
+                    let mask = 1u64 << bit;
+                    match word.compare_exchange_weak(
+                        current,
+                        current | mask,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let idx = w * 64 + bit as usize;
+                            if idx < self.locks.len() {
+                                return idx;
+                            }
+                            // Raced onto the tail guard; undo and move on.
+                            word.fetch_and(!mask, Ordering::AcqRel);
+                            break;
+                        }
+                        Err(observed) => current = observed,
+                    }
+                }
+            }
+            // All locks busy: spin. The bound argument in §3.4 says demand
+            // is at most threads × nesting depth, so a full pool resolves
+            // as soon as some thread exits a monitor.
+            std::thread::yield_now();
+        }
+    }
+
+    fn free_bit(&self, idx: usize) {
+        let mask = 1u64 << (idx % 64);
+        self.bits[idx / 64].fetch_and(!mask, Ordering::AcqRel);
+    }
+
+    /// `monitorenter` on the record whose lock header is `word`: installs a
+    /// pool lock on first entry and blocks until the calling thread owns it.
+    /// Reentrant.
+    pub fn enter(&self, word: &AtomicU16) {
+        let me = std::thread::current().id();
+        loop {
+            let id = word.load(Ordering::Acquire);
+            let idx = if id == 0 {
+                let idx = self.claim_bit();
+                match word.compare_exchange(
+                    0,
+                    (idx + 1) as u16,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => idx,
+                    Err(_) => {
+                        // Another thread installed a lock first.
+                        self.free_bit(idx);
+                        continue;
+                    }
+                }
+            } else {
+                (id - 1) as usize
+            };
+            let lock = &self.locks[idx];
+            let mut st = lock.state.lock();
+            // The lock may have been released and recycled between reading
+            // the word and acquiring the state mutex; re-verify the binding.
+            if word.load(Ordering::Acquire) != (idx + 1) as u16 {
+                continue;
+            }
+            st.users += 1;
+            if st.owner == Some(me) {
+                st.count += 1;
+                return;
+            }
+            while st.owner.is_some() {
+                lock.monitor_cv.wait(&mut st);
+            }
+            st.owner = Some(me);
+            st.count = 1;
+            return;
+        }
+    }
+
+    /// `monitorexit` on the record whose lock header is `word`. When the
+    /// last user leaves, the lock returns to the pool and the record's lock
+    /// field is zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not own the monitor.
+    pub fn exit(&self, word: &AtomicU16) {
+        let me = std::thread::current().id();
+        let id = word.load(Ordering::Acquire);
+        assert!(id != 0, "monitorexit on an unlocked record");
+        let idx = (id - 1) as usize;
+        let lock = &self.locks[idx];
+        let mut st = lock.state.lock();
+        assert_eq!(st.owner, Some(me), "monitorexit by non-owner");
+        st.count -= 1;
+        if st.count == 0 {
+            st.owner = None;
+            lock.monitor_cv.notify_one();
+        }
+        st.users -= 1;
+        if st.users == 0 {
+            word.store(0, Ordering::Release);
+            drop(st);
+            self.free_bit(idx);
+        }
+    }
+
+    /// `Object.wait()`: atomically releases the monitor and blocks until a
+    /// [`LockPool::notify_all`], then reacquires with the saved reentrancy
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not own the monitor.
+    pub fn wait(&self, word: &AtomicU16) {
+        let me = std::thread::current().id();
+        let id = word.load(Ordering::Acquire);
+        assert!(id != 0, "wait on an unlocked record");
+        let idx = (id - 1) as usize;
+        let lock = &self.locks[idx];
+        let mut st = lock.state.lock();
+        assert_eq!(st.owner, Some(me), "wait by non-owner");
+        let saved = st.count;
+        st.owner = None;
+        st.count = 0;
+        lock.monitor_cv.notify_one();
+        let gen = st.generation;
+        while st.generation == gen {
+            lock.wait_cv.wait(&mut st);
+        }
+        while st.owner.is_some() {
+            lock.monitor_cv.wait(&mut st);
+        }
+        st.owner = Some(me);
+        st.count = saved;
+    }
+
+    /// `Object.notifyAll()`: wakes every thread waiting on the record's
+    /// monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not own the monitor.
+    pub fn notify_all(&self, word: &AtomicU16) {
+        let me = std::thread::current().id();
+        let id = word.load(Ordering::Acquire);
+        assert!(id != 0, "notify on an unlocked record");
+        let idx = (id - 1) as usize;
+        let lock = &self.locks[idx];
+        let mut st = lock.state.lock();
+        assert_eq!(st.owner, Some(me), "notify by non-owner");
+        st.generation += 1;
+        lock.wait_cv.notify_all();
+    }
+
+    /// Runs `f` while holding the monitor for `word` (the generated
+    /// `synchronized (o) { ... }` shape).
+    pub fn with<R>(&self, word: &AtomicU16, f: impl FnOnce() -> R) -> R {
+        self.enter(word);
+        let out = f();
+        self.exit(word);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn enter_installs_and_exit_recycles() {
+        let pool = LockPool::with_default_config();
+        let word = AtomicU16::new(0);
+        pool.enter(&word);
+        assert_ne!(word.load(Ordering::SeqCst), 0);
+        assert_eq!(pool.in_use(), 1);
+        pool.exit(&word);
+        assert_eq!(word.load(Ordering::SeqCst), 0);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn reentrant_locking() {
+        let pool = LockPool::with_default_config();
+        let word = AtomicU16::new(0);
+        pool.enter(&word);
+        pool.enter(&word);
+        pool.exit(&word);
+        // Still held after one exit.
+        assert_ne!(word.load(Ordering::SeqCst), 0);
+        pool.exit(&word);
+        assert_eq!(word.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn distinct_records_get_distinct_locks() {
+        let pool = LockPool::with_default_config();
+        let a = AtomicU16::new(0);
+        let b = AtomicU16::new(0);
+        pool.enter(&a);
+        pool.enter(&b);
+        assert_ne!(a.load(Ordering::SeqCst), b.load(Ordering::SeqCst));
+        assert_eq!(pool.in_use(), 2);
+        pool.exit(&b);
+        pool.exit(&a);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let pool = Arc::new(LockPool::new(LockPoolConfig { capacity: 64 }));
+        let word = Arc::new(AtomicU16::new(0));
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let unsynced = Arc::new(parking_lot::Mutex::new(0u64));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let (pool, word, counter, unsynced) = (
+                    Arc::clone(&pool),
+                    Arc::clone(&word),
+                    Arc::clone(&counter),
+                    Arc::clone(&unsynced),
+                );
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        pool.with(&word, || {
+                            // Non-atomic read-modify-write protected only by
+                            // the pool lock.
+                            let mut g = unsynced.try_lock().expect("race detected");
+                            *g += 1;
+                            drop(g);
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 16_000);
+        assert_eq!(*unsynced.lock(), 16_000);
+        assert_eq!(word.load(Ordering::SeqCst), 0, "lock returned to pool");
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn many_records_share_a_small_pool() {
+        // More records than pool locks: recycling keeps demand bounded.
+        let pool = Arc::new(LockPool::new(LockPoolConfig { capacity: 4 }));
+        let words: Arc<Vec<AtomicU16>> = Arc::new((0..64).map(|_| AtomicU16::new(0)).collect());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let (pool, words) = (Arc::clone(&pool), Arc::clone(&words));
+                std::thread::spawn(move || {
+                    for i in 0..1_000 {
+                        let w = &words[(t * 13 + i * 7) % 64];
+                        pool.with(w, || {});
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(pool.in_use(), 0);
+        assert!(words.iter().all(|w| w.load(Ordering::SeqCst) == 0));
+    }
+
+    #[test]
+    fn wait_and_notify_all() {
+        let pool = Arc::new(LockPool::with_default_config());
+        let word = Arc::new(AtomicU16::new(0));
+        let flag = Arc::new(std::sync::atomic::AtomicU64::new(0));
+
+        let waiter = {
+            let (pool, word, flag) = (Arc::clone(&pool), Arc::clone(&word), Arc::clone(&flag));
+            std::thread::spawn(move || {
+                pool.enter(&word);
+                while flag.load(Ordering::SeqCst) == 0 {
+                    pool.wait(&word);
+                }
+                pool.exit(&word);
+            })
+        };
+
+        // Give the waiter time to park.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        pool.enter(&word);
+        flag.store(1, Ordering::SeqCst);
+        pool.notify_all(&word);
+        pool.exit(&word);
+        waiter.join().unwrap();
+        assert_eq!(word.load(Ordering::SeqCst), 0);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unlocked")]
+    fn exit_without_enter_panics() {
+        let pool = LockPool::with_default_config();
+        let word = AtomicU16::new(0);
+        pool.exit(&word);
+    }
+
+    #[test]
+    fn capacity_not_multiple_of_64_is_respected() {
+        let pool = LockPool::new(LockPoolConfig { capacity: 5 });
+        assert_eq!(pool.capacity(), 5);
+        assert_eq!(pool.in_use(), 0);
+        let words: Vec<AtomicU16> = (0..5).map(|_| AtomicU16::new(0)).collect();
+        for w in &words {
+            pool.enter(w);
+        }
+        assert_eq!(pool.in_use(), 5);
+        for w in &words {
+            pool.exit(w);
+        }
+        assert_eq!(pool.in_use(), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Pages and page references.
+
+/// Size of one native page: 32 KiB, "a common practice in database design"
+/// (§3.6).
+pub const PAGE_BYTES: usize = 32 * 1024;
+
+/// The first 8 bytes of every page are reserved so that no record ever sits
+/// at offset 0 (keeping the all-zero [`PageRef`] free to mean null), and so
+/// that records are 8-byte aligned.
+pub const PAGE_RESERVED: usize = 8;
+
+/// Largest record that fits on a page; anything bigger goes to the oversize
+/// allocator (§3.6's special "oversize" class).
+pub const PAGE_CAPACITY: usize = PAGE_BYTES - PAGE_RESERVED;
+
+const OVERSIZE_BIT: u64 = 1 << 63;
+
+/// A page-based reference to a data record (the value stored in a facade's
+/// `pageRef` field and in reference fields of records).
+///
+/// Encoding: `(page_slot << 16) | byte_offset` for paged records, or the
+/// oversize bit plus an oversize-table index for records larger than a page.
+/// The all-zero value is null.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageRef(pub u64);
+
+impl PageRef {
+    /// The null reference.
+    pub const NULL: PageRef = PageRef(0);
+
+    /// Builds a reference to `offset` within page `slot`.
+    pub fn paged(slot: u32, offset: u32) -> Self {
+        debug_assert!((offset as usize) < PAGE_BYTES);
+        debug_assert!(offset != 0, "offset 0 is reserved for null");
+        PageRef(((slot as u64) << 16) | offset as u64)
+    }
+
+    /// Builds a reference to entry `index` of the oversize table.
+    pub fn oversize(index: u32) -> Self {
+        PageRef(OVERSIZE_BIT | index as u64)
+    }
+
+    /// Returns `true` for the null reference.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if this reference points into the oversize table.
+    pub fn is_oversize(self) -> bool {
+        self.0 & OVERSIZE_BIT != 0
+    }
+
+    /// Page slot of a paged reference.
+    pub fn slot(self) -> u32 {
+        debug_assert!(!self.is_oversize());
+        (self.0 >> 16) as u32
+    }
+
+    /// Byte offset within the page of a paged reference.
+    pub fn offset(self) -> u32 {
+        debug_assert!(!self.is_oversize());
+        (self.0 & 0xFFFF) as u32
+    }
+
+    /// Oversize-table index of an oversize reference.
+    pub fn oversize_index(self) -> u32 {
+        debug_assert!(self.is_oversize());
+        (self.0 & 0xFFFF_FFFF) as u32
+    }
+
+    /// The raw 64-bit encoding (what gets stored into record fields).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a reference from its raw encoding.
+    pub fn from_raw(raw: u64) -> Self {
+        PageRef(raw)
+    }
+}
+
+impl Default for PageRef {
+    fn default() -> Self {
+        PageRef::NULL
+    }
+}
+
+/// One 32 KiB native page with a bump pointer.
+#[derive(Debug)]
+pub(crate) struct Page {
+    pub bytes: Vec<u8>,
+    pub top: usize,
+    /// High-water mark of bytes ever handed out; everything below it may be
+    /// stale and must be re-zeroed on allocation, everything above it is
+    /// still pristine from the initial `calloc`. Avoids double-zeroing
+    /// fresh pages, which dominates allocation cost at volume.
+    dirty: usize,
+}
+
+impl Page {
+    pub fn new() -> Self {
+        Self {
+            bytes: vec![0; PAGE_BYTES],
+            top: PAGE_RESERVED,
+            dirty: PAGE_RESERVED,
+        }
+    }
+
+    /// Resets the bump pointer for reuse from the free list.
+    pub fn recycle(&mut self) {
+        self.dirty = self.dirty.max(self.top);
+        self.top = PAGE_RESERVED;
+    }
+
+    /// Free bytes remaining.
+    #[allow(dead_code)]
+    pub fn free(&self) -> usize {
+        PAGE_BYTES - self.top
+    }
+
+    /// Returns `true` if nothing has been allocated on the page.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.top == PAGE_RESERVED
+    }
+
+    /// Bump-allocates `size` bytes, zeroing them; `None` if the page is full.
+    pub fn bump(&mut self, size: usize) -> Option<u32> {
+        if self.top + size <= PAGE_BYTES {
+            let at = self.top;
+            self.top += size;
+            let stale_end = self.top.min(self.dirty);
+            if at < stale_end {
+                self.bytes[at..stale_end].fill(0);
+            }
+            Some(at as u32)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paged_ref_roundtrip() {
+        let r = PageRef::paged(1234, 5678);
+        assert_eq!(r.slot(), 1234);
+        assert_eq!(r.offset(), 5678);
+        assert!(!r.is_null());
+        assert!(!r.is_oversize());
+        assert_eq!(PageRef::from_raw(r.raw()), r);
+    }
+
+    #[test]
+    fn oversize_ref_roundtrip() {
+        let r = PageRef::oversize(99);
+        assert!(r.is_oversize());
+        assert_eq!(r.oversize_index(), 99);
+        assert!(!r.is_null());
+    }
+
+    #[test]
+    fn null_is_default_and_not_oversize() {
+        assert!(PageRef::default().is_null());
+        assert!(!PageRef::NULL.is_oversize());
+    }
+
+    #[test]
+    fn page_bump_respects_capacity_and_reserve() {
+        let mut p = Page::new();
+        assert!(p.is_empty());
+        let a = p.bump(100).unwrap();
+        assert_eq!(a, PAGE_RESERVED as u32);
+        assert!(!p.is_empty());
+        assert!(p.bump(PAGE_BYTES).is_none());
+        assert_eq!(p.free(), PAGE_BYTES - PAGE_RESERVED - 100);
+    }
+
+    #[test]
+    fn page_recycle_resets_top() {
+        let mut p = Page::new();
+        p.bump(64).unwrap();
+        p.recycle();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn bump_zeroes_memory() {
+        let mut p = Page::new();
+        let a = p.bump(16).unwrap() as usize;
+        p.bytes[a..a + 16].fill(0xAB);
+        p.recycle();
+        let b = p.bump(16).unwrap() as usize;
+        assert_eq!(a, b);
+        assert!(p.bytes[b..b + 16].iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,235 @@
+//! Facade pools: the statically bounded set of heap objects that carry page
+//! references through control code (§2.3, §3.3).
+//!
+//! For every data type, a thread owns
+//!
+//! - a *parameter pool* whose length is the compile-time bound computed by
+//!   the FACADE compiler (the maximum number of same-typed operands any call
+//!   site needs), and
+//! - a *receiver pool* holding exactly one facade, returned by
+//!   [`FacadePools::resolve`] on virtual dispatch.
+//!
+//! A facade is only ever a carrier: code binds a page reference to it, the
+//! callee immediately loads the reference back onto its "stack", and the
+//! facade is free for reuse. [`Facade::bind`] and [`Facade::release`]
+//! enforce that discipline dynamically (the §3.7 "facade usage correctness"
+//! property): binding a facade that still holds an unread reference panics
+//! in debug builds.
+
+use crate::layout::TypeId;
+use crate::page::PageRef;
+
+/// The per-type pool bounds computed by the compiler (§3.3).
+///
+/// `bounds[t]` is the parameter-pool length for type `t`; the receiver pool
+/// always has length 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolBounds {
+    bounds: Vec<u16>,
+}
+
+impl PoolBounds {
+    /// Creates bounds for `n_types` types, all set to `default_bound`.
+    pub fn uniform(n_types: usize, default_bound: u16) -> Self {
+        Self {
+            bounds: vec![default_bound.max(1); n_types],
+        }
+    }
+
+    /// Creates bounds from an explicit per-type table.
+    pub fn from_table(bounds: Vec<u16>) -> Self {
+        Self {
+            bounds: bounds.into_iter().map(|b| b.max(1)).collect(),
+        }
+    }
+
+    /// The parameter-pool bound for `ty`.
+    pub fn bound(&self, ty: TypeId) -> u16 {
+        self.bounds[ty.0 as usize]
+    }
+
+    /// Number of types covered.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Returns `true` if no types are covered.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// Total number of facades a thread will materialize: the sum of the
+    /// parameter bounds plus one receiver per type — the `n` term of the
+    /// paper's `O(t*n + p)`.
+    pub fn facades_per_thread(&self) -> usize {
+        self.bounds.iter().map(|&b| b as usize).sum::<usize>() + self.bounds.len()
+    }
+}
+
+/// A facade object: a heap object that carries a page reference for control
+/// purposes (parameter passing, receivers, returns) but holds no data.
+#[derive(Debug, Default)]
+pub struct Facade {
+    page_ref: PageRef,
+    armed: bool,
+}
+
+impl Facade {
+    /// Binds a page reference to the facade (the generated
+    /// `f.pageRef = r` store).
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the facade still carries an unread
+    /// reference — the compiler guarantees bind/release pairs are adjacent
+    /// on the data-dependence graph, so this indicates a transformation bug.
+    pub fn bind(&mut self, r: PageRef) {
+        debug_assert!(
+            !self.armed,
+            "facade rebound while still carrying a page reference"
+        );
+        self.page_ref = r;
+        self.armed = true;
+    }
+
+    /// Releases and returns the carried reference (the generated
+    /// `long x = f.pageRef` load). The facade is immediately reusable.
+    pub fn release(&mut self) -> PageRef {
+        debug_assert!(self.armed, "facade released without a bound reference");
+        self.armed = false;
+        self.page_ref
+    }
+
+    /// Reads the carried reference without releasing (used by `instanceof`
+    /// checks on receivers).
+    pub fn peek(&self) -> PageRef {
+        self.page_ref
+    }
+
+    /// Whether the facade currently carries an unread reference.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+}
+
+/// The per-thread facade pools for all data types.
+#[derive(Debug)]
+pub struct FacadePools {
+    param: Vec<Vec<Facade>>,
+    receiver: Vec<Facade>,
+}
+
+impl FacadePools {
+    /// Materializes pools for one thread from the compiler-computed bounds
+    /// (the generated `Pools.init()`).
+    pub fn new(bounds: &PoolBounds) -> Self {
+        let param = (0..bounds.len())
+            .map(|t| {
+                (0..bounds.bound(TypeId(t as u16)))
+                    .map(|_| Facade::default())
+                    .collect()
+            })
+            .collect();
+        let receiver = (0..bounds.len()).map(|_| Facade::default()).collect();
+        Self { param, receiver }
+    }
+
+    /// The `i`-th parameter facade for `ty` (the generated
+    /// `Pools.tFacades[i]` access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds the computed bound — the static guarantee the
+    /// compiler provides is precisely that it never does.
+    pub fn param(&mut self, ty: TypeId, i: usize) -> &mut Facade {
+        &mut self.param[ty.0 as usize][i]
+    }
+
+    /// The single receiver facade for `ty`, selected by the runtime type of
+    /// the record `resolve` was called on (§3.2).
+    pub fn receiver(&mut self, ty: TypeId) -> &mut Facade {
+        &mut self.receiver[ty.0 as usize]
+    }
+
+    /// Total number of facade objects materialized for this thread.
+    pub fn facade_count(&self) -> usize {
+        self.param.iter().map(Vec::len).sum::<usize>() + self.receiver.len()
+    }
+
+    /// The parameter-pool length for `ty`.
+    pub fn param_bound(&self, ty: TypeId) -> usize {
+        self.param[ty.0 as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_have_minimum_one() {
+        let b = PoolBounds::from_table(vec![0, 3, 1]);
+        assert_eq!(b.bound(TypeId(0)), 1);
+        assert_eq!(b.bound(TypeId(1)), 3);
+        assert_eq!(b.facades_per_thread(), (1 + 3 + 1) + 3);
+    }
+
+    #[test]
+    fn pools_materialize_bound_many_facades() {
+        let b = PoolBounds::from_table(vec![2, 5]);
+        let pools = FacadePools::new(&b);
+        assert_eq!(pools.facade_count(), (2 + 5) + 2);
+        assert_eq!(pools.param_bound(TypeId(1)), 5);
+    }
+
+    #[test]
+    fn bind_release_cycle_reuses_facade() {
+        let b = PoolBounds::uniform(1, 1);
+        let mut pools = FacadePools::new(&b);
+        let f = pools.param(TypeId(0), 0);
+        f.bind(PageRef::paged(1, 8));
+        assert!(f.is_armed());
+        assert_eq!(f.release(), PageRef::paged(1, 8));
+        assert!(!f.is_armed());
+        // Immediately reusable for a different reference.
+        f.bind(PageRef::paged(2, 16));
+        assert_eq!(f.release(), PageRef::paged(2, 16));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "rebound")]
+    fn double_bind_is_detected() {
+        let mut f = Facade::default();
+        f.bind(PageRef::paged(1, 8));
+        f.bind(PageRef::paged(1, 16));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "without a bound reference")]
+    fn release_without_bind_is_detected() {
+        let mut f = Facade::default();
+        let _ = f.release();
+    }
+
+    #[test]
+    fn receiver_pool_is_separate_from_param_pool() {
+        let b = PoolBounds::uniform(2, 2);
+        let mut pools = FacadePools::new(&b);
+        pools.receiver(TypeId(0)).bind(PageRef::paged(9, 8));
+        pools.param(TypeId(0), 0).bind(PageRef::paged(7, 8));
+        assert_eq!(pools.receiver(TypeId(0)).release(), PageRef::paged(9, 8));
+        assert_eq!(pools.param(TypeId(0), 0).release(), PageRef::paged(7, 8));
+    }
+
+    #[test]
+    fn uniform_bounds_cover_all_types() {
+        let b = PoolBounds::uniform(4, 3);
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+        for t in 0..4 {
+            assert_eq!(b.bound(TypeId(t)), 3);
+        }
+    }
+}

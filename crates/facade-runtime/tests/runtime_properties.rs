@@ -1,0 +1,109 @@
+//! Property tests of the paged runtime's invariants under randomized
+//! allocation sequences with nested iterations.
+
+use facade_runtime::{ElemKind, FieldKind, PAGE_BYTES, PageRef, PagedHeap};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a record with this many i64 fields (mod table).
+    Alloc(u8),
+    /// Allocate an array of this many i64 elements (can reach oversize).
+    AllocArray(u16),
+    /// Start a nested iteration.
+    Start,
+    /// End the innermost iteration (no-op at depth 0).
+    End,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => any::<u8>().prop_map(Op::Alloc),
+        2 => any::<u16>().prop_map(Op::AllocArray),
+        1 => Just(Op::Start),
+        1 => Just(Op::End),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alloc_iteration_invariants_hold(ops in prop::collection::vec(op(), 1..300)) {
+        let mut heap = PagedHeap::new();
+        let classes: Vec<_> = (0..4)
+            .map(|i| heap.register_type(&format!("T{i}"), &vec![FieldKind::I64; i + 1]))
+            .collect();
+        let mut depth = 0usize;
+        let mut stack = Vec::new();
+        let mut live: Vec<(PageRef, i64)> = Vec::new(); // current scope's records
+        let mut allocated = 0u64;
+        for (k, op) in ops.iter().enumerate() {
+            match op {
+                Op::Alloc(c) => {
+                    let ty = classes[*c as usize % classes.len()];
+                    let r = heap.alloc(ty).unwrap();
+                    heap.set_i64(r, 0, k as i64);
+                    live.push((r, k as i64));
+                    allocated += 1;
+                }
+                Op::AllocArray(n) => {
+                    let len = *n as usize % 8192;
+                    let r = heap.alloc_array(ElemKind::I64, len).unwrap();
+                    if len > 0 {
+                        heap.array_set_i64(r, len - 1, k as i64);
+                        prop_assert_eq!(heap.array_get_i64(r, len - 1), k as i64);
+                    }
+                    prop_assert_eq!(heap.array_len(r), len);
+                    allocated += 1;
+                }
+                Op::Start => {
+                    stack.push((heap.iteration_start(), std::mem::take(&mut live)));
+                    depth += 1;
+                }
+                Op::End => {
+                    if let Some((it, outer_live)) = stack.pop() {
+                        heap.iteration_end(it);
+                        live = outer_live;
+                        depth -= 1;
+                    }
+                }
+            }
+            prop_assert_eq!(heap.iteration_depth(), depth);
+            // Records of the *current* scope stay readable with their data.
+            for &(r, v) in &live {
+                prop_assert_eq!(heap.get_i64(r, 0), v);
+            }
+        }
+        prop_assert_eq!(heap.stats().records_allocated, allocated);
+        // Accounting: held bytes are at least the page population.
+        let pages = heap.page_objects() as u64 * PAGE_BYTES as u64;
+        prop_assert!(heap.bytes_held() >= pages);
+        // Ending every open iteration succeeds (nesting discipline held).
+        while let Some((it, _)) = stack.pop() {
+            heap.iteration_end(it);
+        }
+        prop_assert_eq!(heap.iteration_depth(), 0);
+    }
+
+    #[test]
+    fn recycled_pages_are_reused_not_leaked(rounds in 1usize..12, per_round in 1usize..500) {
+        let mut heap = PagedHeap::new();
+        let t = heap.register_type("T", &[FieldKind::I64; 4]);
+        let mut max_pages = 0;
+        for _ in 0..rounds {
+            let it = heap.iteration_start();
+            for _ in 0..per_round {
+                heap.alloc(t).unwrap();
+            }
+            heap.iteration_end(it);
+            max_pages = max_pages.max(heap.page_objects());
+        }
+        // Page population equals one round's worth: later rounds reuse.
+        prop_assert_eq!(heap.page_objects(), max_pages);
+        prop_assert_eq!(
+            heap.stats().records_allocated,
+            (rounds * per_round) as u64
+        );
+    }
+}

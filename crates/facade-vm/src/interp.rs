@@ -1,0 +1,903 @@
+//! The interpreter proper.
+
+use crate::error::VmError;
+use crate::value::{FacadeSlot, Value};
+use facade_compiler::PagedMeta;
+use facade_ir::{
+    BinOp, CallTarget, ClassId, CmpOp, Instr, Local, MethodId, Program, Terminator, Ty,
+};
+use facade_runtime::{
+    ElemKind as PElem, FacadePools, IterationId, PageRef, PagedHeap, PagedHeapConfig,
+    TypeId as PTypeId,
+};
+use managed_heap::{
+    ClassId as HClassId, ElemKind as HElem, FieldKind as HField, Heap, HeapConfig, ObjRef, RootId,
+};
+use std::collections::HashMap;
+
+/// Configuration for a [`Vm`].
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Managed-heap sizing (used in both modes; `P'` still allocates its
+    /// control objects here).
+    pub heap: HeapConfig,
+    /// Paged-heap sizing (paged mode only).
+    pub paged: PagedHeapConfig,
+    /// Optional instruction budget; exceeded = [`VmError::StepBudgetExceeded`].
+    pub step_budget: Option<u64>,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        Self {
+            heap: HeapConfig::with_capacity(64 << 20),
+            paged: PagedHeapConfig::default(),
+            step_budget: Some(500_000_000),
+        }
+    }
+}
+
+/// The interpreter. See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Vm<'p> {
+    program: &'p Program,
+    meta: Option<&'p PagedMeta>,
+    heap: Heap,
+    paged: PagedHeap,
+    pools: Option<FacadePools>,
+    /// IR class → managed-heap class.
+    class_map: HashMap<ClassId, HClassId>,
+    /// Managed-heap class → IR class.
+    rev_class: HashMap<u16, ClassId>,
+    /// Heap-mode monitors: object → reentrancy count.
+    heap_monitors: HashMap<u32, u32>,
+    /// Paged-mode monitors: lock ID → reentrancy count (IDs live in the
+    /// record's lock header field, as in §3.4).
+    page_monitor_counts: HashMap<u16, u32>,
+    free_lock_ids: Vec<u16>,
+    next_lock_id: u16,
+    iteration_stack: Vec<IterationId>,
+    output: Vec<String>,
+    steps: u64,
+    config: VmConfig,
+}
+
+fn heap_field_kind(ty: &Ty) -> HField {
+    match ty {
+        Ty::I32 => HField::I32,
+        Ty::I64 | Ty::F64 => HField::I64,
+        _ => HField::Ref,
+    }
+}
+
+fn heap_elem_kind(ty: &Ty) -> HElem {
+    match ty {
+        Ty::I32 => HElem::I32,
+        Ty::I64 | Ty::F64 => HElem::I64,
+        _ => HElem::Ref,
+    }
+}
+
+fn paged_elem_kind(ty: &Ty) -> PElem {
+    match ty {
+        Ty::I32 => PElem::I32,
+        Ty::I64 | Ty::F64 => PElem::I64,
+        _ => PElem::Ref,
+    }
+}
+
+pub(crate) fn default_value(ty: &Ty) -> Value {
+    match ty {
+        Ty::I32 => Value::I32(0),
+        Ty::I64 => Value::I64(0),
+        Ty::F64 => Value::F64(0.0),
+        Ty::Ref(_) | Ty::Array(_) => Value::Obj(ObjRef::NULL),
+        Ty::PageRef | Ty::Facade(_) => Value::Page(PageRef::NULL),
+    }
+}
+
+struct Frame {
+    locals: Vec<Value>,
+    roots: Vec<RootId>,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a heap-mode VM (runs the original program `P`).
+    pub fn new_heap(program: &'p Program) -> Self {
+        Self::with_config(program, None, VmConfig::default())
+    }
+
+    /// Creates a paged-mode VM (runs the transformed program `P'`).
+    pub fn new_paged(program: &'p Program, meta: &'p PagedMeta) -> Self {
+        Self::with_config(program, Some(meta), VmConfig::default())
+    }
+
+    /// Creates a VM with explicit sizing; pass `meta` for paged mode.
+    pub fn with_config(
+        program: &'p Program,
+        meta: Option<&'p PagedMeta>,
+        config: VmConfig,
+    ) -> Self {
+        let mut heap = Heap::new(config.heap.clone());
+        let mut class_map = HashMap::new();
+        let mut rev_class = HashMap::new();
+        for (id, class) in program.classes() {
+            if class.is_interface() {
+                continue;
+            }
+            let kinds: Vec<HField> = program
+                .flat_fields(id)
+                .iter()
+                .map(|(_, f)| heap_field_kind(&f.ty))
+                .collect();
+            let hid = heap.register_class(&class.name, &kinds);
+            class_map.insert(id, hid);
+            rev_class.insert(hid.0, id);
+        }
+        let mut paged = PagedHeap::with_config(config.paged.clone());
+        let mut pools = None;
+        if let Some(meta) = meta {
+            for &class in &meta.data_classes {
+                let tid = meta.type_id(class);
+                let layout = meta.layout(tid);
+                let fields: Vec<facade_runtime::FieldKind> = layout.fields().to_vec();
+                let got = paged.register_type(layout.name(), &fields);
+                assert_eq!(got.0, tid, "type-id registration order mismatch");
+            }
+            pools = Some(FacadePools::new(&meta.bounds));
+        }
+        Self {
+            program,
+            meta,
+            heap,
+            paged,
+            pools,
+            class_map,
+            rev_class,
+            heap_monitors: HashMap::new(),
+            page_monitor_counts: HashMap::new(),
+            free_lock_ids: Vec::new(),
+            next_lock_id: 1,
+            iteration_stack: Vec::new(),
+            output: Vec::new(),
+            steps: 0,
+            config,
+        }
+    }
+
+    /// Runs the program entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::NoEntry`] for entry-less programs, or any runtime
+    /// failure.
+    pub fn run(&mut self) -> Result<Option<Value>, VmError> {
+        let entry = self.program.entry().ok_or(VmError::NoEntry)?;
+        self.call(entry, vec![])
+    }
+
+    /// The lines printed by `Print` instructions so far.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// The managed heap (both modes).
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// The paged heap (paged mode).
+    pub fn paged(&self) -> &PagedHeap {
+        &self.paged
+    }
+
+    /// The facade pools (paged mode).
+    pub fn pools(&self) -> Option<&FacadePools> {
+        self.pools.as_ref()
+    }
+
+    /// Instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn meta(&self) -> Result<&'p PagedMeta, VmError> {
+        self.meta
+            .ok_or_else(|| VmError::IllegalInstruction("paged instruction in heap mode".into()))
+    }
+
+    // Crate-internal accessors used by the conversion functions.
+    pub(crate) fn heap_ref(&self) -> &Heap {
+        &self.heap
+    }
+    pub(crate) fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+    pub(crate) fn paged_ref(&self) -> &PagedHeap {
+        &self.paged
+    }
+    pub(crate) fn paged_mut(&mut self) -> &mut PagedHeap {
+        &mut self.paged
+    }
+    pub(crate) fn meta_ref(&self) -> Option<&'p PagedMeta> {
+        self.meta
+    }
+    pub(crate) fn program_ref(&self) -> &'p Program {
+        self.program
+    }
+    pub(crate) fn ir_class_of(&self, heap_class: u16) -> ClassId {
+        self.rev_class[&heap_class]
+    }
+    pub(crate) fn heap_class_of(&self, ir_class: ClassId) -> HClassId {
+        self.class_map[&ir_class]
+    }
+
+    fn new_frame(&mut self, method: MethodId, args: Vec<Value>) -> Frame {
+        let body = self
+            .program
+            .method(method)
+            .body
+            .as_ref()
+            .expect("callable method has a body");
+        let mut locals: Vec<Value> = body.locals.iter().map(default_value).collect();
+        locals[..args.len()].copy_from_slice(&args);
+        let roots: Vec<RootId> = locals
+            .iter()
+            .map(|v| match v {
+                Value::Obj(r) => self.heap.add_root(*r),
+                _ => self.heap.add_root(ObjRef::NULL),
+            })
+            .collect();
+        Frame { locals, roots }
+    }
+
+    fn drop_frame(&mut self, frame: Frame) {
+        for r in frame.roots {
+            self.heap.remove_root(r);
+        }
+    }
+
+    fn set_local(&mut self, frame: &mut Frame, l: Local, v: Value) {
+        let i = l.0 as usize;
+        frame.locals[i] = v;
+        let root = frame.roots[i];
+        match v {
+            Value::Obj(r) => self.heap.set_root(root, r),
+            _ => self.heap.set_root(root, ObjRef::NULL),
+        }
+    }
+
+    fn facade_peek(&mut self, slot: FacadeSlot) -> PageRef {
+        let pools = self.pools.as_mut().expect("paged mode");
+        match slot {
+            FacadeSlot::Receiver { type_id } => pools.receiver(PTypeId(type_id)).peek(),
+            FacadeSlot::Param { type_id, index } => {
+                pools.param(PTypeId(type_id), index as usize).peek()
+            }
+        }
+    }
+
+    fn facade_release(&mut self, slot: FacadeSlot) -> PageRef {
+        let pools = self.pools.as_mut().expect("paged mode");
+        match slot {
+            FacadeSlot::Receiver { type_id } => pools.receiver(PTypeId(type_id)).release(),
+            FacadeSlot::Param { type_id, index } => {
+                pools.param(PTypeId(type_id), index as usize).release()
+            }
+        }
+    }
+
+    /// Invokes `method` with `args` and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Any runtime failure ([`VmError`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method` has no body (abstract) — virtual dispatch resolves
+    /// implementations before calling.
+    pub fn call(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
+        let mut frame = self.new_frame(method, args);
+        let result = self.exec(method, &mut frame);
+        self.drop_frame(frame);
+        result
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec(&mut self, method: MethodId, frame: &mut Frame) -> Result<Option<Value>, VmError> {
+        let body = self
+            .program
+            .method(method)
+            .body
+            .as_ref()
+            .expect("callable method has a body");
+        let mut bb = 0usize;
+        loop {
+            let block = &body.blocks[bb];
+            for instr in &block.instrs {
+                self.steps += 1;
+                if let Some(budget) = self.config.step_budget {
+                    if self.steps > budget {
+                        return Err(VmError::StepBudgetExceeded);
+                    }
+                }
+                self.exec_instr(method, body, frame, instr)?;
+            }
+            match block.term.as_ref().expect("verified body") {
+                Terminator::Return(None) => return Ok(None),
+                Terminator::Return(Some(l)) => return Ok(Some(frame.locals[l.0 as usize])),
+                Terminator::Jump(t) => bb = t.0 as usize,
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    bb = if frame.locals[cond.0 as usize].as_i32() != 0 {
+                        then_bb.0 as usize
+                    } else {
+                        else_bb.0 as usize
+                    };
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_instr(
+        &mut self,
+        method: MethodId,
+        body: &facade_ir::Body,
+        frame: &mut Frame,
+        instr: &Instr,
+    ) -> Result<(), VmError> {
+        use Instr::*;
+        let get = |f: &Frame, l: Local| f.locals[l.0 as usize];
+        match instr {
+            ConstI32(d, v) => self.set_local(frame, *d, Value::I32(*v)),
+            ConstI64(d, v) => self.set_local(frame, *d, Value::I64(*v)),
+            ConstF64(d, v) => self.set_local(frame, *d, Value::F64(*v)),
+            ConstNull(d) => {
+                let v = default_value(body.local_ty(*d));
+                self.set_local(frame, *d, v);
+            }
+            Move { dst, src } => {
+                let v = get(frame, *src);
+                self.set_local(frame, *dst, v);
+            }
+            Bin { dst, op, a, b } => {
+                let v = eval_bin(*op, get(frame, *a), get(frame, *b))?;
+                self.set_local(frame, *dst, v);
+            }
+            Cmp { dst, op, a, b } => {
+                let v = eval_cmp(*op, get(frame, *a), get(frame, *b));
+                self.set_local(frame, *dst, Value::I32(v as i32));
+            }
+            NumCast { dst, src } => {
+                let v = num_cast(body.local_ty(*dst), get(frame, *src));
+                self.set_local(frame, *dst, v);
+            }
+            New { dst, class } => {
+                let hid = self.class_map[class];
+                let obj = self.heap.alloc(hid)?;
+                self.set_local(frame, *dst, Value::Obj(obj));
+            }
+            NewArray { dst, elem, len } => {
+                let n = get(frame, *len).as_i32().max(0) as usize;
+                let arr = self.heap.alloc_array(heap_elem_kind(elem), n)?;
+                self.set_local(frame, *dst, Value::Obj(arr));
+            }
+            GetField { dst, obj, field } => {
+                let o = get(frame, *obj).as_obj();
+                if o.is_null() {
+                    return Err(VmError::NullDeref(format!("getfield #{field}")));
+                }
+                let v = match body.local_ty(*dst) {
+                    Ty::I32 => Value::I32(self.heap.get_i32(o, *field)),
+                    Ty::I64 => Value::I64(self.heap.get_i64(o, *field)),
+                    Ty::F64 => Value::F64(self.heap.get_f64(o, *field)),
+                    _ => Value::Obj(self.heap.get_ref(o, *field)),
+                };
+                self.set_local(frame, *dst, v);
+            }
+            SetField { obj, field, src } => {
+                let o = get(frame, *obj).as_obj();
+                if o.is_null() {
+                    return Err(VmError::NullDeref(format!("setfield #{field}")));
+                }
+                match get(frame, *src) {
+                    Value::I32(v) => self.heap.set_i32(o, *field, v),
+                    Value::I64(v) => self.heap.set_i64(o, *field, v),
+                    Value::F64(v) => self.heap.set_f64(o, *field, v),
+                    Value::Obj(r) => self.heap.set_ref(o, *field, r),
+                    other => {
+                        return Err(VmError::IllegalInstruction(format!(
+                            "setfield of {other:?} into heap object"
+                        )));
+                    }
+                }
+            }
+            ArrayGet { dst, arr, idx } => {
+                let a = get(frame, *arr).as_obj();
+                if a.is_null() {
+                    return Err(VmError::NullDeref("arrayget".into()));
+                }
+                let i = get(frame, *idx).as_i32() as usize;
+                let v = match body.local_ty(*dst) {
+                    Ty::I32 => Value::I32(self.heap.array_get_i32(a, i)),
+                    Ty::I64 => Value::I64(self.heap.array_get_i64(a, i)),
+                    Ty::F64 => Value::F64(self.heap.array_get_f64(a, i)),
+                    _ => Value::Obj(self.heap.array_get_ref(a, i)),
+                };
+                self.set_local(frame, *dst, v);
+            }
+            ArraySet { arr, idx, src } => {
+                let a = get(frame, *arr).as_obj();
+                if a.is_null() {
+                    return Err(VmError::NullDeref("arrayset".into()));
+                }
+                let i = get(frame, *idx).as_i32() as usize;
+                match get(frame, *src) {
+                    Value::I32(v) => self.heap.array_set_i32(a, i, v),
+                    Value::I64(v) => self.heap.array_set_i64(a, i, v),
+                    Value::F64(v) => self.heap.array_set_f64(a, i, v),
+                    Value::Obj(r) => self.heap.array_set_ref(a, i, r),
+                    other => {
+                        return Err(VmError::IllegalInstruction(format!(
+                            "arrayset of {other:?} into heap array"
+                        )));
+                    }
+                }
+            }
+            ArrayLen { dst, arr } => {
+                let a = get(frame, *arr).as_obj();
+                if a.is_null() {
+                    return Err(VmError::NullDeref("arraylength".into()));
+                }
+                let n = self.heap.array_len(a) as i32;
+                self.set_local(frame, *dst, Value::I32(n));
+            }
+            Call { dst, target, args } => {
+                let argv: Vec<Value> = args.iter().map(|&a| get(frame, a)).collect();
+                let callee = self.dispatch(*target, &argv)?;
+                let ret = self.call(callee, argv)?;
+                match (dst, ret) {
+                    (Some(d), Some(v)) => self.set_local(frame, *d, v),
+                    (None, Some(Value::Facade(slot))) => {
+                        // Discarded data-typed return: release the facade the
+                        // callee bound at its return site so the pool slot is
+                        // immediately reusable.
+                        let _ = self.facade_release(slot);
+                    }
+                    _ => {}
+                }
+            }
+            InstanceOf { dst, src, class } => {
+                let v = match get(frame, *src) {
+                    Value::Obj(r) if !r.is_null() => match self.heap.class_of(r) {
+                        Some(h) => self.program.is_subtype(self.rev_class[&h.0], *class),
+                        None => false,
+                    },
+                    _ => false,
+                };
+                self.set_local(frame, *dst, Value::I32(v as i32));
+            }
+            MonitorEnter(l) => {
+                let o = get(frame, *l).as_obj();
+                if o.is_null() {
+                    return Err(VmError::NullDeref("monitorenter".into()));
+                }
+                *self.heap_monitors.entry(o.raw()).or_default() += 1;
+            }
+            MonitorExit(l) => {
+                let o = get(frame, *l).as_obj();
+                let count = self.heap_monitors.entry(o.raw()).or_default();
+                *count = count.saturating_sub(1);
+            }
+            Print(l) => {
+                let line = self.format_value(get(frame, *l));
+                self.output.push(line);
+            }
+            IterationStart => {
+                if self.meta.is_some() {
+                    let it = self.paged.iteration_start();
+                    self.iteration_stack.push(it);
+                }
+            }
+            IterationEnd => {
+                if self.meta.is_some() {
+                    let it = self
+                        .iteration_stack
+                        .pop()
+                        .ok_or_else(|| VmError::IllegalInstruction("unmatched iteration end".into()))?;
+                    self.paged.iteration_end(it);
+                }
+            }
+
+            // ----- paged forms ------------------------------------------
+            PageAlloc { dst, class } => {
+                let tid = self.meta()?.type_id(*class);
+                let r = self.paged.alloc(PTypeId(tid))?;
+                self.set_local(frame, *dst, Value::Page(r));
+            }
+            PageNewArray { dst, elem, len } => {
+                self.meta()?;
+                let n = get(frame, *len).as_i32().max(0) as usize;
+                let r = self.paged.alloc_array(paged_elem_kind(elem), n)?;
+                self.set_local(frame, *dst, Value::Page(r));
+            }
+            PageGetField { dst, obj, field, .. } => {
+                let r = get(frame, *obj).as_page();
+                if r.is_null() {
+                    return Err(VmError::NullDeref(format!("paged getfield #{field}")));
+                }
+                let v = match body.local_ty(*dst) {
+                    Ty::I32 => Value::I32(self.paged.get_i32(r, *field)),
+                    Ty::I64 => Value::I64(self.paged.get_i64(r, *field)),
+                    Ty::F64 => Value::F64(self.paged.get_f64(r, *field)),
+                    _ => Value::Page(self.paged.get_ref(r, *field)),
+                };
+                self.set_local(frame, *dst, v);
+            }
+            PageSetField { obj, field, src, .. } => {
+                let r = get(frame, *obj).as_page();
+                if r.is_null() {
+                    return Err(VmError::NullDeref(format!("paged setfield #{field}")));
+                }
+                match get(frame, *src) {
+                    Value::I32(v) => self.paged.set_i32(r, *field, v),
+                    Value::I64(v) => self.paged.set_i64(r, *field, v),
+                    Value::F64(v) => self.paged.set_f64(r, *field, v),
+                    Value::Page(p) => self.paged.set_ref(r, *field, p),
+                    other => {
+                        return Err(VmError::IllegalInstruction(format!(
+                            "paged setfield of {other:?}"
+                        )));
+                    }
+                }
+            }
+            PageArrayGet { dst, arr, idx, elem } => {
+                let a = get(frame, *arr).as_page();
+                if a.is_null() {
+                    return Err(VmError::NullDeref("paged arrayget".into()));
+                }
+                let i = get(frame, *idx).as_i32() as usize;
+                let v = match elem {
+                    Ty::I32 => Value::I32(self.paged.array_get_i32(a, i)),
+                    Ty::I64 => Value::I64(self.paged.array_get_i64(a, i)),
+                    Ty::F64 => Value::F64(self.paged.array_get_f64(a, i)),
+                    _ => Value::Page(self.paged.array_get_ref(a, i)),
+                };
+                self.set_local(frame, *dst, v);
+            }
+            PageArraySet { arr, idx, src, .. } => {
+                let a = get(frame, *arr).as_page();
+                if a.is_null() {
+                    return Err(VmError::NullDeref("paged arrayset".into()));
+                }
+                let i = get(frame, *idx).as_i32() as usize;
+                match get(frame, *src) {
+                    Value::I32(v) => self.paged.array_set_i32(a, i, v),
+                    Value::I64(v) => self.paged.array_set_i64(a, i, v),
+                    Value::F64(v) => self.paged.array_set_f64(a, i, v),
+                    Value::Page(p) => self.paged.array_set_ref(a, i, p),
+                    other => {
+                        return Err(VmError::IllegalInstruction(format!(
+                            "paged arrayset of {other:?}"
+                        )));
+                    }
+                }
+            }
+            PageArrayLen { dst, arr } => {
+                let a = get(frame, *arr).as_page();
+                if a.is_null() {
+                    return Err(VmError::NullDeref("paged arraylength".into()));
+                }
+                let n = self.paged.array_len(a) as i32;
+                self.set_local(frame, *dst, Value::I32(n));
+            }
+            BindParam {
+                dst,
+                class,
+                index,
+                src,
+            } => {
+                let tid = self.meta()?.type_id(*class);
+                let r = get(frame, *src).as_page();
+                let pools = self.pools.as_mut().expect("paged mode");
+                pools.param(PTypeId(tid), *index).bind(r);
+                self.set_local(
+                    frame,
+                    *dst,
+                    Value::Facade(FacadeSlot::Param {
+                        type_id: tid,
+                        index: *index as u16,
+                    }),
+                );
+            }
+            Resolve { dst, src, .. } => {
+                let r = get(frame, *src).as_page();
+                if r.is_null() {
+                    return Err(VmError::NullDeref("resolve".into()));
+                }
+                let tid = self.paged.type_of(r).0;
+                let pools = self.pools.as_mut().expect("paged mode");
+                pools.receiver(PTypeId(tid)).bind(r);
+                self.set_local(frame, *dst, Value::Facade(FacadeSlot::Receiver { type_id: tid }));
+            }
+            ReleaseFacade { dst, facade } => {
+                let v = get(frame, *facade);
+                let Value::Facade(slot) = v else {
+                    return Err(VmError::IllegalInstruction(format!(
+                        "release of non-facade {v:?}"
+                    )));
+                };
+                let r = self.facade_release(slot);
+                self.set_local(frame, *dst, Value::Page(r));
+            }
+            PageInstanceOf { dst, src, class } => {
+                let meta = self.meta()?;
+                let v = match get(frame, *src) {
+                    Value::Page(r) if !r.is_null() => {
+                        let tid = self.paged.type_of(r).0;
+                        match meta.class_of_type.get(&tid) {
+                            Some(&c) => self.program.is_subtype(c, *class),
+                            None => false, // arrays
+                        }
+                    }
+                    _ => false,
+                };
+                self.set_local(frame, *dst, Value::I32(v as i32));
+            }
+            PageMonitorEnter(l) => {
+                let r = get(frame, *l).as_page();
+                if r.is_null() {
+                    return Err(VmError::NullDeref("paged monitorenter".into()));
+                }
+                let mut id = self.paged.lock_word(r);
+                if id == 0 {
+                    id = self.free_lock_ids.pop().unwrap_or_else(|| {
+                        let id = self.next_lock_id;
+                        self.next_lock_id += 1;
+                        id
+                    });
+                    self.paged.set_lock_word(r, id);
+                }
+                *self.page_monitor_counts.entry(id).or_default() += 1;
+            }
+            PageMonitorExit(l) => {
+                let r = get(frame, *l).as_page();
+                let id = self.paged.lock_word(r);
+                if id != 0 {
+                    let count = self.page_monitor_counts.entry(id).or_default();
+                    *count = count.saturating_sub(1);
+                    if *count == 0 {
+                        // Return the lock to the pool and zero the record's
+                        // lock field (§3.4).
+                        self.paged.set_lock_word(r, 0);
+                        self.free_lock_ids.push(id);
+                    }
+                }
+            }
+            ConvertToPage { dst, src, .. } => {
+                let v = get(frame, *src).as_obj();
+                let r = self.convert_to_page(v)?;
+                self.set_local(frame, *dst, Value::Page(r));
+            }
+            ConvertToHeap { dst, src, .. } => {
+                let r = get(frame, *src).as_page();
+                let v = self.convert_to_heap(r)?;
+                self.set_local(frame, *dst, Value::Obj(v));
+            }
+        }
+        let _ = method;
+        Ok(())
+    }
+
+    fn dispatch(&mut self, target: CallTarget, args: &[Value]) -> Result<MethodId, VmError> {
+        match target {
+            CallTarget::Static(m) | CallTarget::Special(m) => Ok(m),
+            CallTarget::Virtual(declared) => {
+                let recv = args
+                    .first()
+                    .copied()
+                    .ok_or_else(|| VmError::IllegalInstruction("virtual call without receiver".into()))?;
+                let runtime_class = match recv {
+                    Value::Obj(r) => {
+                        if r.is_null() {
+                            return Err(VmError::NullDeref("virtual dispatch".into()));
+                        }
+                        let h = self
+                            .heap
+                            .class_of(r)
+                            .ok_or_else(|| VmError::IllegalInstruction("dispatch on array".into()))?;
+                        self.rev_class[&h.0]
+                    }
+                    Value::Facade(slot) => {
+                        let r = self.facade_peek(slot);
+                        if r.is_null() {
+                            return Err(VmError::NullDeref("virtual dispatch".into()));
+                        }
+                        let tid = self.paged.type_of(r).0;
+                        let meta = self.meta()?;
+                        let data_class = meta.class_of_type[&tid];
+                        meta.facade(data_class).expect("facade generated")
+                    }
+                    other => {
+                        return Err(VmError::IllegalInstruction(format!(
+                            "virtual dispatch on {other:?}"
+                        )));
+                    }
+                };
+                Ok(self.program.resolve_virtual(runtime_class, declared))
+            }
+        }
+    }
+
+    fn format_value(&mut self, v: Value) -> String {
+        match v {
+            Value::I32(x) => x.to_string(),
+            Value::I64(x) => x.to_string(),
+            Value::F64(x) => format!("{x}"),
+            Value::Obj(r) => {
+                if r.is_null() {
+                    "null".into()
+                } else {
+                    match self.heap.class_of(r) {
+                        Some(h) => self.program.class(self.rev_class[&h.0]).name.clone(),
+                        None => "array".into(),
+                    }
+                }
+            }
+            Value::Page(r) => self.format_page(r),
+            Value::Facade(slot) => {
+                let r = self.facade_peek(slot);
+                self.format_page(r)
+            }
+        }
+    }
+
+    fn format_page(&self, r: PageRef) -> String {
+        if r.is_null() {
+            return "null".into();
+        }
+        let tid = self.paged.type_of(r).0;
+        match self.meta.and_then(|m| m.class_of_type.get(&tid)) {
+            Some(&c) => self.program.class(c).name.clone(),
+            None => "array".into(),
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, VmError> {
+    use BinOp::*;
+    Ok(match (a, b) {
+        (Value::I32(x), Value::I32(y)) => Value::I32(match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            Mul => x.wrapping_mul(y),
+            Div => {
+                if y == 0 {
+                    return Err(VmError::DivisionByZero);
+                }
+                x.wrapping_div(y)
+            }
+            Rem => {
+                if y == 0 {
+                    return Err(VmError::DivisionByZero);
+                }
+                x.wrapping_rem(y)
+            }
+            And => x & y,
+            Or => x | y,
+            Xor => x ^ y,
+            Shl => x.wrapping_shl(y as u32),
+            Shr => x.wrapping_shr(y as u32),
+        }),
+        (Value::I64(x), Value::I64(y)) => Value::I64(match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            Mul => x.wrapping_mul(y),
+            Div => {
+                if y == 0 {
+                    return Err(VmError::DivisionByZero);
+                }
+                x.wrapping_div(y)
+            }
+            Rem => {
+                if y == 0 {
+                    return Err(VmError::DivisionByZero);
+                }
+                x.wrapping_rem(y)
+            }
+            And => x & y,
+            Or => x | y,
+            Xor => x ^ y,
+            Shl => x.wrapping_shl(y as u32),
+            Shr => x.wrapping_shr(y as u32),
+        }),
+        (Value::F64(x), Value::F64(y)) => Value::F64(match op {
+            Add => x + y,
+            Sub => x - y,
+            Mul => x * y,
+            Div => x / y,
+            Rem => x % y,
+            _ => {
+                return Err(VmError::IllegalInstruction(format!(
+                    "bitwise op {op:?} on f64"
+                )));
+            }
+        }),
+        (a, b) => {
+            return Err(VmError::IllegalInstruction(format!(
+                "binary op on {a:?} and {b:?}"
+            )));
+        }
+    })
+}
+
+fn eval_cmp(op: CmpOp, a: Value, b: Value) -> bool {
+    use CmpOp::*;
+    match (a, b) {
+        (Value::I32(x), Value::I32(y)) => match op {
+            Eq => x == y,
+            Ne => x != y,
+            Lt => x < y,
+            Le => x <= y,
+            Gt => x > y,
+            Ge => x >= y,
+        },
+        (Value::I64(x), Value::I64(y)) => match op {
+            Eq => x == y,
+            Ne => x != y,
+            Lt => x < y,
+            Le => x <= y,
+            Gt => x > y,
+            Ge => x >= y,
+        },
+        (Value::F64(x), Value::F64(y)) => match op {
+            Eq => x == y,
+            Ne => x != y,
+            Lt => x < y,
+            Le => x <= y,
+            Gt => x > y,
+            Ge => x >= y,
+        },
+        (Value::Obj(x), Value::Obj(y)) => match op {
+            Eq => x == y,
+            Ne => x != y,
+            _ => false,
+        },
+        (Value::Page(x), Value::Page(y)) => match op {
+            Eq => x == y,
+            Ne => x != y,
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn num_cast(dst: &Ty, v: Value) -> Value {
+    let as_f64 = match v {
+        Value::I32(x) => x as f64,
+        Value::I64(x) => x as f64,
+        Value::F64(x) => x,
+        other => panic!("numeric cast of {other:?}"),
+    };
+    match dst {
+        Ty::I32 => Value::I32(match v {
+            Value::I32(x) => x,
+            Value::I64(x) => x as i32,
+            Value::F64(x) => x as i32,
+            _ => unreachable!("verified numeric cast"),
+        }),
+        Ty::I64 => Value::I64(match v {
+            Value::I32(x) => x as i64,
+            Value::F64(x) => x as i64,
+            Value::I64(x) => x,
+            _ => unreachable!(),
+        }),
+        Ty::F64 => Value::F64(as_f64),
+        other => panic!("numeric cast into {other}"),
+    }
+}

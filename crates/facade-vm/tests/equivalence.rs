@@ -1,0 +1,842 @@
+//! P ≡ P' equivalence tests: every program is executed in heap mode, then
+//! transformed and executed in paged mode; the observable output must be
+//! identical (§3.7's semantics-preservation claim). Several tests also
+//! check the paper's object-bound claims against the VM's statistics.
+
+use facade_compiler::{DataSpec, transform};
+use facade_ir::{BinOp, CmpOp, CallTarget, Instr, Program, ProgramBuilder, Ty};
+use facade_vm::Vm;
+
+/// Runs `program` as `P` and as `P'` and asserts identical output; returns
+/// the output for further assertions.
+fn assert_equivalent(program: &Program, spec: &DataSpec) -> Vec<String> {
+    program.verify().expect("P verifies");
+    let mut vm = Vm::new_heap(program);
+    vm.run().expect("P runs");
+    let p_out: Vec<String> = vm.output().to_vec();
+
+    let out = transform(program, spec).expect("transformation succeeds");
+    out.program.verify().expect("P' verifies");
+    let mut vm2 = Vm::new_paged(&out.program, &out.meta);
+    vm2.run().expect("P' runs");
+    assert_eq!(vm2.output(), p_out.as_slice(), "P and P' outputs differ");
+    p_out
+}
+
+/// The paper's Figure 2 program: Professor/Student with an `addStudent`
+/// method and a static `client` driver.
+fn figure2_program() -> (Program, DataSpec) {
+    let mut pb = ProgramBuilder::new();
+    let student = pb
+        .class("Student")
+        .field("id", Ty::I32)
+        .build();
+    let professor = pb
+        .class("Professor")
+        .field("id", Ty::I32)
+        .field("students", Ty::array(Ty::Ref(student)))
+        .field("numStudents", Ty::I32)
+        .build();
+
+    // Student.<init>(id)
+    let mut ctor = pb.method(student, "<init>").param(Ty::I32);
+    let this = ctor.this_local();
+    let id = ctor.param_local(0);
+    ctor.set_field(this, "id", id);
+    ctor.ret(None);
+    let student_ctor = ctor.finish();
+
+    // Professor.<init>(): allocates a 4-element student array.
+    let mut pctor = pb.method(professor, "<init>");
+    let this = pctor.this_local();
+    let four = pctor.const_i32(4);
+    let arr = pctor.new_array(Ty::Ref(student), four);
+    pctor.set_field(this, "students", arr);
+    pctor.ret(None);
+    let professor_ctor = pctor.finish();
+
+    // Professor.addStudent(Student s) { students[numStudents++] = s; }
+    let mut add = pb.method(professor, "addStudent").param(Ty::Ref(student));
+    let this = add.this_local();
+    let s = add.param_local(0);
+    let n = add.get_field(this, "numStudents");
+    let arr = add.get_field(this, "students");
+    add.array_set(arr, n, s);
+    let one = add.const_i32(1);
+    let n1 = add.bin(BinOp::Add, n, one);
+    add.set_field(this, "numStudents", n1);
+    add.ret(None);
+    let add_student = add.finish();
+
+    // Professor.total(): sum of student ids.
+    let mut total = pb.method(professor, "total").returns(Ty::I32);
+    let this = total.this_local();
+    let n = total.get_field(this, "numStudents");
+    let arr = total.get_field(this, "students");
+    let sum = total.local(Ty::I32);
+    let i = total.local(Ty::I32);
+    let zero = total.const_i32(0);
+    total.move_(sum, zero);
+    total.move_(i, zero);
+    let head = total.block();
+    let body_bb = total.block();
+    let done = total.block();
+    total.jump(head);
+    total.switch_to(head);
+    let cont = total.cmp(CmpOp::Lt, i, n);
+    total.branch(cont, body_bb, done);
+    total.switch_to(body_bb);
+    let s = total.array_get(arr, i);
+    let sid = total.get_field(s, "id");
+    let sum2 = total.bin(BinOp::Add, sum, sid);
+    total.move_(sum, sum2);
+    let one = total.const_i32(1);
+    let i2 = total.bin(BinOp::Add, i, one);
+    total.move_(i, i2);
+    total.jump(head);
+    total.switch_to(done);
+    total.ret(Some(sum));
+    let total_m = total.finish();
+
+    // Static driver *inside the data path* (the paper's `client` lives in
+    // the transformed code too).
+    let mut client = pb.method(professor, "client").static_().returns(Ty::I32);
+    let p = client.new_object(professor);
+    client.call_special(professor_ctor, vec![p]);
+    for id in [7, 35] {
+        let s = client.new_object(student);
+        let idv = client.const_i32(id);
+        client.call_special(student_ctor, vec![s, idv]);
+        client.call_virtual(add_student, vec![p, s]);
+    }
+    let t = client.call_virtual(total_m, vec![p]).unwrap();
+    client.print(t);
+    client.ret(Some(t));
+    let client_m = client.finish();
+
+    // Control-path main calling into the data path.
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let t = main.call_static(client_m, vec![]).unwrap();
+    main.print(t);
+    main.ret(None);
+    let main_m = main.finish();
+
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+    (program, DataSpec::new(["Student", "Professor"]))
+}
+
+#[test]
+fn figure2_p_and_p_prime_agree() {
+    let (program, spec) = figure2_program();
+    let out = assert_equivalent(&program, &spec);
+    assert_eq!(out, vec!["42".to_string(), "42".to_string()]);
+}
+
+#[test]
+fn figure2_data_objects_move_off_heap() {
+    let (program, spec) = figure2_program();
+    let out = transform(&program, &spec).unwrap();
+    let mut vm = Vm::new_paged(&out.program, &out.meta);
+    vm.run().unwrap();
+    // All Student/Professor instances became paged records.
+    let student = program.class_by_name("Student").unwrap();
+    let professor = program.class_by_name("Professor").unwrap();
+    let s_tid = out.meta.type_id(student);
+    let p_tid = out.meta.type_id(professor);
+    assert_eq!(vm.paged().alloc_count(facade_runtime::TypeId(s_tid)), 2);
+    assert_eq!(vm.paged().alloc_count(facade_runtime::TypeId(p_tid)), 1);
+    // The facade pools are statically bounded.
+    let pools = vm.pools().unwrap();
+    assert_eq!(pools.facade_count(), out.meta.bounds.facades_per_thread());
+}
+
+#[test]
+fn figure2_transform_report_counts() {
+    let (program, spec) = figure2_program();
+    let out = transform(&program, &spec).unwrap();
+    assert_eq!(out.report.classes_transformed, 2);
+    // 5 data-path methods: 2 ctors, addStudent, total, client.
+    assert_eq!(out.report.methods_transformed, 5);
+    assert!(out.report.instructions_transformed > 0);
+    assert!(out.report.instructions_per_second() > 0.0);
+}
+
+#[test]
+fn linked_list_recursion_agrees() {
+    let mut pb = ProgramBuilder::new();
+    let mut node_cb = pb.class("Node").field("v", Ty::I32);
+    let node = node_cb.id();
+    node_cb = node_cb.field("next", Ty::Ref(node));
+    let node = node_cb.build();
+
+    // static int sum(Node n) { return n == null ? 0 : n.v + sum(n.next); }
+    let mut sum = pb
+        .method(node, "sum")
+        .param(Ty::Ref(node))
+        .returns(Ty::I32)
+        .static_();
+    let n = sum.param_local(0);
+    let null = sum.const_null(Ty::Ref(node));
+    let is_null = sum.cmp(CmpOp::Eq, n, null);
+    let base = sum.block();
+    let rec = sum.block();
+    sum.branch(is_null, base, rec);
+    sum.switch_to(base);
+    let zero = sum.const_i32(0);
+    sum.ret(Some(zero));
+    sum.switch_to(rec);
+    let v = sum.get_field(n, "v");
+    let next = sum.get_field(n, "next");
+    // Recursive call: use the same method id via a self-referential trick —
+    // finish the method first and patch with a static call in a wrapper
+    // method instead. Simpler: compute iteratively here.
+    let total = sum.local(Ty::I32);
+    sum.move_(total, v);
+    let cur = sum.local(Ty::Ref(node));
+    sum.move_(cur, next);
+    let head = sum.block();
+    let body_bb = sum.block();
+    let done = sum.block();
+    sum.jump(head);
+    sum.switch_to(head);
+    let nn = sum.cmp(CmpOp::Ne, cur, null);
+    sum.branch(nn, body_bb, done);
+    sum.switch_to(body_bb);
+    let cv = sum.get_field(cur, "v");
+    let t2 = sum.bin(BinOp::Add, total, cv);
+    sum.move_(total, t2);
+    let nxt = sum.get_field(cur, "next");
+    sum.move_(cur, nxt);
+    sum.jump(head);
+    sum.switch_to(done);
+    sum.ret(Some(total));
+    let sum_m = sum.finish();
+
+    // static build-and-sum driver in the data path.
+    let mut drv = pb.method(node, "drive").static_().returns(Ty::I32);
+    let head_node = drv.const_null(Ty::Ref(node));
+    let prev = drv.local(Ty::Ref(node));
+    drv.move_(prev, head_node);
+    // Build 10 nodes: values 1..=10.
+    let mut first = None;
+    for i in 1..=10 {
+        let nd = drv.new_object(node);
+        let v = drv.const_i32(i);
+        drv.set_field(nd, "v", v);
+        if first.is_none() {
+            first = Some(nd);
+        } else {
+            drv.set_field(prev, "next", nd);
+        }
+        drv.move_(prev, nd);
+    }
+    let s = drv.call_static(sum_m, vec![first.unwrap()]).unwrap();
+    drv.print(s);
+    drv.ret(Some(s));
+    let drv_m = drv.finish();
+
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let r = main.call_static(drv_m, vec![]).unwrap();
+    main.print(r);
+    main.ret(None);
+    let main_m = main.finish();
+
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+    let out = assert_equivalent(&program, &DataSpec::new(["Node"]));
+    assert_eq!(out, vec!["55".to_string(), "55".to_string()]);
+}
+
+#[test]
+fn virtual_dispatch_through_hierarchy_agrees() {
+    let mut pb = ProgramBuilder::new();
+    let shape = pb.class("Shape").field("tag", Ty::I32).build();
+    let circle = pb.class("Circle").extends(shape).field("r", Ty::I32).build();
+    let square = pb.class("Square").extends(shape).field("s", Ty::I32).build();
+
+    // Shape.area() { return 0 }
+    let mut area = pb.method(shape, "area").returns(Ty::I32);
+    let _ = area.this_local();
+    let z = area.const_i32(0);
+    area.ret(Some(z));
+    let area_m = area.finish();
+
+    // Circle.area() { return 3 * r * r }
+    let mut carea = pb.method(circle, "area").returns(Ty::I32);
+    let this = carea.this_local();
+    let r = carea.get_field(this, "r");
+    let three = carea.const_i32(3);
+    let rr = carea.bin(BinOp::Mul, r, r);
+    let a = carea.bin(BinOp::Mul, three, rr);
+    carea.ret(Some(a));
+    carea.finish();
+
+    // Square.area() { return s * s }
+    let mut sarea = pb.method(square, "area").returns(Ty::I32);
+    let this = sarea.this_local();
+    let s = sarea.get_field(this, "s");
+    let a = sarea.bin(BinOp::Mul, s, s);
+    sarea.ret(Some(a));
+    sarea.finish();
+
+    // Data-path driver: polymorphic array walk.
+    let mut drv = pb.method(shape, "drive").static_().returns(Ty::I32);
+    let two = drv.const_i32(2);
+    let arr = drv.new_array(Ty::Ref(shape), two);
+    let c = drv.new_object(circle);
+    let five = drv.const_i32(5);
+    drv.set_field(c, "r", five);
+    let zero = drv.const_i32(0);
+    drv.array_set(arr, zero, c);
+    let sq = drv.new_object(square);
+    let four = drv.const_i32(4);
+    drv.set_field(sq, "s", four);
+    let one = drv.const_i32(1);
+    drv.array_set(arr, one, sq);
+    let total = drv.local(Ty::I32);
+    drv.move_(total, zero);
+    for i in 0..2 {
+        let idx = drv.const_i32(i);
+        let sh = drv.array_get(arr, idx);
+        let a = drv.call_virtual(area_m, vec![sh]).unwrap();
+        let t = drv.bin(BinOp::Add, total, a);
+        drv.move_(total, t);
+        // instanceof checks exercise case 7.
+        let is_c = drv.instance_of(sh, circle);
+        drv.print(is_c);
+    }
+    drv.print(total);
+    drv.ret(Some(total));
+    let drv_m = drv.finish();
+
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let r = main.call_static(drv_m, vec![]).unwrap();
+    main.print(r);
+    main.ret(None);
+    let main_m = main.finish();
+
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+    let out = assert_equivalent(&program, &DataSpec::new(["Shape", "Circle", "Square"]));
+    // Circle: 75, Square: 16; instanceof: 1 then 0; total 91.
+    assert_eq!(out, vec!["1", "0", "91", "91"]);
+}
+
+#[test]
+fn boundary_conversions_roundtrip() {
+    // Control code builds a heap Student, passes it into the data path,
+    // and reads a data-path result back.
+    let mut pb = ProgramBuilder::new();
+    let student = pb.class("Student").field("id", Ty::I32).build();
+
+    // static Student bump(Student s) { s.id += 1; return s; }  (data path)
+    let mut bump = pb
+        .method(student, "bump")
+        .param(Ty::Ref(student))
+        .returns(Ty::Ref(student))
+        .static_();
+    let s = bump.param_local(0);
+    let id = bump.get_field(s, "id");
+    let one = bump.const_i32(1);
+    let id2 = bump.bin(BinOp::Add, id, one);
+    bump.set_field(s, "id", id2);
+    bump.ret(Some(s));
+    let bump_m = bump.finish();
+
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let s = main.new_object(student); // heap object in control code
+    let v = main.const_i32(41);
+    main.set_field(s, "id", v);
+    let s2 = main.call_static(bump_m, vec![s]).unwrap();
+    let out_id = main.get_field(s2, "id");
+    main.print(out_id);
+    main.ret(None);
+    let main_m = main.finish();
+
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+    let out = assert_equivalent(&program, &DataSpec::new(["Student"]));
+    assert_eq!(out, vec!["42"]);
+
+    // The conversion count shows up in the report.
+    let t = transform(&program, &DataSpec::new(["Student"])).unwrap();
+    assert!(t.report.interaction_points >= 2, "in and out conversions");
+}
+
+#[test]
+fn iteration_reclamation_bounds_pages() {
+    // A data-path loop allocating records per iteration, with
+    // iteration-start/end marks: pages recycle, facades stay bounded.
+    let mut pb = ProgramBuilder::new();
+    let rec = pb.class("Rec").field("a", Ty::I64).field("b", Ty::I64).build();
+
+    let mut drv = pb.method(rec, "drive").static_().returns(Ty::I32);
+    let count = drv.local(Ty::I32);
+    let zero = drv.const_i32(0);
+    drv.move_(count, zero);
+    let limit = drv.const_i32(50);
+    let head = drv.block();
+    let body_bb = drv.block();
+    let done = drv.block();
+    drv.jump(head);
+    drv.switch_to(head);
+    let cont = drv.cmp(CmpOp::Lt, count, limit);
+    drv.branch(cont, body_bb, done);
+    drv.switch_to(body_bb);
+    drv.iteration_start();
+    // 200 records per iteration, dead at iteration end.
+    let inner = drv.local(Ty::I32);
+    drv.move_(inner, zero);
+    let inner_limit = drv.const_i32(200);
+    let ih = drv.block();
+    let ib = drv.block();
+    let id_ = drv.block();
+    drv.jump(ih);
+    drv.switch_to(ih);
+    let icont = drv.cmp(CmpOp::Lt, inner, inner_limit);
+    drv.branch(icont, ib, id_);
+    drv.switch_to(ib);
+    let r = drv.new_object(rec);
+    let v = drv.const_i64(5);
+    drv.emit(Instr::SetField { obj: r, field: 0, src: v });
+    let one = drv.const_i32(1);
+    let i2 = drv.bin(BinOp::Add, inner, one);
+    drv.move_(inner, i2);
+    drv.jump(ih);
+    drv.switch_to(id_);
+    drv.iteration_end();
+    let one = drv.const_i32(1);
+    let c2 = drv.bin(BinOp::Add, count, one);
+    drv.move_(count, c2);
+    drv.jump(head);
+    drv.switch_to(done);
+    drv.print(count);
+    drv.ret(Some(count));
+    let drv_m = drv.finish();
+
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let r = main.call_static(drv_m, vec![]).unwrap();
+    main.print(r);
+    main.ret(None);
+    let main_m = main.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+
+    let out = assert_equivalent(&program, &DataSpec::new(["Rec"]));
+    assert_eq!(out, vec!["50", "50"]);
+
+    // Inspect the paged run's statistics.
+    let t = transform(&program, &DataSpec::new(["Rec"])).unwrap();
+    let mut vm = Vm::new_paged(&t.program, &t.meta);
+    vm.run().unwrap();
+    let stats = vm.paged().stats();
+    assert_eq!(stats.records_allocated, 50 * 200);
+    assert_eq!(stats.iterations_started, 50);
+    assert_eq!(stats.iterations_ended, 50);
+    // Each iteration recycles its page(s); a recycled page is re-created
+    // from the free list, so recycle events ≥ page creations.
+    assert!(
+        stats.pages_recycled >= stats.pages_created,
+        "created {} recycled {}",
+        stats.pages_created,
+        stats.pages_recycled
+    );
+    assert_eq!(stats.pages_recycled % 50, 0, "one recycle batch per iteration");
+    // Page recycling keeps the page population tiny: one iteration's worth.
+    assert!(
+        vm.paged().page_objects() < 10,
+        "page objects: {}",
+        vm.paged().page_objects()
+    );
+    // The heap sees only control objects — the O(s) term is gone.
+    assert!(
+        vm.heap().stats().objects_allocated < 10,
+        "heap objects: {}",
+        vm.heap().stats().objects_allocated
+    );
+}
+
+#[test]
+fn synchronized_blocks_on_data_records_agree() {
+    let mut pb = ProgramBuilder::new();
+    let cell = pb.class("Cell").field("v", Ty::I32).build();
+
+    let mut drv = pb.method(cell, "drive").static_().returns(Ty::I32);
+    let c = drv.new_object(cell);
+    // synchronized (c) { c.v = 5; synchronized (c) { c.v += 1 } }
+    drv.emit(Instr::MonitorEnter(c));
+    let five = drv.const_i32(5);
+    drv.set_field(c, "v", five);
+    drv.emit(Instr::MonitorEnter(c));
+    let v = drv.get_field(c, "v");
+    let one = drv.const_i32(1);
+    let v2 = drv.bin(BinOp::Add, v, one);
+    drv.set_field(c, "v", v2);
+    drv.emit(Instr::MonitorExit(c));
+    drv.emit(Instr::MonitorExit(c));
+    let out = drv.get_field(c, "v");
+    drv.print(out);
+    drv.ret(Some(out));
+    let drv_m = drv.finish();
+
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let r = main.call_static(drv_m, vec![]).unwrap();
+    main.print(r);
+    main.ret(None);
+    let main_m = main.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+
+    let out = assert_equivalent(&program, &DataSpec::new(["Cell"]));
+    assert_eq!(out, vec!["6", "6"]);
+}
+
+#[test]
+fn pool_bound_covers_multi_arg_calls() {
+    // A call passing 3 Students: the bound must be 3 and the paged run must
+    // not clash facade slots.
+    let mut pb = ProgramBuilder::new();
+    let student = pb.class("Student").field("id", Ty::I32).build();
+
+    let mut take3 = pb
+        .method(student, "sum3")
+        .param(Ty::Ref(student))
+        .param(Ty::Ref(student))
+        .param(Ty::Ref(student))
+        .returns(Ty::I32)
+        .static_();
+    let mut acc = None;
+    for i in 0..3 {
+        let p = take3.param_local(i);
+        let v = take3.get_field(p, "id");
+        acc = Some(match acc {
+            None => v,
+            Some(a) => take3.bin(BinOp::Add, a, v),
+        });
+    }
+    take3.ret(acc);
+    let take3_m = take3.finish();
+
+    let mut drv = pb.method(student, "drive").static_().returns(Ty::I32);
+    let mut locals = vec![];
+    for id in [1, 2, 4] {
+        let s = drv.new_object(student);
+        let v = drv.const_i32(id);
+        drv.set_field(s, "id", v);
+        locals.push(s);
+    }
+    let r = drv
+        .call_static(take3_m, locals)
+        .unwrap();
+    drv.print(r);
+    drv.ret(Some(r));
+    let drv_m = drv.finish();
+
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let r = main.call_static(drv_m, vec![]).unwrap();
+    main.print(r);
+    main.ret(None);
+    let main_m = main.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+
+    let spec = DataSpec::new(["Student"]);
+    let out = assert_equivalent(&program, &spec);
+    assert_eq!(out, vec!["7", "7"]);
+
+    let t = transform(&program, &spec).unwrap();
+    let tid = t.meta.type_id(program.class_by_name("Student").unwrap());
+    assert_eq!(t.meta.bounds.bound(facade_runtime::TypeId(tid)), 3);
+}
+
+#[test]
+fn discarded_data_return_values_do_not_leak_facades() {
+    // Calling a data method that returns a data value and ignoring the
+    // result: the return facade must be released so later binds succeed.
+    let mut pb = ProgramBuilder::new();
+    let student = pb.class("Student").field("id", Ty::I32).build();
+
+    let mut mk = pb.method(student, "make").returns(Ty::Ref(student)).static_();
+    let s = mk.new_object(student);
+    mk.ret(Some(s));
+    let mk_m = mk.finish();
+
+    let mut drv = pb.method(student, "drive").static_().returns(Ty::I32);
+    // Call twice, discarding the result each time (dst = None).
+    for _ in 0..2 {
+        drv.emit(Instr::Call {
+            dst: None,
+            target: CallTarget::Static(mk_m),
+            args: vec![],
+        });
+    }
+    let r = drv.const_i32(1);
+    drv.print(r);
+    drv.ret(Some(r));
+    let drv_m = drv.finish();
+
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let r = main.call_static(drv_m, vec![]).unwrap();
+    main.print(r);
+    main.ret(None);
+    let main_m = main.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+
+    let out = assert_equivalent(&program, &DataSpec::new(["Student"]));
+    assert_eq!(out, vec!["1", "1"]);
+}
+
+#[test]
+fn primitive_arrays_in_data_path_agree() {
+    let mut pb = ProgramBuilder::new();
+    let holder = pb.class("Holder").field("data", Ty::array(Ty::F64)).build();
+
+    let mut drv = pb.method(holder, "drive").static_().returns(Ty::F64);
+    let h = drv.new_object(holder);
+    let ten = drv.const_i32(10);
+    let arr = drv.new_array(Ty::F64, ten);
+    drv.set_field(h, "data", arr);
+    for i in 0..10 {
+        let idx = drv.const_i32(i);
+        let v = drv.const_f64(i as f64 * 0.5);
+        drv.array_set(arr, idx, v);
+    }
+    let total = drv.local(Ty::F64);
+    let zero = drv.const_f64(0.0);
+    drv.move_(total, zero);
+    let back = drv.get_field(h, "data");
+    for i in 0..10 {
+        let idx = drv.const_i32(i);
+        let v = drv.array_get(back, idx);
+        let t = drv.bin(BinOp::Add, total, v);
+        drv.move_(total, t);
+    }
+    let n = drv.array_len(back);
+    drv.print(n);
+    drv.print(total);
+    drv.ret(Some(total));
+    let drv_m = drv.finish();
+
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let r = main.call_static(drv_m, vec![]).unwrap();
+    main.print(r);
+    main.ret(None);
+    let main_m = main.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+
+    let out = assert_equivalent(&program, &DataSpec::new(["Holder"]));
+    assert_eq!(out, vec!["10", "22.5", "22.5"]);
+}
+
+#[test]
+fn gc_pressure_differs_between_modes() {
+    // The headline effect: the heap run traces data objects; the paged run
+    // does not create them at all.
+    let mut pb = ProgramBuilder::new();
+    let rec = pb
+        .class("Rec")
+        .field("a", Ty::I64)
+        .field("b", Ty::I64)
+        .field("c", Ty::I64)
+        .build();
+
+    let mut drv = pb.method(rec, "drive").static_().returns(Ty::I32);
+    let n = drv.const_i32(20_000);
+    let i = drv.local(Ty::I32);
+    let zero = drv.const_i32(0);
+    drv.move_(i, zero);
+    let head = drv.block();
+    let body_bb = drv.block();
+    let done = drv.block();
+    drv.jump(head);
+    drv.switch_to(head);
+    let c = drv.cmp(CmpOp::Lt, i, n);
+    drv.branch(c, body_bb, done);
+    drv.switch_to(body_bb);
+    let _ = drv.new_object(rec);
+    let one = drv.const_i32(1);
+    let i2 = drv.bin(BinOp::Add, i, one);
+    drv.move_(i, i2);
+    drv.jump(head);
+    drv.switch_to(done);
+    drv.iteration_start();
+    drv.iteration_end();
+    drv.print(i);
+    drv.ret(Some(i));
+    let drv_m = drv.finish();
+
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let r = main.call_static(drv_m, vec![]).unwrap();
+    main.print(r);
+    main.ret(None);
+    let main_m = main.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+
+    program.verify().unwrap();
+    // A small heap so the 20k records actually exert GC pressure.
+    let config = facade_vm::VmConfig {
+        heap: managed_heap::HeapConfig::with_capacity(256 << 10),
+        ..facade_vm::VmConfig::default()
+    };
+    let mut vm = Vm::with_config(&program, None, config.clone());
+    vm.run().unwrap();
+    assert_eq!(vm.heap().stats().objects_allocated, 20_000);
+    assert!(vm.heap().stats().minor_collections > 0, "GC ran under P");
+
+    let t = transform(&program, &DataSpec::new(["Rec"])).unwrap();
+    let mut vm2 = Vm::with_config(&t.program, Some(&t.meta), config);
+    vm2.run().unwrap();
+    assert_eq!(vm2.paged().stats().records_allocated, 20_000);
+    assert_eq!(vm2.heap().stats().objects_allocated, 0);
+    assert_eq!(vm2.heap().stats().minor_collections, 0, "no GC under P'");
+}
+
+#[test]
+fn data_interface_dispatch_agrees() {
+    // §3.2's IFacade path: a data interface implemented by two data
+    // classes, with dispatch through interface-typed variables inside the
+    // data path.
+    let mut pb = ProgramBuilder::new();
+    let shape = pb.interface("Shape");
+    let shape = shape.build();
+    let area_decl = pb.abstract_method(shape, "area", vec![], Some(Ty::I32));
+
+    let circle = pb.class("Circle").implements(shape).field("r", Ty::I32).build();
+    let mut ca = pb.method(circle, "area").returns(Ty::I32);
+    let this = ca.this_local();
+    let r = ca.get_field(this, "r");
+    let three = ca.const_i32(3);
+    let rr = ca.bin(BinOp::Mul, r, r);
+    let a = ca.bin(BinOp::Mul, three, rr);
+    ca.ret(Some(a));
+    ca.finish();
+
+    let square = pb.class("Square").implements(shape).field("s", Ty::I32).build();
+    let mut sa = pb.method(square, "area").returns(Ty::I32);
+    let this = sa.this_local();
+    let s = sa.get_field(this, "s");
+    let a = sa.bin(BinOp::Mul, s, s);
+    sa.ret(Some(a));
+    sa.finish();
+
+    // Data-path driver: interface-typed local + array of interface refs.
+    let mut drv = pb.method(circle, "drive").static_().returns(Ty::I32);
+    let two = drv.const_i32(2);
+    let arr = drv.new_array(Ty::Ref(shape), two);
+    let c = drv.new_object(circle);
+    let five = drv.const_i32(5);
+    drv.set_field(c, "r", five);
+    let zero = drv.const_i32(0);
+    drv.array_set(arr, zero, c);
+    let sq = drv.new_object(square);
+    let four = drv.const_i32(4);
+    drv.set_field(sq, "s", four);
+    let one = drv.const_i32(1);
+    drv.array_set(arr, one, sq);
+    let total = drv.local(Ty::I32);
+    drv.move_(total, zero);
+    for i in 0..2 {
+        let idx = drv.const_i32(i);
+        // Interface-typed variable in the data path.
+        let sh = drv.array_get(arr, idx);
+        let a = drv.call_virtual(area_decl, vec![sh]).unwrap();
+        let t = drv.bin(BinOp::Add, total, a);
+        drv.move_(total, t);
+    }
+    drv.print(total);
+    drv.ret(Some(total));
+    let drv_m = drv.finish();
+
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let r = main.call_static(drv_m, vec![]).unwrap();
+    main.print(r);
+    main.ret(None);
+    let main_m = main.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+
+    let out = assert_equivalent(&program, &DataSpec::new(["Circle", "Square"]));
+    assert_eq!(out, vec!["91", "91"]);
+
+    // The facade interface exists and both facades implement it.
+    let t = transform(&program, &DataSpec::new(["Circle", "Square"])).unwrap();
+    let iface = t.program.class_by_name("Shape$Facade").unwrap();
+    assert!(t.program.class(iface).is_interface());
+}
+
+#[test]
+fn data_interface_as_parameter_and_return_type_agrees() {
+    // Data-interface types in signatures: facade parameters typed by the
+    // facade interface, returns through pool facade 0 of an attributed
+    // concrete subtype (§3.3's abstract-type rule).
+    let mut pb = ProgramBuilder::new();
+    let shape = pb.interface("Shape").build();
+    let area_decl = pb.abstract_method(shape, "area", vec![], Some(Ty::I32));
+    let circle = pb.class("Circle").implements(shape).field("r", Ty::I32).build();
+    let mut ca = pb.method(circle, "area").returns(Ty::I32);
+    let this = ca.this_local();
+    let r = ca.get_field(this, "r");
+    ca.ret(Some(r));
+    ca.finish();
+
+    // static Shape pick(Shape a, Shape b) { return a.area() > b.area() ? a : b }
+    let mut pick = pb
+        .method(circle, "pick")
+        .param(Ty::Ref(shape))
+        .param(Ty::Ref(shape))
+        .returns(Ty::Ref(shape))
+        .static_();
+    let a = pick.param_local(0);
+    let b = pick.param_local(1);
+    let aa = pick.call_virtual(area_decl, vec![a]).unwrap();
+    let ba = pick.call_virtual(area_decl, vec![b]).unwrap();
+    let gt = pick.cmp(CmpOp::Gt, aa, ba);
+    let t_bb = pick.block();
+    let e_bb = pick.block();
+    pick.branch(gt, t_bb, e_bb);
+    pick.switch_to(t_bb);
+    pick.ret(Some(a));
+    pick.switch_to(e_bb);
+    pick.ret(Some(b));
+    let pick_m = pick.finish();
+
+    let mut drv = pb.method(circle, "drive").static_().returns(Ty::I32);
+    let c1 = drv.new_object(circle);
+    let v1 = drv.const_i32(10);
+    drv.set_field(c1, "r", v1);
+    let c2 = drv.new_object(circle);
+    let v2 = drv.const_i32(20);
+    drv.set_field(c2, "r", v2);
+    let winner = drv.call_static(pick_m, vec![c1, c2]).unwrap();
+    let wa = drv.call_virtual(area_decl, vec![winner]).unwrap();
+    drv.print(wa);
+    drv.ret(Some(wa));
+    let drv_m = drv.finish();
+
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let r = main.call_static(drv_m, vec![]).unwrap();
+    main.print(r);
+    main.ret(None);
+    let main_m = main.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+
+    let out = assert_equivalent(&program, &DataSpec::new(["Circle"]));
+    assert_eq!(out, vec!["20", "20"]);
+}

@@ -1,0 +1,250 @@
+//! Interpreter behaviour tests: error paths, numeric semantics, dispatch
+//! edge cases, and the runaway-loop guard.
+
+use facade_compiler::{DataSpec, transform};
+use facade_ir::{BinOp, CmpOp, Instr, ProgramBuilder, Ty};
+use facade_vm::{Vm, VmConfig, VmError};
+
+#[test]
+fn division_by_zero_is_reported() {
+    let mut pb = ProgramBuilder::new();
+    let main_class = pb.class("Main").build();
+    let mut m = pb.method(main_class, "main").static_();
+    let a = m.const_i32(1);
+    let b = m.const_i32(0);
+    let _ = m.bin(BinOp::Div, a, b);
+    m.ret(None);
+    let main_m = m.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+    let mut vm = Vm::new_heap(&program);
+    assert_eq!(vm.run().unwrap_err(), VmError::DivisionByZero);
+}
+
+#[test]
+fn null_field_access_is_reported() {
+    let mut pb = ProgramBuilder::new();
+    let t = pb.class("T").field("x", Ty::I32).build();
+    let main_class = pb.class("Main").build();
+    let mut m = pb.method(main_class, "main").static_();
+    let n = m.const_null(Ty::Ref(t));
+    let _ = m.get_field(n, "x");
+    m.ret(None);
+    let main_m = m.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+    let mut vm = Vm::new_heap(&program);
+    assert!(matches!(vm.run().unwrap_err(), VmError::NullDeref(_)));
+}
+
+#[test]
+fn entryless_program_is_rejected() {
+    let pb = ProgramBuilder::new();
+    let program = pb.finish();
+    let mut vm = Vm::new_heap(&program);
+    assert_eq!(vm.run().unwrap_err(), VmError::NoEntry);
+}
+
+#[test]
+fn step_budget_stops_infinite_loops() {
+    let mut pb = ProgramBuilder::new();
+    let main_class = pb.class("Main").build();
+    let mut m = pb.method(main_class, "main").static_();
+    let bb = m.block();
+    m.jump(bb);
+    m.switch_to(bb);
+    let _ = m.const_i32(1); // at least one instruction per lap
+    m.jump(bb);
+    let main_m = m.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+    let config = VmConfig {
+        step_budget: Some(10_000),
+        ..VmConfig::default()
+    };
+    let mut vm = Vm::with_config(&program, None, config);
+    assert_eq!(vm.run().unwrap_err(), VmError::StepBudgetExceeded);
+    assert!(vm.steps() > 10_000);
+}
+
+#[test]
+fn numeric_casts_follow_rust_semantics() {
+    let mut pb = ProgramBuilder::new();
+    let main_class = pb.class("Main").build();
+    let mut m = pb.method(main_class, "main").static_();
+    let big = m.const_i64(1 << 40);
+    let narrowed = m.local(Ty::I32);
+    m.emit(Instr::NumCast {
+        dst: narrowed,
+        src: big,
+    });
+    m.print(narrowed);
+    let f = m.const_f64(3.99);
+    let truncated = m.local(Ty::I32);
+    m.emit(Instr::NumCast {
+        dst: truncated,
+        src: f,
+    });
+    m.print(truncated);
+    let widened = m.local(Ty::F64);
+    let three = m.const_i32(3);
+    m.emit(Instr::NumCast {
+        dst: widened,
+        src: three,
+    });
+    m.print(widened);
+    m.ret(None);
+    let main_m = m.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+    let mut vm = Vm::new_heap(&program);
+    vm.run().unwrap();
+    assert_eq!(vm.output(), ["0", "3", "3"]);
+}
+
+#[test]
+fn comparison_chain_matches_rust() {
+    let mut pb = ProgramBuilder::new();
+    let main_class = pb.class("Main").build();
+    let mut m = pb.method(main_class, "main").static_();
+    let a = m.const_f64(1.5);
+    let b = m.const_f64(2.5);
+    for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+        let r = m.cmp(op, a, b);
+        m.print(r);
+    }
+    m.ret(None);
+    let main_m = m.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+    let mut vm = Vm::new_heap(&program);
+    vm.run().unwrap();
+    assert_eq!(vm.output(), ["1", "1", "0", "0", "0", "1"]);
+}
+
+#[test]
+fn instanceof_on_null_is_false_in_both_modes() {
+    let mut pb = ProgramBuilder::new();
+    let t = pb.class("T").build();
+    let mut m = pb.method(t, "check").static_().returns(Ty::I32);
+    let n = m.const_null(Ty::Ref(t));
+    let r = m.instance_of(n, t);
+    m.print(r);
+    m.ret(Some(r));
+    let check = m.finish();
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let r = main.call_static(check, vec![]).unwrap();
+    main.print(r);
+    main.ret(None);
+    let main_m = main.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+
+    let mut vm = Vm::new_heap(&program);
+    vm.run().unwrap();
+    assert_eq!(vm.output(), ["0", "0"]);
+
+    let out = transform(&program, &DataSpec::new(["T"])).unwrap();
+    let mut vm2 = Vm::new_paged(&out.program, &out.meta);
+    vm2.run().unwrap();
+    assert_eq!(vm2.output(), ["0", "0"]);
+}
+
+#[test]
+fn null_virtual_dispatch_is_reported_in_paged_mode() {
+    let mut pb = ProgramBuilder::new();
+    let t = pb.class("T").field("x", Ty::I32).build();
+    let mut f = pb.method(t, "f");
+    let _ = f.this_local();
+    f.ret(None);
+    let f_m = f.finish();
+    let mut m = pb.method(t, "go").static_();
+    let n = m.const_null(Ty::Ref(t));
+    m.call_virtual(f_m, vec![n]);
+    m.ret(None);
+    let go = m.finish();
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    main.call_static(go, vec![]);
+    main.ret(None);
+    let main_m = main.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+
+    let mut vm = Vm::new_heap(&program);
+    assert!(matches!(vm.run().unwrap_err(), VmError::NullDeref(_)));
+
+    let out = transform(&program, &DataSpec::new(["T"])).unwrap();
+    let mut vm2 = Vm::new_paged(&out.program, &out.meta);
+    assert!(matches!(vm2.run().unwrap_err(), VmError::NullDeref(_)));
+}
+
+#[test]
+fn deep_recursion_with_data_arguments_keeps_pools_consistent() {
+    // Recursion: each frame binds pool facades; the callee releases them in
+    // its prologue, so the pool is free again before the next recursive
+    // call. The recursive method is the first one finished, so its id is
+    // MethodId(0), which lets the body call itself.
+    use facade_ir::{CallTarget, MethodId};
+    let mut pb = ProgramBuilder::new();
+    let t = pb.class("T").field("v", Ty::I32).build();
+    let self_id = MethodId(0);
+    let mut rec = pb
+        .method(t, "down")
+        .param(Ty::Ref(t))
+        .param(Ty::I32)
+        .returns(Ty::I32)
+        .static_();
+    let obj = rec.param_local(0);
+    let n = rec.param_local(1);
+    let zero = rec.const_i32(0);
+    let done = rec.cmp(CmpOp::Le, n, zero);
+    let base_bb = rec.block();
+    let rec_bb = rec.block();
+    rec.branch(done, base_bb, rec_bb);
+    rec.switch_to(base_bb);
+    let v = rec.get_field(obj, "v");
+    rec.ret(Some(v));
+    rec.switch_to(rec_bb);
+    let one = rec.const_i32(1);
+    let n1 = rec.bin(BinOp::Sub, n, one);
+    let r = rec.local(Ty::I32);
+    rec.emit(Instr::Call {
+        dst: Some(r),
+        target: CallTarget::Static(self_id),
+        args: vec![obj, n1],
+    });
+    rec.ret(Some(r));
+    let rec_m = rec.finish();
+    assert_eq!(rec_m, self_id, "recursive id assumption");
+
+    let mut drv = pb.method(t, "drive").static_().returns(Ty::I32);
+    let o = drv.new_object(t);
+    let val = drv.const_i32(99);
+    drv.set_field(o, "v", val);
+    let depth = drv.const_i32(50);
+    let out = drv.call_static(rec_m, vec![o, depth]).unwrap();
+    drv.print(out);
+    drv.ret(Some(out));
+    let drv_m = drv.finish();
+
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let r2 = main.call_static(drv_m, vec![]).unwrap();
+    main.print(r2);
+    main.ret(None);
+    let main_m = main.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+    program.verify().unwrap();
+
+    let mut vm = Vm::new_heap(&program);
+    vm.run().unwrap();
+    assert_eq!(vm.output(), ["99", "99"]);
+
+    let transformed = transform(&program, &DataSpec::new(["T"])).unwrap();
+    let mut vm2 = Vm::new_paged(&transformed.program, &transformed.meta);
+    vm2.run().unwrap();
+    assert_eq!(vm2.output(), ["99", "99"]);
+}

@@ -1,0 +1,355 @@
+//! Vertex kernels: the three applications of §4.3.
+
+/// What a vertex sends along its out-edges after computing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outgoing {
+    /// No messages.
+    None,
+    /// The same value on every out-edge.
+    Uniform(f64),
+    /// One value per out-edge (length must equal the out-degree).
+    PerEdge(Vec<f64>),
+}
+
+/// A Pregel vertex kernel. `compute` is called once per vertex per
+/// superstep with the aggregated incoming messages; optional *globals*
+/// implement GPS's master-compute aggregation (used by k-means).
+pub trait VertexKernel: Sync {
+    /// Application name (`PR`, `KM`, `RW`).
+    fn name(&self) -> &'static str;
+
+    /// Upper bound on supersteps.
+    fn max_supersteps(&self) -> usize;
+
+    /// Initial vertex value.
+    fn initial_value(&self, vertex: u32, out_degree: u32) -> f64;
+
+    /// The global values published to every vertex this superstep.
+    fn globals(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// A fresh accumulator for this superstep's global aggregation.
+    fn accumulator(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Folds one vertex's contribution into the accumulator.
+    fn contribute(&self, _vertex: u32, _value: f64, _acc: &mut [f64]) {}
+
+    /// Consumes the merged accumulator at the barrier; returns `true` if
+    /// the globals changed (keeps the computation running).
+    fn update_globals(&mut self, _acc: Vec<f64>) -> bool {
+        false
+    }
+
+    /// Computes a vertex: returns the new value, the outgoing messages,
+    /// and whether the vertex stays active.
+    #[allow(clippy::too_many_arguments)]
+    fn compute(
+        &self,
+        vertex: u32,
+        out_degree: u32,
+        value: f64,
+        msg_sum: f64,
+        msg_count: u32,
+        globals: &[f64],
+        superstep: usize,
+    ) -> (f64, Outgoing, bool);
+}
+
+/// Pregel PageRank with 0.15/0.85 damping.
+#[derive(Debug, Clone)]
+pub struct PageRank {
+    supersteps: usize,
+}
+
+impl PageRank {
+    /// PageRank for `supersteps` rounds.
+    pub fn new(supersteps: usize) -> Self {
+        Self { supersteps }
+    }
+}
+
+impl VertexKernel for PageRank {
+    fn name(&self) -> &'static str {
+        "PR"
+    }
+
+    fn max_supersteps(&self) -> usize {
+        self.supersteps
+    }
+
+    fn initial_value(&self, _vertex: u32, _out_degree: u32) -> f64 {
+        1.0
+    }
+
+    fn compute(
+        &self,
+        _vertex: u32,
+        out_degree: u32,
+        value: f64,
+        msg_sum: f64,
+        _msg_count: u32,
+        _globals: &[f64],
+        superstep: usize,
+    ) -> (f64, Outgoing, bool) {
+        let rank = if superstep == 0 {
+            value
+        } else {
+            0.15 + 0.85 * msg_sum
+        };
+        let share = rank / f64::from(out_degree.max(1));
+        (rank, Outgoing::Uniform(share), true)
+    }
+}
+
+/// Deterministic 2-D position for a vertex (k-means input features).
+pub(crate) fn position(v: u32) -> (f64, f64) {
+    let h = (u64::from(v))
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(31);
+    let x = (h & 0xFFFF) as f64 / 65535.0;
+    let y = ((h >> 16) & 0xFFFF) as f64 / 65535.0;
+    (x, y)
+}
+
+/// K-means over vertex feature vectors with master-compute centroid
+/// updates, as in GPS's k-means application.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    k: usize,
+    max_supersteps: usize,
+    centroids: Vec<(f64, f64)>,
+}
+
+impl KMeans {
+    /// K-means with `k` clusters.
+    pub fn new(k: usize, max_supersteps: usize) -> Self {
+        // Deterministic initial centroids spread over the unit square.
+        let centroids = (0..k)
+            .map(|i| position((i as u32 + 1) * 7919))
+            .collect();
+        Self {
+            k,
+            max_supersteps,
+            centroids,
+        }
+    }
+
+    /// The current centroids.
+    pub fn centroids(&self) -> &[(f64, f64)] {
+        &self.centroids
+    }
+}
+
+impl VertexKernel for KMeans {
+    fn name(&self) -> &'static str {
+        "KM"
+    }
+
+    fn max_supersteps(&self) -> usize {
+        self.max_supersteps
+    }
+
+    fn initial_value(&self, _vertex: u32, _out_degree: u32) -> f64 {
+        -1.0 // unassigned
+    }
+
+    fn globals(&self) -> Vec<f64> {
+        self.centroids
+            .iter()
+            .flat_map(|&(x, y)| [x, y])
+            .collect()
+    }
+
+    fn accumulator(&self) -> Vec<f64> {
+        vec![0.0; self.k * 3] // per cluster: sum x, sum y, count
+    }
+
+    fn contribute(&self, vertex: u32, value: f64, acc: &mut [f64]) {
+        if value >= 0.0 {
+            let c = value as usize;
+            let (x, y) = position(vertex);
+            acc[c * 3] += x;
+            acc[c * 3 + 1] += y;
+            acc[c * 3 + 2] += 1.0;
+        }
+    }
+
+    fn update_globals(&mut self, acc: Vec<f64>) -> bool {
+        let mut moved = false;
+        for c in 0..self.k {
+            let count = acc[c * 3 + 2];
+            if count > 0.0 {
+                let nx = acc[c * 3] / count;
+                let ny = acc[c * 3 + 1] / count;
+                let (ox, oy) = self.centroids[c];
+                if (nx - ox).abs() + (ny - oy).abs() > 1e-9 {
+                    moved = true;
+                }
+                self.centroids[c] = (nx, ny);
+            }
+        }
+        moved
+    }
+
+    fn compute(
+        &self,
+        vertex: u32,
+        _out_degree: u32,
+        _value: f64,
+        _msg_sum: f64,
+        _msg_count: u32,
+        globals: &[f64],
+        _superstep: usize,
+    ) -> (f64, Outgoing, bool) {
+        let (x, y) = position(vertex);
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for c in 0..globals.len() / 2 {
+            let dx = x - globals[c * 2];
+            let dy = y - globals[c * 2 + 1];
+            let d = dx * dx + dy * dy;
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        (best as f64, Outgoing::None, true)
+    }
+}
+
+/// Random walk: a population of walkers diffuses along out-edges; each
+/// vertex's value accumulates visit counts. Walker routing is
+/// deterministic (count splitting), so both backends produce identical
+/// results.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    supersteps: usize,
+    /// One in `seed_stride` vertices starts with `walkers_per_seed`.
+    seed_stride: u32,
+    walkers_per_seed: f64,
+}
+
+impl RandomWalk {
+    /// A walk of `supersteps` rounds with default seeding.
+    pub fn new(supersteps: usize) -> Self {
+        Self {
+            supersteps,
+            seed_stride: 97,
+            walkers_per_seed: 10.0,
+        }
+    }
+}
+
+impl VertexKernel for RandomWalk {
+    fn name(&self) -> &'static str {
+        "RW"
+    }
+
+    fn max_supersteps(&self) -> usize {
+        self.supersteps
+    }
+
+    fn initial_value(&self, _vertex: u32, _out_degree: u32) -> f64 {
+        0.0
+    }
+
+    fn compute(
+        &self,
+        vertex: u32,
+        out_degree: u32,
+        value: f64,
+        msg_sum: f64,
+        _msg_count: u32,
+        _globals: &[f64],
+        superstep: usize,
+    ) -> (f64, Outgoing, bool) {
+        let arriving = if superstep == 0 && vertex.is_multiple_of(self.seed_stride) {
+            self.walkers_per_seed
+        } else {
+            msg_sum
+        };
+        let visits = value + arriving;
+        if arriving > 0.0 && out_degree > 0 {
+            (
+                visits,
+                Outgoing::Uniform(arriving / f64::from(out_degree)),
+                true,
+            )
+        } else {
+            (visits, Outgoing::None, arriving > 0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pagerank_first_superstep_uses_initial_value() {
+        let pr = PageRank::new(3);
+        let (rank, out, active) = pr.compute(0, 4, 1.0, 0.0, 0, &[], 0);
+        assert_eq!(rank, 1.0);
+        assert_eq!(out, Outgoing::Uniform(0.25));
+        assert!(active);
+        let (rank2, _, _) = pr.compute(0, 4, rank, 2.0, 3, &[], 1);
+        assert!((rank2 - (0.15 + 0.85 * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positions_are_deterministic_and_in_unit_square() {
+        for v in 0..1000 {
+            let (x, y) = position(v);
+            assert_eq!((x, y), position(v));
+            assert!((0.0..=1.0).contains(&x));
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn kmeans_assigns_nearest_centroid() {
+        let km = KMeans::new(2, 5);
+        let globals = vec![0.0, 0.0, 1.0, 1.0];
+        // A vertex near (0,0) should pick cluster 0.
+        let v = (0..10_000u32)
+            .find(|&v| {
+                let (x, y) = position(v);
+                x < 0.1 && y < 0.1
+            })
+            .unwrap();
+        let (assign, _, _) = km.compute(v, 0, -1.0, 0.0, 0, &globals, 0);
+        assert_eq!(assign, 0.0);
+    }
+
+    #[test]
+    fn kmeans_update_moves_centroids() {
+        let mut km = KMeans::new(1, 5);
+        let mut acc = km.accumulator();
+        km.contribute(5, 0.0, &mut acc);
+        km.contribute(9, 0.0, &mut acc);
+        assert_eq!(acc[2], 2.0);
+        let changed = km.update_globals(acc);
+        assert!(changed);
+        let (cx, cy) = km.centroids()[0];
+        let (x5, y5) = position(5);
+        let (x9, y9) = position(9);
+        assert!((cx - (x5 + x9) / 2.0).abs() < 1e-12);
+        assert!((cy - (y5 + y9) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_walk_conserves_walkers_through_uniform_split() {
+        let rw = RandomWalk::new(3);
+        let (visits, out, active) = rw.compute(0, 5, 0.0, 0.0, 0, &[], 0);
+        assert_eq!(visits, 10.0);
+        assert_eq!(out, Outgoing::Uniform(2.0));
+        assert!(active);
+        // Non-seed vertex with no arrivals goes inactive.
+        let (_, out2, active2) = rw.compute(1, 5, 0.0, 0.0, 0, &[], 0);
+        assert_eq!(out2, Outgoing::None);
+        assert!(!active2);
+    }
+}

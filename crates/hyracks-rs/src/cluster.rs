@@ -1,0 +1,221 @@
+//! The simulated shared-nothing cluster.
+
+use data_store::{Store, StoreStats};
+use metrics::OutOfMemory;
+use metrics::report::Backend;
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Cluster and per-node sizing.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of workers (the paper runs 80 across 10 nodes; scale down).
+    pub workers: usize,
+    /// Storage backend for every worker's data path.
+    pub backend: Backend,
+    /// Per-worker memory budget in bytes (a Hyracks node's `-Xmx`; under
+    /// the facade backend the same budget bounds native pages, §4.2's
+    /// fair-comparison rule).
+    pub per_worker_budget: usize,
+    /// Frame granularity in input bytes; each frame is one sub-iteration.
+    pub frame_bytes: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            workers: 8,
+            backend: Backend::Heap,
+            per_worker_budget: 16 << 20,
+            frame_bytes: 32 << 10,
+        }
+    }
+}
+
+impl ClusterConfig {
+    pub(crate) fn make_store(&self) -> Store {
+        match self.backend {
+            Backend::Heap => Store::heap(self.per_worker_budget),
+            Backend::Facade => Store::facade(self.per_worker_budget),
+        }
+    }
+}
+
+/// Aggregate statistics over all workers of a completed job.
+#[derive(Debug, Clone, Default)]
+pub struct JobStats {
+    /// Wall-clock job time.
+    pub elapsed: Duration,
+    /// Summed GC time across workers (`GT`).
+    pub gc_time: Duration,
+    /// Summed GC count.
+    pub gc_count: u64,
+    /// Summed records allocated.
+    pub records_allocated: u64,
+    /// Summed peak memory across workers (cluster peak, Figure 4(b)/(c)).
+    pub peak_bytes: u64,
+    /// Summed pages created (facade runs).
+    pub pages_created: u64,
+}
+
+impl JobStats {
+    pub(crate) fn absorb(&mut self, s: &StoreStats) {
+        self.gc_time += s.gc_time;
+        self.gc_count += s.gc_count;
+        self.records_allocated += s.records_allocated;
+        self.peak_bytes += s.peak_bytes;
+        self.pages_created += s.pages_created;
+    }
+}
+
+/// A failed job: some worker ran out of memory `after` this long — the
+/// paper's `OME(n)` outcome.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Time from job start to failure.
+    pub after: Duration,
+    /// The worker's out-of-memory error.
+    pub cause: OutOfMemory,
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OME({:.1}): {}", self.after.as_secs_f64(), self.cause)
+    }
+}
+
+impl Error for JobFailure {}
+
+/// Splits `items` round-robin into `n` partitions (the paper partitions the
+/// dataset "among the slaves in a round-robin manner").
+pub(crate) fn round_robin<T: Clone>(items: &[T], n: usize) -> Vec<Vec<T>> {
+    let mut parts = vec![Vec::with_capacity(items.len() / n + 1); n];
+    for (i, item) in items.iter().enumerate() {
+        parts[i % n].push(item.clone());
+    }
+    parts
+}
+
+/// Runs one phase: `worker` on each partition concurrently, each with its
+/// own store. Returns per-worker payloads, folding statistics into `stats`.
+///
+/// # Errors
+///
+/// If any worker runs out of memory the phase fails with [`JobFailure`]
+/// (the JVM on that node "terminates immediately", §4.2).
+pub(crate) fn run_phase<I, R, F>(
+    config: &ClusterConfig,
+    started: Instant,
+    partitions: Vec<I>,
+    stats: &mut JobStats,
+    worker: F,
+) -> Result<Vec<R>, JobFailure>
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, &mut Store, I) -> Result<R, OutOfMemory> + Sync,
+{
+    let results: Vec<(Result<R, OutOfMemory>, StoreStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .into_iter()
+            .enumerate()
+            .map(|(id, input)| {
+                let worker = &worker;
+                let config = &*config;
+                scope.spawn(move || {
+                    let mut store = config.make_store();
+                    let out = worker(id, &mut store, input);
+                    (out, store.stats())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut payloads = Vec::with_capacity(results.len());
+    let mut failure: Option<OutOfMemory> = None;
+    for (result, worker_stats) in results {
+        stats.absorb(&worker_stats);
+        match result {
+            Ok(r) => payloads.push(r),
+            Err(e) => failure = Some(failure.unwrap_or(e)),
+        }
+    }
+    match failure {
+        None => Ok(payloads),
+        Some(cause) => Err(JobFailure {
+            after: started.elapsed(),
+            cause,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_balances() {
+        let parts = round_robin(&(0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], vec![0, 3, 6, 9]);
+        assert_eq!(parts[1], vec![1, 4, 7]);
+        assert_eq!(parts[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn run_phase_aggregates_results_and_stats() {
+        let config = ClusterConfig {
+            workers: 4,
+            ..ClusterConfig::default()
+        };
+        let mut stats = JobStats::default();
+        let parts = round_robin(&(0..100).collect::<Vec<_>>(), 4);
+        let out = run_phase(&config, Instant::now(), parts, &mut stats, |_, store, xs| {
+            let c = store.register_class("T", &[data_store::FieldTy::I64]);
+            for _ in &xs {
+                store.alloc(c)?;
+            }
+            Ok(xs.len())
+        })
+        .unwrap();
+        assert_eq!(out.iter().sum::<usize>(), 100);
+        assert_eq!(stats.records_allocated, 100);
+    }
+
+    #[test]
+    fn run_phase_reports_worker_oom_as_failure() {
+        let config = ClusterConfig {
+            workers: 2,
+            per_worker_budget: 64 << 10,
+            ..ClusterConfig::default()
+        };
+        let mut stats = JobStats::default();
+        let parts = round_robin(&(0..2).collect::<Vec<_>>(), 2);
+        let result: Result<Vec<()>, _> =
+            run_phase(&config, Instant::now(), parts, &mut stats, |_, store, _| {
+                let c = store.register_class("T", &[data_store::FieldTy::I64; 8]);
+                loop {
+                    let r = store.alloc(c)?;
+                    store.add_root(r);
+                }
+            });
+        let failure = result.unwrap_err();
+        assert!(failure.to_string().starts_with("OME("), "{failure}");
+    }
+
+    #[test]
+    fn job_failure_displays_paper_convention() {
+        let f = JobFailure {
+            after: Duration::from_secs_f64(683.1),
+            cause: OutOfMemory {
+                attempted: 10,
+                budget: 5,
+            },
+        };
+        assert!(f.to_string().starts_with("OME(683.1)"));
+    }
+}

@@ -1,0 +1,217 @@
+//! The word-count job (WC of Table 3): a MapReduce-style pipeline with a
+//! map phase (tokenize + local aggregation), a hash shuffle, and a reduce
+//! phase, each worker's aggregation living in the record store.
+
+use crate::cluster::{ClusterConfig, JobFailure, JobStats, round_robin, run_phase};
+use crate::hashtable::{WordTable, hash_bytes, register_classes};
+use data_store::{ElemTy, FieldTy, Store};
+use metrics::OutOfMemory;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The result of a completed WC job.
+#[derive(Debug, Clone)]
+pub struct WcOutput {
+    /// Number of distinct words.
+    pub distinct_words: u64,
+    /// Total token count (must equal the corpus length).
+    pub total_count: i64,
+    /// Aggregate worker statistics.
+    pub stats: JobStats,
+}
+
+/// One map worker: tokenizes its partition frame by frame, each frame a
+/// sub-iteration of transient token records, aggregating into a
+/// store-backed [`WordTable`] that lives for the whole operator iteration.
+fn map_worker(
+    store: &mut Store,
+    words: Vec<String>,
+    frame_bytes: usize,
+) -> Result<Vec<(Vec<u8>, i64)>, OutOfMemory> {
+    let classes = register_classes(store);
+    let token_class = store.register_class("Token", &[FieldTy::I32, FieldTy::I32]);
+
+    let operator = store.iteration_start();
+    let mut table = WordTable::new(store, &classes, 4096)?;
+
+    let mut frame: Vec<&String> = Vec::new();
+    let mut frame_fill = 0usize;
+    let flush = |store: &mut Store,
+                     table: &mut WordTable,
+                     frame: &mut Vec<&String>|
+     -> Result<(), OutOfMemory> {
+        if frame.is_empty() {
+            return Ok(());
+        }
+        // One frame = one nested sub-iteration (§3.6): every token record
+        // allocated here dies here.
+        let sub = store.iteration_start();
+        let mut local: BTreeMap<Vec<u8>, i64> = BTreeMap::new();
+        for word in frame.iter() {
+            // The transient churn of the original user function: a byte
+            // array and a token record per token.
+            let bytes = store.alloc_array(ElemTy::U8, word.len())?;
+            store.array_write_bytes(bytes, word.as_bytes());
+            // Read the token back before the next allocation: the array is
+            // unrooted garbage-to-be, and a collection may reclaim it.
+            let w = store.array_read_bytes(bytes);
+            let token = store.alloc(token_class)?;
+            store.set_i32(token, 0, word.len() as i32);
+            store.set_i32(token, 1, hash_bytes(word.as_bytes()) as i32);
+            *local.entry(w).or_default() += 1;
+        }
+        store.iteration_end(sub);
+        // Fold the frame's combiner output into the operator-lifetime table
+        // (allocated between sub-iterations, so entries land in the
+        // operator's page manager).
+        for (w, c) in local {
+            table.add(store, &w, c)?;
+        }
+        frame.clear();
+        Ok(())
+    };
+
+    for word in &words {
+        frame.push(word);
+        frame_fill += word.len() + 1;
+        if frame_fill >= frame_bytes {
+            flush(store, &mut table, &mut frame)?;
+            frame_fill = 0;
+        }
+    }
+    flush(store, &mut table, &mut frame)?;
+
+    let out = table.extract(store);
+    table.release(store);
+    store.iteration_end(operator);
+    Ok(out)
+}
+
+/// One reduce worker: merges the shuffled partial counts for its key range.
+fn reduce_worker(
+    store: &mut Store,
+    pairs: Vec<(Vec<u8>, i64)>,
+) -> Result<Vec<(Vec<u8>, i64)>, OutOfMemory> {
+    let classes = register_classes(store);
+    let operator = store.iteration_start();
+    let mut table = WordTable::new(store, &classes, 4096)?;
+    for (w, c) in pairs {
+        table.add(store, &w, c)?;
+    }
+    let out = table.extract(store);
+    table.release(store);
+    store.iteration_end(operator);
+    Ok(out)
+}
+
+/// Runs the WC job over `corpus` on the simulated cluster.
+///
+/// # Errors
+///
+/// Returns [`JobFailure`] (`OME(n)`) if any worker exhausts its per-node
+/// budget.
+pub fn run_wordcount(corpus: &[String], config: &ClusterConfig) -> Result<WcOutput, JobFailure> {
+    let started = Instant::now();
+    let mut stats = JobStats::default();
+
+    // Map phase.
+    let partitions = round_robin(corpus, config.workers);
+    let map_out = run_phase(config, started, partitions, &mut stats, |_, store, part| {
+        map_worker(store, part, config.frame_bytes)
+    })?;
+
+    // Hash shuffle: word → reducer.
+    let mut shuffled: Vec<Vec<(Vec<u8>, i64)>> = (0..config.workers).map(|_| Vec::new()).collect();
+    for part in map_out {
+        for (w, c) in part {
+            let r = hash_bytes(&w) as usize % config.workers;
+            shuffled[r].push((w, c));
+        }
+    }
+
+    // Reduce phase.
+    let reduce_out = run_phase(config, started, shuffled, &mut stats, |_, store, part| {
+        reduce_worker(store, part)
+    })?;
+
+    let mut distinct = 0u64;
+    let mut total = 0i64;
+    for part in reduce_out {
+        distinct += part.len() as u64;
+        total += part.iter().map(|(_, c)| c).sum::<i64>();
+    }
+    stats.elapsed = started.elapsed();
+    Ok(WcOutput {
+        distinct_words: distinct,
+        total_count: total,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{CorpusSpec, corpus};
+    use metrics::report::Backend;
+
+    fn small_corpus() -> Vec<String> {
+        corpus(&CorpusSpec::new(40_000, 11))
+    }
+
+    fn config(backend: Backend, budget: usize) -> ClusterConfig {
+        ClusterConfig {
+            workers: 4,
+            backend,
+            per_worker_budget: budget,
+            frame_bytes: 4 << 10,
+        }
+    }
+
+    #[test]
+    fn counts_are_exact_on_both_backends() {
+        let words = small_corpus();
+        let mut truth: BTreeMap<&str, i64> = BTreeMap::new();
+        for w in &words {
+            *truth.entry(w).or_default() += 1;
+        }
+        for backend in [Backend::Heap, Backend::Facade] {
+            let out = run_wordcount(&words, &config(backend, 32 << 20)).unwrap();
+            assert_eq!(out.total_count, words.len() as i64);
+            assert_eq!(out.distinct_words, truth.len() as u64);
+        }
+    }
+
+    #[test]
+    fn heap_gcs_facade_does_not() {
+        // Enough tokens that the per-worker transient churn overflows the
+        // young generation repeatedly.
+        let words = corpus(&CorpusSpec::new(400_000, 11));
+        let heap = run_wordcount(&words, &config(Backend::Heap, 2 << 20)).unwrap();
+        let facade = run_wordcount(&words, &config(Backend::Facade, 32 << 20)).unwrap();
+        assert!(heap.stats.gc_count > 0, "P collects");
+        assert_eq!(facade.stats.gc_count, 0, "P' does not collect");
+        assert!(facade.stats.pages_created > 0);
+        assert_eq!(heap.distinct_words, facade.distinct_words);
+    }
+
+    #[test]
+    fn tight_budget_fails_heap_before_facade() {
+        // Scale the corpus so the heap's per-word object quadruple exceeds
+        // the budget while the facade's inlined records fit.
+        let words = corpus(&CorpusSpec {
+            bytes: 400_000,
+            vocabulary: 8_000,
+            exponent: 0.5, // flatter → more distinct words live
+            seed: 23,
+        });
+        let budget = 512 << 10;
+        let heap = run_wordcount(&words, &config(Backend::Heap, budget));
+        let facade = run_wordcount(&words, &config(Backend::Facade, budget));
+        assert!(heap.is_err(), "P should OME at this budget");
+        assert!(
+            facade.is_ok(),
+            "P' should complete: {:?}",
+            facade.err().map(|e| e.to_string())
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Allocation and collection statistics.
+
+use metrics::DurationHistogram;
+use std::time::Duration;
+
+/// Counters accumulated by a [`crate::Heap`] over its lifetime.
+///
+/// The benchmark harness reads `gc_time` as the paper's `GT` column and
+/// `peak_bytes` as part of `PM`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Number of minor (young-generation) collections.
+    pub minor_collections: u64,
+    /// Number of full (mark-compact) collections.
+    pub full_collections: u64,
+    /// Total stop-the-world pause time.
+    pub gc_time: Duration,
+    /// Objects visited by the collector (copied or marked).
+    pub objects_traced: u64,
+    /// Bytes physically moved by copying or compaction.
+    pub bytes_copied: u64,
+    /// Objects ever allocated.
+    pub objects_allocated: u64,
+    /// Objects reclaimed.
+    pub objects_collected: u64,
+    /// High-water mark of occupied heap bytes.
+    pub peak_bytes: u64,
+    /// Distribution of stop-the-world pause times.
+    pub pauses: DurationHistogram,
+}
+
+impl GcStats {
+    /// Total number of collections of either kind.
+    pub fn collections(&self) -> u64 {
+        self.minor_collections + self.full_collections
+    }
+
+    /// Folds another stats block into this one (used when aggregating
+    /// per-worker heaps into a run-level report).
+    pub fn merge(&mut self, other: &GcStats) {
+        self.minor_collections += other.minor_collections;
+        self.full_collections += other.full_collections;
+        self.gc_time += other.gc_time;
+        self.objects_traced += other.objects_traced;
+        self.bytes_copied += other.bytes_copied;
+        self.objects_allocated += other.objects_allocated;
+        self.objects_collected += other.objects_collected;
+        self.peak_bytes += other.peak_bytes;
+        self.pauses.merge(&other.pauses);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = GcStats {
+            minor_collections: 1,
+            full_collections: 2,
+            gc_time: Duration::from_secs(1),
+            objects_traced: 10,
+            bytes_copied: 100,
+            objects_allocated: 20,
+            objects_collected: 5,
+            peak_bytes: 1000,
+            pauses: DurationHistogram::new(),
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.minor_collections, 2);
+        assert_eq!(a.full_collections, 4);
+        assert_eq!(a.gc_time, Duration::from_secs(2));
+        assert_eq!(a.collections(), 6);
+        assert_eq!(a.peak_bytes, 2000);
+    }
+}

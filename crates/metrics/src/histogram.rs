@@ -1,0 +1,141 @@
+//! A tiny log-scale duration histogram for pause-time distributions.
+
+use std::time::Duration;
+
+/// Power-of-two bucketed duration histogram, from 1 µs to ~1 min.
+///
+/// # Examples
+///
+/// ```
+/// use metrics::DurationHistogram;
+/// use std::time::Duration;
+///
+/// let mut h = DurationHistogram::new();
+/// h.record(Duration::from_micros(3));
+/// h.record(Duration::from_millis(2));
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.max(), Duration::from_millis(2));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DurationHistogram {
+    /// Bucket `i` counts durations in `[2^i, 2^(i+1))` microseconds.
+    buckets: [u64; 26],
+    count: u64,
+    max: Duration,
+    total: Duration,
+}
+
+impl DurationHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: Duration) {
+        let micros = d.as_micros().max(1) as u64;
+        let bucket = (63 - micros.leading_zeros() as usize).min(self.buckets.len() - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total += d;
+        if d > self.max {
+            self.max = d;
+        }
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The largest recorded duration.
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// Mean recorded duration (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+
+    /// An upper bound on the given percentile (0.0–1.0), from bucket edges.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Duration::from_micros(1 << (i + 1));
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = DurationHistogram::new();
+        for us in [1u64, 2, 4, 100, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), Duration::from_micros(10_000));
+        assert!(h.mean() >= Duration::from_micros(2_000));
+    }
+
+    #[test]
+    fn percentile_brackets_the_distribution() {
+        let mut h = DurationHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10));
+        }
+        h.record(Duration::from_millis(50));
+        // p50 is near 10 µs (bucket upper bound 16 µs).
+        assert!(h.percentile(0.5) <= Duration::from_micros(16));
+        // p100 reaches the big outlier's bucket.
+        assert!(h.percentile(1.0) >= Duration::from_millis(32));
+    }
+
+    #[test]
+    fn merge_combines_counts_and_max() {
+        let mut a = DurationHistogram::new();
+        a.record(Duration::from_micros(5));
+        let mut b = DurationHistogram::new();
+        b.record(Duration::from_millis(7));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = DurationHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.percentile(0.99), Duration::ZERO);
+    }
+}

@@ -1,0 +1,37 @@
+//! Measurement utilities shared by the facade-rs benchmark harness.
+//!
+//! The paper's evaluation reports, for every run, a small set of phase
+//! timings (total execution time, engine update time, data load time, GC
+//! time), a peak memory figure sampled over the run, and per-experiment
+//! tables. This crate provides exactly those building blocks:
+//!
+//! - [`Stopwatch`] — a simple start/stop accumulator.
+//! - [`PhaseTimer`] — named, nestable phase accumulation (`ET`/`UT`/`LT`/`GT`).
+//! - [`MemoryTracker`] — byte accounting with peak tracking and an optional
+//!   budget that turns over-allocation into an out-of-memory error, mimicking
+//!   the JVM's `OutOfMemoryError` behaviour described in §4.2.
+//! - [`TextTable`] — fixed-width text tables for printing paper-style rows.
+//! - [`report`] — serializable experiment records.
+//!
+//! # Examples
+//!
+//! ```
+//! use metrics::{PhaseTimer, phases};
+//!
+//! let mut timer = PhaseTimer::new();
+//! timer.time(phases::LOAD, || { /* load a partition */ });
+//! timer.time(phases::UPDATE, || { /* run the update kernel */ });
+//! assert!(timer.total().as_nanos() > 0);
+//! ```
+
+mod histogram;
+mod memory;
+mod stopwatch;
+mod table;
+
+pub mod report;
+
+pub use histogram::DurationHistogram;
+pub use memory::{MemoryTracker, OutOfMemory, format_bytes};
+pub use stopwatch::{PhaseTimer, Stopwatch, phases};
+pub use table::TextTable;

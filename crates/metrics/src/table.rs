@@ -1,0 +1,132 @@
+//! Fixed-width text tables for paper-style result rows.
+
+use std::fmt;
+
+/// A simple left-padded text table.
+///
+/// Used by the benchmark binaries to print rows shaped like Table 2 and
+/// Table 3 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use metrics::TextTable;
+///
+/// let mut t = TextTable::new(&["App", "ET(s)", "GT(s)"]);
+/// t.row(&["PR", "1540.8", "317.1"]);
+/// t.row(&["PR'", "1180.7", "50.2"]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("PR'"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with blanks;
+    /// longer rows are truncated to the header width.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        let mut row: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut row = cells;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["a", "bbbb"]);
+        t.row(&["xxxxx", "y"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(&["a", "b", "c"]);
+        t.row(&["1"]);
+        assert_eq!(t.len(), 1);
+        let s = t.to_string();
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn long_rows_are_truncated() {
+        let mut t = TextTable::new(&["a"]);
+        t.row(&["1", "2", "3"]);
+        let s = t.to_string();
+        assert!(!s.contains('2'));
+    }
+
+    #[test]
+    fn empty_table_reports_empty() {
+        let t = TextTable::new(&["a"]);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Shows the paper's Figure 2 transformation: the source program `P` and
+//! the generated `P'` side by side, then executes both and compares.
+//!
+//! Run with: `cargo run --example compile_and_run`
+
+use facade::compiler::{DataSpec, transform};
+use facade::ir::{BinOp, ProgramBuilder, Ty};
+use facade::vm::Vm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Figure 2's Professor/Student program.
+    let mut pb = ProgramBuilder::new();
+    let student = pb.class("Student").field("id", Ty::I32).build();
+    let professor = pb
+        .class("Professor")
+        .field("id", Ty::I32)
+        .field("students", Ty::array(Ty::Ref(student)))
+        .field("numStudents", Ty::I32)
+        .build();
+
+    let mut ctor = pb.method(student, "<init>").param(Ty::I32);
+    let this = ctor.this_local();
+    let id = ctor.param_local(0);
+    ctor.set_field(this, "id", id);
+    ctor.ret(None);
+    let student_ctor = ctor.finish();
+
+    let mut add = pb.method(professor, "addStudent").param(Ty::Ref(student));
+    let this = add.this_local();
+    let s = add.param_local(0);
+    let n = add.get_field(this, "numStudents");
+    let arr = add.get_field(this, "students");
+    add.array_set(arr, n, s);
+    let one = add.const_i32(1);
+    let n1 = add.bin(BinOp::Add, n, one);
+    add.set_field(this, "numStudents", n1);
+    add.ret(None);
+    let add_m = add.finish();
+
+    // The paper's `client(ProfessorFacade pf)` driver.
+    let mut client = pb
+        .method(professor, "client")
+        .param(Ty::Ref(professor))
+        .static_()
+        .returns(Ty::I32);
+    let f = client.param_local(0);
+    let s = client.new_object(student);
+    let forty_two = client.const_i32(42);
+    client.call_special(student_ctor, vec![s, forty_two]);
+    let p = client.local(Ty::Ref(professor));
+    client.move_(p, f);
+    let t = client.local(Ty::Ref(student));
+    client.move_(t, s);
+    client.call_virtual(add_m, vec![p, t]);
+    let n = client.get_field(f, "numStudents");
+    client.print(n);
+    client.ret(Some(n));
+    let client_m = client.finish();
+
+    // Control-path main: builds the professor and hands it to the client.
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let prof = main.new_object(professor);
+    let cap = main.const_i32(8);
+    let arr = main.new_array(Ty::Ref(student), cap);
+    main.set_field(prof, "students", arr);
+    let r = main.call_static(client_m, vec![prof]).unwrap();
+    main.print(r);
+    main.ret(None);
+    let main_m = main.finish();
+
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+    program.verify()?;
+
+    println!("================ P (source) ================\n{}", program.render());
+
+    let out = transform(&program, &DataSpec::new(["Student", "Professor"]))?;
+    println!("================ P' (generated) ================\n{}", out.program.render());
+    println!(
+        "pool bounds: Student={}, Professor={}; interaction points: {}",
+        out.meta
+            .bounds
+            .bound(facade::runtime::TypeId(out.meta.type_id(student))),
+        out.meta
+            .bounds
+            .bound(facade::runtime::TypeId(out.meta.type_id(professor))),
+        out.report.interaction_points,
+    );
+
+    let mut vm = Vm::new_heap(&program);
+    vm.run()?;
+    let mut vm2 = Vm::new_paged(&out.program, &out.meta);
+    vm2.run()?;
+    println!("P  prints {:?}", vm.output());
+    println!("P' prints {:?}", vm2.output());
+    assert_eq!(vm.output(), vm2.output());
+    Ok(())
+}

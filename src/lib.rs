@@ -1,0 +1,40 @@
+//! # facade-rs
+//!
+//! A Rust reproduction of **FACADE: A Compiler and Runtime for (Almost)
+//! Object-Bounded Big Data Applications** (ASPLOS 2015).
+//!
+//! This umbrella crate re-exports the whole workspace so examples and
+//! downstream users have a single dependency. See `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the reproduction results.
+//!
+//! The main entry points:
+//!
+//! - [`ir`] — the object-oriented intermediate representation programs are
+//!   written in (the stand-in for Java bytecode / Soot's Jimple).
+//! - [`compiler`] — the FACADE transformation: turns a program `P` whose data
+//!   path allocates heap objects into a program `P'` whose data lives in
+//!   native pages, with a statically bounded number of facade objects.
+//! - [`runtime`] — the FACADE runtime: pages, page managers, iteration-based
+//!   reclamation, facade pools, and the shared lock pool.
+//! - [`heap`] — the simulated managed heap with a generational collector
+//!   (the baseline the paper measures against).
+//! - [`vm`] — an interpreter that executes IR programs on either backend.
+//! - [`store`] — the `RecordStore` abstraction the Big Data frameworks use to
+//!   run their data paths on either backend.
+//! - [`graphchi`], [`hyracks`], [`gps`] — the three evaluated frameworks.
+//! - [`datagen`] — synthetic workload generators.
+//! - [`metrics`] — timers, memory accounting, and report tables.
+
+pub use datagen;
+pub use facade_compiler as compiler;
+pub use facade_ir as ir;
+pub use facade_runtime as runtime;
+pub use facade_vm as vm;
+pub use gps_rs as gps;
+pub use graphchi_rs as graphchi;
+pub use hyracks_rs as hyracks;
+pub use managed_heap as heap;
+pub use metrics;
+
+/// The `RecordStore` abstraction over the two storage backends.
+pub use data_store as store;

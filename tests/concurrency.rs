@@ -1,0 +1,119 @@
+//! The paper's Figure 3 structure, exercised with real threads: each thread
+//! owns its page manager tree and facade pools; only the lock pool is
+//! shared (§3.4).
+
+use facade_runtime::{
+    FacadePools, FieldKind, LockPool, LockPoolConfig, PagedHeap, PoolBounds, TypeId,
+};
+use std::sync::Arc;
+use std::sync::atomic::{AtomicU16, Ordering};
+
+#[test]
+fn per_thread_heaps_with_shared_lock_pool() {
+    const THREADS: usize = 6;
+    const ROUNDS: usize = 400;
+    const SHARED_RECORDS: usize = 8;
+
+    let lock_pool = Arc::new(LockPool::new(LockPoolConfig { capacity: 32 }));
+    // The lock-ID header words of records reachable from several threads.
+    let lock_words: Arc<Vec<AtomicU16>> =
+        Arc::new((0..SHARED_RECORDS).map(|_| AtomicU16::new(0)).collect());
+    // A non-atomic shared tally per record, protected only by the pool lock.
+    let tallies: Arc<Vec<parking_lot::Mutex<u64>>> = Arc::new(
+        (0..SHARED_RECORDS)
+            .map(|_| parking_lot::Mutex::new(0))
+            .collect(),
+    );
+
+    let bounds = PoolBounds::uniform(5, 2);
+    let per_thread: Vec<(u64, usize, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let lock_pool = Arc::clone(&lock_pool);
+                let lock_words = Arc::clone(&lock_words);
+                let tallies = Arc::clone(&tallies);
+                let bounds = bounds.clone();
+                scope.spawn(move || {
+                    // Thread-local: page manager tree + facade pools
+                    // (Figure 3's per-thread boxes).
+                    let mut heap = PagedHeap::new();
+                    let ty = heap.register_type("T", &[FieldKind::I64, FieldKind::I64]);
+                    let mut pools = FacadePools::new(&bounds);
+                    let mut allocated = 0u64;
+                    for round in 0..ROUNDS {
+                        let it = heap.iteration_start();
+                        // Data-path churn in this thread's own pages.
+                        for k in 0..20 {
+                            let r = heap.alloc(ty).expect("unbounded");
+                            heap.set_i64(r, 0, (t * 1000 + round + k) as i64);
+                            // Exercise the bind/release discipline.
+                            pools.param(TypeId(4), k % 2).bind(r);
+                            let back = pools.param(TypeId(4), k % 2).release();
+                            assert_eq!(back, r);
+                            allocated += 1;
+                        }
+                        heap.iteration_end(it);
+                        // Synchronized section on a shared record's lock
+                        // word, with nesting (reentrancy).
+                        let word = &lock_words[(t + round) % SHARED_RECORDS];
+                        lock_pool.enter(word);
+                        lock_pool.enter(word);
+                        {
+                            let mut tally = tallies[(t + round) % SHARED_RECORDS]
+                                .try_lock()
+                                .expect("mutual exclusion violated");
+                            *tally += 1;
+                        }
+                        lock_pool.exit(word);
+                        lock_pool.exit(word);
+                    }
+                    (
+                        allocated,
+                        pools.facade_count(),
+                        heap.stats().pages_created,
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every synchronized increment landed.
+    let total: u64 = tallies.iter().map(|m| *m.lock()).sum();
+    assert_eq!(total, (THREADS * ROUNDS) as u64);
+    // All locks returned to the pool; all record lock words zeroed.
+    assert_eq!(lock_pool.in_use(), 0);
+    assert!(lock_words.iter().all(|w| w.load(Ordering::SeqCst) == 0));
+    // Per-thread object accounting: facades bounded per thread (the `t*n`
+    // term), pages small (the `p` term).
+    for (allocated, facades, pages) in per_thread {
+        assert_eq!(allocated, (ROUNDS * 20) as u64);
+        assert_eq!(facades, bounds.facades_per_thread());
+        assert!(pages <= 4, "pages per thread: {pages}");
+    }
+}
+
+#[test]
+fn lock_pool_contention_on_one_record() {
+    // All threads hammer the same record's monitor.
+    let pool = Arc::new(LockPool::new(LockPoolConfig { capacity: 4 }));
+    let word = Arc::new(AtomicU16::new(0));
+    let counter = Arc::new(parking_lot::Mutex::new(0u64));
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let pool = Arc::clone(&pool);
+            let word = Arc::clone(&word);
+            let counter = Arc::clone(&counter);
+            scope.spawn(move || {
+                for _ in 0..5_000 {
+                    pool.with(&word, || {
+                        *counter.try_lock().expect("exclusion violated") += 1;
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(*counter.lock(), 40_000);
+    assert_eq!(word.load(Ordering::SeqCst), 0);
+    assert_eq!(pool.in_use(), 0);
+}

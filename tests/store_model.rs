@@ -1,0 +1,251 @@
+//! Property tests: both record-store backends against simple reference
+//! models, under randomized operation sequences with collections forced at
+//! arbitrary points.
+
+use data_store::{ElemTy, FieldTy, Rec, Store};
+use proptest::prelude::*;
+
+/// Operations over a set of rooted records with one i64 and one ref field.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc,
+    SetVal { rec: usize, v: i64 },
+    Link { from: usize, to: usize },
+    Collect,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Alloc),
+        4 => (any::<prop::sample::Index>(), any::<i64>())
+            .prop_map(|(rec, v)| Op::SetVal { rec: rec.index(64), v }),
+        2 => (any::<prop::sample::Index>(), any::<prop::sample::Index>())
+            .prop_map(|(a, b)| Op::Link { from: a.index(64), to: b.index(64) }),
+        1 => Just(Op::Collect),
+    ]
+}
+
+#[derive(Debug, Default, Clone)]
+struct ModelRec {
+    val: i64,
+    next: Option<usize>,
+}
+
+fn run_against_model(mut store: Store, ops: &[Op]) {
+    let class = store.register_class("Node", &[FieldTy::I64, FieldTy::Ref]);
+    let mut recs: Vec<Rec> = Vec::new();
+    let mut model: Vec<ModelRec> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Alloc => {
+                let r = store.alloc(class).expect("budget is generous");
+                store.add_root(r);
+                recs.push(r);
+                model.push(ModelRec::default());
+            }
+            Op::SetVal { rec, v } => {
+                if recs.is_empty() {
+                    continue;
+                }
+                let i = rec % recs.len();
+                store.set_i64(recs[i], 0, *v);
+                model[i].val = *v;
+            }
+            Op::Link { from, to } => {
+                if recs.is_empty() {
+                    continue;
+                }
+                let (f, t) = (from % recs.len(), to % recs.len());
+                store.set_rec(recs[f], 1, recs[t]);
+                model[f].next = Some(t);
+            }
+            Op::Collect => store.collect(),
+        }
+    }
+    // Verify the full state survives.
+    for (i, m) in model.iter().enumerate() {
+        assert_eq!(store.get_i64(recs[i], 0), m.val, "value of rec {i}");
+        let linked = store.get_rec(recs[i], 1);
+        match m.next {
+            None => assert!(linked.is_null()),
+            Some(t) => assert_eq!(linked, recs[t], "link of rec {i}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn heap_store_matches_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        run_against_model(Store::heap(64 << 20), &ops);
+    }
+
+    #[test]
+    fn facade_store_matches_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        run_against_model(Store::facade(64 << 20), &ops);
+    }
+
+    #[test]
+    fn i64_arrays_match_vec_model(
+        writes in prop::collection::vec((any::<prop::sample::Index>(), any::<i64>()), 1..100),
+        len in 1usize..200,
+    ) {
+        for mut store in [Store::heap(16 << 20), Store::facade(16 << 20)] {
+            let arr = store.alloc_array(ElemTy::I64, len).unwrap();
+            store.add_root(arr);
+            let mut model = vec![0i64; len];
+            for (idx, v) in &writes {
+                let i = idx.index(len);
+                store.array_set_i64(arr, i, *v);
+                model[i] = *v;
+            }
+            store.collect();
+            for (i, &m) in model.iter().enumerate() {
+                prop_assert_eq!(store.array_get_i64(arr, i), m);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_arrays_roundtrip(data in prop::collection::vec(any::<u8>(), 0..500)) {
+        for mut store in [Store::heap(16 << 20), Store::facade(16 << 20)] {
+            let arr = store.alloc_array(ElemTy::U8, data.len()).unwrap();
+            store.add_root(arr);
+            store.array_write_bytes(arr, &data);
+            store.collect();
+            prop_assert_eq!(store.array_read_bytes(arr), data.clone());
+        }
+    }
+
+    #[test]
+    fn facade_iterations_isolate_allocations(
+        per_iter in 1usize..200,
+        iters in 1usize..10,
+    ) {
+        let mut store = Store::facade(64 << 20);
+        let class = store.register_class("T", &[FieldTy::I64]);
+        // Survivor allocated before any iteration.
+        let keep = store.alloc(class).unwrap();
+        store.set_i64(keep, 0, 77);
+        for k in 0..iters {
+            let it = store.iteration_start();
+            for j in 0..per_iter {
+                let r = store.alloc(class).unwrap();
+                store.set_i64(r, 0, (k * per_iter + j) as i64);
+            }
+            store.iteration_end(it);
+        }
+        prop_assert_eq!(store.get_i64(keep, 0), 77);
+        prop_assert_eq!(store.stats().records_allocated, (per_iter * iters + 1) as u64);
+    }
+}
+
+mod collections_model {
+    use data_store::collections::{BytesMap, RecDeque, RecList};
+    use data_store::{FieldTy, Rec, Store};
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    /// Operations over one list + one deque + one map, mirrored against std
+    /// models. Values are records tagged with their creation index.
+    #[derive(Debug, Clone)]
+    enum ColOp {
+        ListPush,
+        ListPop,
+        DequePushBack,
+        DequePopFront,
+        MapInsert(u16),
+        MapLookup(u16),
+    }
+
+    fn col_op() -> impl Strategy<Value = ColOp> {
+        prop_oneof![
+            3 => Just(ColOp::ListPush),
+            1 => Just(ColOp::ListPop),
+            3 => Just(ColOp::DequePushBack),
+            2 => Just(ColOp::DequePopFront),
+            3 => any::<u16>().prop_map(|k| ColOp::MapInsert(k % 512)),
+            2 => any::<u16>().prop_map(|k| ColOp::MapLookup(k % 512)),
+        ]
+    }
+
+    fn run_model(mut store: Store, ops: &[ColOp]) {
+        let entry = BytesMap::register_class(&mut store);
+        let class = store.register_class("V", &[FieldTy::I64]);
+        let mut list = RecList::new(&mut store, 4).unwrap();
+        let mut deque = RecDeque::new(&mut store, 4).unwrap();
+        let mut map = BytesMap::new(&mut store, entry, 16).unwrap();
+        let mut list_model: Vec<i64> = Vec::new();
+        let mut deque_model: VecDeque<i64> = VecDeque::new();
+        let mut map_model: std::collections::HashMap<u16, i64> = Default::default();
+        let mut counter = 0i64;
+        let mut fresh = |store: &mut Store| -> Rec {
+            counter += 1;
+            let r = store.alloc(class).unwrap();
+            store.set_i64(r, 0, counter);
+            r
+        };
+        let tag = |store: &Store, r: Rec| store.get_i64(r, 0);
+        for op in ops {
+            match op {
+                ColOp::ListPush => {
+                    let r = fresh(&mut store);
+                    let t = tag(&store, r);
+                    list.push(&mut store, r).unwrap();
+                    list_model.push(t);
+                }
+                ColOp::ListPop => {
+                    let got = list.pop(&store).map(|r| tag(&store, r));
+                    assert_eq!(got, list_model.pop());
+                }
+                ColOp::DequePushBack => {
+                    let r = fresh(&mut store);
+                    let t = tag(&store, r);
+                    deque.push_back(&mut store, r).unwrap();
+                    deque_model.push_back(t);
+                }
+                ColOp::DequePopFront => {
+                    let got = deque.pop_front(&store).map(|r| tag(&store, r));
+                    assert_eq!(got, deque_model.pop_front());
+                }
+                ColOp::MapInsert(k) => {
+                    let r = fresh(&mut store);
+                    let t = tag(&store, r);
+                    map.insert(&mut store, format!("k{k}").as_bytes(), r).unwrap();
+                    map_model.insert(*k, t);
+                }
+                ColOp::MapLookup(k) => {
+                    let got = map
+                        .get(&store, format!("k{k}").as_bytes())
+                        .map(|r| tag(&store, r));
+                    assert_eq!(got, map_model.get(k).copied(), "key {k}");
+                }
+            }
+        }
+        // Final full comparison.
+        assert_eq!(list.len(), list_model.len());
+        for (i, &t) in list_model.iter().enumerate() {
+            assert_eq!(tag(&store, list.get(&store, i)), t);
+        }
+        assert_eq!(map.len(), map_model.len());
+        for (k, &t) in &map_model {
+            let got = map.get(&store, format!("k{k}").as_bytes()).unwrap();
+            assert_eq!(tag(&store, got), t);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn heap_collections_match_std_models(ops in prop::collection::vec(col_op(), 1..300)) {
+            run_model(Store::heap(64 << 20), &ops);
+        }
+
+        #[test]
+        fn facade_collections_match_std_models(ops in prop::collection::vec(col_op(), 1..300)) {
+            run_model(Store::facade(64 << 20), &ops);
+        }
+    }
+}

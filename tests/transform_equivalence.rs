@@ -1,0 +1,223 @@
+//! Property tests of the §3.7 semantics-preservation claim: families of
+//! programs parameterized by random inputs are built, run as `P`, FACADE-
+//! transformed, run as `P'`, and must print identical output.
+
+use facade::compiler::{DataSpec, transform};
+use facade::ir::{BinOp, CmpOp, Program, ProgramBuilder, Ty};
+use facade::vm::Vm;
+use proptest::prelude::*;
+
+fn run_both(program: &Program, spec: &DataSpec) -> (Vec<String>, Vec<String>) {
+    program.verify().expect("P verifies");
+    let mut vm = Vm::new_heap(program);
+    vm.run().expect("P runs");
+    let out = transform(program, spec).expect("transform succeeds");
+    out.program.verify().expect("P' verifies");
+    let mut vm2 = Vm::new_paged(&out.program, &out.meta);
+    vm2.run().expect("P' runs");
+    (vm.output().to_vec(), vm2.output().to_vec())
+}
+
+/// A linked-list program: build `n` nodes with the given values, then fold
+/// them with the given operator and print the result.
+fn list_program(values: &[i32], fold_mul: bool) -> (Program, DataSpec) {
+    let mut pb = ProgramBuilder::new();
+    let mut node_cb = pb.class("Node").field("v", Ty::I32);
+    let node = node_cb.id();
+    node_cb = node_cb.field("next", Ty::Ref(node));
+    let node = node_cb.build();
+
+    let mut m = pb.method(node, "go").static_().returns(Ty::I32);
+    let first = m.const_null(Ty::Ref(node));
+    let head = m.local(Ty::Ref(node));
+    m.move_(head, first);
+    let prev = m.local(Ty::Ref(node));
+    m.move_(prev, first);
+    for (i, &v) in values.iter().enumerate() {
+        let nd = m.new_object(node);
+        let val = m.const_i32(v);
+        m.set_field(nd, "v", val);
+        if i == 0 {
+            m.move_(head, nd);
+        } else {
+            m.set_field(prev, "next", nd);
+        }
+        m.move_(prev, nd);
+    }
+    let acc = m.local(Ty::I32);
+    let init = m.const_i32(if fold_mul { 1 } else { 0 });
+    m.move_(acc, init);
+    let cur = m.local(Ty::Ref(node));
+    m.move_(cur, head);
+    let null = m.const_null(Ty::Ref(node));
+    let head_bb = m.block();
+    let body_bb = m.block();
+    let done_bb = m.block();
+    m.jump(head_bb);
+    m.switch_to(head_bb);
+    let more = m.cmp(CmpOp::Ne, cur, null);
+    m.branch(more, body_bb, done_bb);
+    m.switch_to(body_bb);
+    let v = m.get_field(cur, "v");
+    let folded = m.bin(if fold_mul { BinOp::Mul } else { BinOp::Add }, acc, v);
+    m.move_(acc, folded);
+    let nxt = m.get_field(cur, "next");
+    m.move_(cur, nxt);
+    m.jump(head_bb);
+    m.switch_to(done_bb);
+    m.print(acc);
+    m.ret(Some(acc));
+    let go = m.finish();
+
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let r = main.call_static(go, vec![]).unwrap();
+    main.print(r);
+    main.ret(None);
+    let main_m = main.finish();
+
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+    (program, DataSpec::new(["Node"]))
+}
+
+/// An array program: fill an i64 array from parameters, do strided updates,
+/// print a checksum.
+fn array_program(len: usize, stride: usize, bias: i64) -> (Program, DataSpec) {
+    let mut pb = ProgramBuilder::new();
+    let holder = pb.class("Holder").field("data", Ty::array(Ty::I64)).build();
+    let mut m = pb.method(holder, "go").static_().returns(Ty::I64);
+    let h = m.new_object(holder);
+    let n = m.const_i32(len as i32);
+    let arr = m.new_array(Ty::I64, n);
+    m.set_field(h, "data", arr);
+    for i in 0..len {
+        let idx = m.const_i32(i as i32);
+        let v = m.const_i64(i as i64 * 3 + bias);
+        m.array_set(arr, idx, v);
+    }
+    let back = m.get_field(h, "data");
+    let acc = m.local(Ty::I64);
+    let zero = m.const_i64(0);
+    m.move_(acc, zero);
+    let mut i = 0usize;
+    while i < len {
+        let idx = m.const_i32(i as i32);
+        let v = m.array_get(back, idx);
+        let s = m.bin(BinOp::Add, acc, v);
+        m.move_(acc, s);
+        i += stride;
+    }
+    m.print(acc);
+    m.ret(Some(acc));
+    let go = m.finish();
+
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let r = main.call_static(go, vec![]).unwrap();
+    main.print(r);
+    main.ret(None);
+    let main_m = main.finish();
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+    (program, DataSpec::new(["Holder"]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn list_fold_agrees(values in prop::collection::vec(-100i32..100, 1..30), mul in any::<bool>()) {
+        let (program, spec) = list_program(&values, mul);
+        let (p, p2) = run_both(&program, &spec);
+        prop_assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn array_checksum_agrees(len in 1usize..40, stride in 1usize..5, bias in -50i64..50) {
+        let (program, spec) = array_program(len, stride, bias);
+        let (p, p2) = run_both(&program, &spec);
+        prop_assert_eq!(p, p2);
+    }
+}
+
+#[test]
+fn deep_structure_conversion_roundtrips() {
+    // Control code builds a 3-level heap structure, the data path mutates
+    // it, control reads it back: conversions must deep-copy consistently.
+    let mut pb = ProgramBuilder::new();
+    let leaf = pb.class("Leaf").field("v", Ty::I32).build();
+    let mid = pb
+        .class("Mid")
+        .field("leafs", Ty::array(Ty::Ref(leaf)))
+        .build();
+    let root = pb.class("Root").field("mid", Ty::Ref(mid)).build();
+
+    // Data-path method: doubles every leaf value, returns the root.
+    let mut go = pb
+        .method(root, "double")
+        .param(Ty::Ref(root))
+        .returns(Ty::Ref(root))
+        .static_();
+    let r = go.param_local(0);
+    let m = go.get_field(r, "mid");
+    let arr = go.get_field(m, "leafs");
+    let n = go.array_len(arr);
+    let i = go.local(Ty::I32);
+    let zero = go.const_i32(0);
+    go.move_(i, zero);
+    let head = go.block();
+    let body = go.block();
+    let done = go.block();
+    go.jump(head);
+    go.switch_to(head);
+    let c = go.cmp(CmpOp::Lt, i, n);
+    go.branch(c, body, done);
+    go.switch_to(body);
+    let l = go.array_get(arr, i);
+    let v = go.get_field(l, "v");
+    let two = go.const_i32(2);
+    let d = go.bin(BinOp::Mul, v, two);
+    go.set_field(l, "v", d);
+    let one = go.const_i32(1);
+    let i2 = go.bin(BinOp::Add, i, one);
+    go.move_(i, i2);
+    go.jump(head);
+    go.switch_to(done);
+    go.ret(Some(r));
+    let go_m = go.finish();
+
+    // Control main: build, call, verify.
+    let main_class = pb.class("Main").build();
+    let mut main = pb.method(main_class, "main").static_();
+    let rt = main.new_object(root);
+    let md = main.new_object(mid);
+    main.set_field(rt, "mid", md);
+    let three = main.const_i32(3);
+    let arr = main.new_array(Ty::Ref(leaf), three);
+    main.set_field(md, "leafs", arr);
+    for i in 0..3 {
+        let l = main.new_object(leaf);
+        let v = main.const_i32(10 + i);
+        main.set_field(l, "v", v);
+        let idx = main.const_i32(i);
+        main.array_set(arr, idx, l);
+    }
+    let out = main.call_static(go_m, vec![rt]).unwrap();
+    let md2 = main.get_field(out, "mid");
+    let arr2 = main.get_field(md2, "leafs");
+    for i in 0..3 {
+        let idx = main.const_i32(i);
+        let l = main.array_get(arr2, idx);
+        let v = main.get_field(l, "v");
+        main.print(v);
+    }
+    main.ret(None);
+    let main_m = main.finish();
+
+    let mut program = pb.finish();
+    program.set_entry(main_m);
+    let (p, p2) = run_both(&program, &DataSpec::new(["Leaf", "Mid", "Root"]));
+    assert_eq!(p, vec!["20", "22", "24"]);
+    assert_eq!(p, p2);
+}
