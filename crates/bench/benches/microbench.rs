@@ -1,5 +1,5 @@
 //! **E10 — §2.4 microbenchmarks**: the per-operation costs behind the
-//! paper's performance-benefit claims, measured with Criterion.
+//! paper's performance-benefit claims.
 //!
 //! - `record_alloc`: allocating small data records — heap objects (with the
 //!   collector absorbing the garbage) vs paged records (with iteration
@@ -10,29 +10,52 @@
 //!   GC cycle vs an `iteration_end` page recycle.
 //! - `lock_pool`: the §3.4 shared lock pool, uncontended enter/exit.
 //! - `conversion`: §3.5 data conversion (heap object graph → paged records).
+//!
+//! Measured with a small in-tree harness (best-of-N batch timing) so the
+//! workspace needs no external benchmark framework; run with
+//! `cargo bench -p facade-bench`.
 
-use criterion::{Criterion, criterion_group, criterion_main};
 use data_store::{ElemTy, FieldTy, Store};
 use facade_runtime::LockPool;
 use std::hint::black_box;
 use std::sync::atomic::AtomicU16;
+use std::time::{Duration, Instant};
 
-fn record_alloc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("record_alloc");
-    group.bench_function("heap", |b| {
+/// Times `f` over `batch`-sized batches, reporting the best per-call time of
+/// `rounds` rounds (the low-noise end of the distribution, like a
+/// min-of-samples benchmark).
+fn bench(name: &str, batch: u64, rounds: u32, mut f: impl FnMut()) {
+    // Warm-up round.
+    for _ in 0..batch {
+        f();
+    }
+    let mut best = Duration::MAX;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        best = best.min(t0.elapsed());
+    }
+    let per_call = best.as_nanos() as f64 / batch as f64;
+    println!("{name:<45} {per_call:>12.1} ns/op");
+}
+
+fn record_alloc() {
+    {
         let mut store = Store::heap(64 << 20);
         let class = store.register_class("T", &[FieldTy::I32, FieldTy::I64]);
-        b.iter(|| {
+        bench("record_alloc/heap", 100_000, 5, || {
             let r = store.alloc(class).unwrap();
             black_box(r);
         });
-    });
-    group.bench_function("facade", |b| {
+    }
+    {
         let mut store = Store::facade_unbounded();
         let class = store.register_class("T", &[FieldTy::I32, FieldTy::I64]);
         let mut it = store.iteration_start();
         let mut n = 0u32;
-        b.iter(|| {
+        bench("record_alloc/facade", 100_000, 5, || {
             let r = store.alloc(class).unwrap();
             black_box(r);
             n += 1;
@@ -42,12 +65,10 @@ fn record_alloc(c: &mut Criterion) {
                 n = 0;
             }
         });
-    });
-    group.finish();
+    }
 }
 
-fn field_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("field_access");
+fn field_access() {
     for (name, mut store) in [
         ("heap", Store::heap(16 << 20)),
         ("facade", Store::facade_unbounded()),
@@ -55,48 +76,44 @@ fn field_access(c: &mut Criterion) {
         let class = store.register_class("T", &[FieldTy::I64, FieldTy::F64]);
         let r = store.alloc(class).unwrap();
         store.add_root(r);
-        group.bench_function(format!("{name}/write_read"), |b| {
-            let mut x = 0.0f64;
-            b.iter(|| {
+        let mut x = 0.0f64;
+        bench(
+            &format!("field_access/{name}/write_read"),
+            100_000,
+            5,
+            || {
                 store.set_f64(r, 1, x);
                 x = store.get_f64(r, 1) + 1.0;
                 black_box(x);
-            });
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn array_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("array_access");
+fn array_access() {
     for (name, mut store) in [
         ("heap", Store::heap(16 << 20)),
         ("facade", Store::facade_unbounded()),
     ] {
         let arr = store.alloc_array(ElemTy::I64, 1024).unwrap();
         store.add_root(arr);
-        group.bench_function(format!("{name}/sweep"), |b| {
-            b.iter(|| {
-                let mut acc = 0i64;
-                for i in 0..1024 {
-                    store.array_set_i64(arr, i, i as i64);
-                    acc = acc.wrapping_add(store.array_get_i64(arr, i));
-                }
-                black_box(acc);
-            });
+        bench(&format!("array_access/{name}/sweep"), 1_000, 5, || {
+            let mut acc = 0i64;
+            for i in 0..1024 {
+                store.array_set_i64(arr, i, i as i64);
+                acc = acc.wrapping_add(store.array_get_i64(arr, i));
+            }
+            black_box(acc);
         });
     }
-    group.finish();
 }
 
-fn reclamation(c: &mut Criterion) {
+fn reclamation() {
     // §2.4's claim: reclamation cost. The heap pays a trace of every live
     // record on each full collection; the facade backend recycles an
     // iteration's pages without visiting records at all.
-    let mut group = c.benchmark_group("reclamation");
-    group.sample_size(20);
     const N: usize = 50_000;
-    group.bench_function("heap/full_gc_traces_50k_live", |b| {
+    {
         let mut store = Store::heap(64 << 20);
         let class = store.register_class("T", &[FieldTy::I64, FieldTy::I64]);
         let arr = store.alloc_array(ElemTy::Ref, N).unwrap();
@@ -105,40 +122,43 @@ fn reclamation(c: &mut Criterion) {
             let r = store.alloc(class).unwrap();
             store.array_set_rec(arr, i, r);
         }
-        b.iter(|| store.collect());
-    });
-    group.bench_function("facade/iteration_end_recycles_50k", |b| {
+        bench("reclamation/heap/full_gc_traces_50k_live", 20, 3, || {
+            store.collect()
+        });
+    }
+    {
+        // Time only the `iteration_end` page recycle; the allocation filler
+        // runs outside the timed region via a manual best-of-rounds loop.
         let mut store = Store::facade_unbounded();
         let class = store.register_class("T", &[FieldTy::I64, FieldTy::I64]);
-        b.iter_custom(|iters| {
-            let mut total = std::time::Duration::ZERO;
-            for _ in 0..iters {
-                let it = store.iteration_start();
-                for _ in 0..N {
-                    black_box(store.alloc(class).unwrap());
-                }
-                let t0 = std::time::Instant::now();
-                store.iteration_end(it);
-                total += t0.elapsed();
+        let mut best = Duration::MAX;
+        for _ in 0..20 {
+            let it = store.iteration_start();
+            for _ in 0..N {
+                black_box(store.alloc(class).unwrap());
             }
-            total
-        });
-    });
-    group.finish();
+            let t0 = Instant::now();
+            store.iteration_end(it);
+            best = best.min(t0.elapsed());
+        }
+        println!(
+            "{:<45} {:>12.1} ns/op",
+            "reclamation/facade/iteration_end_recycles_50k",
+            best.as_nanos() as f64
+        );
+    }
 }
 
-fn lock_pool(c: &mut Criterion) {
+fn lock_pool() {
     let pool = LockPool::with_default_config();
     let word = AtomicU16::new(0);
-    c.bench_function("lock_pool/uncontended_enter_exit", |b| {
-        b.iter(|| {
-            pool.enter(&word);
-            pool.exit(&word);
-        });
+    bench("lock_pool/uncontended_enter_exit", 100_000, 5, || {
+        pool.enter(&word);
+        pool.exit(&word);
     });
 }
 
-fn conversion(c: &mut Criterion) {
+fn conversion() {
     use facade_compiler::{DataSpec, transform};
     use facade_ir::{CmpOp, ProgramBuilder, Ty};
     use facade_vm::Vm;
@@ -198,27 +218,23 @@ fn conversion(c: &mut Criterion) {
     program.set_entry(main_m);
     let out = transform(&program, &DataSpec::new(["Node"])).expect("transforms");
 
-    c.bench_function("conversion/64_node_list_into_data_path", |b| {
-        // Small spaces so VM setup does not dominate the measurement.
-        let config = facade_vm::VmConfig {
-            heap: managed_heap::HeapConfig::with_capacity(1 << 20),
-            ..facade_vm::VmConfig::default()
-        };
-        b.iter(|| {
-            let mut vm = Vm::with_config(&out.program, Some(&out.meta), config.clone());
-            vm.run().unwrap();
-            black_box(vm.output().len());
-        });
+    // Small spaces so VM setup does not dominate the measurement.
+    let config = facade_vm::VmConfig {
+        heap: managed_heap::HeapConfig::with_capacity(1 << 20),
+        ..facade_vm::VmConfig::default()
+    };
+    bench("conversion/64_node_list_into_data_path", 200, 5, || {
+        let mut vm = Vm::with_config(&out.program, Some(&out.meta), config.clone());
+        vm.run().unwrap();
+        black_box(vm.output().len());
     });
 }
 
-criterion_group!(
-    benches,
-    record_alloc,
-    field_access,
-    array_access,
-    reclamation,
-    lock_pool,
-    conversion
-);
-criterion_main!(benches);
+fn main() {
+    record_alloc();
+    field_access();
+    array_access();
+    reclamation();
+    lock_pool();
+    conversion();
+}

@@ -1,0 +1,138 @@
+//! **bench_trajectory**: GraphChi PageRank under the Table-2 configuration
+//! at 1, 2, 4 and 8 engine threads, on the facade backend.
+//!
+//! Emits `BENCH_graphchi.json` (machine-readable: wall time, GC time, page
+//! recycling counters, peak pages per thread count) and asserts that every
+//! thread count produces bit-identical vertex values — the engine's
+//! snapshot/ordered-commit guarantee, checked on the real workload.
+//!
+//! Honours `FACADE_SCALE` and `FACADE_MEM_UNIT` like the other binaries;
+//! `FACADE_BENCH_OUT` overrides the output path.
+
+use datagen::{Graph, GraphSpec};
+use facade_bench::{mem_unit, scale, secs, speedup};
+use graphchi_rs::{Backend, Engine, EngineConfig, PageRank, RunOutcome};
+use metrics::TextTable;
+use metrics::phases;
+
+const PAGE_BYTES: u64 = 32 * 1024;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn run_at(graph: &Graph, budget_bytes: usize, threads: usize) -> RunOutcome {
+    let mut engine = Engine::new(
+        graph,
+        EngineConfig {
+            backend: Backend::Facade,
+            budget_bytes,
+            intervals: 20,
+            threads,
+            ..EngineConfig::default()
+        },
+    );
+    engine
+        .run(&PageRank::new(4))
+        .expect("trajectory run fits its budget")
+}
+
+fn json_run(threads: usize, out: &RunOutcome, base_wall: f64) -> String {
+    let wall = out.timer.total().as_secs_f64();
+    format!(
+        concat!(
+            "    {{\"threads\": {}, \"wall_secs\": {:.6}, \"gc_secs\": {:.6}, ",
+            "\"load_secs\": {:.6}, \"update_secs\": {:.6}, ",
+            "\"pages_created\": {}, \"pages_recycled\": {}, ",
+            "\"pages_from_pool\": {}, \"pages_to_pool\": {}, ",
+            "\"peak_pages\": {}, \"peak_bytes\": {}, \"speedup_vs_1\": {:.3}}}"
+        ),
+        threads,
+        wall,
+        out.timer.phase(phases::GC).as_secs_f64(),
+        out.timer.phase(phases::LOAD).as_secs_f64(),
+        out.timer.phase(phases::UPDATE).as_secs_f64(),
+        out.stats.pages_created,
+        out.stats.pages_recycled,
+        out.stats.pages_from_pool,
+        out.stats.pages_to_pool,
+        out.stats.peak_bytes.div_ceil(PAGE_BYTES),
+        out.stats.peak_bytes,
+        speedup(base_wall, wall),
+    )
+}
+
+fn main() {
+    let scale = scale();
+    let unit = mem_unit();
+    let budget = 8 * unit; // the largest Table-2 budget
+    let spec = GraphSpec::twitter_like(scale);
+    eprintln!(
+        "trajectory: twitter-like graph scale={scale} ({} vertices, {} edges), \
+         budget {} bytes, facade backend, PR x4 passes",
+        spec.vertices, spec.edges, budget
+    );
+    let graph = Graph::generate(&spec);
+
+    let mut table = TextTable::new(&[
+        "Threads",
+        "ET(s)",
+        "GT(s)",
+        "Recycled",
+        "FromPool",
+        "PeakPages",
+        "Speedup",
+    ]);
+    let mut outcomes = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        outcomes.push((threads, run_at(&graph, budget, threads)));
+    }
+
+    let (_, baseline) = &outcomes[0];
+    let base_wall = baseline.timer.total().as_secs_f64();
+    let mut runs_json = Vec::new();
+    for (threads, out) in &outcomes {
+        assert_eq!(
+            baseline.values, out.values,
+            "values must be bit-identical at {threads} threads"
+        );
+        table.row_owned(vec![
+            threads.to_string(),
+            secs(out.timer.total()),
+            secs(out.timer.phase(phases::GC)),
+            out.stats.pages_recycled.to_string(),
+            out.stats.pages_from_pool.to_string(),
+            out.stats.peak_bytes.div_ceil(PAGE_BYTES).to_string(),
+            format!(
+                "{:.2}x",
+                speedup(base_wall, out.timer.total().as_secs_f64())
+            ),
+        ]);
+        runs_json.push(json_run(*threads, out, base_wall));
+    }
+    println!("{table}");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"graphchi_pagerank_trajectory\",\n",
+            "  \"backend\": \"facade\",\n",
+            "  \"app\": \"PR\",\n",
+            "  \"passes\": 4,\n",
+            "  \"graph\": {{\"kind\": \"twitter-like\", \"scale\": {}, ",
+            "\"vertices\": {}, \"edges\": {}}},\n",
+            "  \"budget_bytes\": {},\n",
+            "  \"intervals\": 20,\n",
+            "  \"host_cpus\": {},\n",
+            "  \"bit_identical_across_threads\": true,\n",
+            "  \"runs\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale,
+        spec.vertices,
+        spec.edges,
+        budget,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        runs_json.join(",\n"),
+    );
+    let path = std::env::var("FACADE_BENCH_OUT").unwrap_or_else(|_| "BENCH_graphchi.json".into());
+    std::fs::write(&path, json).expect("write benchmark output");
+    eprintln!("wrote {path}");
+}

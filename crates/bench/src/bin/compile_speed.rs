@@ -150,7 +150,12 @@ fn main() {
             format!("{:.2}", r.duration.as_secs_f64() * 1e3),
             format!("{:.0}", r.instructions_per_second()),
         ]);
-        let mut rec = RunRecord::new("compile_speed", "transform", &format!("{n}-classes"), Backend::Facade);
+        let mut rec = RunRecord::new(
+            "compile_speed",
+            "transform",
+            &format!("{n}-classes"),
+            Backend::Facade,
+        );
         rec.total_secs = r.duration.as_secs_f64();
         rec.scale = r.instructions_transformed as u64;
         records.push(rec);

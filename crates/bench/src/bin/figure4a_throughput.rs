@@ -22,13 +22,7 @@ fn main() {
         budget
     );
 
-    let mut table = TextTable::new(&[
-        "Edges",
-        "PR (e/s)",
-        "PR' (e/s)",
-        "CC (e/s)",
-        "CC' (e/s)",
-    ]);
+    let mut table = TextTable::new(&["Edges", "PR (e/s)", "PR' (e/s)", "CC (e/s)", "CC' (e/s)"]);
     let mut records = Vec::new();
 
     for spec in &series {

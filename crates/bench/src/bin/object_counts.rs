@@ -63,7 +63,12 @@ fn main() {
             format!("{facades}"),
             format!("{:.0}x", p_objects as f64 / p2_total as f64),
         ]);
-        let mut rec = RunRecord::new("object_counts", "PR", &format!("{}-edges", graph.edge_count()), Backend::Facade);
+        let mut rec = RunRecord::new(
+            "object_counts",
+            "PR",
+            &format!("{}-edges", graph.edge_count()),
+            Backend::Facade,
+        );
         rec.scale = p_objects;
         rec.peak_bytes = p2_total;
         records.push(rec);

@@ -8,7 +8,7 @@
 //! budget-independent while `P`'s tracks the budget.
 
 use datagen::{Graph, GraphSpec};
-use facade_bench::{mem_unit, mib, scale, secs, write_records};
+use facade_bench::{mem_unit, mib, scale, secs, threads, write_records};
 use graphchi_rs::{Backend, ConnectedComponents, Engine, EngineConfig, PageRank, VertexProgram};
 use metrics::TextTable;
 use metrics::phases;
@@ -17,9 +17,11 @@ use metrics::report::{Outcome, RunRecord};
 fn main() {
     let scale = scale();
     let unit = mem_unit();
+    let threads = threads();
     let spec = GraphSpec::twitter_like(scale);
     eprintln!(
-        "Table 2: twitter-like graph scale={scale} ({} vertices, {} edges), mem unit {} bytes",
+        "Table 2: twitter-like graph scale={scale} ({} vertices, {} edges), \
+         mem unit {} bytes, {threads} engine threads",
         spec.vertices, spec.edges, unit
     );
     let graph = Graph::generate(&spec);
@@ -38,6 +40,7 @@ fn main() {
                     backend,
                     budget_bytes: budget_gb * unit,
                     intervals: 20,
+                    threads,
                     ..EngineConfig::default()
                 };
                 let mut engine = Engine::new(&graph, config);
@@ -55,8 +58,7 @@ fn main() {
                             secs(out.timer.phase(phases::GC)),
                             mib(out.stats.peak_bytes),
                         ]);
-                        let mut rec =
-                            RunRecord::new("table2", name, "twitter-like", backend);
+                        let mut rec = RunRecord::new("table2", name, "twitter-like", backend);
                         rec.budget_bytes = (budget_gb * unit) as u64;
                         rec.total_secs = out.timer.total().as_secs_f64();
                         rec.update_secs = out.timer.phase(phases::UPDATE).as_secs_f64();
@@ -68,8 +70,7 @@ fn main() {
                     }
                     Err(e) => {
                         table.row_owned(vec![label, format!("OME: {e}")]);
-                        let mut rec =
-                            RunRecord::new("table2", name, "twitter-like", backend);
+                        let mut rec = RunRecord::new("table2", name, "twitter-like", backend);
                         rec.outcome = Outcome::OutOfMemory { after_secs: 0.0 };
                         records.push(rec);
                     }

@@ -29,10 +29,7 @@ fn main() {
     for (label, spec) in &series {
         let words = corpus(spec);
         let mut row = vec![label.clone()];
-        for (app, runner) in [
-            ("ES", true),
-            ("WC", false),
-        ] {
+        for (app, runner) in [("ES", true), ("WC", false)] {
             for backend in [Backend::Heap, Backend::Facade] {
                 let config = ClusterConfig {
                     workers: n_workers,
@@ -88,9 +85,7 @@ fn main() {
         for backend in [Backend::Heap, Backend::Facade] {
             let max = records
                 .iter()
-                .filter(|r| {
-                    r.app == app && r.backend == backend && r.outcome == Outcome::Completed
-                })
+                .filter(|r| r.app == app && r.backend == backend && r.outcome == Outcome::Completed)
                 .map(|r| r.dataset.clone())
                 .next_back()
                 .unwrap_or_else(|| "none".into());

@@ -40,6 +40,16 @@ pub fn workers() -> usize {
         .unwrap_or(4)
 }
 
+/// GraphChi engine worker threads, from `FACADE_THREADS` (default: every
+/// available core).
+pub fn threads() -> usize {
+    std::env::var("FACADE_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// Formats a duration as fractional seconds (the paper's table format).
 pub fn secs(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
@@ -71,7 +81,11 @@ pub fn reduction_pct(before: f64, after: f64) -> f64 {
 
 /// Speedup factor `before / after`.
 pub fn speedup(before: f64, after: f64) -> f64 {
-    if after > 0.0 { before / after } else { f64::INFINITY }
+    if after > 0.0 {
+        before / after
+    } else {
+        f64::INFINITY
+    }
 }
 
 #[cfg(test)]

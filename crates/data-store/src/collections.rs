@@ -136,7 +136,11 @@ impl RecList {
     ///
     /// Panics if `index >= len`.
     pub fn get(&self, store: &Store, index: usize) -> Rec {
-        assert!(index < self.len, "index {index} out of bounds ({})", self.len);
+        assert!(
+            index < self.len,
+            "index {index} out of bounds ({})",
+            self.len
+        );
         store.array_get_rec(self.backing, index)
     }
 
@@ -146,7 +150,11 @@ impl RecList {
     ///
     /// Panics if `index >= len`.
     pub fn set(&mut self, store: &mut Store, index: usize, value: Rec) -> Rec {
-        assert!(index < self.len, "index {index} out of bounds ({})", self.len);
+        assert!(
+            index < self.len,
+            "index {index} out of bounds ({})",
+            self.len
+        );
         let old = store.array_get_rec(self.backing, index);
         store.array_set_rec(self.backing, index, value);
         old
@@ -560,7 +568,8 @@ mod tests {
         for i in 0..40_000i64 {
             let v = store.alloc(value_class).unwrap();
             store.set_i64(v, 0, i);
-            map.insert(&mut store, format!("k{i}").as_bytes(), v).unwrap();
+            map.insert(&mut store, format!("k{i}").as_bytes(), v)
+                .unwrap();
         }
         // Old 32K+ bucket arrays were freed: oversize_freed > 0 shows early
         // frees happened (indirectly visible through stats deltas).

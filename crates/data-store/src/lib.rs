@@ -37,10 +37,12 @@ pub mod collections;
 use facade_runtime::{
     ElemKind as PElem, FieldKind as PField, PageRef, PagedHeap, PagedHeapConfig, TypeId,
 };
+pub use facade_runtime::{PagePool, PagePoolConfig};
 use managed_heap::{
     ClassId as HClassId, ElemKind as HElem, FieldKind as HField, Heap, HeapConfig, ObjRef, RootId,
 };
 use metrics::OutOfMemory;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A field type in a record schema.
@@ -116,10 +118,36 @@ pub struct StoreStats {
     pub peak_bytes: u64,
     /// Pages created (facade backend).
     pub pages_created: u64,
+    /// Pages recycled by iteration ends (facade backend).
+    pub pages_recycled: u64,
+    /// Pages adopted from a shared [`PagePool`] (facade backend).
+    pub pages_from_pool: u64,
+    /// Pages surrendered back to a shared [`PagePool`] (facade backend).
+    pub pages_to_pool: u64,
     /// Objects traced by the collector (heap backend).
     pub objects_traced: u64,
     /// Heap objects allocated for data (heap backend; the paper's `O(s)`).
     pub heap_objects: u64,
+}
+
+impl StoreStats {
+    /// Folds another snapshot into this one, aggregating per-worker stores
+    /// into a run-level report. Durations and counters add; `current_bytes`
+    /// and `peak_bytes` add too, since per-worker stores partition the run's
+    /// memory rather than observing the same bytes.
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.gc_time += other.gc_time;
+        self.gc_count += other.gc_count;
+        self.records_allocated += other.records_allocated;
+        self.current_bytes += other.current_bytes;
+        self.peak_bytes += other.peak_bytes;
+        self.pages_created += other.pages_created;
+        self.pages_recycled += other.pages_recycled;
+        self.pages_from_pool += other.pages_from_pool;
+        self.pages_to_pool += other.pages_to_pool;
+        self.objects_traced += other.objects_traced;
+        self.heap_objects += other.heap_objects;
+    }
 }
 
 // The heap variant is much larger than the facade variant; stores are
@@ -222,6 +250,25 @@ impl Store {
         }
     }
 
+    /// Creates a facade-backed store whose pages come from (and return to) a
+    /// shared [`PagePool`]. Per-worker stores built over one pool converge on
+    /// a single process-wide working set of pages: what one worker releases
+    /// at [`Store::release_pages`], another adopts instead of allocating
+    /// fresh. The budget still bounds this store's own held bytes.
+    pub fn facade_shared(budget_bytes: usize, pool: Arc<PagePool>) -> Self {
+        Self {
+            inner: Inner::Facade {
+                paged: PagedHeap::with_pool(
+                    PagedHeapConfig {
+                        budget_bytes: Some(budget_bytes as u64),
+                    },
+                    pool,
+                ),
+                classes: Vec::new(),
+            },
+        }
+    }
+
     /// Returns `true` if this store uses the facade (paged) backend.
     pub fn is_facade(&self) -> bool {
         matches!(self.inner, Inner::Facade { .. })
@@ -257,9 +304,9 @@ impl Store {
             Inner::Heap { heap, classes } => heap
                 .alloc(classes[class.0 as usize])
                 .map(|r| Rec(r.raw() as u64)),
-            Inner::Facade { paged, classes } => paged
-                .alloc(classes[class.0 as usize])
-                .map(|r| Rec(r.raw())),
+            Inner::Facade { paged, classes } => {
+                paged.alloc(classes[class.0 as usize]).map(|r| Rec(r.raw()))
+            }
         }
     }
 
@@ -520,6 +567,18 @@ impl Store {
         }
     }
 
+    /// Surrenders this store's free pages to the shared [`PagePool`] so
+    /// other workers can adopt them. Returns the number of pages released;
+    /// a no-op (returning 0) on the heap backend or when the store was not
+    /// built with [`Store::facade_shared`]. Engines call this at interval
+    /// boundaries, after `iteration_end` has refilled the free list.
+    pub fn release_pages(&mut self) -> usize {
+        match &mut self.inner {
+            Inner::Heap { .. } => 0,
+            Inner::Facade { paged, .. } => paged.release_pages_to_pool(),
+        }
+    }
+
     // ----- statistics --------------------------------------------------------
 
     /// A snapshot of the store's cost counters.
@@ -534,6 +593,9 @@ impl Store {
                     current_bytes: heap.used_bytes() as u64,
                     peak_bytes: s.peak_bytes,
                     pages_created: 0,
+                    pages_recycled: 0,
+                    pages_from_pool: 0,
+                    pages_to_pool: 0,
                     objects_traced: s.objects_traced,
                     heap_objects: s.objects_allocated,
                 }
@@ -547,6 +609,9 @@ impl Store {
                     current_bytes: paged.bytes_held(),
                     peak_bytes: s.peak_bytes,
                     pages_created: s.pages_created,
+                    pages_recycled: s.pages_recycled,
+                    pages_from_pool: s.pages_from_pool,
+                    pages_to_pool: s.pages_to_pool,
                     objects_traced: 0,
                     heap_objects: 0,
                 }
@@ -697,6 +762,40 @@ mod tests {
             heap_bytes / facade_bytes > 1.2,
             "heap {heap_bytes} vs facade {facade_bytes}"
         );
+    }
+
+    #[test]
+    fn shared_stores_recycle_pages_through_the_pool() {
+        let pool = Arc::new(PagePool::with_default_config());
+        let fill = |s: &mut Store| {
+            let c = s.register_class("T", &[FieldTy::I64; 4]);
+            let it = s.iteration_start();
+            for _ in 0..50_000 {
+                s.alloc(c).unwrap();
+            }
+            s.iteration_end(it);
+        };
+
+        let mut a = Store::facade_shared(64 << 20, Arc::clone(&pool));
+        fill(&mut a);
+        let released = a.release_pages();
+        assert!(released > 0);
+        assert_eq!(a.stats().pages_to_pool, released as u64);
+
+        // A second store over the same pool runs the identical workload
+        // without creating a single fresh page.
+        let mut b = Store::facade_shared(64 << 20, pool);
+        fill(&mut b);
+        let st = b.stats();
+        assert_eq!(st.pages_created, 0);
+        assert!(st.pages_from_pool > 0);
+
+        // Plain stores ignore release_pages.
+        let mut plain = Store::facade(8 << 20);
+        let c = plain.register_class("T", &[FieldTy::I64]);
+        plain.alloc(c).unwrap();
+        assert_eq!(plain.release_pages(), 0);
+        assert_eq!(Store::heap(8 << 20).release_pages(), 0);
     }
 
     #[test]

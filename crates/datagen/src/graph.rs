@@ -1,7 +1,6 @@
 //! R-MAT graph generation and dataset presets.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Parameters for a synthetic graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,7 +87,7 @@ impl Graph {
     /// Generates a graph from `spec` using R-MAT recursive quadrant
     /// sampling.
     pub fn generate(spec: &GraphSpec) -> Self {
-        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut rng = SplitMix64::new(spec.seed);
         let levels = 32 - (spec.vertices.max(2) - 1).leading_zeros();
         let side = 1u64 << levels;
         let (a, b, c, _d) = spec.rmat;
@@ -96,7 +95,7 @@ impl Graph {
         for _ in 0..spec.edges {
             let (mut x0, mut x1, mut y0, mut y1) = (0u64, side, 0u64, side);
             while x1 - x0 > 1 {
-                let r: f64 = rng.gen();
+                let r: f64 = rng.next_f64();
                 let (dx, dy) = if r < a {
                     (0, 0)
                 } else if r < a + b {

@@ -15,7 +15,9 @@
 //! All generators are seeded and deterministic.
 
 pub mod graph;
+pub mod rng;
 pub mod text;
 
 pub use graph::{Graph, GraphSpec};
+pub use rng::SplitMix64;
 pub use text::{CorpusSpec, corpus};

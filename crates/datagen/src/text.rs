@@ -1,8 +1,7 @@
 //! Zipf-distributed text corpora for the Hyracks experiments (Table 3,
 //! Figure 4(b)/(c)).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Parameters for a synthetic corpus.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,11 +65,11 @@ pub fn corpus(spec: &CorpusSpec) -> Vec<String> {
         total += 1.0 / (rank as f64).powf(spec.exponent);
         cdf.push(total);
     }
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::new(spec.seed);
     let mut out = Vec::new();
     let mut bytes = 0usize;
     while bytes < spec.bytes {
-        let r: f64 = rng.gen::<f64>() * total;
+        let r: f64 = rng.next_f64() * total;
         let idx = cdf.partition_point(|&c| c < r).min(spec.vocabulary - 1);
         let w = &vocab[idx];
         bytes += w.len() + 1;

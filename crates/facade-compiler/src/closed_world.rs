@@ -1,7 +1,7 @@
 //! The two closed-world assumption checks of §3.1.
 
-use crate::error::CompileError;
 use crate::DataSpec;
+use crate::error::CompileError;
 use facade_ir::{ClassId, Program, Ty};
 use std::collections::BTreeSet;
 
@@ -53,10 +53,7 @@ pub(crate) fn is_data_interface(
 ///   every reference-typed field of a data class must have a data type.
 /// - [`CompileError::OpenHierarchy`] for type-closed-world violations: a
 ///   data class's superclasses and subclasses must be data classes.
-pub(crate) fn check(
-    program: &Program,
-    spec: &DataSpec,
-) -> Result<BTreeSet<ClassId>, CompileError> {
+pub(crate) fn check(program: &Program, spec: &DataSpec) -> Result<BTreeSet<ClassId>, CompileError> {
     let mut data = BTreeSet::new();
     for name in spec.names() {
         let id = program
@@ -159,7 +156,13 @@ mod tests {
         let p = pb.finish();
         let err = check(&p, &DataSpec::new(["Student"])).unwrap_err();
         assert!(
-            matches!(err, CompileError::OpenHierarchy { relation: "superclass", .. }),
+            matches!(
+                err,
+                CompileError::OpenHierarchy {
+                    relation: "superclass",
+                    ..
+                }
+            ),
             "{err}"
         );
     }
@@ -172,7 +175,13 @@ mod tests {
         let p = pb.finish();
         let err = check(&p, &DataSpec::new(["Student"])).unwrap_err();
         assert!(
-            matches!(err, CompileError::OpenHierarchy { relation: "subclass", .. }),
+            matches!(
+                err,
+                CompileError::OpenHierarchy {
+                    relation: "subclass",
+                    ..
+                }
+            ),
             "{err}"
         );
     }

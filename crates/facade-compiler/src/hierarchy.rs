@@ -50,9 +50,7 @@ pub(crate) fn generate(
     // implement IFacade").
     let ifaces: Vec<ClassId> = program
         .classes()
-        .filter(|(id, c)| {
-            c.is_interface() && ordered.iter().any(|&d| program.is_subtype(d, *id))
-        })
+        .filter(|(id, c)| c.is_interface() && ordered.iter().any(|&d| program.is_subtype(d, *id)))
         .map(|(id, _)| id)
         .collect();
     let mut facade_iface_of = HashMap::new();
@@ -130,7 +128,11 @@ mod tests {
             .field("id", Ty::I32)
             .field("name", Ty::array(Ty::I32))
             .build();
-        let grad = pb.class("Grad").extends(student).field("year", Ty::I32).build();
+        let grad = pb
+            .class("Grad")
+            .extends(student)
+            .field("year", Ty::I32)
+            .build();
         let p = pb.finish();
         let mut data = BTreeSet::new();
         data.insert(student);

@@ -774,8 +774,8 @@ fn rewrite_control_body(cx: &mut Cx<'_>, m: MethodId) -> Result<Body, CompileErr
                         let slot = counts.entry(tid).or_default();
                         let index = *slot;
                         *slot += 1;
-                        let bf = nb
-                            .add_local(Ty::Facade(cx.meta.facade(pc).expect("facade generated")));
+                        let bf =
+                            nb.add_local(Ty::Facade(cx.meta.facade(pc).expect("facade generated")));
                         out.push(Instr::BindParam {
                             dst: bf,
                             class: concrete,

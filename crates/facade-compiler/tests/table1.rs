@@ -97,8 +97,16 @@ fn case3_and_4_data_field_access_is_paged() {
     let p = pb.finish();
     let out = transform(&p, &DataSpec::new(["S"])).unwrap();
     let instrs = facade_instrs(&out.program, "link");
-    assert!(instrs.iter().any(|i| matches!(i, Instr::PageSetField { .. })));
-    assert!(instrs.iter().any(|i| matches!(i, Instr::PageGetField { .. })));
+    assert!(
+        instrs
+            .iter()
+            .any(|i| matches!(i, Instr::PageSetField { .. }))
+    );
+    assert!(
+        instrs
+            .iter()
+            .any(|i| matches!(i, Instr::PageGetField { .. }))
+    );
     assert!(
         !instrs
             .iter()
@@ -126,7 +134,11 @@ fn case3_3_interaction_point_converts_to_heap() {
     let p = pb.finish();
     let out = transform(&p, &DataSpec::new(["S"])).unwrap();
     let instrs = facade_instrs(&out.program, "stash");
-    assert!(instrs.iter().any(|i| matches!(i, Instr::ConvertToHeap { .. })));
+    assert!(
+        instrs
+            .iter()
+            .any(|i| matches!(i, Instr::ConvertToHeap { .. }))
+    );
     assert!(instrs.iter().any(|i| matches!(i, Instr::SetField { .. })));
     assert!(out.report.interaction_points >= 1);
 }
@@ -147,7 +159,10 @@ fn case3_4_assumption_violation_is_rejected() {
     m.finish();
     let p = pb.finish();
     let err = transform(&p, &DataSpec::new(["S"])).unwrap_err();
-    assert!(matches!(err, CompileError::NonDataAllocation { .. }), "{err}");
+    assert!(
+        matches!(err, CompileError::NonDataAllocation { .. }),
+        "{err}"
+    );
 }
 
 /// Case 4.3: data value read out of a control object converts to a page.
@@ -168,7 +183,11 @@ fn case4_3_interaction_point_converts_to_page() {
     let p = pb.finish();
     let out = transform(&p, &DataSpec::new(["S"])).unwrap();
     let instrs = facade_instrs(&out.program, "fetch");
-    assert!(instrs.iter().any(|i| matches!(i, Instr::ConvertToPage { .. })));
+    assert!(
+        instrs
+            .iter()
+            .any(|i| matches!(i, Instr::ConvertToPage { .. }))
+    );
 }
 
 /// Case 5.1: returning a data value binds pool facade 0.
@@ -251,7 +270,11 @@ fn case6_3_control_callee_gets_converted_arguments() {
     let p = pb.finish();
     let out = transform(&p, &DataSpec::new(["S"])).unwrap();
     let instrs = facade_instrs(&out.program, "emit");
-    assert!(instrs.iter().any(|i| matches!(i, Instr::ConvertToHeap { .. })));
+    assert!(
+        instrs
+            .iter()
+            .any(|i| matches!(i, Instr::ConvertToHeap { .. }))
+    );
 }
 
 /// Case 7.1: `instanceof` on a data value becomes a type-ID check.
@@ -272,7 +295,11 @@ fn case7_instanceof_becomes_type_id_check() {
     let p = pb.finish();
     let out = transform(&p, &DataSpec::new(["S", "Sub"])).unwrap();
     let instrs = facade_instrs(&out.program, "check");
-    assert!(instrs.iter().any(|i| matches!(i, Instr::PageInstanceOf { .. })));
+    assert!(
+        instrs
+            .iter()
+            .any(|i| matches!(i, Instr::PageInstanceOf { .. }))
+    );
     assert!(!instrs.iter().any(|i| matches!(i, Instr::InstanceOf { .. })));
 }
 
@@ -290,8 +317,16 @@ fn monitors_on_data_records_use_the_lock_pool() {
     let p = pb.finish();
     let out = transform(&p, &DataSpec::new(["S"])).unwrap();
     let instrs = facade_instrs(&out.program, "sync");
-    assert!(instrs.iter().any(|i| matches!(i, Instr::PageMonitorEnter(_))));
-    assert!(instrs.iter().any(|i| matches!(i, Instr::PageMonitorExit(_))));
+    assert!(
+        instrs
+            .iter()
+            .any(|i| matches!(i, Instr::PageMonitorEnter(_)))
+    );
+    assert!(
+        instrs
+            .iter()
+            .any(|i| matches!(i, Instr::PageMonitorExit(_)))
+    );
 }
 
 /// Allocation in the data path becomes a page allocation plus a
@@ -346,10 +381,22 @@ fn control_call_site_inserts_full_conversion_protocol() {
     let p = pb.finish();
     let out = transform(&p, &DataSpec::new(["S"])).unwrap();
     let instrs = control_instrs(&out.program, main_m);
-    assert!(instrs.iter().any(|i| matches!(i, Instr::ConvertToPage { .. })));
+    assert!(
+        instrs
+            .iter()
+            .any(|i| matches!(i, Instr::ConvertToPage { .. }))
+    );
     assert!(instrs.iter().any(|i| matches!(i, Instr::Resolve { .. })));
-    assert!(instrs.iter().any(|i| matches!(i, Instr::ReleaseFacade { .. })));
-    assert!(instrs.iter().any(|i| matches!(i, Instr::ConvertToHeap { .. })));
+    assert!(
+        instrs
+            .iter()
+            .any(|i| matches!(i, Instr::ReleaseFacade { .. }))
+    );
+    assert!(
+        instrs
+            .iter()
+            .any(|i| matches!(i, Instr::ConvertToHeap { .. }))
+    );
     // The heap allocation of the data class in control code is untouched.
     assert!(instrs.iter().any(|i| matches!(i, Instr::New { .. })));
 }

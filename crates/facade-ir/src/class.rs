@@ -155,7 +155,10 @@ mod tests {
             body: None,
         };
         assert_eq!(m.param_slot_count(), 3);
-        let s = MethodDef { is_static: true, ..m };
+        let s = MethodDef {
+            is_static: true,
+            ..m
+        };
         assert_eq!(s.param_slot_count(), 2);
     }
 

@@ -269,9 +269,17 @@ impl Instr {
             | ConvertToPage { dst, .. }
             | ConvertToHeap { dst, .. } => Some(*dst),
             Call { dst, .. } => *dst,
-            SetField { .. } | ArraySet { .. } | PageSetField { .. } | PageArraySet { .. }
-            | MonitorEnter(_) | MonitorExit(_) | Print(_) | PageMonitorEnter(_)
-            | PageMonitorExit(_) | IterationStart | IterationEnd => None,
+            SetField { .. }
+            | ArraySet { .. }
+            | PageSetField { .. }
+            | PageArraySet { .. }
+            | MonitorEnter(_)
+            | MonitorExit(_)
+            | Print(_)
+            | PageMonitorEnter(_)
+            | PageMonitorExit(_)
+            | IterationStart
+            | IterationEnd => None,
         }
     }
 }

@@ -68,9 +68,7 @@ impl Program {
             }
             match &block.term {
                 Some(Terminator::Return(None)) => out.push_str("     return\n"),
-                Some(Terminator::Return(Some(l))) => {
-                    writeln!(out, "     return v{}", l.0).unwrap()
-                }
+                Some(Terminator::Return(Some(l))) => writeln!(out, "     return v{}", l.0).unwrap(),
                 Some(Terminator::Jump(bb)) => writeln!(out, "     goto bb{}", bb.0).unwrap(),
                 Some(Terminator::Branch {
                     cond,
@@ -143,13 +141,20 @@ impl Program {
                 self.class(*class).name
             ),
             PageNewArray { dst, elem, len } => {
-                format!("v{} = FacadeRuntime.allocateArray({elem}, v{})", dst.0, len.0)
+                format!(
+                    "v{} = FacadeRuntime.allocateArray({elem}, v{})",
+                    dst.0, len.0
+                )
             }
-            PageGetField { dst, obj, field, .. } => format!(
+            PageGetField {
+                dst, obj, field, ..
+            } => format!(
                 "v{} = FacadeRuntime.getField(v{}, f{field}_OFFSET)",
                 dst.0, obj.0
             ),
-            PageSetField { obj, field, src, .. } => format!(
+            PageSetField {
+                obj, field, src, ..
+            } => format!(
                 "FacadeRuntime.setField(v{}, f{field}_OFFSET, v{})",
                 obj.0, src.0
             ),

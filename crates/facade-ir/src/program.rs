@@ -172,8 +172,7 @@ impl Program {
     pub fn direct_subtypes(&self, class: ClassId) -> Vec<ClassId> {
         self.classes()
             .filter(|(id, c)| {
-                *id != class
-                    && (c.superclass == Some(class) || c.interfaces.contains(&class))
+                *id != class && (c.superclass == Some(class) || c.interfaces.contains(&class))
             })
             .map(|(id, _)| id)
             .collect()

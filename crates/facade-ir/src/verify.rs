@@ -502,7 +502,11 @@ mod tests {
     fn call_arity_is_checked() {
         let mut pb = ProgramBuilder::new();
         let main = pb.class("Main").build();
-        let mut callee = pb.method(main, "take2").param(Ty::I32).param(Ty::I32).static_();
+        let mut callee = pb
+            .method(main, "take2")
+            .param(Ty::I32)
+            .param(Ty::I32)
+            .static_();
         callee.ret(None);
         let callee = callee.finish();
         let mut m = pb.method(main, "bad").static_();

@@ -5,8 +5,10 @@ use crate::layout::{
     ARRAY_HEADER_BYTES, ElemKind, FieldKind, RECORD_HEADER_BYTES, RecordLayout, TypeId,
 };
 use crate::page::{PAGE_BYTES, PAGE_CAPACITY, Page, PageRef};
+use crate::pool::{POOL_BATCH, PagePool};
 use crate::stats::NativeStats;
 use metrics::OutOfMemory;
+use std::sync::Arc;
 
 /// Reserved type IDs for the four array kinds; user types start afterwards.
 pub(crate) const ARRAY_TYPE_U8: u16 = 0;
@@ -89,6 +91,11 @@ pub struct PagedHeap {
     types: Vec<RecordLayout>,
     pages: Vec<Page>,
     free_pages: Vec<u32>,
+    /// Slots whose buffers were surrendered to the shared pool; reused
+    /// before `pages` grows.
+    vacant_slots: Vec<u32>,
+    /// Shared page supply; `None` for a standalone (single-thread) heap.
+    pool: Option<Arc<PagePool>>,
     oversize: Vec<Option<Vec<u8>>>,
     free_oversize: Vec<u32>,
     managers: Vec<PageManager>,
@@ -108,6 +115,19 @@ impl PagedHeap {
         Self::with_config(PagedHeapConfig::default())
     }
 
+    /// Creates a heap drawing its pages from a shared [`PagePool`] (§3.6's
+    /// per-thread manager over a process-wide page supply).
+    pub fn with_pool(config: PagedHeapConfig, pool: Arc<PagePool>) -> Self {
+        let mut heap = Self::with_config(config);
+        heap.pool = Some(pool);
+        heap
+    }
+
+    /// The shared pool this heap draws from, if any.
+    pub fn pool(&self) -> Option<&Arc<PagePool>> {
+        self.pool.as_ref()
+    }
+
     /// Creates a heap with the given configuration.
     pub fn with_config(config: PagedHeapConfig) -> Self {
         let mut types = Vec::new();
@@ -120,6 +140,8 @@ impl PagedHeap {
             types,
             pages: Vec::new(),
             free_pages: Vec::new(),
+            vacant_slots: Vec::new(),
+            pool: None,
             oversize: Vec::new(),
             free_oversize: Vec::new(),
             // Manager 0 is the default ⟨⊥, t⟩ manager that lives until the
@@ -169,9 +191,10 @@ impl PagedHeap {
     }
 
     /// Number of page objects currently alive (live + recycled); the `p` of
-    /// the paper's `O(t*n + p)` object bound.
+    /// the paper's `O(t*n + p)` object bound. Slots whose buffers went back
+    /// to the shared pool do not count.
     pub fn page_objects(&self) -> usize {
-        self.pages.len()
+        self.pages.len() - self.vacant_slots.len()
     }
 
     // ----- iterations ------------------------------------------------------
@@ -218,7 +241,9 @@ impl PagedHeap {
         // Detach the subtree root from its parent; every other manager in
         // the subtree has its parent inside the subtree.
         if let Some(parent) = self.managers[root as usize].parent {
-            self.managers[parent as usize].children.retain(|&c| c != root);
+            self.managers[parent as usize]
+                .children
+                .retain(|&c| c != root);
         }
         let mut stack = vec![root];
         while let Some(m) = stack.pop() {
@@ -258,6 +283,22 @@ impl PagedHeap {
 
     // ----- allocation ------------------------------------------------------
 
+    /// Installs `page` into a slot (reusing a vacated one if possible) and
+    /// charges it against the budget accounting.
+    fn adopt_page(&mut self, page: Page) -> u32 {
+        self.held_bytes += PAGE_BYTES as u64;
+        if self.held_bytes > self.stats.peak_bytes {
+            self.stats.peak_bytes = self.held_bytes;
+        }
+        if let Some(slot) = self.vacant_slots.pop() {
+            self.pages[slot as usize] = page;
+            slot
+        } else {
+            self.pages.push(page);
+            (self.pages.len() - 1) as u32
+        }
+    }
+
     fn grab_page(&mut self) -> Result<u32, OutOfMemory> {
         if let Some(slot) = self.free_pages.pop() {
             return Ok(slot);
@@ -271,13 +312,51 @@ impl PagedHeap {
                 });
             }
         }
-        self.pages.push(Page::new());
-        self.stats.pages_created += 1;
-        self.held_bytes = next;
-        if next > self.stats.peak_bytes {
-            self.stats.peak_bytes = next;
+        // Pull a batch from the shared pool first: recycled pages keep their
+        // dirty watermark, so adopting one skips the full-page zeroing a
+        // fresh `calloc` pays. Acquire only as many as the budget allows.
+        if let Some(pool) = self.pool.clone() {
+            let room = match self.config.budget_bytes {
+                Some(budget) => ((budget - self.held_bytes) / PAGE_BYTES as u64) as usize,
+                None => POOL_BATCH,
+            };
+            let batch = pool.acquire_batch(room.min(POOL_BATCH));
+            if !batch.is_empty() {
+                self.stats.pages_from_pool += batch.len() as u64;
+                for pooled in batch {
+                    let slot = self.adopt_page(Page::from_pooled(pooled));
+                    self.free_pages.push(slot);
+                }
+                return Ok(self.free_pages.pop().expect("batch was non-empty"));
+            }
         }
-        Ok((self.pages.len() - 1) as u32)
+        let slot = self.adopt_page(Page::new());
+        self.stats.pages_created += 1;
+        Ok(slot)
+    }
+
+    /// Surrenders every free (recycled) page to the shared pool so other
+    /// threads can reuse the buffers; returns how many were released.
+    /// No-op for a heap without an attached pool.
+    ///
+    /// Live pages — those still owned by an active manager — are never
+    /// released; call this after `iteration_end` has recycled a scope.
+    pub fn release_pages_to_pool(&mut self) -> usize {
+        let Some(pool) = self.pool.clone() else {
+            return 0;
+        };
+        let slots = std::mem::take(&mut self.free_pages);
+        let n = slots.len();
+        let mut batch = Vec::with_capacity(n);
+        for slot in slots {
+            let page = std::mem::replace(&mut self.pages[slot as usize], Page::placeholder());
+            batch.push(page.into_pooled());
+            self.vacant_slots.push(slot);
+            self.held_bytes -= PAGE_BYTES as u64;
+        }
+        self.stats.pages_to_pool += n as u64;
+        pool.release_batch(batch);
+        n
     }
 
     /// Allocates `size` bytes in the current manager and returns the page
@@ -895,6 +974,69 @@ mod tests {
         assert_eq!(h.lock_word(r), 253);
         // The type header is untouched by lock writes.
         assert_eq!(h.type_of(r), t);
+    }
+
+    #[test]
+    fn pool_pages_recycle_across_heaps() {
+        let pool = Arc::new(PagePool::with_default_config());
+        let mut h1 = PagedHeap::with_pool(PagedHeapConfig::default(), Arc::clone(&pool));
+        let t = h1.register_type("T", &[FieldKind::I64; 4]);
+        let it = h1.iteration_start();
+        for _ in 0..10_000 {
+            h1.alloc(t).unwrap();
+        }
+        h1.iteration_end(it);
+        let created = h1.stats().pages_created;
+        assert!(created > 1);
+        let released = h1.release_pages_to_pool();
+        assert_eq!(released as u64, created);
+        assert_eq!(h1.page_objects(), 0);
+        assert_eq!(h1.bytes_held(), 0);
+        assert_eq!(pool.available() as u64, created);
+
+        // A second heap (another thread's, conceptually) runs the same
+        // workload entirely on recycled buffers: zero fresh pages.
+        let mut h2 = PagedHeap::with_pool(PagedHeapConfig::default(), Arc::clone(&pool));
+        let t2 = h2.register_type("T", &[FieldKind::I64; 4]);
+        let it = h2.iteration_start();
+        for _ in 0..10_000 {
+            h2.alloc(t2).unwrap();
+        }
+        h2.iteration_end(it);
+        assert_eq!(h2.stats().pages_created, 0, "all pages came from the pool");
+        assert_eq!(h2.stats().pages_from_pool, created);
+    }
+
+    #[test]
+    fn pool_acquire_respects_budget() {
+        let pool = Arc::new(PagePool::with_default_config());
+        // Prime the pool with plenty of pages.
+        let mut donor = PagedHeap::with_pool(PagedHeapConfig::default(), Arc::clone(&pool));
+        let t = donor.register_type("T", &[FieldKind::I64; 4]);
+        let it = donor.iteration_start();
+        for _ in 0..20_000 {
+            donor.alloc(t).unwrap();
+        }
+        donor.iteration_end(it);
+        donor.release_pages_to_pool();
+
+        let budget = 3 * PAGE_BYTES as u64;
+        let mut h = PagedHeap::with_pool(
+            PagedHeapConfig {
+                budget_bytes: Some(budget),
+            },
+            Arc::clone(&pool),
+        );
+        let t = h.register_type("T", &[FieldKind::I64; 8]);
+        let mut failed = false;
+        for _ in 0..10_000 {
+            if h.alloc(t).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "budget must bound pool adoption too");
+        assert!(h.bytes_held() <= budget, "held {} > budget", h.bytes_held());
     }
 
     #[test]

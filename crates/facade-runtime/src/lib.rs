@@ -39,6 +39,7 @@ mod heap;
 mod layout;
 mod locks;
 mod page;
+mod pool;
 mod pools;
 mod stats;
 
@@ -47,5 +48,6 @@ pub use layout::{ElemKind, FieldKind, RecordLayout, TypeId};
 pub use locks::{LockPool, LockPoolConfig};
 pub use metrics::OutOfMemory;
 pub use page::{PAGE_BYTES, PAGE_CAPACITY, PageRef};
+pub use pool::{POOL_BATCH, PagePool, PagePoolConfig, PooledPage};
 pub use pools::{Facade, FacadePools, PoolBounds};
 pub use stats::NativeStats;

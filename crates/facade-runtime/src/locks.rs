@@ -12,8 +12,8 @@
 //! Locks are reentrant and support `wait`/`notify_all`, mirroring Java
 //! intrinsic monitors.
 
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::thread::ThreadId;
 
 /// Configuration for a [`LockPool`].
@@ -112,7 +112,11 @@ impl LockPool {
 
     /// Number of locks currently checked out (set bits).
     pub fn in_use(&self) -> usize {
-        let total: u32 = self.bits.iter().map(|w| w.load(Ordering::Relaxed).count_ones()).sum();
+        let total: u32 = self
+            .bits
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones())
+            .sum();
         let tail = self.bits.len() * 64 - self.locks.len();
         total as usize - tail
     }
@@ -181,7 +185,7 @@ impl LockPool {
                 (id - 1) as usize
             };
             let lock = &self.locks[idx];
-            let mut st = lock.state.lock();
+            let mut st = lock.state.lock().expect("lock pool mutex poisoned");
             // The lock may have been released and recycled between reading
             // the word and acquiring the state mutex; re-verify the binding.
             if word.load(Ordering::Acquire) != (idx + 1) as u16 {
@@ -193,7 +197,7 @@ impl LockPool {
                 return;
             }
             while st.owner.is_some() {
-                lock.monitor_cv.wait(&mut st);
+                st = lock.monitor_cv.wait(st).expect("lock pool mutex poisoned");
             }
             st.owner = Some(me);
             st.count = 1;
@@ -214,7 +218,7 @@ impl LockPool {
         assert!(id != 0, "monitorexit on an unlocked record");
         let idx = (id - 1) as usize;
         let lock = &self.locks[idx];
-        let mut st = lock.state.lock();
+        let mut st = lock.state.lock().expect("lock pool mutex poisoned");
         assert_eq!(st.owner, Some(me), "monitorexit by non-owner");
         st.count -= 1;
         if st.count == 0 {
@@ -242,7 +246,7 @@ impl LockPool {
         assert!(id != 0, "wait on an unlocked record");
         let idx = (id - 1) as usize;
         let lock = &self.locks[idx];
-        let mut st = lock.state.lock();
+        let mut st = lock.state.lock().expect("lock pool mutex poisoned");
         assert_eq!(st.owner, Some(me), "wait by non-owner");
         let saved = st.count;
         st.owner = None;
@@ -250,10 +254,10 @@ impl LockPool {
         lock.monitor_cv.notify_one();
         let gen = st.generation;
         while st.generation == gen {
-            lock.wait_cv.wait(&mut st);
+            st = lock.wait_cv.wait(st).expect("lock pool mutex poisoned");
         }
         while st.owner.is_some() {
-            lock.monitor_cv.wait(&mut st);
+            st = lock.monitor_cv.wait(st).expect("lock pool mutex poisoned");
         }
         st.owner = Some(me);
         st.count = saved;
@@ -271,7 +275,7 @@ impl LockPool {
         assert!(id != 0, "notify on an unlocked record");
         let idx = (id - 1) as usize;
         let lock = &self.locks[idx];
-        let mut st = lock.state.lock();
+        let mut st = lock.state.lock().expect("lock pool mutex poisoned");
         assert_eq!(st.owner, Some(me), "notify by non-owner");
         st.generation += 1;
         lock.wait_cv.notify_all();
@@ -336,7 +340,7 @@ mod tests {
         let pool = Arc::new(LockPool::new(LockPoolConfig { capacity: 64 }));
         let word = Arc::new(AtomicU16::new(0));
         let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
-        let unsynced = Arc::new(parking_lot::Mutex::new(0u64));
+        let unsynced = Arc::new(std::sync::Mutex::new(0u64));
         let threads: Vec<_> = (0..8)
             .map(|_| {
                 let (pool, word, counter, unsynced) = (
@@ -363,7 +367,7 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::SeqCst), 16_000);
-        assert_eq!(*unsynced.lock(), 16_000);
+        assert_eq!(*unsynced.lock().unwrap(), 16_000);
         assert_eq!(word.load(Ordering::SeqCst), 0, "lock returned to pool");
         assert_eq!(pool.in_use(), 0);
     }

@@ -106,6 +106,37 @@ impl Page {
         }
     }
 
+    /// A slot placeholder for a page whose buffer has been surrendered to
+    /// the shared [`crate::PagePool`]; holds no memory and must never be
+    /// allocated from until re-adopted.
+    pub fn placeholder() -> Self {
+        Self {
+            bytes: Vec::new(),
+            top: PAGE_BYTES,
+            dirty: PAGE_BYTES,
+        }
+    }
+
+    /// Adopts a buffer acquired from the shared pool, keeping its dirty
+    /// watermark so only genuinely stale bytes get re-zeroed on allocation.
+    pub fn from_pooled(p: crate::pool::PooledPage) -> Self {
+        debug_assert_eq!(p.bytes.len(), PAGE_BYTES);
+        Self {
+            bytes: p.bytes,
+            top: PAGE_RESERVED,
+            dirty: p.dirty.clamp(PAGE_RESERVED, PAGE_BYTES),
+        }
+    }
+
+    /// Surrenders the page's buffer to the shared pool, carrying the dirty
+    /// watermark along.
+    pub fn into_pooled(self) -> crate::pool::PooledPage {
+        crate::pool::PooledPage {
+            dirty: self.dirty.max(self.top),
+            bytes: self.bytes,
+        }
+    }
+
     /// Resets the bump pointer for reuse from the free list.
     pub fn recycle(&mut self) {
         self.dirty = self.dirty.max(self.top);

@@ -1,0 +1,229 @@
+//! The shared page pool: the thread-scalable page substrate of §3.6.
+//!
+//! The paper gives every thread its own page manager so the data path never
+//! contends on allocation metadata. What *is* shared is the supply of 32 KiB
+//! pages themselves: pages released by one thread's `iteration_end` become
+//! available to every other thread, so the whole process converges on one
+//! working set of pages instead of `threads ×` private ones.
+//!
+//! [`PagePool`] is that supply. It is a sharded free list of page buffers:
+//! acquire and release move *batches* of pages between a thread's
+//! [`crate::PagedHeap`] and one shard, so a worker touches a shard mutex
+//! once per ~8 pages rather than once per page. Buffers carry their dirty
+//! high-water mark across threads, preserving the partial-zeroing
+//! optimization (only bytes below the mark are re-zeroed on the next bump
+//! allocation — a page that recycles through the pool is never wholesale
+//! re-zeroed).
+
+use crate::page::{PAGE_BYTES, PAGE_RESERVED};
+use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// How many pages a heap pulls from / pushes to the pool per shard visit.
+pub const POOL_BATCH: usize = 8;
+
+/// A page buffer in transit through the pool: raw bytes plus the dirty
+/// high-water mark (bytes below it may hold stale data and are re-zeroed
+/// lazily by the next owner's bump allocator).
+#[derive(Debug)]
+pub struct PooledPage {
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) dirty: usize,
+}
+
+impl PooledPage {
+    /// A fresh zeroed page buffer.
+    pub fn new() -> Self {
+        Self {
+            bytes: vec![0; PAGE_BYTES],
+            dirty: PAGE_RESERVED,
+        }
+    }
+
+    /// A stable identity for the underlying buffer (its base address),
+    /// usable to check that no two live owners hold the same page.
+    pub fn addr(&self) -> usize {
+        self.bytes.as_ptr() as usize
+    }
+}
+
+impl Default for PooledPage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Configuration for a [`PagePool`].
+#[derive(Debug, Clone)]
+pub struct PagePoolConfig {
+    /// Number of free-list shards. More shards = less mutex contention;
+    /// the default (8) is enough for the worker counts the frameworks use.
+    pub shards: usize,
+}
+
+impl Default for PagePoolConfig {
+    fn default() -> Self {
+        Self { shards: 8 }
+    }
+}
+
+/// A process-wide pool of 32 KiB pages shared by per-thread page managers.
+///
+/// Cheap to clone via `Arc`; every method takes `&self`.
+///
+/// # Examples
+///
+/// ```
+/// use facade_runtime::PagePool;
+/// use std::sync::Arc;
+///
+/// let pool = Arc::new(PagePool::with_default_config());
+/// let pages = pool.acquire_batch(4); // empty pool: nothing to hand out yet
+/// assert!(pages.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct PagePool {
+    shards: Vec<Mutex<Vec<PooledPage>>>,
+    /// Round-robin cursor distributing acquires/releases across shards.
+    cursor: AtomicUsize,
+    handed_out: AtomicU64,
+    returned: AtomicU64,
+}
+
+impl PagePool {
+    /// Creates an empty pool with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(config: PagePoolConfig) -> Self {
+        assert!(config.shards > 0, "page pool needs at least one shard");
+        Self {
+            shards: (0..config.shards).map(|_| Mutex::new(Vec::new())).collect(),
+            cursor: AtomicUsize::new(0),
+            handed_out: AtomicU64::new(0),
+            returned: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates an empty pool with the default shard count.
+    pub fn with_default_config() -> Self {
+        Self::new(PagePoolConfig::default())
+    }
+
+    fn shard_guard(&self, idx: usize) -> std::sync::MutexGuard<'_, Vec<PooledPage>> {
+        // A poisoned shard only means another thread panicked mid-push/pop;
+        // the Vec itself is always structurally valid.
+        match self.shards[idx].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Takes up to `max` pages from the pool (possibly fewer, possibly none
+    /// — the caller falls back to creating fresh pages).
+    pub fn acquire_batch(&self, max: usize) -> Vec<PooledPage> {
+        let n = self.shards.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let mut out = Vec::new();
+        for i in 0..n {
+            if out.len() >= max {
+                break;
+            }
+            let mut shard = self.shard_guard((start + i) % n);
+            while out.len() < max {
+                match shard.pop() {
+                    Some(p) => out.push(p),
+                    None => break,
+                }
+            }
+        }
+        self.handed_out
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Returns pages to the pool for other threads to reuse.
+    pub fn release_batch(&self, pages: Vec<PooledPage>) {
+        if pages.is_empty() {
+            return;
+        }
+        self.returned
+            .fetch_add(pages.len() as u64, Ordering::Relaxed);
+        let n = self.shards.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_guard(start % n);
+        shard.extend(pages);
+    }
+
+    /// Pages currently sitting in the pool, ready to hand out.
+    pub fn available(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.shard_guard(i).len())
+            .sum()
+    }
+
+    /// Total pages ever handed out by [`PagePool::acquire_batch`].
+    pub fn pages_handed_out(&self) -> u64 {
+        self.handed_out.load(Ordering::Relaxed)
+    }
+
+    /// Total pages ever accepted by [`PagePool::release_batch`].
+    pub fn pages_returned(&self) -> u64 {
+        self.returned.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_roundtrip_preserves_buffers() {
+        let pool = PagePool::with_default_config();
+        let a = PooledPage::new();
+        let b = PooledPage::new();
+        let (addr_a, addr_b) = (a.addr(), b.addr());
+        pool.release_batch(vec![a, b]);
+        assert_eq!(pool.available(), 2);
+        let got = pool.acquire_batch(8);
+        assert_eq!(got.len(), 2);
+        let addrs: Vec<usize> = got.iter().map(|p| p.addr()).collect();
+        assert!(addrs.contains(&addr_a) && addrs.contains(&addr_b));
+        assert_eq!(pool.available(), 0);
+        assert_eq!(pool.pages_handed_out(), 2);
+        assert_eq!(pool.pages_returned(), 2);
+    }
+
+    #[test]
+    fn acquire_from_empty_pool_is_empty() {
+        let pool = PagePool::new(PagePoolConfig { shards: 2 });
+        assert!(pool.acquire_batch(4).is_empty());
+        assert_eq!(pool.pages_handed_out(), 0);
+    }
+
+    #[test]
+    fn batches_spread_across_shards_but_drain_fully() {
+        let pool = PagePool::new(PagePoolConfig { shards: 4 });
+        for _ in 0..10 {
+            pool.release_batch(vec![PooledPage::new()]);
+        }
+        assert_eq!(pool.available(), 10);
+        // One acquire visits every shard if needed.
+        let got = pool.acquire_batch(10);
+        assert_eq!(got.len(), 10);
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn dirty_watermark_travels_with_the_buffer() {
+        let pool = PagePool::with_default_config();
+        let mut p = PooledPage::new();
+        p.bytes[100] = 0xAB;
+        p.dirty = 128;
+        pool.release_batch(vec![p]);
+        let got = pool.acquire_batch(1);
+        assert_eq!(got[0].dirty, 128);
+        assert_eq!(got[0].bytes[100], 0xAB, "pool does not re-zero");
+    }
+}

@@ -7,6 +7,10 @@ pub struct NativeStats {
     pub pages_created: u64,
     /// Pages recycled by iteration ends.
     pub pages_recycled: u64,
+    /// Pages adopted from the shared [`crate::PagePool`].
+    pub pages_from_pool: u64,
+    /// Pages surrendered back to the shared [`crate::PagePool`].
+    pub pages_to_pool: u64,
     /// Records ever allocated.
     pub records_allocated: u64,
     /// Oversize buffers ever created.
@@ -27,6 +31,8 @@ impl NativeStats {
     pub fn merge(&mut self, other: &NativeStats) {
         self.pages_created += other.pages_created;
         self.pages_recycled += other.pages_recycled;
+        self.pages_from_pool += other.pages_from_pool;
+        self.pages_to_pool += other.pages_to_pool;
         self.records_allocated += other.records_allocated;
         self.oversize_created += other.oversize_created;
         self.oversize_freed += other.oversize_freed;
@@ -45,6 +51,8 @@ mod tests {
         let mut a = NativeStats {
             pages_created: 1,
             pages_recycled: 2,
+            pages_from_pool: 9,
+            pages_to_pool: 10,
             records_allocated: 3,
             oversize_created: 4,
             oversize_freed: 5,

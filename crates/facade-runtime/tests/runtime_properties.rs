@@ -1,8 +1,25 @@
-//! Property tests of the paged runtime's invariants under randomized
-//! allocation sequences with nested iterations.
+//! Randomized-but-deterministic tests of the paged runtime's invariants
+//! under allocation sequences with nested iterations. Sequences are drawn
+//! from a seeded PRNG, one seed per case, so failures reproduce exactly.
 
 use facade_runtime::{ElemKind, FieldKind, PAGE_BYTES, PageRef, PagedHeap};
-use proptest::prelude::*;
+
+/// A SplitMix64 stream; local so this crate stays dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -16,20 +33,23 @@ enum Op {
     End,
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => any::<u8>().prop_map(Op::Alloc),
-        2 => any::<u16>().prop_map(Op::AllocArray),
-        1 => Just(Op::Start),
-        1 => Just(Op::End),
-    ]
+fn random_ops(rng: &mut Rng, len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|_| match rng.below(9) {
+            0..=4 => Op::Alloc(rng.next_u64() as u8),
+            5..=6 => Op::AllocArray(rng.next_u64() as u16),
+            7 => Op::Start,
+            _ => Op::End,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn alloc_iteration_invariants_hold(ops in prop::collection::vec(op(), 1..300)) {
+#[test]
+fn alloc_iteration_invariants_hold() {
+    for case in 0..64u64 {
+        let mut rng = Rng(0xA110_C000 + case);
+        let len = 1 + rng.below(300) as usize;
+        let ops = random_ops(&mut rng, len);
         let mut heap = PagedHeap::new();
         let classes: Vec<_> = (0..4)
             .map(|i| heap.register_type(&format!("T{i}"), &vec![FieldKind::I64; i + 1]))
@@ -52,9 +72,9 @@ proptest! {
                     let r = heap.alloc_array(ElemKind::I64, len).unwrap();
                     if len > 0 {
                         heap.array_set_i64(r, len - 1, k as i64);
-                        prop_assert_eq!(heap.array_get_i64(r, len - 1), k as i64);
+                        assert_eq!(heap.array_get_i64(r, len - 1), k as i64);
                     }
-                    prop_assert_eq!(heap.array_len(r), len);
+                    assert_eq!(heap.array_len(r), len);
                     allocated += 1;
                 }
                 Op::Start => {
@@ -69,25 +89,30 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(heap.iteration_depth(), depth);
+            assert_eq!(heap.iteration_depth(), depth, "case {case}");
             // Records of the *current* scope stay readable with their data.
             for &(r, v) in &live {
-                prop_assert_eq!(heap.get_i64(r, 0), v);
+                assert_eq!(heap.get_i64(r, 0), v, "case {case}");
             }
         }
-        prop_assert_eq!(heap.stats().records_allocated, allocated);
+        assert_eq!(heap.stats().records_allocated, allocated, "case {case}");
         // Accounting: held bytes are at least the page population.
         let pages = heap.page_objects() as u64 * PAGE_BYTES as u64;
-        prop_assert!(heap.bytes_held() >= pages);
+        assert!(heap.bytes_held() >= pages, "case {case}");
         // Ending every open iteration succeeds (nesting discipline held).
         while let Some((it, _)) = stack.pop() {
             heap.iteration_end(it);
         }
-        prop_assert_eq!(heap.iteration_depth(), 0);
+        assert_eq!(heap.iteration_depth(), 0, "case {case}");
     }
+}
 
-    #[test]
-    fn recycled_pages_are_reused_not_leaked(rounds in 1usize..12, per_round in 1usize..500) {
+#[test]
+fn recycled_pages_are_reused_not_leaked() {
+    for case in 0..64u64 {
+        let mut rng = Rng(0x9EC7_C1E0 + case);
+        let rounds = 1 + rng.below(11) as usize;
+        let per_round = 1 + rng.below(499) as usize;
         let mut heap = PagedHeap::new();
         let t = heap.register_type("T", &[FieldKind::I64; 4]);
         let mut max_pages = 0;
@@ -100,10 +125,11 @@ proptest! {
             max_pages = max_pages.max(heap.page_objects());
         }
         // Page population equals one round's worth: later rounds reuse.
-        prop_assert_eq!(heap.page_objects(), max_pages);
-        prop_assert_eq!(
+        assert_eq!(heap.page_objects(), max_pages, "case {case}");
+        assert_eq!(
             heap.stats().records_allocated,
-            (rounds * per_round) as u64
+            (rounds * per_round) as u64,
+            "case {case}"
         );
     }
 }

@@ -83,11 +83,7 @@ impl Vm<'_> {
         })?;
         let rec = self.paged_mut().alloc(PTypeId(tid))?;
         memo.insert(obj.raw(), rec);
-        let kinds: Vec<HField> = self
-            .heap_ref()
-            .layout(hclass)
-            .fields()
-            .to_vec();
+        let kinds: Vec<HField> = self.heap_ref().layout(hclass).fields().to_vec();
         for (i, kind) in kinds.iter().enumerate() {
             match kind {
                 HField::I32 => {

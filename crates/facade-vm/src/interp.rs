@@ -506,10 +506,9 @@ impl<'p> Vm<'p> {
             }
             IterationEnd => {
                 if self.meta.is_some() {
-                    let it = self
-                        .iteration_stack
-                        .pop()
-                        .ok_or_else(|| VmError::IllegalInstruction("unmatched iteration end".into()))?;
+                    let it = self.iteration_stack.pop().ok_or_else(|| {
+                        VmError::IllegalInstruction("unmatched iteration end".into())
+                    })?;
                     self.paged.iteration_end(it);
                 }
             }
@@ -526,7 +525,9 @@ impl<'p> Vm<'p> {
                 let r = self.paged.alloc_array(paged_elem_kind(elem), n)?;
                 self.set_local(frame, *dst, Value::Page(r));
             }
-            PageGetField { dst, obj, field, .. } => {
+            PageGetField {
+                dst, obj, field, ..
+            } => {
                 let r = get(frame, *obj).as_page();
                 if r.is_null() {
                     return Err(VmError::NullDeref(format!("paged getfield #{field}")));
@@ -539,7 +540,9 @@ impl<'p> Vm<'p> {
                 };
                 self.set_local(frame, *dst, v);
             }
-            PageSetField { obj, field, src, .. } => {
+            PageSetField {
+                obj, field, src, ..
+            } => {
                 let r = get(frame, *obj).as_page();
                 if r.is_null() {
                     return Err(VmError::NullDeref(format!("paged setfield #{field}")));
@@ -556,7 +559,12 @@ impl<'p> Vm<'p> {
                     }
                 }
             }
-            PageArrayGet { dst, arr, idx, elem } => {
+            PageArrayGet {
+                dst,
+                arr,
+                idx,
+                elem,
+            } => {
                 let a = get(frame, *arr).as_page();
                 if a.is_null() {
                     return Err(VmError::NullDeref("paged arrayget".into()));
@@ -623,7 +631,11 @@ impl<'p> Vm<'p> {
                 let tid = self.paged.type_of(r).0;
                 let pools = self.pools.as_mut().expect("paged mode");
                 pools.receiver(PTypeId(tid)).bind(r);
-                self.set_local(frame, *dst, Value::Facade(FacadeSlot::Receiver { type_id: tid }));
+                self.set_local(
+                    frame,
+                    *dst,
+                    Value::Facade(FacadeSlot::Receiver { type_id: tid }),
+                );
             }
             ReleaseFacade { dst, facade } => {
                 let v = get(frame, *facade);
@@ -698,19 +710,17 @@ impl<'p> Vm<'p> {
         match target {
             CallTarget::Static(m) | CallTarget::Special(m) => Ok(m),
             CallTarget::Virtual(declared) => {
-                let recv = args
-                    .first()
-                    .copied()
-                    .ok_or_else(|| VmError::IllegalInstruction("virtual call without receiver".into()))?;
+                let recv = args.first().copied().ok_or_else(|| {
+                    VmError::IllegalInstruction("virtual call without receiver".into())
+                })?;
                 let runtime_class = match recv {
                     Value::Obj(r) => {
                         if r.is_null() {
                             return Err(VmError::NullDeref("virtual dispatch".into()));
                         }
-                        let h = self
-                            .heap
-                            .class_of(r)
-                            .ok_or_else(|| VmError::IllegalInstruction("dispatch on array".into()))?;
+                        let h = self.heap.class_of(r).ok_or_else(|| {
+                            VmError::IllegalInstruction("dispatch on array".into())
+                        })?;
                         self.rev_class[&h.0]
                     }
                     Value::Facade(slot) => {

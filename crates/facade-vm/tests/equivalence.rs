@@ -4,7 +4,7 @@
 //! check the paper's object-bound claims against the VM's statistics.
 
 use facade_compiler::{DataSpec, transform};
-use facade_ir::{BinOp, CmpOp, CallTarget, Instr, Program, ProgramBuilder, Ty};
+use facade_ir::{BinOp, CallTarget, CmpOp, Instr, Program, ProgramBuilder, Ty};
 use facade_vm::Vm;
 
 /// Runs `program` as `P` and as `P'` and asserts identical output; returns
@@ -27,10 +27,7 @@ fn assert_equivalent(program: &Program, spec: &DataSpec) -> Vec<String> {
 /// method and a static `client` driver.
 fn figure2_program() -> (Program, DataSpec) {
     let mut pb = ProgramBuilder::new();
-    let student = pb
-        .class("Student")
-        .field("id", Ty::I32)
-        .build();
+    let student = pb.class("Student").field("id", Ty::I32).build();
     let professor = pb
         .class("Professor")
         .field("id", Ty::I32)
@@ -254,8 +251,16 @@ fn linked_list_recursion_agrees() {
 fn virtual_dispatch_through_hierarchy_agrees() {
     let mut pb = ProgramBuilder::new();
     let shape = pb.class("Shape").field("tag", Ty::I32).build();
-    let circle = pb.class("Circle").extends(shape).field("r", Ty::I32).build();
-    let square = pb.class("Square").extends(shape).field("s", Ty::I32).build();
+    let circle = pb
+        .class("Circle")
+        .extends(shape)
+        .field("r", Ty::I32)
+        .build();
+    let square = pb
+        .class("Square")
+        .extends(shape)
+        .field("s", Ty::I32)
+        .build();
 
     // Shape.area() { return 0 }
     let mut area = pb.method(shape, "area").returns(Ty::I32);
@@ -373,7 +378,11 @@ fn iteration_reclamation_bounds_pages() {
     // A data-path loop allocating records per iteration, with
     // iteration-start/end marks: pages recycle, facades stay bounded.
     let mut pb = ProgramBuilder::new();
-    let rec = pb.class("Rec").field("a", Ty::I64).field("b", Ty::I64).build();
+    let rec = pb
+        .class("Rec")
+        .field("a", Ty::I64)
+        .field("b", Ty::I64)
+        .build();
 
     let mut drv = pb.method(rec, "drive").static_().returns(Ty::I32);
     let count = drv.local(Ty::I32);
@@ -403,7 +412,11 @@ fn iteration_reclamation_bounds_pages() {
     drv.switch_to(ib);
     let r = drv.new_object(rec);
     let v = drv.const_i64(5);
-    drv.emit(Instr::SetField { obj: r, field: 0, src: v });
+    drv.emit(Instr::SetField {
+        obj: r,
+        field: 0,
+        src: v,
+    });
     let one = drv.const_i32(1);
     let i2 = drv.bin(BinOp::Add, inner, one);
     drv.move_(inner, i2);
@@ -447,7 +460,11 @@ fn iteration_reclamation_bounds_pages() {
         stats.pages_created,
         stats.pages_recycled
     );
-    assert_eq!(stats.pages_recycled % 50, 0, "one recycle batch per iteration");
+    assert_eq!(
+        stats.pages_recycled % 50,
+        0,
+        "one recycle batch per iteration"
+    );
     // Page recycling keeps the page population tiny: one iteration's worth.
     assert!(
         vm.paged().page_objects() < 10,
@@ -532,9 +549,7 @@ fn pool_bound_covers_multi_arg_calls() {
         drv.set_field(s, "id", v);
         locals.push(s);
     }
-    let r = drv
-        .call_static(take3_m, locals)
-        .unwrap();
+    let r = drv.call_static(take3_m, locals).unwrap();
     drv.print(r);
     drv.ret(Some(r));
     let drv_m = drv.finish();
@@ -564,7 +579,10 @@ fn discarded_data_return_values_do_not_leak_facades() {
     let mut pb = ProgramBuilder::new();
     let student = pb.class("Student").field("id", Ty::I32).build();
 
-    let mut mk = pb.method(student, "make").returns(Ty::Ref(student)).static_();
+    let mut mk = pb
+        .method(student, "make")
+        .returns(Ty::Ref(student))
+        .static_();
     let s = mk.new_object(student);
     mk.ret(Some(s));
     let mk_m = mk.finish();
@@ -715,7 +733,11 @@ fn data_interface_dispatch_agrees() {
     let shape = shape.build();
     let area_decl = pb.abstract_method(shape, "area", vec![], Some(Ty::I32));
 
-    let circle = pb.class("Circle").implements(shape).field("r", Ty::I32).build();
+    let circle = pb
+        .class("Circle")
+        .implements(shape)
+        .field("r", Ty::I32)
+        .build();
     let mut ca = pb.method(circle, "area").returns(Ty::I32);
     let this = ca.this_local();
     let r = ca.get_field(this, "r");
@@ -725,7 +747,11 @@ fn data_interface_dispatch_agrees() {
     ca.ret(Some(a));
     ca.finish();
 
-    let square = pb.class("Square").implements(shape).field("s", Ty::I32).build();
+    let square = pb
+        .class("Square")
+        .implements(shape)
+        .field("s", Ty::I32)
+        .build();
     let mut sa = pb.method(square, "area").returns(Ty::I32);
     let this = sa.this_local();
     let s = sa.get_field(this, "s");
@@ -787,7 +813,11 @@ fn data_interface_as_parameter_and_return_type_agrees() {
     let mut pb = ProgramBuilder::new();
     let shape = pb.interface("Shape").build();
     let area_decl = pb.abstract_method(shape, "area", vec![], Some(Ty::I32));
-    let circle = pb.class("Circle").implements(shape).field("r", Ty::I32).build();
+    let circle = pb
+        .class("Circle")
+        .implements(shape)
+        .field("r", Ty::I32)
+        .build();
     let mut ca = pb.method(circle, "area").returns(Ty::I32);
     let this = ca.this_local();
     let r = ca.get_field(this, "r");

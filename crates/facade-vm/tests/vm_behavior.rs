@@ -109,7 +109,14 @@ fn comparison_chain_matches_rust() {
     let mut m = pb.method(main_class, "main").static_();
     let a = m.const_f64(1.5);
     let b = m.const_f64(2.5);
-    for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+    for op in [
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+        CmpOp::Eq,
+        CmpOp::Ne,
+    ] {
         let r = m.cmp(op, a, b);
         m.print(r);
     }

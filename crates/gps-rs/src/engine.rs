@@ -1,12 +1,13 @@
 //! The BSP engine: workers, supersteps, message exchange.
 
 use crate::kernels::{Outgoing, VertexKernel};
-use data_store::{ClassTag, ElemTy, FieldTy, Rec, Store, StoreStats};
+use data_store::{ClassTag, ElemTy, FieldTy, PagePool, Rec, Store, StoreStats};
 use datagen::Graph;
 use metrics::report::Backend;
 use metrics::{OutOfMemory, PhaseTimer, phases};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
@@ -81,10 +82,13 @@ struct Worker {
     active: Vec<bool>,
 }
 
-fn store_for(config: &GpsConfig) -> Store {
-    match config.backend {
-        Backend::Heap => Store::heap(config.per_worker_budget),
-        Backend::Facade => Store::facade(config.per_worker_budget),
+fn store_for(config: &GpsConfig, pool: Option<&Arc<PagePool>>) -> Store {
+    match (config.backend, pool) {
+        (Backend::Heap, _) => Store::heap(config.per_worker_budget),
+        (Backend::Facade, Some(pool)) => {
+            Store::facade_shared(config.per_worker_budget, Arc::clone(pool))
+        }
+        (Backend::Facade, None) => Store::facade(config.per_worker_budget),
     }
 }
 
@@ -111,6 +115,12 @@ pub fn run(
         cause,
     };
 
+    // One shared page supply for every facade worker: a superstep's
+    // message churn is iteration-scoped, so pages freed by one worker's
+    // barrier feed the next superstep on all of them.
+    let pool = (n_workers > 1 && config.backend == Backend::Facade)
+        .then(|| Arc::new(PagePool::with_default_config()));
+
     // Partition vertices v → worker v % W; build per-worker CSR.
     let mut workers: Vec<Worker> = Vec::with_capacity(n_workers);
     {
@@ -124,7 +134,7 @@ pub fn run(
             adj[w][s as usize / n_workers].push(d);
         }
         for (w, lists) in adj.into_iter().enumerate() {
-            let mut store = store_for(config);
+            let mut store = store_for(config, pool.as_ref());
             let envelope = store.register_class(
                 "MessageEnvelope",
                 &[FieldTy::I32, FieldTy::I32, FieldTy::Ref],
@@ -187,15 +197,17 @@ pub fn run(
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
         });
 
         let mut any_message = false;
         let mut any_active = false;
         let mut acc = kernel.accumulator();
         let mut failure: Option<OutOfMemory> = None;
-        let mut new_inboxes: Vec<Vec<(u32, f64)>> =
-            (0..n_workers).map(|_| Vec::new()).collect();
+        let mut new_inboxes: Vec<Vec<(u32, f64)>> = (0..n_workers).map(|_| Vec::new()).collect();
         for result in results {
             match result {
                 Ok((outgoing, contrib, sent, load_t, update_t)) => {
@@ -240,15 +252,7 @@ pub fn run(
         for i in 0..worker.local_count {
             values[w + i * n_workers] = worker.store.array_get_f64(worker.values, i);
         }
-        let s = worker.store.stats();
-        stats.gc_time += s.gc_time;
-        stats.gc_count += s.gc_count;
-        stats.records_allocated += s.records_allocated;
-        stats.current_bytes += s.current_bytes;
-        stats.peak_bytes += s.peak_bytes;
-        stats.pages_created += s.pages_created;
-        stats.objects_traced += s.objects_traced;
-        stats.heap_objects += s.heap_objects;
+        stats.merge(&worker.store.stats());
     }
     timer.add(phases::GC, stats.gc_time);
     timer.freeze_total();
@@ -383,6 +387,9 @@ fn superstep_on_worker(
         store.remove_root(r2);
     }
     store.iteration_end(it);
+    // The superstep's message records are dead; share the freed pages with
+    // the other workers before the next barrier.
+    store.release_pages();
     Ok((outgoing, contrib, sent, load_elapsed, update_elapsed))
 }
 

@@ -127,9 +127,7 @@ impl KMeans {
     /// K-means with `k` clusters.
     pub fn new(k: usize, max_supersteps: usize) -> Self {
         // Deterministic initial centroids spread over the unit square.
-        let centroids = (0..k)
-            .map(|i| position((i as u32 + 1) * 7919))
-            .collect();
+        let centroids = (0..k).map(|i| position((i as u32 + 1) * 7919)).collect();
         Self {
             k,
             max_supersteps,
@@ -157,10 +155,7 @@ impl VertexKernel for KMeans {
     }
 
     fn globals(&self) -> Vec<f64> {
-        self.centroids
-            .iter()
-            .flat_map(|&(x, y)| [x, y])
-            .collect()
+        self.centroids.iter().flat_map(|&(x, y)| [x, y]).collect()
     }
 
     fn accumulator(&self) -> Vec<f64> {

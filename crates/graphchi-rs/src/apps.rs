@@ -148,8 +148,10 @@ impl VertexView<'_> {
     }
 }
 
-/// A GraphChi vertex program.
-pub trait VertexProgram {
+/// A GraphChi vertex program. `Sync` because the engine's workers share
+/// one program across subinterval threads; programs hold read-only
+/// parameters, not per-vertex state.
+pub trait VertexProgram: Sync {
     /// Application name for reports (`PR`, `CC`, ...).
     fn name(&self) -> &'static str;
 
@@ -329,11 +331,19 @@ impl VertexProgram for ShortestPaths {
     }
 
     fn initial_value(&self, vertex: u32, _out_degree: u32) -> f64 {
-        if vertex == self.source { 0.0 } else { SSSP_INFINITY }
+        if vertex == self.source {
+            0.0
+        } else {
+            SSSP_INFINITY
+        }
     }
 
     fn initial_edge_value(&self, src: u32, _src_out_degree: u32) -> f64 {
-        if src == self.source { 1.0 } else { SSSP_INFINITY }
+        if src == self.source {
+            1.0
+        } else {
+            SSSP_INFINITY
+        }
     }
 
     fn fold_edge_value(&self, stored: f64, written: f64) -> f64 {

@@ -3,10 +3,11 @@
 
 use crate::apps::{VertexProgram, VertexView, pointer_fields, vertex_fields};
 use crate::preprocess::Csr;
-use data_store::{ClassTag, ElemTy, FieldTy, Store, StoreStats};
+use data_store::{ClassTag, ElemTy, FieldTy, PagePool, Store, StoreStats};
 use datagen::Graph;
 use metrics::report::Backend;
 use metrics::{OutOfMemory, PhaseTimer, phases};
+use std::sync::Arc;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -31,6 +32,14 @@ pub struct EngineConfig {
     /// young-generation collector reclaims short-lived heap garbage almost
     /// for free — so `P'` loses its load/update advantage).
     pub inline_records: bool,
+    /// Worker threads processing subintervals. Each worker owns a private
+    /// [`Store`] (its page manager, under the facade backend) sized to
+    /// `budget_bytes / threads`; facade workers draw pages from one shared
+    /// [`PagePool`]. `1` runs everything inline on the calling thread. The
+    /// result is bit-identical for every thread count: workers read a
+    /// per-interval snapshot and the main thread commits their writes in
+    /// subinterval order.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -41,6 +50,7 @@ impl Default for EngineConfig {
             intervals: 20,
             bytes_per_edge: 96,
             inline_records: true,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
 }
@@ -70,14 +80,35 @@ struct Schema {
     degree: ClassTag,
 }
 
-fn build_store(config: &EngineConfig) -> (Store, Schema) {
-    let mut store = match config.backend {
-        Backend::Heap => Store::heap(config.budget_bytes),
-        Backend::Facade => Store::facade(config.budget_bytes),
-    };
-    // The three data classes the paper's profiling found (§4.1). The two
-    // value-array fields are only used by the facade backend's inlined
-    // layout (see `apps::vertex_fields`).
+/// Builds the per-worker stores: each worker thread owns one, sized so the
+/// run's combined budget stays `config.budget_bytes`. Facade workers share
+/// one [`PagePool`], so pages released by any worker at interval ends are
+/// adopted by the others instead of being allocated fresh; `threads == 1`
+/// keeps today's single private store.
+fn build_stores(config: &EngineConfig, threads: usize) -> (Vec<Store>, Schema) {
+    let worker_budget = (config.budget_bytes / threads).max(4096);
+    let pool = (threads > 1 && config.backend == Backend::Facade)
+        .then(|| Arc::new(PagePool::with_default_config()));
+    let mut stores: Vec<Store> = (0..threads)
+        .map(|_| match (&config.backend, &pool) {
+            (Backend::Heap, _) => Store::heap(worker_budget),
+            (Backend::Facade, Some(pool)) => Store::facade_shared(worker_budget, Arc::clone(pool)),
+            (Backend::Facade, None) => Store::facade(worker_budget),
+        })
+        .collect();
+    // Register the same classes in every store; the tags are identical
+    // because registration order is.
+    let mut schema = None;
+    for store in &mut stores {
+        schema = Some(register_schema(store));
+    }
+    (stores, schema.expect("at least one worker store"))
+}
+
+// The three data classes the paper's profiling found (§4.1). The two
+// value-array fields are only used by the facade backend's inlined
+// layout (see `apps::vertex_fields`).
+fn register_schema(store: &mut Store) -> Schema {
     let vertex = store.register_class(
         "ChiVertex",
         &[
@@ -100,15 +131,35 @@ fn build_store(config: &EngineConfig) -> (Store, Schema) {
         ],
     );
     let degree = store.register_class("VertexDegree", &[FieldTy::I32, FieldTy::I32]);
-    (
-        store,
-        Schema {
-            vertex,
-            pointer,
-            degree,
-        },
-    )
+    Schema {
+        vertex,
+        pointer,
+        degree,
+    }
 }
+
+/// The buffered effects of one subinterval, produced against a frozen
+/// interval-start snapshot and replayed by the main thread in subinterval
+/// order — the mechanism that makes parallel runs bit-identical to
+/// sequential ones.
+#[derive(Debug)]
+struct CommitBuf {
+    /// First vertex of the subinterval; `new_values[i]` belongs to
+    /// `first_vertex + i`.
+    first_vertex: u32,
+    /// Post-update vertex values, one per vertex of the subinterval.
+    new_values: Vec<f64>,
+    /// `(edge id, written value)` in the exact order the sequential
+    /// writeback visits them; the committer folds each into the persistent
+    /// edge array with the app's [`VertexProgram::fold_edge_value`].
+    edge_writes: Vec<(u32, f64)>,
+    /// Whether any vertex reported a change (drives early convergence).
+    changed: bool,
+}
+
+/// What one worker thread brings back from an interval: its phase timings
+/// plus `(subinterval index, outcome)` for every subinterval it processed.
+type WorkerOutput = (PhaseTimer, Vec<(usize, Result<CommitBuf, OutOfMemory>)>);
 
 /// The GraphChi-style engine. Construct once per (graph, config) and run
 /// one or more vertex programs.
@@ -136,36 +187,24 @@ impl Engine {
 
     /// Runs `app` to convergence (or its iteration bound).
     ///
+    /// Subintervals are distributed round-robin over `config.threads`
+    /// workers. Every worker reads the same frozen interval-start snapshot
+    /// of the vertex and edge values and buffers its writes; the main
+    /// thread replays the buffers in subinterval order, so the result is
+    /// bit-identical for every thread count. An out-of-memory from any
+    /// worker surfaces as the error of the lowest failing subinterval
+    /// index, again independent of scheduling.
+    ///
     /// # Errors
     ///
-    /// Returns [`OutOfMemory`] when the backend's budget is exhausted — the
+    /// Returns [`OutOfMemory`] when a backend's budget is exhausted — the
     /// condition Table 3 reports as `OME(n)`.
     pub fn run(&mut self, app: &dyn VertexProgram) -> Result<RunOutcome, OutOfMemory> {
-        let (mut store, schema) = build_store(&self.config);
+        let threads = self.config.threads.max(1);
+        let (mut stores, schema) = build_stores(&self.config, threads);
         let mut timer = PhaseTimer::new();
-        let n = self.csr.vertices as usize;
 
-        // Degree computation pass: allocates the paper's third data class.
-        // GraphChi computes degrees during sharding; the records are
-        // short-lived.
-        {
-            let it = store.iteration_start();
-            let mut degree_root = None;
-            let arr = store.alloc_array(ElemTy::Ref, n.min(1 << 16))?;
-            if !store.is_facade() {
-                degree_root = Some(store.add_root(arr));
-            }
-            for v in 0..n.min(1 << 16) {
-                let d = store.alloc(schema.degree)?;
-                store.set_i32(d, 0, self.csr.in_degree(v as u32) as i32);
-                store.set_i32(d, 1, self.csr.out_degree(v as u32) as i32);
-                store.array_set_rec(arr, v, d);
-            }
-            if let Some(root) = degree_root {
-                store.remove_root(root);
-            }
-            store.iteration_end(it);
-        }
+        self.degree_pass(&mut stores[0], schema)?;
 
         // Persistent (simulated on-disk) state: vertex values + edge values.
         let mut values: Vec<f64> = (0..self.csr.vertices)
@@ -181,8 +220,14 @@ impl Engine {
             }
         }
 
+        // Each worker's subintervals must fit its private slice of the
+        // budget, so the subinterval edge budget divides by the worker
+        // count too. The snapshot/ordered-commit dataflow makes results
+        // independent of where subinterval boundaries land (only interval
+        // boundaries are semantically visible), so this does not perturb
+        // values.
         let edge_budget =
-            (self.config.budget_bytes / self.config.bytes_per_edge / 3).max(16) as u64;
+            (self.config.budget_bytes / self.config.bytes_per_edge / 3 / threads).max(16) as u64;
         let intervals = self.csr.intervals(self.config.intervals);
 
         let mut passes = 0usize;
@@ -190,18 +235,21 @@ impl Engine {
         for _pass in 0..app.iterations() {
             let mut changed = false;
             for &interval in &intervals {
-                for sub in self.csr.subintervals(interval, edge_budget) {
-                    let c = self.process_subinterval(
-                        &mut store,
-                        schema,
-                        app,
-                        sub,
-                        &mut values,
-                        &mut edge_values,
-                        &mut timer,
-                    )?;
-                    changed |= c;
-                    edges_processed += (sub.0..sub.1)
+                let subs = self.csr.subintervals(interval, edge_budget);
+                let bufs = self.process_interval(
+                    &mut stores,
+                    schema,
+                    app,
+                    &subs,
+                    &values,
+                    &edge_values,
+                    &mut timer,
+                );
+                for (idx, slot) in bufs.into_iter().enumerate() {
+                    let buf = slot.expect("a result gap implies an earlier error")?;
+                    changed |= buf.changed;
+                    Self::commit(app, &buf, &mut values, &mut edge_values);
+                    edges_processed += (subs[idx].0..subs[idx].1)
                         .map(|v| u64::from(self.csr.degree(v)))
                         .sum::<u64>();
                 }
@@ -212,7 +260,10 @@ impl Engine {
             }
         }
 
-        let stats = store.stats();
+        let mut stats = StoreStats::default();
+        for store in &stores {
+            stats.merge(&store.stats());
+        }
         timer.add(phases::GC, stats.gc_time);
         timer.freeze_total();
         Ok(RunOutcome {
@@ -224,9 +275,151 @@ impl Engine {
         })
     }
 
-    /// Loads, updates, and writes back one subinterval. This is one
-    /// sub-iteration in the FACADE sense: everything allocated here dies
-    /// here.
+    /// Degree computation pass: allocates the paper's third data class.
+    /// GraphChi computes degrees during sharding; the records are
+    /// short-lived. The vertex range is chunked so no single ref array
+    /// outgrows what a page budget can root at once — every vertex gets a
+    /// degree record, not just the first 2^16.
+    fn degree_pass(&self, store: &mut Store, schema: Schema) -> Result<(), OutOfMemory> {
+        const CHUNK: usize = 1 << 16;
+        let n = self.csr.vertices as usize;
+        for chunk_start in (0..n).step_by(CHUNK) {
+            let count = CHUNK.min(n - chunk_start);
+            let it = store.iteration_start();
+            let arr = store.alloc_array(ElemTy::Ref, count)?;
+            let root = if store.is_facade() {
+                None
+            } else {
+                Some(store.add_root(arr))
+            };
+            for i in 0..count {
+                let v = (chunk_start + i) as u32;
+                let d = store.alloc(schema.degree)?;
+                store.set_i32(d, 0, self.csr.in_degree(v) as i32);
+                store.set_i32(d, 1, self.csr.out_degree(v) as i32);
+                store.array_set_rec(arr, i, d);
+            }
+            if let Some(root) = root {
+                store.remove_root(root);
+            }
+            store.iteration_end(it);
+        }
+        Ok(())
+    }
+
+    /// Processes one interval's subintervals against the frozen snapshot,
+    /// returning one commit buffer per subinterval (in subinterval order).
+    /// With one worker everything runs inline on the calling thread; with
+    /// more, subintervals are dealt round-robin to scoped workers, each
+    /// running against its own store. A worker stops at its first error;
+    /// the resulting gaps sit behind that error in the returned vector.
+    #[allow(clippy::too_many_arguments)]
+    fn process_interval(
+        &self,
+        stores: &mut [Store],
+        schema: Schema,
+        app: &dyn VertexProgram,
+        subs: &[(u32, u32)],
+        values: &[f64],
+        edge_values: &[f64],
+        timer: &mut PhaseTimer,
+    ) -> Vec<Option<Result<CommitBuf, OutOfMemory>>> {
+        let threads = stores.len();
+        if threads == 1 {
+            let mut out = Vec::with_capacity(subs.len());
+            for &sub in subs {
+                let r = self.process_subinterval(
+                    &mut stores[0],
+                    schema,
+                    app,
+                    sub,
+                    values,
+                    edge_values,
+                    timer,
+                );
+                let failed = r.is_err();
+                out.push(Some(r));
+                if failed {
+                    break;
+                }
+            }
+            out.resize_with(subs.len(), || None);
+            return out;
+        }
+
+        let this: &Engine = self;
+        let worker_out: Vec<WorkerOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = stores
+                .iter_mut()
+                .enumerate()
+                .map(|(w, store)| {
+                    scope.spawn(move || {
+                        let mut t = PhaseTimer::new();
+                        let mut out = Vec::new();
+                        let mut idx = w;
+                        while idx < subs.len() {
+                            let r = this.process_subinterval(
+                                store,
+                                schema,
+                                app,
+                                subs[idx],
+                                values,
+                                edge_values,
+                                &mut t,
+                            );
+                            let failed = r.is_err();
+                            out.push((idx, r));
+                            if failed {
+                                break;
+                            }
+                            idx += threads;
+                        }
+                        // The interval's records are all dead now; hand
+                        // the pages back so other workers (and the next
+                        // interval) adopt them instead of growing.
+                        store.release_pages();
+                        (t, out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("graphchi worker panicked"))
+                .collect()
+        });
+
+        let mut slots: Vec<Option<Result<CommitBuf, OutOfMemory>>> = Vec::new();
+        slots.resize_with(subs.len(), || None);
+        for (t, out) in worker_out {
+            timer.merge(&t);
+            for (idx, r) in out {
+                slots[idx] = Some(r);
+            }
+        }
+        slots
+    }
+
+    /// Replays one subinterval's buffered writes into the persistent
+    /// arrays, folding edge writes with the app's combine rule.
+    fn commit(
+        app: &dyn VertexProgram,
+        buf: &CommitBuf,
+        values: &mut [f64],
+        edge_values: &mut [f64],
+    ) {
+        let base = buf.first_vertex as usize;
+        values[base..base + buf.new_values.len()].copy_from_slice(&buf.new_values);
+        for &(eid, written) in &buf.edge_writes {
+            let eid = eid as usize;
+            edge_values[eid] = app.fold_edge_value(edge_values[eid], written);
+        }
+    }
+
+    /// Loads, updates, and buffers the writeback of one subinterval. This
+    /// is one sub-iteration in the FACADE sense: everything allocated here
+    /// dies here. Reads come from the frozen interval-start snapshot;
+    /// writes go into the returned [`CommitBuf`] for the main thread to
+    /// replay in order.
     #[allow(clippy::too_many_arguments)]
     fn process_subinterval(
         &self,
@@ -234,10 +427,10 @@ impl Engine {
         schema: Schema,
         app: &dyn VertexProgram,
         (start, end): (u32, u32),
-        values: &mut [f64],
-        edge_values: &mut [f64],
+        values: &[f64],
+        edge_values: &[f64],
         timer: &mut PhaseTimer,
-    ) -> Result<bool, OutOfMemory> {
+    ) -> Result<CommitBuf, OutOfMemory> {
         let csr = &self.csr;
         let it = store.iteration_start();
         let count = (end - start) as usize;
@@ -347,28 +540,30 @@ impl Engine {
         timer.add(phases::UPDATE, update_start.elapsed());
 
         // ---- writeback (counted as load/IO time, like shard writes) ------
+        // Buffered rather than applied: the `(eid, value)` stream is in the
+        // exact order the sequential engine would fold the writes, so the
+        // main thread's replay reproduces it bit for bit.
         let wb_start = std::time::Instant::now();
+        let mut new_values = Vec::with_capacity(count);
+        let mut edge_writes = Vec::new();
         for vi in 0..count {
             let vr = store.array_get_rec(vertex_arr, vi);
-            let v = store.get_i32(vr, vertex_fields::ID) as usize;
-            values[v] = store.get_f64(vr, vertex_fields::VALUE);
+            new_values.push(store.get_f64(vr, vertex_fields::VALUE));
             if inlined {
                 let out_meta = store.get_rec(vr, vertex_fields::OUT_EDGES);
                 let out_vals = store.get_rec(vr, vertex_fields::OUT_VALUES);
                 let n_out = store.get_i32(vr, vertex_fields::NUM_OUT) as usize;
                 for i in 0..n_out {
-                    let eid = store.array_get_i32(out_meta, 2 * i + 1) as usize;
-                    edge_values[eid] =
-                        app.fold_edge_value(edge_values[eid], store.array_get_f64(out_vals, i));
+                    let eid = store.array_get_i32(out_meta, 2 * i + 1) as u32;
+                    edge_writes.push((eid, store.array_get_f64(out_vals, i)));
                 }
                 if app.writes_in_edges() {
                     let in_meta = store.get_rec(vr, vertex_fields::IN_EDGES);
                     let in_vals = store.get_rec(vr, vertex_fields::IN_VALUES);
                     let n_in = store.get_i32(vr, vertex_fields::NUM_IN) as usize;
                     for i in 0..n_in {
-                        let eid = store.array_get_i32(in_meta, 2 * i + 1) as usize;
-                        edge_values[eid] =
-                            app.fold_edge_value(edge_values[eid], store.array_get_f64(in_vals, i));
+                        let eid = store.array_get_i32(in_meta, 2 * i + 1) as u32;
+                        edge_writes.push((eid, store.array_get_f64(in_vals, i)));
                     }
                 }
                 continue;
@@ -376,17 +571,15 @@ impl Engine {
             let out_arr = store.get_rec(vr, vertex_fields::OUT_EDGES);
             for i in 0..store.array_len(out_arr) {
                 let e = store.array_get_rec(out_arr, i);
-                let eid = store.get_i32(e, pointer_fields::EDGE_ID) as usize;
-                edge_values[eid] =
-                    app.fold_edge_value(edge_values[eid], store.get_f64(e, pointer_fields::VALUE));
+                let eid = store.get_i32(e, pointer_fields::EDGE_ID) as u32;
+                edge_writes.push((eid, store.get_f64(e, pointer_fields::VALUE)));
             }
             if app.writes_in_edges() {
                 let in_arr = store.get_rec(vr, vertex_fields::IN_EDGES);
                 for i in 0..store.array_len(in_arr) {
                     let e = store.array_get_rec(in_arr, i);
-                    let eid = store.get_i32(e, pointer_fields::EDGE_ID) as usize;
-                    edge_values[eid] = app
-                        .fold_edge_value(edge_values[eid], store.get_f64(e, pointer_fields::VALUE));
+                    let eid = store.get_i32(e, pointer_fields::EDGE_ID) as u32;
+                    edge_writes.push((eid, store.get_f64(e, pointer_fields::VALUE)));
                 }
             }
         }
@@ -396,7 +589,12 @@ impl Engine {
             store.remove_root(root);
         }
         store.iteration_end(it);
-        Ok(changed)
+        Ok(CommitBuf {
+            first_vertex: start,
+            new_values,
+            edge_writes,
+            changed,
+        })
     }
 }
 
@@ -496,11 +694,105 @@ mod tests {
                 budget_bytes: 48 << 10,
                 intervals: 2,
                 bytes_per_edge: 1, // mis-estimates load, like a too-large heap hint
-                inline_records: true,
+                ..EngineConfig::default()
             },
         );
         let result = engine.run(&PageRank::new(1));
         assert!(result.is_err(), "expected OME");
+    }
+
+    #[test]
+    fn degree_pass_covers_graphs_beyond_u16_vertices() {
+        // Regression: the degree pass used to clamp its ref array to 2^16
+        // entries, silently skipping degree records past vertex 65,535.
+        let n = 70_000u32;
+        let edges: Vec<(u32, u32)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let g = Graph { vertices: n, edges };
+        for backend in [Backend::Heap, Backend::Facade] {
+            let mut engine = Engine::new(
+                &g,
+                EngineConfig {
+                    backend,
+                    budget_bytes: 64 << 20,
+                    intervals: 4,
+                    ..EngineConfig::default()
+                },
+            );
+            // Zero passes: the run is exactly the degree pass.
+            let out = engine.run(&PageRank::new(0)).unwrap();
+            assert_eq!(out.passes, 0);
+            assert_eq!(out.values.len(), n as usize);
+            assert!(
+                out.stats.records_allocated >= u64::from(n),
+                "{backend:?}: every vertex needs a degree record, got {}",
+                out.stats.records_allocated
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_runs_are_bit_identical_to_sequential() {
+        use crate::apps::ShortestPaths;
+        let g = Graph::generate(&GraphSpec::new(800, 6_000, 41));
+        let apps: Vec<Box<dyn VertexProgram>> = vec![
+            Box::new(PageRank::new(4)),
+            Box::new(ConnectedComponents::new(30)),
+            Box::new(ShortestPaths::new(0, 50)),
+        ];
+        for backend in [Backend::Heap, Backend::Facade] {
+            for app in &apps {
+                let run_with = |threads: usize| {
+                    let mut engine = Engine::new(
+                        &g,
+                        EngineConfig {
+                            backend,
+                            budget_bytes: 16 << 20,
+                            intervals: 5,
+                            threads,
+                            ..EngineConfig::default()
+                        },
+                    );
+                    engine.run(app.as_ref()).unwrap()
+                };
+                let seq = run_with(1);
+                for threads in [2, 4] {
+                    let par = run_with(threads);
+                    assert_eq!(
+                        seq.values,
+                        par.values,
+                        "{} on {backend:?} must be bit-identical at {threads} threads",
+                        app.name()
+                    );
+                    assert_eq!(seq.passes, par.passes, "{}", app.name());
+                    assert_eq!(seq.edges_processed, par.edges_processed, "{}", app.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_facade_workers_share_pages_through_the_pool() {
+        let g = Graph::generate(&GraphSpec::new(2_000, 30_000, 43));
+        let mut engine = Engine::new(
+            &g,
+            EngineConfig {
+                backend: Backend::Facade,
+                budget_bytes: 16 << 20,
+                intervals: 8,
+                threads: 4,
+                ..EngineConfig::default()
+            },
+        );
+        let out = engine.run(&PageRank::new(3)).unwrap();
+        assert!(
+            out.stats.pages_to_pool > 0,
+            "workers release pages at interval ends"
+        );
+        assert!(
+            out.stats.pages_from_pool > 0,
+            "workers adopt released pages instead of growing"
+        );
+        assert_eq!(out.stats.gc_count, 0);
     }
 
     #[test]

@@ -49,7 +49,9 @@ mod apps;
 mod engine;
 mod preprocess;
 
-pub use apps::{ConnectedComponents, PageRank, SSSP_INFINITY, ShortestPaths, VertexProgram, VertexView};
+pub use apps::{
+    ConnectedComponents, PageRank, SSSP_INFINITY, ShortestPaths, VertexProgram, VertexView,
+};
 pub use engine::{Engine, EngineConfig, RunOutcome};
 pub use metrics::report::Backend;
 pub use preprocess::Csr;

@@ -1,10 +1,11 @@
 //! The simulated shared-nothing cluster.
 
-use data_store::{Store, StoreStats};
+use data_store::{PagePool, Store, StoreStats};
 use metrics::OutOfMemory;
 use metrics::report::Backend;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Cluster and per-node sizing.
@@ -34,11 +35,22 @@ impl Default for ClusterConfig {
 }
 
 impl ClusterConfig {
-    pub(crate) fn make_store(&self) -> Store {
-        match self.backend {
-            Backend::Heap => Store::heap(self.per_worker_budget),
-            Backend::Facade => Store::facade(self.per_worker_budget),
+    pub(crate) fn make_store(&self, pool: Option<&Arc<PagePool>>) -> Store {
+        match (self.backend, pool) {
+            (Backend::Heap, _) => Store::heap(self.per_worker_budget),
+            (Backend::Facade, Some(pool)) => {
+                Store::facade_shared(self.per_worker_budget, Arc::clone(pool))
+            }
+            (Backend::Facade, None) => Store::facade(self.per_worker_budget),
         }
+    }
+
+    /// One page supply per job on the facade backend: every phase's worker
+    /// stores draw from (and at phase end return to) the same pool, so the
+    /// reduce phase reuses the map phase's pages instead of growing fresh
+    /// ones on every node.
+    pub(crate) fn job_page_pool(&self) -> Option<Arc<PagePool>> {
+        (self.backend == Backend::Facade).then(|| Arc::new(PagePool::with_default_config()))
     }
 }
 
@@ -109,6 +121,7 @@ pub(crate) fn run_phase<I, R, F>(
     started: Instant,
     partitions: Vec<I>,
     stats: &mut JobStats,
+    pool: Option<&Arc<PagePool>>,
     worker: F,
 ) -> Result<Vec<R>, JobFailure>
 where
@@ -124,8 +137,11 @@ where
                 let worker = &worker;
                 let config = &*config;
                 scope.spawn(move || {
-                    let mut store = config.make_store();
+                    let mut store = config.make_store(pool);
                     let out = worker(id, &mut store, input);
+                    // Hand free pages back before the store drops, so the
+                    // job's next phase inherits them through the pool.
+                    store.release_pages();
                     (out, store.stats())
                 })
             })
@@ -174,13 +190,20 @@ mod tests {
         };
         let mut stats = JobStats::default();
         let parts = round_robin(&(0..100).collect::<Vec<_>>(), 4);
-        let out = run_phase(&config, Instant::now(), parts, &mut stats, |_, store, xs| {
-            let c = store.register_class("T", &[data_store::FieldTy::I64]);
-            for _ in &xs {
-                store.alloc(c)?;
-            }
-            Ok(xs.len())
-        })
+        let out = run_phase(
+            &config,
+            Instant::now(),
+            parts,
+            &mut stats,
+            None,
+            |_, store, xs| {
+                let c = store.register_class("T", &[data_store::FieldTy::I64]);
+                for _ in &xs {
+                    store.alloc(c)?;
+                }
+                Ok(xs.len())
+            },
+        )
         .unwrap();
         assert_eq!(out.iter().sum::<usize>(), 100);
         assert_eq!(stats.records_allocated, 100);
@@ -195,14 +218,20 @@ mod tests {
         };
         let mut stats = JobStats::default();
         let parts = round_robin(&(0..2).collect::<Vec<_>>(), 2);
-        let result: Result<Vec<()>, _> =
-            run_phase(&config, Instant::now(), parts, &mut stats, |_, store, _| {
+        let result: Result<Vec<()>, _> = run_phase(
+            &config,
+            Instant::now(),
+            parts,
+            &mut stats,
+            None,
+            |_, store, _| {
                 let c = store.register_class("T", &[data_store::FieldTy::I64; 8]);
                 loop {
                     let r = store.alloc(c)?;
                     store.add_root(r);
                 }
-            });
+            },
+        );
         let failure = result.unwrap_err();
         assert!(failure.to_string().starts_with("OME("), "{failure}");
     }

@@ -76,14 +76,8 @@ fn sort_worker(
         // work the paper's ES pays for).
         let mut order: Vec<u32> = (0..chunk.len() as u32).collect();
         order.sort_by(|&a, &b| {
-            let ka = store.array_read_bytes(store.get_rec(
-                store.array_get_rec(arr, a as usize),
-                1,
-            ));
-            let kb = store.array_read_bytes(store.get_rec(
-                store.array_get_rec(arr, b as usize),
-                1,
-            ));
+            let ka = store.array_read_bytes(store.get_rec(store.array_get_rec(arr, a as usize), 1));
+            let kb = store.array_read_bytes(store.get_rec(store.array_get_rec(arr, b as usize), 1));
             ka.cmp(&kb)
         });
 
@@ -137,11 +131,17 @@ pub fn run_external_sort(
 ) -> Result<EsOutput, JobFailure> {
     let started = Instant::now();
     let mut stats = JobStats::default();
+    let pool = config.job_page_pool();
     let partitions = round_robin(corpus, config.workers);
     let budget = config.per_worker_budget;
-    let sorted = run_phase(config, started, partitions, &mut stats, |_, store, part| {
-        sort_worker(store, part, budget)
-    })?;
+    let sorted = run_phase(
+        config,
+        started,
+        partitions,
+        &mut stats,
+        pool.as_ref(),
+        |_, store, part| sort_worker(store, part, budget),
+    )?;
 
     let mut total = 0u64;
     let mut checksum = 0u64;

@@ -341,10 +341,7 @@ mod tests {
             assert_eq!(t.len(), 2);
             let mut out = t.extract(&store);
             out.sort();
-            assert_eq!(
-                out,
-                vec![(b"hello".to_vec(), 4), (b"world".to_vec(), 2)]
-            );
+            assert_eq!(out, vec![(b"hello".to_vec(), 4), (b"world".to_vec(), 2)]);
         }
     }
 

@@ -37,8 +37,8 @@ fn map_worker(
     let mut frame: Vec<&String> = Vec::new();
     let mut frame_fill = 0usize;
     let flush = |store: &mut Store,
-                     table: &mut WordTable,
-                     frame: &mut Vec<&String>|
+                 table: &mut WordTable,
+                 frame: &mut Vec<&String>|
      -> Result<(), OutOfMemory> {
         if frame.is_empty() {
             return Ok(());
@@ -113,12 +113,18 @@ fn reduce_worker(
 pub fn run_wordcount(corpus: &[String], config: &ClusterConfig) -> Result<WcOutput, JobFailure> {
     let started = Instant::now();
     let mut stats = JobStats::default();
+    let pool = config.job_page_pool();
 
     // Map phase.
     let partitions = round_robin(corpus, config.workers);
-    let map_out = run_phase(config, started, partitions, &mut stats, |_, store, part| {
-        map_worker(store, part, config.frame_bytes)
-    })?;
+    let map_out = run_phase(
+        config,
+        started,
+        partitions,
+        &mut stats,
+        pool.as_ref(),
+        |_, store, part| map_worker(store, part, config.frame_bytes),
+    )?;
 
     // Hash shuffle: word → reducer.
     let mut shuffled: Vec<Vec<(Vec<u8>, i64)>> = (0..config.workers).map(|_| Vec::new()).collect();
@@ -129,10 +135,15 @@ pub fn run_wordcount(corpus: &[String], config: &ClusterConfig) -> Result<WcOutp
         }
     }
 
-    // Reduce phase.
-    let reduce_out = run_phase(config, started, shuffled, &mut stats, |_, store, part| {
-        reduce_worker(store, part)
-    })?;
+    // Reduce phase, reusing the map phase's pages through the pool.
+    let reduce_out = run_phase(
+        config,
+        started,
+        shuffled,
+        &mut stats,
+        pool.as_ref(),
+        |_, store, part| reduce_worker(store, part),
+    )?;
 
     let mut distinct = 0u64;
     let mut total = 0i64;

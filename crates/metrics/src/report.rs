@@ -3,11 +3,10 @@
 //! Every benchmark binary emits one [`RunRecord`] per configuration so that
 //! `EXPERIMENTS.md` can be regenerated from machine-readable output.
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Which storage backend a run used.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// The baseline: one managed-heap object per data item, generational GC.
     Heap,
@@ -33,7 +32,7 @@ impl std::fmt::Display for Backend {
 }
 
 /// Outcome of one benchmark run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Outcome {
     /// The run finished.
     Completed,
@@ -43,7 +42,7 @@ pub enum Outcome {
 }
 
 /// One benchmark run: the unit of every table row and figure point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunRecord {
     /// Experiment id from DESIGN.md, e.g. `"table2"`.
     pub experiment: String,

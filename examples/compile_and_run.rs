@@ -73,10 +73,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     program.set_entry(main_m);
     program.verify()?;
 
-    println!("================ P (source) ================\n{}", program.render());
+    println!(
+        "================ P (source) ================\n{}",
+        program.render()
+    );
 
     let out = transform(&program, &DataSpec::new(["Student", "Professor"]))?;
-    println!("================ P' (generated) ================\n{}", out.program.render());
+    println!(
+        "================ P' (generated) ================\n{}",
+        out.program.render()
+    );
     println!(
         "pool bounds: Student={}, Professor={}; interaction points: {}",
         out.meta

@@ -15,6 +15,10 @@ fn main() {
     );
     let graph = Graph::generate(&spec);
 
+    // Subinterval workers; every count computes bit-identical ranks.
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("running with {threads} engine thread(s)");
+
     let mut outputs = Vec::new();
     for backend in [Backend::Heap, Backend::Facade] {
         let mut engine = Engine::new(
@@ -23,6 +27,7 @@ fn main() {
                 backend,
                 budget_bytes: 32 << 20,
                 intervals: 20,
+                threads,
                 ..EngineConfig::default()
             },
         );
@@ -40,7 +45,10 @@ fn main() {
         );
         outputs.push(out.values);
     }
-    assert_eq!(outputs[0], outputs[1], "both regimes compute identical ranks");
+    assert_eq!(
+        outputs[0], outputs[1],
+        "both regimes compute identical ranks"
+    );
 
     // Top-5 vertices by rank.
     let mut ranked: Vec<(usize, f64)> = outputs[0].iter().copied().enumerate().collect();

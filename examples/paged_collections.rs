@@ -13,7 +13,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("building an inverted index over {} tokens", words.len());
 
     for mut store in [Store::heap(64 << 20), Store::facade(64 << 20)] {
-        let backend = if store.is_facade() { "P' (facade)" } else { "P  (heap)" };
+        let backend = if store.is_facade() {
+            "P' (facade)"
+        } else {
+            "P  (heap)"
+        };
         let entry_class = BytesMap::register_class(&mut store);
         // A posting: the token position; postings chain through RecLists.
         let posting_class = store.register_class("Posting", &[FieldTy::I32]);

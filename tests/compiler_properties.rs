@@ -6,7 +6,8 @@ use facade_compiler::{DataSpec, transform};
 use facade_ir::{BinOp, Instr, Program, ProgramBuilder, Ty};
 use facade_runtime::TypeId;
 use facade_vm::Vm;
-use proptest::prelude::*;
+
+use datagen::SplitMix64;
 
 /// Parameters of a generated program family.
 #[derive(Debug, Clone)]
@@ -22,19 +23,15 @@ struct Family {
     values: Vec<i32>,
 }
 
-fn family_strategy() -> impl Strategy<Value = Family> {
-    (
-        1usize..4,
-        1usize..4,
-        1usize..5,
-        prop::collection::vec(-1000i32..1000, 1..8),
-    )
-        .prop_map(|(classes, fields, fan, values)| Family {
-            classes,
-            fields,
-            fan,
-            values,
-        })
+fn random_family(rng: &mut SplitMix64) -> Family {
+    Family {
+        classes: 1 + rng.next_below(3) as usize,
+        fields: 1 + rng.next_below(3) as usize,
+        fan: 1 + rng.next_below(4) as usize,
+        values: (0..1 + rng.next_below(7))
+            .map(|_| rng.next_below(2000) as i32 - 1000)
+            .collect(),
+    }
 }
 
 /// Builds a complete program from the family description: data classes with
@@ -123,11 +120,11 @@ fn build(family: &Family) -> (Program, DataSpec) {
     (program, DataSpec::new(names))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn transform_succeeds_verifies_and_preserves_semantics(family in family_strategy()) {
+#[test]
+fn transform_succeeds_verifies_and_preserves_semantics() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x7FA9_0001 + case);
+        let family = random_family(&mut rng);
         let (program, spec) = build(&family);
         program.verify().expect("P verifies");
 
@@ -146,9 +143,9 @@ proptest! {
                     if let Instr::BindParam { class, index, .. } = instr {
                         let tid = out.meta.type_id(*class);
                         let bound = out.meta.bounds.bound(TypeId(tid)) as usize;
-                        prop_assert!(
+                        assert!(
                             *index < bound,
-                            "pool index {index} exceeds bound {bound}"
+                            "pool index {index} exceeds bound {bound} (case {case})"
                         );
                     }
                 }
@@ -158,20 +155,28 @@ proptest! {
         // The fan method forces the bound up to `fan`.
         let d0 = out.program.class_by_name("D0").expect("D0 exists");
         let tid = out.meta.type_id(d0);
-        prop_assert!(out.meta.bounds.bound(TypeId(tid)) as usize >= family.fan);
+        assert!(out.meta.bounds.bound(TypeId(tid)) as usize >= family.fan);
 
         let mut vm2 = Vm::new_paged(&out.program, &out.meta);
         vm2.run().expect("P' runs");
-        prop_assert_eq!(vm2.output(), p_out.as_slice());
+        assert_eq!(vm2.output(), p_out.as_slice(), "case {case}");
 
         // Object bound: the paged run creates no heap data objects.
-        prop_assert_eq!(vm2.heap().stats().objects_allocated, 0);
+        assert_eq!(vm2.heap().stats().objects_allocated, 0, "case {case}");
         let expected_records = (family.values.len() * family.fan) as u64;
-        prop_assert_eq!(vm2.paged().stats().records_allocated, expected_records);
+        assert_eq!(
+            vm2.paged().stats().records_allocated,
+            expected_records,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn facade_count_is_input_independent(family in family_strategy()) {
+#[test]
+fn facade_count_is_input_independent() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x7FA9_1000 + case);
+        let family = random_family(&mut rng);
         // The paper's core bound: the number of facades depends only on the
         // program text (types × bounds), never on the data size.
         let (program, spec) = build(&family);
@@ -179,7 +184,7 @@ proptest! {
         let mut vm = Vm::new_paged(&out.program, &out.meta);
         vm.run().expect("P' runs");
         let facades = vm.pools().expect("paged mode").facade_count();
-        prop_assert_eq!(facades, out.meta.bounds.facades_per_thread());
+        assert_eq!(facades, out.meta.bounds.facades_per_thread(), "case {case}");
 
         // Doubling the data leaves the facade count unchanged.
         let mut bigger = family.clone();
@@ -188,6 +193,10 @@ proptest! {
         let out2 = transform(&program2, &spec2).expect("transform succeeds");
         let mut vm2 = Vm::new_paged(&out2.program, &out2.meta);
         vm2.run().expect("P' runs");
-        prop_assert_eq!(vm2.pools().expect("paged mode").facade_count(), facades);
+        assert_eq!(
+            vm2.pools().expect("paged mode").facade_count(),
+            facades,
+            "case {case}"
+        );
     }
 }

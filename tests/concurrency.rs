@@ -19,9 +19,9 @@ fn per_thread_heaps_with_shared_lock_pool() {
     let lock_words: Arc<Vec<AtomicU16>> =
         Arc::new((0..SHARED_RECORDS).map(|_| AtomicU16::new(0)).collect());
     // A non-atomic shared tally per record, protected only by the pool lock.
-    let tallies: Arc<Vec<parking_lot::Mutex<u64>>> = Arc::new(
+    let tallies: Arc<Vec<std::sync::Mutex<u64>>> = Arc::new(
         (0..SHARED_RECORDS)
-            .map(|_| parking_lot::Mutex::new(0))
+            .map(|_| std::sync::Mutex::new(0))
             .collect(),
     );
 
@@ -67,11 +67,7 @@ fn per_thread_heaps_with_shared_lock_pool() {
                         lock_pool.exit(word);
                         lock_pool.exit(word);
                     }
-                    (
-                        allocated,
-                        pools.facade_count(),
-                        heap.stats().pages_created,
-                    )
+                    (allocated, pools.facade_count(), heap.stats().pages_created)
                 })
             })
             .collect();
@@ -79,7 +75,7 @@ fn per_thread_heaps_with_shared_lock_pool() {
     });
 
     // Every synchronized increment landed.
-    let total: u64 = tallies.iter().map(|m| *m.lock()).sum();
+    let total: u64 = tallies.iter().map(|m| *m.lock().unwrap()).sum();
     assert_eq!(total, (THREADS * ROUNDS) as u64);
     // All locks returned to the pool; all record lock words zeroed.
     assert_eq!(lock_pool.in_use(), 0);
@@ -98,7 +94,7 @@ fn lock_pool_contention_on_one_record() {
     // All threads hammer the same record's monitor.
     let pool = Arc::new(LockPool::new(LockPoolConfig { capacity: 4 }));
     let word = Arc::new(AtomicU16::new(0));
-    let counter = Arc::new(parking_lot::Mutex::new(0u64));
+    let counter = Arc::new(std::sync::Mutex::new(0u64));
     std::thread::scope(|scope| {
         for _ in 0..8 {
             let pool = Arc::clone(&pool);
@@ -113,7 +109,7 @@ fn lock_pool_contention_on_one_record() {
             });
         }
     });
-    assert_eq!(*counter.lock(), 40_000);
+    assert_eq!(*counter.lock().unwrap(), 40_000);
     assert_eq!(word.load(Ordering::SeqCst), 0);
     assert_eq!(pool.in_use(), 0);
 }

@@ -28,7 +28,10 @@ fn reference_pagerank(graph: &Graph, iterations: usize) -> Vec<f64> {
             rank[v] = 0.15 + 0.85 * sums[v];
         }
         for &(s, d) in &graph.edges {
-            edge_vals.insert((s, d), rank[s as usize] / f64::from(out_deg[s as usize].max(1)));
+            edge_vals.insert(
+                (s, d),
+                rank[s as usize] / f64::from(out_deg[s as usize].max(1)),
+            );
         }
     }
     rank

@@ -1,9 +1,9 @@
-//! Property tests: both record-store backends against simple reference
-//! models, under randomized operation sequences with collections forced at
-//! arbitrary points.
+//! Randomized-but-deterministic tests: both record-store backends against
+//! simple reference models, under seeded operation sequences with
+//! collections forced at arbitrary points.
 
 use data_store::{ElemTy, FieldTy, Rec, Store};
-use proptest::prelude::*;
+use datagen::SplitMix64;
 
 /// Operations over a set of rooted records with one i64 and one ref field.
 #[derive(Debug, Clone)]
@@ -14,15 +14,21 @@ enum Op {
     Collect,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => Just(Op::Alloc),
-        4 => (any::<prop::sample::Index>(), any::<i64>())
-            .prop_map(|(rec, v)| Op::SetVal { rec: rec.index(64), v }),
-        2 => (any::<prop::sample::Index>(), any::<prop::sample::Index>())
-            .prop_map(|(a, b)| Op::Link { from: a.index(64), to: b.index(64) }),
-        1 => Just(Op::Collect),
-    ]
+fn random_ops(rng: &mut SplitMix64, len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|_| match rng.next_below(10) {
+            0..=2 => Op::Alloc,
+            3..=6 => Op::SetVal {
+                rec: rng.next_below(64) as usize,
+                v: rng.next_u64() as i64,
+            },
+            7..=8 => Op::Link {
+                from: rng.next_below(64) as usize,
+                to: rng.next_below(64) as usize,
+            },
+            _ => Op::Collect,
+        })
+        .collect()
 }
 
 #[derive(Debug, Default, Clone)]
@@ -73,56 +79,73 @@ fn run_against_model(mut store: Store, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn heap_store_matches_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn heap_store_matches_model() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x57_0BE1 + case);
+        let len = 1 + rng.next_below(200) as usize;
+        let ops = random_ops(&mut rng, len);
         run_against_model(Store::heap(64 << 20), &ops);
     }
+}
 
-    #[test]
-    fn facade_store_matches_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn facade_store_matches_model() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xFAC_ADE0 + case);
+        let len = 1 + rng.next_below(200) as usize;
+        let ops = random_ops(&mut rng, len);
         run_against_model(Store::facade(64 << 20), &ops);
     }
+}
 
-    #[test]
-    fn i64_arrays_match_vec_model(
-        writes in prop::collection::vec((any::<prop::sample::Index>(), any::<i64>()), 1..100),
-        len in 1usize..200,
-    ) {
+#[test]
+fn i64_arrays_match_vec_model() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xA88A0 + case);
+        let len = 1 + rng.next_below(199) as usize;
+        let writes: Vec<(usize, i64)> = (0..1 + rng.next_below(99))
+            .map(|_| (rng.next_below(len as u64) as usize, rng.next_u64() as i64))
+            .collect();
         for mut store in [Store::heap(16 << 20), Store::facade(16 << 20)] {
             let arr = store.alloc_array(ElemTy::I64, len).unwrap();
             store.add_root(arr);
             let mut model = vec![0i64; len];
-            for (idx, v) in &writes {
-                let i = idx.index(len);
-                store.array_set_i64(arr, i, *v);
-                model[i] = *v;
+            for &(i, v) in &writes {
+                store.array_set_i64(arr, i, v);
+                model[i] = v;
             }
             store.collect();
             for (i, &m) in model.iter().enumerate() {
-                prop_assert_eq!(store.array_get_i64(arr, i), m);
+                assert_eq!(store.array_get_i64(arr, i), m, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn byte_arrays_roundtrip(data in prop::collection::vec(any::<u8>(), 0..500)) {
+#[test]
+fn byte_arrays_roundtrip() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xB17E0 + case);
+        let data: Vec<u8> = (0..rng.next_below(500))
+            .map(|_| rng.next_u64() as u8)
+            .collect();
         for mut store in [Store::heap(16 << 20), Store::facade(16 << 20)] {
             let arr = store.alloc_array(ElemTy::U8, data.len()).unwrap();
             store.add_root(arr);
             store.array_write_bytes(arr, &data);
             store.collect();
-            prop_assert_eq!(store.array_read_bytes(arr), data.clone());
+            assert_eq!(store.array_read_bytes(arr), data, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn facade_iterations_isolate_allocations(
-        per_iter in 1usize..200,
-        iters in 1usize..10,
-    ) {
+#[test]
+fn facade_iterations_isolate_allocations() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0x150_1A7E + case);
+        let per_iter = 1 + rng.next_below(199) as usize;
+        let iters = 1 + rng.next_below(9) as usize;
         let mut store = Store::facade(64 << 20);
         let class = store.register_class("T", &[FieldTy::I64]);
         // Survivor allocated before any iteration.
@@ -136,15 +159,19 @@ proptest! {
             }
             store.iteration_end(it);
         }
-        prop_assert_eq!(store.get_i64(keep, 0), 77);
-        prop_assert_eq!(store.stats().records_allocated, (per_iter * iters + 1) as u64);
+        assert_eq!(store.get_i64(keep, 0), 77, "case {case}");
+        assert_eq!(
+            store.stats().records_allocated,
+            (per_iter * iters + 1) as u64,
+            "case {case}"
+        );
     }
 }
 
 mod collections_model {
     use data_store::collections::{BytesMap, RecDeque, RecList};
     use data_store::{FieldTy, Rec, Store};
-    use proptest::prelude::*;
+    use datagen::SplitMix64;
     use std::collections::VecDeque;
 
     /// Operations over one list + one deque + one map, mirrored against std
@@ -159,15 +186,17 @@ mod collections_model {
         MapLookup(u16),
     }
 
-    fn col_op() -> impl Strategy<Value = ColOp> {
-        prop_oneof![
-            3 => Just(ColOp::ListPush),
-            1 => Just(ColOp::ListPop),
-            3 => Just(ColOp::DequePushBack),
-            2 => Just(ColOp::DequePopFront),
-            3 => any::<u16>().prop_map(|k| ColOp::MapInsert(k % 512)),
-            2 => any::<u16>().prop_map(|k| ColOp::MapLookup(k % 512)),
-        ]
+    fn random_ops(rng: &mut SplitMix64, len: usize) -> Vec<ColOp> {
+        (0..len)
+            .map(|_| match rng.next_below(14) {
+                0..=2 => ColOp::ListPush,
+                3 => ColOp::ListPop,
+                4..=6 => ColOp::DequePushBack,
+                7..=8 => ColOp::DequePopFront,
+                9..=11 => ColOp::MapInsert(rng.next_below(512) as u16),
+                _ => ColOp::MapLookup(rng.next_below(512) as u16),
+            })
+            .collect()
     }
 
     fn run_model(mut store: Store, ops: &[ColOp]) {
@@ -212,7 +241,8 @@ mod collections_model {
                 ColOp::MapInsert(k) => {
                     let r = fresh(&mut store);
                     let t = tag(&store, r);
-                    map.insert(&mut store, format!("k{k}").as_bytes(), r).unwrap();
+                    map.insert(&mut store, format!("k{k}").as_bytes(), r)
+                        .unwrap();
                     map_model.insert(*k, t);
                 }
                 ColOp::MapLookup(k) => {
@@ -235,16 +265,22 @@ mod collections_model {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        #[test]
-        fn heap_collections_match_std_models(ops in prop::collection::vec(col_op(), 1..300)) {
+    #[test]
+    fn heap_collections_match_std_models() {
+        for case in 0..32u64 {
+            let mut rng = SplitMix64::new(0xC011_0001 + case);
+            let len = 1 + rng.next_below(300) as usize;
+            let ops = random_ops(&mut rng, len);
             run_model(Store::heap(64 << 20), &ops);
         }
+    }
 
-        #[test]
-        fn facade_collections_match_std_models(ops in prop::collection::vec(col_op(), 1..300)) {
+    #[test]
+    fn facade_collections_match_std_models() {
+        for case in 0..32u64 {
+            let mut rng = SplitMix64::new(0xC011_0002 + case);
+            let len = 1 + rng.next_below(300) as usize;
+            let ops = random_ops(&mut rng, len);
             run_model(Store::facade(64 << 20), &ops);
         }
     }

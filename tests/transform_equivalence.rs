@@ -5,7 +5,8 @@
 use facade::compiler::{DataSpec, transform};
 use facade::ir::{BinOp, CmpOp, Program, ProgramBuilder, Ty};
 use facade::vm::Vm;
-use proptest::prelude::*;
+
+use datagen::SplitMix64;
 
 fn run_both(program: &Program, spec: &DataSpec) -> (Vec<String>, Vec<String>) {
     program.verify().expect("P verifies");
@@ -123,21 +124,30 @@ fn array_program(len: usize, stride: usize, bias: i64) -> (Program, DataSpec) {
     (program, DataSpec::new(["Holder"]))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn list_fold_agrees(values in prop::collection::vec(-100i32..100, 1..30), mul in any::<bool>()) {
+#[test]
+fn list_fold_agrees() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0x11_57F0 + case);
+        let values: Vec<i32> = (0..1 + rng.next_below(29))
+            .map(|_| rng.next_below(200) as i32 - 100)
+            .collect();
+        let mul = rng.next_below(2) == 1;
         let (program, spec) = list_program(&values, mul);
         let (p, p2) = run_both(&program, &spec);
-        prop_assert_eq!(p, p2);
+        assert_eq!(p, p2, "case {case}");
     }
+}
 
-    #[test]
-    fn array_checksum_agrees(len in 1usize..40, stride in 1usize..5, bias in -50i64..50) {
+#[test]
+fn array_checksum_agrees() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0xA88A_57F0 + case);
+        let len = 1 + rng.next_below(39) as usize;
+        let stride = 1 + rng.next_below(4) as usize;
+        let bias = rng.next_below(100) as i64 - 50;
         let (program, spec) = array_program(len, stride, bias);
         let (p, p2) = run_both(&program, &spec);
-        prop_assert_eq!(p, p2);
+        assert_eq!(p, p2, "case {case}");
     }
 }
 
