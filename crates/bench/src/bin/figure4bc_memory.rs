@@ -28,6 +28,7 @@ fn main() {
                     backend,
                     per_worker_budget,
                     frame_bytes: 32 << 10,
+                    ..ClusterConfig::default()
                 };
                 let mut rec = RunRecord::new(figure, app, label, backend);
                 rec.budget_bytes = per_worker_budget as u64;

@@ -66,6 +66,8 @@ fn main() {
                         rec.gc_secs = out.timer.phase(phases::GC).as_secs_f64();
                         rec.peak_bytes = out.stats.peak_bytes;
                         rec.scale = out.edges_processed;
+                        rec.retries = out.resilience.retries;
+                        rec.degradations = out.resilience.degradations;
                         records.push(rec);
                     }
                     Err(e) => {

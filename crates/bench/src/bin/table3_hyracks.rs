@@ -36,6 +36,7 @@ fn main() {
                     backend,
                     per_worker_budget,
                     frame_bytes: 32 << 10,
+                    ..ClusterConfig::default()
                 };
                 let mut rec = RunRecord::new("table3", app, label, backend);
                 rec.budget_bytes = per_worker_budget as u64;
@@ -46,6 +47,8 @@ fn main() {
                             rec.total_secs = out.stats.elapsed.as_secs_f64();
                             rec.gc_secs = out.stats.gc_time.as_secs_f64();
                             rec.peak_bytes = out.stats.peak_bytes;
+                            rec.retries = out.stats.resilience.retries;
+                            rec.degradations = out.stats.resilience.degradations;
                             secs(out.stats.elapsed)
                         }
                         Err(e) => {
@@ -61,6 +64,8 @@ fn main() {
                             rec.total_secs = out.stats.elapsed.as_secs_f64();
                             rec.gc_secs = out.stats.gc_time.as_secs_f64();
                             rec.peak_bytes = out.stats.peak_bytes;
+                            rec.retries = out.stats.resilience.retries;
+                            rec.degradations = out.stats.resilience.degradations;
                             secs(out.stats.elapsed)
                         }
                         Err(e) => {

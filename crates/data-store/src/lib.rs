@@ -34,6 +34,8 @@
 
 pub mod collections;
 
+#[cfg(feature = "fault-injection")]
+pub use facade_runtime::FaultPlan;
 use facade_runtime::{
     ElemKind as PElem, FieldKind as PField, PageRef, PagedHeap, PagedHeapConfig, TypeId,
 };
@@ -128,6 +130,9 @@ pub struct StoreStats {
     pub objects_traced: u64,
     /// Heap objects allocated for data (heap backend; the paper's `O(s)`).
     pub heap_objects: u64,
+    /// Faults injected by a fault plan (facade backend; always zero without
+    /// the `fault-injection` feature).
+    pub faults_injected: u64,
 }
 
 impl StoreStats {
@@ -147,6 +152,7 @@ impl StoreStats {
         self.pages_to_pool += other.pages_to_pool;
         self.objects_traced += other.objects_traced;
         self.heap_objects += other.heap_objects;
+        self.faults_injected += other.faults_injected;
     }
 }
 
@@ -237,6 +243,17 @@ impl Store {
                 }),
                 classes: Vec::new(),
             },
+        }
+    }
+
+    /// Installs a fault schedule on the facade backend's paged heap (a
+    /// no-op on the heap backend, which has no paged allocator to inject
+    /// into). Clone one plan across the stores of a run to inject against
+    /// the process-wide allocation sequence.
+    #[cfg(feature = "fault-injection")]
+    pub fn set_fault_plan(&mut self, plan: facade_runtime::FaultPlan) {
+        if let Inner::Facade { paged, .. } = &mut self.inner {
+            paged.set_fault_plan(plan);
         }
     }
 
@@ -554,7 +571,12 @@ impl Store {
         if let Inner::Facade { paged, .. } = &mut self.inner {
             let p = Self::p(r);
             if p.is_oversize() {
-                paged.free_oversize(p);
+                // Infallible: the oversize check above rules out
+                // `NotOversize`, and the store hands each `Rec` out once, so
+                // a double free here is a store bug worth failing loudly on.
+                paged
+                    .free_oversize(p)
+                    .expect("store handed out a live oversize record");
             }
         }
     }
@@ -598,6 +620,7 @@ impl Store {
                     pages_to_pool: 0,
                     objects_traced: s.objects_traced,
                     heap_objects: s.objects_allocated,
+                    faults_injected: 0,
                 }
             }
             Inner::Facade { paged, .. } => {
@@ -614,6 +637,7 @@ impl Store {
                     pages_to_pool: s.pages_to_pool,
                     objects_traced: 0,
                     heap_objects: 0,
+                    faults_injected: s.faults_injected,
                 }
             }
         }

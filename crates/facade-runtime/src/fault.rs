@@ -1,0 +1,225 @@
+//! Deterministic, seeded fault injection for the paged heap and page pool.
+//!
+//! Compiled only with the `fault-injection` cargo feature. A [`FaultPlan`]
+//! describes which faults to inject; cloning it shares the underlying
+//! counters, so one plan threaded through many per-thread heaps injects
+//! faults against the *process-wide* allocation sequence:
+//!
+//! - **Fail the N-th allocation** — the N-th `alloc`/`alloc_array` across
+//!   every heap sharing the plan returns an [`metrics::OutOfMemory`] whose
+//!   site is `"fault-injection"`. It fires exactly once, so a retrying
+//!   engine survives it.
+//! - **Fail pool acquisition with probability p** — each
+//!   [`crate::PagePool`] batch acquire is failed (returns an empty batch)
+//!   with the given probability, driven by a seeded counter-based PRNG, so
+//!   runs are reproducible. Heaps fall back to fresh pages, exercising the
+//!   pool-miss path.
+//! - **Poison recycled pages** — every recycled page has its stale region
+//!   (`[PAGE_RESERVED, dirty)`) filled with `0xDB`, so any reader of
+//!   reclaimed memory sees garbage instead of plausible stale values. The
+//!   bump allocator's lazy re-zeroing must erase the poison before reuse;
+//!   if it does not, tests fail loudly.
+//!
+//! # Examples
+//!
+//! ```
+//! use facade_runtime::{FaultPlan, FieldKind, PagedHeap};
+//!
+//! let plan = FaultPlan::builder(42).fail_nth_allocation(2).build();
+//! let mut heap = PagedHeap::new();
+//! heap.set_fault_plan(plan.clone());
+//! let t = heap.register_type("T", &[FieldKind::I32]);
+//! assert!(heap.alloc(t).is_ok());
+//! let err = heap.alloc(t).unwrap_err();
+//! assert!(err.is_injected());
+//! assert!(heap.alloc(t).is_ok(), "the fault fires exactly once");
+//! assert_eq!(plan.faults_injected(), 1);
+//! ```
+
+use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// SplitMix64: a tiny, high-quality mixing function. Used counter-based
+/// (`mix(seed ^ draw_index)`) so probabilistic faults are a pure function
+/// of the seed and the draw sequence — fully reproducible.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[derive(Debug)]
+struct Inner {
+    seed: u64,
+    fail_nth_allocation: Option<u64>,
+    pool_acquire_failure_ppm: u32,
+    poison_recycled_pages: bool,
+    allocations: AtomicU64,
+    draws: AtomicU64,
+    injected: AtomicU64,
+    poisoned: AtomicU64,
+}
+
+/// A deterministic fault schedule, shared (via clone) across every heap and
+/// pool of a run. See the [module docs](self) for the fault modes.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Arc<Inner>,
+}
+
+impl FaultPlan {
+    /// Starts building a plan seeded with `seed` (the seed only matters for
+    /// probabilistic faults).
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            seed,
+            fail_nth_allocation: None,
+            pool_acquire_failure_ppm: 0,
+            poison_recycled_pages: false,
+        }
+    }
+
+    /// Decides whether the current allocation should fail. Counts one
+    /// allocation per call; the configured N-th one (across all sharers of
+    /// this plan) fails, exactly once.
+    pub fn should_fail_allocation(&self) -> bool {
+        let Some(n) = self.inner.fail_nth_allocation else {
+            // Still count, so interleaved plans observe a consistent stream.
+            self.inner.allocations.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        let this = self.inner.allocations.fetch_add(1, Ordering::Relaxed) + 1;
+        if this == n {
+            self.inner.injected.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Decides whether the current pool batch-acquire should fail (return
+    /// an empty batch). Deterministic in (seed, draw index).
+    pub fn should_fail_pool_acquire(&self) -> bool {
+        let ppm = self.inner.pool_acquire_failure_ppm;
+        if ppm == 0 {
+            return false;
+        }
+        let draw = self.inner.draws.fetch_add(1, Ordering::Relaxed);
+        if splitmix64(self.inner.seed ^ draw) % 1_000_000 < u64::from(ppm) {
+            self.inner.injected.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether recycled pages should have their stale region poisoned.
+    pub fn poison_recycled_pages(&self) -> bool {
+        self.inner.poison_recycled_pages
+    }
+
+    /// Records one poisoned page.
+    pub(crate) fn note_poisoned(&self) {
+        self.inner.poisoned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total faults injected so far (failed allocations + failed pool
+    /// acquires; poisoning is counted separately by
+    /// [`FaultPlan::pages_poisoned`]).
+    pub fn faults_injected(&self) -> u64 {
+        self.inner.injected.load(Ordering::Relaxed)
+    }
+
+    /// Total pages whose stale region was poisoned.
+    pub fn pages_poisoned(&self) -> u64 {
+        self.inner.poisoned.load(Ordering::Relaxed)
+    }
+}
+
+/// Builder for [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    fail_nth_allocation: Option<u64>,
+    pool_acquire_failure_ppm: u32,
+    poison_recycled_pages: bool,
+}
+
+impl FaultPlanBuilder {
+    /// Fail the `n`-th allocation (1-based) across all sharers of the plan.
+    #[must_use]
+    pub fn fail_nth_allocation(mut self, n: u64) -> Self {
+        self.fail_nth_allocation = Some(n);
+        self
+    }
+
+    /// Fail each pool batch-acquire with probability `ppm` parts per
+    /// million (1_000_000 = always fail).
+    #[must_use]
+    pub fn pool_acquire_failure_ppm(mut self, ppm: u32) -> Self {
+        self.pool_acquire_failure_ppm = ppm.min(1_000_000);
+        self
+    }
+
+    /// Poison the stale region of every recycled page with `0xDB`.
+    #[must_use]
+    pub fn poison_recycled_pages(mut self) -> Self {
+        self.poison_recycled_pages = true;
+        self
+    }
+
+    /// Finalizes the plan.
+    pub fn build(self) -> FaultPlan {
+        FaultPlan {
+            inner: Arc::new(Inner {
+                seed: self.seed,
+                fail_nth_allocation: self.fail_nth_allocation,
+                pool_acquire_failure_ppm: self.pool_acquire_failure_ppm,
+                poison_recycled_pages: self.poison_recycled_pages,
+                allocations: AtomicU64::new(0),
+                draws: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+                poisoned: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_allocation_fails_exactly_once_across_clones() {
+        let plan = FaultPlan::builder(0).fail_nth_allocation(3).build();
+        let clone = plan.clone();
+        assert!(!plan.should_fail_allocation());
+        assert!(!clone.should_fail_allocation());
+        assert!(plan.should_fail_allocation(), "third allocation fails");
+        assert!(!clone.should_fail_allocation());
+        assert_eq!(plan.faults_injected(), 1);
+    }
+
+    #[test]
+    fn pool_failures_are_deterministic_in_the_seed() {
+        let draw = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::builder(seed)
+                .pool_acquire_failure_ppm(300_000)
+                .build();
+            (0..64).map(|_| plan.should_fail_pool_acquire()).collect()
+        };
+        assert_eq!(draw(7), draw(7), "same seed, same schedule");
+        assert_ne!(draw(7), draw(8), "different seed, different schedule");
+        let hits = draw(7).iter().filter(|&&b| b).count();
+        assert!(hits > 0 && hits < 64, "p=0.3 is neither never nor always");
+    }
+
+    #[test]
+    fn always_fail_ppm_saturates() {
+        let plan = FaultPlan::builder(1)
+            .pool_acquire_failure_ppm(2_000_000)
+            .build();
+        assert!((0..32).all(|_| plan.should_fail_pool_acquire()));
+    }
+}

@@ -1,6 +1,9 @@
 //! The paged heap: page managers, iteration-based reclamation, allocation,
 //! and record access.
 
+use crate::error::HeapError;
+#[cfg(feature = "fault-injection")]
+use crate::fault::FaultPlan;
 use crate::layout::{
     ARRAY_HEADER_BYTES, ElemKind, FieldKind, RECORD_HEADER_BYTES, RecordLayout, TypeId,
 };
@@ -107,6 +110,9 @@ pub struct PagedHeap {
     type_alloc_counts: Vec<u64>,
     /// Cached `bytes_held` (pages + live oversize buffers).
     held_bytes: u64,
+    /// Installed fault schedule; consulted on every allocation.
+    #[cfg(feature = "fault-injection")]
+    fault: Option<FaultPlan>,
 }
 
 impl PagedHeap {
@@ -153,7 +159,34 @@ impl PagedHeap {
             stats: NativeStats::default(),
             type_alloc_counts,
             held_bytes: 0,
+            #[cfg(feature = "fault-injection")]
+            fault: None,
         }
+    }
+
+    /// Installs a fault schedule: allocations fail and recycled pages are
+    /// poisoned per the plan. Clone one plan across every heap of a run to
+    /// inject against the process-wide allocation sequence.
+    #[cfg(feature = "fault-injection")]
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Returns an injected [`OutOfMemory`] if the installed plan says this
+    /// allocation of `size` bytes should fail.
+    #[cfg(feature = "fault-injection")]
+    fn check_alloc_fault(&mut self, size: usize) -> Result<(), OutOfMemory> {
+        if let Some(plan) = &self.fault {
+            if plan.should_fail_allocation() {
+                self.stats.faults_injected += 1;
+                return Err(OutOfMemory::new(
+                    self.held_bytes + size as u64,
+                    self.config.budget_bytes.unwrap_or(0),
+                )
+                .with_context(self.held_bytes, size as u64, "fault-injection"));
+            }
+        }
+        Ok(())
     }
 
     /// Registers a data type and returns its record type ID.
@@ -260,6 +293,13 @@ impl PagedHeap {
             for pages in class_pages {
                 for slot in pages {
                     self.pages[slot as usize].recycle();
+                    #[cfg(feature = "fault-injection")]
+                    if let Some(plan) = &self.fault {
+                        if plan.poison_recycled_pages() {
+                            self.pages[slot as usize].poison_stale();
+                            plan.note_poisoned();
+                        }
+                    }
                     self.free_pages.push(slot);
                     self.stats.pages_recycled += 1;
                 }
@@ -306,10 +346,11 @@ impl PagedHeap {
         let next = self.held_bytes + PAGE_BYTES as u64;
         if let Some(budget) = self.config.budget_bytes {
             if next > budget {
-                return Err(OutOfMemory {
-                    attempted: next,
-                    budget,
-                });
+                return Err(OutOfMemory::new(next, budget).with_context(
+                    self.held_bytes,
+                    PAGE_BYTES as u64,
+                    "paged-heap",
+                ));
             }
         }
         // Pull a batch from the shared pool first: recycled pages keep their
@@ -402,10 +443,11 @@ impl PagedHeap {
         let next = self.held_bytes + size as u64;
         if let Some(budget) = self.config.budget_bytes {
             if next > budget {
-                return Err(OutOfMemory {
-                    attempted: next,
-                    budget,
-                });
+                return Err(OutOfMemory::new(next, budget).with_context(
+                    self.held_bytes,
+                    size as u64,
+                    "oversize",
+                ));
             }
         }
         let buf = vec![0u8; size];
@@ -437,6 +479,8 @@ impl PagedHeap {
             let raw = self.types[ty.0 as usize].record_bytes();
             ((raw + 7) & !7) as usize
         };
+        #[cfg(feature = "fault-injection")]
+        self.check_alloc_fault(size)?;
         self.type_alloc_counts[ty.0 as usize] += 1;
         self.stats.records_allocated += 1;
         let r = if size > PAGE_CAPACITY {
@@ -456,6 +500,8 @@ impl PagedHeap {
     pub fn alloc_array(&mut self, kind: ElemKind, len: usize) -> Result<PageRef, OutOfMemory> {
         let raw = ARRAY_HEADER_BYTES as usize + len * kind.size() as usize;
         let size = (raw + 7) & !7;
+        #[cfg(feature = "fault-injection")]
+        self.check_alloc_fault(size)?;
         let type_id = match kind {
             ElemKind::U8 => ARRAY_TYPE_U8,
             ElemKind::I32 => ARRAY_TYPE_I32,
@@ -478,15 +524,18 @@ impl PagedHeap {
     /// deallocated earlier when they are no longer needed, e.g., upon the
     /// resizing of a data structure").
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `r` is not an oversize reference or was already freed.
-    pub fn free_oversize(&mut self, r: PageRef) {
-        assert!(r.is_oversize(), "free_oversize on a paged record");
+    /// Returns [`HeapError::NotOversize`] if `r` is a paged reference and
+    /// [`HeapError::OversizeDoubleFree`] if the buffer was already freed.
+    pub fn free_oversize(&mut self, r: PageRef) -> Result<(), HeapError> {
+        if !r.is_oversize() {
+            return Err(HeapError::NotOversize);
+        }
         let idx = r.oversize_index();
         let buf = self.oversize[idx as usize]
             .take()
-            .expect("oversize double free");
+            .ok_or(HeapError::OversizeDoubleFree { index: idx })?;
         self.held_bytes -= buf.len() as u64;
         drop(buf);
         self.free_oversize.push(idx);
@@ -497,6 +546,7 @@ impl PagedHeap {
             }
         }
         self.stats.oversize_freed += 1;
+        Ok(())
     }
 
     // ----- raw access (header-relative) ------------------------------------
@@ -660,13 +710,17 @@ impl PagedHeap {
     }
 
     /// Element kind of an array record.
-    pub fn array_kind(&self, r: PageRef) -> ElemKind {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NotAnArray`] if `r` is not an array record.
+    pub fn array_kind(&self, r: PageRef) -> Result<ElemKind, HeapError> {
         match Self::u16_of(self.record_bytes(r), 0) {
-            ARRAY_TYPE_U8 => ElemKind::U8,
-            ARRAY_TYPE_I32 => ElemKind::I32,
-            ARRAY_TYPE_I64 => ElemKind::I64,
-            ARRAY_TYPE_REF => ElemKind::Ref,
-            other => panic!("record type {other} is not an array"),
+            ARRAY_TYPE_U8 => Ok(ElemKind::U8),
+            ARRAY_TYPE_I32 => Ok(ElemKind::I32),
+            ARRAY_TYPE_I64 => Ok(ElemKind::I64),
+            ARRAY_TYPE_REF => Ok(ElemKind::Ref),
+            other => Err(HeapError::NotAnArray { type_id: other }),
         }
     }
 
@@ -799,7 +853,7 @@ mod tests {
         let a = h.alloc_array(ElemKind::I32, 100).unwrap();
         assert!(h.is_array(a));
         assert_eq!(h.array_len(a), 100);
-        assert_eq!(h.array_kind(a), ElemKind::I32);
+        assert_eq!(h.array_kind(a).unwrap(), ElemKind::I32);
         h.array_set_i32(a, 99, 7);
         assert_eq!(h.array_get_i32(a, 99), 7);
 
@@ -929,9 +983,25 @@ mod tests {
         h.array_set_i64(a, 9_999, 42);
         assert_eq!(h.array_get_i64(a, 9_999), 42);
         let held = h.bytes_held();
-        h.free_oversize(a);
+        h.free_oversize(a).unwrap();
         assert!(h.bytes_held() < held);
         assert_eq!(h.stats().oversize_freed, 1);
+        assert_eq!(
+            h.free_oversize(a),
+            Err(HeapError::OversizeDoubleFree {
+                index: a.oversize_index()
+            })
+        );
+    }
+
+    #[test]
+    fn array_kind_on_non_array_is_a_typed_error() {
+        let mut h = PagedHeap::new();
+        let t = h.register_type("T", &[FieldKind::I32]);
+        let r = h.alloc(t).unwrap();
+        assert_eq!(h.array_kind(r), Err(HeapError::NotAnArray { type_id: t.0 }));
+        let p = h.alloc_array(ElemKind::U8, 4).unwrap();
+        assert_eq!(h.free_oversize(p), Err(HeapError::NotOversize));
     }
 
     #[test]

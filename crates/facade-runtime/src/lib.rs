@@ -35,6 +35,9 @@
 //! # Ok::<(), metrics::OutOfMemory>(())
 //! ```
 
+mod error;
+#[cfg(feature = "fault-injection")]
+mod fault;
 mod heap;
 mod layout;
 mod locks;
@@ -43,6 +46,9 @@ mod pool;
 mod pools;
 mod stats;
 
+pub use error::HeapError;
+#[cfg(feature = "fault-injection")]
+pub use fault::{FaultPlan, FaultPlanBuilder};
 pub use heap::{FIRST_USER_TYPE, IterationId, ManagerId, PagedHeap, PagedHeapConfig};
 pub use layout::{ElemKind, FieldKind, RecordLayout, TypeId};
 pub use locks::{LockPool, LockPoolConfig};

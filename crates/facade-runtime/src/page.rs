@@ -143,6 +143,19 @@ impl Page {
         self.top = PAGE_RESERVED;
     }
 
+    /// Fills the stale region `[PAGE_RESERVED, dirty)` with `0xDB` so that
+    /// any read of reclaimed memory sees garbage rather than plausible
+    /// stale values. Bytes above the watermark stay pristine zero — the
+    /// bump allocator relies on that — and the reserved prefix stays
+    /// untouched. No-op on a placeholder (empty buffer).
+    #[cfg(feature = "fault-injection")]
+    pub fn poison_stale(&mut self) {
+        let end = self.dirty.min(self.bytes.len());
+        if end > PAGE_RESERVED {
+            self.bytes[PAGE_RESERVED..end].fill(0xDB);
+        }
+    }
+
     /// Free bytes remaining.
     #[allow(dead_code)]
     pub fn free(&self) -> usize {

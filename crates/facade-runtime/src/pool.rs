@@ -88,6 +88,9 @@ pub struct PagePool {
     cursor: AtomicUsize,
     handed_out: AtomicU64,
     returned: AtomicU64,
+    /// Installed fault schedule; consulted on every batch acquire.
+    #[cfg(feature = "fault-injection")]
+    fault: Mutex<Option<crate::fault::FaultPlan>>,
 }
 
 impl PagePool {
@@ -103,7 +106,18 @@ impl PagePool {
             cursor: AtomicUsize::new(0),
             handed_out: AtomicU64::new(0),
             returned: AtomicU64::new(0),
+            #[cfg(feature = "fault-injection")]
+            fault: Mutex::new(None),
         }
+    }
+
+    /// Installs a fault schedule: batch acquires fail (return an empty
+    /// batch, as if the pool were drained) per the plan's pool-acquire
+    /// probability. Callers fall back to fresh pages, so an injected pool
+    /// failure is survivable by construction.
+    #[cfg(feature = "fault-injection")]
+    pub fn set_fault_plan(&self, plan: crate::fault::FaultPlan) {
+        *self.fault.lock().unwrap_or_else(|p| p.into_inner()) = Some(plan);
     }
 
     /// Creates an empty pool with the default shard count.
@@ -123,6 +137,15 @@ impl PagePool {
     /// Takes up to `max` pages from the pool (possibly fewer, possibly none
     /// — the caller falls back to creating fresh pages).
     pub fn acquire_batch(&self, max: usize) -> Vec<PooledPage> {
+        #[cfg(feature = "fault-injection")]
+        {
+            let fault = self.fault.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(plan) = fault.as_ref() {
+                if plan.should_fail_pool_acquire() {
+                    return Vec::new();
+                }
+            }
+        }
         let n = self.shards.len();
         let start = self.cursor.fetch_add(1, Ordering::Relaxed);
         let mut out = Vec::new();

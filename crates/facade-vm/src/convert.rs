@@ -138,7 +138,12 @@ impl Vm<'_> {
         }
         if self.paged_ref().is_array(rec) {
             let len = self.paged_ref().array_len(rec);
-            let kind = self.paged_ref().array_kind(rec);
+            // Infallible: the is_array guard above means the type ID is one
+            // of the four array kinds.
+            let kind = self
+                .paged_ref()
+                .array_kind(rec)
+                .expect("guarded by is_array");
             let hk = match kind {
                 PElem::U8 => HElem::U8,
                 PElem::I32 => HElem::I32,

@@ -51,11 +51,7 @@ mod tests {
     fn displays_are_informative() {
         let e = VmError::NullDeref("getfield Point.x".into());
         assert!(e.to_string().contains("Point.x"));
-        let oom: VmError = OutOfMemory {
-            attempted: 10,
-            budget: 5,
-        }
-        .into();
+        let oom: VmError = OutOfMemory::new(10, 5).into();
         assert!(oom.to_string().contains("out of memory"));
     }
 }

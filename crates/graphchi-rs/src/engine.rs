@@ -6,8 +6,12 @@ use crate::preprocess::Csr;
 use data_store::{ClassTag, ElemTy, FieldTy, PagePool, Store, StoreStats};
 use datagen::Graph;
 use metrics::report::Backend;
-use metrics::{OutOfMemory, PhaseTimer, phases};
+use metrics::{DegradationAction, OutOfMemory, PhaseTimer, ResilienceReport, phases};
+use std::error::Error;
+use std::fmt;
+use std::panic::{AssertUnwindSafe, catch_unwind};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -40,6 +44,14 @@ pub struct EngineConfig {
     /// per-interval snapshot and the main thread commits their writes in
     /// subinterval order.
     pub threads: usize,
+    /// How the engine responds to worker failures (out-of-memory, panics):
+    /// see [`RetryPolicy`]. Degraded configurations preserve bit-identical
+    /// output because only interval boundaries are semantically visible.
+    pub retry: RetryPolicy,
+    /// Fault schedule installed on every worker store and the shared page
+    /// pool, for reproducible robustness testing.
+    #[cfg(feature = "fault-injection")]
+    pub fault_plan: Option<data_store::FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -51,7 +63,280 @@ impl Default for EngineConfig {
             bytes_per_edge: 96,
             inline_records: true,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            retry: RetryPolicy::default(),
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
+    }
+}
+
+/// Failure response policy: how often to retry and how far to degrade.
+///
+/// A failed interval is retried against rebuilt stores. Transient failures
+/// (worker panics, injected faults) retry at the same configuration up to
+/// [`RetryPolicy::transient_retries`] times; deterministic out-of-memory
+/// failures walk the degradation ladder instead — halve the worker count to
+/// the serial fallback, then halve the subinterval budget down to its floor
+/// — because retrying an exhausted budget unchanged cannot succeed. Every
+/// retry sleeps an exponentially growing backoff.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Master switch; `false` restores fail-fast behaviour.
+    pub enabled: bool,
+    /// Same-configuration retries granted to transient failures per rung.
+    pub transient_retries: u32,
+    /// First backoff sleep; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            transient_retries: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A run that failed even after retries and degradation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A worker exhausted its memory budget and the degradation ladder had
+    /// no rung left (the condition Table 3 reports as `OME(n)`).
+    Oom {
+        /// Worker that hit the failure.
+        worker: usize,
+        /// Subinterval index within the failing interval.
+        subinterval: usize,
+        /// The underlying allocation failure, with held/requested context.
+        source: OutOfMemory,
+    },
+    /// A worker panicked and the retry budget was exhausted.
+    WorkerPanicked {
+        /// Worker that panicked.
+        worker: usize,
+        /// Subinterval index within the failing interval.
+        subinterval: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Oom {
+                worker,
+                subinterval,
+                source,
+            } => {
+                write!(f, "worker {worker}, subinterval {subinterval}: {source}")
+            }
+            EngineError::WorkerPanicked {
+                worker,
+                subinterval,
+                message,
+            } => {
+                write!(
+                    f,
+                    "worker {worker} panicked in subinterval {subinterval}: {message}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Oom { source, .. } => Some(source),
+            EngineError::WorkerPanicked { .. } => None,
+        }
+    }
+}
+
+/// One failed unit of work, caught before it can kill the run.
+#[derive(Debug)]
+struct SubFailure {
+    worker: usize,
+    subinterval: usize,
+    kind: FailureKind,
+}
+
+#[derive(Debug)]
+enum FailureKind {
+    Oom(OutOfMemory),
+    Panic(String),
+}
+
+impl FailureKind {
+    /// Transient failures may succeed on an identical retry: panics (often
+    /// data races or poisoned scratch state) and injected faults (fire once
+    /// or probabilistically). A genuine budget exhaustion is deterministic —
+    /// only degradation can help.
+    fn is_transient(&self) -> bool {
+        match self {
+            FailureKind::Oom(e) => e.is_injected(),
+            FailureKind::Panic(_) => true,
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Oom(e) => write!(f, "{e}"),
+            FailureKind::Panic(m) => write!(f, "panic: {m}"),
+        }
+    }
+}
+
+impl SubFailure {
+    fn into_engine_error(self) -> EngineError {
+        match self.kind {
+            FailureKind::Oom(source) => EngineError::Oom {
+                worker: self.worker,
+                subinterval: self.subinterval,
+                source,
+            },
+            FailureKind::Panic(message) => EngineError::WorkerPanicked {
+                worker: self.worker,
+                subinterval: self.subinterval,
+                message,
+            },
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs one unit of work with both failure modes caught: an `Err` from the
+/// work itself becomes [`FailureKind::Oom`], a panic becomes
+/// [`FailureKind::Panic`]. `AssertUnwindSafe` is sound here because every
+/// caller discards (and rebuilds) the stores the closure touched whenever
+/// it reports a failure.
+fn catch_failure<T>(
+    worker: usize,
+    work: impl FnOnce() -> Result<T, OutOfMemory>,
+) -> Result<T, SubFailure> {
+    match catch_unwind(AssertUnwindSafe(work)) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(oom)) => Err(SubFailure {
+            worker,
+            subinterval: 0,
+            kind: FailureKind::Oom(oom),
+        }),
+        Err(payload) => Err(SubFailure {
+            worker,
+            subinterval: 0,
+            kind: FailureKind::Panic(panic_message(payload)),
+        }),
+    }
+}
+
+/// The degradation ladder: current rung plus retry bookkeeping. Rungs are
+/// sticky — once the engine degrades, the rest of the run stays degraded —
+/// so a budget that proved too optimistic is not re-trusted every interval.
+#[derive(Debug)]
+struct Ladder {
+    threads: usize,
+    shrink: u32,
+    rung_retries: u32,
+    backoff_step: u32,
+}
+
+impl Ladder {
+    fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            shrink: 0,
+            rung_retries: 0,
+            backoff_step: 0,
+        }
+    }
+
+    /// The subinterval edge budget at a given rung: the fair-comparison
+    /// formula divided by the worker count, right-shifted by the shrink
+    /// rung, floored so subintervals never degenerate to single edges.
+    fn edge_budget_at(config: &EngineConfig, threads: usize, shrink: u32) -> u64 {
+        let base = config.budget_bytes / config.bytes_per_edge / 3 / threads;
+        ((base >> shrink.min(63)) as u64).max(16)
+    }
+
+    fn edge_budget(&self, config: &EngineConfig) -> u64 {
+        Self::edge_budget_at(config, self.threads, self.shrink)
+    }
+
+    fn sleep_backoff(&mut self, policy: &RetryPolicy) {
+        let factor = 1u32 << self.backoff_step.min(16);
+        let delay = policy.base_backoff.saturating_mul(factor);
+        std::thread::sleep(delay.min(policy.max_backoff));
+        self.backoff_step += 1;
+    }
+
+    /// Decides how to respond to `failure`: retry at the same rung
+    /// (transient failures), step down a rung (threads, then budget), or —
+    /// when the ladder is exhausted or retry is disabled — surface the
+    /// failure as the run's error. Records the decision in `resilience`.
+    fn respond(
+        &mut self,
+        config: &EngineConfig,
+        failure: SubFailure,
+        phase: &str,
+        resilience: &mut ResilienceReport,
+    ) -> Result<(), EngineError> {
+        let policy = &config.retry;
+        if !policy.enabled {
+            return Err(failure.into_engine_error());
+        }
+        if failure.kind.is_transient() && self.rung_retries < policy.transient_retries {
+            self.rung_retries += 1;
+            resilience.record_retry(phase, &failure.kind);
+            self.sleep_backoff(policy);
+            return Ok(());
+        }
+        if self.threads > 1 {
+            let from = self.threads;
+            self.threads /= 2;
+            resilience.record_degradation(
+                phase,
+                DegradationAction::ReduceThreads {
+                    from,
+                    to: self.threads,
+                },
+                &failure.kind,
+            );
+        } else if Self::edge_budget_at(config, self.threads, self.shrink + 1)
+            < Self::edge_budget_at(config, self.threads, self.shrink)
+        {
+            self.shrink += 1;
+            resilience.record_degradation(
+                phase,
+                DegradationAction::ShrinkBudget {
+                    shrink: self.shrink,
+                },
+                &failure.kind,
+            );
+        } else {
+            // Serial, minimum budget, still failing: the ladder is out of
+            // rungs.
+            return Err(failure.into_engine_error());
+        }
+        self.rung_retries = 0;
+        self.sleep_backoff(policy);
+        Ok(())
     }
 }
 
@@ -70,6 +355,9 @@ pub struct RunOutcome {
     /// Edges processed (edges × passes), the throughput numerator of
     /// Figure 4(a).
     pub edges_processed: u64,
+    /// Failure-handling record: retries, degradation-ladder steps, and
+    /// injected faults the run survived.
+    pub resilience: ResilienceReport,
 }
 
 /// Record schema shared by both backends.
@@ -96,6 +384,15 @@ fn build_stores(config: &EngineConfig, threads: usize) -> (Vec<Store>, Schema) {
             (Backend::Facade, None) => Store::facade(worker_budget),
         })
         .collect();
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = &config.fault_plan {
+        if let Some(pool) = &pool {
+            pool.set_fault_plan(plan.clone());
+        }
+        for store in &mut stores {
+            store.set_fault_plan(plan.clone());
+        }
+    }
     // Register the same classes in every store; the tags are identical
     // because registration order is.
     let mut schema = None;
@@ -159,7 +456,7 @@ struct CommitBuf {
 
 /// What one worker thread brings back from an interval: its phase timings
 /// plus `(subinterval index, outcome)` for every subinterval it processed.
-type WorkerOutput = (PhaseTimer, Vec<(usize, Result<CommitBuf, OutOfMemory>)>);
+type WorkerOutput = (PhaseTimer, Vec<(usize, Result<CommitBuf, SubFailure>)>);
 
 /// The GraphChi-style engine. Construct once per (graph, config) and run
 /// one or more vertex programs.
@@ -191,20 +488,45 @@ impl Engine {
     /// workers. Every worker reads the same frozen interval-start snapshot
     /// of the vertex and edge values and buffers its writes; the main
     /// thread replays the buffers in subinterval order, so the result is
-    /// bit-identical for every thread count. An out-of-memory from any
-    /// worker surfaces as the error of the lowest failing subinterval
-    /// index, again independent of scheduling.
+    /// bit-identical for every thread count.
+    ///
+    /// A worker failure — out-of-memory or panic — no longer kills the
+    /// run. The interval's buffered writes are discarded (nothing was
+    /// committed), the worker stores are torn down and rebuilt, and the
+    /// interval is retried per [`RetryPolicy`]: transient failures at the
+    /// same configuration, budget exhaustion one rung down the degradation
+    /// ladder (halve the worker count to serial, then halve the
+    /// subinterval budget). Because only interval boundaries are
+    /// semantically visible, a degraded retry commits bit-identical values.
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfMemory`] when a backend's budget is exhausted — the
-    /// condition Table 3 reports as `OME(n)`.
-    pub fn run(&mut self, app: &dyn VertexProgram) -> Result<RunOutcome, OutOfMemory> {
-        let threads = self.config.threads.max(1);
-        let (mut stores, schema) = build_stores(&self.config, threads);
+    /// Returns [`EngineError`] when the failure survives every rung of the
+    /// ladder (or `config.retry.enabled` is off) — the condition Table 3
+    /// reports as `OME(n)`.
+    pub fn run(&mut self, app: &dyn VertexProgram) -> Result<RunOutcome, EngineError> {
+        let mut ladder = Ladder::new(self.config.threads.max(1));
+        let mut resilience = ResilienceReport::default();
+        // Stats of stores torn down after a failure, folded into the final
+        // report so no allocation disappears from the books.
+        let mut retired = StoreStats::default();
+        let (mut stores, mut schema) = build_stores(&self.config, ladder.threads);
         let mut timer = PhaseTimer::new();
 
-        self.degree_pass(&mut stores[0], schema)?;
+        // Degree pass, under the same ladder as interval processing.
+        loop {
+            let r = catch_failure(0, || self.degree_pass(&mut stores[0], schema));
+            match r {
+                Ok(()) => break,
+                Err(failure) => {
+                    ladder.respond(&self.config, failure, "degree pass", &mut resilience)?;
+                    for store in &stores {
+                        retired.merge(&store.stats());
+                    }
+                    (stores, schema) = build_stores(&self.config, ladder.threads);
+                }
+            }
+        }
 
         // Persistent (simulated on-disk) state: vertex values + edge values.
         let mut values: Vec<f64> = (0..self.csr.vertices)
@@ -220,38 +542,62 @@ impl Engine {
             }
         }
 
-        // Each worker's subintervals must fit its private slice of the
-        // budget, so the subinterval edge budget divides by the worker
-        // count too. The snapshot/ordered-commit dataflow makes results
-        // independent of where subinterval boundaries land (only interval
-        // boundaries are semantically visible), so this does not perturb
-        // values.
-        let edge_budget =
-            (self.config.budget_bytes / self.config.bytes_per_edge / 3 / threads).max(16) as u64;
         let intervals = self.csr.intervals(self.config.intervals);
 
         let mut passes = 0usize;
         let mut edges_processed = 0u64;
         for _pass in 0..app.iterations() {
             let mut changed = false;
-            for &interval in &intervals {
-                let subs = self.csr.subintervals(interval, edge_budget);
-                let bufs = self.process_interval(
-                    &mut stores,
-                    schema,
-                    app,
-                    &subs,
-                    &values,
-                    &edge_values,
-                    &mut timer,
-                );
-                for (idx, slot) in bufs.into_iter().enumerate() {
-                    let buf = slot.expect("a result gap implies an earlier error")?;
-                    changed |= buf.changed;
-                    Self::commit(app, &buf, &mut values, &mut edge_values);
-                    edges_processed += (subs[idx].0..subs[idx].1)
-                        .map(|v| u64::from(self.csr.degree(v)))
-                        .sum::<u64>();
+            for (iv_idx, &interval) in intervals.iter().enumerate() {
+                // Retry loop: the interval commits only when every
+                // subinterval succeeded, so a mid-interval failure leaves
+                // `values`/`edge_values` exactly at the interval-start
+                // snapshot and the retry replays it from scratch.
+                loop {
+                    // Each worker's subintervals must fit its private slice
+                    // of the budget, so the subinterval edge budget divides
+                    // by the (current) worker count; the shrink rung halves
+                    // it further. Subinterval boundaries are not
+                    // semantically visible, so neither knob perturbs values.
+                    let subs = self
+                        .csr
+                        .subintervals(interval, ladder.edge_budget(&self.config));
+                    let slots = self.process_interval(
+                        &mut stores,
+                        schema,
+                        app,
+                        &subs,
+                        &values,
+                        &edge_values,
+                        &mut timer,
+                    );
+                    match Self::collect_bufs(slots) {
+                        Ok(bufs) => {
+                            for buf in &bufs {
+                                changed |= buf.changed;
+                                Self::commit(app, buf, &mut values, &mut edge_values);
+                            }
+                            edges_processed += (interval.0..interval.1)
+                                .map(|v| u64::from(self.csr.degree(v)))
+                                .sum::<u64>();
+                            break;
+                        }
+                        Err(failure) => {
+                            ladder.respond(
+                                &self.config,
+                                failure,
+                                &format!("interval {iv_idx}"),
+                                &mut resilience,
+                            )?;
+                            // A panicked worker may have left its store with
+                            // open iterations or leaked roots; rebuilding is
+                            // cheaper to prove correct than repairing.
+                            for store in &stores {
+                                retired.merge(&store.stats());
+                            }
+                            (stores, schema) = build_stores(&self.config, ladder.threads);
+                        }
+                    }
                 }
             }
             passes += 1;
@@ -260,9 +606,16 @@ impl Engine {
             }
         }
 
-        let mut stats = StoreStats::default();
+        let mut stats = retired;
         for store in &stores {
             stats.merge(&store.stats());
+        }
+        resilience.faults_injected = stats.faults_injected;
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &self.config.fault_plan {
+            // The plan's own counter also sees pool-level injections, which
+            // no store's stats record.
+            resilience.faults_injected = plan.faults_injected();
         }
         timer.add(phases::GC, stats.gc_time);
         timer.freeze_total();
@@ -272,7 +625,36 @@ impl Engine {
             stats,
             passes,
             edges_processed,
+            resilience,
         })
+    }
+
+    /// Flattens the per-subinterval slots into commit buffers, or the
+    /// failure of the lowest failing subinterval index — independent of
+    /// which worker hit it first, so error reporting is deterministic too.
+    fn collect_bufs(
+        slots: Vec<Option<Result<CommitBuf, SubFailure>>>,
+    ) -> Result<Vec<CommitBuf>, SubFailure> {
+        let mut bufs = Vec::with_capacity(slots.len());
+        for (idx, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok(buf)) => bufs.push(buf),
+                Some(Err(mut failure)) => {
+                    failure.subinterval = idx;
+                    return Err(failure);
+                }
+                // A gap with no recorded error upstream of it: the worker
+                // died without reporting (e.g. its thread was lost).
+                None => {
+                    return Err(SubFailure {
+                        worker: 0,
+                        subinterval: idx,
+                        kind: FailureKind::Panic("subinterval produced no result".to_string()),
+                    });
+                }
+            }
+        }
+        Ok(bufs)
     }
 
     /// Degree computation pass: allocates the paper's third data class.
@@ -323,20 +705,17 @@ impl Engine {
         values: &[f64],
         edge_values: &[f64],
         timer: &mut PhaseTimer,
-    ) -> Vec<Option<Result<CommitBuf, OutOfMemory>>> {
+    ) -> Vec<Option<Result<CommitBuf, SubFailure>>> {
         let threads = stores.len();
         if threads == 1 {
             let mut out = Vec::with_capacity(subs.len());
             for &sub in subs {
-                let r = self.process_subinterval(
-                    &mut stores[0],
-                    schema,
-                    app,
-                    sub,
-                    values,
-                    edge_values,
-                    timer,
-                );
+                let store = &mut stores[0];
+                let mut t = PhaseTimer::new();
+                let r = catch_failure(0, || {
+                    self.process_subinterval(store, schema, app, sub, values, edge_values, &mut t)
+                });
+                timer.merge(&t);
                 let failed = r.is_err();
                 out.push(Some(r));
                 if failed {
@@ -358,15 +737,19 @@ impl Engine {
                         let mut out = Vec::new();
                         let mut idx = w;
                         while idx < subs.len() {
-                            let r = this.process_subinterval(
-                                store,
-                                schema,
-                                app,
-                                subs[idx],
-                                values,
-                                edge_values,
-                                &mut t,
-                            );
+                            let mut sub_t = PhaseTimer::new();
+                            let r = catch_failure(w, || {
+                                this.process_subinterval(
+                                    store,
+                                    schema,
+                                    app,
+                                    subs[idx],
+                                    values,
+                                    edge_values,
+                                    &mut sub_t,
+                                )
+                            });
+                            t.merge(&sub_t);
                             let failed = r.is_err();
                             out.push((idx, r));
                             if failed {
@@ -384,11 +767,32 @@ impl Engine {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("graphchi worker panicked"))
+                .enumerate()
+                .map(|(w, h)| match h.join() {
+                    Ok(res) => res,
+                    // The thread died outside the catch (e.g. while
+                    // releasing pages); report it against the worker's
+                    // first subinterval so the ladder can respond.
+                    Err(payload) => (
+                        PhaseTimer::new(),
+                        if w < subs.len() {
+                            vec![(
+                                w,
+                                Err(SubFailure {
+                                    worker: w,
+                                    subinterval: w,
+                                    kind: FailureKind::Panic(panic_message(payload)),
+                                }),
+                            )]
+                        } else {
+                            Vec::new()
+                        },
+                    ),
+                })
                 .collect()
         });
 
-        let mut slots: Vec<Option<Result<CommitBuf, OutOfMemory>>> = Vec::new();
+        let mut slots: Vec<Option<Result<CommitBuf, SubFailure>>> = Vec::new();
         slots.resize_with(subs.len(), || None);
         for (t, out) in worker_out {
             timer.merge(&t);
@@ -860,5 +1264,165 @@ mod sssp_tests {
             assert_eq!(out.values, oracle, "{backend:?}");
             assert!(out.passes < 100, "converged early");
         }
+    }
+}
+
+#[cfg(test)]
+mod resilience_tests {
+    use super::*;
+    use crate::apps::PageRank;
+    use datagen::GraphSpec;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Wraps an app and panics on the first `update` call — a stand-in for
+    /// a transient worker fault (poisoned scratch state, data race).
+    struct PanicOnce {
+        inner: PageRank,
+        armed: AtomicBool,
+    }
+
+    impl PanicOnce {
+        fn new(inner: PageRank) -> Self {
+            Self {
+                inner,
+                armed: AtomicBool::new(true),
+            }
+        }
+    }
+
+    impl VertexProgram for PanicOnce {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+        fn iterations(&self) -> usize {
+            self.inner.iterations()
+        }
+        fn initial_value(&self, vertex: u32, out_degree: u32) -> f64 {
+            self.inner.initial_value(vertex, out_degree)
+        }
+        fn initial_edge_value(&self, src: u32, src_out_degree: u32) -> f64 {
+            self.inner.initial_edge_value(src, src_out_degree)
+        }
+        fn update(&self, v: &mut crate::apps::VertexView<'_>) -> bool {
+            if self.armed.swap(false, Ordering::SeqCst) {
+                panic!("injected worker panic");
+            }
+            self.inner.update(v)
+        }
+    }
+
+    fn config(backend: Backend, threads: usize) -> EngineConfig {
+        EngineConfig {
+            backend,
+            budget_bytes: 16 << 20,
+            intervals: 4,
+            threads,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_retried_and_output_is_bit_identical() {
+        let g = Graph::generate(&GraphSpec::new(600, 4_000, 7));
+        for backend in [Backend::Heap, Backend::Facade] {
+            for threads in [1, 4] {
+                let clean = Engine::new(&g, config(backend, threads))
+                    .run(&PageRank::new(3))
+                    .unwrap();
+                let faulty = Engine::new(&g, config(backend, threads))
+                    .run(&PanicOnce::new(PageRank::new(3)))
+                    .unwrap();
+                assert_eq!(
+                    clean.values, faulty.values,
+                    "{backend:?}/{threads}t: retried interval must commit identical values"
+                );
+                assert_eq!(clean.passes, faulty.passes);
+                assert!(
+                    faulty.resilience.retries >= 1,
+                    "{backend:?}/{threads}t: panic must be recorded as a retry"
+                );
+                assert!(clean.resilience.is_clean());
+            }
+        }
+    }
+
+    #[test]
+    fn retry_disabled_surfaces_the_panic_as_a_typed_error() {
+        let g = Graph::generate(&GraphSpec::new(200, 1_000, 9));
+        let mut cfg = config(Backend::Facade, 2);
+        cfg.retry.enabled = false;
+        let err = Engine::new(&g, cfg)
+            .run(&PanicOnce::new(PageRank::new(2)))
+            .unwrap_err();
+        match err {
+            EngineError::WorkerPanicked { ref message, .. } => {
+                assert!(message.contains("injected worker panic"), "{message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other}"),
+        }
+        assert!(err.to_string().contains("panic"));
+    }
+
+    #[test]
+    fn oom_with_retry_disabled_matches_the_old_contract() {
+        let g = Graph::generate(&GraphSpec::new(5_000, 100_000, 19));
+        let mut cfg = EngineConfig {
+            backend: Backend::Heap,
+            budget_bytes: 48 << 10,
+            intervals: 2,
+            bytes_per_edge: 1,
+            ..EngineConfig::default()
+        };
+        cfg.retry.enabled = false;
+        let err = Engine::new(&g, cfg).run(&PageRank::new(1)).unwrap_err();
+        match err {
+            EngineError::Oom { source, .. } => {
+                assert!(!source.is_injected());
+            }
+            other => panic!("expected Oom, got {other}"),
+        }
+    }
+
+    #[test]
+    fn ladder_halves_threads_then_shrinks_budget() {
+        let config = EngineConfig {
+            budget_bytes: 1 << 20,
+            threads: 4,
+            ..EngineConfig::default()
+        };
+        let mut ladder = Ladder::new(4);
+        let base = ladder.edge_budget(&config);
+        let mut resilience = ResilienceReport::default();
+        let oom_failure = || SubFailure {
+            worker: 0,
+            subinterval: 0,
+            kind: FailureKind::Oom(OutOfMemory::new(2, 1)),
+        };
+        // Deterministic OOMs walk the rungs: 4 -> 2 -> 1 threads, then
+        // budget shrinks, and the per-worker budget never grows.
+        let mut last = base;
+        for expected_threads in [2, 1, 1, 1] {
+            ladder
+                .respond(&config, oom_failure(), "test", &mut resilience)
+                .expect("ladder has rungs left");
+            assert_eq!(ladder.threads, expected_threads);
+            let now = ladder.edge_budget(&config);
+            assert!(now <= last * 2, "per-worker budget must not explode");
+            last = now;
+        }
+        assert!(ladder.shrink >= 1, "past serial, the budget shrinks");
+        assert_eq!(resilience.degradations, 4);
+        // The floor: once the budget is pinned at the minimum, respond errors.
+        let mut exhausted = 0;
+        for _ in 0..80 {
+            if ladder
+                .respond(&config, oom_failure(), "test", &mut resilience)
+                .is_err()
+            {
+                exhausted += 1;
+                break;
+            }
+        }
+        assert_eq!(exhausted, 1, "the ladder must eventually give up");
     }
 }

@@ -42,7 +42,7 @@
 //! let mut engine = Engine::new(&graph, config);
 //! let outcome = engine.run(&PageRank::new(3))?;
 //! assert_eq!(outcome.values.len(), 500);
-//! # Ok::<(), metrics::OutOfMemory>(())
+//! # Ok::<(), graphchi_rs::EngineError>(())
 //! ```
 
 mod apps;
@@ -52,6 +52,6 @@ mod preprocess;
 pub use apps::{
     ConnectedComponents, PageRank, SSSP_INFINITY, ShortestPaths, VertexProgram, VertexView,
 };
-pub use engine::{Engine, EngineConfig, RunOutcome};
+pub use engine::{Engine, EngineConfig, EngineError, RetryPolicy, RunOutcome};
 pub use metrics::report::Backend;
 pub use preprocess::Csr;

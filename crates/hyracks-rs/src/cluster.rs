@@ -3,10 +3,42 @@
 use data_store::{PagePool, Store, StoreStats};
 use metrics::OutOfMemory;
 use metrics::report::Backend;
+use metrics::{DegradationAction, ResilienceReport};
 use std::error::Error;
 use std::fmt;
+use std::panic::{AssertUnwindSafe, catch_unwind};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How a job phase responds to worker failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Master switch; off restores fail-fast (any worker failure kills the
+    /// job immediately, the paper's `OME(n)` behaviour).
+    pub enabled: bool,
+    /// Same-configuration retries granted to transient failures (worker
+    /// panics, injected faults) before the phase degrades.
+    pub transient_retries: u32,
+    /// Degradation rungs: each rung halves the phase's working granularity
+    /// (frame bytes for WC, run length for ES) for the retried partitions.
+    pub max_degrade_levels: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            transient_retries: 2,
+            max_degrade_levels: 6,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
 
 /// Cluster and per-node sizing.
 #[derive(Debug, Clone)]
@@ -21,6 +53,12 @@ pub struct ClusterConfig {
     pub per_worker_budget: usize,
     /// Frame granularity in input bytes; each frame is one sub-iteration.
     pub frame_bytes: usize,
+    /// Failure-handling policy for job phases.
+    pub retry: RetryPolicy,
+    /// Deterministic fault plan installed on every worker store (and the
+    /// job page pool) — the testing harness for the failure paths.
+    #[cfg(feature = "fault-injection")]
+    pub fault_plan: Option<data_store::FaultPlan>,
 }
 
 impl Default for ClusterConfig {
@@ -30,19 +68,28 @@ impl Default for ClusterConfig {
             backend: Backend::Heap,
             per_worker_budget: 16 << 20,
             frame_bytes: 32 << 10,
+            retry: RetryPolicy::default(),
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
     }
 }
 
 impl ClusterConfig {
     pub(crate) fn make_store(&self, pool: Option<&Arc<PagePool>>) -> Store {
-        match (self.backend, pool) {
+        #[cfg_attr(not(feature = "fault-injection"), allow(unused_mut))]
+        let mut store = match (self.backend, pool) {
             (Backend::Heap, _) => Store::heap(self.per_worker_budget),
             (Backend::Facade, Some(pool)) => {
                 Store::facade_shared(self.per_worker_budget, Arc::clone(pool))
             }
             (Backend::Facade, None) => Store::facade(self.per_worker_budget),
+        };
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &self.fault_plan {
+            store.set_fault_plan(plan.clone());
         }
+        store
     }
 
     /// One page supply per job on the facade backend: every phase's worker
@@ -50,7 +97,13 @@ impl ClusterConfig {
     /// reduce phase reuses the map phase's pages instead of growing fresh
     /// ones on every node.
     pub(crate) fn job_page_pool(&self) -> Option<Arc<PagePool>> {
-        (self.backend == Backend::Facade).then(|| Arc::new(PagePool::with_default_config()))
+        let pool =
+            (self.backend == Backend::Facade).then(|| Arc::new(PagePool::with_default_config()));
+        #[cfg(feature = "fault-injection")]
+        if let (Some(pool), Some(plan)) = (&pool, &self.fault_plan) {
+            pool.set_fault_plan(plan.clone());
+        }
+        pool
     }
 }
 
@@ -69,6 +122,9 @@ pub struct JobStats {
     pub peak_bytes: u64,
     /// Summed pages created (facade runs).
     pub pages_created: u64,
+    /// Failure-handling record: retries, degradations, and injected faults
+    /// the job survived.
+    pub resilience: ResilienceReport,
 }
 
 impl JobStats {
@@ -78,26 +134,74 @@ impl JobStats {
         self.records_allocated += s.records_allocated;
         self.peak_bytes += s.peak_bytes;
         self.pages_created += s.pages_created;
+        self.resilience.faults_injected += s.faults_injected;
     }
 }
 
-/// A failed job: some worker ran out of memory `after` this long — the
-/// paper's `OME(n)` outcome.
+/// Why a worker failed.
+#[derive(Debug, Clone)]
+pub enum FailureCause {
+    /// The worker's store budget was exhausted.
+    OutOfMemory(OutOfMemory),
+    /// The worker thread panicked, with the rendered panic message.
+    WorkerPanic(String),
+}
+
+impl FailureCause {
+    /// Transient failures may succeed on an identical retry: panics and
+    /// injected faults. A genuine budget exhaustion is deterministic.
+    fn is_transient(&self) -> bool {
+        match self {
+            FailureCause::OutOfMemory(e) => e.is_injected(),
+            FailureCause::WorkerPanic(_) => true,
+        }
+    }
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureCause::OutOfMemory(e) => write!(f, "{e}"),
+            FailureCause::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
+        }
+    }
+}
+
+/// A failed job: some worker failed `after` this long and every rung of the
+/// retry ladder was exhausted (or retry was disabled) — the paper's `OME(n)`
+/// outcome.
 #[derive(Debug, Clone)]
 pub struct JobFailure {
     /// Time from job start to failure.
     pub after: Duration,
-    /// The worker's out-of-memory error.
-    pub cause: OutOfMemory,
+    /// The surviving worker failure.
+    pub cause: FailureCause,
 }
 
 impl fmt::Display for JobFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "OME({:.1}): {}", self.after.as_secs_f64(), self.cause)
+        match &self.cause {
+            FailureCause::OutOfMemory(e) => {
+                write!(f, "OME({:.1}): {}", self.after.as_secs_f64(), e)
+            }
+            FailureCause::WorkerPanic(m) => {
+                write!(f, "FAILED({:.1}): {}", self.after.as_secs_f64(), m)
+            }
+        }
     }
 }
 
 impl Error for JobFailure {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// Splits `items` round-robin into `n` partitions (the paper partitions the
 /// dataset "among the slaves in a round-robin manner").
@@ -110,14 +214,24 @@ pub(crate) fn round_robin<T: Clone>(items: &[T], n: usize) -> Vec<Vec<T>> {
 }
 
 /// Runs one phase: `worker` on each partition concurrently, each with its
-/// own store. Returns per-worker payloads, folding statistics into `stats`.
+/// own store. The closure's last argument is the degrade level — 0 on the
+/// first attempt, incremented each time the phase steps down the ladder;
+/// workers shrink their working granularity by `2^level` (frame bytes for
+/// WC, run length for ES), which is output-neutral for both jobs.
+///
+/// Only the *failed* partitions are retried: completed workers' payloads
+/// are kept (real cluster schedulers reschedule the failed task, not the
+/// job). Payloads come back in partition order regardless of retries, so
+/// order-sensitive consumers (the ES checksum) see deterministic output.
 ///
 /// # Errors
 ///
-/// If any worker runs out of memory the phase fails with [`JobFailure`]
-/// (the JVM on that node "terminates immediately", §4.2).
+/// If a worker failure survives the transient retries and every degrade
+/// rung — or `config.retry.enabled` is off, restoring §4.2's "terminates
+/// immediately" behaviour — the phase fails with [`JobFailure`].
 pub(crate) fn run_phase<I, R, F>(
     config: &ClusterConfig,
+    phase: &str,
     started: Instant,
     partitions: Vec<I>,
     stats: &mut JobStats,
@@ -125,48 +239,119 @@ pub(crate) fn run_phase<I, R, F>(
     worker: F,
 ) -> Result<Vec<R>, JobFailure>
 where
-    I: Send,
+    I: Clone + Send + Sync,
     R: Send,
-    F: Fn(usize, &mut Store, I) -> Result<R, OutOfMemory> + Sync,
+    F: Fn(usize, &mut Store, I, u32) -> Result<R, OutOfMemory> + Sync,
 {
-    let results: Vec<(Result<R, OutOfMemory>, StoreStats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = partitions
-            .into_iter()
-            .enumerate()
-            .map(|(id, input)| {
-                let worker = &worker;
-                let config = &*config;
-                scope.spawn(move || {
-                    let mut store = config.make_store(pool);
-                    let out = worker(id, &mut store, input);
-                    // Hand free pages back before the store drops, so the
-                    // job's next phase inherits them through the pool.
-                    store.release_pages();
-                    (out, store.stats())
+    let policy = &config.retry;
+    let mut level = 0u32;
+    let mut transient_left = policy.transient_retries;
+    let mut backoff_step = 0u32;
+    let mut slots: Vec<Option<R>> = partitions.iter().map(|_| None).collect();
+    let mut pending: Vec<(usize, I)> = partitions.into_iter().enumerate().collect();
+
+    while !pending.is_empty() {
+        type Attempt<R> = (usize, Result<R, FailureCause>, StoreStats);
+        let round: Vec<Attempt<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = pending
+                .iter()
+                .map(|(id, input)| {
+                    let worker = &worker;
+                    let config = &*config;
+                    let (id, input) = (*id, input.clone());
+                    scope.spawn(move || {
+                        let mut store = config.make_store(pool);
+                        let out = match catch_unwind(AssertUnwindSafe(|| {
+                            worker(id, &mut store, input, level)
+                        })) {
+                            Ok(Ok(r)) => Ok(r),
+                            Ok(Err(oom)) => Err(FailureCause::OutOfMemory(oom)),
+                            Err(payload) => Err(FailureCause::WorkerPanic(panic_message(payload))),
+                        };
+                        if out.is_ok() {
+                            // Hand free pages back before the store drops, so
+                            // the job's next phase inherits them through the
+                            // pool. A failed store may hold open iterations;
+                            // dropping it without salvage is always sound.
+                            store.release_pages();
+                        }
+                        (id, out, store.stats())
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let mut payloads = Vec::with_capacity(results.len());
-    let mut failure: Option<OutOfMemory> = None;
-    for (result, worker_stats) in results {
-        stats.absorb(&worker_stats);
-        match result {
-            Ok(r) => payloads.push(r),
-            Err(e) => failure = Some(failure.unwrap_or(e)),
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(i, h)| match h.join() {
+                    Ok(t) => t,
+                    // The thread died outside the catch (e.g. releasing
+                    // pages); treat it like an in-worker panic.
+                    Err(payload) => (
+                        pending[i].0,
+                        Err(FailureCause::WorkerPanic(panic_message(payload))),
+                        StoreStats::default(),
+                    ),
+                })
+                .collect()
+        });
+
+        let mut failed: Option<(usize, FailureCause)> = None;
+        let mut still_pending: Vec<usize> = Vec::new();
+        for (id, result, worker_stats) in round {
+            stats.absorb(&worker_stats);
+            match result {
+                Ok(r) => slots[id] = Some(r),
+                Err(cause) => {
+                    still_pending.push(id);
+                    // Report the lowest failing partition, independent of
+                    // which thread lost the race.
+                    if failed.as_ref().is_none_or(|(fid, _)| id < *fid) {
+                        failed = Some((id, cause));
+                    }
+                }
+            }
         }
-    }
-    match failure {
-        None => Ok(payloads),
-        Some(cause) => Err(JobFailure {
+        pending.retain(|(id, _)| still_pending.contains(id));
+
+        let Some((id, cause)) = failed else {
+            continue;
+        };
+        let fail = |cause: FailureCause| JobFailure {
             after: started.elapsed(),
             cause,
-        }),
+        };
+        if !policy.enabled {
+            return Err(fail(cause));
+        }
+        let unit = format!("{phase} partition {id}");
+        if cause.is_transient() && transient_left > 0 {
+            transient_left -= 1;
+            stats.resilience.record_retry(unit, &cause);
+        } else if level < policy.max_degrade_levels {
+            level += 1;
+            transient_left = policy.transient_retries;
+            stats.resilience.record_degradation(
+                unit,
+                DegradationAction::ShrinkBudget { shrink: level },
+                &cause,
+            );
+        } else {
+            return Err(fail(cause));
+        }
+        let factor = 1u32 << backoff_step.min(16);
+        std::thread::sleep(
+            policy
+                .base_backoff
+                .saturating_mul(factor)
+                .min(policy.max_backoff),
+        );
+        backoff_step += 1;
     }
+
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("loop exits only when no partition is pending"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -192,11 +377,12 @@ mod tests {
         let parts = round_robin(&(0..100).collect::<Vec<_>>(), 4);
         let out = run_phase(
             &config,
+            "test",
             Instant::now(),
             parts,
             &mut stats,
             None,
-            |_, store, xs| {
+            |_, store, xs, _| {
                 let c = store.register_class("T", &[data_store::FieldTy::I64]);
                 for _ in &xs {
                     store.alloc(c)?;
@@ -220,11 +406,12 @@ mod tests {
         let parts = round_robin(&(0..2).collect::<Vec<_>>(), 2);
         let result: Result<Vec<()>, _> = run_phase(
             &config,
+            "test",
             Instant::now(),
             parts,
             &mut stats,
             None,
-            |_, store, _| {
+            |_, store, _, _| {
                 let c = store.register_class("T", &[data_store::FieldTy::I64; 8]);
                 loop {
                     let r = store.alloc(c)?;
@@ -234,17 +421,113 @@ mod tests {
         );
         let failure = result.unwrap_err();
         assert!(failure.to_string().starts_with("OME("), "{failure}");
+        // Deterministic OOM: the phase walked every degrade rung first.
+        assert_eq!(
+            stats.resilience.degradations,
+            u64::from(config.retry.max_degrade_levels)
+        );
+    }
+
+    #[test]
+    fn run_phase_retries_only_failed_partitions_and_degrades() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let config = ClusterConfig {
+            workers: 3,
+            ..ClusterConfig::default()
+        };
+        let mut stats = JobStats::default();
+        let parts = round_robin(&(0..9).collect::<Vec<_>>(), 3);
+        let attempts = AtomicU32::new(0);
+        // Partition 1 needs the phase degraded twice before it succeeds.
+        let out = run_phase(
+            &config,
+            "test",
+            Instant::now(),
+            parts,
+            &mut stats,
+            None,
+            |id, _store, xs, level| {
+                attempts.fetch_add(1, Ordering::SeqCst);
+                if id == 1 && level < 2 {
+                    return Err(OutOfMemory::new(2, 1));
+                }
+                Ok((id, xs.len(), level))
+            },
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3);
+        // Survivors keep their first-attempt payloads, in partition order.
+        assert_eq!(out[0], (0, 3, 0));
+        assert_eq!(out[1], (1, 3, 2));
+        assert_eq!(out[2], (2, 3, 0));
+        assert_eq!(stats.resilience.degradations, 2);
+        // 3 first-round workers + 2 solo retries of partition 1.
+        assert_eq!(attempts.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn run_phase_catches_worker_panics() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let config = ClusterConfig {
+            workers: 2,
+            ..ClusterConfig::default()
+        };
+        let mut stats = JobStats::default();
+        let parts = round_robin(&(0..4).collect::<Vec<_>>(), 2);
+        let armed = AtomicBool::new(true);
+        let out = run_phase(
+            &config,
+            "test",
+            Instant::now(),
+            parts,
+            &mut stats,
+            None,
+            |_, _store, xs: Vec<i32>, _| {
+                if armed.swap(false, Ordering::SeqCst) {
+                    panic!("injected worker panic");
+                }
+                Ok(xs.len())
+            },
+        )
+        .unwrap();
+        assert_eq!(out.iter().sum::<usize>(), 4);
+        assert!(stats.resilience.retries >= 1, "panic recorded as retry");
+    }
+
+    #[test]
+    fn retry_disabled_fails_fast_on_panic() {
+        let mut config = ClusterConfig {
+            workers: 2,
+            ..ClusterConfig::default()
+        };
+        config.retry.enabled = false;
+        let mut stats = JobStats::default();
+        let parts = round_robin(&(0..2).collect::<Vec<_>>(), 2);
+        let result: Result<Vec<()>, _> = run_phase(
+            &config,
+            "test",
+            Instant::now(),
+            parts,
+            &mut stats,
+            None,
+            |_, _store, _, _| panic!("boom"),
+        );
+        let failure = result.unwrap_err();
+        assert!(failure.to_string().starts_with("FAILED("), "{failure}");
+        assert!(failure.to_string().contains("boom"));
     }
 
     #[test]
     fn job_failure_displays_paper_convention() {
         let f = JobFailure {
             after: Duration::from_secs_f64(683.1),
-            cause: OutOfMemory {
-                attempted: 10,
-                budget: 5,
-            },
+            cause: FailureCause::OutOfMemory(OutOfMemory::new(10, 5)),
         };
         assert!(f.to_string().starts_with("OME(683.1)"));
+        let p = JobFailure {
+            after: Duration::from_secs_f64(1.0),
+            cause: FailureCause::WorkerPanic("index out of bounds".into()),
+        };
+        assert!(p.to_string().starts_with("FAILED(1.0)"), "{p}");
     }
 }

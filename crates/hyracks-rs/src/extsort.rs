@@ -29,16 +29,20 @@ impl EsOutput {
 }
 
 /// Builds sorted runs through the record store, spills them, and merges.
+/// `degrade_level` right-shifts the run length: shorter runs hold fewer
+/// live records at once, and the k-way merge makes run partitioning
+/// invisible in the output.
 fn sort_worker(
     store: &mut Store,
     words: Vec<String>,
     budget: usize,
+    degrade_level: u32,
 ) -> Result<Vec<Vec<u8>>, OutOfMemory> {
     let line_class = store.register_class("LineRecord", &[FieldTy::I32, FieldTy::Ref]);
 
     // Run length derived from the memory budget, as the external sort
     // operator sizes its in-memory runs from the frame budget.
-    let run_len = (budget / 96).clamp(16, 1 << 20);
+    let run_len = ((budget / 96) >> degrade_level.min(16)).clamp(16, 1 << 20);
     let mut runs: Vec<Vec<Vec<u8>>> = Vec::new();
 
     let operator = store.iteration_start();
@@ -136,11 +140,12 @@ pub fn run_external_sort(
     let budget = config.per_worker_budget;
     let sorted = run_phase(
         config,
+        "sort",
         started,
         partitions,
         &mut stats,
         pool.as_ref(),
-        |_, store, part| sort_worker(store, part, budget),
+        |_, store, part, level| sort_worker(store, part, budget, level),
     )?;
 
     let mut total = 0u64;
@@ -154,6 +159,12 @@ pub fn run_external_sort(
         }
     }
     stats.elapsed = started.elapsed();
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = &config.fault_plan {
+        // The plan's counter also sees pool-level injections, which no
+        // store's stats record.
+        stats.resilience.faults_injected = plan.faults_injected();
+    }
     Ok(EsOutput {
         total_records: total,
         checksum,
@@ -173,6 +184,7 @@ mod tests {
             backend,
             per_worker_budget: 8 << 20,
             frame_bytes: 4 << 10,
+            ..ClusterConfig::default()
         }
     }
 
@@ -201,7 +213,7 @@ mod tests {
     fn worker_output_is_globally_sorted_per_worker() {
         let words = corpus(&CorpusSpec::new(20_000, 37));
         let mut store = data_store::Store::heap(16 << 20);
-        let sorted = sort_worker(&mut store, words.clone(), 64 << 10).unwrap();
+        let sorted = sort_worker(&mut store, words.clone(), 64 << 10, 0).unwrap();
         assert_eq!(sorted.len(), words.len());
         assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
     }

@@ -33,7 +33,7 @@ pub mod extsort;
 pub mod hashtable;
 pub mod wordcount;
 
-pub use cluster::{ClusterConfig, JobFailure, JobStats};
+pub use cluster::{ClusterConfig, FailureCause, JobFailure, JobStats, RetryPolicy};
 pub use extsort::{EsOutput, run_external_sort};
 pub use metrics::report::Backend;
 pub use wordcount::{WcOutput, run_wordcount};

@@ -115,15 +115,21 @@ pub fn run_wordcount(corpus: &[String], config: &ClusterConfig) -> Result<WcOutp
     let mut stats = JobStats::default();
     let pool = config.job_page_pool();
 
-    // Map phase.
+    // Map phase. A degraded retry halves the frame size per rung: frames
+    // are sub-iteration granularity, invisible in the counts, but smaller
+    // frames mean less transient churn alive at once.
     let partitions = round_robin(corpus, config.workers);
     let map_out = run_phase(
         config,
+        "map",
         started,
         partitions,
         &mut stats,
         pool.as_ref(),
-        |_, store, part| map_worker(store, part, config.frame_bytes),
+        |_, store, part, level| {
+            let frame = (config.frame_bytes >> level.min(16)).max(64);
+            map_worker(store, part, frame)
+        },
     )?;
 
     // Hash shuffle: word → reducer.
@@ -138,11 +144,12 @@ pub fn run_wordcount(corpus: &[String], config: &ClusterConfig) -> Result<WcOutp
     // Reduce phase, reusing the map phase's pages through the pool.
     let reduce_out = run_phase(
         config,
+        "reduce",
         started,
         shuffled,
         &mut stats,
         pool.as_ref(),
-        |_, store, part| reduce_worker(store, part),
+        |_, store, part, _level| reduce_worker(store, part),
     )?;
 
     let mut distinct = 0u64;
@@ -152,6 +159,12 @@ pub fn run_wordcount(corpus: &[String], config: &ClusterConfig) -> Result<WcOutp
         total += part.iter().map(|(_, c)| c).sum::<i64>();
     }
     stats.elapsed = started.elapsed();
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = &config.fault_plan {
+        // The plan's counter also sees pool-level injections, which no
+        // store's stats record.
+        stats.resilience.faults_injected = plan.faults_injected();
+    }
     Ok(WcOutput {
         distinct_words: distinct,
         total_count: total,
@@ -175,6 +188,7 @@ mod tests {
             backend,
             per_worker_budget: budget,
             frame_bytes: 4 << 10,
+            ..ClusterConfig::default()
         }
     }
 

@@ -426,9 +426,9 @@ impl Heap {
             return Ok(a);
         }
         self.collect_full();
-        self.old.bump(size).ok_or(OutOfMemory {
-            attempted: (self.used_bytes() + size) as u64,
-            budget: self.capacity() as u64,
+        self.old.bump(size).ok_or_else(|| {
+            OutOfMemory::new((self.used_bytes() + size) as u64, self.capacity() as u64)
+                .with_context(self.used_bytes() as u64, size as u64, "heap-old-gen")
         })
     }
 

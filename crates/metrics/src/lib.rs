@@ -26,6 +26,7 @@
 
 mod histogram;
 mod memory;
+mod resilience;
 mod stopwatch;
 mod table;
 
@@ -33,5 +34,6 @@ pub mod report;
 
 pub use histogram::DurationHistogram;
 pub use memory::{MemoryTracker, OutOfMemory, format_bytes};
+pub use resilience::{DegradationAction, DegradationEvent, ResilienceReport};
 pub use stopwatch::{PhaseTimer, Stopwatch, phases};
 pub use table::TextTable;

@@ -67,6 +67,10 @@ pub struct RunRecord {
     /// Workload scale (edges processed, bytes of input, ...), for
     /// throughput-style figures.
     pub scale: u64,
+    /// Same-configuration retries the run needed (0 = clean run).
+    pub retries: u64,
+    /// Degradation-ladder steps the run needed (0 = clean run).
+    pub degradations: u64,
     /// Whether the run completed or hit the memory budget.
     pub outcome: Outcome,
 }
@@ -86,6 +90,8 @@ impl RunRecord {
             gc_secs: 0.0,
             peak_bytes: 0,
             scale: 0,
+            retries: 0,
+            degradations: 0,
             outcome: Outcome::Completed,
         }
     }
@@ -145,7 +151,8 @@ mod serde_json {
             s,
             "{{\"experiment\":\"{}\",\"app\":\"{}\",\"dataset\":\"{}\",\"backend\":\"{}\",\
              \"budget_bytes\":{},\"total_secs\":{},\"update_secs\":{},\"load_secs\":{},\
-             \"gc_secs\":{},\"peak_bytes\":{},\"scale\":{},\"outcome\":{}}}",
+             \"gc_secs\":{},\"peak_bytes\":{},\"scale\":{},\"retries\":{},\
+             \"degradations\":{},\"outcome\":{}}}",
             r.experiment,
             r.app,
             r.dataset,
@@ -157,6 +164,8 @@ mod serde_json {
             r.gc_secs,
             r.peak_bytes,
             r.scale,
+            r.retries,
+            r.degradations,
             outcome
         )
         .expect("writing to String cannot fail");
@@ -203,8 +212,12 @@ mod tests {
     fn json_lines_roundtrip_shape() {
         let mut r = RunRecord::new("table3", "WC", "10G", Backend::Facade);
         r.total_secs = 1.5;
+        r.retries = 2;
+        r.degradations = 1;
         let s = to_json_lines(&[r]);
         assert!(s.contains("\"backend\":\"P'\""), "{s}");
         assert!(s.contains("\"total_secs\":1.5"), "{s}");
+        assert!(s.contains("\"retries\":2"), "{s}");
+        assert!(s.contains("\"degradations\":1"), "{s}");
     }
 }

@@ -1,0 +1,180 @@
+//! Failure observability: retries, degradations, and survived faults.
+//!
+//! The engines degrade instead of dying under memory pressure (fewer
+//! threads, smaller per-worker budgets, serial fallback). This module makes
+//! that behaviour observable: every retry and every rung of the degradation
+//! ladder is recorded as a [`DegradationEvent`], and the aggregate counts
+//! travel with the run's [`ResilienceReport`] so robustness shows up in
+//! reports rather than vanishing into a successful exit code.
+
+use std::fmt;
+
+/// What the runtime did in response to one failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradationAction {
+    /// The failed unit was retried at the same configuration (transient
+    /// failures: worker panics, injected faults).
+    Retry,
+    /// The engine dropped to fewer worker threads.
+    ReduceThreads {
+        /// Thread count before the reduction.
+        from: usize,
+        /// Thread count after the reduction.
+        to: usize,
+    },
+    /// The engine shrank the per-worker work budget (subinterval size,
+    /// frame bytes, run length) by `2^shrink`.
+    ShrinkBudget {
+        /// Cumulative right-shift applied to the budget.
+        shrink: u32,
+    },
+}
+
+impl fmt::Display for DegradationAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationAction::Retry => write!(f, "retry"),
+            DegradationAction::ReduceThreads { from, to } => {
+                write!(f, "reduce threads {from} -> {to}")
+            }
+            DegradationAction::ShrinkBudget { shrink } => {
+                write!(f, "shrink budget by 2^{shrink}")
+            }
+        }
+    }
+}
+
+/// One recorded failure response: where it happened, what failed, and what
+/// the runtime did about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// The failing unit of work, e.g. `"interval 3"` or `"map partition 1"`.
+    pub phase: String,
+    /// The action taken in response.
+    pub action: DegradationAction,
+    /// Human-readable cause (the rendered error).
+    pub cause: String,
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} ({})", self.phase, self.action, self.cause)
+    }
+}
+
+/// Aggregate failure-handling record for one run.
+///
+/// A clean run has all counters at zero; a run that survived pressure shows
+/// how much ladder it consumed. Merging combines reports from phases of the
+/// same job.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Same-configuration retries (transient failures).
+    pub retries: u64,
+    /// Ladder steps taken (thread reductions + budget shrinks).
+    pub degradations: u64,
+    /// Faults the harness injected that the run nonetheless survived.
+    pub faults_injected: u64,
+    /// The individual events, in order of occurrence.
+    pub events: Vec<DegradationEvent>,
+}
+
+impl ResilienceReport {
+    /// Records a same-rung retry.
+    pub fn record_retry(&mut self, phase: impl Into<String>, cause: impl fmt::Display) {
+        self.retries += 1;
+        self.events.push(DegradationEvent {
+            phase: phase.into(),
+            action: DegradationAction::Retry,
+            cause: cause.to_string(),
+        });
+    }
+
+    /// Records a ladder step.
+    pub fn record_degradation(
+        &mut self,
+        phase: impl Into<String>,
+        action: DegradationAction,
+        cause: impl fmt::Display,
+    ) {
+        self.degradations += 1;
+        self.events.push(DegradationEvent {
+            phase: phase.into(),
+            action,
+            cause: cause.to_string(),
+        });
+    }
+
+    /// Folds another report into this one (e.g. per-phase reports of a job).
+    pub fn merge(&mut self, other: &ResilienceReport) {
+        self.retries += other.retries;
+        self.degradations += other.degradations;
+        self.faults_injected += other.faults_injected;
+        self.events.extend(other.events.iter().cloned());
+    }
+
+    /// Whether the run needed any failure handling at all.
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0 && self.degradations == 0 && self.faults_injected == 0
+    }
+}
+
+impl fmt::Display for ResilienceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retries {}, degradations {}, faults injected {}",
+            self.retries, self.degradations, self.faults_injected
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_is_clean() {
+        assert!(ResilienceReport::default().is_clean());
+    }
+
+    #[test]
+    fn recording_updates_counters_and_events() {
+        let mut r = ResilienceReport::default();
+        r.record_retry("interval 0", "worker panicked");
+        r.record_degradation(
+            "interval 0",
+            DegradationAction::ReduceThreads { from: 4, to: 1 },
+            "out of memory",
+        );
+        r.record_degradation(
+            "interval 0",
+            DegradationAction::ShrinkBudget { shrink: 2 },
+            "out of memory",
+        );
+        assert_eq!(r.retries, 1);
+        assert_eq!(r.degradations, 2);
+        assert_eq!(r.events.len(), 3);
+        assert!(!r.is_clean());
+        let text = r.events[1].to_string();
+        assert!(text.contains("reduce threads 4 -> 1"), "{text}");
+    }
+
+    #[test]
+    fn merge_sums_counts_and_concatenates_events() {
+        let mut a = ResilienceReport::default();
+        a.record_retry("map partition 0", "injected fault");
+        a.faults_injected = 3;
+        let mut b = ResilienceReport::default();
+        b.record_degradation(
+            "interval 1",
+            DegradationAction::ShrinkBudget { shrink: 1 },
+            "oom",
+        );
+        a.merge(&b);
+        assert_eq!(a.retries, 1);
+        assert_eq!(a.degradations, 1);
+        assert_eq!(a.faults_injected, 3);
+        assert_eq!(a.events.len(), 2);
+    }
+}

@@ -23,6 +23,7 @@ fn main() {
             backend,
             per_worker_budget: 8 << 20,
             frame_bytes: 32 << 10,
+            ..ClusterConfig::default()
         };
         let out = run_wordcount(&words, &config).expect("run completes");
         println!(
@@ -46,6 +47,7 @@ fn main() {
             backend,
             per_worker_budget: 512 << 10,
             frame_bytes: 32 << 10,
+            ..ClusterConfig::default()
         };
         match run_wordcount(&words, &config) {
             Ok(out) => println!(

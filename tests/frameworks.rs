@@ -125,6 +125,7 @@ fn wordcount_matches_hashmap_oracle() {
                 backend,
                 per_worker_budget: 32 << 20,
                 frame_bytes: 8 << 10,
+                ..ClusterConfig::default()
             },
         )
         .unwrap();
@@ -144,6 +145,7 @@ fn external_sort_matches_std_sort() {
             backend: Backend::Heap,
             per_worker_budget: 8 << 20,
             frame_bytes: 8 << 10,
+            ..ClusterConfig::default()
         },
     )
     .unwrap();
@@ -154,6 +156,7 @@ fn external_sort_matches_std_sort() {
             backend: Backend::Facade,
             per_worker_budget: 8 << 20,
             frame_bytes: 8 << 10,
+            ..ClusterConfig::default()
         },
     )
     .unwrap();
@@ -201,6 +204,7 @@ fn budget_ordering_facade_completes_at_least_as_much_as_heap() {
             backend,
             per_worker_budget: budget,
             frame_bytes: 8 << 10,
+            ..ClusterConfig::default()
         };
         let heap_ok = run_wordcount(&words, &mk(Backend::Heap)).is_ok();
         let facade_ok = run_wordcount(&words, &mk(Backend::Facade)).is_ok();
