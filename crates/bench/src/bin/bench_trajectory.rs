@@ -10,7 +10,7 @@
 //! `FACADE_BENCH_OUT` overrides the output path.
 
 use datagen::{Graph, GraphSpec};
-use facade_bench::{mem_unit, scale, secs, speedup};
+use facade_bench::{export_trace, mem_unit, scale, secs, speedup};
 use graphchi_rs::{Backend, Engine, EngineConfig, PageRank, RunOutcome};
 use metrics::TextTable;
 use metrics::phases;
@@ -109,6 +109,11 @@ fn main() {
     }
     println!("{table}");
 
+    // Span summary of the whole sweep; the full Chrome trace goes to
+    // target/experiments/trajectory_trace.json (empty without the
+    // `tracing` feature).
+    let trace = export_trace("trajectory");
+
     let json = format!(
         concat!(
             "{{\n",
@@ -122,7 +127,8 @@ fn main() {
             "  \"intervals\": 20,\n",
             "  \"host_cpus\": {},\n",
             "  \"bit_identical_across_threads\": true,\n",
-            "  \"runs\": [\n{}\n  ]\n",
+            "  \"runs\": [\n{}\n  ],\n",
+            "  \"trace\": {}\n",
             "}}\n"
         ),
         scale,
@@ -131,6 +137,7 @@ fn main() {
         budget,
         std::thread::available_parallelism().map_or(1, |n| n.get()),
         runs_json.join(",\n"),
+        trace,
     );
     let path = std::env::var("FACADE_BENCH_OUT").unwrap_or_else(|_| "BENCH_graphchi.json".into());
     std::fs::write(&path, json).expect("write benchmark output");

@@ -8,7 +8,7 @@
 //! budget-independent while `P`'s tracks the budget.
 
 use datagen::{Graph, GraphSpec};
-use facade_bench::{mem_unit, mib, scale, secs, threads, write_records};
+use facade_bench::{export_trace, mem_unit, mib, scale, secs, threads, write_records};
 use graphchi_rs::{Backend, ConnectedComponents, Engine, EngineConfig, PageRank, VertexProgram};
 use metrics::TextTable;
 use metrics::phases;
@@ -82,6 +82,10 @@ fn main() {
     }
     println!("{table}");
     write_records("table2", &records);
+    // Chrome trace of the whole sweep (GC pauses, pool traffic, engine
+    // phases) — open target/experiments/table2_trace.json in Perfetto.
+    // Empty unless built with `--features tracing`.
+    export_trace("table2");
 
     // Shape summary, as the paper reports.
     summarize(&records);

@@ -70,6 +70,27 @@ pub fn write_records(name: &str, records: &[RunRecord]) {
     }
 }
 
+/// Drains the process-wide trace buffers and exports them twice: a Chrome
+/// `trace_event` file at `target/experiments/{name}_trace.json` (load it at
+/// `chrome://tracing` or <https://ui.perfetto.dev>) and a returned
+/// per-span-name summary as a JSON object string, ready to embed in a
+/// bench report under a `"trace"` key.
+///
+/// With tracing disabled (the default build) the buffers are empty: the
+/// file records zero events and the summary is `{"events": 0, ...}`.
+/// Build the bench binaries with `--features tracing` to capture spans.
+pub fn export_trace(name: &str) -> String {
+    let events = facade_trace::drain();
+    let summary = facade_trace::summary::summarize(&events).to_json();
+    let dir = PathBuf::from("target/experiments");
+    if fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}_trace.json"));
+        let _ = fs::write(&path, facade_trace::chrome::render(&events));
+        eprintln!("wrote {} ({} events)", path.display(), events.len());
+    }
+    summary
+}
+
 /// Percentage reduction from `before` to `after` (positive = improvement).
 pub fn reduction_pct(before: f64, after: f64) -> f64 {
     if before > 0.0 {

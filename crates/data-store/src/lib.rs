@@ -40,6 +40,7 @@ use facade_runtime::{
     ElemKind as PElem, FieldKind as PField, PageRef, PagedHeap, PagedHeapConfig, TypeId,
 };
 pub use facade_runtime::{PagePool, PagePoolConfig};
+pub use managed_heap::{AllocSiteStat, PauseRecord, merge_site_profiles};
 use managed_heap::{
     ClassId as HClassId, ElemKind as HElem, FieldKind as HField, Heap, HeapConfig, ObjRef, RootId,
 };
@@ -589,6 +590,37 @@ impl Store {
         }
     }
 
+    // ----- observability -----------------------------------------------------
+
+    /// Sets the current *allocation site* on the heap backend: subsequent
+    /// allocations are attributed to `site` in the profile returned by
+    /// [`Store::alloc_site_profile`]. Engines call this at phase boundaries
+    /// (degree pass, load, update) with phase-specific ids. A no-op on the
+    /// facade backend, whose pages are not attributed per site.
+    pub fn set_alloc_site(&mut self, site: u32) {
+        if let Inner::Heap { heap, .. } = &mut self.inner {
+            heap.set_alloc_site(site);
+        }
+    }
+
+    /// The allocation-site profile accumulated by the heap backend, sorted
+    /// by site id; empty on the facade backend.
+    pub fn alloc_site_profile(&self) -> Vec<AllocSiteStat> {
+        match &self.inner {
+            Inner::Heap { heap, .. } => heap.alloc_site_profile(),
+            Inner::Facade { .. } => Vec::new(),
+        }
+    }
+
+    /// Per-collection pause records from the heap backend (bounded; see
+    /// [`managed_heap::GcStats::MAX_PAUSE_RECORDS`]); empty on facade.
+    pub fn pause_records(&self) -> Vec<PauseRecord> {
+        match &self.inner {
+            Inner::Heap { heap, .. } => heap.stats().pause_records.iter().copied().collect(),
+            Inner::Facade { .. } => Vec::new(),
+        }
+    }
+
     /// Surrenders this store's free pages to the shared [`PagePool`] so
     /// other workers can adopt them. Returns the number of pages released;
     /// a no-op (returning 0) on the heap backend or when the store was not
@@ -820,6 +852,27 @@ mod tests {
         plain.alloc(c).unwrap();
         assert_eq!(plain.release_pages(), 0);
         assert_eq!(Store::heap(8 << 20).release_pages(), 0);
+    }
+
+    #[test]
+    fn alloc_sites_and_pause_records_pass_through() {
+        let mut h = Store::heap(1 << 20);
+        let c = h.register_class("T", &[FieldTy::I64]);
+        h.set_alloc_site(2);
+        h.alloc(c).unwrap();
+        h.collect();
+        let profile = h.alloc_site_profile();
+        assert_eq!(profile.len(), 1);
+        assert_eq!((profile[0].site, profile[0].allocations), (2, 1));
+        assert_eq!(h.pause_records().len(), 1, "one record per collection");
+
+        // Facade backend: both are empty no-ops.
+        let mut f = Store::facade(1 << 20);
+        let c = f.register_class("T", &[FieldTy::I64]);
+        f.set_alloc_site(2);
+        f.alloc(c).unwrap();
+        assert!(f.alloc_site_profile().is_empty());
+        assert!(f.pause_records().is_empty());
     }
 
     #[test]

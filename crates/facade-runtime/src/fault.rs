@@ -62,7 +62,7 @@ struct Inner {
 }
 
 /// A deterministic fault schedule, shared (via clone) across every heap and
-/// pool of a run. See the [module docs](self) for the fault modes.
+/// pool of a run. See the `fault` module docs for the fault modes.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     inner: Arc<Inner>,
@@ -92,6 +92,10 @@ impl FaultPlan {
         let this = self.inner.allocations.fetch_add(1, Ordering::Relaxed) + 1;
         if this == n {
             self.inner.injected.fetch_add(1, Ordering::Relaxed);
+            facade_trace::instant(
+                "fault_injected",
+                &[("kind", "allocation".into()), ("nth", this.into())],
+            );
             true
         } else {
             false
@@ -108,6 +112,10 @@ impl FaultPlan {
         let draw = self.inner.draws.fetch_add(1, Ordering::Relaxed);
         if splitmix64(self.inner.seed ^ draw) % 1_000_000 < u64::from(ppm) {
             self.inner.injected.fetch_add(1, Ordering::Relaxed);
+            facade_trace::instant(
+                "fault_injected",
+                &[("kind", "pool_acquire".into()), ("draw", draw.into())],
+            );
             true
         } else {
             false

@@ -54,6 +54,6 @@ pub use layout::{ElemKind, FieldKind, RecordLayout, TypeId};
 pub use locks::{LockPool, LockPoolConfig};
 pub use metrics::OutOfMemory;
 pub use page::{PAGE_BYTES, PAGE_CAPACITY, PageRef};
-pub use pool::{POOL_BATCH, PagePool, PagePoolConfig, PooledPage};
+pub use pool::{POOL_BATCH, PagePool, PagePoolConfig, PoolCounters, PooledPage};
 pub use pools::{Facade, FacadePools, PoolBounds};
 pub use stats::NativeStats;

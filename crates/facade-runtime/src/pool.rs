@@ -18,6 +18,7 @@
 use crate::page::{PAGE_BYTES, PAGE_RESERVED};
 use std::sync::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// How many pages a heap pulls from / pushes to the pool per shard visit.
 pub const POOL_BATCH: usize = 8;
@@ -88,9 +89,76 @@ pub struct PagePool {
     cursor: AtomicUsize,
     handed_out: AtomicU64,
     returned: AtomicU64,
+    /// Pages currently in the pool, tracked lock-free so the occupancy
+    /// high-water mark can be maintained without visiting every shard.
+    in_pool: AtomicU64,
+    occupancy_hwm: AtomicU64,
+    acquire_calls: AtomicU64,
+    acquire_ns_total: AtomicU64,
+    acquire_ns_max: AtomicU64,
+    release_calls: AtomicU64,
+    release_ns_total: AtomicU64,
+    release_ns_max: AtomicU64,
     /// Installed fault schedule; consulted on every batch acquire.
     #[cfg(feature = "fault-injection")]
     fault: Mutex<Option<crate::fault::FaultPlan>>,
+}
+
+/// Observability snapshot of a [`PagePool`]: traffic totals, batch-call
+/// latencies, and the occupancy high-water mark. Taken with
+/// [`PagePool::counters`]; all counters are monotonic over the pool's
+/// lifetime.
+///
+/// # Examples
+///
+/// ```
+/// use facade_runtime::{PagePool, PooledPage};
+///
+/// let pool = PagePool::with_default_config();
+/// pool.release_batch(vec![PooledPage::new(), PooledPage::new()]);
+/// pool.acquire_batch(1);
+/// let c = pool.counters();
+/// assert_eq!(c.pages_returned, 2);
+/// assert_eq!(c.pages_handed_out, 1);
+/// assert_eq!(c.occupancy_hwm, 2); // both pages sat in the pool at once
+/// assert!(c.release_calls == 1 && c.acquire_calls == 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Total pages ever handed out by [`PagePool::acquire_batch`].
+    pub pages_handed_out: u64,
+    /// Total pages ever accepted by [`PagePool::release_batch`].
+    pub pages_returned: u64,
+    /// Most pages ever sitting in the pool at once.
+    pub occupancy_hwm: u64,
+    /// Number of batch-acquire calls (including empty-handed ones).
+    pub acquire_calls: u64,
+    /// Total nanoseconds spent inside batch acquires.
+    pub acquire_ns_total: u64,
+    /// Slowest single batch acquire, in nanoseconds.
+    pub acquire_ns_max: u64,
+    /// Number of non-empty batch-release calls.
+    pub release_calls: u64,
+    /// Total nanoseconds spent inside batch releases.
+    pub release_ns_total: u64,
+    /// Slowest single batch release, in nanoseconds.
+    pub release_ns_max: u64,
+}
+
+impl PoolCounters {
+    /// Mean batch-acquire latency in nanoseconds (0 if no calls yet).
+    pub fn mean_acquire_ns(&self) -> u64 {
+        self.acquire_ns_total
+            .checked_div(self.acquire_calls)
+            .unwrap_or(0)
+    }
+
+    /// Mean batch-release latency in nanoseconds (0 if no calls yet).
+    pub fn mean_release_ns(&self) -> u64 {
+        self.release_ns_total
+            .checked_div(self.release_calls)
+            .unwrap_or(0)
+    }
 }
 
 impl PagePool {
@@ -106,6 +174,14 @@ impl PagePool {
             cursor: AtomicUsize::new(0),
             handed_out: AtomicU64::new(0),
             returned: AtomicU64::new(0),
+            in_pool: AtomicU64::new(0),
+            occupancy_hwm: AtomicU64::new(0),
+            acquire_calls: AtomicU64::new(0),
+            acquire_ns_total: AtomicU64::new(0),
+            acquire_ns_max: AtomicU64::new(0),
+            release_calls: AtomicU64::new(0),
+            release_ns_total: AtomicU64::new(0),
+            release_ns_max: AtomicU64::new(0),
             #[cfg(feature = "fault-injection")]
             fault: Mutex::new(None),
         }
@@ -137,11 +213,13 @@ impl PagePool {
     /// Takes up to `max` pages from the pool (possibly fewer, possibly none
     /// — the caller falls back to creating fresh pages).
     pub fn acquire_batch(&self, max: usize) -> Vec<PooledPage> {
+        let timed = Instant::now();
         #[cfg(feature = "fault-injection")]
         {
             let fault = self.fault.lock().unwrap_or_else(|p| p.into_inner());
             if let Some(plan) = fault.as_ref() {
                 if plan.should_fail_pool_acquire() {
+                    self.note_acquire(timed, 0);
                     return Vec::new();
                 }
             }
@@ -163,7 +241,24 @@ impl PagePool {
         }
         self.handed_out
             .fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.note_acquire(timed, out.len());
         out
+    }
+
+    fn note_acquire(&self, timed: Instant, pages: usize) {
+        if pages > 0 {
+            // `in_pool` may transiently read low under concurrent releases;
+            // that only ever under-reports the high-water mark.
+            let taken = (pages as u64).min(self.in_pool.load(Ordering::Relaxed));
+            self.in_pool.fetch_sub(taken, Ordering::Relaxed);
+        }
+        let ns = u64::try_from(timed.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.acquire_calls.fetch_add(1, Ordering::Relaxed);
+        self.acquire_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.acquire_ns_max.fetch_max(ns, Ordering::Relaxed);
+        if pages > 0 {
+            facade_trace::complete("pool_acquire", timed, &[("pages", pages.into())]);
+        }
     }
 
     /// Returns pages to the pool for other threads to reuse.
@@ -171,12 +266,21 @@ impl PagePool {
         if pages.is_empty() {
             return;
         }
-        self.returned
-            .fetch_add(pages.len() as u64, Ordering::Relaxed);
+        let timed = Instant::now();
+        let count = pages.len() as u64;
+        self.returned.fetch_add(count, Ordering::Relaxed);
+        let now_in_pool = self.in_pool.fetch_add(count, Ordering::Relaxed) + count;
+        self.occupancy_hwm.fetch_max(now_in_pool, Ordering::Relaxed);
         let n = self.shards.len();
         let start = self.cursor.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard_guard(start % n);
         shard.extend(pages);
+        drop(shard);
+        let ns = u64::try_from(timed.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.release_calls.fetch_add(1, Ordering::Relaxed);
+        self.release_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.release_ns_max.fetch_max(ns, Ordering::Relaxed);
+        facade_trace::complete("pool_release", timed, &[("pages", count.into())]);
     }
 
     /// Pages currently sitting in the pool, ready to hand out.
@@ -194,6 +298,22 @@ impl PagePool {
     /// Total pages ever accepted by [`PagePool::release_batch`].
     pub fn pages_returned(&self) -> u64 {
         self.returned.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots the pool's observability counters (traffic, latency,
+    /// occupancy high-water mark). See [`PoolCounters`].
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters {
+            pages_handed_out: self.handed_out.load(Ordering::Relaxed),
+            pages_returned: self.returned.load(Ordering::Relaxed),
+            occupancy_hwm: self.occupancy_hwm.load(Ordering::Relaxed),
+            acquire_calls: self.acquire_calls.load(Ordering::Relaxed),
+            acquire_ns_total: self.acquire_ns_total.load(Ordering::Relaxed),
+            acquire_ns_max: self.acquire_ns_max.load(Ordering::Relaxed),
+            release_calls: self.release_calls.load(Ordering::Relaxed),
+            release_ns_total: self.release_ns_total.load(Ordering::Relaxed),
+            release_ns_max: self.release_ns_max.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -236,6 +356,25 @@ mod tests {
         let got = pool.acquire_batch(10);
         assert_eq!(got.len(), 10);
         assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn counters_track_latency_and_occupancy_hwm() {
+        let pool = PagePool::new(PagePoolConfig { shards: 2 });
+        pool.release_batch((0..6).map(|_| PooledPage::new()).collect());
+        pool.release_batch(vec![PooledPage::new()]); // peak: 7 in pool
+        let got = pool.acquire_batch(5);
+        assert_eq!(got.len(), 5);
+        pool.release_batch(got); // back to 7, not a new peak
+        let c = pool.counters();
+        assert_eq!(c.occupancy_hwm, 7);
+        assert_eq!(c.pages_handed_out, 5);
+        assert_eq!(c.pages_returned, 12);
+        assert_eq!(c.acquire_calls, 1);
+        assert_eq!(c.release_calls, 3);
+        assert!(c.acquire_ns_total > 0 && c.release_ns_total > 0);
+        assert!(c.acquire_ns_max <= c.acquire_ns_total);
+        assert!(c.mean_release_ns() <= c.release_ns_max);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Chrome `trace_event` export.
+//!
+//! [`render`] serializes a drained timeline into the JSON Object Format of
+//! the Chrome trace-event specification: a top-level object with a
+//! `traceEvents` array. The file loads directly in `chrome://tracing` and
+//! in Perfetto (<https://ui.perfetto.dev>, *Open trace file*).
+//!
+//! Spans become complete events (`"ph": "X"`) with microsecond `ts`/`dur`,
+//! instants become thread-scoped instant events (`"ph": "i"`), and counters
+//! become counter events (`"ph": "C"`). All events share `pid` 1; the `tid`
+//! is the dense thread id assigned by the recorder, so each worker thread
+//! renders as its own track.
+//!
+//! ```
+//! let _span = facade_trace::span!("render_me");
+//! drop(_span);
+//! let json = facade_trace::chrome::render(&facade_trace::drain());
+//! assert!(json.starts_with("{\"traceEvents\":["));
+//! assert!(json.ends_with("]}\n"));
+//! ```
+
+use crate::{ArgValue, EventKind, TraceEvent};
+use std::fmt::Write as _;
+
+/// Renders events (as returned by [`crate::drain`]) to Chrome trace JSON.
+pub fn render(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 32);
+    out.push_str("{\"traceEvents\":[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":");
+        write_json_string(&mut out, event.name);
+        let _ = write!(out, ",\"pid\":1,\"tid\":{}", event.tid);
+        let _ = write!(out, ",\"ts\":{}", Micros(event.ts_ns));
+        match event.kind {
+            EventKind::Span { dur_ns } => {
+                let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", Micros(dur_ns));
+                write_args(&mut out, &event.args);
+            }
+            EventKind::Instant => {
+                out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+                write_args(&mut out, &event.args);
+            }
+            EventKind::Counter { value } => {
+                let _ = write!(out, ",\"ph\":\"C\",\"args\":{{\"value\":{}}}", Num(value));
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Nanoseconds rendered as microseconds with fractional precision, the unit
+/// the trace-event format expects for `ts` and `dur`.
+struct Micros(u64);
+
+impl std::fmt::Display for Micros {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let whole = self.0 / 1_000;
+        let frac = self.0 % 1_000;
+        if frac == 0 {
+            write!(f, "{whole}")
+        } else {
+            write!(f, "{whole}.{frac:03}")
+        }
+    }
+}
+
+/// A finite JSON number; non-finite floats degrade to 0 (JSON has no NaN).
+struct Num(f64);
+
+impl std::fmt::Display for Num {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_finite() {
+            write!(f, "{}", self.0)
+        } else {
+            write!(f, "0")
+        }
+    }
+}
+
+fn write_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    if args.is_empty() {
+        return;
+    }
+    out.push_str(",\"args\":{");
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(out, key);
+        out.push(':');
+        match value {
+            ArgValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::Float(v) => {
+                let _ = write!(out, "{}", Num(*v));
+            }
+            ArgValue::Str(v) => write_json_string(out, v),
+            ArgValue::Text(v) => write_json_string(out, v),
+        }
+    }
+    out.push('}');
+}
+
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, tid: u64, ts_ns: u64, dur_ns: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            tid,
+            ts_ns,
+            kind: EventKind::Span { dur_ns },
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn renders_complete_events_in_microseconds() {
+        let mut ev = span("gc_minor", 1, 1_500, 2_000_000);
+        ev.args = vec![("promoted_bytes", ArgValue::UInt(4096))];
+        let json = render(&[ev]);
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"ts\":1.500"), "{json}");
+        assert!(json.contains("\"dur\":2000"), "{json}");
+        assert!(
+            json.contains("\"args\":{\"promoted_bytes\":4096}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn renders_instants_and_counters() {
+        let events = vec![
+            TraceEvent {
+                name: "fault_injected",
+                tid: 2,
+                ts_ns: 0,
+                kind: EventKind::Instant,
+                args: vec![("kind", ArgValue::Str("pool_acquire"))],
+            },
+            TraceEvent {
+                name: "pool_occupancy",
+                tid: 2,
+                ts_ns: 10,
+                kind: EventKind::Counter { value: 12.0 },
+                args: Vec::new(),
+            },
+        ];
+        let json = render(&events);
+        assert!(json.contains("\"ph\":\"i\",\"s\":\"t\""), "{json}");
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"args\":{\"value\":12}"), "{json}");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut ev = span("weird", 1, 0, 1);
+        ev.args = vec![("cause", ArgValue::Text("a \"quote\"\nnewline".into()))];
+        let json = render(&[ev]);
+        assert!(json.contains(r#""cause":"a \"quote\"\nnewline""#), "{json}");
+    }
+
+    #[test]
+    fn empty_timeline_is_valid_json() {
+        assert_eq!(render(&[]), "{\"traceEvents\":[]}\n");
+    }
+}

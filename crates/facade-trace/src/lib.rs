@@ -1,0 +1,558 @@
+//! Lightweight structured tracing for the facade-rs stack.
+//!
+//! Every layer of the reproduction — the generational heap, the page pool,
+//! the frameworks — emits *spans* (named durations) and *instants* (named
+//! points in time) through this crate. Recording goes to per-thread buffers
+//! guarded by uncontended mutexes; a drain collects every thread's events
+//! into one timeline. Timestamps are monotonic nanoseconds measured from a
+//! process-wide epoch that is pinned by the first event, so events recorded
+//! on different threads order correctly.
+//!
+//! # Feature gate
+//!
+//! The crate compiles to **no-ops unless the `enabled` cargo feature is on**
+//! (workspace crates forward their `tracing` feature here). Call sites stay
+//! unconditional — `facade_trace::span!(..)` is free when disabled because
+//! every function body is empty and `#[inline]`.
+//!
+//! # Usage
+//!
+//! ```
+//! // A span measures the lifetime of its guard.
+//! {
+//!     let _span = facade_trace::span!("exec_interval", shard = 3usize);
+//!     // ... work ...
+//! } // guard drops, span is recorded
+//!
+//! facade_trace::instant("fault_injected", &[("kind", "pool_acquire".into())]);
+//!
+//! let events = facade_trace::drain();
+//! if facade_trace::is_enabled() {
+//!     assert!(events.iter().any(|e| e.name == "exec_interval"));
+//! }
+//! ```
+//!
+//! # Export
+//!
+//! [`chrome::render`] turns a drained timeline into Chrome `trace_event`
+//! JSON (load it at `chrome://tracing` or <https://ui.perfetto.dev>);
+//! [`summary::summarize`] folds it into per-span aggregate statistics for
+//! embedding in `BENCH_*.json` reports. See `docs/OBSERVABILITY.md`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+pub mod summary;
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "enabled")]
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// One argument value attached to a span or instant event.
+///
+/// Constructed via `From` impls so call sites can write `("shard", 3.into())`
+/// or use the [`span!`] macro's `key = value` sugar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Signed integer argument.
+    Int(i64),
+    /// Unsigned integer argument.
+    UInt(u64),
+    /// Floating-point argument.
+    Float(f64),
+    /// Static string argument (no allocation).
+    Str(&'static str),
+    /// Owned string argument.
+    Text(String),
+}
+
+macro_rules! arg_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for ArgValue {
+            fn from(v: $t) -> Self {
+                ArgValue::UInt(v as u64)
+            }
+        }
+    )*};
+}
+macro_rules! arg_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for ArgValue {
+            fn from(v: $t) -> Self {
+                ArgValue::Int(v as i64)
+            }
+        }
+    )*};
+}
+arg_from_uint!(u8, u16, u32, u64, usize);
+arg_from_int!(i8, i16, i32, i64, isize);
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Float(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::UInt(v as u64)
+    }
+}
+impl From<&'static str> for ArgValue {
+    fn from(v: &'static str) -> Self {
+        ArgValue::Str(v)
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Text(v)
+    }
+}
+
+/// What kind of event a [`TraceEvent`] is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A completed span: a named duration starting at `ts_ns`.
+    Span {
+        /// Span duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A point event with no duration (fault injections, ladder steps).
+    Instant,
+    /// A sampled counter value (pool occupancy, live bytes).
+    Counter {
+        /// The sampled value.
+        value: f64,
+    },
+}
+
+/// One recorded event, as returned by [`drain`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name; shared by every occurrence of the same span.
+    pub name: &'static str,
+    /// Small dense id of the recording thread (1-based, assigned on first
+    /// event per thread; stable for the thread's lifetime). Ids of exited
+    /// threads are reused, so an engine spawning short-lived workers per
+    /// interval maps onto a handful of trace tracks instead of thousands;
+    /// a reusing thread starts strictly after the previous owner exited,
+    /// so the shared track stays time-disjoint.
+    pub tid: u64,
+    /// Start time in nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// Span, instant, or counter payload.
+    pub kind: EventKind,
+    /// Key/value arguments attached at the call site.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// RAII guard returned by [`span()`]/[`span_with`]; recording happens when it
+/// drops. Bind it (`let _span = ...`) for the region you want timed —
+/// `let _ = ...` drops immediately and records a zero-length span.
+#[must_use = "a span measures the lifetime of its guard; bind it with `let _span = ...`"]
+pub struct SpanGuard {
+    #[cfg(feature = "enabled")]
+    active: Option<ActiveSpan>,
+}
+
+#[cfg(feature = "enabled")]
+struct ActiveSpan {
+    name: &'static str,
+    start_ns: u64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some(active) = self.active.take() {
+            let dur_ns = now_ns().saturating_sub(active.start_ns);
+            push(TraceEvent {
+                name: active.name,
+                tid: thread_id(),
+                ts_ns: active.start_ns,
+                kind: EventKind::Span { dur_ns },
+                args: active.args,
+            });
+        }
+    }
+}
+
+/// Whether recording is compiled in (the `enabled` cargo feature).
+#[inline]
+pub const fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// Starts a span with no arguments; the returned guard records it on drop.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, &[])
+}
+
+/// Starts a span with arguments; the returned guard records it on drop.
+///
+/// Prefer the [`span!`] macro, which builds the argument slice for you.
+#[inline]
+pub fn span_with(name: &'static str, args: &[(&'static str, ArgValue)]) -> SpanGuard {
+    #[cfg(feature = "enabled")]
+    {
+        SpanGuard {
+            active: Some(ActiveSpan {
+                name,
+                start_ns: now_ns(),
+                args: args.to_vec(),
+            }),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (name, args);
+        SpanGuard {}
+    }
+}
+
+/// Records a span retroactively from an [`Instant`] captured earlier.
+///
+/// For code that already times itself (the GC keeps its own `start`), this
+/// avoids a guard: call it once at the end with the original start time.
+#[inline]
+pub fn complete(name: &'static str, started: Instant, args: &[(&'static str, ArgValue)]) {
+    #[cfg(feature = "enabled")]
+    {
+        let dur_ns = saturating_ns(started.elapsed().as_nanos());
+        let ts_ns = now_ns().saturating_sub(dur_ns);
+        push(TraceEvent {
+            name,
+            tid: thread_id(),
+            ts_ns,
+            kind: EventKind::Span { dur_ns },
+            args: args.to_vec(),
+        });
+    }
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, started, args);
+}
+
+/// Records a point event (a fault injection, a degradation-ladder step).
+#[inline]
+pub fn instant(name: &'static str, args: &[(&'static str, ArgValue)]) {
+    #[cfg(feature = "enabled")]
+    push(TraceEvent {
+        name,
+        tid: thread_id(),
+        ts_ns: now_ns(),
+        kind: EventKind::Instant,
+        args: args.to_vec(),
+    });
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, args);
+}
+
+/// Records a sampled counter value under `name` (rendered as a counter
+/// track in Perfetto).
+#[inline]
+pub fn counter(name: &'static str, value: f64) {
+    #[cfg(feature = "enabled")]
+    push(TraceEvent {
+        name,
+        tid: thread_id(),
+        ts_ns: now_ns(),
+        kind: EventKind::Counter { value },
+        args: Vec::new(),
+    });
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, value);
+}
+
+/// Collects every thread's buffered events into one timeline sorted by
+/// start time, emptying the buffers. Returns an empty vec when recording is
+/// disabled. Threads may keep recording afterwards; only events already
+/// buffered are taken.
+pub fn drain() -> Vec<TraceEvent> {
+    #[cfg(feature = "enabled")]
+    {
+        let mut registry = registry().lock().expect("trace registry poisoned");
+        let mut events = Vec::new();
+        for buffer in registry.iter() {
+            let mut local = buffer.events.lock().expect("trace buffer poisoned");
+            events.append(&mut local);
+        }
+        // Buffers of exited threads (the registry holds the only reference)
+        // are now empty and will never fill again; drop them so a long run
+        // spawning many short-lived workers keeps the registry bounded.
+        registry.retain(|b| Arc::strong_count(b) > 1);
+        drop(registry);
+        events.sort_by_key(|e| e.ts_ns);
+        events
+    }
+    #[cfg(not(feature = "enabled"))]
+    Vec::new()
+}
+
+/// Discards all buffered events without returning them.
+pub fn reset() {
+    let _ = drain();
+}
+
+/// Starts a span; sugar over [`span_with`].
+///
+/// ```
+/// let interval = 3usize;
+/// let _span = facade_trace::span!("exec_interval", interval = interval, pass = 0usize);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::span_with(
+            $name,
+            &[$((stringify!($key), $crate::ArgValue::from($value))),+],
+        )
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Recording internals (compiled only when enabled).
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "enabled")]
+fn saturating_ns(n: u128) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+#[cfg(feature = "enabled")]
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[cfg(feature = "enabled")]
+fn now_ns() -> u64 {
+    saturating_ns(epoch().elapsed().as_nanos())
+}
+
+#[cfg(feature = "enabled")]
+struct ThreadBuffer {
+    tid: u64,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+#[cfg(feature = "enabled")]
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuffer>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuffer>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Tids handed back by exited threads, reused before minting new ones.
+#[cfg(feature = "enabled")]
+fn free_tids() -> &'static Mutex<Vec<u64>> {
+    static FREE: OnceLock<Mutex<Vec<u64>>> = OnceLock::new();
+    FREE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The thread-local's owner; its drop (thread exit) recycles the tid.
+#[cfg(feature = "enabled")]
+struct LocalHandle {
+    buffer: Arc<ThreadBuffer>,
+}
+
+#[cfg(feature = "enabled")]
+impl Drop for LocalHandle {
+    fn drop(&mut self) {
+        if let Ok(mut free) = free_tids().lock() {
+            free.push(self.buffer.tid);
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+fn local_buffer() -> Arc<ThreadBuffer> {
+    thread_local! {
+        static LOCAL: LocalHandle = {
+            static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+            let tid = free_tids()
+                .lock()
+                .ok()
+                .and_then(|mut free| free.pop())
+                .unwrap_or_else(|| NEXT_TID.fetch_add(1, Ordering::Relaxed));
+            let buffer = Arc::new(ThreadBuffer {
+                tid,
+                events: Mutex::new(Vec::new()),
+            });
+            registry()
+                .lock()
+                .expect("trace registry poisoned")
+                .push(Arc::clone(&buffer));
+            LocalHandle { buffer }
+        };
+    }
+    LOCAL.with(|handle| Arc::clone(&handle.buffer))
+}
+
+#[cfg(feature = "enabled")]
+fn thread_id() -> u64 {
+    local_buffer().tid
+}
+
+#[cfg(feature = "enabled")]
+fn push(event: TraceEvent) {
+    let buffer = local_buffer();
+    buffer
+        .events
+        .lock()
+        .expect("trace buffer poisoned")
+        .push(event);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry and epoch are process-global, and the test harness runs
+    // tests on concurrent threads: every test filters drained events by
+    // names unique to itself instead of asserting on the whole timeline.
+
+    #[test]
+    fn spans_nest_and_order() {
+        {
+            let _outer = span!("t_nest_outer", level = 0usize);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span!("t_nest_inner", level = 1usize);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let events = drain();
+        let outer = events
+            .iter()
+            .find(|e| e.name == "t_nest_outer")
+            .expect("outer span recorded");
+        let inner = events
+            .iter()
+            .find(|e| e.name == "t_nest_inner")
+            .expect("inner span recorded");
+        let (EventKind::Span { dur_ns: outer_dur }, EventKind::Span { dur_ns: inner_dur }) =
+            (&outer.kind, &inner.kind)
+        else {
+            panic!("both events must be spans");
+        };
+        // Inner starts after outer and finishes before it: proper nesting.
+        assert!(inner.ts_ns >= outer.ts_ns, "inner starts within outer");
+        assert!(
+            inner.ts_ns + inner_dur <= outer.ts_ns + outer_dur,
+            "inner ends within outer"
+        );
+        assert!(outer_dur > inner_dur, "outer strictly contains inner");
+        assert_eq!(outer.tid, inner.tid, "same thread, same tid");
+        assert_eq!(outer.args, vec![("level", ArgValue::UInt(0))]);
+    }
+
+    #[test]
+    fn threads_get_distinct_tids_and_one_timeline() {
+        // The barrier keeps every thread alive until all four have recorded
+        // their span: live threads must have distinct tids (only exited
+        // threads recycle theirs).
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    {
+                        let _span = span!("t_interleave", worker = i);
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    } // guard drops here, recording the span and pinning the tid
+                    barrier.wait();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = drain();
+        let mine: Vec<_> = events.iter().filter(|e| e.name == "t_interleave").collect();
+        assert_eq!(mine.len(), 4, "one span per worker thread");
+        let mut tids: Vec<u64> = mine.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 4, "each thread has its own tid");
+        // drain() returns a single merged timeline sorted by start time.
+        let ts: Vec<u64> = events.iter().map(|e| e.ts_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "sorted by ts");
+    }
+
+    #[test]
+    fn exited_threads_recycle_their_tids() {
+        // 20 sequential threads, each exiting before the next starts: tids
+        // must be reused, not minted fresh each time. Other tests run
+        // concurrently and may steal a freed tid occasionally, so assert a
+        // generous bound rather than exact reuse.
+        let mut tids = Vec::new();
+        for i in 0..20u64 {
+            let h = std::thread::spawn(move || {
+                instant("t_tid_reuse", &[("round", i.into())]);
+            });
+            h.join().unwrap();
+        }
+        for e in drain() {
+            if e.name == "t_tid_reuse" {
+                tids.push(e.tid);
+            }
+        }
+        assert_eq!(tids.len(), 20);
+        tids.sort_unstable();
+        tids.dedup();
+        assert!(
+            tids.len() <= 10,
+            "sequential threads should mostly share tids, got {} distinct",
+            tids.len()
+        );
+    }
+
+    #[test]
+    fn complete_records_retroactive_span() {
+        let started = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        complete("t_complete", started, &[("bytes", 512u64.into())]);
+        let events = drain();
+        let ev = events
+            .iter()
+            .find(|e| e.name == "t_complete")
+            .expect("retroactive span recorded");
+        let EventKind::Span { dur_ns } = ev.kind else {
+            panic!("must be a span");
+        };
+        assert!(dur_ns >= 1_000_000, "covers the sleep, got {dur_ns}ns");
+        assert_eq!(ev.args, vec![("bytes", ArgValue::UInt(512))]);
+    }
+
+    #[test]
+    fn instants_and_counters_record() {
+        instant("t_instant", &[("kind", "test".into())]);
+        counter("t_counter", 7.5);
+        let events = drain();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.name == "t_instant" && e.kind == EventKind::Instant)
+        );
+        assert!(events.iter().any(|e| e.name == "t_counter"
+            && matches!(e.kind, EventKind::Counter { value } if value == 7.5)));
+    }
+
+    #[test]
+    fn drain_empties_buffers() {
+        instant("t_drain_once", &[]);
+        let first = drain();
+        assert!(first.iter().any(|e| e.name == "t_drain_once"));
+        let second = drain();
+        assert!(
+            !second.iter().any(|e| e.name == "t_drain_once"),
+            "drained events are not returned twice"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Aggregate trace statistics for machine-readable reports.
+//!
+//! A Chrome trace answers "what happened when"; the summary answers "how
+//! much, in total". [`summarize`] folds a drained timeline into per-name
+//! span statistics (count, total/max duration) and instant counts, and
+//! [`TraceSummary::to_json`] renders them as the `trace` section embedded
+//! in `BENCH_*.json` by the bench binaries.
+//!
+//! ```
+//! {
+//!     let _span = facade_trace::span!("summary_doc_span");
+//! }
+//! let summary = facade_trace::summary::summarize(&facade_trace::drain());
+//! let json = summary.to_json();
+//! assert!(json.starts_with('{') && json.ends_with('}'));
+//! ```
+
+use crate::chrome::write_json_string;
+use crate::{EventKind, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate statistics for all spans sharing one name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Sum of span durations in nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Per-name aggregates over one drained timeline.
+///
+/// Maps are ordered (`BTreeMap`) so the JSON rendering is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Span statistics keyed by span name.
+    pub spans: BTreeMap<&'static str, SpanStat>,
+    /// Instant-event occurrence counts keyed by event name.
+    pub instants: BTreeMap<&'static str, u64>,
+    /// Total number of events summarized (spans + instants + counters).
+    pub events: u64,
+}
+
+/// Folds a timeline (as returned by [`crate::drain`]) into a summary.
+pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
+    let mut summary = TraceSummary {
+        events: events.len() as u64,
+        ..TraceSummary::default()
+    };
+    for event in events {
+        match event.kind {
+            EventKind::Span { dur_ns } => {
+                let stat = summary.spans.entry(event.name).or_default();
+                stat.count += 1;
+                stat.total_ns += dur_ns;
+                stat.max_ns = stat.max_ns.max(dur_ns);
+            }
+            EventKind::Instant => {
+                *summary.instants.entry(event.name).or_default() += 1;
+            }
+            EventKind::Counter { .. } => {}
+        }
+    }
+    summary
+}
+
+impl TraceSummary {
+    /// Renders the summary as one JSON object:
+    /// `{"events": N, "spans": {name: {count, total_ms, max_ms}}, "instants": {name: count}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.spans.len() * 80);
+        let _ = write!(out, "{{\"events\": {}, \"spans\": {{", self.events);
+        for (i, (name, stat)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_json_string(&mut out, name);
+            let _ = write!(
+                out,
+                ": {{\"count\": {}, \"total_ms\": {:.3}, \"max_ms\": {:.3}}}",
+                stat.count,
+                stat.total_ns as f64 / 1e6,
+                stat.max_ns as f64 / 1e6,
+            );
+        }
+        out.push_str("}, \"instants\": {");
+        for (i, (name, count)) in self.instants.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_json_string(&mut out, name);
+            let _ = write!(out, ": {count}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, dur_ns: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            tid: 1,
+            ts_ns: 0,
+            kind: EventKind::Span { dur_ns },
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn aggregates_by_name() {
+        let events = vec![
+            span("gc_minor", 1_000_000),
+            span("gc_minor", 3_000_000),
+            TraceEvent {
+                name: "fault_injected",
+                tid: 1,
+                ts_ns: 5,
+                kind: EventKind::Instant,
+                args: Vec::new(),
+            },
+        ];
+        let summary = summarize(&events);
+        assert_eq!(summary.events, 3);
+        let gc = &summary.spans["gc_minor"];
+        assert_eq!(gc.count, 2);
+        assert_eq!(gc.total_ns, 4_000_000);
+        assert_eq!(gc.max_ns, 3_000_000);
+        assert_eq!(summary.instants["fault_injected"], 1);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_complete() {
+        let events = vec![span("b_span", 2_000_000), span("a_span", 500_000)];
+        let json = summarize(&events).to_json();
+        assert!(
+            json.find("a_span").unwrap() < json.find("b_span").unwrap(),
+            "BTreeMap ordering: {json}"
+        );
+        assert!(json.contains("\"total_ms\": 2.000"), "{json}");
+        assert!(json.contains("\"events\": 2"), "{json}");
+    }
+}

@@ -13,6 +13,18 @@ use std::panic::{AssertUnwindSafe, catch_unwind};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Allocation-site ids the engine attributes its phases to. Under the heap
+/// backend the store's allocation-site profile (see
+/// [`Store::alloc_site_profile`]) breaks records and bytes down by these
+/// ids; the facade backend has no per-object profile, so the calls are
+/// no-ops there.
+pub mod alloc_sites {
+    /// Degree-pass records (`VertexDegree` plus its container array).
+    pub const DEGREE_PASS: u32 = 1;
+    /// Subinterval load phase (`ChiVertex`, `ChiPointer`, edge arrays).
+    pub const LOAD: u32 = 2;
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -304,6 +316,13 @@ impl Ladder {
         if failure.kind.is_transient() && self.rung_retries < policy.transient_retries {
             self.rung_retries += 1;
             resilience.record_retry(phase, &failure.kind);
+            facade_trace::instant(
+                "ladder_retry",
+                &[
+                    ("phase", phase.to_string().into()),
+                    ("attempt", self.rung_retries.into()),
+                ],
+            );
             self.sleep_backoff(policy);
             return Ok(());
         }
@@ -318,6 +337,14 @@ impl Ladder {
                 },
                 &failure.kind,
             );
+            facade_trace::instant(
+                "ladder_degrade",
+                &[
+                    ("phase", phase.to_string().into()),
+                    ("action", "reduce_threads".into()),
+                    ("threads", self.threads.into()),
+                ],
+            );
         } else if Self::edge_budget_at(config, self.threads, self.shrink + 1)
             < Self::edge_budget_at(config, self.threads, self.shrink)
         {
@@ -328,6 +355,14 @@ impl Ladder {
                     shrink: self.shrink,
                 },
                 &failure.kind,
+            );
+            facade_trace::instant(
+                "ladder_degrade",
+                &[
+                    ("phase", phase.to_string().into()),
+                    ("action", "shrink_budget".into()),
+                    ("shrink", self.shrink.into()),
+                ],
             );
         } else {
             // Serial, minimum budget, still failing: the ladder is out of
@@ -515,7 +550,9 @@ impl Engine {
 
         // Degree pass, under the same ladder as interval processing.
         loop {
+            let span = facade_trace::span!("degree_pass");
             let r = catch_failure(0, || self.degree_pass(&mut stores[0], schema));
+            drop(span);
             match r {
                 Ok(()) => break,
                 Err(failure) => {
@@ -546,14 +583,23 @@ impl Engine {
 
         let mut passes = 0usize;
         let mut edges_processed = 0u64;
-        for _pass in 0..app.iterations() {
+        for pass in 0..app.iterations() {
             let mut changed = false;
             for (iv_idx, &interval) in intervals.iter().enumerate() {
                 // Retry loop: the interval commits only when every
                 // subinterval succeeded, so a mid-interval failure leaves
                 // `values`/`edge_values` exactly at the interval-start
                 // snapshot and the retry replays it from scratch.
+                let mut attempt = 0u32;
                 loop {
+                    attempt += 1;
+                    let span = facade_trace::span!(
+                        "exec_interval",
+                        interval = iv_idx,
+                        pass = pass,
+                        attempt = attempt,
+                        threads = ladder.threads,
+                    );
                     // Each worker's subintervals must fit its private slice
                     // of the budget, so the subinterval edge budget divides
                     // by the (current) worker count; the shrink rung halves
@@ -571,7 +617,12 @@ impl Engine {
                         &edge_values,
                         &mut timer,
                     );
-                    match Self::collect_bufs(slots) {
+                    // End the attempt span before the ladder's backoff
+                    // sleep, so retries show as separate spans rather than
+                    // one long one swallowing the sleep.
+                    let collected = Self::collect_bufs(slots);
+                    drop(span);
+                    match collected {
                         Ok(bufs) => {
                             for buf in &bufs {
                                 changed |= buf.changed;
@@ -664,6 +715,7 @@ impl Engine {
     /// degree record, not just the first 2^16.
     fn degree_pass(&self, store: &mut Store, schema: Schema) -> Result<(), OutOfMemory> {
         const CHUNK: usize = 1 << 16;
+        store.set_alloc_site(alloc_sites::DEGREE_PASS);
         let n = self.csr.vertices as usize;
         for chunk_start in (0..n).step_by(CHUNK) {
             let count = CHUNK.min(n - chunk_start);
@@ -840,6 +892,7 @@ impl Engine {
         let count = (end - start) as usize;
 
         // ---- load phase (LT): build ChiVertex + ChiPointer records -------
+        store.set_alloc_site(alloc_sites::LOAD);
         let load_start = std::time::Instant::now();
         let vertex_arr = store.alloc_array(ElemTy::Ref, count)?;
         // Root the container so the heap backend keeps the subinterval's
@@ -921,6 +974,7 @@ impl Engine {
         };
         let load_result = load();
         timer.add(phases::LOAD, load_start.elapsed());
+        facade_trace::complete("sub_load", load_start, &[("first_vertex", start.into())]);
         if let Err(e) = load_result {
             if let Some(root) = root {
                 store.remove_root(root);
@@ -942,6 +996,11 @@ impl Engine {
             changed |= app.update(&mut view);
         }
         timer.add(phases::UPDATE, update_start.elapsed());
+        facade_trace::complete(
+            "sub_update",
+            update_start,
+            &[("first_vertex", start.into())],
+        );
 
         // ---- writeback (counted as load/IO time, like shard writes) ------
         // Buffered rather than applied: the `(eid, value)` stream is in the
@@ -988,6 +1047,7 @@ impl Engine {
             }
         }
         timer.add(phases::LOAD, wb_start.elapsed());
+        facade_trace::complete("sub_writeback", wb_start, &[("first_vertex", start.into())]);
 
         if let Some(root) = root {
             store.remove_root(root);

@@ -27,6 +27,28 @@
 //! shard count only sets the interval granularity, as in the paper (fixed
 //! at 20 there, "little impact on performance").
 //!
+//! # Threading
+//!
+//! [`EngineConfig::threads`] workers process subintervals round-robin, each
+//! against a private [`data_store::Store`] sized to an equal slice of the
+//! budget; facade workers draw pages from one shared pool. Workers read a
+//! frozen interval-start snapshot and buffer their writes, and the main
+//! thread replays the buffers in subinterval order — so the output is
+//! bit-identical at every thread count (asserted by the engine tests and by
+//! the `bench_trajectory` binary on the real workload).
+//!
+//! # Failure handling
+//!
+//! Worker failures (out-of-memory, panics) do not kill a run. The failed
+//! interval is discarded and retried under a *degradation ladder*
+//! ([`RetryPolicy`]): transient failures retry at the same configuration,
+//! deterministic budget exhaustion steps down a rung — halve the worker
+//! count to serial, then halve the subinterval budget to its floor. Every
+//! retry and rung is recorded in the run's
+//! [`metrics::ResilienceReport`], and — under the `tracing` feature — as
+//! `ladder_retry`/`ladder_degrade` instant events in the trace timeline
+//! (see `docs/OBSERVABILITY.md`).
+//!
 //! # Examples
 //!
 //! ```
@@ -52,6 +74,6 @@ mod preprocess;
 pub use apps::{
     ConnectedComponents, PageRank, SSSP_INFINITY, ShortestPaths, VertexProgram, VertexView,
 };
-pub use engine::{Engine, EngineConfig, EngineError, RetryPolicy, RunOutcome};
+pub use engine::{Engine, EngineConfig, EngineError, RetryPolicy, RunOutcome, alloc_sites};
 pub use metrics::report::Backend;
 pub use preprocess::Csr;

@@ -251,6 +251,15 @@ where
     let mut pending: Vec<(usize, I)> = partitions.into_iter().enumerate().collect();
 
     while !pending.is_empty() {
+        // One span per scheduling round: the first covers every partition,
+        // retry rounds cover only the failed ones (visible as shorter spans
+        // with a smaller `partitions` arg and a higher `level`).
+        let span = facade_trace::span!(
+            "job_phase",
+            name = phase.to_string(),
+            partitions = pending.len(),
+            level = level,
+        );
         type Attempt<R> = (usize, Result<R, FailureCause>, StoreStats);
         let round: Vec<Attempt<R>> = std::thread::scope(|scope| {
             let handles: Vec<_> = pending
@@ -312,6 +321,7 @@ where
             }
         }
         pending.retain(|(id, _)| still_pending.contains(id));
+        drop(span);
 
         let Some((id, cause)) = failed else {
             continue;
@@ -327,6 +337,13 @@ where
         if cause.is_transient() && transient_left > 0 {
             transient_left -= 1;
             stats.resilience.record_retry(unit, &cause);
+            facade_trace::instant(
+                "ladder_retry",
+                &[
+                    ("phase", phase.to_string().into()),
+                    ("partition", id.into()),
+                ],
+            );
         } else if level < policy.max_degrade_levels {
             level += 1;
             transient_left = policy.transient_retries;
@@ -334,6 +351,14 @@ where
                 unit,
                 DegradationAction::ShrinkBudget { shrink: level },
                 &cause,
+            );
+            facade_trace::instant(
+                "ladder_degrade",
+                &[
+                    ("phase", phase.to_string().into()),
+                    ("action", "shrink_budget".into()),
+                    ("level", level.into()),
+                ],
             );
         } else {
             return Err(fail(cause));

@@ -6,6 +6,7 @@ use crate::heap::{
     tag_elem_kind,
 };
 use crate::layout::{ARRAY_HEADER_BYTES, ClassLayout, ElemKind, OBJECT_HEADER_BYTES};
+use crate::stats::{PauseKind, PauseRecord};
 use std::time::Instant;
 
 /// Reads the reference targets of an object whose bytes live in `space` at
@@ -158,6 +159,11 @@ impl Heap {
             }
         }
 
+        let promoted_bytes: u64 = promoted
+            .iter()
+            .map(|&idx| self.object_size(&self.table[idx as usize]) as u64)
+            .sum();
+
         // Promotions enter the old list in *bump (address) order* — the
         // `promoted` vector records them as they were copied — because the
         // full collector's sliding compaction requires `old_list` to be
@@ -208,9 +214,7 @@ impl Heap {
         self.remembered.sort_unstable();
         self.remembered.dedup();
 
-        let pause = start.elapsed();
-        self.stats.gc_time += pause;
-        self.stats.pauses.record(pause);
+        self.finish_collection(PauseKind::Minor, start, promoted_bytes);
     }
 
     /// A full collection: mark from the roots, compact the old space in
@@ -283,6 +287,7 @@ impl Heap {
         // the to-space otherwise.
         let young_list = std::mem::take(&mut self.young_list);
         let mut new_young = Vec::new();
+        let mut promoted_bytes: u64 = 0;
         for idx in young_list {
             let e = self.table[idx as usize];
             if !e.is(F_MARK) {
@@ -300,6 +305,7 @@ impl Heap {
                     entry.addr = addr;
                     entry.set(F_OLD);
                     self.old_list.push(idx);
+                    promoted_bytes += size as u64;
                 }
                 None => {
                     let addr = self.young_to.bump(size).expect("to-space sized as from");
@@ -335,9 +341,33 @@ impl Heap {
             }
         }
 
-        let pause = start.elapsed();
-        self.stats.gc_time += pause;
-        self.stats.pauses.record(pause);
+        self.finish_collection(PauseKind::Full, start, promoted_bytes);
+    }
+
+    /// Common epilogue of both collectors: folds the pause into the stats
+    /// (time, histogram, per-collection record) and emits a trace span
+    /// covering the whole stop-the-world window.
+    fn finish_collection(&mut self, kind: PauseKind, start: Instant, promoted_bytes: u64) {
+        let live_bytes = self.used_bytes() as u64;
+        let pause_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.stats.record_pause(PauseRecord {
+            kind,
+            pause_ns,
+            promoted_bytes,
+            live_bytes,
+        });
+        let name = match kind {
+            PauseKind::Minor => "gc_minor",
+            PauseKind::Full => "gc_full",
+        };
+        facade_trace::complete(
+            name,
+            start,
+            &[
+                ("promoted_bytes", promoted_bytes.into()),
+                ("live_bytes", live_bytes.into()),
+            ],
+        );
     }
 }
 
@@ -345,6 +375,7 @@ impl Heap {
 mod tests {
     use crate::heap::{Heap, HeapConfig};
     use crate::layout::{ElemKind, FieldKind};
+    use crate::stats::PauseKind;
 
     fn heap(young: usize, old: usize, tenure: u8) -> Heap {
         Heap::new(HeapConfig {
@@ -506,6 +537,39 @@ mod tests {
         h.collect_full();
         assert!(!h.is_live(a));
         assert!(h.is_live(b));
+    }
+
+    #[test]
+    fn pause_records_account_for_every_collection() {
+        let mut h = heap(2048, 1 << 16, 1);
+        let c = h.register_class("T", &[FieldKind::I64, FieldKind::I64]);
+        let keep = h.alloc(c).unwrap();
+        h.add_root(keep);
+        for _ in 0..2000 {
+            h.alloc(c).unwrap();
+        }
+        h.collect_full();
+        let capacity = h.capacity() as u64;
+        let s = h.stats();
+        // One record per collection, and the histogram agrees.
+        assert_eq!(s.pause_records.len() as u64, s.collections());
+        assert_eq!(s.pauses.count(), s.collections());
+        // gc_time is exactly the sum of the per-collection pauses: the
+        // aggregate and the records derive from the same measurement.
+        let sum_ns: u64 = s.pause_records.iter().map(|r| r.pause_ns).sum();
+        assert_eq!(sum_ns as u128, s.gc_time.as_nanos());
+        // Kinds tally with the collection counters.
+        let minors = s
+            .pause_records
+            .iter()
+            .filter(|r| r.kind == PauseKind::Minor)
+            .count() as u64;
+        assert_eq!(minors, s.minor_collections);
+        assert_eq!(s.pause_records.len() as u64 - minors, s.full_collections);
+        // The rooted object tenures at age 1, so promotion shows up.
+        assert!(s.pause_records.iter().any(|r| r.promoted_bytes > 0));
+        // live_bytes is a real occupancy figure, bounded by capacity.
+        assert!(s.pause_records.iter().all(|r| r.live_bytes <= capacity));
     }
 
     #[test]

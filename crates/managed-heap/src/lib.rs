@@ -52,7 +52,7 @@ mod heap;
 mod layout;
 mod stats;
 
-pub use heap::{Heap, HeapConfig, ObjRef, RootId};
+pub use heap::{Heap, HeapConfig, MAX_ALLOC_SITES, ObjRef, RootId};
 pub use layout::{ClassId, ClassLayout, ElemKind, FieldKind};
 pub use metrics::OutOfMemory;
-pub use stats::GcStats;
+pub use stats::{AllocSiteStat, GcStats, PauseKind, PauseRecord, merge_site_profiles};

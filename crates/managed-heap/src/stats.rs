@@ -1,7 +1,92 @@
 //! Allocation and collection statistics.
+//!
+//! Besides the aggregate counters ([`GcStats`]), the heap records one
+//! [`PauseRecord`] per collection (bounded; see
+//! [`GcStats::MAX_PAUSE_RECORDS`]) and an allocation-site profile keyed by
+//! caller-supplied site ids (see [`crate::Heap::set_alloc_site`]).
+//!
+//! ```
+//! use managed_heap::{FieldKind, Heap, HeapConfig};
+//!
+//! let mut heap = Heap::new(HeapConfig::with_capacity(1 << 20));
+//! let c = heap.register_class("T", &[FieldKind::I64]);
+//! heap.set_alloc_site(7); // e.g. "vertex values" in the engine
+//! heap.alloc(c).unwrap();
+//! heap.collect_minor();
+//!
+//! let profile = heap.alloc_site_profile();
+//! assert_eq!(profile[0].site, 7);
+//! assert_eq!(profile[0].allocations, 1);
+//! assert_eq!(heap.stats().pause_records.len(), 1);
+//! ```
 
 use metrics::DurationHistogram;
+use std::collections::VecDeque;
 use std::time::Duration;
+
+/// Which collector produced a pause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PauseKind {
+    /// Copying young-generation collection.
+    Minor,
+    /// Mark-compact full collection.
+    Full,
+}
+
+impl PauseKind {
+    /// Short lowercase label (`"minor"`/`"full"`), used in traces and
+    /// reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PauseKind::Minor => "minor",
+            PauseKind::Full => "full",
+        }
+    }
+}
+
+/// One stop-the-world collection, as the paper's Figure 4 pause analysis
+/// wants it: what ran, how long it stopped the world, how much it tenured,
+/// and how much data was live afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauseRecord {
+    /// Minor or full collection.
+    pub kind: PauseKind,
+    /// Stop-the-world pause in nanoseconds.
+    pub pause_ns: u64,
+    /// Bytes promoted (tenured) into the old generation by this collection.
+    pub promoted_bytes: u64,
+    /// Bytes occupied by live data when the collection finished.
+    pub live_bytes: u64,
+}
+
+/// Aggregate allocation statistics for one caller-supplied site id.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocSiteStat {
+    /// The site id passed to [`crate::Heap::set_alloc_site`].
+    pub site: u32,
+    /// Objects and arrays allocated while the site was current.
+    pub allocations: u64,
+    /// Total bytes (headers included, 8-byte aligned) those allocations
+    /// occupied.
+    pub bytes: u64,
+}
+
+/// Folds a per-heap site profile into an aggregate one, summing stats for
+/// matching site ids (used when merging per-worker heaps into a run-level
+/// report). Both slices are assumed sorted by site id, as
+/// [`crate::Heap::alloc_site_profile`] returns them; the result stays
+/// sorted.
+pub fn merge_site_profiles(into: &mut Vec<AllocSiteStat>, other: &[AllocSiteStat]) {
+    for stat in other {
+        match into.binary_search_by_key(&stat.site, |s| s.site) {
+            Ok(i) => {
+                into[i].allocations += stat.allocations;
+                into[i].bytes += stat.bytes;
+            }
+            Err(i) => into.insert(i, *stat),
+        }
+    }
+}
 
 /// Counters accumulated by a [`crate::Heap`] over its lifetime.
 ///
@@ -27,12 +112,32 @@ pub struct GcStats {
     pub peak_bytes: u64,
     /// Distribution of stop-the-world pause times.
     pub pauses: DurationHistogram,
+    /// The most recent collections, one record each, oldest first. Bounded
+    /// at [`GcStats::MAX_PAUSE_RECORDS`]: when full, the oldest record is
+    /// dropped (the histogram above still covers every pause).
+    pub pause_records: VecDeque<PauseRecord>,
 }
 
 impl GcStats {
+    /// Upper bound on retained [`PauseRecord`]s; beyond it the log rotates.
+    pub const MAX_PAUSE_RECORDS: usize = 4096;
+
     /// Total number of collections of either kind.
     pub fn collections(&self) -> u64 {
         self.minor_collections + self.full_collections
+    }
+
+    /// Records one finished collection: accumulates `gc_time`, feeds the
+    /// pause histogram, and appends the per-collection record (rotating out
+    /// the oldest past [`GcStats::MAX_PAUSE_RECORDS`]).
+    pub fn record_pause(&mut self, record: PauseRecord) {
+        let pause = Duration::from_nanos(record.pause_ns);
+        self.gc_time += pause;
+        self.pauses.record(pause);
+        if self.pause_records.len() == Self::MAX_PAUSE_RECORDS {
+            self.pause_records.pop_front();
+        }
+        self.pause_records.push_back(record);
     }
 
     /// Folds another stats block into this one (used when aggregating
@@ -47,6 +152,11 @@ impl GcStats {
         self.objects_collected += other.objects_collected;
         self.peak_bytes += other.peak_bytes;
         self.pauses.merge(&other.pauses);
+        self.pause_records
+            .extend(other.pause_records.iter().copied());
+        while self.pause_records.len() > Self::MAX_PAUSE_RECORDS {
+            self.pause_records.pop_front();
+        }
     }
 }
 
@@ -65,7 +175,7 @@ mod tests {
             objects_allocated: 20,
             objects_collected: 5,
             peak_bytes: 1000,
-            pauses: DurationHistogram::new(),
+            ..GcStats::default()
         };
         let b = a.clone();
         a.merge(&b);
@@ -74,5 +184,63 @@ mod tests {
         assert_eq!(a.gc_time, Duration::from_secs(2));
         assert_eq!(a.collections(), 6);
         assert_eq!(a.peak_bytes, 2000);
+    }
+
+    #[test]
+    fn record_pause_accumulates_time_and_rotates() {
+        let mut s = GcStats::default();
+        for i in 0..GcStats::MAX_PAUSE_RECORDS + 10 {
+            s.record_pause(PauseRecord {
+                kind: PauseKind::Minor,
+                pause_ns: 1_000,
+                promoted_bytes: i as u64,
+                live_bytes: 0,
+            });
+        }
+        assert_eq!(s.pause_records.len(), GcStats::MAX_PAUSE_RECORDS);
+        // Oldest records rotated out, newest kept.
+        assert_eq!(s.pause_records.front().unwrap().promoted_bytes, 10);
+        assert_eq!(
+            s.pauses.count() as usize,
+            GcStats::MAX_PAUSE_RECORDS + 10,
+            "histogram still counts every pause"
+        );
+        assert_eq!(
+            s.gc_time,
+            Duration::from_nanos(1_000) * (GcStats::MAX_PAUSE_RECORDS as u32 + 10)
+        );
+    }
+
+    #[test]
+    fn merge_site_profiles_sums_matching_sites() {
+        let mut a = vec![
+            AllocSiteStat {
+                site: 1,
+                allocations: 2,
+                bytes: 64,
+            },
+            AllocSiteStat {
+                site: 5,
+                allocations: 1,
+                bytes: 16,
+            },
+        ];
+        let b = [
+            AllocSiteStat {
+                site: 3,
+                allocations: 4,
+                bytes: 128,
+            },
+            AllocSiteStat {
+                site: 5,
+                allocations: 2,
+                bytes: 32,
+            },
+        ];
+        merge_site_profiles(&mut a, &b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[1].site, 3);
+        assert_eq!(a[2].allocations, 3);
+        assert_eq!(a[2].bytes, 48);
     }
 }

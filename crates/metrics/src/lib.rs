@@ -24,6 +24,8 @@
 //! assert!(timer.total().as_nanos() > 0);
 //! ```
 
+#![deny(missing_docs)]
+
 mod histogram;
 mod memory;
 mod resilience;

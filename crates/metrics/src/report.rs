@@ -38,7 +38,10 @@ pub enum Outcome {
     Completed,
     /// The run exceeded its memory budget after the given number of seconds,
     /// reported as `OME(n)` in Table 3 of the paper.
-    OutOfMemory { after_secs: f64 },
+    OutOfMemory {
+        /// Seconds from run start to the fatal allocation failure.
+        after_secs: f64,
+    },
 }
 
 /// One benchmark run: the unit of every table row and figure point.

@@ -67,6 +67,24 @@ impl fmt::Display for DegradationEvent {
 /// A clean run has all counters at zero; a run that survived pressure shows
 /// how much ladder it consumed. Merging combines reports from phases of the
 /// same job.
+///
+/// The event log is bounded: only the most recent
+/// [`ResilienceReport::MAX_EVENTS`] events are kept (the counters always
+/// count everything), so a long fault-injection sweep cannot grow a report
+/// without bound. [`ResilienceReport::events_dropped`] says how many
+/// older events the cap evicted.
+///
+/// ```
+/// use metrics::ResilienceReport;
+///
+/// let mut report = ResilienceReport::default();
+/// for i in 0..1_000u32 {
+///     report.record_retry(format!("interval {i}"), "injected fault");
+/// }
+/// assert_eq!(report.retries, 1_000);
+/// assert_eq!(report.events.len(), ResilienceReport::MAX_EVENTS);
+/// assert_eq!(report.events_dropped, 1_000 - ResilienceReport::MAX_EVENTS as u64);
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ResilienceReport {
     /// Same-configuration retries (transient failures).
@@ -75,15 +93,31 @@ pub struct ResilienceReport {
     pub degradations: u64,
     /// Faults the harness injected that the run nonetheless survived.
     pub faults_injected: u64,
-    /// The individual events, in order of occurrence.
+    /// The most recent events, in order of occurrence, capped at
+    /// [`ResilienceReport::MAX_EVENTS`].
     pub events: Vec<DegradationEvent>,
+    /// Events evicted by the cap (oldest first). `0` means `events` is the
+    /// complete log.
+    pub events_dropped: u64,
 }
 
 impl ResilienceReport {
+    /// Upper bound on the retained event log. Old events rotate out
+    /// first; the `retries`/`degradations` counters are unaffected.
+    pub const MAX_EVENTS: usize = 256;
+
+    fn push_event(&mut self, event: DegradationEvent) {
+        if self.events.len() >= Self::MAX_EVENTS {
+            self.events.remove(0);
+            self.events_dropped += 1;
+        }
+        self.events.push(event);
+    }
+
     /// Records a same-rung retry.
     pub fn record_retry(&mut self, phase: impl Into<String>, cause: impl fmt::Display) {
         self.retries += 1;
-        self.events.push(DegradationEvent {
+        self.push_event(DegradationEvent {
             phase: phase.into(),
             action: DegradationAction::Retry,
             cause: cause.to_string(),
@@ -98,7 +132,7 @@ impl ResilienceReport {
         cause: impl fmt::Display,
     ) {
         self.degradations += 1;
-        self.events.push(DegradationEvent {
+        self.push_event(DegradationEvent {
             phase: phase.into(),
             action,
             cause: cause.to_string(),
@@ -106,11 +140,16 @@ impl ResilienceReport {
     }
 
     /// Folds another report into this one (e.g. per-phase reports of a job).
+    /// The merged log keeps the newest [`ResilienceReport::MAX_EVENTS`]
+    /// events across both reports.
     pub fn merge(&mut self, other: &ResilienceReport) {
         self.retries += other.retries;
         self.degradations += other.degradations;
         self.faults_injected += other.faults_injected;
-        self.events.extend(other.events.iter().cloned());
+        self.events_dropped += other.events_dropped;
+        for event in &other.events {
+            self.push_event(event.clone());
+        }
     }
 
     /// Whether the run needed any failure handling at all.
@@ -176,5 +215,45 @@ mod tests {
         assert_eq!(a.degradations, 1);
         assert_eq!(a.faults_injected, 3);
         assert_eq!(a.events.len(), 2);
+        assert_eq!(a.events_dropped, 0, "under the cap nothing is dropped");
+    }
+
+    #[test]
+    fn event_log_is_bounded_under_a_long_fault_sweep() {
+        // Regression: the event log used to grow one entry per retry
+        // forever, so a long fault-injection sweep grew memory linearly
+        // with the fault count.
+        let mut r = ResilienceReport::default();
+        let total = 10 * ResilienceReport::MAX_EVENTS as u64;
+        for i in 0..total {
+            r.record_retry(format!("interval {i}"), "injected fault");
+        }
+        assert_eq!(r.retries, total, "counters still count everything");
+        assert_eq!(r.events.len(), ResilienceReport::MAX_EVENTS);
+        assert_eq!(
+            r.events_dropped,
+            total - ResilienceReport::MAX_EVENTS as u64
+        );
+        // The retained window is the newest events, oldest evicted first.
+        assert_eq!(r.events[0].phase, format!("interval {}", r.events_dropped));
+        assert_eq!(
+            r.events.last().unwrap().phase,
+            format!("interval {}", total - 1)
+        );
+    }
+
+    #[test]
+    fn merge_respects_the_cap() {
+        let mut a = ResilienceReport::default();
+        let mut b = ResilienceReport::default();
+        for i in 0..200 {
+            a.record_retry(format!("a {i}"), "fault");
+            b.record_retry(format!("b {i}"), "fault");
+        }
+        a.merge(&b);
+        assert_eq!(a.retries, 400);
+        assert_eq!(a.events.len(), ResilienceReport::MAX_EVENTS);
+        assert_eq!(a.events_dropped, 400 - ResilienceReport::MAX_EVENTS as u64);
+        assert_eq!(a.events.last().unwrap().phase, "b 199");
     }
 }
