@@ -1,28 +1,35 @@
 //! **bench_trajectory**: GraphChi PageRank under the Table-2 configuration
-//! at 1, 2, 4 and 8 engine threads, on the facade backend.
+//! at 1, 2, 4 and 8 engine threads, on the facade backend, plus one
+//! managed-heap reference run for the GC-side telemetry.
 //!
 //! Emits `BENCH_graphchi.json` (machine-readable: wall time, GC time, page
-//! recycling counters, peak pages per thread count) and asserts that every
-//! thread count produces bit-identical vertex values — the engine's
-//! snapshot/ordered-commit guarantee, checked on the real workload.
+//! recycling counters, peak pages and census per thread count, and a
+//! `heap` section with the reference run's census and GC pause
+//! percentiles) and asserts that every thread count produces bit-identical
+//! vertex values — the engine's snapshot/ordered-commit guarantee, checked
+//! on the real workload. The reference run's GC log goes to
+//! `target/experiments/trajectory_gc.log`.
 //!
 //! Honours `FACADE_SCALE` and `FACADE_MEM_UNIT` like the other binaries;
-//! `FACADE_BENCH_OUT` overrides the output path.
+//! `FACADE_BENCH_OUT` overrides the output path. The emitted report is the
+//! input of the `regression_gate` binary — CI regenerates it and compares
+//! against the checked-in baseline.
 
 use datagen::{Graph, GraphSpec};
-use facade_bench::{export_trace, mem_unit, scale, secs, speedup};
+use facade_bench::{census_json, export_trace, mem_unit, scale, secs, speedup};
 use graphchi_rs::{Backend, Engine, EngineConfig, PageRank, RunOutcome};
-use metrics::TextTable;
+use managed_heap::format_gc_log_line;
 use metrics::phases;
+use metrics::{Registry, TextTable};
 
 const PAGE_BYTES: u64 = 32 * 1024;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-fn run_at(graph: &Graph, budget_bytes: usize, threads: usize) -> RunOutcome {
+fn run_at(graph: &Graph, backend: Backend, budget_bytes: usize, threads: usize) -> RunOutcome {
     let mut engine = Engine::new(
         graph,
         EngineConfig {
-            backend: Backend::Facade,
+            backend,
             budget_bytes,
             intervals: 20,
             threads,
@@ -59,6 +66,31 @@ fn json_run(threads: usize, out: &RunOutcome, base_wall: f64) -> String {
     )
 }
 
+/// The `heap` section: the managed reference run's census, GC pause count
+/// and percentiles (via the metrics registry's histogram), plus where the
+/// full GC log was written.
+fn json_heap_section(reference: &RunOutcome, gc_log_path: &str) -> String {
+    let hist = Registry::global().histogram("trajectory_gc_pause_ns");
+    for record in &reference.pauses {
+        hist.record(record.pause_ns);
+    }
+    format!(
+        concat!(
+            "{{\"wall_secs\": {:.6}, \"gc_secs\": {:.6}, \"gc_count\": {}, ",
+            "\"gc_pauses_logged\": {}, \"gc_pause_p50_ns\": {}, ",
+            "\"gc_pause_p99_ns\": {}, \"gc_log\": \"{}\", \"census\": {}}}"
+        ),
+        reference.timer.total().as_secs_f64(),
+        reference.timer.phase(phases::GC).as_secs_f64(),
+        reference.stats.gc_count,
+        reference.pauses.len(),
+        hist.percentile(50.0),
+        hist.percentile(99.0),
+        gc_log_path,
+        census_json(&reference.census),
+    )
+}
+
 fn main() {
     let scale = scale();
     let unit = mem_unit();
@@ -82,7 +114,7 @@ fn main() {
     ]);
     let mut outcomes = Vec::new();
     for &threads in &THREAD_COUNTS {
-        outcomes.push((threads, run_at(&graph, budget, threads)));
+        outcomes.push((threads, run_at(&graph, Backend::Facade, budget, threads)));
     }
 
     let (_, baseline) = &outcomes[0];
@@ -111,8 +143,53 @@ fn main() {
 
     // Span summary of the whole sweep; the full Chrome trace goes to
     // target/experiments/trajectory_trace.json (empty without the
-    // `tracing` feature).
+    // `tracing` feature). Drained *before* the managed reference run so
+    // the facade sweep's timeline stays unmixed — with tracing on, the
+    // summary's `instants` carries at least the engine's per-interval
+    // `interval_commit` marks.
     let trace = export_trace("trajectory");
+
+    // One managed-heap reference run at a Table-2-style budget squeeze:
+    // the source of the report's GC-side telemetry (pause log, census).
+    let reference = run_at(&graph, Backend::Heap, budget, 1);
+    assert_eq!(
+        baseline.values, reference.values,
+        "backends must agree bit-for-bit"
+    );
+    let heap_trace = export_trace("trajectory_heap");
+    let gc_log_path = "target/experiments/trajectory_gc.log";
+    let gc_log: String = reference
+        .pauses
+        .iter()
+        .enumerate()
+        .map(|(seq, r)| format_gc_log_line(seq as u64, r) + "\n")
+        .collect();
+    if std::fs::create_dir_all("target/experiments").is_ok() {
+        std::fs::write(gc_log_path, &gc_log).expect("write gc log");
+        eprintln!("wrote {gc_log_path} ({} pauses)", reference.pauses.len());
+    }
+
+    // The facade-side census: page occupancy from the single-threaded run
+    // (per-worker splits make multi-thread censuses equivalent but noisier)
+    // plus the shared pool's counters.
+    let census = census_json(&baseline.census);
+    let pool_json = baseline.pool.as_ref().map_or_else(
+        || "null".to_string(),
+        |p| {
+            format!(
+                concat!(
+                    "{{\"pages_handed_out\": {}, \"pages_returned\": {}, ",
+                    "\"occupancy_hwm\": {}, \"mean_acquire_ns\": {}, ",
+                    "\"mean_release_ns\": {}}}"
+                ),
+                p.pages_handed_out,
+                p.pages_returned,
+                p.occupancy_hwm,
+                p.mean_acquire_ns(),
+                p.mean_release_ns(),
+            )
+        },
+    );
 
     let json = format!(
         concat!(
@@ -128,6 +205,10 @@ fn main() {
             "  \"host_cpus\": {},\n",
             "  \"bit_identical_across_threads\": true,\n",
             "  \"runs\": [\n{}\n  ],\n",
+            "  \"census\": {},\n",
+            "  \"pool\": {},\n",
+            "  \"heap\": {},\n",
+            "  \"heap_trace\": {},\n",
             "  \"trace\": {}\n",
             "}}\n"
         ),
@@ -137,6 +218,10 @@ fn main() {
         budget,
         std::thread::available_parallelism().map_or(1, |n| n.get()),
         runs_json.join(",\n"),
+        census,
+        pool_json,
+        json_heap_section(&reference, gc_log_path),
+        heap_trace,
         trace,
     );
     let path = std::env::var("FACADE_BENCH_OUT").unwrap_or_else(|_| "BENCH_graphchi.json".into());

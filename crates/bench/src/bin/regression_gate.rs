@@ -1,0 +1,64 @@
+//! **regression_gate**: CI comparator for bench reports.
+//!
+//! ```text
+//! regression_gate <baseline.json> <current.json>
+//! ```
+//!
+//! Parses both reports, compares them run-by-run with
+//! [`facade_bench::gate::compare_reports`], prints the per-check verdict,
+//! and exits non-zero when any metric regressed beyond tolerance (exit 1)
+//! or either report is unreadable/malformed (exit 2). Tolerances come from
+//! `FACADE_GATE_WALL_PCT` / `FACADE_GATE_PEAK_PCT` (see the gate module
+//! docs for the defaults).
+
+use facade_bench::gate::{Tolerances, compare_reports};
+use facade_bench::json::parse;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<facade_bench::json::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, current_path] = &args[..] else {
+        eprintln!("usage: regression_gate <baseline.json> <current.json>");
+        return ExitCode::from(2);
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("regression_gate: {r}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let tol = Tolerances::from_env();
+    eprintln!(
+        "regression_gate: {baseline_path} vs {current_path} \
+         (wall +{:.0}%, peak +{:.0}%)",
+        tol.wall_pct, tol.peak_pct
+    );
+    match compare_reports(&baseline, &current, &tol) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                eprintln!("regression_gate: PASS ({} checks)", report.checks.len());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "regression_gate: FAIL ({} of {} checks regressed)",
+                    report.regressions().len(),
+                    report.checks.len()
+                );
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("regression_gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

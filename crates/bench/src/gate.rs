@@ -1,0 +1,276 @@
+//! The CI perf-regression gate: compares a freshly generated
+//! `BENCH_graphchi.json` against the checked-in baseline.
+//!
+//! The gate matches runs by `threads` and checks two metrics per run:
+//!
+//! - `wall_secs` — noisy on shared CI runners, so the default tolerance is
+//!   generous (`FACADE_GATE_WALL_PCT`, default **150%** over baseline);
+//! - `peak_bytes` — deterministic page accounting, so the default tolerance
+//!   is tight (`FACADE_GATE_PEAK_PCT`, default **25%** over baseline).
+//!
+//! A current value more than the tolerance above its baseline is a
+//! *regression* and fails the gate; improvements of any size pass. The
+//! `regression_gate` binary wraps [`compare_reports`] for CI:
+//!
+//! ```text
+//! cargo run --release -p facade-bench --bin regression_gate -- \
+//!     BENCH_graphchi.json target/experiments/BENCH_current.json
+//! ```
+
+use crate::json::Json;
+
+/// Allowed headroom over the baseline, in percent, per metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Percent by which `wall_secs` may exceed baseline before failing.
+    pub wall_pct: f64,
+    /// Percent by which `peak_bytes` may exceed baseline before failing.
+    pub peak_pct: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Self {
+            wall_pct: 150.0,
+            peak_pct: 25.0,
+        }
+    }
+}
+
+impl Tolerances {
+    /// Reads `FACADE_GATE_WALL_PCT` / `FACADE_GATE_PEAK_PCT`, falling back
+    /// to the defaults for unset or unparsable values.
+    pub fn from_env() -> Self {
+        let default = Self::default();
+        let read = |name: &str, fallback: f64| {
+            std::env::var(name)
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .unwrap_or(fallback)
+        };
+        Self {
+            wall_pct: read("FACADE_GATE_WALL_PCT", default.wall_pct),
+            peak_pct: read("FACADE_GATE_PEAK_PCT", default.peak_pct),
+        }
+    }
+}
+
+/// One metric comparison for one `threads` configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCheck {
+    /// Thread count of the compared runs.
+    pub threads: u64,
+    /// Which metric was compared (`"wall_secs"` or `"peak_bytes"`).
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Highest passing value (`baseline * (1 + tolerance/100)`).
+    pub limit: f64,
+    /// Whether `current` exceeded `limit`.
+    pub regressed: bool,
+}
+
+/// The gate's verdict: every per-run, per-metric check.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateReport {
+    /// All comparisons performed, in baseline run order.
+    pub checks: Vec<GateCheck>,
+}
+
+impl GateReport {
+    /// `true` when no check regressed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| !c.regressed)
+    }
+
+    /// The failing checks.
+    pub fn regressions(&self) -> Vec<&GateCheck> {
+        self.checks.iter().filter(|c| c.regressed).collect()
+    }
+
+    /// Renders a line-per-check text report (the gate's CI log output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            let verdict = if c.regressed { "REGRESSED" } else { "ok" };
+            out.push_str(&format!(
+                "{verdict:>9}  threads={} {}: baseline {:.6}, current {:.6}, limit {:.6}\n",
+                c.threads, c.metric, c.baseline, c.current, c.limit
+            ));
+        }
+        out
+    }
+}
+
+fn runs(report: &Json) -> Result<&[Json], String> {
+    report
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "report has no \"runs\" array".to_string())
+}
+
+fn metric(run: &Json, name: &str) -> Result<f64, String> {
+    run.get(name)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("run is missing numeric \"{name}\""))
+}
+
+/// Compares two parsed bench reports run-by-run (matched on `threads`).
+///
+/// # Errors
+///
+/// Returns a message when either report is malformed or a baseline
+/// `threads` configuration is absent from the current report — a shape
+/// mismatch is a gate failure of its own, not a silent pass.
+pub fn compare_reports(
+    baseline: &Json,
+    current: &Json,
+    tol: &Tolerances,
+) -> Result<GateReport, String> {
+    let baseline_runs = runs(baseline)?;
+    let current_runs = runs(current)?;
+    let mut report = GateReport::default();
+    for base_run in baseline_runs {
+        let threads = base_run
+            .get("threads")
+            .and_then(Json::as_u64)
+            .ok_or("baseline run is missing \"threads\"")?;
+        let cur_run = current_runs
+            .iter()
+            .find(|r| r.get("threads").and_then(Json::as_u64) == Some(threads))
+            .ok_or_else(|| format!("current report has no run at threads={threads}"))?;
+        for (name, pct) in [("wall_secs", tol.wall_pct), ("peak_bytes", tol.peak_pct)] {
+            let baseline = metric(base_run, name)?;
+            let current = metric(cur_run, name)?;
+            let limit = baseline * (1.0 + pct / 100.0);
+            report.checks.push(GateCheck {
+                threads,
+                metric: name,
+                baseline,
+                current,
+                limit,
+                regressed: current > limit,
+            });
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn report(runs: &str) -> Json {
+        parse(&format!("{{\"runs\": [{runs}]}}")).unwrap()
+    }
+
+    fn run(threads: u64, wall: f64, peak: u64) -> String {
+        format!("{{\"threads\": {threads}, \"wall_secs\": {wall}, \"peak_bytes\": {peak}}}")
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = report(&[run(1, 0.08, 4_000_000), run(2, 0.06, 4_100_000)].join(", "));
+        let gate = compare_reports(&base, &base, &Tolerances::default()).unwrap();
+        assert!(gate.passed());
+        assert_eq!(gate.checks.len(), 4, "two metrics per run");
+    }
+
+    #[test]
+    fn wall_time_regression_beyond_tolerance_fails() {
+        let base = report(&run(1, 0.08, 4_000_000));
+        // 150% tolerance: limit is 0.20; 0.25 regresses.
+        let bad = report(&run(1, 0.25, 4_000_000));
+        let gate = compare_reports(&base, &bad, &Tolerances::default()).unwrap();
+        assert!(!gate.passed());
+        let regs = gate.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "wall_secs");
+        assert!(gate.render().contains("REGRESSED"), "{}", gate.render());
+    }
+
+    #[test]
+    fn peak_bytes_regression_beyond_tolerance_fails() {
+        let base = report(&run(4, 0.05, 4_000_000));
+        // 25% tolerance: limit is 5,000,000; 6,000,000 regresses.
+        let bad = report(&run(4, 0.05, 6_000_000));
+        let gate = compare_reports(&base, &bad, &Tolerances::default()).unwrap();
+        let regs = gate.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "peak_bytes");
+        assert_eq!(regs[0].threads, 4);
+    }
+
+    #[test]
+    fn values_inside_tolerance_pass() {
+        let base = report(&run(2, 0.10, 4_000_000));
+        // wall 2.4x (limit 2.5x), peak +20% (limit +25%): both inside.
+        let near = report(&run(2, 0.24, 4_800_000));
+        let gate = compare_reports(&base, &near, &Tolerances::default()).unwrap();
+        assert!(gate.passed(), "{}", gate.render());
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let base = report(&run(8, 0.10, 4_000_000));
+        let good = report(&run(8, 0.01, 1_000_000));
+        let gate = compare_reports(&base, &good, &Tolerances::default()).unwrap();
+        assert!(gate.passed());
+    }
+
+    #[test]
+    fn missing_current_run_is_an_error_not_a_pass() {
+        let base = report(&[run(1, 0.08, 4_000_000), run(2, 0.06, 4_000_000)].join(", "));
+        let partial = report(&run(1, 0.08, 4_000_000));
+        let err = compare_reports(&base, &partial, &Tolerances::default()).unwrap_err();
+        assert!(err.contains("threads=2"), "{err}");
+    }
+
+    #[test]
+    fn malformed_reports_are_errors() {
+        let base = report(&run(1, 0.08, 4_000_000));
+        let no_runs = parse("{\"benchmark\": \"x\"}").unwrap();
+        assert!(compare_reports(&no_runs, &base, &Tolerances::default()).is_err());
+        let no_metric = report("{\"threads\": 1, \"wall_secs\": 0.08}");
+        let err = compare_reports(&base, &no_metric, &Tolerances::default()).unwrap_err();
+        assert!(err.contains("peak_bytes"), "{err}");
+    }
+
+    #[test]
+    fn custom_tolerances_tighten_the_gate() {
+        let base = report(&run(1, 0.10, 4_000_000));
+        let slightly_worse = report(&run(1, 0.11, 4_100_000));
+        let tight = Tolerances {
+            wall_pct: 5.0,
+            peak_pct: 1.0,
+        };
+        let gate = compare_reports(&base, &slightly_worse, &tight).unwrap();
+        assert_eq!(gate.regressions().len(), 2, "{}", gate.render());
+        let loose = Tolerances::default();
+        assert!(
+            compare_reports(&base, &slightly_worse, &loose)
+                .unwrap()
+                .passed()
+        );
+    }
+
+    #[test]
+    fn gate_checks_the_real_checked_in_baseline() {
+        // The comparator must accept the repository's own baseline compared
+        // against itself — guarding both the baseline's shape and the
+        // parser's coverage of everything the writers emit.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_graphchi.json"
+        ))
+        .expect("checked-in baseline exists");
+        let baseline = parse(&text).expect("baseline parses");
+        let gate = compare_reports(&baseline, &baseline, &Tolerances::default()).unwrap();
+        assert!(gate.passed());
+        assert!(!gate.checks.is_empty());
+    }
+}

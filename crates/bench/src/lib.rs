@@ -11,6 +11,9 @@
 //! Results are printed as paper-style text tables and also written as JSON
 //! lines under `target/experiments/` for `EXPERIMENTS.md` regeneration.
 
+pub mod gate;
+pub mod json;
+
 use metrics::report::RunRecord;
 use std::fs;
 use std::path::PathBuf;
@@ -91,6 +94,54 @@ pub fn export_trace(name: &str) -> String {
     summary
 }
 
+/// Renders a [`data_store::StoreCensus`] as one JSON object, for the
+/// `census`/`heap` sections of bench reports. Deterministic: rows and
+/// per-type counts are name-sorted by construction.
+pub fn census_json(census: &data_store::StoreCensus) -> String {
+    fn push_json_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    let mut out = String::new();
+    out.push_str("{\"backend\": ");
+    push_json_str(&mut out, census.backend);
+    out.push_str(&format!(
+        ", \"live_objects\": {}, \"live_bytes\": {}, \"records_allocated\": {}, \"rows\": [",
+        census.live_objects, census.live_bytes, census.records_allocated
+    ));
+    for (i, row) in census.rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"name\": ");
+        push_json_str(&mut out, &row.name);
+        out.push_str(&format!(
+            ", \"count\": {}, \"shallow_bytes\": {}, \"header_bytes\": {}}}",
+            row.count, row.shallow_bytes, row.header_bytes
+        ));
+    }
+    out.push_str("], \"records_by_type\": {");
+    for (i, (name, count)) in census.records_by_type.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_json_str(&mut out, name);
+        out.push_str(&format!(": {count}"));
+    }
+    out.push_str("}}");
+    out
+}
+
 /// Percentage reduction from `before` to `after` (positive = improvement).
 pub fn reduction_pct(before: f64, after: f64) -> f64 {
     if before > 0.0 {
@@ -125,5 +176,38 @@ mod tests {
     fn formatting() {
         assert_eq!(secs(Duration::from_millis(1500)), "1.50");
         assert_eq!(mib(3 << 20), "3.0");
+    }
+
+    #[test]
+    fn census_json_round_trips_through_the_gate_parser() {
+        let census = data_store::StoreCensus {
+            backend: "heap",
+            rows: vec![data_store::CensusRow {
+                name: "Vertex \"odd\"".to_string(),
+                count: 7,
+                shallow_bytes: 196,
+                header_bytes: 84,
+            }],
+            live_objects: 7,
+            live_bytes: 196,
+            records_allocated: 1_000,
+            records_by_type: vec![("Vertex".to_string(), 1_000)],
+        };
+        let doc = crate::json::parse(&census_json(&census)).expect("valid JSON");
+        assert_eq!(doc.get("backend").unwrap().as_str(), Some("heap"));
+        assert_eq!(doc.get("live_objects").unwrap().as_u64(), Some(7));
+        let rows = doc.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(
+            rows[0].get("name").unwrap().as_str(),
+            Some("Vertex \"odd\"")
+        );
+        assert_eq!(
+            doc.get("records_by_type")
+                .unwrap()
+                .get("Vertex")
+                .unwrap()
+                .as_u64(),
+            Some(1_000)
+        );
     }
 }

@@ -39,8 +39,8 @@ pub use facade_runtime::FaultPlan;
 use facade_runtime::{
     ElemKind as PElem, FieldKind as PField, PageRef, PagedHeap, PagedHeapConfig, TypeId,
 };
-pub use facade_runtime::{PagePool, PagePoolConfig};
-pub use managed_heap::{AllocSiteStat, PauseRecord, merge_site_profiles};
+pub use facade_runtime::{PagePool, PagePoolConfig, PoolCounters};
+pub use managed_heap::{AllocSiteStat, CensusRow, HeapCensus, PauseRecord, merge_site_profiles};
 use managed_heap::{
     ClassId as HClassId, ElemKind as HElem, FieldKind as HField, Heap, HeapConfig, ObjRef, RootId,
 };
@@ -154,6 +154,68 @@ impl StoreStats {
         self.objects_traced += other.objects_traced;
         self.heap_objects += other.heap_objects;
         self.faults_injected += other.faults_injected;
+    }
+}
+
+/// A backend-aware live-heap census: what *runtime objects* exist right now.
+///
+/// This is the instrument behind the paper's Table 3. On the heap backend
+/// every data record is an object, so `rows` is a per-class histogram that
+/// scales with input size (`O(s)` objects). On the facade backend records
+/// live *inside* pages, so the only runtime objects are the pages (and any
+/// oversize buffers): `rows` collapses to a page count bounded by the
+/// working set, while `records_allocated` still carries the record traffic
+/// that would have been objects — the "billions of objects to statically
+/// bounded" reduction, directly measurable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreCensus {
+    /// `"heap"`, `"facade"`, or `"mixed"` after merging across backends.
+    pub backend: &'static str,
+    /// Per-class rows (heap) or page/oversize rows (facade), name-sorted.
+    pub rows: Vec<CensusRow>,
+    /// Total runtime objects: `rows` counts summed. The paper's object
+    /// bound: `O(s)` for heap, `O(p)` for facade.
+    pub live_objects: u64,
+    /// Bytes those objects occupy (heap: live data; facade: held pages and
+    /// oversize buffers).
+    pub live_bytes: u64,
+    /// Records ever allocated through the store — input-proportional on
+    /// both backends, for the Table 3 comparison against `live_objects`.
+    pub records_allocated: u64,
+    /// Record traffic by type name (facade backend; empty on heap, where
+    /// the per-class rows already carry names).
+    pub records_by_type: Vec<(String, u64)>,
+}
+
+impl StoreCensus {
+    /// Folds another census into this one (aggregating per-worker stores),
+    /// summing rows and per-type record counts by name. Backends must match
+    /// to keep a label; a cross-backend merge is tagged `"mixed"`.
+    pub fn merge(&mut self, other: &StoreCensus) {
+        if self.backend.is_empty() {
+            self.backend = other.backend;
+        } else if !other.backend.is_empty() && self.backend != other.backend {
+            self.backend = "mixed";
+        }
+        let mut rows = HeapCensus {
+            rows: std::mem::take(&mut self.rows),
+        };
+        rows.merge(&HeapCensus {
+            rows: other.rows.clone(),
+        });
+        self.rows = rows.rows;
+        self.live_objects += other.live_objects;
+        self.live_bytes += other.live_bytes;
+        self.records_allocated += other.records_allocated;
+        for (name, count) in &other.records_by_type {
+            match self
+                .records_by_type
+                .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            {
+                Ok(i) => self.records_by_type[i].1 += count,
+                Err(i) => self.records_by_type.insert(i, (name.clone(), *count)),
+            }
+        }
     }
 }
 
@@ -674,6 +736,73 @@ impl Store {
             }
         }
     }
+
+    /// Takes a live-object census (see [`StoreCensus`]).
+    ///
+    /// On the heap backend this walks every live object into a per-class
+    /// histogram — the `jmap -histo` view whose object count scales with
+    /// input. On the facade backend the runtime objects are the pages
+    /// themselves (plus oversize buffers), so the census collapses to a
+    /// `"Page"` row bounded by the working set regardless of how many
+    /// records flowed through (`records_by_type` keeps that traffic).
+    pub fn census(&self) -> StoreCensus {
+        match &self.inner {
+            Inner::Heap { heap, .. } => {
+                let census = heap.census();
+                StoreCensus {
+                    backend: "heap",
+                    live_objects: census.total_objects(),
+                    live_bytes: census.total_shallow_bytes(),
+                    records_allocated: heap.stats().objects_allocated,
+                    rows: census.rows,
+                    records_by_type: Vec::new(),
+                }
+            }
+            Inner::Facade { paged, .. } => {
+                let pages = paged.page_objects() as u64;
+                let page_bytes = pages * facade_runtime::PAGE_BYTES as u64;
+                let oversize = paged.oversize_objects() as u64;
+                let mut rows = vec![CensusRow {
+                    name: "Page".to_string(),
+                    count: pages,
+                    shallow_bytes: page_bytes,
+                    // A page is one runtime object; its "header" in the
+                    // paper's sense is the reserved slot-metadata prefix.
+                    header_bytes: pages * facade_runtime::PAGE_RESERVED as u64,
+                }];
+                if oversize > 0 {
+                    rows.push(CensusRow {
+                        name: "OversizeBuf".to_string(),
+                        count: oversize,
+                        shallow_bytes: paged.bytes_held().saturating_sub(page_bytes),
+                        header_bytes: 0,
+                    });
+                }
+                rows.sort_by(|a, b| a.name.cmp(&b.name));
+                let mut records_by_type = paged.type_alloc_profile();
+                records_by_type.sort_by(|a, b| a.0.cmp(&b.0));
+                StoreCensus {
+                    backend: "facade",
+                    live_objects: pages + oversize,
+                    live_bytes: paged.bytes_held(),
+                    records_allocated: paged.stats().records_allocated,
+                    rows,
+                    records_by_type,
+                }
+            }
+        }
+    }
+
+    /// Counters of the shared [`PagePool`] this store draws from; `None` on
+    /// the heap backend or when the store was not built with
+    /// [`Store::facade_shared`]. Workers over one pool see one set of
+    /// counters, so reading any store's is enough for a run-level report.
+    pub fn pool_counters(&self) -> Option<PoolCounters> {
+        match &self.inner {
+            Inner::Heap { .. } => None,
+            Inner::Facade { paged, .. } => paged.pool().map(|p| p.counters()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -873,6 +1002,100 @@ mod tests {
         f.alloc(c).unwrap();
         assert!(f.alloc_site_profile().is_empty());
         assert!(f.pause_records().is_empty());
+    }
+
+    #[test]
+    fn census_scales_on_heap_but_is_bounded_on_facade() {
+        // The Table 3 shape: run the same workload on both backends and
+        // compare runtime-object counts.
+        let mut h = Store::heap(64 << 20);
+        let mut f = Store::facade(64 << 20);
+        let hc = h.register_class("Vertex", &[FieldTy::I64]);
+        let fc = f.register_class("Vertex", &[FieldTy::I64]);
+        let n = 50_000u64;
+        let it = f.iteration_start();
+        for _ in 0..n {
+            let r = h.alloc(hc).unwrap();
+            h.add_root(r);
+            f.alloc(fc).unwrap();
+        }
+
+        let hcen = h.census();
+        assert_eq!(hcen.backend, "heap");
+        // Heap: one runtime object per record, input-proportional.
+        assert_eq!(hcen.live_objects, n);
+        assert_eq!(hcen.records_allocated, n);
+        let row = hcen.rows.iter().find(|r| r.name == "Vertex").unwrap();
+        assert_eq!(row.count, n);
+        assert_eq!(row.header_bytes, n * 12);
+
+        let fcen = f.census();
+        assert_eq!(fcen.backend, "facade");
+        // Facade: the same record traffic collapsed into a bounded page set.
+        assert_eq!(fcen.records_allocated, n);
+        assert!(
+            fcen.live_objects * 100 < n,
+            "facade census should be bounded: {} objects for {} records",
+            fcen.live_objects,
+            n
+        );
+        let pages = fcen.rows.iter().find(|r| r.name == "Page").unwrap();
+        assert_eq!(pages.count, fcen.live_objects);
+        assert_eq!(fcen.live_bytes, f.stats().current_bytes);
+        assert_eq!(
+            fcen.records_by_type,
+            vec![("Vertex".to_string(), n)],
+            "record traffic is still attributed by type"
+        );
+        f.iteration_end(it);
+    }
+
+    #[test]
+    fn census_merge_aggregates_workers() {
+        let mut censuses = Vec::new();
+        for _ in 0..3 {
+            let mut s = Store::facade(8 << 20);
+            let c = s.register_class("T", &[FieldTy::I64]);
+            let it = s.iteration_start();
+            for _ in 0..1000 {
+                s.alloc(c).unwrap();
+            }
+            s.iteration_end(it);
+            censuses.push(s.census());
+        }
+        let mut total = StoreCensus::default();
+        for c in &censuses {
+            total.merge(c);
+        }
+        assert_eq!(total.backend, "facade");
+        assert_eq!(total.records_allocated, 3000);
+        let expected: u64 = censuses.iter().map(|c| c.live_objects).sum();
+        assert_eq!(total.live_objects, expected);
+        assert_eq!(total.records_by_type, vec![("T".to_string(), 3000)]);
+
+        // Cross-backend merges are flagged rather than silently mixed in.
+        let mut heap_census = Store::heap(1 << 20).census();
+        heap_census.backend = "heap";
+        total.merge(&heap_census);
+        assert_eq!(total.backend, "mixed");
+    }
+
+    #[test]
+    fn pool_counters_pass_through_for_shared_stores_only() {
+        assert!(Store::heap(1 << 20).pool_counters().is_none());
+        assert!(Store::facade(1 << 20).pool_counters().is_none());
+        let pool = Arc::new(PagePool::with_default_config());
+        let mut s = Store::facade_shared(8 << 20, Arc::clone(&pool));
+        let c = s.register_class("T", &[FieldTy::I64]);
+        let it = s.iteration_start();
+        for _ in 0..50_000 {
+            s.alloc(c).unwrap();
+        }
+        s.iteration_end(it);
+        let released = s.release_pages();
+        let counters = s.pool_counters().expect("shared store has a pool");
+        assert_eq!(counters.pages_returned, released as u64);
+        assert_eq!(counters, pool.counters());
     }
 
     #[test]

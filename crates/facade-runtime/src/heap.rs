@@ -230,6 +230,26 @@ impl PagedHeap {
         self.pages.len() - self.vacant_slots.len()
     }
 
+    /// Number of live oversize buffers (allocations too large for any page
+    /// size class, held as standalone buffers until freed or reclaimed).
+    pub fn oversize_objects(&self) -> usize {
+        self.oversize.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Per-type allocation profile: `(type name, records ever allocated)`
+    /// for every registered type with at least one allocation, in
+    /// registration order (reserved array types 0–3 included when used).
+    /// This is the census's `n` side — record traffic that on the managed
+    /// backend would each have been a heap object.
+    pub fn type_alloc_profile(&self) -> Vec<(String, u64)> {
+        self.types
+            .iter()
+            .zip(&self.type_alloc_counts)
+            .filter(|(_, &count)| count > 0)
+            .map(|(layout, &count)| (layout.name().to_string(), count))
+            .collect()
+    }
+
     // ----- iterations ------------------------------------------------------
 
     /// Starts a (possibly nested) iteration: creates a page manager as a

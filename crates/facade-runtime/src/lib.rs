@@ -53,7 +53,7 @@ pub use heap::{FIRST_USER_TYPE, IterationId, ManagerId, PagedHeap, PagedHeapConf
 pub use layout::{ElemKind, FieldKind, RecordLayout, TypeId};
 pub use locks::{LockPool, LockPoolConfig};
 pub use metrics::OutOfMemory;
-pub use page::{PAGE_BYTES, PAGE_CAPACITY, PageRef};
+pub use page::{PAGE_BYTES, PAGE_CAPACITY, PAGE_RESERVED, PageRef};
 pub use pool::{POOL_BATCH, PagePool, PagePoolConfig, PoolCounters, PooledPage};
 pub use pools::{Facade, FacadePools, PoolBounds};
 pub use stats::NativeStats;

@@ -315,6 +315,28 @@ impl PagePool {
             release_ns_max: self.release_ns_max.load(Ordering::Relaxed),
         }
     }
+
+    /// Publishes the pool's current counters as gauges named
+    /// `<prefix>_available`, `<prefix>_handed_out`, `<prefix>_returned`,
+    /// `<prefix>_occupancy_hwm`, `<prefix>_mean_acquire_ns`, and
+    /// `<prefix>_mean_release_ns` in `registry` (typically
+    /// [`metrics::Registry::global`] under the prefix `facade_pool`).
+    /// Call again any time to refresh; a background
+    /// [`metrics::Sampler`] can do so periodically.
+    pub fn publish_gauges(&self, registry: &metrics::Registry, prefix: &str) {
+        let c = self.counters();
+        let set = |suffix: &str, v: u64| {
+            registry
+                .gauge(&format!("{prefix}_{suffix}"))
+                .set(i64::try_from(v).unwrap_or(i64::MAX));
+        };
+        set("available", self.available() as u64);
+        set("handed_out", c.pages_handed_out);
+        set("returned", c.pages_returned);
+        set("occupancy_hwm", c.occupancy_hwm);
+        set("mean_acquire_ns", c.mean_acquire_ns());
+        set("mean_release_ns", c.mean_release_ns());
+    }
 }
 
 #[cfg(test)]
@@ -336,6 +358,20 @@ mod tests {
         assert_eq!(pool.available(), 0);
         assert_eq!(pool.pages_handed_out(), 2);
         assert_eq!(pool.pages_returned(), 2);
+    }
+
+    #[test]
+    fn publish_gauges_exports_pool_state() {
+        let pool = PagePool::with_default_config();
+        pool.release_batch(vec![PooledPage::new(), PooledPage::new()]);
+        let held = pool.acquire_batch(1);
+        assert_eq!(held.len(), 1);
+        let registry = metrics::Registry::new();
+        pool.publish_gauges(&registry, "facade_pool");
+        assert_eq!(registry.gauge("facade_pool_available").get(), 1);
+        assert_eq!(registry.gauge("facade_pool_handed_out").get(), 1);
+        assert_eq!(registry.gauge("facade_pool_returned").get(), 2);
+        assert_eq!(registry.gauge("facade_pool_occupancy_hwm").get(), 2);
     }
 
     #[test]

@@ -192,4 +192,50 @@ mod tests {
     fn empty_timeline_is_valid_json() {
         assert_eq!(render(&[]), "{\"traceEvents\":[]}\n");
     }
+
+    fn escaped(s: &str) -> String {
+        let mut out = String::new();
+        write_json_string(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn json_string_escapes_quotes_and_backslashes() {
+        assert_eq!(escaped(r#"say "hi""#), r#""say \"hi\"""#);
+        assert_eq!(escaped(r"C:\temp\x"), r#""C:\\temp\\x""#);
+        // A backslash before a quote must produce two independent escapes,
+        // not swallow one another.
+        assert_eq!(escaped("\\\""), r#""\\\"""#);
+        assert_eq!(escaped(""), "\"\"");
+    }
+
+    #[test]
+    fn json_string_escapes_named_control_characters() {
+        assert_eq!(escaped("a\nb"), r#""a\nb""#);
+        assert_eq!(escaped("a\rb"), r#""a\rb""#);
+        assert_eq!(escaped("a\tb"), r#""a\tb""#);
+    }
+
+    #[test]
+    fn json_string_escapes_remaining_control_characters_as_unicode() {
+        // Every C0 control without a short escape must become \u00XX; the
+        // printable boundary (0x20, space) must pass through untouched.
+        assert_eq!(escaped("\u{0}"), r#""\u0000""#);
+        assert_eq!(escaped("\u{1b}"), r#""\u001b""#);
+        assert_eq!(escaped("\u{1f}"), r#""\u001f""#);
+        assert_eq!(escaped(" "), "\" \"");
+        for c in (0u32..0x20).filter_map(char::from_u32) {
+            let out = escaped(&c.to_string());
+            assert!(
+                out.starts_with("\"\\"),
+                "control char {:#x} must be escaped, got {out}",
+                c as u32
+            );
+        }
+    }
+
+    #[test]
+    fn json_string_passes_multibyte_utf8_through() {
+        assert_eq!(escaped("héap π 页"), "\"héap π 页\"");
+    }
 }

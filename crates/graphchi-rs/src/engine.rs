@@ -3,7 +3,9 @@
 
 use crate::apps::{VertexProgram, VertexView, pointer_fields, vertex_fields};
 use crate::preprocess::Csr;
-use data_store::{ClassTag, ElemTy, FieldTy, PagePool, Store, StoreStats};
+use data_store::{
+    ClassTag, ElemTy, FieldTy, PagePool, PauseRecord, PoolCounters, Store, StoreCensus, StoreStats,
+};
 use datagen::Graph;
 use metrics::report::Backend;
 use metrics::{DegradationAction, OutOfMemory, PhaseTimer, ResilienceReport, phases};
@@ -393,6 +395,18 @@ pub struct RunOutcome {
     /// Failure-handling record: retries, degradation-ladder steps, and
     /// injected faults the run survived.
     pub resilience: ResilienceReport,
+    /// End-of-run census merged across every worker store: per-class
+    /// live-object rows under [`Backend::Heap`], page/oversize occupancy
+    /// under [`Backend::Facade`] — the engine-level view of the paper's
+    /// Table 3 object-count collapse.
+    pub census: StoreCensus,
+    /// Shared page-pool counters (facade backend only).
+    pub pool: Option<PoolCounters>,
+    /// Per-collection pause records from the surviving worker stores
+    /// ([`Backend::Heap`] only; empty on facade, which never collects).
+    /// Format them with `managed_heap::format_gc_log_line` for a
+    /// HotSpot-style GC log.
+    pub pauses: Vec<PauseRecord>,
 }
 
 /// Record schema shared by both backends.
@@ -410,8 +424,12 @@ struct Schema {
 /// keeps today's single private store.
 fn build_stores(config: &EngineConfig, threads: usize) -> (Vec<Store>, Schema) {
     let worker_budget = (config.budget_bytes / threads).max(4096);
-    let pool = (threads > 1 && config.backend == Backend::Facade)
-        .then(|| Arc::new(PagePool::with_default_config()));
+    // Every facade run accounts pages through the pool — including the
+    // single-threaded one — so `pages_from_pool`/`pages_to_pool` are
+    // comparable across thread counts instead of degenerating to zero at
+    // `threads == 1`.
+    let pool =
+        (config.backend == Backend::Facade).then(|| Arc::new(PagePool::with_default_config()));
     let mut stores: Vec<Store> = (0..threads)
         .map(|_| match (&config.backend, &pool) {
             (Backend::Heap, _) => Store::heap(worker_budget),
@@ -631,6 +649,14 @@ impl Engine {
                             edges_processed += (interval.0..interval.1)
                                 .map(|v| u64::from(self.csr.degree(v)))
                                 .sum::<u64>();
+                            facade_trace::instant(
+                                "interval_commit",
+                                &[
+                                    ("interval", iv_idx.into()),
+                                    ("pass", pass.into()),
+                                    ("subintervals", bufs.len().into()),
+                                ],
+                            );
                             break;
                         }
                         Err(failure) => {
@@ -658,9 +684,14 @@ impl Engine {
         }
 
         let mut stats = retired;
+        let mut census = StoreCensus::default();
+        let mut pauses = Vec::new();
         for store in &stores {
             stats.merge(&store.stats());
+            census.merge(&store.census());
+            pauses.extend(store.pause_records());
         }
+        let pool = stores[0].pool_counters();
         resilience.faults_injected = stats.faults_injected;
         #[cfg(feature = "fault-injection")]
         if let Some(plan) = &self.config.fault_plan {
@@ -677,6 +708,9 @@ impl Engine {
             passes,
             edges_processed,
             resilience,
+            census,
+            pool,
+            pauses,
         })
     }
 
@@ -774,6 +808,9 @@ impl Engine {
                     break;
                 }
             }
+            // Mirror the worker path: the interval's records are all dead,
+            // so hand the pages back for the next interval to adopt.
+            stores[0].release_pages();
             out.resize_with(subs.len(), || None);
             return out;
         }
@@ -1257,6 +1294,62 @@ mod tests {
             "workers adopt released pages instead of growing"
         );
         assert_eq!(out.stats.gc_count, 0);
+    }
+
+    #[test]
+    fn single_threaded_facade_accounts_pages_through_the_pool() {
+        // Regression: the single-threaded facade run used to bypass the
+        // shared pool entirely, reporting `pages_from_pool: 0` and making
+        // pool stats incomparable across thread counts.
+        let g = Graph::generate(&GraphSpec::new(2_000, 30_000, 43));
+        let mut engine = Engine::new(
+            &g,
+            EngineConfig {
+                backend: Backend::Facade,
+                budget_bytes: 16 << 20,
+                intervals: 8,
+                threads: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let out = engine.run(&PageRank::new(3)).unwrap();
+        assert!(
+            out.stats.pages_to_pool > 0,
+            "interval ends release pages to the pool even at one thread"
+        );
+        assert!(
+            out.stats.pages_from_pool > 0,
+            "later intervals adopt released pages instead of growing"
+        );
+        assert!(out.pool.is_some(), "facade runs expose pool counters");
+    }
+
+    #[test]
+    fn run_census_contrasts_backends() {
+        let g = Graph::generate(&GraphSpec::new(2_000, 30_000, 29));
+        let heap = run(Backend::Heap, &g, &PageRank::new(2));
+        let facade = run(Backend::Facade, &g, &PageRank::new(2));
+        assert_eq!(heap.census.backend, "heap");
+        assert_eq!(facade.census.backend, "facade");
+        assert!(heap.pool.is_none());
+        // The heap census walks real per-class objects.
+        assert!(heap.census.live_objects > 0);
+        assert!(heap.census.rows.iter().any(|r| r.name == "ChiVertex"));
+        // The facade census is page occupancy: bounded by the page budget,
+        // collapsed relative to the record traffic that flowed through it.
+        let vertex_allocs = facade
+            .census
+            .records_by_type
+            .iter()
+            .find(|(name, _)| name == "ChiVertex")
+            .map_or(0, |&(_, count)| count);
+        assert!(vertex_allocs >= 2_000, "every pass re-creates each vertex");
+        assert!(
+            facade.census.live_objects < vertex_allocs / 100,
+            "page count ({}) must collapse against record traffic ({})",
+            facade.census.live_objects,
+            vertex_allocs
+        );
     }
 
     #[test]

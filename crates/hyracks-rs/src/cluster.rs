@@ -1,6 +1,6 @@
 //! The simulated shared-nothing cluster.
 
-use data_store::{PagePool, Store, StoreStats};
+use data_store::{PagePool, Store, StoreCensus, StoreStats};
 use metrics::OutOfMemory;
 use metrics::report::Backend;
 use metrics::{DegradationAction, ResilienceReport};
@@ -125,6 +125,10 @@ pub struct JobStats {
     /// Failure-handling record: retries, degradations, and injected faults
     /// the job survived.
     pub resilience: ResilienceReport,
+    /// Census merged across every worker store at the end of its partition:
+    /// per-class object rows under [`Backend::Heap`], page occupancy under
+    /// [`Backend::Facade`] (taken before pages return to the pool).
+    pub census: StoreCensus,
 }
 
 impl JobStats {
@@ -260,7 +264,7 @@ where
             partitions = pending.len(),
             level = level,
         );
-        type Attempt<R> = (usize, Result<R, FailureCause>, StoreStats);
+        type Attempt<R> = (usize, Result<R, FailureCause>, StoreStats, StoreCensus);
         let round: Vec<Attempt<R>> = std::thread::scope(|scope| {
             let handles: Vec<_> = pending
                 .iter()
@@ -277,6 +281,9 @@ where
                             Ok(Err(oom)) => Err(FailureCause::OutOfMemory(oom)),
                             Err(payload) => Err(FailureCause::WorkerPanic(panic_message(payload))),
                         };
+                        // Census before pages return to the pool, so the
+                        // facade side reports what the partition held.
+                        let census = store.census();
                         if out.is_ok() {
                             // Hand free pages back before the store drops, so
                             // the job's next phase inherits them through the
@@ -284,7 +291,7 @@ where
                             // dropping it without salvage is always sound.
                             store.release_pages();
                         }
-                        (id, out, store.stats())
+                        (id, out, store.stats(), census)
                     })
                 })
                 .collect();
@@ -299,6 +306,7 @@ where
                         pending[i].0,
                         Err(FailureCause::WorkerPanic(panic_message(payload))),
                         StoreStats::default(),
+                        StoreCensus::default(),
                     ),
                 })
                 .collect()
@@ -306,8 +314,9 @@ where
 
         let mut failed: Option<(usize, FailureCause)> = None;
         let mut still_pending: Vec<usize> = Vec::new();
-        for (id, result, worker_stats) in round {
+        for (id, result, worker_stats, worker_census) in round {
             stats.absorb(&worker_stats);
+            stats.census.merge(&worker_census);
             match result {
                 Ok(r) => slots[id] = Some(r),
                 Err(cause) => {
@@ -418,6 +427,57 @@ mod tests {
         .unwrap();
         assert_eq!(out.iter().sum::<usize>(), 100);
         assert_eq!(stats.records_allocated, 100);
+        assert_eq!(stats.census.backend, "heap");
+        let row = stats
+            .census
+            .rows
+            .iter()
+            .find(|r| r.name == "T")
+            .expect("census row for T");
+        assert_eq!(row.count, 100, "all 100 records appear in the census");
+    }
+
+    #[test]
+    fn run_phase_census_collapses_to_pages_on_facade() {
+        let config = ClusterConfig {
+            workers: 2,
+            backend: Backend::Facade,
+            ..ClusterConfig::default()
+        };
+        let pool = config.job_page_pool();
+        let mut stats = JobStats::default();
+        let parts = round_robin(&(0..500).collect::<Vec<_>>(), 2);
+        run_phase(
+            &config,
+            "test",
+            Instant::now(),
+            parts,
+            &mut stats,
+            pool.as_ref(),
+            |_, store, xs, _| {
+                let c = store.register_class("T", &[data_store::FieldTy::I64]);
+                let it = store.iteration_start();
+                for _ in &xs {
+                    store.alloc(c)?;
+                }
+                store.iteration_end(it);
+                Ok(xs.len())
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.census.backend, "facade");
+        let traffic = stats
+            .census
+            .records_by_type
+            .iter()
+            .find(|(name, _)| name == "T")
+            .expect("per-type traffic");
+        assert_eq!(traffic.1, 500);
+        assert!(
+            stats.census.live_objects < 50,
+            "pages, not records: {}",
+            stats.census.live_objects
+        );
     }
 
     #[test]

@@ -111,6 +111,7 @@ impl Heap {
     #[allow(clippy::needless_range_loop)]
     pub fn collect_minor(&mut self) {
         let start = Instant::now();
+        let (young_before, old_before) = (self.young.top as u64, self.old.top as u64);
         self.stats.minor_collections += 1;
 
         let mut queue: Vec<u32> = Vec::new();
@@ -214,13 +215,20 @@ impl Heap {
         self.remembered.sort_unstable();
         self.remembered.dedup();
 
-        self.finish_collection(PauseKind::Minor, start, promoted_bytes);
+        self.finish_collection(
+            PauseKind::Minor,
+            start,
+            promoted_bytes,
+            young_before,
+            old_before,
+        );
     }
 
     /// A full collection: mark from the roots, compact the old space in
     /// place, and evacuate young survivors into the old generation.
     pub fn collect_full(&mut self) {
         let start = Instant::now();
+        let (young_before, old_before) = (self.young.top as u64, self.old.top as u64);
         self.stats.full_collections += 1;
 
         // Mark.
@@ -341,13 +349,27 @@ impl Heap {
             }
         }
 
-        self.finish_collection(PauseKind::Full, start, promoted_bytes);
+        self.finish_collection(
+            PauseKind::Full,
+            start,
+            promoted_bytes,
+            young_before,
+            old_before,
+        );
     }
 
     /// Common epilogue of both collectors: folds the pause into the stats
-    /// (time, histogram, per-collection record) and emits a trace span
-    /// covering the whole stop-the-world window.
-    fn finish_collection(&mut self, kind: PauseKind, start: Instant, promoted_bytes: u64) {
+    /// (time, histogram, per-collection record), takes a safepoint census if
+    /// one was requested, and emits a trace span covering the whole
+    /// stop-the-world window.
+    fn finish_collection(
+        &mut self,
+        kind: PauseKind,
+        start: Instant,
+        promoted_bytes: u64,
+        young_before: u64,
+        old_before: u64,
+    ) {
         let live_bytes = self.used_bytes() as u64;
         let pause_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.stats.record_pause(PauseRecord {
@@ -355,7 +377,14 @@ impl Heap {
             pause_ns,
             promoted_bytes,
             live_bytes,
+            young_before,
+            young_after: self.young.top as u64,
+            old_before,
+            old_after: self.old.top as u64,
         });
+        if self.census_at_gc {
+            self.last_gc_census = Some(self.census());
+        }
         let name = match kind {
             PauseKind::Minor => "gc_minor",
             PauseKind::Full => "gc_full",
@@ -570,6 +599,16 @@ mod tests {
         assert!(s.pause_records.iter().any(|r| r.promoted_bytes > 0));
         // live_bytes is a real occupancy figure, bounded by capacity.
         assert!(s.pause_records.iter().all(|r| r.live_bytes <= capacity));
+        // Generation sizes are coherent: the after-figures sum to the live
+        // bytes, survivors never exceed the pre-collection young occupancy,
+        // and a minor collection only ever grows the old generation.
+        for r in s.pause_records.iter() {
+            assert_eq!(r.young_after + r.old_after, r.live_bytes);
+            assert!(r.young_after <= r.young_before);
+            if r.kind == PauseKind::Minor {
+                assert!(r.old_after >= r.old_before);
+            }
+        }
     }
 
     #[test]

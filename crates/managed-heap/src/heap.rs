@@ -217,6 +217,10 @@ pub struct Heap {
     /// the first `set_alloc_site` call (and clamped over-range ids).
     site_profile: Vec<(u64, u64)>,
     current_site: u32,
+    /// When set, every collection epilogue stores a fresh census in
+    /// `last_gc_census` (see [`Heap::set_census_at_gc`]).
+    pub(crate) census_at_gc: bool,
+    pub(crate) last_gc_census: Option<crate::census::HeapCensus>,
 }
 
 impl Heap {
@@ -250,6 +254,8 @@ impl Heap {
             array_alloc_count: 0,
             site_profile: Vec::new(),
             current_site: 0,
+            census_at_gc: false,
+            last_gc_census: None,
         }
     }
 

@@ -47,11 +47,15 @@
 //! # Ok::<(), metrics::OutOfMemory>(())
 //! ```
 
+mod census;
 mod gc;
+mod gclog;
 mod heap;
 mod layout;
 mod stats;
 
+pub use census::{CensusRow, HeapCensus, array_class_name};
+pub use gclog::{format_gc_log_line, parse_gc_log_line, render_gc_log};
 pub use heap::{Heap, HeapConfig, MAX_ALLOC_SITES, ObjRef, RootId};
 pub use layout::{ClassId, ClassLayout, ElemKind, FieldKind};
 pub use metrics::OutOfMemory;

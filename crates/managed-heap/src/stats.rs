@@ -46,7 +46,10 @@ impl PauseKind {
 
 /// One stop-the-world collection, as the paper's Figure 4 pause analysis
 /// wants it: what ran, how long it stopped the world, how much it tenured,
-/// and how much data was live afterwards.
+/// how the generations shrank, and how much data was live afterwards.
+///
+/// Rendered one-per-line in HotSpot `-Xlog:gc` style by
+/// [`crate::format_gc_log_line`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PauseRecord {
     /// Minor or full collection.
@@ -57,6 +60,14 @@ pub struct PauseRecord {
     pub promoted_bytes: u64,
     /// Bytes occupied by live data when the collection finished.
     pub live_bytes: u64,
+    /// Young-generation occupancy (bytes) when the collection started.
+    pub young_before: u64,
+    /// Young-generation occupancy (bytes) when the collection finished.
+    pub young_after: u64,
+    /// Old-generation occupancy (bytes) when the collection started.
+    pub old_before: u64,
+    /// Old-generation occupancy (bytes) when the collection finished.
+    pub old_after: u64,
 }
 
 /// Aggregate allocation statistics for one caller-supplied site id.
@@ -195,6 +206,10 @@ mod tests {
                 pause_ns: 1_000,
                 promoted_bytes: i as u64,
                 live_bytes: 0,
+                young_before: 0,
+                young_after: 0,
+                old_before: 0,
+                old_after: 0,
             });
         }
         assert_eq!(s.pause_records.len(), GcStats::MAX_PAUSE_RECORDS);
@@ -242,5 +257,48 @@ mod tests {
         assert_eq!(a[1].site, 3);
         assert_eq!(a[2].allocations, 3);
         assert_eq!(a[2].bytes, 48);
+    }
+
+    fn site(site: u32, allocations: u64, bytes: u64) -> AllocSiteStat {
+        AllocSiteStat {
+            site,
+            allocations,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn merge_site_profiles_keeps_sorted_order_with_interleaved_ids() {
+        let mut a = vec![site(2, 1, 8), site(6, 1, 8), site(9, 1, 8)];
+        let b = [site(1, 1, 8), site(4, 1, 8), site(7, 1, 8), site(10, 1, 8)];
+        merge_site_profiles(&mut a, &b);
+        let ids: Vec<u32> = a.iter().map(|s| s.site).collect();
+        assert_eq!(ids, vec![1, 2, 4, 6, 7, 9, 10], "sorted after interleave");
+        assert!(a.iter().all(|s| s.allocations == 1), "no spurious merges");
+    }
+
+    #[test]
+    fn merge_site_profiles_never_duplicates_a_site() {
+        // Merging the same profile repeatedly must sum in place: the site
+        // list stays deduplicated and the counters scale linearly.
+        let profile = [site(3, 2, 64), site(8, 5, 160)];
+        let mut acc = Vec::new();
+        for _ in 0..3 {
+            merge_site_profiles(&mut acc, &profile);
+        }
+        assert_eq!(acc.len(), 2, "one entry per site id");
+        assert_eq!(acc[0], site(3, 6, 192));
+        assert_eq!(acc[1], site(8, 15, 480));
+    }
+
+    #[test]
+    fn merge_site_profiles_handles_empty_sides() {
+        let profile = [site(1, 1, 8)];
+        let mut empty_target = Vec::new();
+        merge_site_profiles(&mut empty_target, &profile);
+        assert_eq!(empty_target, profile.to_vec(), "empty target adopts other");
+        let mut unchanged = profile.to_vec();
+        merge_site_profiles(&mut unchanged, &[]);
+        assert_eq!(unchanged, profile.to_vec(), "empty other is a no-op");
     }
 }

@@ -11,6 +11,9 @@
 //!   budget that turns over-allocation into an out-of-memory error, mimicking
 //!   the JVM's `OutOfMemoryError` behaviour described in §4.2.
 //! - [`TextTable`] — fixed-width text tables for printing paper-style rows.
+//! - [`Registry`] / [`Sampler`] — a process-wide live-metrics registry
+//!   (named counters, gauges, histograms; lock-free hot path; Prometheus and
+//!   JSON exposition) with an optional background sampling thread.
 //! - [`report`] — serializable experiment records.
 //!
 //! # Examples
@@ -28,6 +31,7 @@
 
 mod histogram;
 mod memory;
+mod registry;
 mod resilience;
 mod stopwatch;
 mod table;
@@ -36,6 +40,7 @@ pub mod report;
 
 pub use histogram::DurationHistogram;
 pub use memory::{MemoryTracker, OutOfMemory, format_bytes};
+pub use registry::{Counter, Gauge, Histogram, Registry, Sampler};
 pub use resilience::{DegradationAction, DegradationEvent, ResilienceReport};
 pub use stopwatch::{PhaseTimer, Stopwatch, phases};
 pub use table::TextTable;
