@@ -15,7 +15,7 @@
 //! workspace needs no external benchmark framework; run with
 //! `cargo bench -p facade-bench`.
 
-use data_store::{ElemTy, FieldTy, Store};
+use data_store::{Backend, ElemTy, FieldTy, Store};
 use facade_runtime::LockPool;
 use std::hint::black_box;
 use std::sync::atomic::AtomicU16;
@@ -43,7 +43,10 @@ fn bench(name: &str, batch: u64, rounds: u32, mut f: impl FnMut()) {
 
 fn record_alloc() {
     {
-        let mut store = Store::heap(64 << 20);
+        let mut store = Store::builder()
+            .backend(Backend::Heap)
+            .budget(64 << 20)
+            .build();
         let class = store.register_class("T", &[FieldTy::I32, FieldTy::I64]);
         bench("record_alloc/heap", 100_000, 5, || {
             let r = store.alloc(class).unwrap();
@@ -51,7 +54,7 @@ fn record_alloc() {
         });
     }
     {
-        let mut store = Store::facade_unbounded();
+        let mut store = Store::builder().build();
         let class = store.register_class("T", &[FieldTy::I32, FieldTy::I64]);
         let mut it = store.iteration_start();
         let mut n = 0u32;
@@ -70,8 +73,14 @@ fn record_alloc() {
 
 fn field_access() {
     for (name, mut store) in [
-        ("heap", Store::heap(16 << 20)),
-        ("facade", Store::facade_unbounded()),
+        (
+            "heap",
+            Store::builder()
+                .backend(Backend::Heap)
+                .budget(16 << 20)
+                .build(),
+        ),
+        ("facade", Store::builder().build()),
     ] {
         let class = store.register_class("T", &[FieldTy::I64, FieldTy::F64]);
         let r = store.alloc(class).unwrap();
@@ -92,8 +101,14 @@ fn field_access() {
 
 fn array_access() {
     for (name, mut store) in [
-        ("heap", Store::heap(16 << 20)),
-        ("facade", Store::facade_unbounded()),
+        (
+            "heap",
+            Store::builder()
+                .backend(Backend::Heap)
+                .budget(16 << 20)
+                .build(),
+        ),
+        ("facade", Store::builder().build()),
     ] {
         let arr = store.alloc_array(ElemTy::I64, 1024).unwrap();
         store.add_root(arr);
@@ -114,7 +129,10 @@ fn reclamation() {
     // iteration's pages without visiting records at all.
     const N: usize = 50_000;
     {
-        let mut store = Store::heap(64 << 20);
+        let mut store = Store::builder()
+            .backend(Backend::Heap)
+            .budget(64 << 20)
+            .build();
         let class = store.register_class("T", &[FieldTy::I64, FieldTy::I64]);
         let arr = store.alloc_array(ElemTy::Ref, N).unwrap();
         store.add_root(arr);
@@ -129,7 +147,7 @@ fn reclamation() {
     {
         // Time only the `iteration_end` page recycle; the allocation filler
         // runs outside the timed region via a manual best-of-rounds loop.
-        let mut store = Store::facade_unbounded();
+        let mut store = Store::builder().build();
         let class = store.register_class("T", &[FieldTy::I64, FieldTy::I64]);
         let mut best = Duration::MAX;
         for _ in 0..20 {

@@ -100,7 +100,7 @@ fn fit_window_ablation() {
         ("uniform 32B", vec![2usize]),
         ("mixed 32B..4KiB", vec![2, 16, 120, 500]),
     ] {
-        let mut store = Store::facade_unbounded();
+        let mut store = Store::builder().build();
         let classes: Vec<_> = sizes
             .iter()
             .enumerate()

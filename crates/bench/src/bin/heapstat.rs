@@ -22,7 +22,7 @@
 //!
 //! Honours `FACADE_SCALE`; `FACADE_HEAPSTAT_OUT` overrides the JSON path.
 
-use data_store::{ElemTy, FieldTy, PagePool, Store, StoreCensus};
+use data_store::{Backend, ElemTy, FieldTy, PagePool, Store, StoreCensus};
 use facade_bench::{census_json, mib, scale};
 use managed_heap::format_gc_log_line;
 use metrics::{OutOfMemory, Registry, Sampler, TextTable};
@@ -99,7 +99,10 @@ fn main() {
     });
 
     // ---- managed-heap backend (the paper's P) ----------------------------
-    let mut managed_store = Store::heap(budget);
+    let mut managed_store = Store::builder()
+        .backend(Backend::Heap)
+        .budget(budget)
+        .build();
     let managed = workload(&mut managed_store, n, &live_bytes).expect("managed run fits budget");
     let pauses = managed_store.pause_records();
     let gc_hist = registry.histogram("heapstat_gc_pause_ns");
@@ -115,7 +118,10 @@ fn main() {
 
     // ---- facade backend (the paper's P'), pooled -------------------------
     let pool = Arc::new(PagePool::with_default_config());
-    let mut facade_store = Store::facade_shared(budget, Arc::clone(&pool));
+    let mut facade_store = Store::builder()
+        .budget(budget)
+        .pool(Arc::clone(&pool))
+        .build();
     let facade = workload(&mut facade_store, n, &live_bytes).expect("facade run fits budget");
     facade_store.release_pages();
     pool.publish_gauges(registry, "facade_pool");

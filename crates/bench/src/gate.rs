@@ -273,4 +273,19 @@ mod tests {
         assert!(gate.passed());
         assert!(!gate.checks.is_empty());
     }
+
+    #[test]
+    fn gate_checks_the_real_checked_in_hyracks_baseline() {
+        // Same self-comparison guard for the Hyracks thread-sweep baseline
+        // the `bench_hyracks` binary emits.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_hyracks.json"
+        ))
+        .expect("checked-in baseline exists");
+        let baseline = parse(&text).expect("baseline parses");
+        let gate = compare_reports(&baseline, &baseline, &Tolerances::default()).unwrap();
+        assert!(gate.passed());
+        assert_eq!(gate.checks.len(), 8, "two metrics over four thread counts");
+    }
 }

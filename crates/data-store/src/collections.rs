@@ -55,7 +55,7 @@ fn alloc_backing(store: &mut Store, capacity: usize) -> Result<(Rec, Option<Root
 /// ```
 /// use data_store::{FieldTy, Store, collections::RecList};
 ///
-/// let mut store = Store::facade(8 << 20);
+/// let mut store = Store::builder().budget(8 << 20).build();
 /// let class = store.register_class("T", &[FieldTy::I32]);
 /// let mut list = RecList::new(&mut store, 4)?;
 /// for i in 0..100 {
@@ -451,9 +451,16 @@ impl BytesMap {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Backend;
 
     fn stores() -> Vec<Store> {
-        vec![Store::heap(32 << 20), Store::facade(32 << 20)]
+        vec![
+            Store::builder()
+                .backend(Backend::Heap)
+                .budget(32 << 20)
+                .build(),
+            Store::builder().budget(32 << 20).build(),
+        ]
     }
 
     #[test]
@@ -484,7 +491,10 @@ mod tests {
 
     #[test]
     fn list_survives_gc_pressure_on_heap() {
-        let mut store = Store::heap(1 << 20);
+        let mut store = Store::builder()
+            .backend(Backend::Heap)
+            .budget(1 << 20)
+            .build();
         let class = store.register_class("T", &[FieldTy::I64]);
         let mut list = RecList::new(&mut store, 4).unwrap();
         // Interleave keeps and garbage so collections run mid-growth.
@@ -559,7 +569,7 @@ mod tests {
 
     #[test]
     fn facade_map_resize_frees_old_buckets_early() {
-        let mut store = Store::facade(32 << 20);
+        let mut store = Store::builder().budget(32 << 20).build();
         let entry = BytesMap::register_class(&mut store);
         let value_class = store.register_class("V", &[FieldTy::I64]);
         // Bucket arrays above the oversize threshold get early-freed on

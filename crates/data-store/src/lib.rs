@@ -1,12 +1,13 @@
 //! One record-storage interface over the reproduction's two backends.
 //!
 //! The three Big Data frameworks (`graphchi-rs`, `hyracks-rs`, `gps-rs`)
-//! write their *data paths* against [`Store`]. A run constructs either
+//! write their *data paths* against [`Store`]. A run constructs, via
+//! [`Store::builder`], either
 //!
-//! - [`Store::heap`] — every record is a managed-heap object with a 12-byte
-//!   header, traced and reclaimed by the generational collector: the
-//!   original program `P`; or
-//! - [`Store::facade`] — every record is a paged native record with a
+//! - [`Backend::Heap`] — every record is a managed-heap object with a
+//!   12-byte header, traced and reclaimed by the generational collector:
+//!   the original program `P`; or
+//! - [`Backend::Facade`] — every record is a paged native record with a
 //!   4-byte header, reclaimed in bulk at iteration ends: the transformed
 //!   program `P'`.
 //!
@@ -19,9 +20,11 @@
 //! # Examples
 //!
 //! ```
-//! use data_store::{FieldTy, Store};
+//! use data_store::{Backend, FieldTy, Store};
 //!
-//! for mut store in [Store::heap(16 << 20), Store::facade(16 << 20)] {
+//! let heap = Store::builder().backend(Backend::Heap).budget(16 << 20).build();
+//! let facade = Store::builder().budget(16 << 20).build();
+//! for mut store in [heap, facade] {
 //!     let vertex = store.register_class("Vertex", &[FieldTy::F64, FieldTy::Ref]);
 //!     let it = store.iteration_start();
 //!     let v = store.alloc(vertex)?;
@@ -40,11 +43,14 @@ use facade_runtime::{
     ElemKind as PElem, FieldKind as PField, PageRef, PagedHeap, PagedHeapConfig, TypeId,
 };
 pub use facade_runtime::{PagePool, PagePoolConfig, PoolCounters};
-pub use managed_heap::{AllocSiteStat, CensusRow, HeapCensus, PauseRecord, merge_site_profiles};
+pub use managed_heap::{
+    AllocSiteStat, CensusRow, HeapCensus, HeapConfig, PauseRecord, merge_site_profiles,
+};
 use managed_heap::{
-    ClassId as HClassId, ElemKind as HElem, FieldKind as HField, Heap, HeapConfig, ObjRef, RootId,
+    ClassId as HClassId, ElemKind as HElem, FieldKind as HField, Heap, ObjRef, RootId,
 };
 use metrics::OutOfMemory;
+pub use metrics::report::Backend;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -275,38 +281,87 @@ fn p_elem(e: ElemTy) -> PElem {
     }
 }
 
-impl Store {
-    /// Creates a heap-backed store (`P`) with the given byte budget.
-    pub fn heap(budget_bytes: usize) -> Self {
+/// Configures and builds a [`Store`]: the one construction path covering
+/// every combination the deprecated ad-hoc constructors used to express.
+///
+/// Defaults: facade backend, no budget (unbounded), private pages, no
+/// fault plan — each knob is opt-in.
+///
+/// ```
+/// use data_store::{Backend, Store};
+///
+/// let heap = Store::builder()
+///     .backend(Backend::Heap)
+///     .budget(16 << 20)
+///     .build();
+/// assert!(!heap.is_facade());
+///
+/// let facade = Store::builder().budget(16 << 20).build();
+/// assert!(facade.is_facade());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreBuilder {
+    backend: Backend,
+    budget_bytes: Option<usize>,
+    heap_config: Option<HeapConfig>,
+    pool: Option<Arc<PagePool>>,
+    #[cfg(feature = "fault-injection")]
+    fault_plan: Option<FaultPlan>,
+}
+
+impl Default for StoreBuilder {
+    fn default() -> Self {
         Self {
-            inner: Inner::Heap {
-                heap: Heap::new(HeapConfig::with_capacity(budget_bytes)),
-                classes: Vec::new(),
-            },
+            backend: Backend::Facade,
+            budget_bytes: None,
+            heap_config: None,
+            pool: None,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
     }
+}
 
-    /// Creates a heap-backed store with an explicit configuration.
-    pub fn heap_with_config(config: HeapConfig) -> Self {
-        Self {
-            inner: Inner::Heap {
-                heap: Heap::new(config),
-                classes: Vec::new(),
-            },
-        }
+impl StoreBuilder {
+    /// Selects the storage backend: [`Backend::Heap`] is the paper's `P`
+    /// (managed objects, tracing GC), [`Backend::Facade`] its `P'` (paged
+    /// native records, bulk reclamation). Defaults to the facade.
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
-    /// Creates a facade-backed store (`P'`) with the given byte budget,
-    /// enforced over native pages per the paper's fair-comparison rule.
-    pub fn facade(budget_bytes: usize) -> Self {
-        Self {
-            inner: Inner::Facade {
-                paged: PagedHeap::with_config(PagedHeapConfig {
-                    budget_bytes: Some(budget_bytes as u64),
-                }),
-                classes: Vec::new(),
-            },
-        }
+    /// Caps the store at `budget_bytes`. On the heap backend this sizes the
+    /// generations ([`HeapConfig::with_capacity`]); on the facade backend it
+    /// bounds native pages per the paper's fair-comparison rule. Without a
+    /// budget the facade is unbounded and the heap uses
+    /// [`HeapConfig::default`].
+    #[must_use]
+    pub fn budget(mut self, budget_bytes: usize) -> Self {
+        self.budget_bytes = Some(budget_bytes);
+        self
+    }
+
+    /// Full heap-generation control for the heap backend; overrides
+    /// [`budget`](Self::budget) there, and is ignored by the facade backend
+    /// (which has no generations to size).
+    #[must_use]
+    pub fn heap_config(mut self, config: HeapConfig) -> Self {
+        self.heap_config = Some(config);
+        self
+    }
+
+    /// Draws the facade backend's pages from (and returns them to) a shared
+    /// [`PagePool`]. Per-worker stores built over one pool converge on a
+    /// single process-wide working set of pages: what one worker releases
+    /// at [`Store::release_pages`], another adopts instead of allocating
+    /// fresh. The budget still bounds this store's own held bytes. Ignored
+    /// by the heap backend, which has no pages to pool.
+    #[must_use]
+    pub fn pool(mut self, pool: Arc<PagePool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Installs a fault schedule on the facade backend's paged heap (a
@@ -314,6 +369,89 @@ impl Store {
     /// into). Clone one plan across the stores of a run to inject against
     /// the process-wide allocation sequence.
     #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builds the store. Infallible: every knob combination is meaningful
+    /// (inapplicable knobs are documented no-ops on the other backend).
+    pub fn build(self) -> Store {
+        let inner = match self.backend {
+            Backend::Heap => {
+                let config = self
+                    .heap_config
+                    .or_else(|| self.budget_bytes.map(HeapConfig::with_capacity))
+                    .unwrap_or_default();
+                Inner::Heap {
+                    heap: Heap::new(config),
+                    classes: Vec::new(),
+                }
+            }
+            Backend::Facade => {
+                let config = PagedHeapConfig {
+                    budget_bytes: self.budget_bytes.map(|b| b as u64),
+                };
+                let paged = match self.pool {
+                    Some(pool) => PagedHeap::with_pool(config, pool),
+                    None => PagedHeap::with_config(config),
+                };
+                Inner::Facade {
+                    paged,
+                    classes: Vec::new(),
+                }
+            }
+        };
+        #[cfg_attr(not(feature = "fault-injection"), allow(unused_mut))]
+        let mut store = Store { inner };
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = self.fault_plan {
+            if let Inner::Facade { paged, .. } = &mut store.inner {
+                paged.set_fault_plan(plan);
+            }
+        }
+        store
+    }
+}
+
+impl Store {
+    /// Starts configuring a store; see [`StoreBuilder`].
+    pub fn builder() -> StoreBuilder {
+        StoreBuilder::default()
+    }
+
+    /// Creates a heap-backed store (`P`) with the given byte budget.
+    #[deprecated(note = "use `Store::builder().backend(Backend::Heap).budget(..).build()`")]
+    pub fn heap(budget_bytes: usize) -> Self {
+        Self::builder()
+            .backend(Backend::Heap)
+            .budget(budget_bytes)
+            .build()
+    }
+
+    /// Creates a heap-backed store with an explicit configuration.
+    #[deprecated(note = "use `Store::builder().backend(Backend::Heap).heap_config(..).build()`")]
+    pub fn heap_with_config(config: HeapConfig) -> Self {
+        Self::builder()
+            .backend(Backend::Heap)
+            .heap_config(config)
+            .build()
+    }
+
+    /// Creates a facade-backed store (`P'`) with the given byte budget,
+    /// enforced over native pages per the paper's fair-comparison rule.
+    #[deprecated(note = "use `Store::builder().budget(..).build()`")]
+    pub fn facade(budget_bytes: usize) -> Self {
+        Self::builder().budget(budget_bytes).build()
+    }
+
+    /// Installs a fault schedule on the facade backend's paged heap (a
+    /// no-op on the heap backend, which has no paged allocator to inject
+    /// into). Clone one plan across the stores of a run to inject against
+    /// the process-wide allocation sequence.
+    #[cfg(feature = "fault-injection")]
+    #[deprecated(note = "use `StoreBuilder::fault_plan` at construction")]
     pub fn set_fault_plan(&mut self, plan: facade_runtime::FaultPlan) {
         if let Inner::Facade { paged, .. } = &mut self.inner {
             paged.set_fault_plan(plan);
@@ -321,32 +459,16 @@ impl Store {
     }
 
     /// Creates a facade-backed store with no budget.
+    #[deprecated(note = "use `Store::builder().build()`")]
     pub fn facade_unbounded() -> Self {
-        Self {
-            inner: Inner::Facade {
-                paged: PagedHeap::new(),
-                classes: Vec::new(),
-            },
-        }
+        Self::builder().build()
     }
 
     /// Creates a facade-backed store whose pages come from (and return to) a
-    /// shared [`PagePool`]. Per-worker stores built over one pool converge on
-    /// a single process-wide working set of pages: what one worker releases
-    /// at [`Store::release_pages`], another adopts instead of allocating
-    /// fresh. The budget still bounds this store's own held bytes.
+    /// shared [`PagePool`]. See [`StoreBuilder::pool`].
+    #[deprecated(note = "use `Store::builder().budget(..).pool(..).build()`")]
     pub fn facade_shared(budget_bytes: usize, pool: Arc<PagePool>) -> Self {
-        Self {
-            inner: Inner::Facade {
-                paged: PagedHeap::with_pool(
-                    PagedHeapConfig {
-                        budget_bytes: Some(budget_bytes as u64),
-                    },
-                    pool,
-                ),
-                classes: Vec::new(),
-            },
-        }
+        Self::builder().budget(budget_bytes).pool(pool).build()
     }
 
     /// Returns `true` if this store uses the facade (paged) backend.
@@ -686,7 +808,7 @@ impl Store {
     /// Surrenders this store's free pages to the shared [`PagePool`] so
     /// other workers can adopt them. Returns the number of pages released;
     /// a no-op (returning 0) on the heap backend or when the store was not
-    /// built with [`Store::facade_shared`]. Engines call this at interval
+    /// built over a pool ([`StoreBuilder::pool`]). Engines call this at interval
     /// boundaries, after `iteration_end` has refilled the free list.
     pub fn release_pages(&mut self) -> usize {
         match &mut self.inner {
@@ -810,7 +932,13 @@ mod tests {
     use super::*;
 
     fn both() -> Vec<Store> {
-        vec![Store::heap(8 << 20), Store::facade(8 << 20)]
+        vec![
+            Store::builder()
+                .backend(Backend::Heap)
+                .budget(8 << 20)
+                .build(),
+            Store::builder().budget(8 << 20).build(),
+        ]
     }
 
     #[test]
@@ -855,7 +983,10 @@ mod tests {
 
     #[test]
     fn heap_backend_collects_unrooted_garbage() {
-        let mut s = Store::heap(1 << 20);
+        let mut s = Store::builder()
+            .backend(Backend::Heap)
+            .budget(1 << 20)
+            .build();
         let c = s.register_class("T", &[FieldTy::I64, FieldTy::I64]);
         let keep = s.alloc(c).unwrap();
         s.set_i64(keep, 0, 123);
@@ -872,7 +1003,7 @@ mod tests {
 
     #[test]
     fn facade_backend_never_collects() {
-        let mut s = Store::facade(64 << 20);
+        let mut s = Store::builder().budget(64 << 20).build();
         let c = s.register_class("T", &[FieldTy::I64, FieldTy::I64]);
         let it = s.iteration_start();
         for _ in 0..100_000 {
@@ -889,7 +1020,7 @@ mod tests {
 
     #[test]
     fn iteration_reuse_keeps_facade_footprint_flat() {
-        let mut s = Store::facade(64 << 20);
+        let mut s = Store::builder().budget(64 << 20).build();
         let c = s.register_class("T", &[FieldTy::I64; 4]);
         let mut peaks = Vec::new();
         for _ in 0..5 {
@@ -906,7 +1037,13 @@ mod tests {
 
     #[test]
     fn both_backends_honor_budgets() {
-        for mut s in [Store::heap(256 << 10), Store::facade(256 << 10)] {
+        for mut s in [
+            Store::builder()
+                .backend(Backend::Heap)
+                .budget(256 << 10)
+                .build(),
+            Store::builder().budget(256 << 10).build(),
+        ] {
             let c = s.register_class("T", &[FieldTy::I64; 8]);
             let mut roots = Vec::new();
             let mut oom = false;
@@ -928,8 +1065,11 @@ mod tests {
         // §2.4: a record pays a 4-byte header in P' where an object pays 12
         // bytes in P. Allocate the same live records on both backends; the
         // heap must hold strictly more bytes per record.
-        let mut h = Store::heap(64 << 20);
-        let mut f = Store::facade(64 << 20);
+        let mut h = Store::builder()
+            .backend(Backend::Heap)
+            .budget(64 << 20)
+            .build();
+        let mut f = Store::builder().budget(64 << 20).build();
         let fields = [FieldTy::I32; 4];
         let hc = h.register_class("T", &fields);
         let fc = f.register_class("T", &fields);
@@ -961,7 +1101,10 @@ mod tests {
             s.iteration_end(it);
         };
 
-        let mut a = Store::facade_shared(64 << 20, Arc::clone(&pool));
+        let mut a = Store::builder()
+            .budget(64 << 20)
+            .pool(Arc::clone(&pool))
+            .build();
         fill(&mut a);
         let released = a.release_pages();
         assert!(released > 0);
@@ -969,23 +1112,33 @@ mod tests {
 
         // A second store over the same pool runs the identical workload
         // without creating a single fresh page.
-        let mut b = Store::facade_shared(64 << 20, pool);
+        let mut b = Store::builder().budget(64 << 20).pool(pool).build();
         fill(&mut b);
         let st = b.stats();
         assert_eq!(st.pages_created, 0);
         assert!(st.pages_from_pool > 0);
 
         // Plain stores ignore release_pages.
-        let mut plain = Store::facade(8 << 20);
+        let mut plain = Store::builder().budget(8 << 20).build();
         let c = plain.register_class("T", &[FieldTy::I64]);
         plain.alloc(c).unwrap();
         assert_eq!(plain.release_pages(), 0);
-        assert_eq!(Store::heap(8 << 20).release_pages(), 0);
+        assert_eq!(
+            Store::builder()
+                .backend(Backend::Heap)
+                .budget(8 << 20)
+                .build()
+                .release_pages(),
+            0
+        );
     }
 
     #[test]
     fn alloc_sites_and_pause_records_pass_through() {
-        let mut h = Store::heap(1 << 20);
+        let mut h = Store::builder()
+            .backend(Backend::Heap)
+            .budget(1 << 20)
+            .build();
         let c = h.register_class("T", &[FieldTy::I64]);
         h.set_alloc_site(2);
         h.alloc(c).unwrap();
@@ -996,7 +1149,7 @@ mod tests {
         assert_eq!(h.pause_records().len(), 1, "one record per collection");
 
         // Facade backend: both are empty no-ops.
-        let mut f = Store::facade(1 << 20);
+        let mut f = Store::builder().budget(1 << 20).build();
         let c = f.register_class("T", &[FieldTy::I64]);
         f.set_alloc_site(2);
         f.alloc(c).unwrap();
@@ -1008,8 +1161,11 @@ mod tests {
     fn census_scales_on_heap_but_is_bounded_on_facade() {
         // The Table 3 shape: run the same workload on both backends and
         // compare runtime-object counts.
-        let mut h = Store::heap(64 << 20);
-        let mut f = Store::facade(64 << 20);
+        let mut h = Store::builder()
+            .backend(Backend::Heap)
+            .budget(64 << 20)
+            .build();
+        let mut f = Store::builder().budget(64 << 20).build();
         let hc = h.register_class("Vertex", &[FieldTy::I64]);
         let fc = f.register_class("Vertex", &[FieldTy::I64]);
         let n = 50_000u64;
@@ -1054,7 +1210,7 @@ mod tests {
     fn census_merge_aggregates_workers() {
         let mut censuses = Vec::new();
         for _ in 0..3 {
-            let mut s = Store::facade(8 << 20);
+            let mut s = Store::builder().budget(8 << 20).build();
             let c = s.register_class("T", &[FieldTy::I64]);
             let it = s.iteration_start();
             for _ in 0..1000 {
@@ -1074,7 +1230,11 @@ mod tests {
         assert_eq!(total.records_by_type, vec![("T".to_string(), 3000)]);
 
         // Cross-backend merges are flagged rather than silently mixed in.
-        let mut heap_census = Store::heap(1 << 20).census();
+        let mut heap_census = Store::builder()
+            .backend(Backend::Heap)
+            .budget(1 << 20)
+            .build()
+            .census();
         heap_census.backend = "heap";
         total.merge(&heap_census);
         assert_eq!(total.backend, "mixed");
@@ -1082,10 +1242,26 @@ mod tests {
 
     #[test]
     fn pool_counters_pass_through_for_shared_stores_only() {
-        assert!(Store::heap(1 << 20).pool_counters().is_none());
-        assert!(Store::facade(1 << 20).pool_counters().is_none());
+        assert!(
+            Store::builder()
+                .backend(Backend::Heap)
+                .budget(1 << 20)
+                .build()
+                .pool_counters()
+                .is_none()
+        );
+        assert!(
+            Store::builder()
+                .budget(1 << 20)
+                .build()
+                .pool_counters()
+                .is_none()
+        );
         let pool = Arc::new(PagePool::with_default_config());
-        let mut s = Store::facade_shared(8 << 20, Arc::clone(&pool));
+        let mut s = Store::builder()
+            .budget(8 << 20)
+            .pool(Arc::clone(&pool))
+            .build();
         let c = s.register_class("T", &[FieldTy::I64]);
         let it = s.iteration_start();
         for _ in 0..50_000 {

@@ -1,0 +1,159 @@
+//! `StoreBuilder` vs the deprecated constructors: every legacy entry point
+//! must build a store that is *observably identical* to its builder
+//! replacement — same census and same deterministic statistics under the
+//! same traffic. This is the compatibility contract that lets callers
+//! migrate mechanically.
+#![allow(deprecated)]
+
+use data_store::{Backend, ElemTy, FieldTy, HeapConfig, PagePool, Store, StoreStats};
+use std::sync::Arc;
+
+/// Identical allocation traffic against any store: rooted survivors, an
+/// iteration of transient records, arrays, and a collection.
+fn drive(store: &mut Store) -> (StoreStats, data_store::StoreCensus) {
+    let class = store.register_class("Parity", &[FieldTy::I64, FieldTy::Ref]);
+    let mut survivors = Vec::new();
+    for i in 0..200 {
+        let r = store.alloc(class).expect("budget is generous");
+        store.add_root(r);
+        store.set_i64(r, 0, i);
+        survivors.push(r);
+    }
+    let it = store.iteration_start();
+    for _ in 0..500 {
+        store.alloc(class).expect("budget is generous");
+    }
+    store.iteration_end(it);
+    let arr = store.alloc_array(ElemTy::U8, 333).expect("array fits");
+    store.add_root(arr);
+    store.array_write_bytes(arr, &[7u8; 333]);
+    store.collect();
+    (store.stats(), store.census())
+}
+
+/// The deterministic slice of [`StoreStats`] (GC wall time is noise).
+fn fingerprint(stats: &StoreStats) -> (u64, u64, u64, u64) {
+    (
+        stats.gc_count,
+        stats.records_allocated,
+        stats.peak_bytes,
+        stats.pages_created,
+    )
+}
+
+fn assert_parity(mut legacy: Store, mut built: Store, which: &str) {
+    assert_eq!(legacy.is_facade(), built.is_facade(), "{which}: backend");
+    let (legacy_stats, legacy_census) = drive(&mut legacy);
+    let (built_stats, built_census) = drive(&mut built);
+    assert_eq!(
+        fingerprint(&legacy_stats),
+        fingerprint(&built_stats),
+        "{which}: stats fingerprint"
+    );
+    assert_eq!(legacy_census, built_census, "{which}: census");
+}
+
+#[test]
+fn heap_constructor_matches_builder() {
+    assert_parity(
+        Store::heap(16 << 20),
+        Store::builder()
+            .backend(Backend::Heap)
+            .budget(16 << 20)
+            .build(),
+        "heap",
+    );
+}
+
+#[test]
+fn heap_with_config_matches_builder() {
+    let config = HeapConfig::with_capacity(8 << 20);
+    assert_parity(
+        Store::heap_with_config(config.clone()),
+        Store::builder()
+            .backend(Backend::Heap)
+            .heap_config(config)
+            .build(),
+        "heap_with_config",
+    );
+}
+
+#[test]
+fn facade_constructor_matches_builder() {
+    assert_parity(
+        Store::facade(16 << 20),
+        Store::builder().budget(16 << 20).build(),
+        "facade",
+    );
+}
+
+#[test]
+fn facade_unbounded_matches_builder() {
+    assert_parity(
+        Store::facade_unbounded(),
+        Store::builder().build(),
+        "facade_unbounded",
+    );
+}
+
+#[test]
+fn facade_shared_matches_builder() {
+    // Separate pools so the two stores see identical (empty) page supplies.
+    let legacy_pool = Arc::new(PagePool::with_default_config());
+    let built_pool = Arc::new(PagePool::with_default_config());
+    assert_parity(
+        Store::facade_shared(16 << 20, Arc::clone(&legacy_pool)),
+        Store::builder()
+            .budget(16 << 20)
+            .pool(Arc::clone(&built_pool))
+            .build(),
+        "facade_shared",
+    );
+    // Both stores returned their pages to their pools at the same points.
+    assert_eq!(
+        legacy_pool.counters().pages_returned,
+        built_pool.counters().pages_returned
+    );
+}
+
+#[cfg(feature = "fault-injection")]
+mod fault_injection {
+    use super::*;
+    use data_store::FaultPlan;
+
+    /// `set_fault_plan` after construction and `StoreBuilder::fault_plan`
+    /// at construction must inject on the same allocation schedule.
+    #[test]
+    fn set_fault_plan_matches_builder_fault_plan() {
+        let mk_plan = || FaultPlan::builder(41).fail_nth_allocation(100).build();
+
+        let legacy_plan = mk_plan();
+        let mut legacy = Store::facade(16 << 20);
+        legacy.set_fault_plan(legacy_plan.clone());
+
+        let built_plan = mk_plan();
+        let built = Store::builder()
+            .budget(16 << 20)
+            .fault_plan(built_plan.clone())
+            .build();
+
+        for (which, mut store, plan) in [
+            ("legacy", legacy, legacy_plan),
+            ("builder", built, built_plan),
+        ] {
+            let class = store.register_class("Parity", &[FieldTy::I64]);
+            let mut failures = 0u32;
+            for _ in 0..300 {
+                if store.alloc(class).is_err() {
+                    failures += 1;
+                }
+            }
+            assert!(failures >= 1, "{which}: the plan must fire");
+            assert_eq!(
+                u64::from(failures),
+                plan.faults_injected(),
+                "{which}: every failure is an injection"
+            );
+        }
+    }
+}

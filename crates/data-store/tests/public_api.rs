@@ -1,0 +1,161 @@
+//! Public-API snapshot check: the `pub` surface of `data-store` is written
+//! out (declaration signatures, per source file) and compared against the
+//! checked-in snapshot under `api/`. An unreviewed API change — a renamed
+//! builder method, a constructor losing its deprecation shim, a struct
+//! going private — fails this test before it reaches a consumer.
+//!
+//! To accept an intentional change, regenerate the snapshot:
+//!
+//! ```text
+//! FACADE_UPDATE_API=1 cargo test -p data-store --test public_api
+//! ```
+//!
+//! The extraction is textual (no nightly rustdoc JSON, no extra tooling):
+//! every `pub` declaration line, with multi-line signatures joined and
+//! whitespace collapsed. `pub(crate)`/`pub(super)` items are internal and
+//! excluded; items inside `#[cfg(test)]` modules never reach the surface
+//! because test modules are not `pub`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// `true` when a trimmed line opens a public declaration (not a scoped
+/// `pub(...)` one).
+fn is_pub_decl(line: &str) -> bool {
+    line.strip_prefix("pub")
+        .is_some_and(|rest| rest.starts_with(' ') || rest.starts_with('\t'))
+}
+
+/// Joins a declaration that spans lines until its body brace or terminating
+/// semicolon, then collapses whitespace. Signatures — not bodies — are the
+/// snapshot's subject.
+fn signature(lines: &[&str], start: usize) -> String {
+    let mut sig = String::new();
+    for line in &lines[start..] {
+        let trimmed = line.trim();
+        if !sig.is_empty() {
+            sig.push(' ');
+        }
+        sig.push_str(trimmed);
+        // A trailing comma ends a declaration only outside an argument
+        // list (a struct field, not a wrapped `fn` parameter).
+        let depth: i32 = sig
+            .chars()
+            .map(|c| match c {
+                '(' => 1,
+                ')' => -1,
+                _ => 0,
+            })
+            .sum();
+        if trimmed.ends_with('{')
+            || trimmed.ends_with(';')
+            || trimmed.ends_with('}')
+            || (depth == 0 && trimmed.ends_with(','))
+        {
+            break;
+        }
+    }
+    let sig = sig
+        .trim_end_matches('{')
+        .trim_end_matches(';')
+        .trim_end_matches(',')
+        .trim_end();
+    sig.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Renders the crate's public surface, one `file: signature` line each,
+/// sorted for stability.
+fn render_surface(src: &Path) -> String {
+    let mut files: Vec<PathBuf> = fs::read_dir(src)
+        .expect("src dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    files.sort();
+
+    let mut entries: Vec<String> = Vec::new();
+    for path in files {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).expect("source file reads");
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if is_pub_decl(line.trim()) {
+                entries.push(format!("{name}: {}", signature(&lines, i)));
+            }
+        }
+    }
+    entries.sort();
+    entries.dedup();
+    let mut out = String::new();
+    for entry in &entries {
+        writeln!(out, "{entry}").unwrap();
+    }
+    out
+}
+
+#[test]
+fn public_api_matches_snapshot() {
+    let snapshot_path = manifest_dir().join("api/public-api.txt");
+    let current = render_surface(&manifest_dir().join("src"));
+
+    if std::env::var("FACADE_UPDATE_API").is_ok() {
+        fs::create_dir_all(snapshot_path.parent().unwrap()).unwrap();
+        fs::write(&snapshot_path, &current).expect("write snapshot");
+        eprintln!("updated {}", snapshot_path.display());
+        return;
+    }
+
+    let snapshot = fs::read_to_string(&snapshot_path).unwrap_or_else(|e| {
+        panic!(
+            "no API snapshot at {} ({e}); generate one with \
+             FACADE_UPDATE_API=1 cargo test -p data-store --test public_api",
+            snapshot_path.display()
+        )
+    });
+    if snapshot != current {
+        let mut diff = String::new();
+        for line in snapshot.lines() {
+            if !current.contains(line) {
+                writeln!(diff, "- {line}").unwrap();
+            }
+        }
+        for line in current.lines() {
+            if !snapshot.contains(line) {
+                writeln!(diff, "+ {line}").unwrap();
+            }
+        }
+        panic!(
+            "data-store's public API changed:\n{diff}\n\
+             If intentional, review the diff and regenerate the snapshot:\n  \
+             FACADE_UPDATE_API=1 cargo test -p data-store --test public_api"
+        );
+    }
+}
+
+/// The deprecated constructors are part of the compatibility contract this
+/// PR makes: they must stay on the surface until a major release removes
+/// them deliberately (which will show up as a reviewed snapshot change).
+#[test]
+fn snapshot_pins_the_deprecated_constructors() {
+    let snapshot = fs::read_to_string(manifest_dir().join("api/public-api.txt"))
+        .expect("snapshot is checked in");
+    for item in [
+        "pub fn heap(budget_bytes: usize) -> Self",
+        "pub fn heap_with_config(config: HeapConfig) -> Self",
+        "pub fn facade(budget_bytes: usize) -> Self",
+        "pub fn facade_unbounded() -> Self",
+        "pub fn facade_shared(budget_bytes: usize, pool: Arc<PagePool>) -> Self",
+        "pub fn builder() -> StoreBuilder",
+        "pub struct StoreBuilder",
+    ] {
+        assert!(
+            snapshot.contains(item),
+            "snapshot must pin `{item}` on the public surface"
+        );
+    }
+}

@@ -84,11 +84,15 @@ struct Worker {
 
 fn store_for(config: &GpsConfig, pool: Option<&Arc<PagePool>>) -> Store {
     match (config.backend, pool) {
-        (Backend::Heap, _) => Store::heap(config.per_worker_budget),
-        (Backend::Facade, Some(pool)) => {
-            Store::facade_shared(config.per_worker_budget, Arc::clone(pool))
-        }
-        (Backend::Facade, None) => Store::facade(config.per_worker_budget),
+        (Backend::Heap, _) => Store::builder()
+            .backend(Backend::Heap)
+            .budget(config.per_worker_budget)
+            .build(),
+        (Backend::Facade, Some(pool)) => Store::builder()
+            .budget(config.per_worker_budget)
+            .pool(Arc::clone(pool))
+            .build(),
+        (Backend::Facade, None) => Store::builder().budget(config.per_worker_budget).build(),
     }
 }
 

@@ -8,7 +8,10 @@ use data_store::{
 };
 use datagen::Graph;
 use metrics::report::Backend;
-use metrics::{DegradationAction, OutOfMemory, PhaseTimer, ResilienceReport, phases};
+use metrics::{
+    DegradationAction, FailureCause, OutOfMemory, PhaseTimer, ResilienceReport, panic_message,
+    phases,
+};
 use std::error::Error;
 use std::fmt;
 use std::panic::{AssertUnwindSafe, catch_unwind};
@@ -173,74 +176,57 @@ impl Error for EngineError {
     }
 }
 
-/// One failed unit of work, caught before it can kill the run.
+/// Collapses the engine-specific context back to the cross-engine failure
+/// vocabulary, so callers handling both frameworks match on one shape.
+impl From<EngineError> for FailureCause {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Oom { source, .. } => FailureCause::OutOfMemory(source),
+            EngineError::WorkerPanicked { message, .. } => FailureCause::WorkerPanic(message),
+        }
+    }
+}
+
+/// One failed unit of work, caught before it can kill the run. The `kind`
+/// is the cross-engine [`FailureCause`] vocabulary from `metrics`; this
+/// struct adds the GraphChi-specific context (which worker, which
+/// subinterval).
 #[derive(Debug)]
 struct SubFailure {
     worker: usize,
     subinterval: usize,
-    kind: FailureKind,
-}
-
-#[derive(Debug)]
-enum FailureKind {
-    Oom(OutOfMemory),
-    Panic(String),
-}
-
-impl FailureKind {
-    /// Transient failures may succeed on an identical retry: panics (often
-    /// data races or poisoned scratch state) and injected faults (fire once
-    /// or probabilistically). A genuine budget exhaustion is deterministic —
-    /// only degradation can help.
-    fn is_transient(&self) -> bool {
-        match self {
-            FailureKind::Oom(e) => e.is_injected(),
-            FailureKind::Panic(_) => true,
-        }
-    }
-}
-
-impl fmt::Display for FailureKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FailureKind::Oom(e) => write!(f, "{e}"),
-            FailureKind::Panic(m) => write!(f, "panic: {m}"),
-        }
-    }
+    kind: FailureCause,
 }
 
 impl SubFailure {
     fn into_engine_error(self) -> EngineError {
         match self.kind {
-            FailureKind::Oom(source) => EngineError::Oom {
+            FailureCause::OutOfMemory(source) => EngineError::Oom {
                 worker: self.worker,
                 subinterval: self.subinterval,
                 source,
             },
-            FailureKind::Panic(message) => EngineError::WorkerPanicked {
+            FailureCause::WorkerPanic(message) => EngineError::WorkerPanicked {
                 worker: self.worker,
                 subinterval: self.subinterval,
                 message,
+            },
+            // `FailureCause` is non-exhaustive; any future kind surfaces
+            // with its rendered message rather than being dropped.
+            cause => EngineError::WorkerPanicked {
+                worker: self.worker,
+                subinterval: self.subinterval,
+                message: cause.to_string(),
             },
         }
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "opaque panic payload".to_string()
-    }
-}
-
 /// Runs one unit of work with both failure modes caught: an `Err` from the
-/// work itself becomes [`FailureKind::Oom`], a panic becomes
-/// [`FailureKind::Panic`]. `AssertUnwindSafe` is sound here because every
-/// caller discards (and rebuilds) the stores the closure touched whenever
-/// it reports a failure.
+/// work itself becomes [`FailureCause::OutOfMemory`], a panic becomes
+/// [`FailureCause::WorkerPanic`]. `AssertUnwindSafe` is sound here because
+/// every caller discards (and rebuilds) the stores the closure touched
+/// whenever it reports a failure.
 fn catch_failure<T>(
     worker: usize,
     work: impl FnOnce() -> Result<T, OutOfMemory>,
@@ -250,12 +236,12 @@ fn catch_failure<T>(
         Ok(Err(oom)) => Err(SubFailure {
             worker,
             subinterval: 0,
-            kind: FailureKind::Oom(oom),
+            kind: FailureCause::OutOfMemory(oom),
         }),
         Err(payload) => Err(SubFailure {
             worker,
             subinterval: 0,
-            kind: FailureKind::Panic(panic_message(payload)),
+            kind: FailureCause::WorkerPanic(panic_message(payload.as_ref())),
         }),
     }
 }
@@ -431,20 +417,23 @@ fn build_stores(config: &EngineConfig, threads: usize) -> (Vec<Store>, Schema) {
     let pool =
         (config.backend == Backend::Facade).then(|| Arc::new(PagePool::with_default_config()));
     let mut stores: Vec<Store> = (0..threads)
-        .map(|_| match (&config.backend, &pool) {
-            (Backend::Heap, _) => Store::heap(worker_budget),
-            (Backend::Facade, Some(pool)) => Store::facade_shared(worker_budget, Arc::clone(pool)),
-            (Backend::Facade, None) => Store::facade(worker_budget),
+        .map(|_| {
+            let mut builder = Store::builder()
+                .backend(config.backend)
+                .budget(worker_budget);
+            if let Some(pool) = &pool {
+                builder = builder.pool(Arc::clone(pool));
+            }
+            #[cfg(feature = "fault-injection")]
+            if let Some(plan) = &config.fault_plan {
+                builder = builder.fault_plan(plan.clone());
+            }
+            builder.build()
         })
         .collect();
     #[cfg(feature = "fault-injection")]
-    if let Some(plan) = &config.fault_plan {
-        if let Some(pool) = &pool {
-            pool.set_fault_plan(plan.clone());
-        }
-        for store in &mut stores {
-            store.set_fault_plan(plan.clone());
-        }
+    if let (Some(plan), Some(pool)) = (&config.fault_plan, &pool) {
+        pool.set_fault_plan(plan.clone());
     }
     // Register the same classes in every store; the tags are identical
     // because registration order is.
@@ -734,7 +723,9 @@ impl Engine {
                     return Err(SubFailure {
                         worker: 0,
                         subinterval: idx,
-                        kind: FailureKind::Panic("subinterval produced no result".to_string()),
+                        kind: FailureCause::WorkerPanic(
+                            "subinterval produced no result".to_string(),
+                        ),
                     });
                 }
             }
@@ -870,7 +861,9 @@ impl Engine {
                                 Err(SubFailure {
                                     worker: w,
                                     subinterval: w,
-                                    kind: FailureKind::Panic(panic_message(payload)),
+                                    kind: FailureCause::WorkerPanic(panic_message(
+                                        payload.as_ref(),
+                                    )),
                                 }),
                             )]
                         } else {
@@ -1549,7 +1542,7 @@ mod resilience_tests {
         let oom_failure = || SubFailure {
             worker: 0,
             subinterval: 0,
-            kind: FailureKind::Oom(OutOfMemory::new(2, 1)),
+            kind: FailureCause::OutOfMemory(OutOfMemory::new(2, 1)),
         };
         // Deterministic OOMs walk the rungs: 4 -> 2 -> 1 threads, then
         // budget shrinks, and the per-worker budget never grows.

@@ -75,5 +75,6 @@ pub use apps::{
     ConnectedComponents, PageRank, SSSP_INFINITY, ShortestPaths, VertexProgram, VertexView,
 };
 pub use engine::{Engine, EngineConfig, EngineError, RetryPolicy, RunOutcome, alloc_sites};
+pub use metrics::FailureCause;
 pub use metrics::report::Backend;
 pub use preprocess::Csr;

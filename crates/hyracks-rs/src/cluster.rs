@@ -1,14 +1,26 @@
 //! The simulated shared-nothing cluster.
+//!
+//! Data decomposition and execution parallelism are separate knobs:
+//! [`ClusterConfig::workers`] fixes how the input is partitioned (and so
+//! the job's output, bit for bit), while [`ClusterConfig::threads`] sizes
+//! the pool of OS threads a phase runs those partitions on. Each pool
+//! thread owns one long-lived [`Store`] — on the facade backend all of
+//! them draw pages from the job's shared [`PagePool`] — and partitions are
+//! dealt to threads round-robin, mirroring the per-worker-store pattern of
+//! the GraphChi engine. Results land in slots indexed by partition id, so
+//! any `threads` value (and any retry interleaving) reassembles the same
+//! output.
 
-use data_store::{PagePool, Store, StoreCensus, StoreStats};
-use metrics::OutOfMemory;
+use data_store::{PagePool, PauseRecord, PoolCounters, Store, StoreCensus, StoreStats};
 use metrics::report::Backend;
-use metrics::{DegradationAction, ResilienceReport};
+use metrics::{DegradationAction, OutOfMemory, ResilienceReport, panic_message};
 use std::error::Error;
 use std::fmt;
 use std::panic::{AssertUnwindSafe, catch_unwind};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+pub use metrics::FailureCause;
 
 /// How a job phase responds to worker failures.
 #[derive(Debug, Clone)]
@@ -44,7 +56,15 @@ impl Default for RetryPolicy {
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of workers (the paper runs 80 across 10 nodes; scale down).
+    /// This is the *data* decomposition: it fixes the partitioning and
+    /// therefore the job's output, independent of [`threads`](Self::threads).
     pub workers: usize,
+    /// OS threads executing partitions concurrently. Each thread holds one
+    /// store for the whole scheduling round and takes partitions dealt
+    /// round-robin; `1` serializes the job on a single store. Output is
+    /// bit-identical for every value. Defaults to the machine's available
+    /// parallelism.
+    pub threads: usize,
     /// Storage backend for every worker's data path.
     pub backend: Backend,
     /// Per-worker memory budget in bytes (a Hyracks node's `-Xmx`; under
@@ -65,6 +85,7 @@ impl Default for ClusterConfig {
     fn default() -> Self {
         Self {
             workers: 8,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             backend: Backend::Heap,
             per_worker_budget: 16 << 20,
             frame_bytes: 32 << 10,
@@ -77,19 +98,17 @@ impl Default for ClusterConfig {
 
 impl ClusterConfig {
     pub(crate) fn make_store(&self, pool: Option<&Arc<PagePool>>) -> Store {
-        #[cfg_attr(not(feature = "fault-injection"), allow(unused_mut))]
-        let mut store = match (self.backend, pool) {
-            (Backend::Heap, _) => Store::heap(self.per_worker_budget),
-            (Backend::Facade, Some(pool)) => {
-                Store::facade_shared(self.per_worker_budget, Arc::clone(pool))
-            }
-            (Backend::Facade, None) => Store::facade(self.per_worker_budget),
-        };
+        let mut builder = Store::builder()
+            .backend(self.backend)
+            .budget(self.per_worker_budget);
+        if let (Backend::Facade, Some(pool)) = (self.backend, pool) {
+            builder = builder.pool(Arc::clone(pool));
+        }
         #[cfg(feature = "fault-injection")]
         if let Some(plan) = &self.fault_plan {
-            store.set_fault_plan(plan.clone());
+            builder = builder.fault_plan(plan.clone());
         }
-        store
+        builder.build()
     }
 
     /// One page supply per job on the facade backend: every phase's worker
@@ -105,6 +124,26 @@ impl ClusterConfig {
         }
         pool
     }
+}
+
+/// One pool thread's share of a job: how many partitions it executed and
+/// the costs of the stores it held, merged across phases and retry rounds.
+///
+/// The per-worker breakdown behind the cluster-level sums in [`JobStats`]:
+/// it shows whether work (and memory) spread evenly over the thread pool or
+/// one store carried the job.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerReport {
+    /// Pool-thread index (`0..threads`), stable across rounds and phases.
+    pub worker: usize,
+    /// Partition executions this thread performed (retries count again).
+    pub partitions: u64,
+    /// Summed costs of every store this thread retired.
+    pub stats: StoreStats,
+    /// Census merged over those stores, taken at each store's retirement.
+    pub census: StoreCensus,
+    /// GC pauses this thread's heap-backed stores served.
+    pub pauses: Vec<PauseRecord>,
 }
 
 /// Aggregate statistics over all workers of a completed job.
@@ -125,10 +164,16 @@ pub struct JobStats {
     /// Failure-handling record: retries, degradations, and injected faults
     /// the job survived.
     pub resilience: ResilienceReport,
-    /// Census merged across every worker store at the end of its partition:
-    /// per-class object rows under [`Backend::Heap`], page occupancy under
+    /// Census merged across every retired worker store: per-class object
+    /// rows under [`Backend::Heap`], page occupancy under
     /// [`Backend::Facade`] (taken before pages return to the pool).
     pub census: StoreCensus,
+    /// Per-pool-thread breakdown of the sums above (store costs, census,
+    /// GC pauses), indexed by thread and merged across phases and rounds.
+    pub per_worker: Vec<WorkerReport>,
+    /// End-of-job counters of the shared page pool (facade runs; `None` on
+    /// the heap backend, which has no pool).
+    pub pool: Option<PoolCounters>,
 }
 
 impl JobStats {
@@ -140,34 +185,22 @@ impl JobStats {
         self.pages_created += s.pages_created;
         self.resilience.faults_injected += s.faults_injected;
     }
-}
 
-/// Why a worker failed.
-#[derive(Debug, Clone)]
-pub enum FailureCause {
-    /// The worker's store budget was exhausted.
-    OutOfMemory(OutOfMemory),
-    /// The worker thread panicked, with the rendered panic message.
-    WorkerPanic(String),
-}
-
-impl FailureCause {
-    /// Transient failures may succeed on an identical retry: panics and
-    /// injected faults. A genuine budget exhaustion is deterministic.
-    fn is_transient(&self) -> bool {
-        match self {
-            FailureCause::OutOfMemory(e) => e.is_injected(),
-            FailureCause::WorkerPanic(_) => true,
+    /// Folds one round's per-thread accumulation into the stable
+    /// [`WorkerReport`] for that thread index.
+    fn fold_worker(&mut self, report: WorkerReport) {
+        while self.per_worker.len() <= report.worker {
+            let worker = self.per_worker.len();
+            self.per_worker.push(WorkerReport {
+                worker,
+                ..WorkerReport::default()
+            });
         }
-    }
-}
-
-impl fmt::Display for FailureCause {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FailureCause::OutOfMemory(e) => write!(f, "{e}"),
-            FailureCause::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
-        }
+        let slot = &mut self.per_worker[report.worker];
+        slot.partitions += report.partitions;
+        slot.stats.merge(&report.stats);
+        slot.census.merge(&report.census);
+        slot.pauses.extend(report.pauses);
     }
 }
 
@@ -189,21 +222,16 @@ impl fmt::Display for JobFailure {
                 write!(f, "OME({:.1}): {}", self.after.as_secs_f64(), e)
             }
             FailureCause::WorkerPanic(m) => {
-                write!(f, "FAILED({:.1}): {}", self.after.as_secs_f64(), m)
+                write!(f, "FAILED({:.1}): {m}", self.after.as_secs_f64())
             }
+            cause => write!(f, "FAILED({:.1}): {cause}", self.after.as_secs_f64()),
         }
     }
 }
 
-impl Error for JobFailure {}
-
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "opaque panic payload".to_string()
+impl Error for JobFailure {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.cause)
     }
 }
 
@@ -217,35 +245,81 @@ pub(crate) fn round_robin<T: Clone>(items: &[T], n: usize) -> Vec<Vec<T>> {
     parts
 }
 
-/// Runs one phase: `worker` on each partition concurrently, each with its
-/// own store. The closure's last argument is the degrade level — 0 on the
-/// first attempt, incremented each time the phase steps down the ladder;
-/// workers shrink their working granularity by `2^level` (frame bytes for
-/// WC, run length for ES), which is output-neutral for both jobs.
+/// What one pool thread brings back from a scheduling round.
+#[derive(Debug)]
+struct ThreadRound<R> {
+    /// Per-partition outcomes, tagged with the partition id.
+    results: Vec<(usize, Result<R, FailureCause>)>,
+    partitions: u64,
+    stats: StoreStats,
+    census: StoreCensus,
+    pauses: Vec<PauseRecord>,
+}
+
+impl<R> Default for ThreadRound<R> {
+    fn default() -> Self {
+        Self {
+            results: Vec::new(),
+            partitions: 0,
+            stats: StoreStats::default(),
+            census: StoreCensus::default(),
+            pauses: Vec::new(),
+        }
+    }
+}
+
+/// Folds a finished (or poisoned) store into a thread's accumulation. The
+/// census is taken first, so the facade side reports what the store still
+/// held; only healthy stores hand their free pages back to the pool (a
+/// failed store may hold open iterations — dropping it without salvage is
+/// always sound).
+fn retire_store<R>(store: &mut Store, healthy: bool, acc: &mut ThreadRound<R>) {
+    acc.census.merge(&store.census());
+    if healthy {
+        store.release_pages();
+    }
+    acc.stats.merge(&store.stats());
+    acc.pauses.extend(store.pause_records());
+}
+
+/// Runs one phase: every partition through `worker`, on a pool of
+/// `config.threads` OS threads. Each thread builds one store (schema
+/// installed once by `init`) and keeps it across the partitions dealt to
+/// it; a failing partition retires that thread's store and the thread
+/// continues its remaining partitions on a fresh one, so siblings are
+/// never poisoned. The closure's last argument is the degrade level — 0 on
+/// the first attempt, incremented each time the phase steps down the
+/// ladder; workers shrink their working granularity by `2^level` (frame
+/// bytes for WC, run length for ES), which is output-neutral for both jobs.
 ///
-/// Only the *failed* partitions are retried: completed workers' payloads
-/// are kept (real cluster schedulers reschedule the failed task, not the
-/// job). Payloads come back in partition order regardless of retries, so
-/// order-sensitive consumers (the ES checksum) see deterministic output.
+/// Only the *failed* partitions are retried: completed partitions'
+/// payloads are kept (real cluster schedulers reschedule the failed task,
+/// not the job). Payloads come back in partition order regardless of
+/// thread count or retries, so order-sensitive consumers (the ES checksum)
+/// see deterministic output at every `threads` value.
 ///
 /// # Errors
 ///
 /// If a worker failure survives the transient retries and every degrade
 /// rung — or `config.retry.enabled` is off, restoring §4.2's "terminates
 /// immediately" behaviour — the phase fails with [`JobFailure`].
-pub(crate) fn run_phase<I, R, F>(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_phase<I, S, R, N, F>(
     config: &ClusterConfig,
     phase: &str,
     started: Instant,
     partitions: Vec<I>,
     stats: &mut JobStats,
     pool: Option<&Arc<PagePool>>,
+    init: N,
     worker: F,
 ) -> Result<Vec<R>, JobFailure>
 where
     I: Clone + Send + Sync,
+    S: Send,
     R: Send,
-    F: Fn(usize, &mut Store, I, u32) -> Result<R, OutOfMemory> + Sync,
+    N: Fn(&mut Store) -> S + Sync,
+    F: Fn(usize, &mut Store, &S, I, u32) -> Result<R, OutOfMemory> + Sync,
 {
     let policy = &config.retry;
     let mut level = 0u32;
@@ -255,6 +329,7 @@ where
     let mut pending: Vec<(usize, I)> = partitions.into_iter().enumerate().collect();
 
     while !pending.is_empty() {
+        let nthreads = config.threads.max(1).min(pending.len());
         // One span per scheduling round: the first covers every partition,
         // retry rounds cover only the failed ones (visible as shorter spans
         // with a smaller `partitions` arg and a higher `level`).
@@ -262,72 +337,105 @@ where
             "job_phase",
             name = phase.to_string(),
             partitions = pending.len(),
+            threads = nthreads,
             level = level,
         );
-        type Attempt<R> = (usize, Result<R, FailureCause>, StoreStats, StoreCensus);
-        let round: Vec<Attempt<R>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = pending
-                .iter()
-                .map(|(id, input)| {
-                    let worker = &worker;
-                    let config = &*config;
-                    let (id, input) = (*id, input.clone());
+        let round: Vec<ThreadRound<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nthreads)
+                .map(|w| {
+                    let (worker, init) = (&worker, &init);
+                    let (config, pending) = (&*config, &pending);
                     scope.spawn(move || {
+                        let mut acc = ThreadRound::default();
                         let mut store = config.make_store(pool);
-                        let out = match catch_unwind(AssertUnwindSafe(|| {
-                            worker(id, &mut store, input, level)
-                        })) {
-                            Ok(Ok(r)) => Ok(r),
-                            Ok(Err(oom)) => Err(FailureCause::OutOfMemory(oom)),
-                            Err(payload) => Err(FailureCause::WorkerPanic(panic_message(payload))),
-                        };
-                        // Census before pages return to the pool, so the
-                        // facade side reports what the partition held.
-                        let census = store.census();
-                        if out.is_ok() {
-                            // Hand free pages back before the store drops, so
-                            // the job's next phase inherits them through the
-                            // pool. A failed store may hold open iterations;
-                            // dropping it without salvage is always sound.
-                            store.release_pages();
+                        let mut schema = init(&mut store);
+                        // Partitions dealt round-robin over the pool.
+                        let mut idx = w;
+                        while idx < pending.len() {
+                            let (id, input) = (pending[idx].0, pending[idx].1.clone());
+                            let out = match catch_unwind(AssertUnwindSafe(|| {
+                                worker(id, &mut store, &schema, input, level)
+                            })) {
+                                Ok(Ok(r)) => Ok(r),
+                                Ok(Err(oom)) => Err(FailureCause::OutOfMemory(oom)),
+                                Err(payload) => {
+                                    Err(FailureCause::WorkerPanic(panic_message(payload.as_ref())))
+                                }
+                            };
+                            let failed = out.is_err();
+                            acc.partitions += 1;
+                            acc.results.push((id, out));
+                            if failed {
+                                // Retire the possibly-poisoned store and give
+                                // the thread's remaining partitions a fresh
+                                // one: one failure never poisons siblings.
+                                retire_store(&mut store, false, &mut acc);
+                                store = config.make_store(pool);
+                                schema = init(&mut store);
+                            }
+                            idx += nthreads;
                         }
-                        (id, out, store.stats(), census)
+                        // Any failure already swapped in a fresh store, so
+                        // the one retired here is always healthy.
+                        retire_store(&mut store, true, &mut acc);
+                        acc
                     })
                 })
                 .collect();
             handles
                 .into_iter()
                 .enumerate()
-                .map(|(i, h)| match h.join() {
+                .map(|(w, h)| match h.join() {
                     Ok(t) => t,
-                    // The thread died outside the catch (e.g. releasing
-                    // pages); treat it like an in-worker panic.
-                    Err(payload) => (
-                        pending[i].0,
-                        Err(FailureCause::WorkerPanic(panic_message(payload))),
-                        StoreStats::default(),
-                        StoreCensus::default(),
-                    ),
+                    // The thread died outside the per-partition catch (e.g.
+                    // retiring a store): every partition dealt to it counts
+                    // as failed — we cannot tell which ones completed.
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        ThreadRound {
+                            results: (w..pending.len())
+                                .step_by(nthreads)
+                                .map(|i| {
+                                    (
+                                        pending[i].0,
+                                        Err(FailureCause::WorkerPanic(message.clone())),
+                                    )
+                                })
+                                .collect(),
+                            ..ThreadRound::default()
+                        }
+                    }
                 })
                 .collect()
         });
 
         let mut failed: Option<(usize, FailureCause)> = None;
         let mut still_pending: Vec<usize> = Vec::new();
-        for (id, result, worker_stats, worker_census) in round {
-            stats.absorb(&worker_stats);
-            stats.census.merge(&worker_census);
-            match result {
-                Ok(r) => slots[id] = Some(r),
-                Err(cause) => {
-                    still_pending.push(id);
+        for (w, thread_round) in round.into_iter().enumerate() {
+            stats.absorb(&thread_round.stats);
+            stats.census.merge(&thread_round.census);
+            for (id, result) in &thread_round.results {
+                if let Err(cause) = result {
+                    still_pending.push(*id);
                     // Report the lowest failing partition, independent of
-                    // which thread lost the race.
-                    if failed.as_ref().is_none_or(|(fid, _)| id < *fid) {
-                        failed = Some((id, cause));
+                    // which thread (or position within it) lost the race.
+                    if failed.as_ref().is_none_or(|(fid, _)| id < fid) {
+                        failed = Some((*id, cause.clone()));
                     }
                 }
             }
+            for (id, result) in thread_round.results {
+                if let Ok(r) = result {
+                    slots[id] = Some(r);
+                }
+            }
+            stats.fold_worker(WorkerReport {
+                worker: w,
+                partitions: thread_round.partitions,
+                stats: thread_round.stats,
+                census: thread_round.census,
+                pauses: thread_round.pauses,
+            });
         }
         pending.retain(|(id, _)| still_pending.contains(id));
         drop(span);
@@ -388,9 +496,21 @@ where
         .collect())
 }
 
+/// End-of-job pool accounting: records the shared pool's counters in the
+/// stats and publishes its occupancy gauges to the process-wide metrics
+/// registry under `facade_pool_*` — the same exposition the GraphChi engine
+/// feeds, so the registry sees both engines.
+pub(crate) fn finish_pool(stats: &mut JobStats, pool: Option<&Arc<PagePool>>) {
+    if let Some(pool) = pool {
+        stats.pool = Some(pool.counters());
+        pool.publish_gauges(metrics::Registry::global(), "facade_pool");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use data_store::FieldTy;
 
     #[test]
     fn round_robin_balances() {
@@ -416,10 +536,10 @@ mod tests {
             parts,
             &mut stats,
             None,
-            |_, store, xs, _| {
-                let c = store.register_class("T", &[data_store::FieldTy::I64]);
+            |store| store.register_class("T", &[FieldTy::I64]),
+            |_, store, c, xs, _| {
                 for _ in &xs {
-                    store.alloc(c)?;
+                    store.alloc(*c)?;
                 }
                 Ok(xs.len())
             },
@@ -435,6 +555,15 @@ mod tests {
             .find(|r| r.name == "T")
             .expect("census row for T");
         assert_eq!(row.count, 100, "all 100 records appear in the census");
+        // The per-thread breakdown carries the same totals.
+        let spread: u64 = stats.per_worker.iter().map(|w| w.partitions).sum();
+        assert_eq!(spread, 4, "each partition executed once");
+        let per_worker_records: u64 = stats
+            .per_worker
+            .iter()
+            .map(|w| w.stats.records_allocated)
+            .sum();
+        assert_eq!(per_worker_records, 100);
     }
 
     #[test]
@@ -454,11 +583,11 @@ mod tests {
             parts,
             &mut stats,
             pool.as_ref(),
-            |_, store, xs, _| {
-                let c = store.register_class("T", &[data_store::FieldTy::I64]);
+            |store| store.register_class("T", &[FieldTy::I64]),
+            |_, store, c, xs, _| {
                 let it = store.iteration_start();
                 for _ in &xs {
-                    store.alloc(c)?;
+                    store.alloc(*c)?;
                 }
                 store.iteration_end(it);
                 Ok(xs.len())
@@ -496,12 +625,10 @@ mod tests {
             parts,
             &mut stats,
             None,
-            |_, store, _, _| {
-                let c = store.register_class("T", &[data_store::FieldTy::I64; 8]);
-                loop {
-                    let r = store.alloc(c)?;
-                    store.add_root(r);
-                }
+            |store| store.register_class("T", &[FieldTy::I64; 8]),
+            |_, store, c, _, _| loop {
+                let r = store.alloc(*c)?;
+                store.add_root(r);
             },
         );
         let failure = result.unwrap_err();
@@ -531,7 +658,8 @@ mod tests {
             parts,
             &mut stats,
             None,
-            |id, _store, xs, level| {
+            |_| (),
+            |id, _store, _, xs, level| {
                 attempts.fetch_add(1, Ordering::SeqCst);
                 if id == 1 && level < 2 {
                     return Err(OutOfMemory::new(2, 1));
@@ -551,6 +679,45 @@ mod tests {
     }
 
     #[test]
+    fn failing_partition_does_not_poison_thread_siblings() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        // One pool thread runs all 4 partitions on one store; partition 1
+        // fails once. Siblings 0, 2, 3 must keep their first-attempt
+        // results, and partition 1 must succeed on the retry round.
+        let config = ClusterConfig {
+            workers: 4,
+            threads: 1,
+            ..ClusterConfig::default()
+        };
+        let mut stats = JobStats::default();
+        let parts = round_robin(&(0..8).collect::<Vec<_>>(), 4);
+        let attempts = AtomicU32::new(0);
+        let out = run_phase(
+            &config,
+            "test",
+            Instant::now(),
+            parts,
+            &mut stats,
+            None,
+            |store| store.register_class("T", &[FieldTy::I64]),
+            |id, store, c, xs, level| {
+                attempts.fetch_add(1, Ordering::SeqCst);
+                store.alloc(*c)?;
+                if id == 1 && level == 0 {
+                    return Err(OutOfMemory::new(2, 1));
+                }
+                Ok((id, xs.len()))
+            },
+        )
+        .unwrap();
+        assert_eq!(out, vec![(0, 2), (1, 2), (2, 2), (3, 2)]);
+        // 4 first-round executions + 1 retry of partition 1.
+        assert_eq!(attempts.load(Ordering::SeqCst), 5);
+        assert_eq!(stats.resilience.degradations, 1);
+        assert_eq!(stats.per_worker.len(), 1, "single pool thread");
+    }
+
+    #[test]
     fn run_phase_catches_worker_panics() {
         use std::sync::atomic::{AtomicBool, Ordering};
         let config = ClusterConfig {
@@ -567,7 +734,8 @@ mod tests {
             parts,
             &mut stats,
             None,
-            |_, _store, xs: Vec<i32>, _| {
+            |_| (),
+            |_, _store, _, xs: Vec<i32>, _| {
                 if armed.swap(false, Ordering::SeqCst) {
                     panic!("injected worker panic");
                 }
@@ -595,7 +763,8 @@ mod tests {
             parts,
             &mut stats,
             None,
-            |_, _store, _, _| panic!("boom"),
+            |_| (),
+            |_, _store, _, _, _| panic!("boom"),
         );
         let failure = result.unwrap_err();
         assert!(failure.to_string().starts_with("FAILED("), "{failure}");

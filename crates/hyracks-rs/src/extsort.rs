@@ -1,9 +1,9 @@
 //! The external-sort job (ES of Table 3): budget-bounded run generation
 //! over store records, sorted-run spilling, and k-way merging.
 
-use crate::cluster::{ClusterConfig, JobFailure, JobStats, round_robin, run_phase};
+use crate::cluster::{ClusterConfig, JobFailure, JobStats, finish_pool, round_robin, run_phase};
 use crate::hashtable::hash_bytes;
-use data_store::{ElemTy, FieldTy, Store};
+use data_store::{ClassTag, ElemTy, FieldTy, Store};
 use metrics::OutOfMemory;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -34,12 +34,11 @@ impl EsOutput {
 /// invisible in the output.
 fn sort_worker(
     store: &mut Store,
+    line_class: ClassTag,
     words: Vec<String>,
     budget: usize,
     degrade_level: u32,
 ) -> Result<Vec<Vec<u8>>, OutOfMemory> {
-    let line_class = store.register_class("LineRecord", &[FieldTy::I32, FieldTy::Ref]);
-
     // Run length derived from the memory budget, as the external sort
     // operator sizes its in-memory runs from the frame budget.
     let run_len = ((budget / 96) >> degrade_level.min(16)).clamp(16, 1 << 20);
@@ -145,7 +144,8 @@ pub fn run_external_sort(
         partitions,
         &mut stats,
         pool.as_ref(),
-        |_, store, part, level| sort_worker(store, part, budget, level),
+        |store| store.register_class("LineRecord", &[FieldTy::I32, FieldTy::Ref]),
+        |_, store, line_class, part, level| sort_worker(store, *line_class, part, budget, level),
     )?;
 
     let mut total = 0u64;
@@ -159,6 +159,7 @@ pub fn run_external_sort(
         }
     }
     stats.elapsed = started.elapsed();
+    finish_pool(&mut stats, pool.as_ref());
     #[cfg(feature = "fault-injection")]
     if let Some(plan) = &config.fault_plan {
         // The plan's counter also sees pool-level injections, which no
@@ -212,8 +213,12 @@ mod tests {
     #[test]
     fn worker_output_is_globally_sorted_per_worker() {
         let words = corpus(&CorpusSpec::new(20_000, 37));
-        let mut store = data_store::Store::heap(16 << 20);
-        let sorted = sort_worker(&mut store, words.clone(), 64 << 10, 0).unwrap();
+        let mut store = data_store::Store::builder()
+            .backend(Backend::Heap)
+            .budget(16 << 20)
+            .build();
+        let line_class = store.register_class("LineRecord", &[FieldTy::I32, FieldTy::Ref]);
+        let sorted = sort_worker(&mut store, line_class, words.clone(), 64 << 10, 0).unwrap();
         assert_eq!(sorted.len(), words.len());
         assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
     }

@@ -325,9 +325,16 @@ impl WordTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use data_store::Backend;
 
     fn stores() -> Vec<Store> {
-        vec![Store::heap(32 << 20), Store::facade(32 << 20)]
+        vec![
+            Store::builder()
+                .backend(Backend::Heap)
+                .budget(32 << 20)
+                .build(),
+            Store::builder().budget(32 << 20).build(),
+        ]
     }
 
     #[test]
@@ -380,9 +387,12 @@ mod tests {
     fn facade_entries_are_smaller_than_heap_entries() {
         // The §2.4/§3.6 effect: four objects per word vs one inlined record
         // plus the byte array.
-        let mut h = Store::heap(64 << 20);
+        let mut h = Store::builder()
+            .backend(Backend::Heap)
+            .budget(64 << 20)
+            .build();
         let hc = register_classes(&mut h);
-        let mut f = Store::facade(64 << 20);
+        let mut f = Store::builder().budget(64 << 20).build();
         let fc = register_classes(&mut f);
         let mut th = WordTable::new(&mut h, &hc, 1024).unwrap();
         let mut tf = WordTable::new(&mut f, &fc, 1024).unwrap();

@@ -8,11 +8,14 @@
 //!
 //! This crate reproduces that setting at laptop scale:
 //!
-//! - [`cluster`] — a simulated shared-nothing cluster: one OS thread per
-//!   worker, each with its *own* record store and per-node memory budget
-//!   (real Hyracks nodes are separate JVMs, so per-worker stores are the
-//!   faithful decomposition). A worker exceeding its budget fails the job
-//!   with the out-of-memory outcome Table 3 reports as `OME(n)`.
+//! - [`cluster`] — a simulated shared-nothing cluster: the input is
+//!   partitioned across `workers` (fixing the output bit-for-bit), and a
+//!   pool of `threads` OS threads executes those partitions, each thread
+//!   with its *own* record store and per-node memory budget (real Hyracks
+//!   nodes are separate JVMs, so per-worker stores are the faithful
+//!   decomposition); facade stores draw pages from one shared pool. A
+//!   worker exceeding its budget fails the job with the out-of-memory
+//!   outcome Table 3 reports as `OME(n)`.
 //! - [`wordcount`] — the WC job: tokenization and per-word aggregation
 //!   through a store-backed hash table. Under the heap backend the table
 //!   uses the Java idiom the paper's baseline pays for (`HashMap.Entry` →
@@ -33,7 +36,7 @@ pub mod extsort;
 pub mod hashtable;
 pub mod wordcount;
 
-pub use cluster::{ClusterConfig, FailureCause, JobFailure, JobStats, RetryPolicy};
+pub use cluster::{ClusterConfig, FailureCause, JobFailure, JobStats, RetryPolicy, WorkerReport};
 pub use extsort::{EsOutput, run_external_sort};
 pub use metrics::report::Backend;
 pub use wordcount::{WcOutput, run_wordcount};

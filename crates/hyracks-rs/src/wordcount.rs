@@ -2,9 +2,9 @@
 //! map phase (tokenize + local aggregation), a hash shuffle, and a reduce
 //! phase, each worker's aggregation living in the record store.
 
-use crate::cluster::{ClusterConfig, JobFailure, JobStats, round_robin, run_phase};
-use crate::hashtable::{WordTable, hash_bytes, register_classes};
-use data_store::{ElemTy, FieldTy, Store};
+use crate::cluster::{ClusterConfig, JobFailure, JobStats, finish_pool, round_robin, run_phase};
+use crate::hashtable::{WordTable, WordTableClasses, hash_bytes, register_classes};
+use data_store::{ClassTag, ElemTy, FieldTy, Store};
 use metrics::OutOfMemory;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -20,19 +20,38 @@ pub struct WcOutput {
     pub stats: JobStats,
 }
 
+/// The record classes a WC worker needs, registered once per store by the
+/// phase's `init` closure (pool threads keep a store across partitions, so
+/// registration cannot live in the per-partition worker body).
+struct WcSchema {
+    classes: WordTableClasses,
+    token_class: ClassTag,
+}
+
+fn wc_schema(store: &mut Store) -> WcSchema {
+    WcSchema {
+        classes: register_classes(store),
+        token_class: store.register_class("Token", &[FieldTy::I32, FieldTy::I32]),
+    }
+}
+
 /// One map worker: tokenizes its partition frame by frame, each frame a
 /// sub-iteration of transient token records, aggregating into a
 /// store-backed [`WordTable`] that lives for the whole operator iteration.
 fn map_worker(
     store: &mut Store,
+    schema: &WcSchema,
     words: Vec<String>,
     frame_bytes: usize,
 ) -> Result<Vec<(Vec<u8>, i64)>, OutOfMemory> {
-    let classes = register_classes(store);
-    let token_class = store.register_class("Token", &[FieldTy::I32, FieldTy::I32]);
+    let WcSchema {
+        classes,
+        token_class,
+    } = schema;
+    let token_class = *token_class;
 
     let operator = store.iteration_start();
-    let mut table = WordTable::new(store, &classes, 4096)?;
+    let mut table = WordTable::new(store, classes, 4096)?;
 
     let mut frame: Vec<&String> = Vec::new();
     let mut frame_fill = 0usize;
@@ -90,11 +109,11 @@ fn map_worker(
 /// One reduce worker: merges the shuffled partial counts for its key range.
 fn reduce_worker(
     store: &mut Store,
+    schema: &WcSchema,
     pairs: Vec<(Vec<u8>, i64)>,
 ) -> Result<Vec<(Vec<u8>, i64)>, OutOfMemory> {
-    let classes = register_classes(store);
     let operator = store.iteration_start();
-    let mut table = WordTable::new(store, &classes, 4096)?;
+    let mut table = WordTable::new(store, &schema.classes, 4096)?;
     for (w, c) in pairs {
         table.add(store, &w, c)?;
     }
@@ -126,9 +145,10 @@ pub fn run_wordcount(corpus: &[String], config: &ClusterConfig) -> Result<WcOutp
         partitions,
         &mut stats,
         pool.as_ref(),
-        |_, store, part, level| {
+        wc_schema,
+        |_, store, schema, part, level| {
             let frame = (config.frame_bytes >> level.min(16)).max(64);
-            map_worker(store, part, frame)
+            map_worker(store, schema, part, frame)
         },
     )?;
 
@@ -149,7 +169,8 @@ pub fn run_wordcount(corpus: &[String], config: &ClusterConfig) -> Result<WcOutp
         shuffled,
         &mut stats,
         pool.as_ref(),
-        |_, store, part, _level| reduce_worker(store, part),
+        wc_schema,
+        |_, store, schema, part, _level| reduce_worker(store, schema, part),
     )?;
 
     let mut distinct = 0u64;
@@ -159,6 +180,7 @@ pub fn run_wordcount(corpus: &[String], config: &ClusterConfig) -> Result<WcOutp
         total += part.iter().map(|(_, c)| c).sum::<i64>();
     }
     stats.elapsed = started.elapsed();
+    finish_pool(&mut stats, pool.as_ref());
     #[cfg(feature = "fault-injection")]
     if let Some(plan) = &config.fault_plan {
         // The plan's counter also sees pool-level injections, which no

@@ -1,0 +1,110 @@
+//! The failure vocabulary shared by every engine's degradation ladder.
+//!
+//! Both simulated frameworks (`graphchi-rs`, `hyracks-rs`) classify worker
+//! failures the same way — a budget exhaustion or a caught panic — and make
+//! the same retry decision from that classification: injected faults and
+//! panics are *transient* (an identical retry can succeed), a genuine
+//! budget exhaustion is deterministic and forces the ladder down a rung.
+//! This module is that vocabulary, extracted so callers match on one shape
+//! regardless of which engine produced the error.
+
+use crate::memory::OutOfMemory;
+use std::error::Error;
+use std::fmt;
+
+/// Why a worker failed.
+///
+/// Marked `#[non_exhaustive]`: engines may grow new failure classes (e.g.
+/// I/O or network faults in a real deployment) without breaking matchers.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum FailureCause {
+    /// The worker's store budget was exhausted.
+    OutOfMemory(OutOfMemory),
+    /// The worker thread panicked, with the rendered panic message.
+    WorkerPanic(String),
+}
+
+impl FailureCause {
+    /// Transient failures may succeed on an identical retry: panics and
+    /// injected faults. A genuine budget exhaustion is deterministic, so
+    /// retrying at the same rung is pointless and ladders degrade instead.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            FailureCause::OutOfMemory(e) => e.is_injected(),
+            FailureCause::WorkerPanic(_) => true,
+        }
+    }
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureCause::OutOfMemory(e) => write!(f, "{e}"),
+            FailureCause::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
+        }
+    }
+}
+
+impl Error for FailureCause {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FailureCause::OutOfMemory(e) => Some(e),
+            FailureCause::WorkerPanic(_) => None,
+        }
+    }
+}
+
+impl From<OutOfMemory> for FailureCause {
+    fn from(e: OutOfMemory) -> Self {
+        FailureCause::OutOfMemory(e)
+    }
+}
+
+/// Renders a `catch_unwind` payload into the message a
+/// [`FailureCause::WorkerPanic`] carries. Handles the two payload shapes
+/// `panic!` produces (`&str` and `String`); anything else is opaque.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genuine_oom_is_deterministic_injected_is_transient() {
+        let genuine = FailureCause::from(OutOfMemory::new(10, 5));
+        assert!(!genuine.is_transient());
+        let injected =
+            FailureCause::from(OutOfMemory::new(10, 5).with_context(0, 0, "fault-injection"));
+        assert!(injected.is_transient());
+        assert!(FailureCause::WorkerPanic("boom".into()).is_transient());
+    }
+
+    #[test]
+    fn display_and_source() {
+        let oom = FailureCause::from(OutOfMemory::new(10, 5));
+        assert!(oom.to_string().contains("out of memory"));
+        assert!(Error::source(&oom).is_some());
+        let panic = FailureCause::WorkerPanic("index out of bounds".into());
+        assert!(panic.to_string().contains("worker panicked"), "{panic}");
+        assert!(Error::source(&panic).is_none());
+    }
+
+    #[test]
+    fn panic_payload_shapes_render() {
+        let b: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(b.as_ref()), "static str");
+        let b: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(b.as_ref()), "owned");
+        let b: Box<dyn std::any::Any + Send> = Box::new(42u8);
+        assert_eq!(panic_message(b.as_ref()), "opaque panic payload");
+    }
+}

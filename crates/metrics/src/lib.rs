@@ -14,6 +14,8 @@
 //! - [`Registry`] / [`Sampler`] — a process-wide live-metrics registry
 //!   (named counters, gauges, histograms; lock-free hot path; Prometheus and
 //!   JSON exposition) with an optional background sampling thread.
+//! - [`FailureCause`] — the worker-failure vocabulary shared by the
+//!   engines' degradation ladders (OOM vs. panic, transient vs. not).
 //! - [`report`] — serializable experiment records.
 //!
 //! # Examples
@@ -29,6 +31,7 @@
 
 #![deny(missing_docs)]
 
+mod failure;
 mod histogram;
 mod memory;
 mod registry;
@@ -38,6 +41,7 @@ mod table;
 
 pub mod report;
 
+pub use failure::{FailureCause, panic_message};
 pub use histogram::DurationHistogram;
 pub use memory::{MemoryTracker, OutOfMemory, format_bytes};
 pub use registry::{Counter, Gauge, Histogram, Registry, Sampler};

@@ -6,13 +6,19 @@
 
 use facade::datagen::{CorpusSpec, corpus};
 use facade::store::collections::{BytesMap, RecList};
-use facade::store::{FieldTy, Store};
+use facade::store::{Backend, FieldTy, Store};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let words = corpus(&CorpusSpec::new(200_000, 77));
     println!("building an inverted index over {} tokens", words.len());
 
-    for mut store in [Store::heap(64 << 20), Store::facade(64 << 20)] {
+    for mut store in [
+        Store::builder()
+            .backend(Backend::Heap)
+            .budget(64 << 20)
+            .build(),
+        Store::builder().budget(64 << 20).build(),
+    ] {
         let backend = if store.is_facade() {
             "P' (facade)"
         } else {

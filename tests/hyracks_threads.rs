@@ -1,0 +1,124 @@
+//! The Hyracks cluster's thread-pool determinism guarantee, end to end:
+//! `ClusterConfig::workers` fixes the data decomposition and therefore the
+//! output, so any `ClusterConfig::threads` value — and any retry
+//! interleaving the fault injector can provoke — must produce bit-identical
+//! job results. The ES checksum is order-sensitive, so it catches any
+//! reordering of partition payloads, not just lost or duplicated work.
+
+use facade::datagen::{CorpusSpec, corpus};
+use facade::hyracks::{ClusterConfig, run_external_sort, run_wordcount};
+use facade::metrics::report::Backend;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn config(backend: Backend, threads: usize) -> ClusterConfig {
+    ClusterConfig {
+        workers: 6,
+        threads,
+        backend,
+        per_worker_budget: 16 << 20,
+        frame_bytes: 8 << 10,
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn wordcount_is_bit_identical_across_thread_counts() {
+    let words = corpus(&CorpusSpec::new(50_000, 17));
+    for backend in [Backend::Heap, Backend::Facade] {
+        let reference = run_wordcount(&words, &config(backend, 1)).unwrap();
+        for &threads in &THREAD_COUNTS[1..] {
+            let out = run_wordcount(&words, &config(backend, threads)).unwrap();
+            assert_eq!(
+                (reference.distinct_words, reference.total_count),
+                (out.distinct_words, out.total_count),
+                "{backend:?} at {threads} threads"
+            );
+            assert_eq!(
+                out.stats.per_worker.len(),
+                threads.min(6),
+                "one report per pool thread actually used"
+            );
+        }
+    }
+}
+
+#[test]
+fn external_sort_is_bit_identical_across_thread_counts() {
+    let words = corpus(&CorpusSpec::new(50_000, 19));
+    for backend in [Backend::Heap, Backend::Facade] {
+        let reference = run_external_sort(&words, &config(backend, 1)).unwrap();
+        for &threads in &THREAD_COUNTS[1..] {
+            let out = run_external_sort(&words, &config(backend, threads)).unwrap();
+            assert_eq!(
+                reference.payload(),
+                out.payload(),
+                "{backend:?} at {threads} threads: the order-sensitive \
+                 checksum must not move"
+            );
+        }
+    }
+}
+
+#[test]
+fn per_worker_breakdown_sums_to_job_totals() {
+    let words = corpus(&CorpusSpec::new(40_000, 23));
+    let out = run_wordcount(&words, &config(Backend::Facade, 4)).unwrap();
+    let per_worker_records: u64 = out
+        .stats
+        .per_worker
+        .iter()
+        .map(|w| w.stats.records_allocated)
+        .sum();
+    assert_eq!(per_worker_records, out.stats.records_allocated);
+    let per_worker_peak: u64 = out
+        .stats
+        .per_worker
+        .iter()
+        .map(|w| w.stats.peak_bytes)
+        .sum();
+    assert_eq!(per_worker_peak, out.stats.peak_bytes);
+    // Both WC phases deal partitions to every pool thread.
+    assert!(out.stats.per_worker.iter().all(|w| w.partitions > 0));
+    // The shared pool's counters made it into the stats (facade run).
+    assert!(out.stats.pool.is_some(), "pool counters recorded");
+}
+
+#[cfg(feature = "fault-injection")]
+mod fault_injection {
+    use super::*;
+    use facade::store::FaultPlan;
+
+    /// Injected faults trigger mid-round retries — the store-retirement and
+    /// rebuild path — on every thread-pool width; the output must not move.
+    #[test]
+    fn thread_sweep_is_bit_identical_under_seeded_faults() {
+        let words = corpus(&CorpusSpec::new(50_000, 29));
+        let wc_ref = run_wordcount(&words, &config(Backend::Facade, 1)).unwrap();
+        let es_ref = run_external_sort(&words, &config(Backend::Facade, 1)).unwrap();
+        for &threads in &THREAD_COUNTS {
+            let plan = FaultPlan::builder(31)
+                .fail_nth_allocation(20_000)
+                .pool_acquire_failure_ppm(150_000)
+                .build();
+            let mut cfg = config(Backend::Facade, threads);
+            cfg.fault_plan = Some(plan.clone());
+            let wc = run_wordcount(&words, &cfg).expect("WC survives the plan");
+            let es = run_external_sort(&words, &cfg).expect("ES survives the plan");
+            assert_eq!(
+                (wc_ref.distinct_words, wc_ref.total_count),
+                (wc.distinct_words, wc.total_count),
+                "WC at {threads} threads under faults"
+            );
+            assert_eq!(
+                es_ref.payload(),
+                es.payload(),
+                "ES at {threads} threads under faults"
+            );
+            assert!(
+                plan.faults_injected() >= 1,
+                "the plan must actually fire at {threads} threads"
+            );
+        }
+    }
+}

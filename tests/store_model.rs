@@ -2,7 +2,7 @@
 //! simple reference models, under seeded operation sequences with
 //! collections forced at arbitrary points.
 
-use data_store::{ElemTy, FieldTy, Rec, Store};
+use data_store::{Backend, ElemTy, FieldTy, Rec, Store};
 use datagen::SplitMix64;
 
 /// Operations over a set of rooted records with one i64 and one ref field.
@@ -85,7 +85,13 @@ fn heap_store_matches_model() {
         let mut rng = SplitMix64::new(0x57_0BE1 + case);
         let len = 1 + rng.next_below(200) as usize;
         let ops = random_ops(&mut rng, len);
-        run_against_model(Store::heap(64 << 20), &ops);
+        run_against_model(
+            Store::builder()
+                .backend(Backend::Heap)
+                .budget(64 << 20)
+                .build(),
+            &ops,
+        );
     }
 }
 
@@ -95,7 +101,7 @@ fn facade_store_matches_model() {
         let mut rng = SplitMix64::new(0xFAC_ADE0 + case);
         let len = 1 + rng.next_below(200) as usize;
         let ops = random_ops(&mut rng, len);
-        run_against_model(Store::facade(64 << 20), &ops);
+        run_against_model(Store::builder().budget(64 << 20).build(), &ops);
     }
 }
 
@@ -107,7 +113,13 @@ fn i64_arrays_match_vec_model() {
         let writes: Vec<(usize, i64)> = (0..1 + rng.next_below(99))
             .map(|_| (rng.next_below(len as u64) as usize, rng.next_u64() as i64))
             .collect();
-        for mut store in [Store::heap(16 << 20), Store::facade(16 << 20)] {
+        for mut store in [
+            Store::builder()
+                .backend(Backend::Heap)
+                .budget(16 << 20)
+                .build(),
+            Store::builder().budget(16 << 20).build(),
+        ] {
             let arr = store.alloc_array(ElemTy::I64, len).unwrap();
             store.add_root(arr);
             let mut model = vec![0i64; len];
@@ -130,7 +142,13 @@ fn byte_arrays_roundtrip() {
         let data: Vec<u8> = (0..rng.next_below(500))
             .map(|_| rng.next_u64() as u8)
             .collect();
-        for mut store in [Store::heap(16 << 20), Store::facade(16 << 20)] {
+        for mut store in [
+            Store::builder()
+                .backend(Backend::Heap)
+                .budget(16 << 20)
+                .build(),
+            Store::builder().budget(16 << 20).build(),
+        ] {
             let arr = store.alloc_array(ElemTy::U8, data.len()).unwrap();
             store.add_root(arr);
             store.array_write_bytes(arr, &data);
@@ -146,7 +164,7 @@ fn facade_iterations_isolate_allocations() {
         let mut rng = SplitMix64::new(0x150_1A7E + case);
         let per_iter = 1 + rng.next_below(199) as usize;
         let iters = 1 + rng.next_below(9) as usize;
-        let mut store = Store::facade(64 << 20);
+        let mut store = Store::builder().budget(64 << 20).build();
         let class = store.register_class("T", &[FieldTy::I64]);
         // Survivor allocated before any iteration.
         let keep = store.alloc(class).unwrap();
@@ -170,7 +188,7 @@ fn facade_iterations_isolate_allocations() {
 
 mod collections_model {
     use data_store::collections::{BytesMap, RecDeque, RecList};
-    use data_store::{FieldTy, Rec, Store};
+    use data_store::{Backend, FieldTy, Rec, Store};
     use datagen::SplitMix64;
     use std::collections::VecDeque;
 
@@ -271,7 +289,13 @@ mod collections_model {
             let mut rng = SplitMix64::new(0xC011_0001 + case);
             let len = 1 + rng.next_below(300) as usize;
             let ops = random_ops(&mut rng, len);
-            run_model(Store::heap(64 << 20), &ops);
+            run_model(
+                Store::builder()
+                    .backend(Backend::Heap)
+                    .budget(64 << 20)
+                    .build(),
+                &ops,
+            );
         }
     }
 
@@ -281,7 +305,7 @@ mod collections_model {
             let mut rng = SplitMix64::new(0xC011_0002 + case);
             let len = 1 + rng.next_below(300) as usize;
             let ops = random_ops(&mut rng, len);
-            run_model(Store::facade(64 << 20), &ops);
+            run_model(Store::builder().budget(64 << 20).build(), &ops);
         }
     }
 }
