@@ -9,6 +9,11 @@
 //! - `reclamation`: reclaiming one iteration's worth of records — a full
 //!   GC cycle vs an `iteration_end` page recycle.
 //! - `lock_pool`: the §3.4 shared lock pool, uncontended enter/exit.
+//! - `pool_contention`: the shared page supply under N-thread
+//!   acquire/release hammering — the contention the per-thread page cache
+//!   and lock-free empty path are meant to absorb. Reported straight from
+//!   the pool's own `PoolCounters` latency accounting (per-call means
+//!   across all threads).
 //! - `conversion`: §3.5 data conversion (heap object graph → paged records).
 //!
 //! Measured with a small in-tree harness (best-of-N batch timing) so the
@@ -176,6 +181,55 @@ fn lock_pool() {
     });
 }
 
+fn pool_contention() {
+    use facade_runtime::{POOL_BATCH, PagePool, PooledPage};
+
+    // §3.6 runs per-thread page managers over one shared page supply, so
+    // every worker's refill and retirement meets every other's on this
+    // structure. Each thread drains a batch and immediately hands it back,
+    // the worst-case ping-pong; the pool's own latency counters then give
+    // the mean per-call cost across all threads, pre-aggregated exactly as
+    // the bench reports' `pool` section records it.
+    const OPS_PER_THREAD: usize = 20_000;
+    for threads in [1usize, 2, 4, 8] {
+        let pool = PagePool::with_default_config();
+        // Seed a batch per thread so acquires mostly find pages instead of
+        // short-circuiting through the empty-pool fast path.
+        pool.release_batch(
+            (0..threads * POOL_BATCH)
+                .map(|_| PooledPage::new())
+                .collect(),
+        );
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..OPS_PER_THREAD {
+                        let batch = pool.acquire_batch(POOL_BATCH);
+                        if batch.is_empty() {
+                            // A racing sibling drained the supply; hand one
+                            // fresh page back to keep the churn honest.
+                            pool.release_batch(vec![PooledPage::new()]);
+                        } else {
+                            pool.release_batch(batch);
+                        }
+                    }
+                });
+            }
+        });
+        let counters = pool.counters();
+        println!(
+            "{:<45} {:>12.1} ns/op",
+            format!("pool_contention/{threads}_threads/acquire_batch"),
+            counters.mean_acquire_ns() as f64
+        );
+        println!(
+            "{:<45} {:>12.1} ns/op",
+            format!("pool_contention/{threads}_threads/release_batch"),
+            counters.mean_release_ns() as f64
+        );
+    }
+}
+
 fn conversion() {
     use facade_compiler::{DataSpec, transform};
     use facade_ir::{CmpOp, ProgramBuilder, Ty};
@@ -254,5 +308,6 @@ fn main() {
     array_access();
     reclamation();
     lock_pool();
+    pool_contention();
     conversion();
 }

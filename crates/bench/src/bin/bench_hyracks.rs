@@ -238,7 +238,7 @@ fn main() {
         scale,
         WORKERS,
         budget,
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        facade_bench::host_cpus(),
         runs_json.join(",\n"),
         census_json(&baseline.es.stats.census),
         pool_json,

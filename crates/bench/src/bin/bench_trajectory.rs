@@ -216,7 +216,7 @@ fn main() {
         spec.vertices,
         spec.edges,
         budget,
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        facade_bench::host_cpus(),
         runs_json.join(",\n"),
         census,
         pool_json,

@@ -8,8 +8,9 @@
 //! [`facade_bench::gate::compare_reports`], prints the per-check verdict,
 //! and exits non-zero when any metric regressed beyond tolerance (exit 1)
 //! or either report is unreadable/malformed (exit 2). Tolerances come from
-//! `FACADE_GATE_WALL_PCT` / `FACADE_GATE_PEAK_PCT` (see the gate module
-//! docs for the defaults).
+//! `FACADE_GATE_WALL_PCT` / `FACADE_GATE_PEAK_PCT` /
+//! `FACADE_GATE_SPEEDUP_PCT` (see the gate module docs for the defaults
+//! and for when the speedup checks apply).
 
 use facade_bench::gate::{Tolerances, compare_reports};
 use facade_bench::json::parse;
@@ -38,8 +39,8 @@ fn main() -> ExitCode {
     let tol = Tolerances::from_env();
     eprintln!(
         "regression_gate: {baseline_path} vs {current_path} \
-         (wall +{:.0}%, peak +{:.0}%)",
-        tol.wall_pct, tol.peak_pct
+         (wall +{:.0}%, peak +{:.0}%, speedup -{:.0}%)",
+        tol.wall_pct, tol.peak_pct, tol.speedup_pct
     );
     match compare_reports(&baseline, &current, &tol) {
         Ok(report) => {

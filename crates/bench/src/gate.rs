@@ -9,8 +9,19 @@
 //!   is tight (`FACADE_GATE_PEAK_PCT`, default **25%** over baseline).
 //!
 //! A current value more than the tolerance above its baseline is a
-//! *regression* and fails the gate; improvements of any size pass. The
-//! `regression_gate` binary wraps [`compare_reports`] for CI:
+//! *regression* and fails the gate; improvements of any size pass.
+//!
+//! When **both** reports were produced on a multi-core host (`host_cpus`
+//! > 1), the gate additionally checks `speedup_vs_1` at 2 and 4 threads:
+//! a current speedup more than `FACADE_GATE_SPEEDUP_PCT` (default **20%**)
+//! *below* its baseline is a regression. Speedup measured on a 1-CPU host
+//! is pure scheduling noise — all thread counts time-slice one core — so
+//! those reports carry no parallel-efficiency signal and the speedup
+//! checks are skipped rather than gated on noise. (For the same reason,
+//! never refresh a checked-in baseline's `speedup_vs_1` from a 1-CPU
+//! host: the recorded `host_cpus` is what tells the gate whether the
+//! numbers mean anything.) The `regression_gate` binary wraps
+//! [`compare_reports`] for CI:
 //!
 //! ```text
 //! cargo run --release -p facade-bench --bin regression_gate -- \
@@ -26,6 +37,9 @@ pub struct Tolerances {
     pub wall_pct: f64,
     /// Percent by which `peak_bytes` may exceed baseline before failing.
     pub peak_pct: f64,
+    /// Percent by which `speedup_vs_1` may fall below baseline before
+    /// failing (checked only between multi-core reports).
+    pub speedup_pct: f64,
 }
 
 impl Default for Tolerances {
@@ -33,13 +47,15 @@ impl Default for Tolerances {
         Self {
             wall_pct: 150.0,
             peak_pct: 25.0,
+            speedup_pct: 20.0,
         }
     }
 }
 
 impl Tolerances {
-    /// Reads `FACADE_GATE_WALL_PCT` / `FACADE_GATE_PEAK_PCT`, falling back
-    /// to the defaults for unset or unparsable values.
+    /// Reads `FACADE_GATE_WALL_PCT` / `FACADE_GATE_PEAK_PCT` /
+    /// `FACADE_GATE_SPEEDUP_PCT`, falling back to the defaults for unset
+    /// or unparsable values.
     pub fn from_env() -> Self {
         let default = Self::default();
         let read = |name: &str, fallback: f64| {
@@ -52,24 +68,33 @@ impl Tolerances {
         Self {
             wall_pct: read("FACADE_GATE_WALL_PCT", default.wall_pct),
             peak_pct: read("FACADE_GATE_PEAK_PCT", default.peak_pct),
+            speedup_pct: read("FACADE_GATE_SPEEDUP_PCT", default.speedup_pct),
         }
     }
 }
+
+/// Thread counts whose `speedup_vs_1` is gated. 1 is the definitional
+/// anchor (always exactly 1.0) and the top of the sweep oversubscribes
+/// small CI runners, so the gate watches the middle of the curve.
+const SPEEDUP_GATED_THREADS: [u64; 2] = [2, 4];
 
 /// One metric comparison for one `threads` configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateCheck {
     /// Thread count of the compared runs.
     pub threads: u64,
-    /// Which metric was compared (`"wall_secs"` or `"peak_bytes"`).
+    /// Which metric was compared (`"wall_secs"`, `"peak_bytes"`, or
+    /// `"speedup_vs_1"`).
     pub metric: &'static str,
     /// Baseline value.
     pub baseline: f64,
     /// Current value.
     pub current: f64,
-    /// Highest passing value (`baseline * (1 + tolerance/100)`).
+    /// The passing bound: highest passing value for cost metrics
+    /// (`baseline * (1 + tolerance/100)`), lowest passing value for
+    /// `speedup_vs_1` (`baseline * (1 - tolerance/100)`).
     pub limit: f64,
-    /// Whether `current` exceeded `limit`.
+    /// Whether `current` fell on the failing side of `limit`.
     pub regressed: bool,
 }
 
@@ -118,6 +143,12 @@ fn metric(run: &Json, name: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("run is missing numeric \"{name}\""))
 }
 
+/// A report without `host_cpus` predates the field; treat it as 1-CPU so
+/// its speedups are never gated (they carry no provenance).
+fn host_cpus(report: &Json) -> u64 {
+    report.get("host_cpus").and_then(Json::as_u64).unwrap_or(1)
+}
+
 /// Compares two parsed bench reports run-by-run (matched on `threads`).
 ///
 /// # Errors
@@ -132,6 +163,7 @@ pub fn compare_reports(
 ) -> Result<GateReport, String> {
     let baseline_runs = runs(baseline)?;
     let current_runs = runs(current)?;
+    let gate_speedup = host_cpus(baseline) > 1 && host_cpus(current) > 1;
     let mut report = GateReport::default();
     for base_run in baseline_runs {
         let threads = base_run
@@ -155,6 +187,19 @@ pub fn compare_reports(
                 regressed: current > limit,
             });
         }
+        if gate_speedup && SPEEDUP_GATED_THREADS.contains(&threads) {
+            let baseline = metric(base_run, "speedup_vs_1")?;
+            let current = metric(cur_run, "speedup_vs_1")?;
+            let limit = baseline * (1.0 - tol.speedup_pct / 100.0);
+            report.checks.push(GateCheck {
+                threads,
+                metric: "speedup_vs_1",
+                baseline,
+                current,
+                limit,
+                regressed: current < limit,
+            });
+        }
     }
     Ok(report)
 }
@@ -170,6 +215,17 @@ mod tests {
 
     fn run(threads: u64, wall: f64, peak: u64) -> String {
         format!("{{\"threads\": {threads}, \"wall_secs\": {wall}, \"peak_bytes\": {peak}}}")
+    }
+
+    fn multicore_report(runs: &str) -> Json {
+        parse(&format!("{{\"host_cpus\": 8, \"runs\": [{runs}]}}")).unwrap()
+    }
+
+    fn run_with_speedup(threads: u64, wall: f64, peak: u64, speedup: f64) -> String {
+        format!(
+            "{{\"threads\": {threads}, \"wall_secs\": {wall}, \
+             \"peak_bytes\": {peak}, \"speedup_vs_1\": {speedup}}}"
+        )
     }
 
     #[test]
@@ -247,6 +303,7 @@ mod tests {
         let tight = Tolerances {
             wall_pct: 5.0,
             peak_pct: 1.0,
+            ..Tolerances::default()
         };
         let gate = compare_reports(&base, &slightly_worse, &tight).unwrap();
         assert_eq!(gate.regressions().len(), 2, "{}", gate.render());
@@ -256,6 +313,70 @@ mod tests {
                 .unwrap()
                 .passed()
         );
+    }
+
+    #[test]
+    fn multicore_reports_gate_speedup_at_2_and_4_threads() {
+        let sweep = [
+            run_with_speedup(1, 0.10, 4_000_000, 1.0),
+            run_with_speedup(2, 0.06, 4_000_000, 1.7),
+            run_with_speedup(4, 0.04, 4_000_000, 2.6),
+            run_with_speedup(8, 0.03, 4_000_000, 3.1),
+        ]
+        .join(", ");
+        let base = multicore_report(&sweep);
+        let gate = compare_reports(&base, &base, &Tolerances::default()).unwrap();
+        assert!(gate.passed());
+        let gated: Vec<u64> = gate
+            .checks
+            .iter()
+            .filter(|c| c.metric == "speedup_vs_1")
+            .map(|c| c.threads)
+            .collect();
+        assert_eq!(
+            gated,
+            vec![2, 4],
+            "1 is the definitional anchor and 8 oversubscribes small runners"
+        );
+    }
+
+    #[test]
+    fn speedup_collapse_beyond_tolerance_fails() {
+        let base = multicore_report(&run_with_speedup(4, 0.04, 4_000_000, 2.6));
+        // 20% tolerance: limit is 2.08. A collapse to 1.3x regresses even
+        // though the wall time stays inside its own (generous) tolerance —
+        // that is exactly the failure mode wall-only gating missed.
+        let bad = multicore_report(&run_with_speedup(4, 0.08, 4_000_000, 1.3));
+        let gate = compare_reports(&base, &bad, &Tolerances::default()).unwrap();
+        let regs = gate.regressions();
+        assert_eq!(regs.len(), 1, "{}", gate.render());
+        assert_eq!(regs[0].metric, "speedup_vs_1");
+        assert!(regs[0].limit > 2.07 && regs[0].limit < 2.09);
+    }
+
+    #[test]
+    fn one_cpu_reports_never_gate_speedup() {
+        // A 1-CPU host time-slices every thread count over one core, so its
+        // "speedup" is scheduler noise; if either side of the comparison
+        // was measured there, the speedup checks must be skipped — in both
+        // directions — rather than gated on meaningless numbers.
+        let multi = multicore_report(&run_with_speedup(2, 0.06, 4_000_000, 1.7));
+        let single = parse(&format!(
+            "{{\"host_cpus\": 1, \"runs\": [{}]}}",
+            run_with_speedup(2, 0.10, 4_000_000, 0.8)
+        ))
+        .unwrap();
+        for (base, cur) in [(&multi, &single), (&single, &multi)] {
+            let gate = compare_reports(base, cur, &Tolerances::default()).unwrap();
+            assert!(gate.passed(), "{}", gate.render());
+            assert!(gate.checks.iter().all(|c| c.metric != "speedup_vs_1"));
+        }
+        // Reports predating `host_cpus` are treated as 1-CPU, so legacy
+        // baselines without a `speedup_vs_1` field still compare cleanly.
+        let legacy = report(&run(2, 0.06, 4_000_000));
+        let gate = compare_reports(&legacy, &legacy, &Tolerances::default()).unwrap();
+        assert!(gate.passed());
+        assert_eq!(gate.checks.len(), 2);
     }
 
     #[test]
@@ -286,6 +407,10 @@ mod tests {
         let baseline = parse(&text).expect("baseline parses");
         let gate = compare_reports(&baseline, &baseline, &Tolerances::default()).unwrap();
         assert!(gate.passed());
-        assert_eq!(gate.checks.len(), 8, "two metrics over four thread counts");
+        // Two cost metrics over four thread counts, plus — when the
+        // baseline was recorded on a multi-core host — speedup at 2 and 4.
+        let multicore = baseline.get("host_cpus").and_then(Json::as_u64) > Some(1);
+        let expected = if multicore { 10 } else { 8 };
+        assert_eq!(gate.checks.len(), expected);
     }
 }

@@ -53,6 +53,25 @@ pub fn threads() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
+/// The host's CPU count, as bench reports record it under `host_cpus`.
+///
+/// On a 1-CPU host every thread count time-slices one core, so the
+/// `speedup_vs_1` column of such a report is scheduler noise. This prints
+/// a loud warning in that case: never refresh a checked-in baseline's
+/// speedups from a 1-CPU run. The regression gate reads the recorded
+/// `host_cpus` and skips its speedup checks when either report says 1.
+pub fn host_cpus() -> usize {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cpus == 1 {
+        eprintln!(
+            "WARNING: 1-CPU host — speedup_vs_1 in this report carries no \
+             parallel-efficiency signal; do not promote it to a checked-in \
+             baseline"
+        );
+    }
+    cpus
+}
+
 /// Formats a duration as fractional seconds (the paper's table format).
 pub fn secs(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())

@@ -17,6 +17,8 @@
 
 use crate::page::{PAGE_BYTES, PAGE_RESERVED};
 use std::sync::Mutex;
+#[cfg(feature = "fault-injection")]
+use std::sync::atomic::AtomicBool;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -99,9 +101,15 @@ pub struct PagePool {
     release_calls: AtomicU64,
     release_ns_total: AtomicU64,
     release_ns_max: AtomicU64,
-    /// Installed fault schedule; consulted on every batch acquire.
+    /// Installed fault schedule; consulted on every batch acquire once
+    /// [`fault_armed`](Self::fault_armed) says a plan exists.
     #[cfg(feature = "fault-injection")]
     fault: Mutex<Option<crate::fault::FaultPlan>>,
+    /// Lock-free gate in front of the fault mutex: acquires check this
+    /// relaxed flag and only lock when a plan was actually installed, so
+    /// the common (no-plan) acquire path never touches the fault mutex.
+    #[cfg(feature = "fault-injection")]
+    fault_armed: AtomicBool,
 }
 
 /// Observability snapshot of a [`PagePool`]: traffic totals, batch-call
@@ -184,6 +192,8 @@ impl PagePool {
             release_ns_max: AtomicU64::new(0),
             #[cfg(feature = "fault-injection")]
             fault: Mutex::new(None),
+            #[cfg(feature = "fault-injection")]
+            fault_armed: AtomicBool::new(false),
         }
     }
 
@@ -194,6 +204,9 @@ impl PagePool {
     #[cfg(feature = "fault-injection")]
     pub fn set_fault_plan(&self, plan: crate::fault::FaultPlan) {
         *self.fault.lock().unwrap_or_else(|p| p.into_inner()) = Some(plan);
+        // Release pairs with the acquire load in `acquire_batch`: a thread
+        // that sees the flag also sees the plan behind the mutex.
+        self.fault_armed.store(true, Ordering::Release);
     }
 
     /// Creates an empty pool with the default shard count.
@@ -212,10 +225,17 @@ impl PagePool {
 
     /// Takes up to `max` pages from the pool (possibly fewer, possibly none
     /// — the caller falls back to creating fresh pages).
+    ///
+    /// The common path is contention-free: with no fault plan installed the
+    /// fault mutex is never locked, and a pool whose `in_pool` counter reads
+    /// zero returns empty without visiting any shard mutex (the dominant
+    /// acquire during warm-up, when every page is still being created
+    /// fresh). A racing concurrent release may make that read stale; the
+    /// caller then creates a fresh page, which is always sound.
     pub fn acquire_batch(&self, max: usize) -> Vec<PooledPage> {
         let timed = Instant::now();
         #[cfg(feature = "fault-injection")]
-        {
+        if self.fault_armed.load(Ordering::Acquire) {
             let fault = self.fault.lock().unwrap_or_else(|p| p.into_inner());
             if let Some(plan) = fault.as_ref() {
                 if plan.should_fail_pool_acquire() {
@@ -223,6 +243,10 @@ impl PagePool {
                     return Vec::new();
                 }
             }
+        }
+        if max == 0 || self.in_pool.load(Ordering::Relaxed) == 0 {
+            self.note_acquire(timed, 0);
+            return Vec::new();
         }
         let n = self.shards.len();
         let start = self.cursor.fetch_add(1, Ordering::Relaxed);

@@ -15,7 +15,8 @@ use metrics::{
 use std::error::Error;
 use std::fmt;
 use std::panic::{AssertUnwindSafe, catch_unwind};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Allocation-site ids the engine attributes its phases to. Under the heap
@@ -496,6 +497,38 @@ struct CommitBuf {
     changed: bool,
 }
 
+/// One subinterval's shard window, gathered off the critical path: the
+/// CSR-order `(neighbor, edge id)` metadata and the frozen edge-value
+/// snapshot for every in- and out-edge of the vertex range. Building one
+/// touches only shared immutable state (the CSR and the interval-start
+/// snapshot), so a worker that is ahead can assemble windows for
+/// subintervals owned by busy peers; the owner then streams the flat
+/// arrays into its store instead of chasing CSR indices mid-load. The
+/// content is a pure function of the frozen snapshot, so a prefetched load
+/// writes bit-identical records to an inline one.
+#[derive(Debug)]
+struct PrefetchedSub {
+    /// `(neighbor, edge id)` pairs for every in-edge, in vertex order.
+    in_meta: Vec<i32>,
+    /// Frozen edge values for every in-edge, in vertex order.
+    in_vals: Vec<f64>,
+    /// `(neighbor, edge id)` pairs for every out-edge, in vertex order.
+    out_meta: Vec<i32>,
+    /// Frozen edge values for every out-edge, in vertex order.
+    out_vals: Vec<f64>,
+}
+
+/// Shared prefetch schedule for one interval. `next` hands out gather
+/// tasks exactly once, `started` counts subintervals whose owner has begun
+/// processing (bounding how far ahead the gatherers run, which bounds the
+/// native memory pinned by unclaimed windows), and `slots` parks finished
+/// windows until their owners claim them.
+struct PrefetchQueue {
+    next: AtomicUsize,
+    started: AtomicUsize,
+    slots: Vec<Mutex<Option<PrefetchedSub>>>,
+}
+
 /// What one worker thread brings back from an interval: its phase timings
 /// plus `(subinterval index, outcome)` for every subinterval it processed.
 type WorkerOutput = (PhaseTimer, Vec<(usize, Result<CommitBuf, SubFailure>)>);
@@ -790,7 +823,16 @@ impl Engine {
                 let store = &mut stores[0];
                 let mut t = PhaseTimer::new();
                 let r = catch_failure(0, || {
-                    self.process_subinterval(store, schema, app, sub, values, edge_values, &mut t)
+                    self.process_subinterval(
+                        store,
+                        schema,
+                        app,
+                        sub,
+                        values,
+                        edge_values,
+                        None,
+                        &mut t,
+                    )
                 });
                 timer.merge(&t);
                 let failed = r.is_err();
@@ -807,7 +849,19 @@ impl Engine {
         }
 
         let this: &Engine = self;
+        // The prefetch pipeline: round one's subintervals are claimed
+        // immediately, so gathering starts at `threads`. The window bounds
+        // how many gathered-but-unclaimed windows may exist at once — two
+        // per worker keeps every thread roughly one load ahead without
+        // pinning more than a fraction of the interval's snapshot.
+        let prefetch = PrefetchQueue {
+            next: AtomicUsize::new(threads),
+            started: AtomicUsize::new(0),
+            slots: (0..subs.len()).map(|_| Mutex::new(None)).collect(),
+        };
+        let window = threads * 2;
         let worker_out: Vec<WorkerOutput> = std::thread::scope(|scope| {
+            let prefetch = &prefetch;
             let handles: Vec<_> = stores
                 .iter_mut()
                 .enumerate()
@@ -817,6 +871,11 @@ impl Engine {
                         let mut out = Vec::new();
                         let mut idx = w;
                         while idx < subs.len() {
+                            prefetch.started.fetch_add(1, Ordering::Relaxed);
+                            let pre = prefetch.slots[idx]
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .take();
                             let mut sub_t = PhaseTimer::new();
                             let r = catch_failure(w, || {
                                 this.process_subinterval(
@@ -826,6 +885,7 @@ impl Engine {
                                     subs[idx],
                                     values,
                                     edge_values,
+                                    pre,
                                     &mut sub_t,
                                 )
                             });
@@ -836,6 +896,32 @@ impl Engine {
                                 break;
                             }
                             idx += threads;
+                            // Pipeline: before blocking on its own next
+                            // load, gather windows for upcoming
+                            // subintervals — its own or a busy peer's —
+                            // while the claim window is open.
+                            loop {
+                                let started = prefetch.started.load(Ordering::Relaxed);
+                                let candidate = prefetch.next.load(Ordering::Relaxed);
+                                if candidate >= subs.len() || candidate >= started + window {
+                                    break;
+                                }
+                                if prefetch
+                                    .next
+                                    .compare_exchange(
+                                        candidate,
+                                        candidate + 1,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    )
+                                    .is_ok()
+                                {
+                                    let gathered = this.prefetch_sub(subs[candidate], edge_values);
+                                    *prefetch.slots[candidate]
+                                        .lock()
+                                        .unwrap_or_else(|p| p.into_inner()) = Some(gathered);
+                                }
+                            }
                         }
                         // The interval's records are all dead now; hand
                         // the pages back so other workers (and the next
@@ -901,11 +987,58 @@ impl Engine {
         }
     }
 
+    /// Gathers one subinterval's shard window from the frozen snapshot —
+    /// the CSR-chasing, cache-missing half of `sub_load` — without touching
+    /// any store. Runs on whichever worker has slack, overlapping the next
+    /// subinterval's load with the current one's update.
+    fn prefetch_sub(&self, (start, end): (u32, u32), edge_values: &[f64]) -> PrefetchedSub {
+        let csr = &self.csr;
+        let started = std::time::Instant::now();
+        let in_total = (csr.in_offsets[end as usize] - csr.in_offsets[start as usize]) as usize;
+        let out_total = (csr.out_offsets[end as usize] - csr.out_offsets[start as usize]) as usize;
+        let mut in_meta = Vec::with_capacity(2 * in_total);
+        let mut in_vals = Vec::with_capacity(in_total);
+        let mut out_meta = Vec::with_capacity(2 * out_total);
+        let mut out_vals = Vec::with_capacity(out_total);
+        for v in start..end {
+            let base = csr.in_offsets[v as usize] as usize;
+            for i in 0..csr.in_degree(v) as usize {
+                let eid = csr.in_eid[base + i];
+                in_meta.push(csr.in_src[base + i] as i32);
+                in_meta.push(eid as i32);
+                in_vals.push(edge_values[eid as usize]);
+            }
+            let base = csr.out_offsets[v as usize] as usize;
+            for i in 0..csr.out_degree(v) as usize {
+                let eid = csr.out_eid[base + i];
+                out_meta.push(csr.out_dst[base + i] as i32);
+                out_meta.push(eid as i32);
+                out_vals.push(edge_values[eid as usize]);
+            }
+        }
+        facade_trace::complete(
+            "sub_prefetch",
+            started,
+            &[
+                ("first_vertex", start.into()),
+                ("edges", (in_total + out_total).into()),
+            ],
+        );
+        PrefetchedSub {
+            in_meta,
+            in_vals,
+            out_meta,
+            out_vals,
+        }
+    }
+
     /// Loads, updates, and buffers the writeback of one subinterval. This
     /// is one sub-iteration in the FACADE sense: everything allocated here
     /// dies here. Reads come from the frozen interval-start snapshot;
     /// writes go into the returned [`CommitBuf`] for the main thread to
-    /// replay in order.
+    /// replay in order. When a [`PrefetchedSub`] window is supplied, the
+    /// load phase streams its flat arrays instead of gathering from the
+    /// CSR — same writes, same order, bit-identical records.
     #[allow(clippy::too_many_arguments)]
     fn process_subinterval(
         &self,
@@ -915,6 +1048,7 @@ impl Engine {
         (start, end): (u32, u32),
         values: &[f64],
         edge_values: &[f64],
+        prefetched: Option<PrefetchedSub>,
         timer: &mut PhaseTimer,
     ) -> Result<CommitBuf, OutOfMemory> {
         let csr = &self.csr;
@@ -934,6 +1068,10 @@ impl Engine {
         };
         let inlined = store.is_facade() && self.config.inline_records;
         let mut load = || -> Result<(), OutOfMemory> {
+            // Edges consumed so far from the prefetched window; its flat
+            // arrays are in vertex order, mirroring the inline gather.
+            let mut in_seen = 0usize;
+            let mut out_seen = 0usize;
             for v in start..end {
                 let vi = (v - start) as usize;
                 let vr = store.alloc(schema.vertex)?;
@@ -955,56 +1093,107 @@ impl Engine {
                     store.set_rec(vr, vertex_fields::IN_EDGES, in_meta);
                     let in_vals = store.alloc_array(ElemTy::I64, n_in)?;
                     store.set_rec(vr, vertex_fields::IN_VALUES, in_vals);
-                    let base = csr.in_offsets[v as usize] as usize;
-                    for i in 0..n_in {
-                        let eid = csr.in_eid[base + i];
-                        store.array_set_i32(in_meta, 2 * i, csr.in_src[base + i] as i32);
-                        store.array_set_i32(in_meta, 2 * i + 1, eid as i32);
-                        store.array_set_f64(in_vals, i, edge_values[eid as usize]);
+                    if let Some(p) = prefetched.as_ref() {
+                        for i in 0..n_in {
+                            let k = in_seen + i;
+                            store.array_set_i32(in_meta, 2 * i, p.in_meta[2 * k]);
+                            store.array_set_i32(in_meta, 2 * i + 1, p.in_meta[2 * k + 1]);
+                            store.array_set_f64(in_vals, i, p.in_vals[k]);
+                        }
+                    } else {
+                        let base = csr.in_offsets[v as usize] as usize;
+                        for i in 0..n_in {
+                            let eid = csr.in_eid[base + i];
+                            store.array_set_i32(in_meta, 2 * i, csr.in_src[base + i] as i32);
+                            store.array_set_i32(in_meta, 2 * i + 1, eid as i32);
+                            store.array_set_f64(in_vals, i, edge_values[eid as usize]);
+                        }
                     }
                     let out_meta = store.alloc_array(ElemTy::I32, 2 * n_out)?;
                     store.set_rec(vr, vertex_fields::OUT_EDGES, out_meta);
                     let out_vals = store.alloc_array(ElemTy::I64, n_out)?;
                     store.set_rec(vr, vertex_fields::OUT_VALUES, out_vals);
-                    let base = csr.out_offsets[v as usize] as usize;
-                    for i in 0..n_out {
-                        let eid = csr.out_eid[base + i];
-                        store.array_set_i32(out_meta, 2 * i, csr.out_dst[base + i] as i32);
-                        store.array_set_i32(out_meta, 2 * i + 1, eid as i32);
-                        store.array_set_f64(out_vals, i, edge_values[eid as usize]);
+                    if let Some(p) = prefetched.as_ref() {
+                        for i in 0..n_out {
+                            let k = out_seen + i;
+                            store.array_set_i32(out_meta, 2 * i, p.out_meta[2 * k]);
+                            store.array_set_i32(out_meta, 2 * i + 1, p.out_meta[2 * k + 1]);
+                            store.array_set_f64(out_vals, i, p.out_vals[k]);
+                        }
+                    } else {
+                        let base = csr.out_offsets[v as usize] as usize;
+                        for i in 0..n_out {
+                            let eid = csr.out_eid[base + i];
+                            store.array_set_i32(out_meta, 2 * i, csr.out_dst[base + i] as i32);
+                            store.array_set_i32(out_meta, 2 * i + 1, eid as i32);
+                            store.array_set_f64(out_vals, i, edge_values[eid as usize]);
+                        }
                     }
+                    in_seen += n_in;
+                    out_seen += n_out;
                     continue;
                 }
 
                 let in_arr = store.alloc_array(ElemTy::Ref, n_in)?;
                 store.set_rec(vr, vertex_fields::IN_EDGES, in_arr);
-                let base = csr.in_offsets[v as usize] as usize;
-                for i in 0..n_in {
-                    let e = store.alloc(schema.pointer)?;
-                    store.set_i32(e, pointer_fields::NEIGHBOR, csr.in_src[base + i] as i32);
-                    let eid = csr.in_eid[base + i];
-                    store.set_i32(e, pointer_fields::EDGE_ID, eid as i32);
-                    store.set_f64(e, pointer_fields::VALUE, edge_values[eid as usize]);
-                    store.array_set_rec(in_arr, i, e);
+                if let Some(p) = prefetched.as_ref() {
+                    for i in 0..n_in {
+                        let k = in_seen + i;
+                        let e = store.alloc(schema.pointer)?;
+                        store.set_i32(e, pointer_fields::NEIGHBOR, p.in_meta[2 * k]);
+                        store.set_i32(e, pointer_fields::EDGE_ID, p.in_meta[2 * k + 1]);
+                        store.set_f64(e, pointer_fields::VALUE, p.in_vals[k]);
+                        store.array_set_rec(in_arr, i, e);
+                    }
+                } else {
+                    let base = csr.in_offsets[v as usize] as usize;
+                    for i in 0..n_in {
+                        let e = store.alloc(schema.pointer)?;
+                        store.set_i32(e, pointer_fields::NEIGHBOR, csr.in_src[base + i] as i32);
+                        let eid = csr.in_eid[base + i];
+                        store.set_i32(e, pointer_fields::EDGE_ID, eid as i32);
+                        store.set_f64(e, pointer_fields::VALUE, edge_values[eid as usize]);
+                        store.array_set_rec(in_arr, i, e);
+                    }
                 }
 
                 let out_arr = store.alloc_array(ElemTy::Ref, n_out)?;
                 store.set_rec(vr, vertex_fields::OUT_EDGES, out_arr);
-                let base = csr.out_offsets[v as usize] as usize;
-                for i in 0..n_out {
-                    let e = store.alloc(schema.pointer)?;
-                    store.set_i32(e, pointer_fields::NEIGHBOR, csr.out_dst[base + i] as i32);
-                    let eid = csr.out_eid[base + i];
-                    store.set_i32(e, pointer_fields::EDGE_ID, eid as i32);
-                    store.set_f64(e, pointer_fields::VALUE, edge_values[eid as usize]);
-                    store.array_set_rec(out_arr, i, e);
+                if let Some(p) = prefetched.as_ref() {
+                    for i in 0..n_out {
+                        let k = out_seen + i;
+                        let e = store.alloc(schema.pointer)?;
+                        store.set_i32(e, pointer_fields::NEIGHBOR, p.out_meta[2 * k]);
+                        store.set_i32(e, pointer_fields::EDGE_ID, p.out_meta[2 * k + 1]);
+                        store.set_f64(e, pointer_fields::VALUE, p.out_vals[k]);
+                        store.array_set_rec(out_arr, i, e);
+                    }
+                } else {
+                    let base = csr.out_offsets[v as usize] as usize;
+                    for i in 0..n_out {
+                        let e = store.alloc(schema.pointer)?;
+                        store.set_i32(e, pointer_fields::NEIGHBOR, csr.out_dst[base + i] as i32);
+                        let eid = csr.out_eid[base + i];
+                        store.set_i32(e, pointer_fields::EDGE_ID, eid as i32);
+                        store.set_f64(e, pointer_fields::VALUE, edge_values[eid as usize]);
+                        store.array_set_rec(out_arr, i, e);
+                    }
                 }
+                in_seen += n_in;
+                out_seen += n_out;
             }
             Ok(())
         };
         let load_result = load();
         timer.add(phases::LOAD, load_start.elapsed());
-        facade_trace::complete("sub_load", load_start, &[("first_vertex", start.into())]);
+        facade_trace::complete(
+            "sub_load",
+            load_start,
+            &[
+                ("first_vertex", start.into()),
+                ("prefetched", prefetched.is_some().into()),
+            ],
+        );
         if let Err(e) = load_result {
             if let Some(root) = root {
                 store.remove_root(root);

@@ -11,6 +11,7 @@
 //! any `threads` value (and any retry interleaving) reassembles the same
 //! output.
 
+use crate::steal::WorkQueue;
 use data_store::{PagePool, PauseRecord, PoolCounters, Store, StoreCensus, StoreStats};
 use metrics::report::Backend;
 use metrics::{DegradationAction, OutOfMemory, ResilienceReport, panic_message};
@@ -270,9 +271,9 @@ impl<R> Default for ThreadRound<R> {
 
 /// Folds a finished (or poisoned) store into a thread's accumulation. The
 /// census is taken first, so the facade side reports what the store still
-/// held; only healthy stores hand their free pages back to the pool (a
-/// failed store may hold open iterations — dropping it without salvage is
-/// always sound).
+/// held; only healthy stores release pages here (a failed store may hold
+/// open iterations), but dropping an unhealthy store is still leak-free:
+/// the paged heap's drop salvages its recycled pages back to the pool.
 fn retire_store<R>(store: &mut Store, healthy: bool, acc: &mut ThreadRound<R>) {
     acc.census.merge(&store.census());
     if healthy {
@@ -284,13 +285,18 @@ fn retire_store<R>(store: &mut Store, healthy: bool, acc: &mut ThreadRound<R>) {
 
 /// Runs one phase: every partition through `worker`, on a pool of
 /// `config.threads` OS threads. Each thread builds one store (schema
-/// installed once by `init`) and keeps it across the partitions dealt to
-/// it; a failing partition retires that thread's store and the thread
-/// continues its remaining partitions on a fresh one, so siblings are
-/// never poisoned. The closure's last argument is the degrade level — 0 on
-/// the first attempt, incremented each time the phase steps down the
-/// ladder; workers shrink their working granularity by `2^level` (frame
-/// bytes for WC, run length for ES), which is output-neutral for both jobs.
+/// installed once by `init`) and keeps it across the partitions it claims;
+/// a failing partition retires that thread's store and the thread
+/// continues on a fresh one, so siblings are never poisoned. Partitions
+/// are scheduled through a work-stealing [`WorkQueue`]: each thread's
+/// deque is seeded with its old round-robin share, the overflow waits in a
+/// shared injector, and a thread that runs dry steals from a busy
+/// sibling's tail (emitting a `steal` instant event) — so one slow
+/// partition no longer idles the rest of the pool. The closure's last
+/// argument is the degrade level — 0 on the first attempt, incremented
+/// each time the phase steps down the ladder; workers shrink their working
+/// granularity by `2^level` (frame bytes for WC, run length for ES), which
+/// is output-neutral for both jobs.
 ///
 /// Only the *failed* partitions are retried: completed partitions'
 /// payloads are kept (real cluster schedulers reschedule the failed task,
@@ -340,19 +346,33 @@ where
             threads = nthreads,
             level = level,
         );
-        let round: Vec<ThreadRound<R>> = std::thread::scope(|scope| {
+        // The stealing schedule holds positions into `pending`; results
+        // still key by partition id, so the claim order — and who stole
+        // what — never shows in the output.
+        let queue = WorkQueue::new(0..pending.len(), nthreads);
+        let round: Vec<Result<ThreadRound<R>, String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..nthreads)
                 .map(|w| {
                     let (worker, init) = (&worker, &init);
-                    let (config, pending) = (&*config, &pending);
+                    let (config, pending, queue) = (&*config, &pending, &queue);
                     scope.spawn(move || {
                         let mut acc = ThreadRound::default();
                         let mut store = config.make_store(pool);
                         let mut schema = init(&mut store);
-                        // Partitions dealt round-robin over the pool.
-                        let mut idx = w;
-                        while idx < pending.len() {
-                            let (id, input) = (pending[idx].0, pending[idx].1.clone());
+                        while let Some(claim) = queue.claim(w) {
+                            let (pos, stolen_from) = claim.into_parts();
+                            let (id, input) = (pending[pos].0, pending[pos].1.clone());
+                            if let Some(victim) = stolen_from {
+                                facade_trace::instant(
+                                    "steal",
+                                    &[
+                                        ("phase", phase.to_string().into()),
+                                        ("thief", w.into()),
+                                        ("victim", victim.into()),
+                                        ("partition", id.into()),
+                                    ],
+                                );
+                            }
                             let out = match catch_unwind(AssertUnwindSafe(|| {
                                 worker(id, &mut store, &schema, input, level)
                             })) {
@@ -367,13 +387,14 @@ where
                             acc.results.push((id, out));
                             if failed {
                                 // Retire the possibly-poisoned store and give
-                                // the thread's remaining partitions a fresh
-                                // one: one failure never poisons siblings.
+                                // the thread's remaining claims a fresh one:
+                                // one failure never poisons siblings — and
+                                // the siblings keep stealing this thread's
+                                // unclaimed share while it rebuilds.
                                 retire_store(&mut store, false, &mut acc);
                                 store = config.make_store(pool);
                                 schema = init(&mut store);
                             }
-                            idx += nthreads;
                         }
                         // Any failure already swapped in a fresh store, so
                         // the one retired here is always healthy.
@@ -384,34 +405,24 @@ where
                 .collect();
             handles
                 .into_iter()
-                .enumerate()
-                .map(|(w, h)| match h.join() {
-                    Ok(t) => t,
-                    // The thread died outside the per-partition catch (e.g.
-                    // retiring a store): every partition dealt to it counts
-                    // as failed — we cannot tell which ones completed.
-                    Err(payload) => {
-                        let message = panic_message(payload.as_ref());
-                        ThreadRound {
-                            results: (w..pending.len())
-                                .step_by(nthreads)
-                                .map(|i| {
-                                    (
-                                        pending[i].0,
-                                        Err(FailureCause::WorkerPanic(message.clone())),
-                                    )
-                                })
-                                .collect(),
-                            ..ThreadRound::default()
-                        }
-                    }
-                })
+                .map(|h| h.join().map_err(|p| panic_message(p.as_ref())))
                 .collect()
         });
 
         let mut failed: Option<(usize, FailureCause)> = None;
         let mut still_pending: Vec<usize> = Vec::new();
-        for (w, thread_round) in round.into_iter().enumerate() {
+        // A thread that died outside the per-partition catch (e.g. while
+        // retiring a store) loses its whole round, results included; the
+        // sweep below reconstructs which partitions that cost.
+        let mut lost_thread: Option<String> = None;
+        for (w, joined) in round.into_iter().enumerate() {
+            let thread_round = match joined {
+                Ok(t) => t,
+                Err(message) => {
+                    lost_thread.get_or_insert(message);
+                    ThreadRound::default()
+                }
+            };
             stats.absorb(&thread_round.stats);
             stats.census.merge(&thread_round.census);
             for (id, result) in &thread_round.results {
@@ -436,6 +447,21 @@ where
                 census: thread_round.census,
                 pauses: thread_round.pauses,
             });
+        }
+        // Any pending partition with neither a payload nor a recorded
+        // failure was claimed by (or stranded behind) a lost thread; under
+        // stealing the claim map is dynamic, so the sweep — not a static
+        // deal — is what accounts for them.
+        for (id, _) in &pending {
+            if slots[*id].is_none() && !still_pending.contains(id) {
+                let message = lost_thread
+                    .clone()
+                    .unwrap_or_else(|| "partition produced no result".to_string());
+                still_pending.push(*id);
+                if failed.as_ref().is_none_or(|(fid, _)| id < fid) {
+                    failed = Some((*id, FailureCause::WorkerPanic(message)));
+                }
+            }
         }
         pending.retain(|(id, _)| still_pending.contains(id));
         drop(span);
@@ -745,6 +771,57 @@ mod tests {
         .unwrap();
         assert_eq!(out.iter().sum::<usize>(), 4);
         assert!(stats.resilience.retries >= 1, "panic recorded as retry");
+    }
+
+    #[test]
+    fn store_retirement_mid_steal_leaks_no_pages() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let config = ClusterConfig {
+            workers: 8,
+            threads: 2,
+            backend: Backend::Facade,
+            ..ClusterConfig::default()
+        };
+        let pool = config.job_page_pool().expect("facade jobs share a pool");
+        let mut stats = JobStats::default();
+        let parts = round_robin(&(0..64).collect::<Vec<_>>(), 8);
+        let armed = AtomicBool::new(true);
+        let out = run_phase(
+            &config,
+            "test",
+            Instant::now(),
+            parts,
+            &mut stats,
+            Some(&pool),
+            |store| store.register_class("T", &[FieldTy::I64]),
+            |id, store, c, xs: Vec<i32>, _| {
+                if id == 1 && armed.swap(false, Ordering::SeqCst) {
+                    // Whichever thread claims (or steals) partition 1
+                    // first panics mid-round; its store — possibly laden
+                    // with pages from earlier claims — is retired
+                    // unhealthy and dropped while the sibling keeps
+                    // stealing its share. The drop must salvage every
+                    // recycled page, or the reconciliation below fails.
+                    panic!("injected mid-round failure");
+                }
+                let it = store.iteration_start();
+                for _ in &xs {
+                    store.alloc(*c)?;
+                }
+                store.iteration_end(it);
+                Ok(xs.len())
+            },
+        )
+        .unwrap();
+        assert_eq!(out.iter().sum::<usize>(), 64);
+        assert!(stats.resilience.retries >= 1, "panic recorded as retry");
+        // Reconciliation: every page ever handed out came back, and the
+        // pool now holds exactly the fresh pages the worker heaps donated
+        // at retirement — nothing leaked across the retirement or any
+        // steal.
+        let c = pool.counters();
+        assert_eq!(c.pages_returned, c.pages_handed_out + stats.pages_created);
+        assert_eq!(pool.available() as u64, stats.pages_created);
     }
 
     #[test]

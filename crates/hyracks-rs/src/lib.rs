@@ -34,6 +34,7 @@
 pub mod cluster;
 pub mod extsort;
 pub mod hashtable;
+mod steal;
 pub mod wordcount;
 
 pub use cluster::{ClusterConfig, FailureCause, JobFailure, JobStats, RetryPolicy, WorkerReport};

@@ -1,0 +1,193 @@
+//! A work-stealing partition scheduler: a shared injector plus per-thread
+//! deques, hand-rolled over `Mutex<VecDeque>` so the crate stays
+//! dependency-free and safe-code-only.
+//!
+//! The old scheduler dealt partitions round-robin and statically: with one
+//! slow partition at 8-way, seven threads went idle the moment their static
+//! share was done. Here the deal is only a *seed* — each thread's deque
+//! gets its round-robin share up to a small cap, the overflow waits in the
+//! shared injector — and an idle thread first drains its own deque (front,
+//! preserving its dealt order), then pulls a batch from the injector, and
+//! finally steals from the *back* of a busy sibling's deque. Every task is
+//! claimed exactly once, so retry accounting ("each pending partition
+//! executes once per round") is unchanged, and callers land results in
+//! partition-id-indexed slots, so the output — including the
+//! order-sensitive ES checksum — is identical at every thread count.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard};
+
+/// Most tasks seeded into one deque at construction; the rest go through
+/// the injector. Small enough that a skewed tail is mostly injector-fed
+/// (cheap, contention-free claims) instead of steal-fed.
+const DEQUE_SEED_CAP: usize = 4;
+
+/// Tasks pulled from the injector per refill. The first is returned to the
+/// claimant, the rest land in its deque — and become visible to thieves.
+const INJECTOR_REFILL: usize = 2;
+
+/// How a task was claimed, so callers can make stealing observable.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Claim<T> {
+    /// From the claimant's own deque or the shared injector.
+    Own(T),
+    /// Taken from the back of `victim`'s deque.
+    Stolen {
+        /// The thread whose deque lost the task.
+        victim: usize,
+        /// The task itself.
+        task: T,
+    },
+}
+
+impl<T> Claim<T> {
+    /// The claimed task plus where it was stolen from, if anywhere.
+    pub(crate) fn into_parts(self) -> (T, Option<usize>) {
+        match self {
+            Claim::Own(task) => (task, None),
+            Claim::Stolen { victim, task } => (task, Some(victim)),
+        }
+    }
+}
+
+/// The shared schedule for one round: per-thread deques seeded round-robin
+/// (the same initial assignment the static scheduler used, so the balanced
+/// case runs the same schedule) and a FIFO injector holding the overflow.
+#[derive(Debug)]
+pub(crate) struct WorkQueue<T> {
+    injector: Mutex<VecDeque<T>>,
+    deques: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> WorkQueue<T> {
+    /// Deals `tasks` over `threads` deques round-robin, capping each seed
+    /// at [`DEQUE_SEED_CAP`]; the overflow queues in the injector in task
+    /// order.
+    pub(crate) fn new(tasks: impl IntoIterator<Item = T>, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let mut deques: Vec<VecDeque<T>> = (0..threads).map(|_| VecDeque::new()).collect();
+        let mut injector = VecDeque::new();
+        for (i, task) in tasks.into_iter().enumerate() {
+            if i < DEQUE_SEED_CAP * threads {
+                deques[i % threads].push_back(task);
+            } else {
+                injector.push_back(task);
+            }
+        }
+        Self {
+            injector: Mutex::new(injector),
+            deques: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Claims the next task for thread `owner`, or `None` when the whole
+    /// schedule is drained: own deque front → injector batch → the back of
+    /// the first non-empty sibling deque, scanning right from the owner.
+    pub(crate) fn claim(&self, owner: usize) -> Option<Claim<T>> {
+        if let Some(task) = lock(&self.deques[owner]).pop_front() {
+            return Some(Claim::Own(task));
+        }
+        {
+            let mut injector = lock(&self.injector);
+            if let Some(task) = injector.pop_front() {
+                let mut own = lock(&self.deques[owner]);
+                for _ in 1..INJECTOR_REFILL {
+                    match injector.pop_front() {
+                        Some(extra) => own.push_back(extra),
+                        None => break,
+                    }
+                }
+                return Some(Claim::Own(task));
+            }
+        }
+        let n = self.deques.len();
+        for step in 1..n {
+            let victim = (owner + step) % n;
+            if let Some(task) = lock(&self.deques[victim]).pop_back() {
+                return Some(Claim::Stolen { victim, task });
+            }
+        }
+        None
+    }
+}
+
+/// Tiny task bodies can't poison these locks with anything partial: a
+/// panicked deal or claim left the queue structurally intact, so recover
+/// the data instead of cascading the panic.
+fn lock<T>(queue: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
+    queue.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains the queue as a single owner, returning tasks in claim order.
+    fn drain_as(queue: &WorkQueue<usize>, owner: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        while let Some(claim) = queue.claim(owner) {
+            out.push(claim.into_parts().0);
+        }
+        out
+    }
+
+    #[test]
+    fn single_thread_drains_in_task_order() {
+        let queue = WorkQueue::new(0..10, 1);
+        assert_eq!(drain_as(&queue, 0), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seed_matches_the_old_round_robin_deal() {
+        // 8 tasks over 2 threads fit under the seed cap: each owner's own
+        // claims are exactly its old static share, in the old order.
+        let queue = WorkQueue::new(0..8, 2);
+        let mut own = Vec::new();
+        while let Some(Claim::Own(task)) = queue.claim(0) {
+            own.push(task);
+        }
+        assert_eq!(own, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn overflow_routes_through_the_injector_exactly_once() {
+        let queue = WorkQueue::new(0..100, 3);
+        let mut seen = Vec::new();
+        // Interleave three claimants; every task must surface exactly once.
+        'outer: loop {
+            for owner in 0..3 {
+                match queue.claim(owner) {
+                    Some(claim) => seen.push(claim.into_parts().0),
+                    None => break 'outer,
+                }
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn idle_thread_steals_from_a_busy_sibling_tail() {
+        let queue = WorkQueue::new(0..6, 2);
+        // Thread 1 drains its seed (1, 3, 5) and the empty injector, then
+        // must steal from thread 0's tail.
+        for expected in [1, 3, 5] {
+            assert_eq!(queue.claim(1), Some(Claim::Own(expected)));
+        }
+        assert_eq!(queue.claim(1), Some(Claim::Stolen { victim: 0, task: 4 }));
+        // Thread 0 still gets its remaining tasks in dealt order.
+        assert_eq!(queue.claim(0), Some(Claim::Own(0)));
+        assert_eq!(queue.claim(0), Some(Claim::Own(2)));
+        assert_eq!(queue.claim(0), None);
+        assert_eq!(queue.claim(1), None);
+    }
+
+    #[test]
+    fn injector_refill_batches_into_the_claimants_deque() {
+        // 1 thread, 10 tasks: 4 seeded, 6 in the injector. After the seed
+        // drains, each injector claim pulls one extra into the deque —
+        // order is still global task order.
+        let queue = WorkQueue::new(0..10, 1);
+        assert_eq!(drain_as(&queue, 0), (0..10).collect::<Vec<_>>());
+    }
+}

@@ -78,8 +78,11 @@ fn per_worker_breakdown_sums_to_job_totals() {
         .map(|w| w.stats.peak_bytes)
         .sum();
     assert_eq!(per_worker_peak, out.stats.peak_bytes);
-    // Both WC phases deal partitions to every pool thread.
-    assert!(out.stats.per_worker.iter().all(|w| w.partitions > 0));
+    // Every partition executed exactly once per phase (map + reduce);
+    // under work stealing a thread may end a round empty-handed, so the
+    // guarantee is on the sum, not on each thread.
+    let partitions: u64 = out.stats.per_worker.iter().map(|w| w.partitions).sum();
+    assert_eq!(partitions, 12, "6 map + 6 reduce partitions, each once");
     // The shared pool's counters made it into the stats (facade run).
     assert!(out.stats.pool.is_some(), "pool counters recorded");
 }

@@ -159,6 +159,48 @@ mod fault_injection {
         }
     }
 
+    /// The prefetch pipeline under fire: every thread count overlaps
+    /// `sub_load` of upcoming subintervals with `sub_update` of current
+    /// ones, and a seeded fault plan provokes mid-interval retries on top.
+    /// The committed values must still be bit-identical to a fault-free
+    /// serial run — prefetched windows are pure snapshots, so neither who
+    /// gathered a window nor when a retry discarded it can show in the
+    /// output.
+    #[test]
+    fn pipelined_loader_thread_sweep_is_bit_identical_under_seeded_faults() {
+        let mk = |threads| EngineConfig {
+            backend: Backend::Facade,
+            budget_bytes: 16 << 20,
+            intervals: 4,
+            threads,
+            ..EngineConfig::default()
+        };
+        let reference = pagerank(mk(1));
+        for threads in [2, 4, 8] {
+            let clean = pagerank(mk(threads));
+            assert_eq!(
+                reference.values, clean.values,
+                "pipelined run at {threads} threads must match serial"
+            );
+            let plan = FaultPlan::builder(23)
+                .fail_nth_allocation(15_000)
+                .pool_acquire_failure_ppm(150_000)
+                .build();
+            let mut config = mk(threads);
+            config.fault_plan = Some(plan.clone());
+            let faulty = pagerank(config);
+            assert_eq!(
+                reference.values, faulty.values,
+                "faulted pipelined run at {threads} threads must match serial"
+            );
+            assert_eq!(reference.passes, faulty.passes);
+            assert!(
+                plan.faults_injected() >= 1,
+                "the plan must actually fire at {threads} threads"
+            );
+        }
+    }
+
     /// The same sweep through both Hyracks jobs: WC counts and the ES
     /// checksum must match fault-free runs.
     #[test]
