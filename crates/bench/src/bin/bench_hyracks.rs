@@ -194,6 +194,48 @@ fn main() {
     );
     let heap_trace = export_trace("hyracks_heap");
 
+    // Checkpoint-overhead probe: one extra single-threaded WC+ES pair with
+    // job-phase checkpointing on. Output must stay bit-identical, and the
+    // wall-time overhead relative to the uncheckpointed single-threaded
+    // pair is what CI gates via FACADE_GATE_CKPT_PCT.
+    let ckpt_dir = std::path::Path::new("target/experiments/hyracks_ckpt");
+    let _ = std::fs::create_dir_all(ckpt_dir);
+    let ckpt_cfg = ClusterConfig {
+        checkpoint_dir: Some(ckpt_dir.to_path_buf()),
+        ..config(Backend::Facade, 1, budget)
+    };
+    let ckpt_wc = run_wordcount(&words, &ckpt_cfg).expect("checkpointed WC fits its budget");
+    let ckpt_es = run_external_sort(&words, &ckpt_cfg).expect("checkpointed ES fits its budget");
+    assert_eq!(
+        baseline.es.payload(),
+        ckpt_es.payload(),
+        "durability must not perturb ES output"
+    );
+    assert_eq!(
+        (baseline.wc.distinct_words, baseline.wc.total_count),
+        (ckpt_wc.distinct_words, ckpt_wc.total_count),
+        "durability must not perturb WC output"
+    );
+    let ckpt_wall = ckpt_wc.stats.elapsed.as_secs_f64() + ckpt_es.stats.elapsed.as_secs_f64();
+    let _ = std::fs::remove_dir_all(ckpt_dir);
+    let checkpoint_json = format!(
+        concat!(
+            "{{\"wall_secs\": {:.6}, \"overhead_pct\": {:.2}, ",
+            "\"checkpoints_written\": {}, \"recoveries\": {}, ",
+            "\"torn_checkpoints_discarded\": {}}}"
+        ),
+        ckpt_wall,
+        if base_wall > 0.0 {
+            (ckpt_wall / base_wall - 1.0) * 100.0
+        } else {
+            0.0
+        },
+        ckpt_wc.stats.resilience.checkpoints_written + ckpt_es.stats.resilience.checkpoints_written,
+        ckpt_wc.stats.resilience.recoveries + ckpt_es.stats.resilience.recoveries,
+        ckpt_wc.stats.resilience.torn_checkpoints_discarded
+            + ckpt_es.stats.resilience.torn_checkpoints_discarded,
+    );
+
     // The shared pool's end-of-job counters, from the single-threaded run
     // (the ES job's pool is the last one the run touched).
     let pool_json = baseline.es.stats.pool.as_ref().map_or_else(
@@ -228,6 +270,7 @@ fn main() {
             "  \"runs\": [\n{}\n  ],\n",
             "  \"census\": {},\n",
             "  \"pool\": {},\n",
+            "  \"checkpoint\": {},\n",
             "  \"heap\": {},\n",
             "  \"heap_trace\": {},\n",
             "  \"trace\": {}\n",
@@ -242,6 +285,7 @@ fn main() {
         runs_json.join(",\n"),
         census_json(&baseline.es.stats.census),
         pool_json,
+        checkpoint_json,
         json_heap_section(&reference),
         heap_trace,
         trace,

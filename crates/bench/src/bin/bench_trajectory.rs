@@ -169,6 +169,50 @@ fn main() {
         eprintln!("wrote {gc_log_path} ({} pauses)", reference.pauses.len());
     }
 
+    // Checkpoint-overhead probe: one extra single-threaded run with
+    // interval checkpointing on, same graph and budget. Durability must not
+    // perturb the values, and the wall-time overhead relative to the
+    // uncheckpointed single-threaded run is what CI gates via
+    // FACADE_GATE_CKPT_PCT.
+    let ckpt_dir = std::path::Path::new("target/experiments/trajectory_ckpt");
+    let _ = std::fs::create_dir_all(ckpt_dir);
+    let mut ckpt_engine = Engine::new(
+        &graph,
+        EngineConfig {
+            backend: Backend::Facade,
+            budget_bytes: budget,
+            intervals: 20,
+            threads: 1,
+            checkpoint_dir: Some(ckpt_dir.to_path_buf()),
+            ..EngineConfig::default()
+        },
+    );
+    let ckpt_out = ckpt_engine
+        .run(&PageRank::new(4))
+        .expect("checkpointed run fits its budget");
+    assert_eq!(
+        baseline.values, ckpt_out.values,
+        "durability must not perturb values"
+    );
+    let ckpt_wall = ckpt_out.timer.total().as_secs_f64();
+    let _ = std::fs::remove_dir_all(ckpt_dir);
+    let checkpoint_json = format!(
+        concat!(
+            "{{\"wall_secs\": {:.6}, \"overhead_pct\": {:.2}, ",
+            "\"checkpoints_written\": {}, \"recoveries\": {}, ",
+            "\"torn_checkpoints_discarded\": {}}}"
+        ),
+        ckpt_wall,
+        if base_wall > 0.0 {
+            (ckpt_wall / base_wall - 1.0) * 100.0
+        } else {
+            0.0
+        },
+        ckpt_out.resilience.checkpoints_written,
+        ckpt_out.resilience.recoveries,
+        ckpt_out.resilience.torn_checkpoints_discarded,
+    );
+
     // The facade-side census: page occupancy from the single-threaded run
     // (per-worker splits make multi-thread censuses equivalent but noisier)
     // plus the shared pool's counters.
@@ -207,6 +251,7 @@ fn main() {
             "  \"runs\": [\n{}\n  ],\n",
             "  \"census\": {},\n",
             "  \"pool\": {},\n",
+            "  \"checkpoint\": {},\n",
             "  \"heap\": {},\n",
             "  \"heap_trace\": {},\n",
             "  \"trace\": {}\n",
@@ -220,6 +265,7 @@ fn main() {
         runs_json.join(",\n"),
         census,
         pool_json,
+        checkpoint_json,
         json_heap_section(&reference, gc_log_path),
         heap_trace,
         trace,

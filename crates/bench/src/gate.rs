@@ -20,8 +20,13 @@
 //! checks are skipped rather than gated on noise. (For the same reason,
 //! never refresh a checked-in baseline's `speedup_vs_1` from a 1-CPU
 //! host: the recorded `host_cpus` is what tells the gate whether the
-//! numbers mean anything.) The `regression_gate` binary wraps
-//! [`compare_reports`] for CI:
+//! numbers mean anything.)
+//!
+//! When the current report carries a `checkpoint` section (the bench
+//! binaries' 1-thread checkpointed probe), its `overhead_pct` is also
+//! bounded *absolutely* by `FACADE_GATE_CKPT_PCT` (default **900%**) —
+//! durability must not make the engines pathologically slow. The
+//! `regression_gate` binary wraps [`compare_reports`] for CI:
 //!
 //! ```text
 //! cargo run --release -p facade-bench --bin regression_gate -- \
@@ -40,6 +45,14 @@ pub struct Tolerances {
     /// Percent by which `speedup_vs_1` may fall below baseline before
     /// failing (checked only between multi-core reports).
     pub speedup_pct: f64,
+    /// Absolute ceiling on the current report's `checkpoint.overhead_pct`
+    /// (checked only when the current report carries a `checkpoint`
+    /// section, so pre-durability baselines still gate). Checkpointing is a
+    /// single extra run against the 1-thread baseline, so the bound is
+    /// generous: the gate catches "durability made the engine pathologically
+    /// slow", not the expected cost of writing full state every interval
+    /// (which dwarfs the tiny smoke-scale runs CI measures against).
+    pub ckpt_pct: f64,
 }
 
 impl Default for Tolerances {
@@ -48,14 +61,15 @@ impl Default for Tolerances {
             wall_pct: 150.0,
             peak_pct: 25.0,
             speedup_pct: 20.0,
+            ckpt_pct: 900.0,
         }
     }
 }
 
 impl Tolerances {
     /// Reads `FACADE_GATE_WALL_PCT` / `FACADE_GATE_PEAK_PCT` /
-    /// `FACADE_GATE_SPEEDUP_PCT`, falling back to the defaults for unset
-    /// or unparsable values.
+    /// `FACADE_GATE_SPEEDUP_PCT` / `FACADE_GATE_CKPT_PCT`, falling back to
+    /// the defaults for unset or unparsable values.
     pub fn from_env() -> Self {
         let default = Self::default();
         let read = |name: &str, fallback: f64| {
@@ -69,6 +83,7 @@ impl Tolerances {
             wall_pct: read("FACADE_GATE_WALL_PCT", default.wall_pct),
             peak_pct: read("FACADE_GATE_PEAK_PCT", default.peak_pct),
             speedup_pct: read("FACADE_GATE_SPEEDUP_PCT", default.speedup_pct),
+            ckpt_pct: read("FACADE_GATE_CKPT_PCT", default.ckpt_pct),
         }
     }
 }
@@ -83,8 +98,8 @@ const SPEEDUP_GATED_THREADS: [u64; 2] = [2, 4];
 pub struct GateCheck {
     /// Thread count of the compared runs.
     pub threads: u64,
-    /// Which metric was compared (`"wall_secs"`, `"peak_bytes"`, or
-    /// `"speedup_vs_1"`).
+    /// Which metric was compared (`"wall_secs"`, `"peak_bytes"`,
+    /// `"speedup_vs_1"`, or the report-level `"ckpt_overhead_pct"`).
     pub metric: &'static str,
     /// Baseline value.
     pub baseline: f64,
@@ -201,7 +216,33 @@ pub fn compare_reports(
             });
         }
     }
+    // The report-level checkpoint-overhead check: an *absolute* bound on
+    // the current report's `checkpoint.overhead_pct` (the slowdown of the
+    // 1-thread checkpointed probe over the 1-thread baseline run), not a
+    // ratio against the baseline report — a freshly added durability layer
+    // has no baseline to regress against. Skipped when the current report
+    // carries no `checkpoint` section, so pre-durability reports still
+    // gate; the baseline column echoes the baseline report's own overhead
+    // (or 0) purely for the log.
+    if let Some(current) = checkpoint_overhead(current) {
+        report.checks.push(GateCheck {
+            threads: 1,
+            metric: "ckpt_overhead_pct",
+            baseline: checkpoint_overhead(baseline).unwrap_or(0.0),
+            current,
+            limit: tol.ckpt_pct,
+            regressed: current > tol.ckpt_pct,
+        });
+    }
     Ok(report)
+}
+
+/// The report-level `checkpoint.overhead_pct`, when present.
+fn checkpoint_overhead(report: &Json) -> Option<f64> {
+    report
+        .get("checkpoint")?
+        .get("overhead_pct")
+        .and_then(Json::as_f64)
 }
 
 #[cfg(test)]
@@ -408,9 +449,44 @@ mod tests {
         let gate = compare_reports(&baseline, &baseline, &Tolerances::default()).unwrap();
         assert!(gate.passed());
         // Two cost metrics over four thread counts, plus — when the
-        // baseline was recorded on a multi-core host — speedup at 2 and 4.
+        // baseline was recorded on a multi-core host — speedup at 2 and 4,
+        // plus the report-level checkpoint-overhead bound when the baseline
+        // carries a `checkpoint` section.
         let multicore = baseline.get("host_cpus").and_then(Json::as_u64) > Some(1);
-        let expected = if multicore { 10 } else { 8 };
+        let has_ckpt = checkpoint_overhead(&baseline).is_some();
+        let expected = if multicore { 10 } else { 8 } + usize::from(has_ckpt);
         assert_eq!(gate.checks.len(), expected);
+    }
+
+    #[test]
+    fn checkpoint_overhead_is_an_absolute_bound_on_the_current_report() {
+        let base = report(&run(1, 0.08, 4_000_000));
+        let with_ckpt = |overhead: f64| {
+            parse(&format!(
+                "{{\"runs\": [{}], \"checkpoint\": {{\"overhead_pct\": {overhead}}}}}",
+                run(1, 0.08, 4_000_000)
+            ))
+            .unwrap()
+        };
+        // Inside the default 900% ceiling: passes, and the check is listed.
+        let ok = compare_reports(&base, &with_ckpt(42.0), &Tolerances::default()).unwrap();
+        assert!(ok.passed(), "{}", ok.render());
+        assert!(ok.checks.iter().any(|c| c.metric == "ckpt_overhead_pct"));
+        // Beyond it: regresses even though the baseline has no checkpoint
+        // section to compare against — the bound is absolute.
+        let bad = compare_reports(&base, &with_ckpt(2_000.0), &Tolerances::default()).unwrap();
+        let regs = bad.regressions();
+        assert_eq!(regs.len(), 1, "{}", bad.render());
+        assert_eq!(regs[0].metric, "ckpt_overhead_pct");
+        assert!((regs[0].limit - 900.0).abs() < 1e-9);
+        // A current report without the section skips the check entirely, so
+        // pre-durability reports still gate cleanly.
+        let skipped = compare_reports(&with_ckpt(42.0), &base, &Tolerances::default()).unwrap();
+        assert!(
+            skipped
+                .checks
+                .iter()
+                .all(|c| c.metric != "ckpt_overhead_pct")
+        );
     }
 }

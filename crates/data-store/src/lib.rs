@@ -39,10 +39,13 @@ pub mod collections;
 
 #[cfg(feature = "fault-injection")]
 pub use facade_runtime::FaultPlan;
+pub use facade_runtime::checkpoint;
+#[doc(hidden)]
+pub use facade_runtime::test_support;
 use facade_runtime::{
     ElemKind as PElem, FieldKind as PField, PageRef, PagedHeap, PagedHeapConfig, TypeId,
 };
-pub use facade_runtime::{PagePool, PagePoolConfig, PoolCounters};
+pub use facade_runtime::{PagePool, PagePoolConfig, PoolBacking, PoolCounters, RecoveryError};
 pub use managed_heap::{
     AllocSiteStat, CensusRow, HeapCensus, HeapConfig, PauseRecord, merge_site_profiles,
 };
@@ -305,6 +308,7 @@ pub struct StoreBuilder {
     budget_bytes: Option<usize>,
     heap_config: Option<HeapConfig>,
     pool: Option<Arc<PagePool>>,
+    pool_backing: Option<PoolBacking>,
     #[cfg(feature = "fault-injection")]
     fault_plan: Option<FaultPlan>,
 }
@@ -316,6 +320,7 @@ impl Default for StoreBuilder {
             budget_bytes: None,
             heap_config: None,
             pool: None,
+            pool_backing: None,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
         }
@@ -364,6 +369,18 @@ impl StoreBuilder {
         self
     }
 
+    /// Backs the facade store's pages with the given [`PoolBacking`] —
+    /// typically [`PoolBacking::File`], giving this store a private
+    /// file-backed page pool whose free pages spill to disk beyond the
+    /// resident cap. Ignored when an explicit shared
+    /// [`pool`](Self::pool) is supplied (a shared pool carries its own
+    /// backing) and by the heap backend.
+    #[must_use]
+    pub fn pool_backing(mut self, backing: PoolBacking) -> Self {
+        self.pool_backing = Some(backing);
+        self
+    }
+
     /// Installs a fault schedule on the facade backend's paged heap (a
     /// no-op on the heap backend, which has no paged allocator to inject
     /// into). Clone one plan across the stores of a run to inject against
@@ -393,9 +410,16 @@ impl StoreBuilder {
                 let config = PagedHeapConfig {
                     budget_bytes: self.budget_bytes.map(|b| b as u64),
                 };
-                let paged = match self.pool {
-                    Some(pool) => PagedHeap::with_pool(config, pool),
-                    None => PagedHeap::with_config(config),
+                let paged = match (self.pool, self.pool_backing) {
+                    (Some(pool), _) => PagedHeap::with_pool(config, pool),
+                    (None, Some(backing)) => PagedHeap::with_pool(
+                        config,
+                        Arc::new(PagePool::new(PagePoolConfig {
+                            backing,
+                            ..PagePoolConfig::default()
+                        })),
+                    ),
+                    (None, None) => PagedHeap::with_config(config),
                 };
                 Inner::Facade {
                     paged,

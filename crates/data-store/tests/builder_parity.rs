@@ -157,3 +157,33 @@ mod fault_injection {
         }
     }
 }
+
+#[test]
+fn pool_backing_builds_a_file_backed_private_pool() {
+    use data_store::PoolBacking;
+    use facade_runtime::test_support::TempDir;
+
+    let dir = TempDir::new("store_backing");
+    let mut store = Store::builder()
+        .budget(16 << 20)
+        .pool_backing(PoolBacking::File {
+            path: dir.path().join("store.pool"),
+            mem_pages: 0,
+        })
+        .build();
+    let class = store.register_class("Spill", &[FieldTy::I64; 8]);
+    let it = store.iteration_start();
+    for _ in 0..5_000 {
+        store.alloc(class).expect("budget is generous");
+    }
+    store.iteration_end(it);
+    let released = store.release_pages();
+    assert!(released > 0, "retirement must flush pages to the pool");
+    let counters = store.pool_counters().expect("backing implies a pool");
+    assert_eq!(
+        counters.pages_spilled, counters.pages_returned,
+        "mem_pages = 0: every returned page spills to the file"
+    );
+    drop(store);
+    assert!(dir.leaked_pool_files().is_empty(), "pool file cleaned up");
+}

@@ -37,7 +37,7 @@
 //! ```
 
 use std::sync::Arc;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// SplitMix64: a tiny, high-quality mixing function. Used counter-based
 /// (`mix(seed ^ draw_index)`) so probabilistic faults are a pure function
@@ -55,10 +55,15 @@ struct Inner {
     fail_nth_allocation: Option<u64>,
     pool_acquire_failure_ppm: u32,
     poison_recycled_pages: bool,
+    crash_at_interval: Option<u64>,
+    crash_in_phase: Option<u64>,
+    torn_checkpoint_writes: bool,
     allocations: AtomicU64,
     draws: AtomicU64,
     injected: AtomicU64,
     poisoned: AtomicU64,
+    interval_crash_fired: AtomicBool,
+    phase_crash_fired: AtomicBool,
 }
 
 /// A deterministic fault schedule, shared (via clone) across every heap and
@@ -77,6 +82,9 @@ impl FaultPlan {
             fail_nth_allocation: None,
             pool_acquire_failure_ppm: 0,
             poison_recycled_pages: false,
+            crash_at_interval: None,
+            crash_in_phase: None,
+            torn_checkpoint_writes: false,
         }
     }
 
@@ -143,6 +151,62 @@ impl FaultPlan {
     pub fn pages_poisoned(&self) -> u64 {
         self.inner.poisoned.load(Ordering::Relaxed)
     }
+
+    /// Decides whether the process should crash now, `committed` being the
+    /// number of intervals committed so far in this run (1-based: the
+    /// first commit reports `1`). Fires exactly once — the restarted run
+    /// shares no counters with the crashed one, and a fresh plan is
+    /// normally not configured to crash again.
+    pub fn should_crash_at_interval(&self, committed: u64) -> bool {
+        let Some(n) = self.inner.crash_at_interval else {
+            return false;
+        };
+        if committed >= n
+            && !self
+                .inner
+                .interval_crash_fired
+                .swap(true, Ordering::Relaxed)
+        {
+            self.inner.injected.fetch_add(1, Ordering::Relaxed);
+            facade_trace::instant(
+                "fault_injected",
+                &[("kind", "crash_interval".into()), ("at", committed.into())],
+            );
+            return true;
+        }
+        false
+    }
+
+    /// Decides whether the process should crash entering job phase
+    /// `phase` (0-based). Fires exactly once.
+    pub fn should_crash_in_phase(&self, phase: u64) -> bool {
+        let Some(p) = self.inner.crash_in_phase else {
+            return false;
+        };
+        if phase == p && !self.inner.phase_crash_fired.swap(true, Ordering::Relaxed) {
+            self.inner.injected.fetch_add(1, Ordering::Relaxed);
+            facade_trace::instant(
+                "fault_injected",
+                &[("kind", "crash_phase".into()), ("phase", phase.into())],
+            );
+            return true;
+        }
+        false
+    }
+
+    /// Whether checkpoint writes should be torn (truncated, bypassing the
+    /// atomic-rename protocol). Unlike the crash faults this applies to
+    /// *every* write while armed, so whatever checkpoint a crashed run
+    /// leaves behind is guaranteed damaged. Counts one injected fault per
+    /// call that returns `true`.
+    pub fn tear_checkpoint_write(&self) -> bool {
+        if !self.inner.torn_checkpoint_writes {
+            return false;
+        }
+        self.inner.injected.fetch_add(1, Ordering::Relaxed);
+        facade_trace::instant("fault_injected", &[("kind", "torn_checkpoint".into())]);
+        true
+    }
 }
 
 /// Builder for [`FaultPlan`].
@@ -152,6 +216,9 @@ pub struct FaultPlanBuilder {
     fail_nth_allocation: Option<u64>,
     pool_acquire_failure_ppm: u32,
     poison_recycled_pages: bool,
+    crash_at_interval: Option<u64>,
+    crash_in_phase: Option<u64>,
+    torn_checkpoint_writes: bool,
 }
 
 impl FaultPlanBuilder {
@@ -177,6 +244,32 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// Abort the run after the `n`-th committed interval (1-based) — the
+    /// GraphChi process-crash fault. The checkpoint for that interval is
+    /// written first, so a restart has a durable boundary to resume from.
+    #[must_use]
+    pub fn crash_at_interval(mut self, n: u64) -> Self {
+        self.crash_at_interval = Some(n);
+        self
+    }
+
+    /// Abort the run entering job phase `p` (0-based) — the Hyracks
+    /// process-crash fault.
+    #[must_use]
+    pub fn crash_in_phase(mut self, p: u64) -> Self {
+        self.crash_in_phase = Some(p);
+        self
+    }
+
+    /// Tear every checkpoint write: truncate the manifest mid-encoding and
+    /// skip the atomic rename, so recovery must detect the damage and fall
+    /// back to a cold start.
+    #[must_use]
+    pub fn torn_checkpoint_writes(mut self) -> Self {
+        self.torn_checkpoint_writes = true;
+        self
+    }
+
     /// Finalizes the plan.
     pub fn build(self) -> FaultPlan {
         FaultPlan {
@@ -185,10 +278,15 @@ impl FaultPlanBuilder {
                 fail_nth_allocation: self.fail_nth_allocation,
                 pool_acquire_failure_ppm: self.pool_acquire_failure_ppm,
                 poison_recycled_pages: self.poison_recycled_pages,
+                crash_at_interval: self.crash_at_interval,
+                crash_in_phase: self.crash_in_phase,
+                torn_checkpoint_writes: self.torn_checkpoint_writes,
                 allocations: AtomicU64::new(0),
                 draws: AtomicU64::new(0),
                 injected: AtomicU64::new(0),
                 poisoned: AtomicU64::new(0),
+                interval_crash_fired: AtomicBool::new(false),
+                phase_crash_fired: AtomicBool::new(false),
             }),
         }
     }
@@ -221,6 +319,31 @@ mod tests {
         assert_ne!(draw(7), draw(8), "different seed, different schedule");
         let hits = draw(7).iter().filter(|&&b| b).count();
         assert!(hits > 0 && hits < 64, "p=0.3 is neither never nor always");
+    }
+
+    #[test]
+    fn crash_faults_fire_exactly_once() {
+        let plan = FaultPlan::builder(0).crash_at_interval(2).build();
+        assert!(!plan.should_crash_at_interval(1));
+        assert!(plan.should_crash_at_interval(2), "second commit crashes");
+        assert!(!plan.should_crash_at_interval(3), "fires exactly once");
+        assert_eq!(plan.faults_injected(), 1);
+
+        let plan = FaultPlan::builder(0).crash_in_phase(1).build();
+        assert!(!plan.should_crash_in_phase(0));
+        assert!(plan.should_crash_in_phase(1));
+        assert!(!plan.should_crash_in_phase(1), "fires exactly once");
+    }
+
+    #[test]
+    fn torn_mode_tears_every_write() {
+        let plan = FaultPlan::builder(0).torn_checkpoint_writes().build();
+        assert!(plan.tear_checkpoint_write());
+        assert!(plan.tear_checkpoint_write());
+        let clean = FaultPlan::builder(0).build();
+        assert!(!clean.tear_checkpoint_write());
+        assert!(!clean.should_crash_at_interval(5));
+        assert!(!clean.should_crash_in_phase(0));
     }
 
     #[test]

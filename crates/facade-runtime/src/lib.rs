@@ -35,6 +35,7 @@
 //! # Ok::<(), metrics::OutOfMemory>(())
 //! ```
 
+pub mod checkpoint;
 mod error;
 #[cfg(feature = "fault-injection")]
 mod fault;
@@ -45,7 +46,10 @@ mod page;
 mod pool;
 mod pools;
 mod stats;
+#[doc(hidden)]
+pub mod test_support;
 
+pub use checkpoint::{Manifest, RecoveryError};
 pub use error::HeapError;
 #[cfg(feature = "fault-injection")]
 pub use fault::{FaultPlan, FaultPlanBuilder};
@@ -54,6 +58,6 @@ pub use layout::{ElemKind, FieldKind, RecordLayout, TypeId};
 pub use locks::{LockPool, LockPoolConfig};
 pub use metrics::OutOfMemory;
 pub use page::{PAGE_BYTES, PAGE_CAPACITY, PAGE_RESERVED, PageRef};
-pub use pool::{POOL_BATCH, PagePool, PagePoolConfig, PoolCounters, PooledPage};
+pub use pool::{POOL_BATCH, PagePool, PagePoolConfig, PoolBacking, PoolCounters, PooledPage};
 pub use pools::{Facade, FacadePools, PoolBounds};
 pub use stats::NativeStats;

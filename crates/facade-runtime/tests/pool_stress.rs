@@ -10,7 +10,10 @@ use std::sync::{Arc, Mutex};
 #[test]
 fn concurrent_acquire_release_never_double_hands_a_page() {
     const SEED_PAGES: usize = 16;
-    let pool = Arc::new(PagePool::new(PagePoolConfig { shards: 4 }));
+    let pool = Arc::new(PagePool::new(PagePoolConfig {
+        shards: 4,
+        ..PagePoolConfig::default()
+    }));
     // Seed with a small set so the threads genuinely contend for the same
     // buffers rather than each settling on a private supply.
     pool.release_batch((0..SEED_PAGES).map(|_| PooledPage::new()).collect());

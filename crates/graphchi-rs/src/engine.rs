@@ -15,6 +15,7 @@ use metrics::{
 use std::error::Error;
 use std::fmt;
 use std::panic::{AssertUnwindSafe, catch_unwind};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -70,6 +71,13 @@ pub struct EngineConfig {
     /// pool, for reproducible robustness testing.
     #[cfg(feature = "fault-injection")]
     pub fault_plan: Option<data_store::FaultPlan>,
+    /// Directory for interval-granularity checkpoints. When set, the
+    /// engine writes a manifest (vertex values, edge values, loop cursor)
+    /// after every committed interval via an atomic tmp-file-then-rename,
+    /// and [`Engine::resume_from`] can replay a crashed run from the last
+    /// durable boundary. `None` (the default) disables durability entirely
+    /// — no I/O is added to the commit path.
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -84,6 +92,7 @@ impl Default for EngineConfig {
             retry: RetryPolicy::default(),
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
+            checkpoint_dir: None,
         }
     }
 }
@@ -142,6 +151,16 @@ pub enum EngineError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// The fault plan's `crash_at_interval` fired: the run aborted
+    /// mid-job, directly after committing (and checkpointing) the named
+    /// interval. A fresh engine restarted with [`Engine::resume_from`]
+    /// continues from that durable boundary.
+    Crashed {
+        /// Pass the crash fired in.
+        pass: usize,
+        /// Interval index whose commit triggered the crash.
+        interval: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -164,6 +183,12 @@ impl fmt::Display for EngineError {
                     "worker {worker} panicked in subinterval {subinterval}: {message}"
                 )
             }
+            EngineError::Crashed { pass, interval } => {
+                write!(
+                    f,
+                    "injected crash after committing interval {interval} of pass {pass}"
+                )
+            }
         }
     }
 }
@@ -172,7 +197,7 @@ impl Error for EngineError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             EngineError::Oom { source, .. } => Some(source),
-            EngineError::WorkerPanicked { .. } => None,
+            EngineError::WorkerPanicked { .. } | EngineError::Crashed { .. } => None,
         }
     }
 }
@@ -184,6 +209,7 @@ impl From<EngineError> for FailureCause {
         match e {
             EngineError::Oom { source, .. } => FailureCause::OutOfMemory(source),
             EngineError::WorkerPanicked { message, .. } => FailureCause::WorkerPanic(message),
+            crash @ EngineError::Crashed { .. } => FailureCause::InjectedCrash(crash.to_string()),
         }
     }
 }
@@ -533,12 +559,43 @@ struct PrefetchQueue {
 /// plus `(subinterval index, outcome)` for every subinterval it processed.
 type WorkerOutput = (PhaseTimer, Vec<(usize, Result<CommitBuf, SubFailure>)>);
 
+/// State restored from a verified checkpoint, consumed by the next
+/// [`Engine::run`]. The cursor is deliberately *not* normalized at pass
+/// boundaries: a checkpoint taken after the last interval of a pass stores
+/// `interval == intervals.len()`, so the resumed loop skips every interval
+/// of that pass and still executes its `passes += 1` / convergence check.
+/// One consistent interval-boundary snapshot handed to
+/// [`Engine::write_checkpoint`]: the committed state plus the loop cursor
+/// a resumed run continues from.
+struct CheckpointCut<'a> {
+    pass: usize,
+    next_interval: usize,
+    changed: bool,
+    edges_processed: u64,
+    values: &'a [f64],
+    edge_values: &'a [f64],
+}
+
+#[derive(Debug)]
+struct ResumeState {
+    values: Vec<f64>,
+    edge_values: Vec<f64>,
+    pass: usize,
+    interval: usize,
+    edges_processed: u64,
+    changed: bool,
+}
+
 /// The GraphChi-style engine. Construct once per (graph, config) and run
 /// one or more vertex programs.
 #[derive(Debug)]
 pub struct Engine {
     csr: Csr,
     config: EngineConfig,
+    resume: Option<ResumeState>,
+    /// Checkpoints [`Engine::resume_from`] rejected (torn writes,
+    /// corruption); folded into the next run's resilience report.
+    discarded_checkpoints: u64,
 }
 
 impl Engine {
@@ -549,6 +606,140 @@ impl Engine {
         Self {
             csr: Csr::build(graph),
             config,
+            resume: None,
+            discarded_checkpoints: 0,
+        }
+    }
+
+    /// The checkpoint file this engine reads and writes under `dir`
+    /// (`config.checkpoint_dir`). One file per directory: each committed
+    /// interval atomically replaces the previous checkpoint.
+    pub fn checkpoint_path(dir: &Path) -> PathBuf {
+        dir.join("graphchi.fckp")
+    }
+
+    /// Fingerprint binding a checkpoint to the run shape that produced it.
+    /// Covers the graph (vertex/edge counts) and the value-affecting config
+    /// (interval count, inlining) — but *not* threads or budget, because
+    /// output is bit-identical across those and a resumed run may
+    /// legitimately use a different worker count than the crashed one.
+    fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(40);
+        bytes.extend_from_slice(b"graphchi");
+        bytes.extend_from_slice(&u64::from(self.csr.vertices).to_le_bytes());
+        bytes.extend_from_slice(&self.csr.edges.to_le_bytes());
+        bytes.extend_from_slice(&(self.config.intervals as u64).to_le_bytes());
+        bytes.extend_from_slice(&u64::from(self.config.inline_records).to_le_bytes());
+        data_store::checkpoint::xxh64(&bytes, 0)
+    }
+
+    /// Loads and verifies the checkpoint at `path`; the next [`Engine::run`]
+    /// then replays from that interval boundary instead of cold-starting.
+    ///
+    /// # Errors
+    ///
+    /// [`data_store::RecoveryError::Missing`] when no checkpoint exists (a plain cold
+    /// start — nothing was discarded); any other variant means the file was
+    /// present but failed verification (torn write, corruption, or a
+    /// fingerprint from a different graph/config). Verification failures
+    /// are counted and surface as `torn_checkpoints_discarded` in the next
+    /// run's [`ResilienceReport`]; the caller falls back to a cold start
+    /// either way. Never panics on damaged input.
+    pub fn resume_from(&mut self, path: &Path) -> Result<(), data_store::RecoveryError> {
+        use data_store::RecoveryError;
+        use data_store::checkpoint as ckpt;
+        let load = || -> Result<ResumeState, RecoveryError> {
+            let manifest = ckpt::read_manifest(path)?;
+            if manifest.fingerprint != self.fingerprint() {
+                return Err(RecoveryError::FingerprintMismatch {
+                    expected: self.fingerprint(),
+                    found: manifest.fingerprint,
+                });
+            }
+            let need = |name: &str| -> Result<&[u8], RecoveryError> {
+                manifest
+                    .section(name)
+                    .ok_or_else(|| RecoveryError::Malformed(format!("missing section `{name}`")))
+            };
+            let values = ckpt::decode_f64s(need("values")?)?;
+            let edge_values = ckpt::decode_f64s(need("edge_values")?)?;
+            if values.len() != self.csr.vertices as usize
+                || edge_values.len() != self.csr.edges as usize
+            {
+                return Err(RecoveryError::Malformed(format!(
+                    "value arrays sized {}/{}, graph has {}/{}",
+                    values.len(),
+                    edge_values.len(),
+                    self.csr.vertices,
+                    self.csr.edges
+                )));
+            }
+            let state = need("engine_state")?;
+            if state.len() != 9 {
+                return Err(RecoveryError::Malformed(format!(
+                    "engine_state is {} bytes, expected 9",
+                    state.len()
+                )));
+            }
+            let mut edges = [0u8; 8];
+            edges.copy_from_slice(&state[1..9]);
+            Ok(ResumeState {
+                values,
+                edge_values,
+                pass: manifest.cursor[0] as usize,
+                interval: manifest.cursor[1] as usize,
+                edges_processed: u64::from_le_bytes(edges),
+                changed: state[0] != 0,
+            })
+        };
+        match load() {
+            Ok(state) => {
+                self.resume = Some(state);
+                Ok(())
+            }
+            Err(e) => {
+                // A missing file is a routine cold start; anything else is
+                // a damaged checkpoint the run must report as discarded.
+                if !matches!(e, RecoveryError::Missing(_)) {
+                    self.discarded_checkpoints += 1;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Writes the post-commit checkpoint, if durability is configured.
+    /// Best-effort: an I/O failure degrades to "no checkpoint taken" (the
+    /// previous durable one, if any, survives the atomic-rename protocol)
+    /// rather than failing an otherwise healthy run. Under the fault plan's
+    /// torn-write mode the manifest is deliberately truncated mid-write to
+    /// simulate a crash during the checkpoint itself.
+    fn write_checkpoint(&self, cut: &CheckpointCut<'_>, resilience: &mut ResilienceReport) {
+        use data_store::checkpoint as ckpt;
+        let Some(dir) = &self.config.checkpoint_dir else {
+            return;
+        };
+        let path = Self::checkpoint_path(dir);
+        let mut manifest = ckpt::Manifest::new(
+            self.fingerprint(),
+            [cut.pass as u64, cut.next_interval as u64],
+        );
+        manifest.push("values", ckpt::encode_f64s(cut.values));
+        manifest.push("edge_values", ckpt::encode_f64s(cut.edge_values));
+        let mut state = vec![u8::from(cut.changed)];
+        state.extend_from_slice(&cut.edges_processed.to_le_bytes());
+        manifest.push("engine_state", state);
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &self.config.fault_plan {
+            if plan.tear_checkpoint_write() {
+                // Torn writes are not durable commits, so they don't count
+                // toward `checkpoints_written`.
+                let _ = ckpt::write_manifest_torn(&path, &manifest);
+                return;
+            }
+        }
+        if ckpt::write_manifest(&path, &manifest).is_ok() {
+            resilience.checkpoints_written += 1;
         }
     }
 
@@ -623,9 +814,43 @@ impl Engine {
 
         let mut passes = 0usize;
         let mut edges_processed = 0u64;
+        // Intervals committed by *this process* — the clock the fault
+        // plan's `crash_at_interval` runs against, so a resumed run crashes
+        // relative to its own progress, not the cumulative job's.
+        let mut committed_intervals = 0u64;
+        // A verified checkpoint replaces the cold-start state. `passes`
+        // starts at the cursor's pass because every earlier pass already
+        // ran to completion before the checkpoint was taken.
+        let (start_pass, start_interval, resumed_changed) = match self.resume.take() {
+            Some(r) => {
+                values = r.values;
+                edge_values = r.edge_values;
+                passes = r.pass;
+                edges_processed = r.edges_processed;
+                resilience.recoveries += 1;
+                facade_trace::instant(
+                    "checkpoint_resume",
+                    &[("pass", r.pass.into()), ("interval", r.interval.into())],
+                );
+                (r.pass, r.interval, r.changed)
+            }
+            None => (0, 0, false),
+        };
         for pass in 0..app.iterations() {
-            let mut changed = false;
+            if pass < start_pass {
+                continue;
+            }
+            // A partial pass resumes with the convergence flag its
+            // committed intervals had already accumulated.
+            let mut changed = if pass == start_pass {
+                resumed_changed
+            } else {
+                false
+            };
             for (iv_idx, &interval) in intervals.iter().enumerate() {
+                if pass == start_pass && iv_idx < start_interval {
+                    continue;
+                }
                 // Retry loop: the interval commits only when every
                 // subinterval succeeded, so a mid-interval failure leaves
                 // `values`/`edge_values` exactly at the interval-start
@@ -671,14 +896,40 @@ impl Engine {
                             edges_processed += (interval.0..interval.1)
                                 .map(|v| u64::from(self.csr.degree(v)))
                                 .sum::<u64>();
+                            committed_intervals += 1;
                             facade_trace::instant(
                                 "interval_commit",
                                 &[
                                     ("interval", iv_idx.into()),
                                     ("pass", pass.into()),
                                     ("subintervals", bufs.len().into()),
+                                    ("committed", committed_intervals.into()),
                                 ],
                             );
+                            // The cursor is `iv_idx + 1`, not normalized at
+                            // pass ends: resuming at `intervals.len()` skips
+                            // the rest of the pass but still runs its
+                            // convergence check.
+                            self.write_checkpoint(
+                                &CheckpointCut {
+                                    pass,
+                                    next_interval: iv_idx + 1,
+                                    changed,
+                                    edges_processed,
+                                    values: &values,
+                                    edge_values: &edge_values,
+                                },
+                                &mut resilience,
+                            );
+                            #[cfg(feature = "fault-injection")]
+                            if let Some(plan) = &self.config.fault_plan {
+                                if plan.should_crash_at_interval(committed_intervals) {
+                                    return Err(EngineError::Crashed {
+                                        pass,
+                                        interval: iv_idx,
+                                    });
+                                }
+                            }
                             break;
                         }
                         Err(failure) => {
@@ -720,6 +971,16 @@ impl Engine {
             // The plan's own counter also sees pool-level injections, which
             // no store's stats record.
             resilience.faults_injected = plan.faults_injected();
+        }
+        resilience.torn_checkpoints_discarded += self.discarded_checkpoints;
+        self.discarded_checkpoints = 0;
+        if let Some(dir) = &self.config.checkpoint_dir {
+            // The run completed: its checkpoint is obsolete (resuming a
+            // finished run would replay the final interval). Best-effort —
+            // a leftover file only costs a harmless fingerprint-checked
+            // resume attempt.
+            let _ = std::fs::remove_file(Self::checkpoint_path(dir));
+            resilience.publish_checkpoint_gauges(metrics::Registry::global());
         }
         timer.add(phases::GC, stats.gc_time);
         timer.freeze_total();
@@ -1341,6 +1602,72 @@ mod tests {
         // leak a bit).
         assert!(total > 30.0 && total < 400.0, "total rank {total}");
         assert!(out.values.iter().all(|&r| r >= 0.15));
+    }
+
+    #[test]
+    fn checkpointed_run_counts_writes_and_cleans_up() {
+        let tmp = data_store::test_support::TempDir::new("graphchi-ckpt");
+        let g = Graph::generate(&GraphSpec::new(300, 2_000, 11));
+        let base = run(Backend::Facade, &g, &PageRank::new(3));
+        let mut engine = Engine::new(
+            &g,
+            EngineConfig {
+                backend: Backend::Facade,
+                budget_bytes: 16 << 20,
+                intervals: 3,
+                checkpoint_dir: Some(tmp.path().to_path_buf()),
+                ..EngineConfig::default()
+            },
+        );
+        let out = engine.run(&PageRank::new(3)).expect("run completes");
+        assert_eq!(
+            out.values, base.values,
+            "durability must not perturb output"
+        );
+        assert_eq!(
+            out.resilience.checkpoints_written,
+            3 * 3,
+            "one checkpoint per committed interval"
+        );
+        assert!(
+            out.resilience.is_clean(),
+            "checkpoint writes alone don't dirty a run"
+        );
+        assert!(
+            !Engine::checkpoint_path(tmp.path()).exists(),
+            "a completed run removes its checkpoint"
+        );
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_fingerprint_and_reports_the_discard() {
+        let tmp = data_store::test_support::TempDir::new("graphchi-fprint");
+        let path = Engine::checkpoint_path(tmp.path());
+        let mut foreign = data_store::checkpoint::Manifest::new(0xDEAD_BEEF, [0, 1]);
+        foreign.push("values", Vec::new());
+        data_store::checkpoint::write_manifest(&path, &foreign).expect("write manifest");
+        let g = tiny_graph();
+        let mut engine = Engine::new(
+            &g,
+            EngineConfig {
+                backend: Backend::Facade,
+                budget_bytes: 16 << 20,
+                intervals: 3,
+                checkpoint_dir: Some(tmp.path().to_path_buf()),
+                ..EngineConfig::default()
+            },
+        );
+        let err = engine.resume_from(&path).expect_err("foreign checkpoint");
+        assert!(
+            matches!(err, data_store::RecoveryError::FingerprintMismatch { .. }),
+            "{err}"
+        );
+        // The discarded checkpoint surfaces in the next run's report, and
+        // the cold start still produces a correct result.
+        let out = engine.run(&PageRank::new(1)).expect("cold start");
+        assert_eq!(out.resilience.torn_checkpoints_discarded, 1);
+        assert!(!out.resilience.is_clean(), "a discard is not a clean run");
+        assert_eq!(out.resilience.recoveries, 0);
     }
 
     #[test]

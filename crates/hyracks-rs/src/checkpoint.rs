@@ -1,0 +1,261 @@
+//! Job-phase checkpointing for the simulated cluster.
+//!
+//! Both jobs checkpoint the output of their expensive first phase (WC's map
+//! output, ES's sorted partitions) into a [`data_store::checkpoint`]
+//! manifest in [`crate::ClusterConfig::checkpoint_dir`], committed with the
+//! atomic tmp-file-then-rename protocol. A restarted job with
+//! [`crate::ClusterConfig::resume`] set verifies the manifest (checksums
+//! and a fingerprint over the job, partitioning, and corpus) and skips the
+//! completed phase; a damaged or foreign checkpoint is discarded — counted
+//! in the resilience report — and the job cold-starts instead. Both paths
+//! produce bit-identical output, because the checkpoint stores exactly the
+//! phase payloads the live run would have produced, in partition order.
+
+use crate::cluster::{ClusterConfig, JobFailure};
+use data_store::RecoveryError;
+use data_store::checkpoint::{self, Manifest};
+use metrics::ResilienceReport;
+use std::path::Path;
+use std::time::Instant;
+
+/// Fingerprint binding a checkpoint to the job shape that produced it: the
+/// job name, the data decomposition (`workers`, which fixes partition
+/// contents), and the corpus itself. Deliberately excludes `threads`,
+/// budgets, and frame sizes — output is bit-identical across those, so a
+/// resumed job may finish under a different execution configuration.
+/// Computed only when checkpointing is configured.
+pub(crate) fn job_fingerprint(job: &str, workers: usize, corpus: &[String]) -> u64 {
+    let mut state = checkpoint::xxh64(job.as_bytes(), workers as u64);
+    for word in corpus {
+        state = checkpoint::xxh64(word.as_bytes(), state);
+    }
+    state
+}
+
+/// Serializes one phase partition of `(payload bytes, count)` pairs (WC map
+/// output). Length-prefixed and order-preserving, so the decode is lossless
+/// and the shuffle downstream of a resume sees the exact live-run input.
+pub(crate) fn encode_pairs(pairs: &[(Vec<u8>, i64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * pairs.len() + 8);
+    out.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+    for (bytes, count) in pairs {
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+        out.extend_from_slice(&count.to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_pairs`]; fails closed on any length mismatch.
+pub(crate) fn decode_pairs(bytes: &[u8]) -> Result<Vec<(Vec<u8>, i64)>, RecoveryError> {
+    let mut cursor = Cursor::new(bytes);
+    let n = cursor.u64()?;
+    let mut out = Vec::with_capacity(usize::try_from(n).unwrap_or(0).min(bytes.len()));
+    for _ in 0..n {
+        let len = cursor.u32()? as usize;
+        let word = cursor.take(len)?.to_vec();
+        let count = i64::from_le_bytes(cursor.take(8)?.try_into().expect("8 bytes"));
+        out.push((word, count));
+    }
+    cursor.finish()?;
+    Ok(out)
+}
+
+/// Serializes one sorted partition of byte strings (ES sort output).
+pub(crate) fn encode_words(words: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 * words.len() + 8);
+    out.extend_from_slice(&(words.len() as u64).to_le_bytes());
+    for word in words {
+        out.extend_from_slice(&(word.len() as u32).to_le_bytes());
+        out.extend_from_slice(word);
+    }
+    out
+}
+
+/// Inverse of [`encode_words`]; fails closed on any length mismatch.
+pub(crate) fn decode_words(bytes: &[u8]) -> Result<Vec<Vec<u8>>, RecoveryError> {
+    let mut cursor = Cursor::new(bytes);
+    let n = cursor.u64()?;
+    let mut out = Vec::with_capacity(usize::try_from(n).unwrap_or(0).min(bytes.len()));
+    for _ in 0..n {
+        let len = cursor.u32()? as usize;
+        out.push(cursor.take(len)?.to_vec());
+    }
+    cursor.finish()?;
+    Ok(out)
+}
+
+/// Bounds-checked little-endian reader over a section payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RecoveryError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| {
+                RecoveryError::Malformed(format!(
+                    "section payload truncated at byte {} (wanted {n} more of {})",
+                    self.at,
+                    self.bytes.len()
+                ))
+            })?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, RecoveryError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, RecoveryError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn finish(self) -> Result<(), RecoveryError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(RecoveryError::Malformed(format!(
+                "{} trailing bytes after section payload",
+                self.bytes.len() - self.at
+            )))
+        }
+    }
+}
+
+/// Commits `manifest` at `path`, best-effort: an I/O failure degrades to
+/// "no checkpoint taken" rather than failing a healthy job, and the
+/// previous durable checkpoint (if any) survives the atomic rename. Under
+/// the fault plan's torn-write mode the file is deliberately truncated
+/// mid-write instead — a simulated crash during the checkpoint itself —
+/// and does not count as written.
+pub(crate) fn write_job_checkpoint(
+    config: &ClusterConfig,
+    path: &Path,
+    manifest: &Manifest,
+    resilience: &mut ResilienceReport,
+) {
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = &config.fault_plan {
+        if plan.tear_checkpoint_write() {
+            let _ = checkpoint::write_manifest_torn(path, manifest);
+            return;
+        }
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = config;
+    if checkpoint::write_manifest(path, manifest).is_ok() {
+        resilience.checkpoints_written += 1;
+    }
+}
+
+/// Loads and verifies the checkpoint at `path` for a resuming job.
+/// `None` means cold start: either no checkpoint exists (routine — nothing
+/// recorded) or the file was damaged or from a different job/corpus, in
+/// which case the discard is counted in `resilience`. Never panics on
+/// damaged input.
+pub(crate) fn load_job_checkpoint(
+    path: &Path,
+    fingerprint: u64,
+    resilience: &mut ResilienceReport,
+) -> Option<Manifest> {
+    let manifest = match checkpoint::read_manifest(path) {
+        Ok(m) => m,
+        Err(RecoveryError::Missing(_)) => return None,
+        Err(_) => {
+            resilience.torn_checkpoints_discarded += 1;
+            return None;
+        }
+    };
+    if manifest.fingerprint != fingerprint {
+        resilience.torn_checkpoints_discarded += 1;
+        return None;
+    }
+    Some(manifest)
+}
+
+/// Fires the fault plan's `crash_in_phase` fault: aborts the job with an
+/// [`metrics::FailureCause::InjectedCrash`] directly after phase `phase`
+/// committed (and checkpointed, when configured) — the crash point a
+/// restarted job recovers from.
+pub(crate) fn maybe_crash(
+    config: &ClusterConfig,
+    phase: u64,
+    name: &str,
+    started: Instant,
+) -> Result<(), JobFailure> {
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = &config.fault_plan {
+        if plan.should_crash_in_phase(phase) {
+            return Err(JobFailure {
+                after: started.elapsed(),
+                cause: metrics::FailureCause::InjectedCrash(format!(
+                    "crash after phase {name} ({phase})"
+                )),
+            });
+        }
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = (config, phase, name, started);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_roundtrip_and_fail_closed() {
+        let pairs = vec![
+            (b"word".to_vec(), 3i64),
+            (Vec::new(), -1),
+            (b"a much longer token".to_vec(), i64::MAX),
+        ];
+        let bytes = encode_pairs(&pairs);
+        assert_eq!(decode_pairs(&bytes).expect("roundtrip"), pairs);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_pairs(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must fail closed"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_pairs(&trailing).is_err(), "trailing bytes rejected");
+    }
+
+    #[test]
+    fn words_roundtrip_and_fail_closed() {
+        let words = vec![b"b".to_vec(), Vec::new(), b"aa".to_vec()];
+        let bytes = encode_words(&words);
+        assert_eq!(decode_words(&bytes).expect("roundtrip"), words);
+        for cut in 0..bytes.len() {
+            assert!(decode_words(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_job_corpus_and_partitioning() {
+        let corpus: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let base = job_fingerprint("wc", 4, &corpus);
+        assert_eq!(base, job_fingerprint("wc", 4, &corpus), "deterministic");
+        assert_ne!(base, job_fingerprint("es", 4, &corpus), "job name");
+        assert_ne!(base, job_fingerprint("wc", 8, &corpus), "worker count");
+        let other: Vec<String> = ["a", "b", "d"].iter().map(|s| s.to_string()).collect();
+        assert_ne!(base, job_fingerprint("wc", 4, &other), "corpus content");
+    }
+}

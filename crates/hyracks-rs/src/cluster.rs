@@ -18,6 +18,7 @@ use metrics::{DegradationAction, OutOfMemory, ResilienceReport, panic_message};
 use std::error::Error;
 use std::fmt;
 use std::panic::{AssertUnwindSafe, catch_unwind};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -80,6 +81,19 @@ pub struct ClusterConfig {
     /// job page pool) — the testing harness for the failure paths.
     #[cfg(feature = "fault-injection")]
     pub fault_plan: Option<data_store::FaultPlan>,
+    /// Directory for job-phase checkpoints. When set, each job commits its
+    /// expensive first phase's output (WC map output, ES sorted partitions)
+    /// as a checksummed manifest via atomic tmp-file-then-rename, and
+    /// removes it when the job completes. `None` (the default) adds no I/O.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Attempt crash-restart recovery: verify the checkpoint left in
+    /// [`checkpoint_dir`](Self::checkpoint_dir) and skip the already-
+    /// committed phase. A missing checkpoint is a routine cold start; a
+    /// damaged one (torn write, corruption, foreign fingerprint) is
+    /// discarded — counted in the job's resilience report — and the job
+    /// cold-starts. Either way the output is bit-identical to an
+    /// uninterrupted run.
+    pub resume: bool,
 }
 
 impl Default for ClusterConfig {
@@ -93,11 +107,21 @@ impl Default for ClusterConfig {
             retry: RetryPolicy::default(),
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 }
 
 impl ClusterConfig {
+    /// The checkpoint file the named job (`"wc"`, `"es"`) reads and writes,
+    /// or `None` when durability is not configured.
+    pub fn checkpoint_path(&self, job: &str) -> Option<PathBuf> {
+        self.checkpoint_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{job}.fckp")))
+    }
+
     pub(crate) fn make_store(&self, pool: Option<&Arc<PagePool>>) -> Store {
         let mut builder = Store::builder()
             .backend(self.backend)

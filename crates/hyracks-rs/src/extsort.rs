@@ -1,6 +1,10 @@
 //! The external-sort job (ES of Table 3): budget-bounded run generation
 //! over store records, sorted-run spilling, and k-way merging.
 
+use crate::checkpoint::{
+    decode_words, encode_words, job_fingerprint, load_job_checkpoint, maybe_crash,
+    write_job_checkpoint,
+};
 use crate::cluster::{ClusterConfig, JobFailure, JobStats, finish_pool, round_robin, run_phase};
 use crate::hashtable::hash_bytes;
 use data_store::{ClassTag, ElemTy, FieldTy, Store};
@@ -125,9 +129,16 @@ fn merge_runs(runs: Vec<Vec<Vec<u8>>>) -> Vec<Vec<u8>> {
 
 /// Runs the ES job over `corpus` on the simulated cluster.
 ///
+/// With [`ClusterConfig::checkpoint_dir`] set, the sorted partitions are
+/// committed as a checksummed manifest the moment the sort phase completes;
+/// a restart with [`ClusterConfig::resume`] verifies it and recomputes only
+/// the checksum, bit-identical to an uninterrupted run.
+///
 /// # Errors
 ///
-/// Returns [`JobFailure`] (`OME(n)`) if any worker exhausts its budget.
+/// Returns [`JobFailure`] (`OME(n)`) if any worker exhausts its budget, or
+/// an injected-crash failure when the fault plan's `crash_in_phase` fires
+/// (phase 0 = sort, phase 1 = finish).
 pub fn run_external_sort(
     corpus: &[String],
     config: &ClusterConfig,
@@ -135,18 +146,68 @@ pub fn run_external_sort(
     let started = Instant::now();
     let mut stats = JobStats::default();
     let pool = config.job_page_pool();
-    let partitions = round_robin(corpus, config.workers);
-    let budget = config.per_worker_budget;
-    let sorted = run_phase(
-        config,
-        "sort",
-        started,
-        partitions,
-        &mut stats,
-        pool.as_ref(),
-        |store| store.register_class("LineRecord", &[FieldTy::I32, FieldTy::Ref]),
-        |_, store, line_class, part, level| sort_worker(store, *line_class, part, budget, level),
-    )?;
+    let ckpt = config
+        .checkpoint_path("es")
+        .map(|path| (path, job_fingerprint("es", config.workers, corpus)));
+
+    // A verified checkpoint replaces the sort phase entirely: the decoded
+    // partitions are byte-for-byte the live phase's output, in worker
+    // order, so the order-sensitive checksum below cannot tell them apart.
+    let mut resumed: Option<Vec<Vec<Vec<u8>>>> = None;
+    if config.resume {
+        if let Some((path, fingerprint)) = &ckpt {
+            if let Some(manifest) = load_job_checkpoint(path, *fingerprint, &mut stats.resilience) {
+                let parts: Result<Vec<_>, _> = (0..config.workers)
+                    .map(|i| {
+                        manifest
+                            .section(&format!("sorted{i}"))
+                            .ok_or_else(|| {
+                                data_store::RecoveryError::Malformed(format!(
+                                    "missing section `sorted{i}`"
+                                ))
+                            })
+                            .and_then(decode_words)
+                    })
+                    .collect();
+                match parts {
+                    Ok(parts) => {
+                        stats.resilience.recoveries += 1;
+                        resumed = Some(parts);
+                    }
+                    Err(_) => stats.resilience.torn_checkpoints_discarded += 1,
+                }
+            }
+        }
+    }
+
+    let sorted = match resumed {
+        Some(parts) => parts,
+        None => {
+            let partitions = round_robin(corpus, config.workers);
+            let budget = config.per_worker_budget;
+            let out = run_phase(
+                config,
+                "sort",
+                started,
+                partitions,
+                &mut stats,
+                pool.as_ref(),
+                |store| store.register_class("LineRecord", &[FieldTy::I32, FieldTy::Ref]),
+                |_, store, line_class, part, level| {
+                    sort_worker(store, *line_class, part, budget, level)
+                },
+            )?;
+            if let Some((path, fingerprint)) = &ckpt {
+                let mut manifest = data_store::checkpoint::Manifest::new(*fingerprint, [1, 0]);
+                for (i, part) in out.iter().enumerate() {
+                    manifest.push(&format!("sorted{i}"), encode_words(part));
+                }
+                write_job_checkpoint(config, path, &manifest, &mut stats.resilience);
+            }
+            maybe_crash(config, 0, "sort", started)?;
+            out
+        }
+    };
 
     let mut total = 0u64;
     let mut checksum = 0u64;
@@ -158,8 +219,19 @@ pub fn run_external_sort(
                 .wrapping_add(u64::from(hash_bytes(w)) ^ i as u64);
         }
     }
+    // A crash here restarts from the sort checkpoint and redoes only the
+    // checksum.
+    maybe_crash(config, 1, "finish", started)?;
     stats.elapsed = started.elapsed();
     finish_pool(&mut stats, pool.as_ref());
+    if let Some((path, _)) = &ckpt {
+        // The job completed: its checkpoint is obsolete. Best-effort — a
+        // leftover only costs a fingerprint-checked resume attempt.
+        let _ = std::fs::remove_file(path);
+        stats
+            .resilience
+            .publish_checkpoint_gauges(metrics::Registry::global());
+    }
     #[cfg(feature = "fault-injection")]
     if let Some(plan) = &config.fault_plan {
         // The plan's counter also sees pool-level injections, which no
@@ -221,6 +293,54 @@ mod tests {
         let sorted = sort_worker(&mut store, line_class, words.clone(), 64 << 10, 0).unwrap();
         assert_eq!(sorted.len(), words.len());
         assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn resume_replays_a_sort_checkpoint_bit_identically() {
+        use crate::checkpoint::{encode_words, job_fingerprint};
+        use crate::cluster::round_robin;
+        let tmp = data_store::test_support::TempDir::new("es-resume");
+        let words = corpus(&CorpusSpec::new(30_000, 31));
+        let cfg = ClusterConfig {
+            checkpoint_dir: Some(tmp.path().to_path_buf()),
+            ..config(Backend::Facade)
+        };
+        let base = run_external_sort(&words, &cfg).unwrap();
+
+        // Reconstruct the checkpoint a crashed run would have left after
+        // the sort phase: each partition's words, sorted, under the job
+        // fingerprint (sort output is a pure function of the partition).
+        let path = cfg.checkpoint_path("es").unwrap();
+        let mut manifest = data_store::checkpoint::Manifest::new(
+            job_fingerprint("es", cfg.workers, &words),
+            [1, 0],
+        );
+        for (i, part) in round_robin(&words, cfg.workers).into_iter().enumerate() {
+            let mut sorted: Vec<Vec<u8>> = part.into_iter().map(String::into_bytes).collect();
+            sorted.sort();
+            manifest.push(&format!("sorted{i}"), encode_words(&sorted));
+        }
+        data_store::checkpoint::write_manifest(&path, &manifest).unwrap();
+
+        let resumed = run_external_sort(
+            &words,
+            &ClusterConfig {
+                resume: true,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            resumed.payload(),
+            base.payload(),
+            "resumed output is bit-identical to the uninterrupted run"
+        );
+        assert_eq!(resumed.stats.resilience.recoveries, 1);
+        assert!(
+            !resumed.stats.resilience.is_clean(),
+            "a resumed run is not a clean run"
+        );
+        assert!(!path.exists(), "a resumed job still cleans up");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! iteration calls go ("placed at the beginning and the end of each Hyracks
 //! operator").
 
+mod checkpoint;
 pub mod cluster;
 pub mod extsort;
 pub mod hashtable;

@@ -2,6 +2,10 @@
 //! map phase (tokenize + local aggregation), a hash shuffle, and a reduce
 //! phase, each worker's aggregation living in the record store.
 
+use crate::checkpoint::{
+    decode_pairs, encode_pairs, job_fingerprint, load_job_checkpoint, maybe_crash,
+    write_job_checkpoint,
+};
 use crate::cluster::{ClusterConfig, JobFailure, JobStats, finish_pool, round_robin, run_phase};
 use crate::hashtable::{WordTable, WordTableClasses, hash_bytes, register_classes};
 use data_store::{ClassTag, ElemTy, FieldTy, Store};
@@ -19,6 +23,11 @@ pub struct WcOutput {
     /// Aggregate worker statistics.
     pub stats: JobStats,
 }
+
+/// One partition's map output: `(word bytes, partial count)` pairs — the
+/// unit the map phase produces, the checkpoint persists, and the shuffle
+/// consumes.
+type MapPartition = Vec<(Vec<u8>, i64)>;
 
 /// The record classes a WC worker needs, registered once per store by the
 /// phase's `init` closure (pool threads keep a store across partitions, so
@@ -125,32 +134,87 @@ fn reduce_worker(
 
 /// Runs the WC job over `corpus` on the simulated cluster.
 ///
+/// With [`ClusterConfig::checkpoint_dir`] set, the map phase's output is
+/// committed as a checksummed manifest the moment it completes; a restart
+/// with [`ClusterConfig::resume`] verifies it and goes straight to the
+/// shuffle, bit-identical to an uninterrupted run.
+///
 /// # Errors
 ///
 /// Returns [`JobFailure`] (`OME(n)`) if any worker exhausts its per-node
-/// budget.
+/// budget, or an injected-crash failure when the fault plan's
+/// `crash_in_phase` fires (phase 0 = map, phase 1 = reduce).
 pub fn run_wordcount(corpus: &[String], config: &ClusterConfig) -> Result<WcOutput, JobFailure> {
     let started = Instant::now();
     let mut stats = JobStats::default();
     let pool = config.job_page_pool();
+    let ckpt = config
+        .checkpoint_path("wc")
+        .map(|path| (path, job_fingerprint("wc", config.workers, corpus)));
+
+    // A verified checkpoint replaces the map phase entirely; the decode is
+    // lossless and in partition order, so the shuffle below sees the exact
+    // pairs the live map produced.
+    let mut resumed: Option<Vec<MapPartition>> = None;
+    if config.resume {
+        if let Some((path, fingerprint)) = &ckpt {
+            if let Some(manifest) = load_job_checkpoint(path, *fingerprint, &mut stats.resilience) {
+                let parts: Result<Vec<_>, _> = (0..config.workers)
+                    .map(|i| {
+                        manifest
+                            .section(&format!("map{i}"))
+                            .ok_or_else(|| {
+                                data_store::RecoveryError::Malformed(format!(
+                                    "missing section `map{i}`"
+                                ))
+                            })
+                            .and_then(decode_pairs)
+                    })
+                    .collect();
+                match parts {
+                    Ok(parts) => {
+                        stats.resilience.recoveries += 1;
+                        resumed = Some(parts);
+                    }
+                    // Checksums passed but the payload shape didn't: a
+                    // format drift counts as a discarded checkpoint too.
+                    Err(_) => stats.resilience.torn_checkpoints_discarded += 1,
+                }
+            }
+        }
+    }
 
     // Map phase. A degraded retry halves the frame size per rung: frames
     // are sub-iteration granularity, invisible in the counts, but smaller
     // frames mean less transient churn alive at once.
-    let partitions = round_robin(corpus, config.workers);
-    let map_out = run_phase(
-        config,
-        "map",
-        started,
-        partitions,
-        &mut stats,
-        pool.as_ref(),
-        wc_schema,
-        |_, store, schema, part, level| {
-            let frame = (config.frame_bytes >> level.min(16)).max(64);
-            map_worker(store, schema, part, frame)
-        },
-    )?;
+    let map_out = match resumed {
+        Some(parts) => parts,
+        None => {
+            let partitions = round_robin(corpus, config.workers);
+            let out = run_phase(
+                config,
+                "map",
+                started,
+                partitions,
+                &mut stats,
+                pool.as_ref(),
+                wc_schema,
+                |_, store, schema, part, level| {
+                    let frame = (config.frame_bytes >> level.min(16)).max(64);
+                    map_worker(store, schema, part, frame)
+                },
+            )?;
+            if let Some((path, fingerprint)) = &ckpt {
+                let mut manifest = data_store::checkpoint::Manifest::new(*fingerprint, [1, 0]);
+                for (i, part) in out.iter().enumerate() {
+                    manifest.push(&format!("map{i}"), encode_pairs(part));
+                }
+                write_job_checkpoint(config, path, &manifest, &mut stats.resilience);
+            }
+            maybe_crash(config, 0, "map", started)?;
+            out
+        }
+    };
 
     // Hash shuffle: word → reducer.
     let mut shuffled: Vec<Vec<(Vec<u8>, i64)>> = (0..config.workers).map(|_| Vec::new()).collect();
@@ -172,6 +236,8 @@ pub fn run_wordcount(corpus: &[String], config: &ClusterConfig) -> Result<WcOutp
         wc_schema,
         |_, store, schema, part, _level| reduce_worker(store, schema, part),
     )?;
+    // A crash here restarts from the map checkpoint and redoes the reduce.
+    maybe_crash(config, 1, "reduce", started)?;
 
     let mut distinct = 0u64;
     let mut total = 0i64;
@@ -181,6 +247,14 @@ pub fn run_wordcount(corpus: &[String], config: &ClusterConfig) -> Result<WcOutp
     }
     stats.elapsed = started.elapsed();
     finish_pool(&mut stats, pool.as_ref());
+    if let Some((path, _)) = &ckpt {
+        // The job completed: its checkpoint is obsolete. Best-effort — a
+        // leftover only costs a fingerprint-checked resume attempt.
+        let _ = std::fs::remove_file(path);
+        stats
+            .resilience
+            .publish_checkpoint_gauges(metrics::Registry::global());
+    }
     #[cfg(feature = "fault-injection")]
     if let Some(plan) = &config.fault_plan {
         // The plan's counter also sees pool-level injections, which no
@@ -226,6 +300,48 @@ mod tests {
             assert_eq!(out.total_count, words.len() as i64);
             assert_eq!(out.distinct_words, truth.len() as u64);
         }
+    }
+
+    #[test]
+    fn checkpointed_job_counts_writes_and_cleans_up() {
+        let tmp = data_store::test_support::TempDir::new("wc-ckpt");
+        let words = small_corpus();
+        let base = run_wordcount(&words, &config(Backend::Facade, 32 << 20)).unwrap();
+        let cfg = ClusterConfig {
+            checkpoint_dir: Some(tmp.path().to_path_buf()),
+            ..config(Backend::Facade, 32 << 20)
+        };
+        let out = run_wordcount(&words, &cfg).unwrap();
+        assert_eq!(
+            (out.distinct_words, out.total_count),
+            (base.distinct_words, base.total_count),
+            "durability must not perturb output"
+        );
+        assert_eq!(
+            out.stats.resilience.checkpoints_written, 1,
+            "one checkpoint after the map phase"
+        );
+        assert!(
+            out.stats.resilience.is_clean(),
+            "checkpoint writes alone don't dirty a run"
+        );
+        assert!(
+            !cfg.checkpoint_path("wc").unwrap().exists(),
+            "a completed job removes its checkpoint"
+        );
+        // Resuming with no checkpoint on disk is a routine cold start:
+        // nothing recovered, nothing discarded.
+        let resumed = run_wordcount(
+            &words,
+            &ClusterConfig {
+                resume: true,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.stats.resilience.recoveries, 0);
+        assert!(resumed.stats.resilience.is_clean());
+        assert_eq!(resumed.total_count, base.total_count);
     }
 
     #[test]

@@ -23,16 +23,24 @@ pub enum FailureCause {
     OutOfMemory(OutOfMemory),
     /// The worker thread panicked, with the rendered panic message.
     WorkerPanic(String),
+    /// The harness injected a process-level crash (`crash_at_interval` /
+    /// `crash_in_phase`): the run is aborted mid-job to exercise
+    /// crash-restart recovery. Not transient — the remedy is a restart
+    /// that resumes from the last durable checkpoint, not a retry.
+    InjectedCrash(String),
 }
 
 impl FailureCause {
     /// Transient failures may succeed on an identical retry: panics and
     /// injected faults. A genuine budget exhaustion is deterministic, so
     /// retrying at the same rung is pointless and ladders degrade instead.
+    /// An injected crash is terminal by design — recovery happens in a new
+    /// process, never on the ladder.
     pub fn is_transient(&self) -> bool {
         match self {
             FailureCause::OutOfMemory(e) => e.is_injected(),
             FailureCause::WorkerPanic(_) => true,
+            FailureCause::InjectedCrash(_) => false,
         }
     }
 }
@@ -42,6 +50,7 @@ impl fmt::Display for FailureCause {
         match self {
             FailureCause::OutOfMemory(e) => write!(f, "{e}"),
             FailureCause::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
+            FailureCause::InjectedCrash(m) => write!(f, "injected crash: {m}"),
         }
     }
 }
@@ -50,7 +59,7 @@ impl Error for FailureCause {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             FailureCause::OutOfMemory(e) => Some(e),
-            FailureCause::WorkerPanic(_) => None,
+            FailureCause::WorkerPanic(_) | FailureCause::InjectedCrash(_) => None,
         }
     }
 }

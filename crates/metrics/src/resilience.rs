@@ -93,6 +93,15 @@ pub struct ResilienceReport {
     pub degradations: u64,
     /// Faults the harness injected that the run nonetheless survived.
     pub faults_injected: u64,
+    /// Checkpoint manifests durably committed at interval/phase
+    /// boundaries. Writing checkpoints is normal operation, so this
+    /// counter alone does not make a run "unclean".
+    pub checkpoints_written: u64,
+    /// Runs resumed from a verified checkpoint instead of cold-starting.
+    pub recoveries: u64,
+    /// Checkpoints that failed verification (torn write, corruption) and
+    /// were discarded, forcing a cold start.
+    pub torn_checkpoints_discarded: u64,
     /// The most recent events, in order of occurrence, capped at
     /// [`ResilienceReport::MAX_EVENTS`].
     pub events: Vec<DegradationEvent>,
@@ -146,15 +155,42 @@ impl ResilienceReport {
         self.retries += other.retries;
         self.degradations += other.degradations;
         self.faults_injected += other.faults_injected;
+        self.checkpoints_written += other.checkpoints_written;
+        self.recoveries += other.recoveries;
+        self.torn_checkpoints_discarded += other.torn_checkpoints_discarded;
         self.events_dropped += other.events_dropped;
         for event in &other.events {
             self.push_event(event.clone());
         }
     }
 
-    /// Whether the run needed any failure handling at all.
+    /// Whether the run needed any failure handling at all. Checkpoint
+    /// *writes* are routine and don't count; resuming from one (or
+    /// discarding a damaged one) does.
     pub fn is_clean(&self) -> bool {
-        self.retries == 0 && self.degradations == 0 && self.faults_injected == 0
+        self.retries == 0
+            && self.degradations == 0
+            && self.faults_injected == 0
+            && self.recoveries == 0
+            && self.torn_checkpoints_discarded == 0
+    }
+
+    /// Publishes the checkpoint counters as `facade_checkpoint_written`,
+    /// `facade_checkpoint_recoveries`, and
+    /// `facade_checkpoint_torn_discarded` gauges in `registry` (typically
+    /// [`crate::Registry::global`]).
+    pub fn publish_checkpoint_gauges(&self, registry: &crate::Registry) {
+        let set = |name: &str, v: u64| {
+            registry
+                .gauge(name)
+                .set(i64::try_from(v).unwrap_or(i64::MAX));
+        };
+        set("facade_checkpoint_written", self.checkpoints_written);
+        set("facade_checkpoint_recoveries", self.recoveries);
+        set(
+            "facade_checkpoint_torn_discarded",
+            self.torn_checkpoints_discarded,
+        );
     }
 }
 
@@ -164,7 +200,15 @@ impl fmt::Display for ResilienceReport {
             f,
             "retries {}, degradations {}, faults injected {}",
             self.retries, self.degradations, self.faults_injected
-        )
+        )?;
+        if self.checkpoints_written + self.recoveries + self.torn_checkpoints_discarded > 0 {
+            write!(
+                f,
+                ", checkpoints {}, recoveries {}, torn discarded {}",
+                self.checkpoints_written, self.recoveries, self.torn_checkpoints_discarded
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -240,6 +284,34 @@ mod tests {
             r.events.last().unwrap().phase,
             format!("interval {}", total - 1)
         );
+    }
+
+    #[test]
+    fn checkpoint_counters_merge_and_shape_cleanliness() {
+        let mut a = ResilienceReport::default();
+        a.checkpoints_written = 4;
+        assert!(a.is_clean(), "writing checkpoints is routine");
+        let mut b = ResilienceReport::default();
+        b.recoveries = 1;
+        b.torn_checkpoints_discarded = 2;
+        assert!(!b.is_clean(), "a resumed run is not a clean run");
+        a.merge(&b);
+        assert_eq!(
+            (
+                a.checkpoints_written,
+                a.recoveries,
+                a.torn_checkpoints_discarded
+            ),
+            (4, 1, 2)
+        );
+        let text = a.to_string();
+        assert!(text.contains("checkpoints 4"), "{text}");
+
+        let registry = crate::Registry::new();
+        a.publish_checkpoint_gauges(&registry);
+        assert_eq!(registry.gauge("facade_checkpoint_written").get(), 4);
+        assert_eq!(registry.gauge("facade_checkpoint_recoveries").get(), 1);
+        assert_eq!(registry.gauge("facade_checkpoint_torn_discarded").get(), 2);
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! Crash-restart recovery, end to end: a run killed mid-job by the fault
+//! plan's process-level crash faults restarts from the latest durable
+//! checkpoint and produces output bit-identical to an uninterrupted run —
+//! at 1, 2, and 4 threads, for both engines, in both the clean-crash and
+//! torn-write (checkpoint truncated mid-write) scenarios.
+//!
+//! The torn-write legs prove the fail-closed half of the invariant: a
+//! damaged checkpoint is *discarded* (typed error, counted in the
+//! resilience report, never a panic) and the restart cold-starts to the
+//! same bits instead of resuming from garbage.
+#![cfg(feature = "fault-injection")]
+
+use facade::datagen::{CorpusSpec, Graph, GraphSpec, corpus};
+use facade::graphchi::{Backend, Engine, EngineConfig, EngineError, PageRank};
+use facade::hyracks::{ClusterConfig, run_external_sort, run_wordcount};
+use facade::store::FaultPlan;
+use facade::store::test_support::TempDir;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn crash_graph() -> Graph {
+    Graph::generate(&GraphSpec::new(600, 5_000, 53))
+}
+
+fn graphchi_config(threads: usize) -> EngineConfig {
+    EngineConfig {
+        backend: Backend::Facade,
+        budget_bytes: 16 << 20,
+        intervals: 4,
+        threads,
+        ..EngineConfig::default()
+    }
+}
+
+/// GraphChi, clean crash: the run dies directly after committing (and
+/// checkpointing) its fifth interval — one interval into the second pass —
+/// and a fresh engine resumes from that boundary.
+#[test]
+fn graphchi_recovers_bit_identically_at_every_thread_count() {
+    let graph = crash_graph();
+    let app = PageRank::new(3);
+    let reference = Engine::new(&graph, graphchi_config(1))
+        .run(&app)
+        .expect("uninterrupted run");
+
+    for threads in THREAD_COUNTS {
+        let tmp = TempDir::new(&format!("crash-graphchi-{threads}"));
+        let ckpt = Engine::checkpoint_path(tmp.path());
+
+        let mut config = graphchi_config(threads);
+        config.checkpoint_dir = Some(tmp.path().to_path_buf());
+        config.fault_plan = Some(FaultPlan::builder(90).crash_at_interval(5).build());
+        let err = Engine::new(&graph, config.clone())
+            .run(&app)
+            .expect_err("the crash fault must abort the run");
+        assert!(
+            matches!(
+                err,
+                EngineError::Crashed {
+                    pass: 1,
+                    interval: 0
+                }
+            ),
+            "{err}"
+        );
+        assert!(ckpt.exists(), "the crash left a durable checkpoint behind");
+
+        // Restart: fresh engine (fresh process, in spirit), no fault plan.
+        config.fault_plan = None;
+        let mut engine = Engine::new(&graph, config);
+        engine.resume_from(&ckpt).expect("checkpoint verifies");
+        let recovered = engine.run(&app).expect("resumed run completes");
+
+        assert_eq!(
+            recovered.values, reference.values,
+            "threads={threads}: resumed PageRank vector must be bit-identical"
+        );
+        assert_eq!(recovered.passes, reference.passes);
+        assert_eq!(recovered.edges_processed, reference.edges_processed);
+        assert_eq!(recovered.resilience.recoveries, 1);
+        assert_eq!(recovered.resilience.torn_checkpoints_discarded, 0);
+        assert!(
+            recovered.resilience.checkpoints_written > 0,
+            "the resumed run keeps checkpointing"
+        );
+        assert!(!ckpt.exists(), "the completed run removes its checkpoint");
+    }
+}
+
+/// GraphChi, torn write: every checkpoint write is truncated mid-file, so
+/// the crash leaves only a damaged manifest. The restart must reject it
+/// with a typed error — no panic — count the discard, and cold-start to
+/// the same bits.
+#[test]
+fn graphchi_torn_checkpoint_falls_back_to_a_cold_start() {
+    let graph = crash_graph();
+    let app = PageRank::new(3);
+    let reference = Engine::new(&graph, graphchi_config(1))
+        .run(&app)
+        .expect("uninterrupted run");
+
+    for threads in THREAD_COUNTS {
+        let tmp = TempDir::new(&format!("torn-graphchi-{threads}"));
+        let ckpt = Engine::checkpoint_path(tmp.path());
+
+        let mut config = graphchi_config(threads);
+        config.checkpoint_dir = Some(tmp.path().to_path_buf());
+        config.fault_plan = Some(
+            FaultPlan::builder(91)
+                .crash_at_interval(5)
+                .torn_checkpoint_writes()
+                .build(),
+        );
+        Engine::new(&graph, config.clone())
+            .run(&app)
+            .expect_err("the crash fault must abort the run");
+        assert!(ckpt.exists(), "the torn checkpoint is still on disk");
+
+        config.fault_plan = None;
+        let mut engine = Engine::new(&graph, config);
+        let err = engine
+            .resume_from(&ckpt)
+            .expect_err("a torn checkpoint must fail verification");
+        assert!(
+            !matches!(err, facade::store::RecoveryError::Missing(_)),
+            "torn, not missing: {err}"
+        );
+
+        // Cold start on the same engine: correct bits, discard on record.
+        let recovered = engine.run(&app).expect("cold start completes");
+        assert_eq!(
+            recovered.values, reference.values,
+            "threads={threads}: cold-started vector must be bit-identical"
+        );
+        assert_eq!(recovered.resilience.recoveries, 0);
+        assert_eq!(recovered.resilience.torn_checkpoints_discarded, 1);
+        assert!(
+            !ckpt.exists(),
+            "the completed run removes the torn leftover"
+        );
+    }
+}
+
+fn crash_corpus() -> Vec<String> {
+    corpus(&CorpusSpec::new(25_000, 17))
+}
+
+fn cluster_config(threads: usize, dir: &TempDir) -> ClusterConfig {
+    ClusterConfig {
+        workers: 4,
+        threads,
+        backend: Backend::Facade,
+        per_worker_budget: 16 << 20,
+        frame_bytes: 4 << 10,
+        checkpoint_dir: Some(dir.path().to_path_buf()),
+        ..ClusterConfig::default()
+    }
+}
+
+/// Hyracks WC, clean crash after the map phase: the restart resumes from
+/// the map checkpoint, skips straight to the shuffle, and reduces to the
+/// same counts.
+#[test]
+fn wordcount_recovers_bit_identically_at_every_thread_count() {
+    let words = crash_corpus();
+    let reference = run_wordcount(
+        &words,
+        &ClusterConfig {
+            workers: 4,
+            threads: 1,
+            backend: Backend::Facade,
+            frame_bytes: 4 << 10,
+            ..ClusterConfig::default()
+        },
+    )
+    .expect("uninterrupted run");
+
+    for threads in THREAD_COUNTS {
+        let tmp = TempDir::new(&format!("crash-wc-{threads}"));
+        let mut config = cluster_config(threads, &tmp);
+        let ckpt = config.checkpoint_path("wc").unwrap();
+
+        config.fault_plan = Some(FaultPlan::builder(92).crash_in_phase(0).build());
+        let failure = run_wordcount(&words, &config).expect_err("crash aborts the job");
+        assert!(failure.to_string().contains("injected crash"), "{failure}");
+        assert!(ckpt.exists(), "the crash left a durable checkpoint behind");
+
+        config.fault_plan = None;
+        config.resume = true;
+        let recovered = run_wordcount(&words, &config).expect("resumed job completes");
+        assert_eq!(
+            (recovered.distinct_words, recovered.total_count),
+            (reference.distinct_words, reference.total_count),
+            "threads={threads}: resumed counts must match"
+        );
+        assert_eq!(recovered.stats.resilience.recoveries, 1);
+        assert_eq!(recovered.stats.resilience.torn_checkpoints_discarded, 0);
+        assert!(!ckpt.exists(), "the completed job removes its checkpoint");
+    }
+}
+
+/// Hyracks ES: clean crash after the sort phase at every thread count,
+/// plus the torn-write fallback — the es_checksum must come out identical
+/// either way.
+#[test]
+fn extsort_recovers_and_survives_torn_checkpoints() {
+    let words = crash_corpus();
+    let reference = run_external_sort(
+        &words,
+        &ClusterConfig {
+            workers: 4,
+            threads: 1,
+            backend: Backend::Facade,
+            frame_bytes: 4 << 10,
+            ..ClusterConfig::default()
+        },
+    )
+    .expect("uninterrupted run");
+
+    for threads in THREAD_COUNTS {
+        // Clean crash → verified resume.
+        let tmp = TempDir::new(&format!("crash-es-{threads}"));
+        let mut config = cluster_config(threads, &tmp);
+        let ckpt = config.checkpoint_path("es").unwrap();
+        config.fault_plan = Some(FaultPlan::builder(93).crash_in_phase(0).build());
+        run_external_sort(&words, &config).expect_err("crash aborts the job");
+        assert!(ckpt.exists());
+
+        config.fault_plan = None;
+        config.resume = true;
+        let recovered = run_external_sort(&words, &config).expect("resumed job completes");
+        assert_eq!(
+            recovered.payload(),
+            reference.payload(),
+            "threads={threads}: resumed es_checksum must be bit-identical"
+        );
+        assert_eq!(recovered.stats.resilience.recoveries, 1);
+        assert!(!ckpt.exists());
+
+        // Torn write → discarded checkpoint → cold start, same bits.
+        let tmp = TempDir::new(&format!("torn-es-{threads}"));
+        let mut config = cluster_config(threads, &tmp);
+        let ckpt = config.checkpoint_path("es").unwrap();
+        config.fault_plan = Some(
+            FaultPlan::builder(94)
+                .crash_in_phase(0)
+                .torn_checkpoint_writes()
+                .build(),
+        );
+        run_external_sort(&words, &config).expect_err("crash aborts the job");
+        assert!(ckpt.exists(), "the torn checkpoint is still on disk");
+
+        config.fault_plan = None;
+        config.resume = true;
+        let recovered = run_external_sort(&words, &config).expect("cold start completes");
+        assert_eq!(
+            recovered.payload(),
+            reference.payload(),
+            "threads={threads}: cold-started es_checksum must be bit-identical"
+        );
+        assert_eq!(recovered.stats.resilience.recoveries, 0);
+        assert_eq!(recovered.stats.resilience.torn_checkpoints_discarded, 1);
+        assert!(!ckpt.exists());
+    }
+}
+
+/// Corruption sweep over a real engine checkpoint: flip one byte at every
+/// offset of the manifest a crashed GraphChi run left behind, and assert
+/// every flip is rejected with a typed error (fail closed, no panic) while
+/// the cold-start fallback still converges to the reference bits.
+#[test]
+fn corrupt_checkpoint_bytes_fail_closed_and_cold_start() {
+    let graph = crash_graph();
+    let app = PageRank::new(3);
+    let reference = Engine::new(&graph, graphchi_config(1))
+        .run(&app)
+        .expect("uninterrupted run");
+
+    let tmp = TempDir::new("corrupt-graphchi");
+    let ckpt = Engine::checkpoint_path(tmp.path());
+    let mut config = graphchi_config(2);
+    config.checkpoint_dir = Some(tmp.path().to_path_buf());
+    config.fault_plan = Some(FaultPlan::builder(95).crash_at_interval(3).build());
+    Engine::new(&graph, config.clone())
+        .run(&app)
+        .expect_err("crash aborts the run");
+    config.fault_plan = None;
+    let pristine = std::fs::read(&ckpt).expect("checkpoint bytes");
+
+    // Every-byte sweeps are quadratic in verify cost; probe a spread of
+    // offsets covering the magic, header directory, and both payloads.
+    let probes: Vec<usize> = (0..pristine.len())
+        .step_by(97.max(pristine.len() / 64))
+        .collect();
+    for &offset in &probes {
+        let mut damaged = pristine.clone();
+        damaged[offset] ^= 0x20;
+        std::fs::write(&ckpt, &damaged).expect("write damaged checkpoint");
+        let mut engine = Engine::new(&graph, config.clone());
+        let err = engine
+            .resume_from(&ckpt)
+            .expect_err("one flipped byte must fail verification");
+        assert!(
+            !matches!(err, facade::store::RecoveryError::Missing(_)),
+            "offset {offset}: corrupt, not missing"
+        );
+    }
+
+    // The fallback after the last rejection: cold start, reference bits.
+    let mut engine = Engine::new(&graph, config);
+    assert!(engine.resume_from(&ckpt).is_err());
+    let recovered = engine.run(&app).expect("cold start completes");
+    assert_eq!(recovered.values, reference.values);
+    assert_eq!(recovered.resilience.torn_checkpoints_discarded, 1);
+}
