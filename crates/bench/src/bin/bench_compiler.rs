@@ -1,0 +1,201 @@
+//! **bench_compiler**: the compiler pipeline's bench report.
+//!
+//! Compiles every golden-corpus program through the full pipeline,
+//! dual-runs `P` and `P'` under each pass configuration, and emits
+//! `BENCH_compiler.json` (override with `FACADE_BENCH_OUT`):
+//!
+//! - `runs` — a gate-compatible single-thread entry (`wall_secs` is the
+//!   best-of-3 time to compile and dual-run the whole corpus with all
+//!   passes on; `peak_bytes` is the deterministic sum of paged-heap peaks);
+//! - `compile` — per-program, per-stage compile durations;
+//! - `execute` — per-program interpreter walls for `P` and for `P'` under
+//!   `none` / each-pass-alone / `all` configurations, with allocation,
+//!   recycling, and fast-path counters;
+//! - `boundedness` — the per-program object-boundedness evidence.
+//!
+//! CI diffs the report against the checked-in `BENCH_compiler.json` with
+//! `regression_gate`, the same way the GraphChi and Hyracks reports gate.
+
+use facade_compiler::{PassConfig, compile, corpus};
+use facade_vm::{DualRun, VmConfig, run_dual};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const VARIANTS: [(&str, PassConfig); 5] = [
+    (
+        "none",
+        PassConfig {
+            epoch: false,
+            promote: false,
+            fastalloc: false,
+        },
+    ),
+    (
+        "epoch",
+        PassConfig {
+            epoch: true,
+            promote: false,
+            fastalloc: false,
+        },
+    ),
+    (
+        "promote",
+        PassConfig {
+            epoch: false,
+            promote: true,
+            fastalloc: false,
+        },
+    ),
+    (
+        "fastalloc",
+        PassConfig {
+            epoch: false,
+            promote: false,
+            fastalloc: true,
+        },
+    ),
+    (
+        "all",
+        PassConfig {
+            epoch: true,
+            promote: true,
+            fastalloc: true,
+        },
+    ),
+];
+
+fn dual(entry: &corpus::CorpusEntry, config: &PassConfig) -> DualRun {
+    let compiled = compile(&entry.program, &entry.spec, config)
+        .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+    let run = run_dual(
+        &compiled.source,
+        &compiled.transformed,
+        &compiled.meta,
+        &VmConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+    assert_eq!(run.output, entry.expected, "{}", entry.name);
+    run
+}
+
+fn main() {
+    let entries = corpus::all();
+
+    // Gate metrics: best-of-3 wall over the whole corpus (compile + dual
+    // run, all passes), and the deterministic sum of paged peaks.
+    let mut wall_secs = f64::INFINITY;
+    let mut peak_bytes = 0u64;
+    for attempt in 0..3 {
+        let start = Instant::now();
+        let mut peaks = 0u64;
+        for entry in &entries {
+            peaks += dual(entry, &PassConfig::all()).boundedness.paged_peak_bytes;
+        }
+        wall_secs = wall_secs.min(start.elapsed().as_secs_f64());
+        if attempt == 0 {
+            peak_bytes = peaks;
+        } else {
+            assert_eq!(peak_bytes, peaks, "paged peaks must be deterministic");
+        }
+    }
+
+    let mut compile_json = Vec::new();
+    let mut execute_json = Vec::new();
+    let mut bound_json = Vec::new();
+    for entry in &entries {
+        let compiled = compile(&entry.program, &entry.spec, &PassConfig::all())
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let mut stages = String::new();
+        for (i, stage) in compiled.stages.iter().enumerate() {
+            if i > 0 {
+                stages.push_str(", ");
+            }
+            write!(
+                stages,
+                "{{\"name\": \"{}\", \"secs\": {:.6}}}",
+                stage.name,
+                stage.duration.as_secs_f64()
+            )
+            .unwrap();
+        }
+        compile_json.push(format!(
+            "    {{\"name\": \"{}\", \"total_secs\": {:.6}, \"stages\": [{stages}]}}",
+            entry.name,
+            compiled
+                .stages
+                .iter()
+                .map(|s| s.duration.as_secs_f64())
+                .sum::<f64>()
+        ));
+
+        let mut variants = String::new();
+        let mut source_secs = f64::INFINITY;
+        for (i, (label, config)) in VARIANTS.iter().enumerate() {
+            let run = dual(entry, config);
+            source_secs = source_secs.min(run.source_wall.as_secs_f64());
+            if i > 0 {
+                variants.push_str(", ");
+            }
+            write!(
+                variants,
+                "{{\"passes\": \"{label}\", \"secs\": {:.6}, \"steps\": {}, \
+                 \"records_allocated\": {}, \"pages_recycled\": {}, \
+                 \"fast_alloc_hits\": {}}}",
+                run.transformed_wall.as_secs_f64(),
+                run.transformed_steps,
+                run.boundedness.records_allocated,
+                run.boundedness.pages_recycled,
+                run.boundedness.exec.fast_alloc_hits
+            )
+            .unwrap();
+        }
+        execute_json.push(format!(
+            "    {{\"name\": \"{}\", \"source_secs\": {source_secs:.6}, \"variants\": [{variants}]}}",
+            entry.name
+        ));
+
+        let b = dual(entry, &PassConfig::all()).boundedness;
+        assert!(b.is_bounded(), "{}: boundedness violated", entry.name);
+        bound_json.push(format!(
+            "    {{\"name\": \"{}\", \"bounded\": true, \"live_facades\": {}, \
+             \"facades_per_thread\": {}, \"records_allocated\": {}, \
+             \"pages_recycled\": {}, \"paged_peak_bytes\": {}, \"heap_live_objects\": {}}}",
+            entry.name,
+            b.live_facades,
+            b.facades_per_thread,
+            b.records_allocated,
+            b.pages_recycled,
+            b.paged_peak_bytes,
+            b.heap_live_objects
+        ));
+    }
+
+    let names: Vec<String> = entries.iter().map(|e| format!("\"{}\"", e.name)).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"compiler_pipeline\",\n",
+            "  \"backend\": \"facade\",\n",
+            "  \"programs\": [{}],\n",
+            "  \"host_cpus\": {},\n",
+            "  \"equivalent_outputs\": true,\n",
+            "  \"runs\": [\n",
+            "    {{\"threads\": 1, \"wall_secs\": {:.6}, \"peak_bytes\": {}}}\n",
+            "  ],\n",
+            "  \"compile\": [\n{}\n  ],\n",
+            "  \"execute\": [\n{}\n  ],\n",
+            "  \"boundedness\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        names.join(", "),
+        facade_bench::host_cpus(),
+        wall_secs,
+        peak_bytes,
+        compile_json.join(",\n"),
+        execute_json.join(",\n"),
+        bound_json.join(",\n"),
+    );
+    let path = std::env::var("FACADE_BENCH_OUT").unwrap_or_else(|_| "BENCH_compiler.json".into());
+    std::fs::write(&path, json).expect("write benchmark output");
+    eprintln!("wrote {path}");
+}

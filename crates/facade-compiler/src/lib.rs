@@ -22,6 +22,12 @@
 //!    become facade methods over page references; control-path call sites
 //!    into the data path get conversions inserted.
 //!
+//! On top of the core transformation, the [`pipeline`] module drives the
+//! whole multi-stage flow (parse → verify → transform → optimization
+//! [`passes`] → re-verify) with per-stage IR snapshots, and [`corpus`]
+//! holds the golden programs the snapshot and equivalence tests pin. See
+//! `docs/COMPILER.md` for the stage-by-stage architecture.
+//!
 //! # Examples
 //!
 //! ```
@@ -43,18 +49,27 @@
 //! # Ok::<(), facade_compiler::CompileError>(())
 //! ```
 
+#![deny(missing_docs)]
+
 mod bounds;
 mod closed_world;
+pub mod corpus;
 mod devirt;
 mod error;
 mod hierarchy;
 mod meta;
+pub mod passes;
+pub mod pipeline;
 mod report;
 mod transform;
 
 pub use devirt::{DevirtReport, devirtualize};
 pub use error::CompileError;
 pub use meta::PagedMeta;
+pub use passes::{EpochStats, FastAllocStats, PassConfig, PromoteStats};
+pub use pipeline::{
+    Compiled, PassStats, PipelineError, Stage, compile, compile_text, render_with_bounds,
+};
 pub use report::TransformReport;
 
 use facade_ir::Program;

@@ -12,26 +12,42 @@ use crate::types::{BlockId, ClassId, Local, MethodId, Ty};
 /// type, results keep it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinOp {
+    /// `a + b` (wrapping).
     Add,
+    /// `a - b` (wrapping).
     Sub,
+    /// `a * b` (wrapping).
     Mul,
+    /// `a / b`.
     Div,
+    /// `a % b`.
     Rem,
+    /// Bitwise `a & b` (integers only).
     And,
+    /// Bitwise `a | b` (integers only).
     Or,
+    /// Bitwise `a ^ b` (integers only).
     Xor,
+    /// `a << b` (integers only).
     Shl,
+    /// Arithmetic `a >> b` (integers only).
     Shr,
 }
 
 /// Comparison operators; result is an `i32` boolean.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmpOp {
+    /// `a == b`.
     Eq,
+    /// `a != b`.
     Ne,
+    /// `a < b`.
     Lt,
+    /// `a <= b`.
     Le,
+    /// `a > b`.
     Gt,
+    /// `a >= b`.
     Ge,
 }
 
@@ -75,57 +91,118 @@ pub enum Instr {
     /// `dst = null`.
     ConstNull(Local),
     /// `dst = src` (Table 1 case 2).
-    Move { dst: Local, src: Local },
+    Move {
+        /// Destination local.
+        dst: Local,
+        /// Source local.
+        src: Local,
+    },
     /// `dst = a <op> b`.
     Bin {
+        /// Destination local.
         dst: Local,
+        /// The operator.
         op: BinOp,
+        /// Left operand.
         a: Local,
+        /// Right operand.
         b: Local,
     },
     /// `dst = a <cmp> b` producing 0/1.
     Cmp {
+        /// Destination local (`i32`).
         dst: Local,
+        /// The comparison.
         op: CmpOp,
+        /// Left operand.
         a: Local,
+        /// Right operand.
         b: Local,
     },
     /// `dst = (i64) src` and friends; numeric conversion.
-    NumCast { dst: Local, src: Local },
+    NumCast {
+        /// Destination local; its declared type names the target.
+        dst: Local,
+        /// Source local.
+        src: Local,
+    },
     /// `dst = new C` (allocation only; constructors are explicit `Special`
     /// calls, as in bytecode).
-    New { dst: Local, class: ClassId },
+    New {
+        /// Destination local.
+        dst: Local,
+        /// The instantiated class.
+        class: ClassId,
+    },
     /// `dst = new elem[len]`.
-    NewArray { dst: Local, elem: Ty, len: Local },
+    NewArray {
+        /// Destination local.
+        dst: Local,
+        /// Element type.
+        elem: Ty,
+        /// Length local (`i32`).
+        len: Local,
+    },
     /// `dst = obj.field` (case 4); `field` indexes the flattened layout.
     GetField {
+        /// Destination local.
         dst: Local,
+        /// The object read from.
         obj: Local,
+        /// Flattened field slot.
         field: usize,
     },
     /// `obj.field = src` (case 3).
     SetField {
+        /// The object written to.
         obj: Local,
+        /// Flattened field slot.
         field: usize,
+        /// Source local.
         src: Local,
     },
     /// `dst = arr[idx]`.
-    ArrayGet { dst: Local, arr: Local, idx: Local },
+    ArrayGet {
+        /// Destination local.
+        dst: Local,
+        /// The array read from.
+        arr: Local,
+        /// Index local (`i32`).
+        idx: Local,
+    },
     /// `arr[idx] = src`.
-    ArraySet { arr: Local, idx: Local, src: Local },
+    ArraySet {
+        /// The array written to.
+        arr: Local,
+        /// Index local (`i32`).
+        idx: Local,
+        /// Source local.
+        src: Local,
+    },
     /// `dst = arr.length`.
-    ArrayLen { dst: Local, arr: Local },
+    ArrayLen {
+        /// Destination local (`i32`).
+        dst: Local,
+        /// The array measured.
+        arr: Local,
+    },
     /// `dst = target(args...)` (case 6). For instance calls `args[0]` is the
     /// receiver.
     Call {
+        /// Destination local; `None` for void calls or a discarded result.
         dst: Option<Local>,
+        /// The callee.
         target: CallTarget,
+        /// Arguments (receiver first for instance calls).
         args: Vec<Local>,
     },
     /// `dst = src instanceof class` (case 7).
     InstanceOf {
+        /// Destination local (`i32` boolean).
         dst: Local,
+        /// The tested reference.
         src: Local,
+        /// The tested-against class.
         class: ClassId,
     },
     /// `monitorenter src` — start of `synchronized (src) { ... }`.
@@ -146,62 +223,123 @@ pub enum Instr {
     // ----- paged forms (program P') --------------------------------------
     /// `dst = FacadeRuntime.allocate(typeId, size)` — allocates a record of
     /// the paged type generated for `class`.
-    PageAlloc { dst: Local, class: ClassId },
+    PageAlloc {
+        /// Destination local (`pageref`).
+        dst: Local,
+        /// The data class whose paged record is allocated.
+        class: ClassId,
+    },
+    /// `dst = FacadeRuntime.allocateFast(typeId, size)` — like
+    /// [`Instr::PageAlloc`], but carrying the compiler's bump-pointer
+    /// fast-path hint: the allocation site sits inside a loop region, so the
+    /// runtime should try the open page of the record's size class first
+    /// and only fall back to the general allocator on a miss. Semantically
+    /// identical to `PageAlloc`; emitted by the `fastalloc` optimization
+    /// pass.
+    PageAllocFast {
+        /// Destination local (`pageref`).
+        dst: Local,
+        /// The data class whose paged record is allocated.
+        class: ClassId,
+    },
     /// `dst = new paged elem[len]`.
-    PageNewArray { dst: Local, elem: Ty, len: Local },
+    PageNewArray {
+        /// Destination local (`pageref`).
+        dst: Local,
+        /// Element type.
+        elem: Ty,
+        /// Length local (`i32`).
+        len: Local,
+    },
     /// `dst = getField(obj_ref, offset)` where `field` indexes the
     /// flattened layout of `class`.
     PageGetField {
+        /// Destination local.
         dst: Local,
+        /// The record read from (`pageref`).
         obj: Local,
+        /// The record's data class (names the layout).
         class: ClassId,
+        /// Flattened field slot.
         field: usize,
     },
     /// `setField(obj_ref, offset, src)`.
     PageSetField {
+        /// The record written to (`pageref`).
         obj: Local,
+        /// The record's data class (names the layout).
         class: ClassId,
+        /// Flattened field slot.
         field: usize,
+        /// Source local.
         src: Local,
     },
     /// `dst = readArray(arr_ref, idx)`; `elem` is the element type.
     PageArrayGet {
+        /// Destination local.
         dst: Local,
+        /// The paged array read from (`pageref`).
         arr: Local,
+        /// Index local (`i32`).
         idx: Local,
+        /// Element type.
         elem: Ty,
     },
     /// `writeArray(arr_ref, idx, src)`.
     PageArraySet {
+        /// The paged array written to (`pageref`).
         arr: Local,
+        /// Index local (`i32`).
         idx: Local,
+        /// Source local.
         src: Local,
+        /// Element type.
         elem: Ty,
     },
     /// `dst = arrayLength(arr_ref)`.
-    PageArrayLen { dst: Local, arr: Local },
+    PageArrayLen {
+        /// Destination local (`i32`).
+        dst: Local,
+        /// The paged array measured (`pageref`).
+        arr: Local,
+    },
     /// `facade = Pools.<class>Facades[index]; facade.pageRef = src` — bind a
     /// parameter-pool facade to a page reference (§2.3).
     BindParam {
+        /// Destination local (`facade`).
         dst: Local,
+        /// The facade's data class.
         class: ClassId,
+        /// Index into the per-thread parameter pool.
         index: usize,
+        /// The bound page reference.
         src: Local,
     },
     /// `facade = resolve(src)` — bind the receiver-pool facade of the
     /// *runtime* type of the record (§3.2). `class` is the static type.
     Resolve {
+        /// Destination local (`facade`).
         dst: Local,
+        /// The static data class of the receiver.
         class: ClassId,
+        /// The page reference being resolved.
         src: Local,
     },
     /// `dst = facade.pageRef` — release the binding (method prologue /
     /// callee side, Table 1 case 1).
-    ReleaseFacade { dst: Local, facade: Local },
+    ReleaseFacade {
+        /// Destination local (`pageref`).
+        dst: Local,
+        /// The released facade.
+        facade: Local,
+    },
     /// `dst = typeIdOf(src) <: class` — the transformed `instanceof`.
     PageInstanceOf {
+        /// Destination local (`i32` boolean).
         dst: Local,
+        /// The tested page reference.
         src: Local,
+        /// The tested-against data class.
         class: ClassId,
     },
     /// `monitorenter` on a record's pool lock (§3.4).
@@ -213,15 +351,21 @@ pub enum Instr {
     /// class when known (`None` for arrays); the converter dispatches on
     /// the value's runtime type.
     ConvertToPage {
+        /// Destination local (`pageref`).
         dst: Local,
+        /// The heap reference converted.
         src: Local,
+        /// Static data class, when known.
         class: Option<ClassId>,
     },
     /// Data conversion at an interaction point: paged record → fresh heap
     /// object (`convertToA`).
     ConvertToHeap {
+        /// Destination local (heap reference).
         dst: Local,
+        /// The page reference converted.
         src: Local,
+        /// Static data class, when known.
         class: Option<ClassId>,
     },
 }
@@ -235,8 +379,11 @@ pub enum Terminator {
     Jump(BlockId),
     /// Two-way branch on an `i32` condition (non-zero = then).
     Branch {
+        /// The condition local (`i32`).
         cond: Local,
+        /// Target when `cond` is non-zero.
         then_bb: BlockId,
+        /// Target when `cond` is zero.
         else_bb: BlockId,
     },
 }
@@ -258,6 +405,7 @@ impl Instr {
             | ArrayLen { dst, .. }
             | InstanceOf { dst, .. }
             | PageAlloc { dst, .. }
+            | PageAllocFast { dst, .. }
             | PageNewArray { dst, .. }
             | PageGetField { dst, .. }
             | PageArrayGet { dst, .. }

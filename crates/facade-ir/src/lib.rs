@@ -16,6 +16,9 @@
 //!   bundled program corpus.
 //! - [`verify`](Program::verify) — a type checker for bodies, run before and
 //!   after transformation.
+//! - [`render`](Program::render) / [`parse`](Program::parse) — a
+//!   self-contained textual form and its parser, closing the loop the
+//!   compiler pipeline's golden-snapshot tests depend on.
 //!
 //! # Examples
 //!
@@ -35,9 +38,12 @@
 //! program.verify().unwrap();
 //! ```
 
+#![deny(missing_docs)]
+
 mod builder;
 mod class;
 mod instr;
+mod parse;
 mod pretty;
 mod program;
 mod types;
@@ -46,6 +52,7 @@ mod verify;
 pub use builder::{BlockCursor, ClassBuilder, MethodBuilder, ProgramBuilder};
 pub use class::{Block, Body, ClassDef, ClassKind, FieldDef, MethodDef};
 pub use instr::{BinOp, CallTarget, CmpOp, Instr, Terminator};
+pub use parse::ParseError;
 pub use program::Program;
 pub use types::{BlockId, ClassId, Local, MethodId, Ty};
 pub use verify::VerifyError;

@@ -1,14 +1,40 @@
-//! A Jimple-flavoured pretty printer, used by the `compile_and_run` example
-//! to show `P` next to `P'`.
+//! A Jimple-flavoured pretty printer.
+//!
+//! [`Program::render`] produces a *self-contained* textual form: every
+//! class, field, method signature, local-variable type, instruction, and the
+//! program entry point are spelled out with class *names* (never raw ids),
+//! so a render of a source program `P` can be re-read by
+//! [`Program::parse`](crate::parse) and rebuilt into an equivalent program.
+//! The golden-snapshot tests in `facade-compiler` pin these renders for
+//! every pipeline stage; the `compile_and_run` example uses them to show
+//! `P` next to `P'`.
+//!
+//! Paged instruction forms (the `FacadeRuntime.*` calls of `P'`) render for
+//! human eyes but are generator-only: the parser rejects them.
 
 use crate::class::MethodDef;
 use crate::instr::{CallTarget, Instr, Terminator};
 use crate::program::Program;
-use crate::types::MethodId;
+use crate::types::{MethodId, Ty};
 use std::fmt::Write;
 
 impl Program {
-    /// Renders the whole program.
+    /// Renders `ty` with class names instead of numeric ids: `i32`,
+    /// `Student`, `Student[]`, `pageref`, `facade<Student$Facade>`.
+    pub fn ty_name(&self, ty: &Ty) -> String {
+        match ty {
+            Ty::I32 => "i32".into(),
+            Ty::I64 => "i64".into(),
+            Ty::F64 => "f64".into(),
+            Ty::Ref(c) => self.class(*c).name.clone(),
+            Ty::Array(e) => format!("{}[]", self.ty_name(e)),
+            Ty::PageRef => "pageref".into(),
+            Ty::Facade(c) => format!("facade<{}>", self.class(*c).name),
+        }
+    }
+
+    /// Renders the whole program, ending with the `entry Class::method`
+    /// marker when an entry point is set.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (id, class) in self.classes() {
@@ -31,13 +57,17 @@ impl Program {
             }
             out.push_str(" {\n");
             for f in &class.fields {
-                writeln!(out, "  {} {};", f.ty, f.name).unwrap();
+                writeln!(out, "  {} {};", self.ty_name(&f.ty), f.name).unwrap();
             }
             for &m in &class.methods {
                 out.push_str(&self.render_method(m));
             }
             out.push_str("}\n");
             let _ = id;
+        }
+        if let Some(entry) = self.entry() {
+            let m = self.method(entry);
+            writeln!(out, "entry {}::{}", self.class(m.class).name, m.name).unwrap();
         }
         out
     }
@@ -51,16 +81,22 @@ impl Program {
             out.push_str("static ");
         }
         match &m.ret {
-            Some(t) => write!(out, "{t} ").unwrap(),
+            Some(t) => write!(out, "{} ", self.ty_name(t)).unwrap(),
             None => out.push_str("void "),
         }
-        let params: Vec<String> = m.params.iter().map(|p| p.to_string()).collect();
+        let params: Vec<String> = m.params.iter().map(|p| self.ty_name(p)).collect();
         write!(out, "{}({})", m.name, params.join(", ")).unwrap();
         let Some(body) = &m.body else {
             out.push_str(";\n");
             return out;
         };
         out.push_str(" {\n");
+        let locals: Vec<String> = body.locals.iter().map(|t| self.ty_name(t)).collect();
+        if locals.is_empty() {
+            out.push_str("   locals:\n");
+        } else {
+            writeln!(out, "   locals: {}", locals.join(", ")).unwrap();
+        }
         for (bi, block) in body.blocks.iter().enumerate() {
             writeln!(out, "   bb{bi}:").unwrap();
             for i in &block.instrs {
@@ -109,7 +145,9 @@ impl Program {
             Cmp { dst, op, a, b } => format!("v{} = v{} {op:?} v{}", dst.0, a.0, b.0),
             NumCast { dst, src } => format!("v{} = cast v{}", dst.0, src.0),
             New { dst, class } => format!("v{} = new {}", dst.0, self.class(*class).name),
-            NewArray { dst, elem, len } => format!("v{} = new {elem}[v{}]", dst.0, len.0),
+            NewArray { dst, elem, len } => {
+                format!("v{} = new {}[v{}]", dst.0, self.ty_name(elem), len.0)
+            }
             GetField { dst, obj, field } => format!("v{} = v{}.f{field}", dst.0, obj.0),
             SetField { obj, field, src } => format!("v{}.f{field} = v{}", obj.0, src.0),
             ArrayGet { dst, arr, idx } => format!("v{} = v{}[v{}]", dst.0, arr.0, idx.0),
@@ -140,10 +178,18 @@ impl Program {
                 self.class(*class).name,
                 self.class(*class).name
             ),
+            PageAllocFast { dst, class } => format!(
+                "v{} = FacadeRuntime.allocateFast({}_TypeId, {}_RecordSize)",
+                dst.0,
+                self.class(*class).name,
+                self.class(*class).name
+            ),
             PageNewArray { dst, elem, len } => {
                 format!(
-                    "v{} = FacadeRuntime.allocateArray({elem}, v{})",
-                    dst.0, len.0
+                    "v{} = FacadeRuntime.allocateArray({}, v{})",
+                    dst.0,
+                    self.ty_name(elem),
+                    len.0
                 )
             }
             PageGetField {
@@ -221,6 +267,7 @@ mod tests {
         assert!(text.contains("class A {"), "{text}");
         assert!(text.contains("i32 x;"), "{text}");
         assert!(text.contains("i32 get()"), "{text}");
+        assert!(text.contains("locals: A, i32"), "{text}");
         assert!(text.contains("return v"), "{text}");
     }
 
@@ -232,5 +279,22 @@ mod tests {
         let text = pb.finish().render();
         assert!(text.contains("interface I {"), "{text}");
         assert!(text.contains("void run();"), "{text}");
+    }
+
+    #[test]
+    fn renders_entry_marker_and_named_types() {
+        let mut pb = ProgramBuilder::new();
+        let node = pb.class("Node").build();
+        let main = pb.class("Main").build();
+        let mut m = pb.method(main, "main").param(Ty::Ref(node)).static_();
+        let _ = m.param_local(0);
+        m.ret(None);
+        let id = m.finish();
+        let mut p = pb.finish();
+        p.set_entry(id);
+        let text = p.render();
+        assert!(text.contains("static void main(Node)"), "{text}");
+        assert!(text.ends_with("entry Main::main\n"), "{text}");
+        assert!(!text.contains("ref#"), "{text}");
     }
 }

@@ -200,7 +200,7 @@ impl Checker<'_> {
 
             // Paged forms: structural checks only — they are generated, not
             // hand-written.
-            PageAlloc { dst, .. } | PageNewArray { dst, .. } => {
+            PageAlloc { dst, .. } | PageAllocFast { dst, .. } | PageNewArray { dst, .. } => {
                 if *self.ty(*dst)? != Ty::PageRef {
                     return Err(self.err("paged allocation must produce a pageref"));
                 }

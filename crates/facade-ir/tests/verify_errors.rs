@@ -1,0 +1,756 @@
+//! One minimal failing program per verifier rejection.
+//!
+//! Each test constructs the smallest program that trips exactly one
+//! `VerifyError` path in `verify.rs` and asserts on the message, so a
+//! regression in any rejection is pinned to a named test. Ill-typed
+//! instructions are emitted raw — the convenience builders deliberately
+//! make most of these mistakes unrepresentable.
+
+use facade_ir::{
+    BinOp, CallTarget, ClassId, CmpOp, Instr, Local, MethodId, Program, ProgramBuilder, Terminator,
+    Ty,
+};
+
+/// Builds a program with one static void `Main::bad` whose body is produced
+/// by `f`, and returns the verifier's rejection message.
+fn reject(f: impl FnOnce(&mut facade_ir::MethodBuilder<'_>)) -> String {
+    reject_in(|pb| pb.class("Main").build(), f)
+}
+
+/// Like [`reject`], but lets the caller set up classes first; `class` picks
+/// the class `bad` is defined on.
+fn reject_in(
+    setup: impl FnOnce(&mut ProgramBuilder) -> ClassId,
+    f: impl FnOnce(&mut facade_ir::MethodBuilder<'_>),
+) -> String {
+    let mut pb = ProgramBuilder::new();
+    let class = setup(&mut pb);
+    let mut m = pb.method(class, "bad").static_();
+    f(&mut m);
+    m.finish();
+    let err = pb.finish().verify().expect_err("program must be rejected");
+    err.message
+}
+
+fn assert_msg(msg: &str, needle: &str) {
+    assert!(msg.contains(needle), "expected `{needle}` in `{msg}`");
+}
+
+#[test]
+fn local_out_of_range() {
+    let msg = reject(|m| {
+        m.emit(Instr::Print(Local(99)));
+        m.ret(None);
+    });
+    assert_msg(&msg, "out of range");
+}
+
+#[test]
+fn const_into_wrong_type() {
+    let msg = reject(|m| {
+        let d = m.local(Ty::I64);
+        m.emit(Instr::ConstI32(d, 1));
+        m.ret(None);
+    });
+    assert_msg(&msg, "const: `i32` is not assignable to `i64`");
+}
+
+#[test]
+fn null_into_non_reference() {
+    let msg = reject(|m| {
+        let d = m.local(Ty::I32);
+        m.emit(Instr::ConstNull(d));
+        m.ret(None);
+    });
+    assert_msg(&msg, "null constant into non-reference");
+}
+
+#[test]
+fn move_between_unrelated_types() {
+    let msg = reject(|m| {
+        let a = m.const_i32(1);
+        let d = m.local(Ty::F64);
+        m.emit(Instr::Move { dst: d, src: a });
+        m.ret(None);
+    });
+    assert_msg(&msg, "move: `i32` is not assignable to `f64`");
+}
+
+#[test]
+fn binary_op_on_mismatched_primitives() {
+    let msg = reject(|m| {
+        let a = m.const_i32(1);
+        let b = m.const_i64(2);
+        let d = m.local(Ty::I32);
+        m.emit(Instr::Bin {
+            dst: d,
+            op: BinOp::Add,
+            a,
+            b,
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "binary op requires matching primitives");
+}
+
+#[test]
+fn compare_primitive_with_reference() {
+    let msg = reject_in(
+        |pb| pb.class("A").build(),
+        |m| {
+            let a = m.const_i32(1);
+            let b = m.local(Ty::Ref(ClassId(0)));
+            m.emit(Instr::ConstNull(b));
+            let d = m.local(Ty::I32);
+            m.emit(Instr::Cmp {
+                dst: d,
+                op: CmpOp::Eq,
+                a,
+                b,
+            });
+            m.ret(None);
+        },
+    );
+    assert_msg(&msg, "cannot compare");
+}
+
+#[test]
+fn comparison_result_must_be_i32() {
+    let msg = reject(|m| {
+        let a = m.const_i32(1);
+        let b = m.const_i32(2);
+        let d = m.local(Ty::I64);
+        m.emit(Instr::Cmp {
+            dst: d,
+            op: CmpOp::Lt,
+            a,
+            b,
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "comparison result must be i32");
+}
+
+#[test]
+fn numeric_cast_on_reference() {
+    let msg = reject_in(
+        |pb| pb.class("A").build(),
+        |m| {
+            let s = m.local(Ty::Ref(ClassId(0)));
+            m.emit(Instr::ConstNull(s));
+            let d = m.local(Ty::I32);
+            m.emit(Instr::NumCast { dst: d, src: s });
+            m.ret(None);
+        },
+    );
+    assert_msg(&msg, "numeric cast between");
+}
+
+#[test]
+fn cannot_instantiate_interface() {
+    let msg = reject_in(
+        |pb| {
+            let iface = pb.interface("I").build();
+            let _ = iface;
+            pb.class("Main").build()
+        },
+        |m| {
+            let d = m.local(Ty::Ref(ClassId(0)));
+            m.emit(Instr::New {
+                dst: d,
+                class: ClassId(0),
+            });
+            m.ret(None);
+        },
+    );
+    assert_msg(&msg, "cannot instantiate an interface");
+}
+
+#[test]
+fn array_length_operand_must_be_i32() {
+    let msg = reject(|m| {
+        let len = m.const_i64(4);
+        let d = m.local(Ty::array(Ty::I32));
+        m.emit(Instr::NewArray {
+            dst: d,
+            elem: Ty::I32,
+            len,
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "array length must be i32");
+}
+
+#[test]
+fn field_slot_out_of_range() {
+    let msg = reject_in(
+        |pb| {
+            let a = pb.class("A").field("x", Ty::I32).build();
+            let _ = a;
+            pb.class("Main").build()
+        },
+        |m| {
+            let obj = m.local(Ty::Ref(ClassId(0)));
+            m.emit(Instr::ConstNull(obj));
+            let d = m.local(Ty::I32);
+            m.emit(Instr::GetField {
+                dst: d,
+                obj,
+                field: 7,
+            });
+            m.ret(None);
+        },
+    );
+    assert_msg(&msg, "field slot 7 out of range");
+}
+
+#[test]
+fn field_access_on_non_class_local() {
+    let msg = reject(|m| {
+        let obj = m.const_i32(1);
+        let d = m.local(Ty::I32);
+        m.emit(Instr::GetField {
+            dst: d,
+            obj,
+            field: 0,
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "field access on a non-class local");
+}
+
+#[test]
+fn setfield_type_mismatch() {
+    let msg = reject_in(
+        |pb| {
+            let a = pb.class("A").field("x", Ty::I32).build();
+            let _ = a;
+            pb.class("Main").build()
+        },
+        |m| {
+            let obj = m.local(Ty::Ref(ClassId(0)));
+            m.emit(Instr::ConstNull(obj));
+            let v = m.const_i64(1);
+            m.emit(Instr::SetField {
+                obj,
+                field: 0,
+                src: v,
+            });
+            m.ret(None);
+        },
+    );
+    assert_msg(&msg, "setfield: `i64` is not assignable to `i32`");
+}
+
+#[test]
+fn array_index_must_be_i32() {
+    let msg = reject(|m| {
+        let len = m.const_i32(4);
+        let arr = m.new_array(Ty::I32, len);
+        let idx = m.const_i64(0);
+        let d = m.local(Ty::I32);
+        m.emit(Instr::ArrayGet { dst: d, arr, idx });
+        m.ret(None);
+    });
+    assert_msg(&msg, "array index must be i32");
+}
+
+#[test]
+fn array_access_on_non_array() {
+    let msg = reject(|m| {
+        let arr = m.const_i32(1);
+        let idx = m.const_i32(0);
+        let d = m.local(Ty::I32);
+        m.emit(Instr::ArrayGet { dst: d, arr, idx });
+        m.ret(None);
+    });
+    assert_msg(&msg, "array access on non-array");
+}
+
+#[test]
+fn array_len_result_must_be_i32() {
+    let msg = reject(|m| {
+        let len = m.const_i32(4);
+        let arr = m.new_array(Ty::I32, len);
+        let d = m.local(Ty::I64);
+        m.emit(Instr::ArrayLen { dst: d, arr });
+        m.ret(None);
+    });
+    assert_msg(&msg, "array length result must be i32");
+}
+
+#[test]
+fn instanceof_on_non_reference() {
+    let msg = reject(|m| {
+        let s = m.const_i32(1);
+        let d = m.local(Ty::I32);
+        m.emit(Instr::InstanceOf {
+            dst: d,
+            src: s,
+            class: ClassId(0),
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "instanceof on non-reference");
+}
+
+#[test]
+fn instanceof_result_must_be_i32() {
+    let msg = reject_in(
+        |pb| pb.class("A").build(),
+        |m| {
+            let s = m.local(Ty::Ref(ClassId(0)));
+            m.emit(Instr::ConstNull(s));
+            let d = m.local(Ty::I64);
+            m.emit(Instr::InstanceOf {
+                dst: d,
+                src: s,
+                class: ClassId(0),
+            });
+            m.ret(None);
+        },
+    );
+    assert_msg(&msg, "instanceof result must be i32");
+}
+
+#[test]
+fn monitor_on_non_reference() {
+    let msg = reject(|m| {
+        let s = m.const_i32(1);
+        m.emit(Instr::MonitorEnter(s));
+        m.ret(None);
+    });
+    assert_msg(&msg, "monitor on non-reference");
+}
+
+#[test]
+fn call_arity_mismatch() {
+    let mut pb = ProgramBuilder::new();
+    let main = pb.class("Main").build();
+    let mut callee = pb.method(main, "one").param(Ty::I32).static_();
+    callee.ret(None);
+    let callee = callee.finish();
+    let mut m = pb.method(main, "bad").static_();
+    m.emit(Instr::Call {
+        dst: None,
+        target: CallTarget::Static(callee),
+        args: vec![],
+    });
+    m.ret(None);
+    m.finish();
+    let err = pb.finish().verify().unwrap_err();
+    assert_msg(&err.message, "expects 1 args, got 0");
+}
+
+#[test]
+fn receiver_type_incompatible() {
+    let mut pb = ProgramBuilder::new();
+    let a = pb.class("A").build();
+    let b = pb.class("B").build();
+    let mut callee = pb.method(a, "hello");
+    callee.ret(None);
+    let callee = callee.finish();
+    let mut m = pb.method(b, "bad").static_();
+    let recv = m.local(Ty::Ref(b));
+    m.emit(Instr::ConstNull(recv));
+    m.emit(Instr::Call {
+        dst: None,
+        target: CallTarget::Special(callee),
+        args: vec![recv],
+    });
+    m.ret(None);
+    m.finish();
+    let err = pb.finish().verify().unwrap_err();
+    assert_msg(&err.message, "incompatible with A");
+}
+
+#[test]
+fn argument_type_mismatch() {
+    let mut pb = ProgramBuilder::new();
+    let main = pb.class("Main").build();
+    let mut callee = pb.method(main, "take").param(Ty::I32).static_();
+    callee.ret(None);
+    let callee = callee.finish();
+    let mut m = pb.method(main, "bad").static_();
+    let a = m.const_i64(1);
+    m.emit(Instr::Call {
+        dst: None,
+        target: CallTarget::Static(callee),
+        args: vec![a],
+    });
+    m.ret(None);
+    m.finish();
+    let err = pb.finish().verify().unwrap_err();
+    assert_msg(&err.message, "argument: `i64` is not assignable to `i32`");
+}
+
+#[test]
+fn void_call_assigned_to_local() {
+    let mut pb = ProgramBuilder::new();
+    let main = pb.class("Main").build();
+    let mut callee = pb.method(main, "nothing").static_();
+    callee.ret(None);
+    let callee = callee.finish();
+    let mut m = pb.method(main, "bad").static_();
+    let d = m.local(Ty::I32);
+    m.emit(Instr::Call {
+        dst: Some(d),
+        target: CallTarget::Static(callee),
+        args: vec![],
+    });
+    m.ret(None);
+    m.finish();
+    let err = pb.finish().verify().unwrap_err();
+    assert_msg(&err.message, "void call assigned to a local");
+}
+
+#[test]
+fn call_result_type_mismatch() {
+    let mut pb = ProgramBuilder::new();
+    let main = pb.class("Main").build();
+    let mut callee = pb.method(main, "give").returns(Ty::I32).static_();
+    let v = callee.const_i32(1);
+    callee.ret(Some(v));
+    let callee = callee.finish();
+    let mut m = pb.method(main, "bad").static_();
+    let d = m.local(Ty::I64);
+    m.emit(Instr::Call {
+        dst: Some(d),
+        target: CallTarget::Static(callee),
+        args: vec![],
+    });
+    m.ret(None);
+    m.finish();
+    let err = pb.finish().verify().unwrap_err();
+    assert_msg(
+        &err.message,
+        "call result: `i32` is not assignable to `i64`",
+    );
+}
+
+#[test]
+fn missing_terminator() {
+    // The builder refuses to finish an unterminated block, so terminate it
+    // and then strip the terminator through the raw body editor.
+    let mut pb = ProgramBuilder::new();
+    let main = pb.class("Main").build();
+    let mut m = pb.method(main, "bad").static_();
+    m.ret(None);
+    let id = m.finish();
+    let mut program = pb.finish();
+    program.method_mut(id).body.as_mut().unwrap().blocks[0].term = None;
+    let err = program.verify().unwrap_err();
+    assert_msg(&err.message, "missing terminator");
+}
+
+#[test]
+fn missing_return_value() {
+    let mut pb = ProgramBuilder::new();
+    let main = pb.class("Main").build();
+    let mut m = pb.method(main, "bad").returns(Ty::I32).static_();
+    m.ret(None);
+    m.finish();
+    let err = pb.finish().verify().unwrap_err();
+    assert_msg(&err.message, "missing return value");
+}
+
+#[test]
+fn return_value_in_void_method() {
+    let msg = reject(|m| {
+        let v = m.const_i32(1);
+        m.ret(Some(v));
+    });
+    assert_msg(&msg, "return value in void method");
+}
+
+#[test]
+fn return_type_mismatch() {
+    let mut pb = ProgramBuilder::new();
+    let main = pb.class("Main").build();
+    let mut m = pb.method(main, "bad").returns(Ty::I32).static_();
+    let v = m.const_i64(1);
+    m.ret(Some(v));
+    m.finish();
+    let err = pb.finish().verify().unwrap_err();
+    assert_msg(&err.message, "return: `i64` is not assignable to `i32`");
+}
+
+#[test]
+fn jump_target_out_of_range() {
+    let msg = reject(|m| {
+        m.jump(facade_ir::BlockId(9));
+    });
+    assert_msg(&msg, "jump target out of range");
+}
+
+#[test]
+fn branch_condition_must_be_i32() {
+    let msg = reject(|m| {
+        let c = m.const_i64(1);
+        let t = m.block();
+        let e = m.block();
+        m.branch(c, t, e);
+        m.switch_to(t);
+        m.ret(None);
+        m.switch_to(e);
+        m.ret(None);
+    });
+    assert_msg(&msg, "branch condition must be i32");
+}
+
+#[test]
+fn branch_target_out_of_range() {
+    let msg = reject(|m| {
+        let c = m.const_i32(1);
+        m.branch(c, facade_ir::BlockId(7), facade_ir::BlockId(8));
+    });
+    assert_msg(&msg, "branch target out of range");
+}
+
+#[test]
+fn fewer_locals_than_parameter_slots() {
+    // Hand-assemble: the builder always materializes parameter locals, so
+    // build a well-formed program and truncate the locals behind its back
+    // via the render/parse loop is impossible — use the raw body editor.
+    let mut pb = ProgramBuilder::new();
+    let main = pb.class("Main").build();
+    let mut m = pb.method(main, "bad").param(Ty::I32).static_();
+    m.ret(None);
+    let id = m.finish();
+    let mut program = pb.finish();
+    program.method_mut(id).body.as_mut().unwrap().locals.clear();
+    let err = program.verify().unwrap_err();
+    assert_msg(&err.message, "fewer locals than parameter slots");
+}
+
+// ---- paged / generated forms --------------------------------------------
+
+/// A data-class fixture: `A` plus its would-be facade, so `Ty::Facade` is
+/// constructible.
+fn paged_reject(f: impl FnOnce(&mut facade_ir::MethodBuilder<'_>)) -> String {
+    reject_in(|pb| pb.class("A").build(), f)
+}
+
+#[test]
+fn paged_allocation_must_produce_pageref() {
+    let msg = paged_reject(|m| {
+        let d = m.local(Ty::I32);
+        m.emit(Instr::PageAlloc {
+            dst: d,
+            class: ClassId(0),
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "paged allocation must produce a pageref");
+}
+
+#[test]
+fn fast_paged_allocation_must_produce_pageref() {
+    let msg = paged_reject(|m| {
+        let d = m.local(Ty::I32);
+        m.emit(Instr::PageAllocFast {
+            dst: d,
+            class: ClassId(0),
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "paged allocation must produce a pageref");
+}
+
+#[test]
+fn paged_field_access_requires_pageref() {
+    let msg = paged_reject(|m| {
+        let obj = m.const_i32(1);
+        let d = m.local(Ty::I32);
+        m.emit(Instr::PageGetField {
+            dst: d,
+            obj,
+            class: ClassId(0),
+            field: 0,
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "paged access requires a pageref");
+}
+
+#[test]
+fn paged_store_requires_pageref() {
+    let msg = paged_reject(|m| {
+        let obj = m.const_i32(1);
+        let v = m.const_i32(2);
+        m.emit(Instr::PageSetField {
+            obj,
+            class: ClassId(0),
+            field: 0,
+            src: v,
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "paged access requires a pageref");
+}
+
+#[test]
+fn paged_array_len_result_must_be_i32() {
+    let msg = paged_reject(|m| {
+        let arr = m.local(Ty::PageRef);
+        m.emit(Instr::ConstNull(arr));
+        let d = m.local(Ty::I64);
+        m.emit(Instr::PageArrayLen { dst: d, arr });
+        m.ret(None);
+    });
+    assert_msg(&msg, "array length result must be i32");
+}
+
+#[test]
+fn facade_binding_requires_pageref() {
+    let msg = paged_reject(|m| {
+        let s = m.const_i32(1);
+        let d = m.local(Ty::Facade(ClassId(0)));
+        m.emit(Instr::BindParam {
+            dst: d,
+            class: ClassId(0),
+            index: 0,
+            src: s,
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "facade binding requires a pageref");
+}
+
+#[test]
+fn facade_binding_into_non_facade() {
+    let msg = paged_reject(|m| {
+        let s = m.local(Ty::PageRef);
+        m.emit(Instr::ConstNull(s));
+        let d = m.local(Ty::I32);
+        m.emit(Instr::Resolve {
+            dst: d,
+            class: ClassId(0),
+            src: s,
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "facade binding into `i32`");
+}
+
+#[test]
+fn release_requires_a_facade() {
+    let msg = paged_reject(|m| {
+        let s = m.const_i32(1);
+        let d = m.local(Ty::PageRef);
+        m.emit(Instr::ReleaseFacade { dst: d, facade: s });
+        m.ret(None);
+    });
+    assert_msg(&msg, "release requires a facade");
+}
+
+#[test]
+fn release_must_produce_pageref() {
+    let msg = paged_reject(|m| {
+        let s = m.local(Ty::Facade(ClassId(0)));
+        let f = m.local(Ty::PageRef);
+        m.emit(Instr::ConstNull(f));
+        m.emit(Instr::BindParam {
+            dst: s,
+            class: ClassId(0),
+            index: 0,
+            src: f,
+        });
+        let d = m.local(Ty::I32);
+        m.emit(Instr::ReleaseFacade { dst: d, facade: s });
+        m.ret(None);
+    });
+    assert_msg(&msg, "release must produce a pageref");
+}
+
+#[test]
+fn paged_instanceof_requires_pageref() {
+    let msg = paged_reject(|m| {
+        let s = m.const_i32(1);
+        let d = m.local(Ty::I32);
+        m.emit(Instr::PageInstanceOf {
+            dst: d,
+            src: s,
+            class: ClassId(0),
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "paged instanceof requires a pageref");
+}
+
+#[test]
+fn paged_monitor_requires_pageref() {
+    let msg = paged_reject(|m| {
+        let s = m.const_i32(1);
+        m.emit(Instr::PageMonitorEnter(s));
+        m.ret(None);
+    });
+    assert_msg(&msg, "paged monitor requires a pageref");
+}
+
+#[test]
+fn convert_to_page_requires_heap_reference() {
+    let msg = paged_reject(|m| {
+        let s = m.const_i32(1);
+        let d = m.local(Ty::PageRef);
+        m.emit(Instr::ConvertToPage {
+            dst: d,
+            src: s,
+            class: None,
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "convertToPage requires a heap reference");
+}
+
+#[test]
+fn convert_to_page_must_produce_pageref() {
+    let msg = paged_reject(|m| {
+        let s = m.local(Ty::Ref(ClassId(0)));
+        m.emit(Instr::ConstNull(s));
+        let d = m.local(Ty::I32);
+        m.emit(Instr::ConvertToPage {
+            dst: d,
+            src: s,
+            class: Some(ClassId(0)),
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "convertToPage must produce a pageref");
+}
+
+#[test]
+fn convert_to_heap_requires_pageref() {
+    let msg = paged_reject(|m| {
+        let s = m.const_i32(1);
+        let d = m.local(Ty::Ref(ClassId(0)));
+        m.emit(Instr::ConvertToHeap {
+            dst: d,
+            src: s,
+            class: Some(ClassId(0)),
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "convertToHeap requires a pageref");
+}
+
+#[test]
+fn convert_to_heap_must_produce_heap_reference() {
+    let msg = paged_reject(|m| {
+        let s = m.local(Ty::PageRef);
+        m.emit(Instr::ConstNull(s));
+        let d = m.local(Ty::I32);
+        m.emit(Instr::ConvertToHeap {
+            dst: d,
+            src: s,
+            class: Some(ClassId(0)),
+        });
+        m.ret(None);
+    });
+    assert_msg(&msg, "convertToHeap must produce a heap reference");
+}
+
+// A compile-time guard that the MethodId import stays used if tests above
+// are pruned: the verify corpus intentionally exercises raw IDs.
+#[allow(dead_code)]
+fn _typecheck(_: MethodId, _: Terminator, _: &Program) {}

@@ -530,6 +530,36 @@ impl PagedHeap {
         Ok(r)
     }
 
+    /// Bump-pointer fast path for [`PagedHeap::alloc`], used by allocation
+    /// sites the compiler marked as sitting inside a loop (the `fastalloc`
+    /// pass): tries only the *open* (most recently used) page of the
+    /// record's size class and returns `None` on a miss, leaving the caller
+    /// to fall back to `alloc`. Large and oversize records always miss, as
+    /// do all allocations under fault injection (so injected faults keep
+    /// routing through the one accountable slow path).
+    pub fn alloc_fast(&mut self, ty: TypeId) -> Option<PageRef> {
+        #[cfg(feature = "fault-injection")]
+        if self.fault.is_some() {
+            return None;
+        }
+        let size = {
+            let raw = self.types[ty.0 as usize].record_bytes();
+            ((raw + 7) & !7) as usize
+        };
+        if size >= LARGE_RECORD_BYTES {
+            return None;
+        }
+        let mgr_id = *self.iteration_stack.last().expect("default manager") as usize;
+        let class = size_class(size);
+        let slot = *self.managers[mgr_id].class_pages[class].last()?;
+        let offset = self.pages[slot as usize].bump(size)?;
+        self.type_alloc_counts[ty.0 as usize] += 1;
+        self.stats.records_allocated += 1;
+        let r = PageRef::paged(slot, offset);
+        self.write_u16_at(r, 0, ty.0);
+        Some(r)
+    }
+
     /// Allocates an array record of `len` elements of `kind`.
     ///
     /// # Errors

@@ -1,0 +1,232 @@
+//! Dual execution of `P` and `P'` — the paper's loop, closed.
+//!
+//! [`run_dual`] interprets the *source* program under the managed-heap
+//! backend and the *transformed* program under the facade/paged backend,
+//! asserts the two observable outputs are bit-identical (§3.7's
+//! semantics-preservation claim), and assembles a [`BoundednessReport`]
+//! from the census machinery: the paged run must keep its live
+//! facade-object count within `threads × max-arity` (the `O(t·n + p)`
+//! bound of §2.3) no matter how many records `P` itself allocates.
+//!
+//! The compiler pipeline's `facadec` driver and the golden equivalence
+//! tests are thin wrappers around this module.
+
+use crate::VmError;
+use crate::interp::{ExecStats, Vm, VmConfig};
+use facade_compiler::PagedMeta;
+use facade_ir::Program;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// The object-boundedness evidence for one dual run.
+#[derive(Debug, Clone)]
+pub struct BoundednessReport {
+    /// Interpreter threads (always 1 for the sequential interpreter).
+    pub threads: usize,
+    /// Live facade objects at the end of the paged run.
+    pub live_facades: usize,
+    /// The static per-thread bound `n` (sum of pool arities): live facades
+    /// must never exceed `threads × n`.
+    pub facades_per_thread: usize,
+    /// Records still live in pages when the paged run finished.
+    pub page_objects: usize,
+    /// Oversize (page-spilling) records still live.
+    pub oversize_objects: usize,
+    /// Total records the paged run allocated.
+    pub records_allocated: u64,
+    /// Pages bulk-reclaimed by `iterationEnd` scopes.
+    pub pages_recycled: u64,
+    /// Peak bytes held by the paged heap.
+    pub paged_peak_bytes: u64,
+    /// Live objects on the managed heap at the end of the *source* run —
+    /// the `O(s)` population the transformation exists to avoid.
+    pub heap_live_objects: u64,
+    /// Interpreter-side counters from the paged run (fast-alloc hits and
+    /// misses).
+    pub exec: ExecStats,
+}
+
+impl BoundednessReport {
+    /// `true` when the live facade population respected the
+    /// `threads × facades_per_thread` bound.
+    pub fn is_bounded(&self) -> bool {
+        self.live_facades <= self.threads * self.facades_per_thread
+    }
+}
+
+/// The result of a successful dual run: outputs proven identical, plus the
+/// boundedness evidence and wall-clock timings.
+#[derive(Debug, Clone)]
+pub struct DualRun {
+    /// The (shared) observable output of both runs.
+    pub output: Vec<String>,
+    /// Instructions the source (heap-mode) run executed.
+    pub source_steps: u64,
+    /// Instructions the transformed (paged-mode) run executed.
+    pub transformed_steps: u64,
+    /// Wall time of the source run.
+    pub source_wall: Duration,
+    /// Wall time of the transformed run.
+    pub transformed_wall: Duration,
+    /// The object-boundedness report.
+    pub boundedness: BoundednessReport,
+}
+
+/// A dual run failure: either a VM error in one of the runs, or — the case
+/// the equivalence tests exist to catch — diverging outputs.
+#[derive(Debug)]
+pub enum DualRunError {
+    /// The source (heap-mode) run failed.
+    Source(VmError),
+    /// The transformed (paged-mode) run failed.
+    Transformed(VmError),
+    /// The observable outputs differ at `index` (`None` means one output is
+    /// a strict prefix of the other).
+    OutputMismatch {
+        /// First differing line, when both outputs have one.
+        index: Option<usize>,
+        /// The source run's output.
+        source: Vec<String>,
+        /// The transformed run's output.
+        transformed: Vec<String>,
+    },
+}
+
+impl fmt::Display for DualRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DualRunError::Source(e) => write!(f, "source (heap) run failed: {e}"),
+            DualRunError::Transformed(e) => write!(f, "transformed (paged) run failed: {e}"),
+            DualRunError::OutputMismatch {
+                index,
+                source,
+                transformed,
+            } => match index {
+                Some(i) => write!(
+                    f,
+                    "output mismatch at line {i}: source {:?} != transformed {:?}",
+                    source[*i], transformed[*i]
+                ),
+                None => write!(
+                    f,
+                    "output length mismatch: source {} lines, transformed {} lines",
+                    source.len(),
+                    transformed.len()
+                ),
+            },
+        }
+    }
+}
+
+impl Error for DualRunError {}
+
+/// Runs `source` on the managed-heap backend and `transformed` on the
+/// facade/paged backend, under the same `config`, and proves their outputs
+/// bit-identical.
+///
+/// # Errors
+///
+/// [`DualRunError::OutputMismatch`] when the equivalence claim fails, or
+/// the underlying [`VmError`] when either run faults.
+pub fn run_dual(
+    source: &Program,
+    transformed: &Program,
+    meta: &PagedMeta,
+    config: &VmConfig,
+) -> Result<DualRun, DualRunError> {
+    let mut p = Vm::with_config(source, None, config.clone());
+    let start = std::time::Instant::now();
+    p.run().map_err(DualRunError::Source)?;
+    let source_wall = start.elapsed();
+
+    let mut q = Vm::with_config(transformed, Some(meta), config.clone());
+    let start = std::time::Instant::now();
+    q.run().map_err(DualRunError::Transformed)?;
+    let transformed_wall = start.elapsed();
+
+    if p.output() != q.output() {
+        let index = p.output().iter().zip(q.output()).position(|(a, b)| a != b);
+        return Err(DualRunError::OutputMismatch {
+            index,
+            source: p.output().to_vec(),
+            transformed: q.output().to_vec(),
+        });
+    }
+
+    let stats = q.paged().stats();
+    let boundedness = BoundednessReport {
+        threads: 1,
+        live_facades: q.pools().map_or(0, |pools| pools.facade_count()),
+        facades_per_thread: meta.bounds.facades_per_thread(),
+        page_objects: q.paged().page_objects(),
+        oversize_objects: q.paged().oversize_objects(),
+        records_allocated: stats.records_allocated,
+        pages_recycled: stats.pages_recycled,
+        paged_peak_bytes: stats.peak_bytes,
+        heap_live_objects: p.heap().census().total_objects(),
+        exec: q.exec_stats(),
+    };
+    Ok(DualRun {
+        output: p.output().to_vec(),
+        source_steps: p.steps(),
+        transformed_steps: q.steps(),
+        source_wall,
+        transformed_wall,
+        boundedness,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facade_compiler::{DataSpec, transform};
+    use facade_ir::{ProgramBuilder, Ty};
+
+    fn point_program(constant: i32) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let point = pb.class("Point").field("x", Ty::I32).build();
+        // A static method *on the data class* so its body is transformed
+        // into paged form (allocations in control code stay on the heap).
+        let mut make = pb.method(point, "make").static_().returns(Ty::I32);
+        let p = make.new_object(point);
+        let c = make.const_i32(constant);
+        make.set_field(p, "x", c);
+        let x = make.get_field(p, "x");
+        make.ret(Some(x));
+        let make_id = make.finish();
+        let main_class = pb.class("Main").build();
+        let mut main = pb.method(main_class, "main").static_();
+        let x = main.call_static(make_id, vec![]).unwrap();
+        main.print(x);
+        main.ret(None);
+        let main_id = main.finish();
+        let mut program = pb.finish();
+        program.set_entry(main_id);
+        program
+    }
+
+    #[test]
+    fn dual_run_matches_and_is_bounded() {
+        let p = point_program(7);
+        let out = transform(&p, &DataSpec::new(["Point"])).unwrap();
+        let run = run_dual(&p, &out.program, &out.meta, &VmConfig::default()).unwrap();
+        assert_eq!(run.output, ["7"]);
+        assert!(run.boundedness.is_bounded());
+        assert_eq!(run.boundedness.records_allocated, 1);
+    }
+
+    #[test]
+    fn diverging_outputs_are_reported() {
+        // A source program whose constant differs from the transformed
+        // program's: outputs must mismatch at line 0.
+        let p = point_program(7);
+        let out = transform(&p, &DataSpec::new(["Point"])).unwrap();
+        let other = point_program(8);
+        let err = run_dual(&other, &out.program, &out.meta, &VmConfig::default()).unwrap_err();
+        match err {
+            DualRunError::OutputMismatch { index, .. } => assert_eq!(index, Some(0)),
+            e => panic!("unexpected error: {e}"),
+        }
+    }
+}

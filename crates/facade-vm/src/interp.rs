@@ -37,6 +37,20 @@ impl Default for VmConfig {
     }
 }
 
+/// Interpreter-side execution counters, separate from the heaps' own
+/// allocation statistics.
+///
+/// Today these track the `fastalloc` optimization pass: how often the
+/// bump-pointer hint on [`Instr::PageAllocFast`] paid off (`fast_alloc_hits`)
+/// versus fell back to the general allocator (`fast_alloc_misses`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// `PageAllocFast` sites satisfied by the open page's bump pointer.
+    pub fast_alloc_hits: u64,
+    /// `PageAllocFast` sites that fell back to the general allocator.
+    pub fast_alloc_misses: u64,
+}
+
 /// The interpreter. See the [crate docs](crate) for an end-to-end example.
 #[derive(Debug)]
 pub struct Vm<'p> {
@@ -59,6 +73,7 @@ pub struct Vm<'p> {
     iteration_stack: Vec<IterationId>,
     output: Vec<String>,
     steps: u64,
+    exec_stats: ExecStats,
     config: VmConfig,
 }
 
@@ -161,6 +176,7 @@ impl<'p> Vm<'p> {
             iteration_stack: Vec::new(),
             output: Vec::new(),
             steps: 0,
+            exec_stats: ExecStats::default(),
             config,
         }
     }
@@ -199,6 +215,12 @@ impl<'p> Vm<'p> {
     /// Instructions executed so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Interpreter-side execution counters (fast-path allocation hits and
+    /// misses).
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec_stats
     }
 
     fn meta(&self) -> Result<&'p PagedMeta, VmError> {
@@ -517,6 +539,20 @@ impl<'p> Vm<'p> {
             PageAlloc { dst, class } => {
                 let tid = self.meta()?.type_id(*class);
                 let r = self.paged.alloc(PTypeId(tid))?;
+                self.set_local(frame, *dst, Value::Page(r));
+            }
+            PageAllocFast { dst, class } => {
+                let tid = self.meta()?.type_id(*class);
+                let r = match self.paged.alloc_fast(PTypeId(tid)) {
+                    Some(r) => {
+                        self.exec_stats.fast_alloc_hits += 1;
+                        r
+                    }
+                    None => {
+                        self.exec_stats.fast_alloc_misses += 1;
+                        self.paged.alloc(PTypeId(tid))?
+                    }
+                };
                 self.set_local(frame, *dst, Value::Page(r));
             }
             PageNewArray { dst, elem, len } => {

@@ -49,11 +49,15 @@
 //! # Ok::<(), facade_vm::VmError>(())
 //! ```
 
+#![deny(missing_docs)]
+
 mod convert;
+mod driver;
 mod error;
 mod interp;
 mod value;
 
+pub use driver::{BoundednessReport, DualRun, DualRunError, run_dual};
 pub use error::VmError;
-pub use interp::{Vm, VmConfig};
+pub use interp::{ExecStats, Vm, VmConfig};
 pub use value::Value;

@@ -1,0 +1,207 @@
+//! End-to-end equivalence and boundedness tests: the paper's loop, closed.
+//!
+//! Every corpus program is compiled through the full pipeline and executed
+//! on *both* backends via `run_dual`; the outputs must be bit-identical
+//! and the paged run must respect the `threads × facades_per_thread`
+//! object bound — under every pass configuration, since the optimization
+//! passes must be semantics-preserving individually and in combination.
+
+use facade_compiler::{PassConfig, compile, corpus};
+use facade_vm::{VmConfig, run_dual};
+
+/// The eight pass combinations: every subset of {epoch, promote, fastalloc}.
+fn all_pass_configs() -> Vec<(String, PassConfig)> {
+    let mut out = Vec::new();
+    for bits in 0u8..8 {
+        let config = PassConfig {
+            epoch: bits & 1 != 0,
+            promote: bits & 2 != 0,
+            fastalloc: bits & 4 != 0,
+        };
+        out.push((
+            format!(
+                "epoch={} promote={} fastalloc={}",
+                config.epoch, config.promote, config.fastalloc
+            ),
+            config,
+        ));
+    }
+    out
+}
+
+#[test]
+fn corpus_outputs_are_identical_under_every_pass_combination() {
+    for entry in corpus::all() {
+        for (label, config) in all_pass_configs() {
+            let compiled = compile(&entry.program, &entry.spec, &config)
+                .unwrap_or_else(|e| panic!("{} [{label}]: {e}", entry.name));
+            let run = run_dual(
+                &compiled.source,
+                &compiled.transformed,
+                &compiled.meta,
+                &VmConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("{} [{label}]: {e}", entry.name));
+            assert_eq!(run.output, entry.expected, "{} [{label}]", entry.name);
+            assert!(
+                run.boundedness.is_bounded(),
+                "{} [{label}]: {} live facades > {} × {}",
+                entry.name,
+                run.boundedness.live_facades,
+                run.boundedness.threads,
+                run.boundedness.facades_per_thread
+            );
+        }
+    }
+}
+
+#[test]
+fn boundedness_holds_while_heap_population_grows() {
+    // epoch_scratch allocates 200 records; the paged run's facade
+    // population stays within the static bound regardless.
+    let entry = corpus::epoch_scratch();
+    let compiled = compile(&entry.program, &entry.spec, &PassConfig::all()).unwrap();
+    let run = run_dual(
+        &compiled.source,
+        &compiled.transformed,
+        &compiled.meta,
+        &VmConfig::default(),
+    )
+    .unwrap();
+    assert!(run.boundedness.records_allocated >= 200);
+    assert!(run.boundedness.is_bounded());
+    assert!(
+        run.boundedness.live_facades <= run.boundedness.facades_per_thread,
+        "single-threaded run must respect the per-thread bound"
+    );
+}
+
+#[test]
+fn epoch_pass_recycles_pages() {
+    // With the epoch pass on, churn's per-call scratch pages are bulk
+    // reclaimed at iterationEnd; with it off, nothing is recycled.
+    let entry = corpus::epoch_scratch();
+    let spec = &entry.spec;
+
+    let with = compile(&entry.program, spec, &PassConfig::all()).unwrap();
+    let run_with = run_dual(
+        &with.source,
+        &with.transformed,
+        &with.meta,
+        &VmConfig::default(),
+    )
+    .unwrap();
+
+    let without = compile(&entry.program, spec, &PassConfig::none()).unwrap();
+    let run_without = run_dual(
+        &without.source,
+        &without.transformed,
+        &without.meta,
+        &VmConfig::default(),
+    )
+    .unwrap();
+
+    assert!(
+        run_with.boundedness.pages_recycled > run_without.boundedness.pages_recycled,
+        "epoch pass should recycle pages: with={} without={}",
+        run_with.boundedness.pages_recycled,
+        run_without.boundedness.pages_recycled
+    );
+    assert_eq!(run_with.output, run_without.output);
+}
+
+#[test]
+fn promote_pass_eliminates_allocations() {
+    let entry = corpus::promote_scratch();
+
+    let with = compile(
+        &entry.program,
+        &entry.spec,
+        &PassConfig {
+            epoch: false,
+            promote: true,
+            fastalloc: false,
+        },
+    )
+    .unwrap();
+    let run_with = run_dual(
+        &with.source,
+        &with.transformed,
+        &with.meta,
+        &VmConfig::default(),
+    )
+    .unwrap();
+
+    let without = compile(&entry.program, &entry.spec, &PassConfig::none()).unwrap();
+    let run_without = run_dual(
+        &without.source,
+        &without.transformed,
+        &without.meta,
+        &VmConfig::default(),
+    )
+    .unwrap();
+
+    assert_eq!(run_with.output, run_without.output);
+    assert!(
+        run_with.boundedness.records_allocated < run_without.boundedness.records_allocated,
+        "promotion should delete paged allocations: with={} without={}",
+        run_with.boundedness.records_allocated,
+        run_without.boundedness.records_allocated
+    );
+}
+
+#[test]
+fn fastalloc_hints_hit_the_bump_path() {
+    let entry = corpus::epoch_scratch();
+    let compiled = compile(
+        &entry.program,
+        &entry.spec,
+        &PassConfig {
+            epoch: false,
+            promote: false,
+            fastalloc: true,
+        },
+    )
+    .unwrap();
+    let run = run_dual(
+        &compiled.source,
+        &compiled.transformed,
+        &compiled.meta,
+        &VmConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(run.output, entry.expected);
+    assert!(
+        run.boundedness.exec.fast_alloc_hits > 0,
+        "expected bump-pointer fast-path hits, got {:?}",
+        run.boundedness.exec
+    );
+}
+
+#[test]
+fn golden_source_snapshots_execute_through_the_text_pipeline() {
+    // The checked-in source goldens are real programs: parse them back,
+    // compile, and prove equivalence — the `facadec` path end to end.
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .join("facade-compiler/golden");
+    let mut ran = 0;
+    for entry in corpus::all() {
+        let path = dir.join(entry.name).join("source.ir");
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let compiled = facade_compiler::compile_text(&text, &entry.spec, &PassConfig::all())
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let run = run_dual(
+            &compiled.source,
+            &compiled.transformed,
+            &compiled.meta,
+            &VmConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        assert_eq!(run.output, entry.expected, "{}", entry.name);
+        ran += 1;
+    }
+    assert_eq!(ran, 5);
+}

@@ -1,11 +1,14 @@
-//! Shows the paper's Figure 2 transformation: the source program `P` and
-//! the generated `P'` side by side, then executes both and compares.
+//! Shows the paper's loop end to end: the source program `P` and the
+//! generated `P'` side by side, then the full compilation pipeline (Table 1
+//! transform plus the epoch/promote/fastalloc optimization passes, each
+//! stage re-verified), a dual execution on both backends proving the
+//! outputs bit-identical, and the object-boundedness report.
 //!
 //! Run with: `cargo run --example compile_and_run`
 
-use facade::compiler::{DataSpec, transform};
+use facade::compiler::{DataSpec, PassConfig, compile};
 use facade::ir::{BinOp, ProgramBuilder, Ty};
-use facade::vm::Vm;
+use facade::vm::{VmConfig, run_dual};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 2's Professor/Student program.
@@ -78,28 +81,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program.render()
     );
 
-    let out = transform(&program, &DataSpec::new(["Student", "Professor"]))?;
-    println!(
-        "================ P' (generated) ================\n{}",
-        out.program.render()
-    );
+    // The full pipeline: verify P, transform per Table 1, run the three
+    // optimization passes (each stage re-verified and snapshotted).
+    let spec = DataSpec::new(["Student", "Professor"]);
+    let compiled = compile(&program, &spec, &PassConfig::all())?;
+    println!("================ P' (generated) ================");
+    print!("{}", compiled.stage("pass_fastalloc").unwrap().render);
+    println!("================ pipeline ================");
+    for stage in &compiled.stages {
+        println!("{:<16} {:?}", stage.name, stage.duration);
+    }
     println!(
         "pool bounds: Student={}, Professor={}; interaction points: {}",
-        out.meta
+        compiled
+            .meta
             .bounds
-            .bound(facade::runtime::TypeId(out.meta.type_id(student))),
-        out.meta
+            .bound(facade::runtime::TypeId(compiled.meta.type_id(student))),
+        compiled
+            .meta
             .bounds
-            .bound(facade::runtime::TypeId(out.meta.type_id(professor))),
-        out.report.interaction_points,
+            .bound(facade::runtime::TypeId(compiled.meta.type_id(professor))),
+        compiled.report.interaction_points,
     );
 
-    let mut vm = Vm::new_heap(&program);
-    vm.run()?;
-    let mut vm2 = Vm::new_paged(&out.program, &out.meta);
-    vm2.run()?;
-    println!("P  prints {:?}", vm.output());
-    println!("P' prints {:?}", vm2.output());
-    assert_eq!(vm.output(), vm2.output());
+    // Execute P on the managed heap and P' on the paged backend; run_dual
+    // errors if the outputs ever diverge.
+    let run = run_dual(
+        &compiled.source,
+        &compiled.transformed,
+        &compiled.meta,
+        &VmConfig::default(),
+    )?;
+    println!("both backends print {:?}", run.output);
+    let b = &run.boundedness;
+    println!(
+        "boundedness: {} live facades <= {} threads x {} facades/thread ({})",
+        b.live_facades,
+        b.threads,
+        b.facades_per_thread,
+        if b.is_bounded() {
+            "bounded"
+        } else {
+            "VIOLATED"
+        }
+    );
+    println!(
+        "paged run: {} records allocated, {} pages recycled; heap run kept {} objects live",
+        b.records_allocated, b.pages_recycled, b.heap_live_objects
+    );
+    assert!(b.is_bounded());
     Ok(())
 }

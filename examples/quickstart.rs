@@ -1,9 +1,12 @@
-//! Quickstart: the whole FACADE pipeline in one file.
+//! Quickstart: the core FACADE transformation in one file.
 //!
 //! Builds a small object-oriented program `P`, runs it on the managed heap,
 //! transforms its data path with the FACADE compiler, runs the generated
 //! `P'` on paged native memory, and compares behaviour and allocation
-//! statistics.
+//! statistics. For the full multi-stage pipeline — optimization passes,
+//! per-stage snapshots, dual execution with an equivalence check and a
+//! boundedness report — see `examples/compile_and_run.rs` and
+//! `docs/COMPILER.md`.
 //!
 //! Run with: `cargo run --example quickstart`
 
