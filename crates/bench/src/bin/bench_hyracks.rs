@@ -15,7 +15,10 @@
 //! against the checked-in baseline.
 
 use datagen::{CorpusSpec, corpus};
-use facade_bench::{census_json, export_trace, mem_unit, mib, scale, secs, speedup};
+use facade_bench::{
+    census_json, export_trace, export_trace_from, mem_unit, mib, profile_json, scale, secs,
+    serve_metrics_if_requested, speedup,
+};
 use hyracks_rs::{
     Backend, ClusterConfig, EsOutput, JobStats, WcOutput, run_external_sort, run_wordcount,
 };
@@ -25,6 +28,9 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Data decomposition is fixed so the output is identical at every thread
 /// count; 8 partitions keep all 8 threads of the widest run busy.
 const WORKERS: usize = 8;
+/// The sweep run whose drained timeline feeds the report's `"profile"`
+/// section (see bench_trajectory for the rationale).
+const PROFILE_THREADS: usize = 4;
 
 struct RunPair {
     threads: usize,
@@ -148,8 +154,19 @@ fn main() {
 
     let mut table = TextTable::new(&["Threads", "WC(s)", "ES(s)", "GT(s)", "Peak(MiB)", "Speedup"]);
     let mut pairs = Vec::new();
+    let mut all_events: Vec<facade_trace::TraceEvent> = Vec::new();
+    let mut profile_events: Vec<facade_trace::TraceEvent> = Vec::new();
     for &threads in &THREAD_COUNTS {
-        pairs.push(run_at(&words, Backend::Facade, threads, budget));
+        let pair = run_at(&words, Backend::Facade, threads, budget);
+        // Drain after every run so the PROFILE_THREADS timeline can be
+        // analysed in isolation; the Chrome export still covers the whole
+        // sweep.
+        let events = facade_trace::drain();
+        if threads == PROFILE_THREADS {
+            profile_events = events.clone();
+        }
+        all_events.extend(events);
+        pairs.push(pair);
     }
 
     let baseline = &pairs[0];
@@ -180,9 +197,15 @@ fn main() {
     }
     println!("{table}");
 
-    // Drain the facade sweep's trace before the managed reference run so
-    // the timeline stays unmixed (empty without `--features tracing`).
-    let trace = export_trace("hyracks");
+    // Span summary of the whole facade sweep, kept unmixed from the
+    // managed reference run by the per-run drains above (empty without
+    // `--features tracing`).
+    let trace = export_trace_from("hyracks", &all_events);
+
+    // The facade-prof analysis of the PROFILE_THREADS run: lane
+    // busy/idle, per-phase concurrency, critical path, serial fraction.
+    // "null" without the `tracing` feature.
+    let profile = profile_json(&profile_events);
 
     // One managed-heap reference run: the GC-side telemetry, and the
     // cross-backend output check.
@@ -271,6 +294,8 @@ fn main() {
             "  \"census\": {},\n",
             "  \"pool\": {},\n",
             "  \"checkpoint\": {},\n",
+            "  \"profile_threads\": {},\n",
+            "  \"profile\": {},\n",
             "  \"heap\": {},\n",
             "  \"heap_trace\": {},\n",
             "  \"trace\": {}\n",
@@ -286,6 +311,8 @@ fn main() {
         census_json(&baseline.es.stats.census),
         pool_json,
         checkpoint_json,
+        PROFILE_THREADS,
+        profile,
         json_heap_section(&reference),
         heap_trace,
         trace,
@@ -293,4 +320,7 @@ fn main() {
     let path = std::env::var("FACADE_BENCH_OUT").unwrap_or_else(|_| "BENCH_hyracks.json".into());
     std::fs::write(&path, json).expect("write benchmark output");
     eprintln!("wrote {path}");
+
+    let args: Vec<String> = std::env::args().collect();
+    serve_metrics_if_requested(&args);
 }

@@ -16,7 +16,10 @@
 //! against the checked-in baseline.
 
 use datagen::{Graph, GraphSpec};
-use facade_bench::{census_json, export_trace, mem_unit, scale, secs, speedup};
+use facade_bench::{
+    census_json, export_trace, export_trace_from, mem_unit, profile_json, scale, secs,
+    serve_metrics_if_requested, speedup,
+};
 use graphchi_rs::{Backend, Engine, EngineConfig, PageRank, RunOutcome};
 use managed_heap::format_gc_log_line;
 use metrics::phases;
@@ -24,6 +27,11 @@ use metrics::{Registry, TextTable};
 
 const PAGE_BYTES: u64 = 32 * 1024;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The sweep run whose drained timeline feeds the report's `"profile"`
+/// section — 4 threads is where the paper-scale workload should show
+/// parallelism, so that is where a scaling bottleneck is diagnosable.
+const PROFILE_THREADS: usize = 4;
 
 fn run_at(graph: &Graph, backend: Backend, budget_bytes: usize, threads: usize) -> RunOutcome {
     let mut engine = Engine::new(
@@ -113,8 +121,20 @@ fn main() {
         "Speedup",
     ]);
     let mut outcomes = Vec::new();
+    let mut all_events: Vec<facade_trace::TraceEvent> = Vec::new();
+    let mut profile_events: Vec<facade_trace::TraceEvent> = Vec::new();
     for &threads in &THREAD_COUNTS {
-        outcomes.push((threads, run_at(&graph, Backend::Facade, budget, threads)));
+        let out = run_at(&graph, Backend::Facade, budget, threads);
+        // Drain after every run so the PROFILE_THREADS timeline can be
+        // analysed in isolation; the Chrome export still covers the whole
+        // sweep (timestamps are process-monotonic, so batches concatenate
+        // in order).
+        let events = facade_trace::drain();
+        if threads == PROFILE_THREADS {
+            profile_events = events.clone();
+        }
+        all_events.extend(events);
+        outcomes.push((threads, out));
     }
 
     let (_, baseline) = &outcomes[0];
@@ -143,11 +163,16 @@ fn main() {
 
     // Span summary of the whole sweep; the full Chrome trace goes to
     // target/experiments/trajectory_trace.json (empty without the
-    // `tracing` feature). Drained *before* the managed reference run so
-    // the facade sweep's timeline stays unmixed — with tracing on, the
-    // summary's `instants` carries at least the engine's per-interval
-    // `interval_commit` marks.
-    let trace = export_trace("trajectory");
+    // `tracing` feature). The per-run drains above keep the facade
+    // sweep's timeline unmixed with the managed reference run below —
+    // with tracing on, the summary's `instants` carries at least the
+    // engine's per-interval `interval_commit` marks.
+    let trace = export_trace_from("trajectory", &all_events);
+
+    // The facade-prof analysis of the PROFILE_THREADS run: lane
+    // busy/idle, per-phase concurrency, critical path, serial fraction.
+    // "null" without the `tracing` feature.
+    let profile = profile_json(&profile_events);
 
     // One managed-heap reference run at a Table-2-style budget squeeze:
     // the source of the report's GC-side telemetry (pause log, census).
@@ -252,6 +277,8 @@ fn main() {
             "  \"census\": {},\n",
             "  \"pool\": {},\n",
             "  \"checkpoint\": {},\n",
+            "  \"profile_threads\": {},\n",
+            "  \"profile\": {},\n",
             "  \"heap\": {},\n",
             "  \"heap_trace\": {},\n",
             "  \"trace\": {}\n",
@@ -266,6 +293,8 @@ fn main() {
         census,
         pool_json,
         checkpoint_json,
+        PROFILE_THREADS,
+        profile,
         json_heap_section(&reference, gc_log_path),
         heap_trace,
         trace,
@@ -273,4 +302,7 @@ fn main() {
     let path = std::env::var("FACADE_BENCH_OUT").unwrap_or_else(|_| "BENCH_graphchi.json".into());
     std::fs::write(&path, json).expect("write benchmark output");
     eprintln!("wrote {path}");
+
+    let args: Vec<String> = std::env::args().collect();
+    serve_metrics_if_requested(&args);
 }

@@ -1,0 +1,226 @@
+//! **facadeprof**: critical-path and scaling-bottleneck reports from
+//! facade-trace timelines.
+//!
+//! Two ways in:
+//!
+//! - `facadeprof <trace.json>` — analyse an exported Chrome trace (any
+//!   `target/experiments/*_trace.json` written by the bench binaries).
+//!   Pass `--report <BENCH.json>` to print the observed `speedup_vs_1`
+//!   column next to the Amdahl projection.
+//! - `facadeprof --run graphchi|hyracks [--threads N]` — run the workload
+//!   inline (a 1-thread reference then an N-thread run, default 4) and
+//!   profile the N-thread timeline. Requires a `--features tracing` build
+//!   to capture anything.
+//!
+//! `--json` swaps the text report for the profile's JSON (the same object
+//! the bench reports embed under `"profile"`).
+//!
+//! Exit codes: 0 report printed, 1 empty timeline (likely a build without
+//! `--features tracing`), 2 usage or I/O error.
+
+use facade_bench::json::Json;
+use facade_bench::{json, mem_unit, scale, speedup};
+use facade_prof::{ProfEvent, ProfKind, Profile};
+
+const USAGE: &str = "\
+usage: facadeprof <trace.json> [--report <BENCH.json>] [--json]
+       facadeprof --run graphchi|hyracks [--threads N] [--json]
+
+Reads a Chrome trace exported by the bench binaries (or runs a workload
+inline) and prints a ranked bottleneck report: per-lane busy/idle, the
+critical path, per-phase concurrency, and the measured Amdahl serial
+fraction with its speedup ceiling.";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("facadeprof: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let as_json = args.iter().any(|a| a == "--json");
+    let flag_value = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        })
+    };
+
+    let (events, observed) = if let Some(workload) = flag_value("--run") {
+        let threads: usize = flag_value("--threads").map_or(4, |t| {
+            t.parse()
+                .ok()
+                .filter(|&t| t > 0)
+                .unwrap_or_else(|| fail("--threads needs a positive integer"))
+        });
+        run_inline(&workload, threads)
+    } else {
+        let path = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .filter(|a| Some(a.as_str()) != flag_value("--report").as_deref())
+            .next_back()
+            .unwrap_or_else(|| fail("expected a trace file or --run"));
+        let raw = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let events = parse_chrome_trace(&raw)
+            .unwrap_or_else(|e| fail(&format!("{path} is not a Chrome trace export: {e}")));
+        let observed = flag_value("--report").map_or_else(Vec::new, |r| read_speedups(&r));
+        (events, observed)
+    };
+
+    if events.is_empty() {
+        eprintln!(
+            "facadeprof: timeline is empty — build the bench binaries with \
+             `--features tracing` (and re-export the trace) to capture spans"
+        );
+        std::process::exit(1);
+    }
+
+    let profile = Profile::build(&events);
+    if as_json {
+        println!("{}", profile.to_json());
+    } else {
+        print!("{}", profile.render_report(&observed));
+    }
+}
+
+/// Rebuilds profiler events from the Chrome `trace_event` JSON written by
+/// `facade_trace::chrome::render`: `ts`/`dur` come back from fractional
+/// microseconds to nanoseconds, and the synthetic `"flow"` arg restores
+/// cross-thread links.
+fn parse_chrome_trace(raw: &str) -> Result<Vec<ProfEvent>, String> {
+    let doc = json::parse(raw).map_err(|e| e.to_string())?;
+    let entries = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("no traceEvents array")?;
+    let micros_to_ns = |v: &Json| (v.as_f64().unwrap_or(0.0) * 1_000.0).round().max(0.0) as u64;
+    let mut events = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let name = entry
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("event without a name")?
+            .to_string();
+        let kind = match entry.get("ph").and_then(Json::as_str) {
+            Some("X") => ProfKind::Span {
+                dur_ns: entry.get("dur").map_or(0, &micros_to_ns),
+            },
+            Some("i") => ProfKind::Instant,
+            Some("C") => ProfKind::Counter {
+                value: entry
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+            },
+            other => return Err(format!("unsupported event phase {other:?}")),
+        };
+        events.push(ProfEvent {
+            name,
+            tid: entry.get("tid").and_then(Json::as_u64).unwrap_or(0),
+            ts_ns: entry.get("ts").map_or(0, &micros_to_ns),
+            flow: entry
+                .get("args")
+                .and_then(|a| a.get("flow"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            kind,
+        });
+    }
+    Ok(events)
+}
+
+/// Pulls `(threads, speedup_vs_1)` rows out of a bench report for the
+/// "observed speedup" line; a malformed report just yields no line.
+fn read_speedups(path: &str) -> Vec<(u32, f64)> {
+    let Ok(raw) = std::fs::read_to_string(path) else {
+        eprintln!("facadeprof: cannot read --report {path}; skipping observed speedups");
+        return Vec::new();
+    };
+    let Ok(doc) = json::parse(&raw) else {
+        eprintln!("facadeprof: --report {path} is not valid JSON; skipping observed speedups");
+        return Vec::new();
+    };
+    doc.get("runs")
+        .and_then(Json::as_array)
+        .map(|runs| {
+            runs.iter()
+                .filter_map(|r| {
+                    Some((
+                        r.get("threads")?.as_u64()? as u32,
+                        r.get("speedup_vs_1")?.as_f64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Runs a workload inline: a 1-thread reference (for the observed-speedup
+/// line), then the profiled run at `threads`.
+fn run_inline(workload: &str, threads: usize) -> (Vec<ProfEvent>, Vec<(u32, f64)>) {
+    let unit = mem_unit();
+    let (base_wall, wall) = match workload {
+        "graphchi" => {
+            use datagen::{Graph, GraphSpec};
+            use graphchi_rs::{Backend, Engine, EngineConfig, PageRank};
+            let graph = Graph::generate(&GraphSpec::twitter_like(scale()));
+            let run = |threads: usize| {
+                let mut engine = Engine::new(
+                    &graph,
+                    EngineConfig {
+                        backend: Backend::Facade,
+                        budget_bytes: 8 * unit,
+                        intervals: 20,
+                        threads,
+                        ..EngineConfig::default()
+                    },
+                );
+                let out = engine.run(&PageRank::new(4)).expect("run fits its budget");
+                out.timer.total().as_secs_f64()
+            };
+            eprintln!("facadeprof: GraphChi PageRank, 1-thread reference then {threads} threads");
+            let base = run(1);
+            facade_trace::drain(); // profile only the multi-threaded run
+            (base, run(threads))
+        }
+        "hyracks" => {
+            use datagen::{CorpusSpec, corpus};
+            use hyracks_rs::{Backend, ClusterConfig, run_external_sort, run_wordcount};
+            let words = corpus(&CorpusSpec::new(
+                (16.0 * unit as f64 * scale()) as usize,
+                11,
+            ));
+            let run = |threads: usize| {
+                let cfg = ClusterConfig {
+                    workers: 8,
+                    threads,
+                    backend: Backend::Facade,
+                    per_worker_budget: 2 * unit,
+                    frame_bytes: 32 << 10,
+                    ..ClusterConfig::default()
+                };
+                let wc = run_wordcount(&words, &cfg).expect("WC fits its budget");
+                let es = run_external_sort(&words, &cfg).expect("ES fits its budget");
+                wc.stats.elapsed.as_secs_f64() + es.stats.elapsed.as_secs_f64()
+            };
+            eprintln!("facadeprof: Hyracks WC+ES, 1-thread reference then {threads} threads");
+            let base = run(1);
+            facade_trace::drain();
+            (base, run(threads))
+        }
+        other => fail(&format!(
+            "unknown workload {other:?}; try graphchi or hyracks"
+        )),
+    };
+    let events = facade_prof::from_trace(&facade_trace::drain());
+    (events, vec![(threads as u32, speedup(base_wall, wall))])
+}

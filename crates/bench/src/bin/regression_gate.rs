@@ -9,8 +9,12 @@
 //! and exits non-zero when any metric regressed beyond tolerance (exit 1)
 //! or either report is unreadable/malformed (exit 2). Tolerances come from
 //! `FACADE_GATE_WALL_PCT` / `FACADE_GATE_PEAK_PCT` /
-//! `FACADE_GATE_SPEEDUP_PCT` (see the gate module docs for the defaults
-//! and for when the speedup checks apply).
+//! `FACADE_GATE_SPEEDUP_PCT` / `FACADE_GATE_CKPT_PCT` /
+//! `FACADE_GATE_IDLE_PCT` / `FACADE_GATE_SERIAL_FRAC` (see the gate module
+//! docs for the defaults, and for when the speedup and parallel-efficiency
+//! checks apply — both need a multi-core host, and the latter also need
+//! the current report's `profile` section from a `--features tracing`
+//! build).
 
 use facade_bench::gate::{Tolerances, compare_reports};
 use facade_bench::json::parse;
@@ -39,8 +43,8 @@ fn main() -> ExitCode {
     let tol = Tolerances::from_env();
     eprintln!(
         "regression_gate: {baseline_path} vs {current_path} \
-         (wall +{:.0}%, peak +{:.0}%, speedup -{:.0}%)",
-        tol.wall_pct, tol.peak_pct, tol.speedup_pct
+         (wall +{:.0}%, peak +{:.0}%, speedup -{:.0}%, idle ≤{:.0}%, serial ≤{:.2})",
+        tol.wall_pct, tol.peak_pct, tol.speedup_pct, tol.idle_pct, tol.serial_frac
     );
     match compare_reports(&baseline, &current, &tol) {
         Ok(report) => {

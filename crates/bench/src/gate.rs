@@ -25,7 +25,22 @@
 //! When the current report carries a `checkpoint` section (the bench
 //! binaries' 1-thread checkpointed probe), its `overhead_pct` is also
 //! bounded *absolutely* by `FACADE_GATE_CKPT_PCT` (default **900%**) —
-//! durability must not make the engines pathologically slow. The
+//! durability must not make the engines pathologically slow.
+//!
+//! When the current report carries a `profile` section (the facade-prof
+//! analysis of the 4-thread tracing run) **and** was produced on a
+//! multi-core host, two parallel-efficiency bounds apply, again
+//! *absolutely* (the bounds are properties of the workload, not ratios
+//! against a possibly profile-less baseline):
+//!
+//! - `profile.idle_pct` ≤ `FACADE_GATE_IDLE_PCT` (default **95%**) —
+//!   workers must not be parked for essentially the whole window;
+//! - `profile.serial_fraction` ≤ `FACADE_GATE_SERIAL_FRAC` (default
+//!   **0.97**) — the measured Amdahl serial fraction must leave *some*
+//!   parallel headroom.
+//!
+//! On a 1-CPU host both numbers describe the scheduler, not the engine, so
+//! the checks are skipped exactly like the speedup checks. The
 //! `regression_gate` binary wraps [`compare_reports`] for CI:
 //!
 //! ```text
@@ -53,6 +68,16 @@ pub struct Tolerances {
     /// slow", not the expected cost of writing full state every interval
     /// (which dwarfs the tiny smoke-scale runs CI measures against).
     pub ckpt_pct: f64,
+    /// Absolute ceiling on the current report's `profile.idle_pct`
+    /// (checked only when the current report carries a `profile` section
+    /// and was measured on a multi-core host). The default is lenient —
+    /// smoke-scale workloads leave workers hungry — and CI tightens it on
+    /// the multi-core leg via `FACADE_GATE_IDLE_PCT`.
+    pub idle_pct: f64,
+    /// Absolute ceiling on the current report's `profile.serial_fraction`
+    /// (same gating conditions as [`idle_pct`](Self::idle_pct)): the
+    /// measured fraction of the profiled window with ≤ 1 busy worker.
+    pub serial_frac: f64,
 }
 
 impl Default for Tolerances {
@@ -62,13 +87,16 @@ impl Default for Tolerances {
             peak_pct: 25.0,
             speedup_pct: 20.0,
             ckpt_pct: 900.0,
+            idle_pct: 95.0,
+            serial_frac: 0.97,
         }
     }
 }
 
 impl Tolerances {
     /// Reads `FACADE_GATE_WALL_PCT` / `FACADE_GATE_PEAK_PCT` /
-    /// `FACADE_GATE_SPEEDUP_PCT` / `FACADE_GATE_CKPT_PCT`, falling back to
+    /// `FACADE_GATE_SPEEDUP_PCT` / `FACADE_GATE_CKPT_PCT` /
+    /// `FACADE_GATE_IDLE_PCT` / `FACADE_GATE_SERIAL_FRAC`, falling back to
     /// the defaults for unset or unparsable values.
     pub fn from_env() -> Self {
         let default = Self::default();
@@ -84,6 +112,8 @@ impl Tolerances {
             peak_pct: read("FACADE_GATE_PEAK_PCT", default.peak_pct),
             speedup_pct: read("FACADE_GATE_SPEEDUP_PCT", default.speedup_pct),
             ckpt_pct: read("FACADE_GATE_CKPT_PCT", default.ckpt_pct),
+            idle_pct: read("FACADE_GATE_IDLE_PCT", default.idle_pct),
+            serial_frac: read("FACADE_GATE_SERIAL_FRAC", default.serial_frac),
         }
     }
 }
@@ -224,15 +254,48 @@ pub fn compare_reports(
     // carries no `checkpoint` section, so pre-durability reports still
     // gate; the baseline column echoes the baseline report's own overhead
     // (or 0) purely for the log.
-    if let Some(current) = checkpoint_overhead(current) {
+    if let Some(cur) = checkpoint_overhead(current) {
         report.checks.push(GateCheck {
             threads: 1,
             metric: "ckpt_overhead_pct",
             baseline: checkpoint_overhead(baseline).unwrap_or(0.0),
-            current,
+            current: cur,
             limit: tol.ckpt_pct,
-            regressed: current > tol.ckpt_pct,
+            regressed: cur > tol.ckpt_pct,
         });
+    }
+    // The report-level parallel-efficiency checks: absolute bounds on the
+    // current report's `profile` section (the facade-prof analysis of the
+    // 4-thread tracing run). Like the speedup checks, these only mean
+    // anything when the numbers were measured on real parallel hardware —
+    // on a 1-CPU host idle time and serial fraction describe the
+    // scheduler, not the engine — so they are skipped unless the current
+    // report records `host_cpus` > 1. The baseline column echoes the
+    // baseline's own profile (or 0) purely for the log.
+    if host_cpus(current) > 1 {
+        let profile_threads = current
+            .get("profile_threads")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        for (name, metric, limit) in [
+            ("idle_pct", "profile_idle_pct", tol.idle_pct),
+            (
+                "serial_fraction",
+                "profile_serial_fraction",
+                tol.serial_frac,
+            ),
+        ] {
+            if let Some(cur) = profile_metric(current, name) {
+                report.checks.push(GateCheck {
+                    threads: profile_threads,
+                    metric,
+                    baseline: profile_metric(baseline, name).unwrap_or(0.0),
+                    current: cur,
+                    limit,
+                    regressed: cur > limit,
+                });
+            }
+        }
     }
     Ok(report)
 }
@@ -243,6 +306,13 @@ fn checkpoint_overhead(report: &Json) -> Option<f64> {
         .get("checkpoint")?
         .get("overhead_pct")
         .and_then(Json::as_f64)
+}
+
+/// A numeric field of the report-level `profile` section, when present
+/// (the section is JSON `null` in non-tracing builds, so `get` on it
+/// yields nothing and the profile checks are skipped).
+fn profile_metric(report: &Json, name: &str) -> Option<f64> {
+    report.get("profile")?.get(name).and_then(Json::as_f64)
 }
 
 #[cfg(test)]
@@ -454,7 +524,15 @@ mod tests {
         // carries a `checkpoint` section.
         let multicore = baseline.get("host_cpus").and_then(Json::as_u64) > Some(1);
         let has_ckpt = checkpoint_overhead(&baseline).is_some();
-        let expected = if multicore { 10 } else { 8 } + usize::from(has_ckpt);
+        let profile_checks = if multicore {
+            ["idle_pct", "serial_fraction"]
+                .iter()
+                .filter(|n| profile_metric(&baseline, n).is_some())
+                .count()
+        } else {
+            0
+        };
+        let expected = if multicore { 10 } else { 8 } + usize::from(has_ckpt) + profile_checks;
         assert_eq!(gate.checks.len(), expected);
     }
 
@@ -487,6 +565,80 @@ mod tests {
                 .checks
                 .iter()
                 .all(|c| c.metric != "ckpt_overhead_pct")
+        );
+    }
+
+    fn profiled_report(host_cpus: u64, idle_pct: f64, serial_fraction: f64) -> Json {
+        parse(&format!(
+            "{{\"host_cpus\": {host_cpus}, \"runs\": [{}], \"profile_threads\": 4, \
+             \"profile\": {{\"idle_pct\": {idle_pct}, \"serial_fraction\": {serial_fraction}}}}}",
+            run(1, 0.08, 4_000_000)
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn profile_bounds_gate_idle_and_serial_fraction_on_multicore_hosts() {
+        let base = report(&run(1, 0.08, 4_000_000)); // no profile section
+        // Inside the default bounds (95% idle, 0.97 serial): passes, and
+        // both checks are listed against the current report even though the
+        // baseline predates the profile section — the bounds are absolute.
+        let ok = compare_reports(
+            &base,
+            &profiled_report(4, 40.0, 0.30),
+            &Tolerances::default(),
+        )
+        .unwrap();
+        assert!(ok.passed(), "{}", ok.render());
+        for metric in ["profile_idle_pct", "profile_serial_fraction"] {
+            let check = ok.checks.iter().find(|c| c.metric == metric).unwrap();
+            assert_eq!(check.threads, 4, "labelled with the profiled run");
+        }
+        // Beyond either bound: that check regresses.
+        let tight = Tolerances {
+            idle_pct: 60.0,
+            serial_frac: 0.50,
+            ..Tolerances::default()
+        };
+        let bad = compare_reports(&base, &profiled_report(4, 80.0, 0.75), &tight).unwrap();
+        let regs = bad.regressions();
+        assert_eq!(regs.len(), 2, "{}", bad.render());
+        assert!(regs.iter().any(|c| c.metric == "profile_idle_pct"));
+        assert!(regs.iter().any(|c| c.metric == "profile_serial_fraction"));
+    }
+
+    #[test]
+    fn profile_bounds_skip_one_cpu_hosts_and_profileless_reports() {
+        let base = report(&run(1, 0.08, 4_000_000));
+        // A 1-CPU current report never gates: its idle/serial numbers
+        // describe one core being time-sliced, not the engine.
+        let single = compare_reports(
+            &base,
+            &profiled_report(1, 99.0, 1.0),
+            &Tolerances::default(),
+        )
+        .unwrap();
+        assert!(single.passed(), "{}", single.render());
+        assert!(
+            single
+                .checks
+                .iter()
+                .all(|c| !c.metric.starts_with("profile_"))
+        );
+        // A multi-core report without a profile section (non-tracing build
+        // writes `"profile": null`) skips the checks rather than failing.
+        let no_profile = parse(&format!(
+            "{{\"host_cpus\": 4, \"runs\": [{}], \"profile\": null}}",
+            run(1, 0.08, 4_000_000)
+        ))
+        .unwrap();
+        let skipped = compare_reports(&base, &no_profile, &Tolerances::default()).unwrap();
+        assert!(skipped.passed());
+        assert!(
+            skipped
+                .checks
+                .iter()
+                .all(|c| !c.metric.starts_with("profile_"))
         );
     }
 }

@@ -102,15 +102,63 @@ pub fn write_records(name: &str, records: &[RunRecord]) {
 /// file records zero events and the summary is `{"events": 0, ...}`.
 /// Build the bench binaries with `--features tracing` to capture spans.
 pub fn export_trace(name: &str) -> String {
-    let events = facade_trace::drain();
-    let summary = facade_trace::summary::summarize(&events).to_json();
+    export_trace_from(name, &facade_trace::drain())
+}
+
+/// [`export_trace`] over an already-drained timeline — for binaries that
+/// drain per run (to profile one run in isolation) and still want the
+/// whole sweep in one Chrome file. Folds the recorder's dropped-event
+/// count (buffer-cap overflow) into the summary.
+pub fn export_trace_from(name: &str, events: &[facade_trace::TraceEvent]) -> String {
+    let mut summary = facade_trace::summary::summarize(events);
+    summary.events_dropped = facade_trace::take_events_dropped();
     let dir = PathBuf::from("target/experiments");
     if fs::create_dir_all(&dir).is_ok() {
         let path = dir.join(format!("{name}_trace.json"));
-        let _ = fs::write(&path, facade_trace::chrome::render(&events));
+        let _ = fs::write(&path, facade_trace::chrome::render(events));
         eprintln!("wrote {} ({} events)", path.display(), events.len());
     }
-    summary
+    summary.to_json()
+}
+
+/// Builds the `"profile"` JSON section of a bench report: the facade-prof
+/// analysis (lanes, concurrency histograms, critical path, serial
+/// fraction) of one run's drained events. `"null"` when the timeline is
+/// empty (tracing disabled) so the section stays honest instead of
+/// claiming a measured-zero profile.
+pub fn profile_json(events: &[facade_trace::TraceEvent]) -> String {
+    if events.is_empty() {
+        return "null".to_string();
+    }
+    facade_prof::Profile::build(&facade_prof::from_trace(events)).to_json()
+}
+
+/// Handles the `--serve-metrics <addr>` flag shared by bench_trajectory and
+/// bench_hyracks: when present in `args`, binds the global metrics
+/// registry's Prometheus exposition at `addr` and blocks for exactly one
+/// request (one-shot scrape: `curl http://<addr>/metrics`) before
+/// returning. Call it after the report is written so the scrape sees final
+/// values.
+pub fn serve_metrics_if_requested(args: &[String]) {
+    let Some(pos) = args.iter().position(|a| a == "--serve-metrics") else {
+        return;
+    };
+    let Some(addr) = args.get(pos + 1) else {
+        eprintln!("--serve-metrics requires an address, e.g. --serve-metrics 127.0.0.1:9184");
+        std::process::exit(2);
+    };
+    let server = metrics::MetricsServer::bind(addr, metrics::Registry::global_shared())
+        .unwrap_or_else(|e| {
+            eprintln!("--serve-metrics {addr}: bind failed: {e}");
+            std::process::exit(2);
+        });
+    eprintln!(
+        "serving metrics at http://{}/metrics (one request, then exit)",
+        server.local_addr()
+    );
+    if let Err(e) = server.serve_one() {
+        eprintln!("--serve-metrics: {e}");
+    }
 }
 
 /// Renders a [`data_store::StoreCensus`] as one JSON object, for the

@@ -353,10 +353,20 @@ impl PagePool {
     fn shard_guard(&self, idx: usize) -> std::sync::MutexGuard<'_, Vec<PooledPage>> {
         // A poisoned shard only means another thread panicked mid-push/pop;
         // the Vec itself is always structurally valid.
-        match self.shards[idx].lock() {
+        match self.shards[idx].try_lock() {
+            Ok(g) => return g,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => return poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {}
+        }
+        // Contended: block, and attribute the stall so the profiler can
+        // tell pool-lock waits apart from page work on the same thread.
+        let waited = Instant::now();
+        let guard = match self.shards[idx].lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
-        }
+        };
+        facade_trace::complete("pool_wait", waited, &[("shard", idx.into())]);
+        guard
     }
 
     /// Takes up to `max` pages from the pool (possibly fewer, possibly none

@@ -9,7 +9,9 @@
 //! instants become thread-scoped instant events (`"ph": "i"`), and counters
 //! become counter events (`"ph": "C"`). All events share `pid` 1; the `tid`
 //! is the dense thread id assigned by the recorder, so each worker thread
-//! renders as its own track.
+//! renders as its own track. A non-zero [`TraceEvent::flow`] id is emitted
+//! as a synthetic `"flow"` arg so cross-thread links survive the JSON
+//! round-trip (`facadeprof` reads them back).
 //!
 //! ```
 //! let _span = facade_trace::span!("render_me");
@@ -37,11 +39,11 @@ pub fn render(events: &[TraceEvent]) -> String {
         match event.kind {
             EventKind::Span { dur_ns } => {
                 let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", Micros(dur_ns));
-                write_args(&mut out, &event.args);
+                write_args(&mut out, event.flow, &event.args);
             }
             EventKind::Instant => {
                 out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
-                write_args(&mut out, &event.args);
+                write_args(&mut out, event.flow, &event.args);
             }
             EventKind::Counter { value } => {
                 let _ = write!(out, ",\"ph\":\"C\",\"args\":{{\"value\":{}}}", Num(value));
@@ -82,15 +84,21 @@ impl std::fmt::Display for Num {
     }
 }
 
-fn write_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
-    if args.is_empty() {
+fn write_args(out: &mut String, flow: u64, args: &[(&'static str, ArgValue)]) {
+    if args.is_empty() && flow == 0 {
         return;
     }
     out.push_str(",\"args\":{");
-    for (i, (key, value)) in args.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    if flow != 0 {
+        let _ = write!(out, "\"flow\":{flow}");
+        first = false;
+    }
+    for (key, value) in args.iter() {
+        if !first {
             out.push(',');
         }
+        first = false;
         write_json_string(out, key);
         out.push(':');
         match value {
@@ -137,6 +145,7 @@ mod tests {
             name,
             tid,
             ts_ns,
+            flow: 0,
             kind: EventKind::Span { dur_ns },
             args: Vec::new(),
         }
@@ -163,6 +172,7 @@ mod tests {
                 name: "fault_injected",
                 tid: 2,
                 ts_ns: 0,
+                flow: 0,
                 kind: EventKind::Instant,
                 args: vec![("kind", ArgValue::Str("pool_acquire"))],
             },
@@ -170,6 +180,7 @@ mod tests {
                 name: "pool_occupancy",
                 tid: 2,
                 ts_ns: 10,
+                flow: 0,
                 kind: EventKind::Counter { value: 12.0 },
                 args: Vec::new(),
             },
@@ -191,6 +202,29 @@ mod tests {
     #[test]
     fn empty_timeline_is_valid_json() {
         assert_eq!(render(&[]), "{\"traceEvents\":[]}\n");
+    }
+
+    #[test]
+    fn flow_ids_render_as_synthetic_arg() {
+        // Flow on a bare span opens the args object for it.
+        let mut ev = span("sub_prefetch", 1, 0, 10_000);
+        ev.flow = 7;
+        let json = render(&[ev]);
+        assert!(json.contains("\"args\":{\"flow\":7}"), "{json}");
+
+        // Flow composes with real args, listed first.
+        let mut ev = span("sub_load", 2, 5, 10_000);
+        ev.flow = 7;
+        ev.args = vec![("prefetched", ArgValue::UInt(1))];
+        let json = render(&[ev]);
+        assert!(
+            json.contains("\"args\":{\"flow\":7,\"prefetched\":1}"),
+            "{json}"
+        );
+
+        // Zero flow stays invisible: no args object on a bare span.
+        let json = render(&[span("plain", 1, 0, 1)]);
+        assert!(!json.contains("\"args\""), "{json}");
     }
 
     fn escaped(s: &str) -> String {

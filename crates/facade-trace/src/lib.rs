@@ -142,6 +142,11 @@ pub struct TraceEvent {
     pub tid: u64,
     /// Start time in nanoseconds since the process trace epoch.
     pub ts_ns: u64,
+    /// Flow/task id linking events that belong to one logical unit of work
+    /// across threads (a prefetched subinterval gathered on thread A and
+    /// consumed on thread B, a stolen partition). `0` means unlinked; mint
+    /// non-zero ids with [`next_flow_id`].
+    pub flow: u64,
     /// Span, instant, or counter payload.
     pub kind: EventKind,
     /// Key/value arguments attached at the call site.
@@ -161,6 +166,7 @@ pub struct SpanGuard {
 struct ActiveSpan {
     name: &'static str,
     start_ns: u64,
+    flow: u64,
     args: Vec<(&'static str, ArgValue)>,
 }
 
@@ -173,6 +179,7 @@ impl Drop for SpanGuard {
                 name: active.name,
                 tid: thread_id(),
                 ts_ns: active.start_ns,
+                flow: active.flow,
                 kind: EventKind::Span { dur_ns },
                 args: active.args,
             });
@@ -197,19 +204,31 @@ pub fn span(name: &'static str) -> SpanGuard {
 /// Prefer the [`span!`] macro, which builds the argument slice for you.
 #[inline]
 pub fn span_with(name: &'static str, args: &[(&'static str, ArgValue)]) -> SpanGuard {
+    span_with_flow(name, 0, args)
+}
+
+/// Starts a span stamped with a flow/task id (see [`next_flow_id`]); the
+/// returned guard records it on drop. Pass `flow` 0 for an unlinked span.
+#[inline]
+pub fn span_with_flow(
+    name: &'static str,
+    flow: u64,
+    args: &[(&'static str, ArgValue)],
+) -> SpanGuard {
     #[cfg(feature = "enabled")]
     {
         SpanGuard {
             active: Some(ActiveSpan {
                 name,
                 start_ns: now_ns(),
+                flow,
                 args: args.to_vec(),
             }),
         }
     }
     #[cfg(not(feature = "enabled"))]
     {
-        let _ = (name, args);
+        let _ = (name, flow, args);
         SpanGuard {}
     }
 }
@@ -220,6 +239,19 @@ pub fn span_with(name: &'static str, args: &[(&'static str, ArgValue)]) -> SpanG
 /// avoids a guard: call it once at the end with the original start time.
 #[inline]
 pub fn complete(name: &'static str, started: Instant, args: &[(&'static str, ArgValue)]) {
+    complete_with_flow(name, started, 0, args);
+}
+
+/// Records a retroactive span stamped with a flow/task id. The producer and
+/// consumer of one unit of work record the same `flow`, so a profiler can
+/// chain them across threads.
+#[inline]
+pub fn complete_with_flow(
+    name: &'static str,
+    started: Instant,
+    flow: u64,
+    args: &[(&'static str, ArgValue)],
+) {
     #[cfg(feature = "enabled")]
     {
         let dur_ns = saturating_ns(started.elapsed().as_nanos());
@@ -228,27 +260,35 @@ pub fn complete(name: &'static str, started: Instant, args: &[(&'static str, Arg
             name,
             tid: thread_id(),
             ts_ns,
+            flow,
             kind: EventKind::Span { dur_ns },
             args: args.to_vec(),
         });
     }
     #[cfg(not(feature = "enabled"))]
-    let _ = (name, started, args);
+    let _ = (name, started, flow, args);
 }
 
 /// Records a point event (a fault injection, a degradation-ladder step).
 #[inline]
 pub fn instant(name: &'static str, args: &[(&'static str, ArgValue)]) {
+    instant_with_flow(name, 0, args);
+}
+
+/// Records a point event stamped with a flow/task id.
+#[inline]
+pub fn instant_with_flow(name: &'static str, flow: u64, args: &[(&'static str, ArgValue)]) {
     #[cfg(feature = "enabled")]
     push(TraceEvent {
         name,
         tid: thread_id(),
         ts_ns: now_ns(),
+        flow,
         kind: EventKind::Instant,
         args: args.to_vec(),
     });
     #[cfg(not(feature = "enabled"))]
-    let _ = (name, args);
+    let _ = (name, flow, args);
 }
 
 /// Records a sampled counter value under `name` (rendered as a counter
@@ -260,11 +300,27 @@ pub fn counter(name: &'static str, value: f64) {
         name,
         tid: thread_id(),
         ts_ns: now_ns(),
+        flow: 0,
         kind: EventKind::Counter { value },
         args: Vec::new(),
     });
     #[cfg(not(feature = "enabled"))]
     let _ = (name, value);
+}
+
+/// Mints a process-unique, non-zero flow/task id for linking the producer
+/// and consumer of one unit of work across threads (stamp both sides via
+/// the `*_with_flow` variants). Returns 0 when recording is disabled, so
+/// callers can thread the id unconditionally at zero cost.
+#[inline]
+pub fn next_flow_id() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        static NEXT_FLOW: AtomicU64 = AtomicU64::new(1);
+        NEXT_FLOW.fetch_add(1, Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    0
 }
 
 /// Collects every thread's buffered events into one timeline sorted by
@@ -295,6 +351,51 @@ pub fn drain() -> Vec<TraceEvent> {
 /// Discards all buffered events without returning them.
 pub fn reset() {
     let _ = drain();
+    let _ = take_events_dropped();
+}
+
+/// Default per-thread buffer capacity, in events. Generous: a full bench
+/// sweep records a few thousand events per thread, so the cap only bites
+/// on pathological runs (tracing left on for hours without a drain).
+pub const DEFAULT_BUFFER_CAP: usize = 1 << 20;
+
+/// Caps each thread-local buffer at `cap` events (minimum 1). Once a
+/// thread's buffer is full, further events on that thread are counted in
+/// [`events_dropped`] instead of growing the buffer — mirroring the
+/// ResilienceReport's bounded event log. A [`drain`] empties the buffers,
+/// so capped threads record again afterwards.
+///
+/// The initial capacity is [`DEFAULT_BUFFER_CAP`], overridable via the
+/// `FACADE_TRACE_BUFFER_EVENTS` environment variable (read once, at the
+/// first recorded event).
+pub fn set_buffer_capacity(cap: usize) {
+    #[cfg(feature = "enabled")]
+    buffer_cap_cell().store(cap.max(1), Ordering::Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = cap;
+}
+
+/// Events discarded because a thread-local buffer hit its capacity, since
+/// the last [`take_events_dropped`] (or process start). Zero when recording
+/// is disabled.
+pub fn events_dropped() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        dropped_counter().load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    0
+}
+
+/// Returns the dropped-event count and resets it to zero — the per-drain
+/// accounting the bench exporters embed next to the trace summary.
+pub fn take_events_dropped() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        dropped_counter().swap(0, Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    0
 }
 
 /// Starts a span; sugar over [`span_with`].
@@ -399,14 +500,38 @@ fn thread_id() -> u64 {
     local_buffer().tid
 }
 
+/// The live buffer capacity; seeded from `FACADE_TRACE_BUFFER_EVENTS` (or
+/// [`DEFAULT_BUFFER_CAP`]) on first access, adjustable at runtime via
+/// [`set_buffer_capacity`].
+#[cfg(feature = "enabled")]
+fn buffer_cap_cell() -> &'static std::sync::atomic::AtomicUsize {
+    static CAP: OnceLock<std::sync::atomic::AtomicUsize> = OnceLock::new();
+    CAP.get_or_init(|| {
+        let initial = std::env::var("FACADE_TRACE_BUFFER_EVENTS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_BUFFER_CAP);
+        std::sync::atomic::AtomicUsize::new(initial)
+    })
+}
+
+#[cfg(feature = "enabled")]
+fn dropped_counter() -> &'static AtomicU64 {
+    static DROPPED: OnceLock<AtomicU64> = OnceLock::new();
+    DROPPED.get_or_init(|| AtomicU64::new(0))
+}
+
 #[cfg(feature = "enabled")]
 fn push(event: TraceEvent) {
     let buffer = local_buffer();
-    buffer
-        .events
-        .lock()
-        .expect("trace buffer poisoned")
-        .push(event);
+    let mut events = buffer.events.lock().expect("trace buffer poisoned");
+    if events.len() >= buffer_cap_cell().load(Ordering::Relaxed) {
+        drop(events);
+        dropped_counter().fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    events.push(event);
 }
 
 #[cfg(test)]
@@ -542,6 +667,38 @@ mod tests {
         );
         assert!(events.iter().any(|e| e.name == "t_counter"
             && matches!(e.kind, EventKind::Counter { value } if value == 7.5)));
+    }
+
+    #[test]
+    fn flow_ids_link_producer_and_consumer() {
+        let flow = next_flow_id();
+        assert_ne!(flow, 0, "minted flow ids are non-zero");
+        assert_ne!(next_flow_id(), flow, "ids are process-unique");
+
+        // Producer side: a retroactive span stamped with the flow.
+        let started = Instant::now();
+        complete_with_flow("t_flow_produce", started, flow, &[]);
+        // Consumer side, another thread: guard span plus an instant.
+        let h = std::thread::spawn(move || {
+            {
+                let _span = span_with_flow("t_flow_consume", flow, &[]);
+            }
+            instant_with_flow("t_flow_instant", flow, &[]);
+        });
+        h.join().unwrap();
+
+        let events = drain();
+        for name in ["t_flow_produce", "t_flow_consume", "t_flow_instant"] {
+            let ev = events
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("{name} recorded"));
+            assert_eq!(ev.flow, flow, "{name} carries the shared flow id");
+        }
+        // Unstamped events default to flow 0.
+        instant("t_flow_none", &[]);
+        let ev = drain().into_iter().find(|e| e.name == "t_flow_none");
+        assert_eq!(ev.expect("recorded").flow, 0);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! A Chrome trace answers "what happened when"; the summary answers "how
 //! much, in total". [`summarize`] folds a drained timeline into per-name
-//! span statistics (count, total/max duration) and instant counts, and
+//! span statistics (count, total/max duration), instant counts, and
+//! per-name counter statistics (count, min/max/last sample), and
 //! [`TraceSummary::to_json`] renders them as the `trace` section embedded
 //! in `BENCH_*.json` by the bench binaries.
 //!
@@ -31,6 +32,19 @@ pub struct SpanStat {
     pub max_ns: u64,
 }
 
+/// Aggregate statistics for all counter samples sharing one name.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterStat {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sampled value.
+    pub min: f64,
+    /// Largest sampled value.
+    pub max: f64,
+    /// The last sampled value in timeline order.
+    pub last: f64,
+}
+
 /// Per-name aggregates over one drained timeline.
 ///
 /// Maps are ordered (`BTreeMap`) so the JSON rendering is deterministic.
@@ -40,8 +54,15 @@ pub struct TraceSummary {
     pub spans: BTreeMap<&'static str, SpanStat>,
     /// Instant-event occurrence counts keyed by event name.
     pub instants: BTreeMap<&'static str, u64>,
+    /// Counter-sample statistics keyed by counter name.
+    pub counters: BTreeMap<&'static str, CounterStat>,
     /// Total number of events summarized (spans + instants + counters).
     pub events: u64,
+    /// Events discarded by the recorder's per-thread buffer cap before this
+    /// timeline was drained. Not derivable from the events themselves —
+    /// callers set it from [`crate::take_events_dropped`] (the bench
+    /// exporters do).
+    pub events_dropped: u64,
 }
 
 /// Folds a timeline (as returned by [`crate::drain`]) into a summary.
@@ -61,7 +82,23 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
             EventKind::Instant => {
                 *summary.instants.entry(event.name).or_default() += 1;
             }
-            EventKind::Counter { .. } => {}
+            EventKind::Counter { value } => {
+                summary
+                    .counters
+                    .entry(event.name)
+                    .and_modify(|c| {
+                        c.count += 1;
+                        c.min = c.min.min(value);
+                        c.max = c.max.max(value);
+                        c.last = value;
+                    })
+                    .or_insert(CounterStat {
+                        count: 1,
+                        min: value,
+                        max: value,
+                        last: value,
+                    });
+            }
         }
     }
     summary
@@ -69,10 +106,17 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
 
 impl TraceSummary {
     /// Renders the summary as one JSON object:
-    /// `{"events": N, "spans": {name: {count, total_ms, max_ms}}, "instants": {name: count}}`.
+    /// `{"events": N, "events_dropped": N,
+    /// "spans": {name: {count, total_ms, max_ms}},
+    /// "instants": {name: count},
+    /// "counters": {name: {count, min, max, last}}}`.
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(64 + self.spans.len() * 80);
-        let _ = write!(out, "{{\"events\": {}, \"spans\": {{", self.events);
+        let mut out = String::with_capacity(96 + (self.spans.len() + self.counters.len()) * 80);
+        let _ = write!(
+            out,
+            "{{\"events\": {}, \"events_dropped\": {}, \"spans\": {{",
+            self.events, self.events_dropped
+        );
         for (i, (name, stat)) in self.spans.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
@@ -94,8 +138,36 @@ impl TraceSummary {
             write_json_string(&mut out, name);
             let _ = write!(out, ": {count}");
         }
+        out.push_str("}, \"counters\": {");
+        for (i, (name, stat)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_json_string(&mut out, name);
+            let _ = write!(
+                out,
+                ": {{\"count\": {}, \"min\": {}, \"max\": {}, \"last\": {}}}",
+                stat.count,
+                Finite(stat.min),
+                Finite(stat.max),
+                Finite(stat.last),
+            );
+        }
         out.push_str("}}");
         out
+    }
+}
+
+/// A finite JSON number; non-finite samples degrade to 0 (JSON has no NaN).
+struct Finite(f64);
+
+impl std::fmt::Display for Finite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_finite() {
+            write!(f, "{}", self.0)
+        } else {
+            write!(f, "0")
+        }
     }
 }
 
@@ -108,7 +180,19 @@ mod tests {
             name,
             tid: 1,
             ts_ns: 0,
+            flow: 0,
             kind: EventKind::Span { dur_ns },
+            args: Vec::new(),
+        }
+    }
+
+    fn counter(name: &'static str, ts_ns: u64, value: f64) -> TraceEvent {
+        TraceEvent {
+            name,
+            tid: 1,
+            ts_ns,
+            flow: 0,
+            kind: EventKind::Counter { value },
             args: Vec::new(),
         }
     }
@@ -122,6 +206,7 @@ mod tests {
                 name: "fault_injected",
                 tid: 1,
                 ts_ns: 5,
+                flow: 0,
                 kind: EventKind::Instant,
                 args: Vec::new(),
             },
@@ -136,6 +221,30 @@ mod tests {
     }
 
     #[test]
+    fn counters_surface_min_max_last() {
+        let events = vec![
+            counter("pool_occupancy", 10, 4.0),
+            counter("pool_occupancy", 20, 12.0),
+            counter("pool_occupancy", 30, 7.5),
+            counter("live_bytes", 15, 1024.0),
+        ];
+        let summary = summarize(&events);
+        let occ = &summary.counters["pool_occupancy"];
+        assert_eq!(occ.count, 3);
+        assert_eq!(occ.min, 4.0);
+        assert_eq!(occ.max, 12.0);
+        assert_eq!(occ.last, 7.5, "last follows timeline order");
+        assert_eq!(summary.counters["live_bytes"].count, 1);
+        let json = summary.to_json();
+        assert!(
+            json.contains(
+                "\"pool_occupancy\": {\"count\": 3, \"min\": 4, \"max\": 12, \"last\": 7.5}"
+            ),
+            "{json}"
+        );
+    }
+
+    #[test]
     fn json_is_deterministic_and_complete() {
         let events = vec![span("b_span", 2_000_000), span("a_span", 500_000)];
         let json = summarize(&events).to_json();
@@ -145,5 +254,14 @@ mod tests {
         );
         assert!(json.contains("\"total_ms\": 2.000"), "{json}");
         assert!(json.contains("\"events\": 2"), "{json}");
+        assert!(json.contains("\"events_dropped\": 0"), "{json}");
+        assert!(json.contains("\"counters\": {}"), "{json}");
+    }
+
+    #[test]
+    fn dropped_count_renders_when_set() {
+        let mut summary = summarize(&[span("s", 1)]);
+        summary.events_dropped = 42;
+        assert!(summary.to_json().contains("\"events_dropped\": 42"));
     }
 }

@@ -542,6 +542,11 @@ struct PrefetchedSub {
     out_meta: Vec<i32>,
     /// Frozen edge values for every out-edge, in vertex order.
     out_vals: Vec<f64>,
+    /// Trace flow id minted by the gatherer: the `sub_prefetch` span on the
+    /// gathering thread and the `sub_load` span on the consuming owner share
+    /// it, so the profiler can chain them across threads. 0 when tracing is
+    /// disabled.
+    flow: u64,
 }
 
 /// Shared prefetch schedule for one interval. `next` hands out gather
@@ -1277,9 +1282,11 @@ impl Engine {
                 out_vals.push(edge_values[eid as usize]);
             }
         }
-        facade_trace::complete(
+        let flow = facade_trace::next_flow_id();
+        facade_trace::complete_with_flow(
             "sub_prefetch",
             started,
+            flow,
             &[
                 ("first_vertex", start.into()),
                 ("edges", (in_total + out_total).into()),
@@ -1290,6 +1297,7 @@ impl Engine {
             in_vals,
             out_meta,
             out_vals,
+            flow,
         }
     }
 
@@ -1447,9 +1455,10 @@ impl Engine {
         };
         let load_result = load();
         timer.add(phases::LOAD, load_start.elapsed());
-        facade_trace::complete(
+        facade_trace::complete_with_flow(
             "sub_load",
             load_start,
+            prefetched.as_ref().map_or(0, |p| p.flow),
             &[
                 ("first_vertex", start.into()),
                 ("prefetched", prefetched.is_some().into()),

@@ -386,9 +386,19 @@ where
                         while let Some(claim) = queue.claim(w) {
                             let (pos, stolen_from) = claim.into_parts();
                             let (id, input) = (pending[pos].0, pending[pos].1.clone());
+                            // Stolen claims mint a flow id shared by the
+                            // steal instant and the partition_run span, so
+                            // the profiler chains rebalanced work across
+                            // threads; own claims stay unlinked.
+                            let flow = if stolen_from.is_some() {
+                                facade_trace::next_flow_id()
+                            } else {
+                                0
+                            };
                             if let Some(victim) = stolen_from {
-                                facade_trace::instant(
+                                facade_trace::instant_with_flow(
                                     "steal",
+                                    flow,
                                     &[
                                         ("phase", phase.to_string().into()),
                                         ("thief", w.into()),
@@ -397,6 +407,16 @@ where
                                     ],
                                 );
                             }
+                            let run_span = facade_trace::span_with_flow(
+                                "partition_run",
+                                flow,
+                                &[
+                                    ("phase", phase.to_string().into()),
+                                    ("partition", id.into()),
+                                    ("worker", w.into()),
+                                    ("stolen", stolen_from.is_some().into()),
+                                ],
+                            );
                             let out = match catch_unwind(AssertUnwindSafe(|| {
                                 worker(id, &mut store, &schema, input, level)
                             })) {
@@ -406,6 +426,7 @@ where
                                     Err(FailureCause::WorkerPanic(panic_message(payload.as_ref())))
                                 }
                             };
+                            drop(run_span);
                             let failed = out.is_err();
                             acc.partitions += 1;
                             acc.results.push((id, out));

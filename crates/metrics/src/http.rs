@@ -1,0 +1,226 @@
+//! A minimal hand-rolled HTTP listener serving the registry's Prometheus
+//! exposition.
+//!
+//! [`Registry::render_prometheus`] has existed since the registry landed,
+//! but nothing served it — scraping meant reading a `.prom` file off disk.
+//! [`MetricsServer`] closes that gap with the smallest thing that a
+//! Prometheus scraper (or `curl`) accepts: a blocking [`TcpListener`], one
+//! request per connection, `GET /metrics` → `200 text/plain; version=0.0.4`,
+//! anything else → `404`. No threads pool, no keep-alive, no TLS — the
+//! bench binaries call [`serve_one`](MetricsServer::serve_one) in a loop
+//! (or a single time under `--serve-metrics` smoke runs), and the future
+//! facade-server daemon (ROADMAP item 2) will mount the same rendering
+//! behind a real front end.
+
+use crate::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Longest request head accepted before the connection is dropped; a plain
+/// `GET /metrics HTTP/1.1` plus scraper headers fits comfortably.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Per-connection socket timeout so a stalled peer cannot wedge
+/// [`serve_one`](MetricsServer::serve_one) forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A blocking one-request-at-a-time Prometheus exposition endpoint.
+///
+/// ```
+/// use metrics::{MetricsServer, Registry};
+/// use std::sync::Arc;
+///
+/// let registry = Arc::new(Registry::new());
+/// registry.counter("demo_requests_total").inc();
+/// let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+/// let addr = server.local_addr();
+/// let client = std::thread::spawn(move || {
+///     use std::io::{Read, Write};
+///     let mut s = std::net::TcpStream::connect(addr).unwrap();
+///     s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+///     let mut body = String::new();
+///     s.read_to_string(&mut body).unwrap();
+///     body
+/// });
+/// server.serve_one().unwrap();
+/// let response = client.join().unwrap();
+/// assert!(response.starts_with("HTTP/1.1 200 OK"));
+/// assert!(response.contains("demo_requests_total"));
+/// ```
+pub struct MetricsServer {
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    local_addr: SocketAddr,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`; port 0 picks a free one) and
+    /// serves `registry`'s Prometheus text from it.
+    pub fn bind(addr: &str, registry: Arc<Registry>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(MetricsServer {
+            listener,
+            registry,
+            local_addr,
+        })
+    }
+
+    /// The bound address — useful when binding port 0.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Accepts exactly one connection, answers exactly one request, closes
+    /// the connection. Renders the registry at response time, so each
+    /// scrape sees current values. I/O errors on the *connection* are
+    /// returned but are safe to ignore in a serving loop (the listener
+    /// itself is untouched); errors from `accept` generally are not.
+    pub fn serve_one(&self) -> std::io::Result<()> {
+        let (stream, _peer) = self.listener.accept()?;
+        self.answer(stream)
+    }
+
+    fn answer(&self, mut stream: TcpStream) -> std::io::Result<()> {
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let head = read_request_head(&mut stream)?;
+        let (status, content_type, body) = match parse_request_target(&head) {
+            Some(("GET", "/metrics")) => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                self.registry.render_prometheus(),
+            ),
+            Some(("GET", _)) => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found; try /metrics\n".to_string(),
+            ),
+            _ => (
+                "405 Method Not Allowed",
+                "text/plain; charset=utf-8",
+                "only GET is supported\n".to_string(),
+            ),
+        };
+        let response = format!(
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len(),
+        );
+        stream.write_all(response.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Reads until the end of the request head (`\r\n\r\n`), a bounded number
+/// of bytes, or EOF — whichever comes first. The body (there should be
+/// none on a GET) is ignored.
+fn read_request_head(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// Extracts `(method, path)` from the request line; `None` if malformed.
+/// The query string, if any, is ignored (`/metrics?x=1` serves `/metrics`).
+fn parse_request_target(head: &str) -> Option<(&str, &str)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let path = target.split('?').next().unwrap_or(target);
+    Some((method, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn request(addr: SocketAddr, raw: &str) -> std::thread::JoinHandle<String> {
+        let raw = raw.to_string();
+        std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(raw.as_bytes()).expect("send");
+            let mut response = String::new();
+            s.read_to_string(&mut response).expect("receive");
+            response
+        })
+    }
+
+    #[test]
+    fn serves_prometheus_text_on_get_metrics() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("http_test_total").add(3);
+        registry.gauge("http_test_gauge").set(7);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let client = request(
+            server.local_addr(),
+            "GET /metrics HTTP/1.1\r\nHost: t\r\nUser-Agent: test\r\n\r\n",
+        );
+        server.serve_one().unwrap();
+        let response = client.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+        assert!(response.contains("http_test_total 3"), "{response}");
+        assert!(response.contains("http_test_gauge 7"), "{response}");
+        // Content-Length matches the body exactly.
+        let (head, body) = response.split_once("\r\n\r\n").expect("head/body split");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("length header")
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len());
+    }
+
+    #[test]
+    fn each_scrape_sees_current_values() {
+        let registry = Arc::new(Registry::new());
+        let counter = registry.counter("http_live_total");
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        counter.inc();
+        let first = request(server.local_addr(), "GET /metrics HTTP/1.1\r\n\r\n");
+        server.serve_one().unwrap();
+        assert!(first.join().unwrap().contains("http_live_total 1"));
+        counter.inc();
+        let second = request(server.local_addr(), "GET /metrics HTTP/1.1\r\n\r\n");
+        server.serve_one().unwrap();
+        assert!(second.join().unwrap().contains("http_live_total 2"));
+    }
+
+    #[test]
+    fn unknown_paths_get_404_and_bad_methods_405() {
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::new(Registry::new())).unwrap();
+        let client = request(server.local_addr(), "GET /other HTTP/1.1\r\n\r\n");
+        server.serve_one().unwrap();
+        assert!(client.join().unwrap().starts_with("HTTP/1.1 404"));
+        let client = request(server.local_addr(), "POST /metrics HTTP/1.1\r\n\r\n");
+        server.serve_one().unwrap();
+        assert!(client.join().unwrap().starts_with("HTTP/1.1 405"));
+    }
+
+    #[test]
+    fn query_strings_are_ignored() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("http_query_total").inc();
+        let server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let client = request(server.local_addr(), "GET /metrics?ts=1 HTTP/1.1\r\n\r\n");
+        server.serve_one().unwrap();
+        let response = client.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("http_query_total"), "{response}");
+    }
+}

@@ -14,6 +14,8 @@
 //! - [`Registry`] / [`Sampler`] — a process-wide live-metrics registry
 //!   (named counters, gauges, histograms; lock-free hot path; Prometheus and
 //!   JSON exposition) with an optional background sampling thread.
+//! - [`MetricsServer`] — a minimal hand-rolled HTTP listener serving the
+//!   registry's Prometheus text (`GET /metrics`).
 //! - [`FailureCause`] — the worker-failure vocabulary shared by the
 //!   engines' degradation ladders (OOM vs. panic, transient vs. not).
 //! - [`report`] — serializable experiment records.
@@ -33,6 +35,7 @@
 
 mod failure;
 mod histogram;
+mod http;
 mod memory;
 mod registry;
 mod resilience;
@@ -43,6 +46,7 @@ pub mod report;
 
 pub use failure::{FailureCause, panic_message};
 pub use histogram::DurationHistogram;
+pub use http::MetricsServer;
 pub use memory::{MemoryTracker, OutOfMemory, format_bytes};
 pub use registry::{Counter, Gauge, Histogram, Registry, Sampler};
 pub use resilience::{DegradationAction, DegradationEvent, ResilienceReport};

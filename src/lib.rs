@@ -24,10 +24,13 @@
 //! - [`graphchi`], [`hyracks`], [`gps`] — the three evaluated frameworks.
 //! - [`datagen`] — synthetic workload generators.
 //! - [`metrics`] — timers, memory accounting, and report tables.
+//! - [`prof`] — critical-path and scaling-bottleneck analysis over
+//!   facade-trace timelines.
 
 pub use datagen;
 pub use facade_compiler as compiler;
 pub use facade_ir as ir;
+pub use facade_prof as prof;
 pub use facade_runtime as runtime;
 pub use facade_vm as vm;
 pub use gps_rs as gps;
