@@ -46,7 +46,7 @@ fn inlining_ablation() {
                 ..EngineConfig::default()
             },
         );
-        let out = engine.run(&PageRank::new(4)).expect("run completes");
+        let out = engine.execute(&PageRank::new(4)).expect("run completes");
         table.row_owned(vec![
             label.to_string(),
             secs(out.timer.total()),

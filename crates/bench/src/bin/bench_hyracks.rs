@@ -19,9 +19,7 @@ use facade_bench::{
     census_json, export_trace, export_trace_from, mem_unit, mib, profile_json, scale, secs,
     serve_metrics_if_requested, speedup,
 };
-use hyracks_rs::{
-    Backend, ClusterConfig, EsOutput, JobStats, WcOutput, run_external_sort, run_wordcount,
-};
+use hyracks_rs::{Backend, Cluster, ClusterConfig, EsOutput, JobStats, WcOutput};
 use metrics::{Registry, TextTable};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -63,8 +61,12 @@ fn config(backend: Backend, threads: usize, budget: usize) -> ClusterConfig {
 
 fn run_at(words: &[String], backend: Backend, threads: usize, budget: usize) -> RunPair {
     let cfg = config(backend, threads, budget);
-    let wc = run_wordcount(words, &cfg).expect("WC fits its budget");
-    let es = run_external_sort(words, &cfg).expect("ES fits its budget");
+    let wc = Cluster::new(&cfg)
+        .word_count(words)
+        .expect("WC fits its budget");
+    let es = Cluster::new(&cfg)
+        .external_sort(words)
+        .expect("ES fits its budget");
     RunPair { threads, wc, es }
 }
 
@@ -227,8 +229,12 @@ fn main() {
         checkpoint_dir: Some(ckpt_dir.to_path_buf()),
         ..config(Backend::Facade, 1, budget)
     };
-    let ckpt_wc = run_wordcount(&words, &ckpt_cfg).expect("checkpointed WC fits its budget");
-    let ckpt_es = run_external_sort(&words, &ckpt_cfg).expect("checkpointed ES fits its budget");
+    let ckpt_wc = Cluster::new(&ckpt_cfg)
+        .word_count(&words)
+        .expect("checkpointed WC fits its budget");
+    let ckpt_es = Cluster::new(&ckpt_cfg)
+        .external_sort(&words)
+        .expect("checkpointed ES fits its budget");
     assert_eq!(
         baseline.es.payload(),
         ckpt_es.payload(),

@@ -45,7 +45,7 @@ fn run_at(graph: &Graph, backend: Backend, budget_bytes: usize, threads: usize) 
         },
     );
     engine
-        .run(&PageRank::new(4))
+        .execute(&PageRank::new(4))
         .expect("trajectory run fits its budget")
 }
 
@@ -213,7 +213,7 @@ fn main() {
         },
     );
     let ckpt_out = ckpt_engine
-        .run(&PageRank::new(4))
+        .execute(&PageRank::new(4))
         .expect("checkpointed run fits its budget");
     assert_eq!(
         baseline.values, ckpt_out.values,

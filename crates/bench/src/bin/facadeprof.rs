@@ -184,7 +184,9 @@ fn run_inline(workload: &str, threads: usize) -> (Vec<ProfEvent>, Vec<(u32, f64)
                         ..EngineConfig::default()
                     },
                 );
-                let out = engine.run(&PageRank::new(4)).expect("run fits its budget");
+                let out = engine
+                    .execute(&PageRank::new(4))
+                    .expect("run fits its budget");
                 out.timer.total().as_secs_f64()
             };
             eprintln!("facadeprof: GraphChi PageRank, 1-thread reference then {threads} threads");
@@ -194,7 +196,7 @@ fn run_inline(workload: &str, threads: usize) -> (Vec<ProfEvent>, Vec<(u32, f64)
         }
         "hyracks" => {
             use datagen::{CorpusSpec, corpus};
-            use hyracks_rs::{Backend, ClusterConfig, run_external_sort, run_wordcount};
+            use hyracks_rs::{Backend, Cluster, ClusterConfig};
             let words = corpus(&CorpusSpec::new(
                 (16.0 * unit as f64 * scale()) as usize,
                 11,
@@ -208,8 +210,12 @@ fn run_inline(workload: &str, threads: usize) -> (Vec<ProfEvent>, Vec<(u32, f64)
                     frame_bytes: 32 << 10,
                     ..ClusterConfig::default()
                 };
-                let wc = run_wordcount(&words, &cfg).expect("WC fits its budget");
-                let es = run_external_sort(&words, &cfg).expect("ES fits its budget");
+                let wc = Cluster::new(&cfg)
+                    .word_count(&words)
+                    .expect("WC fits its budget");
+                let es = Cluster::new(&cfg)
+                    .external_sort(&words)
+                    .expect("ES fits its budget");
                 wc.stats.elapsed.as_secs_f64() + es.stats.elapsed.as_secs_f64()
             };
             eprintln!("facadeprof: Hyracks WC+ES, 1-thread reference then {threads} threads");

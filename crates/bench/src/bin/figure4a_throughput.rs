@@ -5,10 +5,15 @@
 //! the relative gap largest on the smaller graphs (the paper measures 48%
 //! and 17% faster PR'/CC' on a 300M-edge graph vs 26.8%/5.8% on full
 //! twitter-2010).
+//!
+//! Runs through the unified [`facade_job`] API: one [`JobSpec`] per
+//! (app, backend) cell, executed by [`GraphChiRunner`], throughput taken
+//! from [`JobReport::work_units`](facade_job::JobReport) over elapsed time.
 
 use datagen::{Graph, GraphSpec};
 use facade_bench::{mem_unit, scale, write_records};
-use graphchi_rs::{Backend, ConnectedComponents, Engine, EngineConfig, PageRank, VertexProgram};
+use facade_job::{Dataset, ExecContext, GraphChiRunner, JobRunner, JobSpec, Workload};
+use graphchi_rs::Backend;
 use metrics::TextTable;
 use metrics::report::RunRecord;
 
@@ -24,36 +29,35 @@ fn main() {
 
     let mut table = TextTable::new(&["Edges", "PR (e/s)", "PR' (e/s)", "CC (e/s)", "CC' (e/s)"]);
     let mut records = Vec::new();
+    let ctx = ExecContext::default();
 
-    for spec in &series {
-        let graph = Graph::generate(spec);
-        let mut row = vec![format!("{}", graph.edge_count())];
-        for (app_name, app) in [
-            ("PR", Box::new(PageRank::new(4)) as Box<dyn VertexProgram>),
-            ("CC", Box::new(ConnectedComponents::new(20))),
+    for graph_spec in &series {
+        let data = Dataset::new(Vec::new(), Graph::generate(graph_spec));
+        let edges = data.graph.edge_count();
+        let mut row = vec![format!("{edges}")];
+        for (app_name, workload) in [
+            ("PR", Workload::PageRank { iterations: 4 }),
+            ("CC", Workload::ConnectedComponents { max_iterations: 20 }),
         ] {
             for backend in [Backend::Heap, Backend::Facade] {
-                let mut engine = Engine::new(
-                    &graph,
-                    EngineConfig {
-                        backend,
-                        budget_bytes: budget,
-                        intervals: 20,
-                        ..EngineConfig::default()
-                    },
-                );
-                let out = engine.run(app.as_ref()).expect("run completes");
-                let throughput = out.edges_processed as f64 / out.timer.total().as_secs_f64();
-                row.push(format!("{throughput:.0}"));
-                let mut rec = RunRecord::new(
-                    "figure4a",
-                    app_name,
-                    &format!("{}-edges", graph.edge_count()),
+                let spec = JobSpec {
+                    workload: workload.clone(),
                     backend,
-                );
+                    budget_bytes: budget,
+                    intervals: 20,
+                    threads: 0, // engine default, as the direct runs used
+                    ..JobSpec::default()
+                };
+                let report = GraphChiRunner
+                    .execute(&spec, &data, &ctx)
+                    .expect("run completes");
+                let throughput = report.work_units as f64 / report.elapsed.as_secs_f64();
+                row.push(format!("{throughput:.0}"));
+                let mut rec =
+                    RunRecord::new("figure4a", app_name, &format!("{edges}-edges"), backend);
                 rec.budget_bytes = budget as u64;
-                rec.total_secs = out.timer.total().as_secs_f64();
-                rec.scale = out.edges_processed;
+                rec.total_secs = report.elapsed.as_secs_f64();
+                rec.scale = report.work_units;
                 records.push(rec);
             }
         }

@@ -6,7 +6,7 @@
 
 use datagen::{CorpusSpec, corpus};
 use facade_bench::{mem_unit, mib, scale, workers, write_records};
-use hyracks_rs::{Backend, ClusterConfig, run_external_sort, run_wordcount};
+use hyracks_rs::{Backend, Cluster, ClusterConfig};
 use metrics::TextTable;
 use metrics::report::{Outcome, RunRecord};
 
@@ -33,11 +33,13 @@ fn main() {
                 let mut rec = RunRecord::new(figure, app, label, backend);
                 rec.budget_bytes = per_worker_budget as u64;
                 let result = if app == "ES" {
-                    run_external_sort(&words, &config)
+                    Cluster::new(&config)
+                        .external_sort(&words)
                         .map(|o| o.stats)
                         .map_err(|e| e.after)
                 } else {
-                    run_wordcount(&words, &config)
+                    Cluster::new(&config)
+                        .word_count(&words)
                         .map(|o| o.stats)
                         .map_err(|e| e.after)
                 };

@@ -35,7 +35,7 @@ fn main() {
                 ..EngineConfig::default()
             },
         );
-        let p = heap_engine.run(&PageRank::new(4)).expect("P completes");
+        let p = heap_engine.execute(&PageRank::new(4)).expect("P completes");
         let mut facade_engine = Engine::new(
             &graph,
             EngineConfig {
@@ -44,7 +44,9 @@ fn main() {
                 ..EngineConfig::default()
             },
         );
-        let p2 = facade_engine.run(&PageRank::new(4)).expect("P' completes");
+        let p2 = facade_engine
+            .execute(&PageRank::new(4))
+            .expect("P' completes");
 
         // The facade pool bound for the GraphChi schema: the engine is
         // single-threaded per store and its three data classes never pass

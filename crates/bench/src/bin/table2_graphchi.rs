@@ -48,7 +48,7 @@ fn main() {
                     Backend::Heap => format!("{name}-{budget_gb}g"),
                     Backend::Facade => format!("{name}'-{budget_gb}g"),
                 };
-                match engine.run(app.as_ref()) {
+                match engine.execute(app.as_ref()) {
                     Ok(out) => {
                         table.row_owned(vec![
                             label.clone(),

@@ -9,7 +9,7 @@
 
 use datagen::{CorpusSpec, corpus};
 use facade_bench::{mem_unit, scale, secs, workers, write_records};
-use hyracks_rs::{Backend, ClusterConfig, run_external_sort, run_wordcount};
+use hyracks_rs::{Backend, Cluster, ClusterConfig};
 use metrics::TextTable;
 use metrics::report::{Outcome, RunRecord};
 
@@ -42,7 +42,7 @@ fn main() {
                 rec.budget_bytes = per_worker_budget as u64;
                 rec.scale = words.len() as u64;
                 let cell = if runner {
-                    match run_external_sort(&words, &config) {
+                    match Cluster::new(&config).external_sort(&words) {
                         Ok(out) => {
                             rec.total_secs = out.stats.elapsed.as_secs_f64();
                             rec.gc_secs = out.stats.gc_time.as_secs_f64();
@@ -59,7 +59,7 @@ fn main() {
                         }
                     }
                 } else {
-                    match run_wordcount(&words, &config) {
+                    match Cluster::new(&config).word_count(&words) {
                         Ok(out) => {
                             rec.total_secs = out.stats.elapsed.as_secs_f64();
                             rec.gc_secs = out.stats.gc_time.as_secs_f64();

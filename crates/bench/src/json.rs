@@ -1,362 +1,8 @@
-//! A minimal JSON reader for the bench artifacts.
+//! Re-export of the workspace's hand-rolled JSON reader.
 //!
-//! The bench binaries *write* JSON by hand (no serialization dependency);
-//! the regression gate needs to *read* it back — both the checked-in
-//! baseline and a freshly generated report. This module is the matching
-//! hand-rolled reader: a small recursive-descent parser producing a
-//! [`Json`] tree with just enough accessors for the gate's comparisons.
-//!
-//! It is not a general-purpose JSON library: numbers parse to `f64`,
-//! object keys keep document order, and duplicate keys keep the first
-//! occurrence (`get` returns the first match).
+//! The parser started here (PR 6, for the regression gate) and moved to
+//! [`metrics::json`] when the job/server layers needed it too; this alias
+//! keeps `facade_bench::json::{parse, Json}` working for the gate and the
+//! `facadeprof`/`regression_gate` binaries.
 
-use std::fmt;
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number, as `f64`.
-    Num(f64),
-    /// A string, unescaped.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in document order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Looks up `key` in an object; `None` for other variants or a missing
-    /// key.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The numeric value, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The numeric value rounded to `u64`, if this is a non-negative number.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(n) if *n >= 0.0 => Some(*n as u64),
-            _ => None,
-        }
-    }
-
-    /// The string value, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The elements, if this is an array.
-    pub fn as_array(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-/// A parse failure, with the byte offset where parsing stopped.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    /// Byte offset of the failure.
-    pub offset: usize,
-    /// What went wrong.
-    pub message: &'static str,
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "JSON parse error at byte {}: {}",
-            self.offset, self.message
-        )
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-/// Parses a complete JSON document; trailing non-whitespace is an error.
-pub fn parse(input: &str) -> Result<Json, ParseError> {
-    let mut p = Parser {
-        bytes: input.as_bytes(),
-        pos: 0,
-    };
-    p.skip_ws();
-    let value = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing characters after document"));
-    }
-    Ok(value)
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, message: &'static str) -> ParseError {
-        ParseError {
-            offset: self.pos,
-            message,
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), ParseError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(message))
-        }
-    }
-
-    fn eat_literal(&mut self, lit: &str, value: Json) -> Result<Json, ParseError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(value)
-        } else {
-            Err(self.err("invalid literal"))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, ParseError> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.eat_literal("true", Json::Bool(true)),
-            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
-            Some(b'n') => self.eat_literal("null", Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'{', "expected '{'")?;
-        let mut pairs = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(pairs));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':', "expected ':' after object key")?;
-            self.skip_ws();
-            let value = self.value()?;
-            pairs.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(pairs));
-                }
-                _ => return Err(self.err("expected ',' or '}' in object")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'[', "expected '['")?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']' in array")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"', "expected '\"'")?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| self.err("invalid \\u escape"))?;
-                            self.pos += 4;
-                            // Surrogate pairs are not produced by our own
-                            // writers; map lone surrogates to the
-                            // replacement character rather than erroring.
-                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                        }
-                        _ => return Err(self.err("unknown escape character")),
-                    }
-                }
-                Some(_) => {
-                    // Consume one UTF-8 character (the input came from a
-                    // &str, so boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("peeked non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, ParseError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        if self.peek() == Some(b'.') {
-            self.pos += 1;
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
-        }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
-            self.pos += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.pos += 1;
-            }
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .filter(|n| n.is_finite())
-            .map(Json::Num)
-            .ok_or_else(|| self.err("invalid number"))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_scalars_and_containers() {
-        let doc = parse(r#"{"a": [1, 2.5, -3e2], "b": "x\ny", "c": true, "d": null}"#).unwrap();
-        assert_eq!(doc.get("a").unwrap().as_array().unwrap().len(), 3);
-        assert_eq!(
-            doc.get("a").unwrap().as_array().unwrap()[2].as_f64(),
-            Some(-300.0)
-        );
-        assert_eq!(doc.get("b").unwrap().as_str(), Some("x\ny"));
-        assert_eq!(doc.get("c"), Some(&Json::Bool(true)));
-        assert_eq!(doc.get("d"), Some(&Json::Null));
-        assert_eq!(doc.get("missing"), None);
-    }
-
-    #[test]
-    fn parses_nested_objects_and_unicode_escapes() {
-        let doc = parse(r#"{"outer": {"inner": {"deep": "A\"\\"}}}"#).unwrap();
-        let deep = doc
-            .get("outer")
-            .and_then(|o| o.get("inner"))
-            .and_then(|i| i.get("deep"))
-            .and_then(Json::as_str);
-        assert_eq!(deep, Some("A\"\\"));
-    }
-
-    #[test]
-    fn rejects_malformed_documents() {
-        for bad in [
-            "",
-            "{",
-            "[1, 2",
-            "{\"a\" 1}",
-            "{\"a\": 1} trailing",
-            "\"unterminated",
-            "nul",
-            "1.2.3",
-            "{\"a\": 01x}",
-        ] {
-            assert!(parse(bad).is_err(), "must reject {bad:?}");
-        }
-    }
-
-    #[test]
-    fn round_trips_a_real_bench_report_shape() {
-        let doc = parse(concat!(
-            "{\n  \"benchmark\": \"graphchi_pagerank_trajectory\",\n",
-            "  \"runs\": [\n",
-            "    {\"threads\": 1, \"wall_secs\": 0.087123, \"peak_bytes\": 4063232},\n",
-            "    {\"threads\": 2, \"wall_secs\": 0.062000, \"peak_bytes\": 4030464}\n",
-            "  ],\n  \"trace\": {\"events\": 0, \"instants\": {}}\n}\n",
-        ))
-        .unwrap();
-        let runs = doc.get("runs").unwrap().as_array().unwrap();
-        assert_eq!(runs.len(), 2);
-        assert_eq!(runs[0].get("threads").unwrap().as_u64(), Some(1));
-        assert!((runs[0].get("wall_secs").unwrap().as_f64().unwrap() - 0.087123).abs() < 1e-9);
-        assert_eq!(runs[1].get("peak_bytes").unwrap().as_u64(), Some(4_030_464));
-    }
-}
+pub use metrics::json::{Json, ParseError, escape, parse};

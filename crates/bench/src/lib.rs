@@ -135,10 +135,10 @@ pub fn profile_json(events: &[facade_trace::TraceEvent]) -> String {
 
 /// Handles the `--serve-metrics <addr>` flag shared by bench_trajectory and
 /// bench_hyracks: when present in `args`, binds the global metrics
-/// registry's Prometheus exposition at `addr` and blocks for exactly one
-/// request (one-shot scrape: `curl http://<addr>/metrics`) before
-/// returning. Call it after the report is written so the scrape sees final
-/// values.
+/// registry's Prometheus exposition at `addr`, serves until at least one
+/// request has been answered (one scrape: `curl http://<addr>/metrics`),
+/// then shuts the server down and returns. Call it after the report is
+/// written so the scrape sees final values.
 pub fn serve_metrics_if_requested(args: &[String]) {
     let Some(pos) = args.iter().position(|a| a == "--serve-metrics") else {
         return;
@@ -153,12 +153,12 @@ pub fn serve_metrics_if_requested(args: &[String]) {
             std::process::exit(2);
         });
     eprintln!(
-        "serving metrics at http://{}/metrics (one request, then exit)",
+        "serving metrics at http://{}/metrics (exits after the first scrape)",
         server.local_addr()
     );
-    if let Err(e) = server.serve_one() {
-        eprintln!("--serve-metrics: {e}");
-    }
+    let handle = server.start(1);
+    handle.wait_for_requests(1);
+    handle.shutdown();
 }
 
 /// Renders a [`data_store::StoreCensus`] as one JSON object, for the

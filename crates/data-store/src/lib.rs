@@ -45,7 +45,9 @@ pub use facade_runtime::test_support;
 use facade_runtime::{
     ElemKind as PElem, FieldKind as PField, PageRef, PagedHeap, PagedHeapConfig, TypeId,
 };
-pub use facade_runtime::{PagePool, PagePoolConfig, PoolBacking, PoolCounters, RecoveryError};
+pub use facade_runtime::{
+    EpochLedger, NO_EPOCH, PagePool, PagePoolConfig, PoolBacking, PoolCounters, RecoveryError,
+};
 pub use managed_heap::{
     AllocSiteStat, CensusRow, HeapCensus, HeapConfig, PauseRecord, merge_site_profiles,
 };
@@ -309,6 +311,7 @@ pub struct StoreBuilder {
     heap_config: Option<HeapConfig>,
     pool: Option<Arc<PagePool>>,
     pool_backing: Option<PoolBacking>,
+    job_epoch: u64,
     #[cfg(feature = "fault-injection")]
     fault_plan: Option<FaultPlan>,
 }
@@ -321,6 +324,7 @@ impl Default for StoreBuilder {
             heap_config: None,
             pool: None,
             pool_backing: None,
+            job_epoch: NO_EPOCH,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
         }
@@ -381,6 +385,18 @@ impl StoreBuilder {
         self
     }
 
+    /// Tags the facade backend's shared-pool page traffic with a job epoch
+    /// minted by [`PagePool::begin_epoch`], so a multi-job scheduler can
+    /// reconcile (and bulk-account) each job's pages at retirement via
+    /// [`PagePool::epoch_ledger`]. Meaningful only together with
+    /// [`pool`](Self::pool); ignored by the heap backend. Defaults to
+    /// [`NO_EPOCH`] (untracked).
+    #[must_use]
+    pub fn job_epoch(mut self, epoch: u64) -> Self {
+        self.job_epoch = epoch;
+        self
+    }
+
     /// Installs a fault schedule on the facade backend's paged heap (a
     /// no-op on the heap backend, which has no paged allocator to inject
     /// into). Clone one plan across the stores of a run to inject against
@@ -409,6 +425,7 @@ impl StoreBuilder {
             Backend::Facade => {
                 let config = PagedHeapConfig {
                     budget_bytes: self.budget_bytes.map(|b| b as u64),
+                    job_epoch: self.job_epoch,
                 };
                 let paged = match (self.pool, self.pool_backing) {
                     (Some(pool), _) => PagedHeap::with_pool(config, pool),
@@ -1155,6 +1172,46 @@ mod tests {
                 .release_pages(),
             0
         );
+    }
+
+    #[test]
+    fn job_epoch_ledger_reconciles_at_store_retirement() {
+        let pool = Arc::new(PagePool::with_default_config());
+        let fill = |s: &mut Store| {
+            let c = s.register_class("T", &[FieldTy::I64; 4]);
+            let it = s.iteration_start();
+            for _ in 0..50_000 {
+                s.alloc(c).unwrap();
+            }
+            s.iteration_end(it);
+        };
+        // Prime the supply untagged, as a resident server would at warm-up.
+        let mut donor = Store::builder()
+            .budget(64 << 20)
+            .pool(Arc::clone(&pool))
+            .build();
+        fill(&mut donor);
+        donor.release_pages();
+
+        let epoch = pool.begin_epoch();
+        let mut job = Store::builder()
+            .budget(64 << 20)
+            .pool(Arc::clone(&pool))
+            .job_epoch(epoch)
+            .build();
+        fill(&mut job);
+        let stats = job.stats();
+        assert!(stats.pages_from_pool > 0, "job drew from the shared supply");
+        drop(job); // retirement flushes recycled + cached pages, tagged
+
+        let ledger = pool.retire_epoch(epoch).expect("epoch was live");
+        assert_eq!(ledger.pages_out, stats.pages_from_pool);
+        assert_eq!(
+            ledger.pages_in,
+            ledger.pages_out + stats.pages_created,
+            "every page the job drew came back, plus its fresh-page donations"
+        );
+        assert_eq!(pool.live_epochs(), 0);
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! Public-API snapshot check: the `pub` surface of `data-store` is written
-//! out (declaration signatures, per source file) and compared against the
-//! checked-in snapshot under `api/`. An unreviewed API change — a renamed
-//! builder method, a constructor losing its deprecation shim, a struct
-//! going private — fails this test before it reaches a consumer.
+//! Public-API snapshot check: the `pub` surface of `data-store` — plus the
+//! unified job API (`facade-job`) and the daemon built on it
+//! (`facade-server`) — is written out (declaration signatures, per source
+//! file) and compared against the checked-in snapshot under `api/`. An
+//! unreviewed API change — a renamed builder method, a constructor losing
+//! its deprecation shim, a struct going private — fails this test before
+//! it reaches a consumer.
 //!
 //! To accept an intentional change, regenerate the snapshot:
 //!
@@ -68,9 +70,10 @@ fn signature(lines: &[&str], start: usize) -> String {
     sig.split_whitespace().collect::<Vec<_>>().join(" ")
 }
 
-/// Renders the crate's public surface, one `file: signature` line each,
-/// sorted for stability.
-fn render_surface(src: &Path) -> String {
+/// Renders one crate's public surface into `entries`, one
+/// `label/file: signature` line each (`file: signature` when the label is
+/// empty, keeping historical data-store lines stable).
+fn render_crate(entries: &mut Vec<String>, label: &str, src: &Path) {
     let mut files: Vec<PathBuf> = fs::read_dir(src)
         .expect("src dir exists")
         .map(|e| e.expect("dir entry").path())
@@ -78,9 +81,13 @@ fn render_surface(src: &Path) -> String {
         .collect();
     files.sort();
 
-    let mut entries: Vec<String> = Vec::new();
     for path in files {
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let name = if label.is_empty() {
+            name
+        } else {
+            format!("{label}/{name}")
+        };
         let text = fs::read_to_string(&path).expect("source file reads");
         let lines: Vec<&str> = text.lines().collect();
         for (i, line) in lines.iter().enumerate() {
@@ -89,6 +96,24 @@ fn render_surface(src: &Path) -> String {
             }
         }
     }
+}
+
+/// Renders the whole pinned surface: data-store plus the job-API crates
+/// layered on top of it, sorted for stability.
+fn render_surface() -> String {
+    let crates_dir = manifest_dir().parent().unwrap().to_path_buf();
+    let mut entries: Vec<String> = Vec::new();
+    render_crate(&mut entries, "", &manifest_dir().join("src"));
+    render_crate(
+        &mut entries,
+        "facade-job",
+        &crates_dir.join("facade-job/src"),
+    );
+    render_crate(
+        &mut entries,
+        "facade-server",
+        &crates_dir.join("facade-server/src"),
+    );
     entries.sort();
     entries.dedup();
     let mut out = String::new();
@@ -101,7 +126,7 @@ fn render_surface(src: &Path) -> String {
 #[test]
 fn public_api_matches_snapshot() {
     let snapshot_path = manifest_dir().join("api/public-api.txt");
-    let current = render_surface(&manifest_dir().join("src"));
+    let current = render_surface();
 
     if std::env::var("FACADE_UPDATE_API").is_ok() {
         fs::create_dir_all(snapshot_path.parent().unwrap()).unwrap();
@@ -130,7 +155,7 @@ fn public_api_matches_snapshot() {
             }
         }
         panic!(
-            "data-store's public API changed:\n{diff}\n\
+            "the pinned public API (data-store / facade-job / facade-server) changed:\n{diff}\n\
              If intentional, review the diff and regenerate the snapshot:\n  \
              FACADE_UPDATE_API=1 cargo test -p data-store --test public_api"
         );
@@ -156,6 +181,30 @@ fn snapshot_pins_the_deprecated_constructors() {
         assert!(
             snapshot.contains(item),
             "snapshot must pin `{item}` on the public surface"
+        );
+    }
+}
+
+/// The unified job API the server redesign introduced is a contract too:
+/// the spec/handle/runner trio and the dispatcher entry points must stay on
+/// the snapshot so a consumer-breaking rename is a reviewed change.
+#[test]
+fn snapshot_pins_the_job_api_surface() {
+    let snapshot = fs::read_to_string(manifest_dir().join("api/public-api.txt"))
+        .expect("snapshot is checked in");
+    for item in [
+        "facade-job/spec.rs: pub struct JobSpec",
+        "facade-job/dispatch.rs: pub struct JobHandle",
+        "facade-job/runner.rs: pub trait JobRunner: Send + Sync",
+        "facade-job/dispatch.rs: pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, JobError>",
+        "facade-job/runner.rs: pub fn default_runners() -> Vec<Box<dyn JobRunner>>",
+        "facade-server/server.rs: pub struct FacadeServer",
+        "facade-server/admission.rs: pub struct AdmissionController",
+        "facade-server/server.rs: pub fn shutdown(self) -> ShutdownReport",
+    ] {
+        assert!(
+            snapshot.contains(item),
+            "snapshot must pin `{item}` on the job-API surface"
         );
     }
 }

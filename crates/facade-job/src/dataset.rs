@@ -1,0 +1,51 @@
+//! The resident dataset jobs run against.
+
+use datagen::{CorpusSpec, Graph, GraphSpec, corpus};
+use std::sync::Arc;
+
+/// The inputs a job host keeps resident: one corpus (WC/ES) and one graph
+/// (PR/CC), shared by reference across every concurrent job — loading or
+/// generating them is paid once, not per submission. Cloning a `Dataset`
+/// clones two `Arc`s.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The text corpus cluster workloads consume.
+    pub corpus: Arc<Vec<String>>,
+    /// The graph the vertex workloads consume.
+    pub graph: Arc<Graph>,
+}
+
+impl Dataset {
+    /// A dataset from already-loaded inputs.
+    pub fn new(corpus: Vec<String>, graph: Graph) -> Dataset {
+        Dataset {
+            corpus: Arc::new(corpus),
+            graph: Arc::new(graph),
+        }
+    }
+
+    /// The deterministic synthetic dataset: `corpus_bytes` of Zipfian text
+    /// and a `vertices`/`edges` power-law graph, both seeded — two hosts
+    /// booted with the same arguments serve bit-identical jobs.
+    pub fn synthetic(vertices: u32, edges: u64, corpus_bytes: usize, seed: u64) -> Dataset {
+        Dataset::new(
+            corpus(&CorpusSpec::new(corpus_bytes, seed)),
+            Graph::generate(&GraphSpec::new(vertices, edges, seed)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_datasets_are_deterministic_and_cheap_to_clone() {
+        let a = Dataset::synthetic(200, 800, 10_000, 42);
+        let b = Dataset::synthetic(200, 800, 10_000, 42);
+        assert_eq!(*a.corpus, *b.corpus);
+        assert_eq!(a.graph.edges.len(), b.graph.edges.len());
+        let c = a.clone();
+        assert!(Arc::ptr_eq(&a.corpus, &c.corpus), "clone shares the corpus");
+    }
+}

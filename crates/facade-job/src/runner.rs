@@ -1,0 +1,347 @@
+//! The [`JobRunner`] trait and its two engine adapters.
+
+use crate::{Dataset, JobError, JobOutput, JobSpec, Workload};
+use data_store::{EpochLedger, PagePool, PoolCounters};
+use graphchi_rs::{ConnectedComponents, Engine, EngineConfig, PageRank};
+use hyracks_rs::{Cluster, ClusterConfig};
+use metrics::ResilienceReport;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Execution-time context a host threads into a run: the shared page pool
+/// (or `None` for a private per-job pool) and the job's pool epoch. The
+/// dispatcher mints one epoch per admitted job so the pool can attribute —
+/// and bulk-reconcile — every page the job touches.
+#[derive(Debug, Clone, Default)]
+pub struct ExecContext {
+    /// Shared pool facade-backed stores draw from; `None` = private pool.
+    pub pool: Option<Arc<PagePool>>,
+    /// Epoch tag for this job's pool traffic ([`data_store::NO_EPOCH`] =
+    /// untagged).
+    pub epoch: u64,
+}
+
+/// Per-epoch page accounting at job retirement, with the reconciliation
+/// verdict: a retired job must have returned every page it drew *plus*
+/// every page its worker heaps created and donated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochSummary {
+    /// The epoch the dispatcher minted for this job.
+    pub epoch: u64,
+    /// The final ledger [`PagePool::retire_epoch`] returned.
+    pub ledger: EpochLedger,
+    /// Fresh pages the job's heaps created (the expected donation surplus).
+    pub pages_created: u64,
+    /// `pages_in == pages_out + pages_created` — no page of this job's
+    /// epoch leaked or was double-returned.
+    pub reconciled: bool,
+}
+
+/// Everything a completed job reports back through a
+/// [`JobHandle`](crate::JobHandle).
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The spec as executed.
+    pub spec: JobSpec,
+    /// The semantically visible output (fingerprintable).
+    pub output: JobOutput,
+    /// Wall-clock execution time, excluding queueing.
+    pub elapsed: Duration,
+    /// Retries, degradation-ladder rungs, checkpoints, injected faults.
+    pub resilience: ResilienceReport,
+    /// Page-pool counters visible at job end (facade runs).
+    pub pool: Option<PoolCounters>,
+    /// Fresh pages the job's worker heaps created.
+    pub pages_created: u64,
+    /// Engine-reported work volume — edges processed for graph jobs,
+    /// records allocated for cluster jobs; the throughput numerator
+    /// (Figure 4(a) divides this by `elapsed`).
+    pub work_units: u64,
+    /// Per-job epoch accounting; `None` when the job ran without a shared
+    /// pool (nothing to reconcile against). Filled by the dispatcher at
+    /// retirement, after the runner returns.
+    pub epoch: Option<EpochSummary>,
+}
+
+/// An engine adapter: executes the specs it [`supports`](JobRunner::supports).
+/// Implementations are shared across dispatcher executor threads.
+pub trait JobRunner: Send + Sync {
+    /// Engine name for listings and error messages.
+    fn name(&self) -> &'static str;
+
+    /// Whether this runner executes the given workload.
+    fn supports(&self, workload: &Workload) -> bool;
+
+    /// Runs the job synchronously on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Failed`] when the engine exhausts its retry/degradation
+    /// ladder; [`JobError::Invalid`] when the spec is outside what the
+    /// engine can express.
+    fn execute(
+        &self,
+        spec: &JobSpec,
+        data: &Dataset,
+        ctx: &ExecContext,
+    ) -> Result<JobReport, JobError>;
+}
+
+/// Routes graph workloads (PR/CC) to the GraphChi-style engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GraphChiRunner;
+
+impl JobRunner for GraphChiRunner {
+    fn name(&self) -> &'static str {
+        "graphchi"
+    }
+
+    fn supports(&self, workload: &Workload) -> bool {
+        !workload.uses_corpus()
+    }
+
+    fn execute(
+        &self,
+        spec: &JobSpec,
+        data: &Dataset,
+        ctx: &ExecContext,
+    ) -> Result<JobReport, JobError> {
+        let config = EngineConfig {
+            backend: spec.backend,
+            budget_bytes: spec.budget_bytes,
+            intervals: spec.intervals,
+            threads: if spec.threads == 0 {
+                EngineConfig::default().threads
+            } else {
+                spec.threads
+            },
+            pool: ctx.pool.clone(),
+            job_epoch: ctx.epoch,
+            checkpoint_dir: spec.checkpoint_dir.clone(),
+            #[cfg(feature = "fault-injection")]
+            fault_plan: spec.fault_plan.clone(),
+            ..EngineConfig::default()
+        };
+        let started = Instant::now();
+        let mut engine = Engine::new(&data.graph, config);
+        let outcome = match &spec.workload {
+            Workload::PageRank { iterations } => engine.execute(&PageRank::new(*iterations)),
+            Workload::ConnectedComponents { max_iterations } => {
+                engine.execute(&ConnectedComponents::new(*max_iterations))
+            }
+            other => {
+                return Err(JobError::Invalid(format!(
+                    "{} does not run `{other}`",
+                    self.name()
+                )));
+            }
+        }
+        .map_err(|e| JobError::Failed(e.to_string()))?;
+        Ok(JobReport {
+            spec: spec.clone(),
+            output: JobOutput::Vertices {
+                values: outcome.values,
+            },
+            elapsed: started.elapsed(),
+            resilience: outcome.resilience,
+            pool: outcome.pool,
+            pages_created: outcome.stats.pages_created,
+            work_units: outcome.edges_processed,
+            epoch: None,
+        })
+    }
+}
+
+/// Routes cluster workloads (WC/ES) to the Hyracks-style cluster.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HyracksRunner;
+
+impl JobRunner for HyracksRunner {
+    fn name(&self) -> &'static str {
+        "hyracks"
+    }
+
+    fn supports(&self, workload: &Workload) -> bool {
+        workload.uses_corpus()
+    }
+
+    fn execute(
+        &self,
+        spec: &JobSpec,
+        data: &Dataset,
+        ctx: &ExecContext,
+    ) -> Result<JobReport, JobError> {
+        let config = ClusterConfig {
+            workers: spec.workers,
+            threads: if spec.threads == 0 {
+                ClusterConfig::default().threads
+            } else {
+                spec.threads
+            },
+            backend: spec.backend,
+            // The spec's budget is per worker here: a cluster node's -Xmx.
+            per_worker_budget: spec.budget_bytes,
+            frame_bytes: spec.frame_bytes,
+            pool: ctx.pool.clone(),
+            job_epoch: ctx.epoch,
+            checkpoint_dir: spec.checkpoint_dir.clone(),
+            resume: spec.checkpoint_dir.is_some(),
+            #[cfg(feature = "fault-injection")]
+            fault_plan: spec.fault_plan.clone(),
+            ..ClusterConfig::default()
+        };
+        let started = Instant::now();
+        let cluster = Cluster::new(&config);
+        let (output, stats) = match &spec.workload {
+            Workload::WordCount => {
+                let wc = cluster
+                    .word_count(&data.corpus)
+                    .map_err(|e| JobError::Failed(e.to_string()))?;
+                (
+                    JobOutput::WordCount {
+                        distinct: wc.distinct_words,
+                        total: wc.total_count,
+                        counts: wc.counts,
+                    },
+                    wc.stats,
+                )
+            }
+            Workload::ExternalSort => {
+                let es = cluster
+                    .external_sort(&data.corpus)
+                    .map_err(|e| JobError::Failed(e.to_string()))?;
+                (
+                    JobOutput::ExternalSort {
+                        rows: es.total_records,
+                        checksum: es.checksum,
+                    },
+                    es.stats,
+                )
+            }
+            other => {
+                return Err(JobError::Invalid(format!(
+                    "{} does not run `{other}`",
+                    self.name()
+                )));
+            }
+        };
+        Ok(JobReport {
+            spec: spec.clone(),
+            output,
+            elapsed: started.elapsed(),
+            resilience: stats.resilience.clone(),
+            pool: stats.pool,
+            pages_created: stats.pages_created,
+            work_units: stats.records_allocated,
+            epoch: None,
+        })
+    }
+}
+
+/// The default runner set: both engines, every [`Workload`] covered.
+pub fn default_runners() -> Vec<Box<dyn JobRunner>> {
+    vec![Box::new(GraphChiRunner), Box::new(HyracksRunner)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metrics::report::Backend;
+
+    fn dataset() -> Dataset {
+        Dataset::synthetic(300, 1_200, 20_000, 7)
+    }
+
+    fn spec(workload: Workload) -> JobSpec {
+        JobSpec {
+            workload,
+            budget_bytes: 8 << 20,
+            threads: 2,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn runners_cover_every_workload_exactly_once() {
+        let runners = default_runners();
+        for w in [
+            Workload::WordCount,
+            Workload::ExternalSort,
+            Workload::PageRank { iterations: 2 },
+            Workload::ConnectedComponents { max_iterations: 4 },
+        ] {
+            assert_eq!(
+                runners.iter().filter(|r| r.supports(&w)).count(),
+                1,
+                "exactly one engine claims {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn runner_outputs_match_direct_engine_runs() {
+        let data = dataset();
+        let ctx = ExecContext::default();
+        // PageRank through the unified API vs. the engine called directly.
+        let report = GraphChiRunner
+            .execute(&spec(Workload::PageRank { iterations: 3 }), &data, &ctx)
+            .unwrap();
+        let direct = Engine::new(
+            &data.graph,
+            EngineConfig {
+                backend: Backend::Facade,
+                budget_bytes: 8 << 20,
+                intervals: 8,
+                threads: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .execute(&PageRank::new(3))
+        .unwrap();
+        assert_eq!(
+            report.output.fingerprint(),
+            JobOutput::Vertices {
+                values: direct.values
+            }
+            .fingerprint(),
+            "unified API output is bit-identical to the direct engine run"
+        );
+        // WordCount likewise.
+        let report = HyracksRunner
+            .execute(&spec(Workload::WordCount), &data, &ctx)
+            .unwrap();
+        let direct = Cluster::new(&ClusterConfig {
+            workers: 4,
+            threads: 2,
+            backend: Backend::Facade,
+            per_worker_budget: 8 << 20,
+            frame_bytes: 16 << 10,
+            ..ClusterConfig::default()
+        })
+        .word_count(&data.corpus)
+        .unwrap();
+        assert_eq!(
+            report.output.fingerprint(),
+            JobOutput::WordCount {
+                distinct: direct.distinct_words,
+                total: direct.total_count,
+                counts: direct.counts
+            }
+            .fingerprint()
+        );
+    }
+
+    #[test]
+    fn wrong_engine_rejects_the_workload() {
+        let data = dataset();
+        let ctx = ExecContext::default();
+        let err = GraphChiRunner
+            .execute(&spec(Workload::WordCount), &data, &ctx)
+            .unwrap_err();
+        assert!(matches!(err, JobError::Invalid(_)), "{err}");
+        let err = HyracksRunner
+            .execute(&spec(Workload::PageRank { iterations: 1 }), &data, &ctx)
+            .unwrap_err();
+        assert!(matches!(err, JobError::Invalid(_)), "{err}");
+    }
+}

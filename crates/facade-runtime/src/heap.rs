@@ -55,6 +55,10 @@ pub struct PagedHeapConfig {
     /// harness enforces the paper's "fair comparison" rule (§4.2: a `P'`
     /// execution consuming more than the budget counts as a failure).
     pub budget_bytes: Option<u64>,
+    /// Job epoch this heap's shared-pool traffic is charged to (see
+    /// [`PagePool::begin_epoch`]). Defaults to [`crate::NO_EPOCH`]: no
+    /// per-job ledger, the pre-server behavior.
+    pub job_epoch: u64,
 }
 
 /// One page manager: the allocation context of a ⟨iteration, thread⟩ pair
@@ -397,7 +401,7 @@ impl PagedHeap {
                 Some(budget) => ((budget - self.held_bytes) / PAGE_BYTES as u64) as usize,
                 None => POOL_BATCH,
             };
-            let batch = pool.acquire_batch(room.min(POOL_BATCH));
+            let batch = pool.acquire_batch_tagged(room.min(POOL_BATCH), self.config.job_epoch);
             if !batch.is_empty() {
                 self.stats.pages_from_pool += batch.len() as u64;
                 self.page_cache.extend(batch);
@@ -434,7 +438,7 @@ impl PagedHeap {
         }
         let n = batch.len();
         self.stats.pages_to_pool += n as u64;
-        pool.release_batch(batch);
+        pool.release_batch_tagged(batch, self.config.job_epoch);
         n
     }
 
@@ -1093,6 +1097,7 @@ mod tests {
     fn budget_is_enforced() {
         let mut h = PagedHeap::with_config(PagedHeapConfig {
             budget_bytes: Some(3 * PAGE_BYTES as u64),
+            ..PagedHeapConfig::default()
         });
         let t = h.register_type("T", &[FieldKind::I64; 8]);
         let mut failed = false;
@@ -1179,6 +1184,7 @@ mod tests {
         let mut h = PagedHeap::with_pool(
             PagedHeapConfig {
                 budget_bytes: Some(budget),
+                ..PagedHeapConfig::default()
             },
             Arc::clone(&pool),
         );

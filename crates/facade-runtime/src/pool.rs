@@ -40,6 +40,33 @@ use std::time::Instant;
 /// How many pages a heap pulls from / pushes to the pool per shard visit.
 pub const POOL_BATCH: usize = 8;
 
+/// The epoch tag of untracked page traffic. Epoch `0` is never minted by
+/// [`PagePool::begin_epoch`], so plain [`PagePool::acquire_batch`] /
+/// [`PagePool::release_batch`] calls (which tag with `NO_EPOCH`) stay off
+/// every ledger.
+pub const NO_EPOCH: u64 = 0;
+
+/// Per-epoch page-traffic ledger: how many pages the pool handed to and
+/// received back from holders tagged with one job epoch. A retired job's
+/// ledger reconciles when `pages_in == pages_out + pages_created_by_job`
+/// (fresh pages a job's heaps created are donated to the pool at
+/// retirement, so they land in `pages_in` without ever being handed out).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochLedger {
+    /// Pages handed out to holders tagged with this epoch.
+    pub pages_out: u64,
+    /// Pages returned by holders tagged with this epoch.
+    pub pages_in: u64,
+}
+
+impl EpochLedger {
+    /// Pages still out under this epoch, net of fresh-page donations
+    /// (negative when the epoch donated more than it drew).
+    pub fn balance(&self) -> i64 {
+        self.pages_out as i64 - self.pages_in as i64
+    }
+}
+
 /// A page buffer in transit through the pool: raw bytes plus the dirty
 /// high-water mark (bytes below it may hold stale data and are re-zeroed
 /// lazily by the next owner's bump allocator).
@@ -182,6 +209,12 @@ pub struct PagePool {
     release_ns_max: AtomicU64,
     /// The durable tier, present only under [`PoolBacking::File`].
     backing: Option<FileBacking>,
+    /// Next job epoch to mint; starts at 1 so [`NO_EPOCH`] is never issued.
+    next_epoch: AtomicU64,
+    /// Live (begun, not yet retired) epoch ledgers. A `Vec` keyed by epoch
+    /// id: a server runs a handful of jobs at once, so a linear scan under
+    /// one mutex beats hashing, and untagged traffic never takes the lock.
+    epochs: Mutex<Vec<(u64, EpochLedger)>>,
     /// Installed fault schedule; consulted on every batch acquire once
     /// [`fault_armed`](Self::fault_armed) says a plan exists.
     #[cfg(feature = "fault-injection")]
@@ -326,6 +359,8 @@ impl PagePool {
             release_calls: AtomicU64::new(0),
             release_ns_total: AtomicU64::new(0),
             release_ns_max: AtomicU64::new(0),
+            next_epoch: AtomicU64::new(1),
+            epochs: Mutex::new(Vec::new()),
             #[cfg(feature = "fault-injection")]
             fault: Mutex::new(None),
             #[cfg(feature = "fault-injection")]
@@ -379,6 +414,13 @@ impl PagePool {
     /// fresh). A racing concurrent release may make that read stale; the
     /// caller then creates a fresh page, which is always sound.
     pub fn acquire_batch(&self, max: usize) -> Vec<PooledPage> {
+        self.acquire_batch_tagged(max, NO_EPOCH)
+    }
+
+    /// [`acquire_batch`](Self::acquire_batch) with the traffic charged to
+    /// `epoch`'s ledger (see [`PagePool::begin_epoch`]). Tagging with
+    /// [`NO_EPOCH`] — or with an epoch already retired — records nothing.
+    pub fn acquire_batch_tagged(&self, max: usize, epoch: u64) -> Vec<PooledPage> {
         let timed = Instant::now();
         #[cfg(feature = "fault-injection")]
         if self.fault_armed.load(Ordering::Acquire) {
@@ -417,8 +459,62 @@ impl PagePool {
         }
         self.handed_out
             .fetch_add(out.len() as u64, Ordering::Relaxed);
+        if epoch != NO_EPOCH && !out.is_empty() {
+            self.note_epoch(epoch, out.len() as u64, 0);
+        }
         self.note_acquire(timed, out.len());
         out
+    }
+
+    // ----- job epochs -------------------------------------------------------
+
+    /// Mints a fresh job epoch and opens its [`EpochLedger`]. Traffic moved
+    /// with [`acquire_batch_tagged`](Self::acquire_batch_tagged) /
+    /// [`release_batch_tagged`](Self::release_batch_tagged) under the
+    /// returned id is charged to that ledger until
+    /// [`retire_epoch`](Self::retire_epoch) closes it.
+    pub fn begin_epoch(&self) -> u64 {
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+        self.epoch_guard().push((epoch, EpochLedger::default()));
+        epoch
+    }
+
+    /// The current ledger of a live epoch; `None` once retired (or never
+    /// begun).
+    pub fn epoch_ledger(&self, epoch: u64) -> Option<EpochLedger> {
+        self.epoch_guard()
+            .iter()
+            .find(|(e, _)| *e == epoch)
+            .map(|(_, l)| *l)
+    }
+
+    /// Closes a job epoch and returns its final ledger (`None` if unknown).
+    /// Later traffic tagged with the retired id is ignored, so retirement
+    /// must happen only after every holder tagged with it is gone.
+    pub fn retire_epoch(&self, epoch: u64) -> Option<EpochLedger> {
+        let mut epochs = self.epoch_guard();
+        let idx = epochs.iter().position(|(e, _)| *e == epoch)?;
+        Some(epochs.swap_remove(idx).1)
+    }
+
+    /// Number of epochs begun and not yet retired.
+    pub fn live_epochs(&self) -> usize {
+        self.epoch_guard().len()
+    }
+
+    fn epoch_guard(&self) -> std::sync::MutexGuard<'_, Vec<(u64, EpochLedger)>> {
+        match self.epochs.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn note_epoch(&self, epoch: u64, out: u64, back: u64) {
+        let mut epochs = self.epoch_guard();
+        if let Some((_, ledger)) = epochs.iter_mut().find(|(e, _)| *e == epoch) {
+            ledger.pages_out += out;
+            ledger.pages_in += back;
+        }
     }
 
     /// Reads up to `want` spilled pages back from the pool file. A read
@@ -476,8 +572,18 @@ impl PagePool {
     /// file; either way every page stays acquirable, so `in_pool` (and the
     /// occupancy high-water mark) counts both tiers.
     pub fn release_batch(&self, pages: Vec<PooledPage>) {
+        self.release_batch_tagged(pages, NO_EPOCH)
+    }
+
+    /// [`release_batch`](Self::release_batch) with the traffic charged to
+    /// `epoch`'s ledger. Tagging with [`NO_EPOCH`] — or with an epoch
+    /// already retired — records nothing.
+    pub fn release_batch_tagged(&self, pages: Vec<PooledPage>, epoch: u64) {
         if pages.is_empty() {
             return;
+        }
+        if epoch != NO_EPOCH {
+            self.note_epoch(epoch, 0, pages.len() as u64);
         }
         let timed = Instant::now();
         let count = pages.len() as u64;
@@ -801,6 +907,70 @@ mod tests {
         // Slots freed by fault-in are reused: spill again, file stays 5 slots.
         pool.release_batch(got);
         assert_eq!(pool.counters().pages_spilled, 10);
+    }
+
+    #[test]
+    fn epoch_ledgers_track_tagged_traffic_only() {
+        let pool = PagePool::with_default_config();
+        pool.release_batch((0..6).map(|_| PooledPage::new()).collect());
+        let job = pool.begin_epoch();
+        assert_ne!(job, NO_EPOCH);
+        assert_eq!(pool.live_epochs(), 1);
+
+        // Untagged traffic stays off the ledger.
+        let plain = pool.acquire_batch(1);
+        assert_eq!(pool.epoch_ledger(job), Some(EpochLedger::default()));
+
+        let got = pool.acquire_batch_tagged(3, job);
+        assert_eq!(got.len(), 3);
+        pool.release_batch_tagged(got, job);
+        pool.release_batch(plain);
+        let ledger = pool.epoch_ledger(job).unwrap();
+        assert_eq!(ledger.pages_out, 3);
+        assert_eq!(ledger.pages_in, 3);
+        assert_eq!(ledger.balance(), 0);
+
+        let final_ledger = pool.retire_epoch(job).unwrap();
+        assert_eq!(final_ledger, ledger);
+        assert_eq!(pool.live_epochs(), 0);
+        assert_eq!(pool.epoch_ledger(job), None);
+        assert_eq!(pool.retire_epoch(job), None, "double retirement is inert");
+    }
+
+    #[test]
+    fn retired_epochs_ignore_late_traffic_and_ids_are_unique() {
+        let pool = PagePool::with_default_config();
+        let a = pool.begin_epoch();
+        let b = pool.begin_epoch();
+        assert_ne!(a, b);
+        pool.retire_epoch(a);
+        // Traffic against a retired (or never-begun) epoch records nothing
+        // and corrupts nothing.
+        pool.release_batch_tagged(vec![PooledPage::new()], a);
+        pool.release_batch_tagged(vec![PooledPage::new()], 999_999);
+        assert_eq!(pool.epoch_ledger(a), None);
+        assert_eq!(pool.epoch_ledger(b), Some(EpochLedger::default()));
+        assert_eq!(
+            pool.counters().pages_returned,
+            2,
+            "global totals still count"
+        );
+    }
+
+    #[test]
+    fn epoch_donations_drive_balance_negative() {
+        // A job whose heaps created fresh pages donates them at retirement:
+        // pages_in exceeds pages_out and the balance goes negative by the
+        // donation count — the reconciliation signal a server checks.
+        let pool = PagePool::with_default_config();
+        let job = pool.begin_epoch();
+        pool.release_batch_tagged((0..4).map(|_| PooledPage::new()).collect(), job);
+        let got = pool.acquire_batch_tagged(2, job);
+        assert_eq!(got.len(), 2);
+        let ledger = pool.retire_epoch(job).unwrap();
+        assert_eq!(ledger.pages_in, 4);
+        assert_eq!(ledger.pages_out, 2);
+        assert_eq!(ledger.balance(), -2);
     }
 
     #[test]

@@ -70,6 +70,7 @@ fn shared_heaps_stress_the_pool_concurrently() {
                 let mut heap = PagedHeap::with_pool(
                     PagedHeapConfig {
                         budget_bytes: Some(8 << 20),
+                        ..PagedHeapConfig::default()
                     },
                     pool,
                 );

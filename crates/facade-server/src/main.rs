@@ -1,0 +1,90 @@
+//! The `facade-server` binary: boot the daemon, serve until `POST
+//! /shutdown`, reconcile, and exit 0 only if nothing leaked.
+
+use facade_server::{FacadeServer, ServerConfig};
+
+const USAGE: &str = "\
+facade-server: resident multi-job FACADE daemon
+
+USAGE:
+    facade-server [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>     Listen address (default 127.0.0.1:0; port 0 = pick one)
+    --acceptors <N>        HTTP acceptor threads (default 4)
+    --executors <N>        Job executor threads (default 4)
+    --queue-depth <N>      Submission queue bound (default 32)
+    --budget-mb <N>        Admission memory budget in MiB (default 256)
+    --vertices <N>         Resident graph vertices (default 2000)
+    --edges <N>            Resident graph edges (default 10000)
+    --corpus-kb <N>        Resident corpus size in KiB (default 256)
+    --seed <N>             Dataset generator seed (default 42)
+    --no-warm-boot         Skip the boot-time job per workload
+    --help                 Print this help
+";
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--acceptors" => config.acceptors = parse(&value("--acceptors")?, "--acceptors")?,
+            "--executors" => config.executors = parse(&value("--executors")?, "--executors")?,
+            "--queue-depth" => {
+                config.queue_depth = parse(&value("--queue-depth")?, "--queue-depth")?;
+            }
+            "--budget-mb" => {
+                let mb: usize = parse(&value("--budget-mb")?, "--budget-mb")?;
+                config.admission_budget_bytes = mb << 20;
+            }
+            "--vertices" => config.dataset.vertices = parse(&value("--vertices")?, "--vertices")?,
+            "--edges" => config.dataset.edges = parse(&value("--edges")?, "--edges")?,
+            "--corpus-kb" => {
+                let kb: usize = parse(&value("--corpus-kb")?, "--corpus-kb")?;
+                config.dataset.corpus_bytes = kb << 10;
+            }
+            "--seed" => config.dataset.seed = parse(&value("--seed")?, "--seed")?,
+            "--no-warm-boot" => config.warm_boot = false,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(config)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag}: `{s}` is not a valid value"))
+}
+
+fn main() {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let warm = config.warm_boot;
+    let server = match FacadeServer::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("facade-server: failed to bind: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("facade-server listening on http://{}", server.local_addr());
+    if warm {
+        eprintln!("warm boot complete: /query endpoints are live");
+    }
+    server.wait_for_shutdown_request();
+    eprintln!("shutdown requested; draining jobs");
+    let report = server.shutdown();
+    eprintln!("{report}");
+    std::process::exit(i32::from(!report.clean()));
+}

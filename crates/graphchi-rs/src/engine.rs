@@ -67,6 +67,18 @@ pub struct EngineConfig {
     /// see [`RetryPolicy`]. Degraded configurations preserve bit-identical
     /// output because only interval boundaries are semantically visible.
     pub retry: RetryPolicy,
+    /// Shared [`PagePool`] the facade workers draw from. `None` (the
+    /// default) keeps today's behaviour: every run builds a private pool.
+    /// A multi-job host (the `facade-server` daemon) passes its resident
+    /// pool here so concurrent runs share one page economy; fault plans are
+    /// then *not* installed on the pool (it isn't this run's to sabotage).
+    /// Ignored under [`Backend::Heap`].
+    pub pool: Option<Arc<PagePool>>,
+    /// Epoch tag stamped on every pool page this run acquires or releases
+    /// (see [`PagePool::begin_epoch`]). Meaningful only with an external
+    /// [`pool`](EngineConfig::pool); the default
+    /// [`NO_EPOCH`](data_store::NO_EPOCH) leaves traffic untagged.
+    pub job_epoch: u64,
     /// Fault schedule installed on every worker store and the shared page
     /// pool, for reproducible robustness testing.
     #[cfg(feature = "fault-injection")]
@@ -90,6 +102,8 @@ impl Default for EngineConfig {
             inline_records: true,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             retry: RetryPolicy::default(),
+            pool: None,
+            job_epoch: data_store::NO_EPOCH,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
             checkpoint_dir: None,
@@ -440,14 +454,21 @@ fn build_stores(config: &EngineConfig, threads: usize) -> (Vec<Store>, Schema) {
     // Every facade run accounts pages through the pool — including the
     // single-threaded one — so `pages_from_pool`/`pages_to_pool` are
     // comparable across thread counts instead of degenerating to zero at
-    // `threads == 1`.
-    let pool =
-        (config.backend == Backend::Facade).then(|| Arc::new(PagePool::with_default_config()));
+    // `threads == 1`. A host-provided pool (multi-job serving) is used
+    // as-is; otherwise the run builds a private one.
+    let external = config.backend == Backend::Facade && config.pool.is_some();
+    let pool = (config.backend == Backend::Facade).then(|| {
+        config
+            .pool
+            .clone()
+            .unwrap_or_else(|| Arc::new(PagePool::with_default_config()))
+    });
     let mut stores: Vec<Store> = (0..threads)
         .map(|_| {
             let mut builder = Store::builder()
                 .backend(config.backend)
-                .budget(worker_budget);
+                .budget(worker_budget)
+                .job_epoch(config.job_epoch);
             if let Some(pool) = &pool {
                 builder = builder.pool(Arc::clone(pool));
             }
@@ -458,10 +479,14 @@ fn build_stores(config: &EngineConfig, threads: usize) -> (Vec<Store>, Schema) {
             builder.build()
         })
         .collect();
+    // Fault plans target this run's private resources only: a shared pool
+    // serves other jobs too, so injected pool faults stay off it.
     #[cfg(feature = "fault-injection")]
-    if let (Some(plan), Some(pool)) = (&config.fault_plan, &pool) {
+    if let (Some(plan), Some(pool), false) = (&config.fault_plan, &pool, external) {
         pool.set_fault_plan(plan.clone());
     }
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = external;
     // Register the same classes in every store; the tags are identical
     // because registration order is.
     let mut schema = None;
@@ -565,7 +590,7 @@ struct PrefetchQueue {
 type WorkerOutput = (PhaseTimer, Vec<(usize, Result<CommitBuf, SubFailure>)>);
 
 /// State restored from a verified checkpoint, consumed by the next
-/// [`Engine::run`]. The cursor is deliberately *not* normalized at pass
+/// [`Engine::execute`]. The cursor is deliberately *not* normalized at pass
 /// boundaries: a checkpoint taken after the last interval of a pass stores
 /// `interval == intervals.len()`, so the resumed loop skips every interval
 /// of that pass and still executes its `passes += 1` / convergence check.
@@ -638,7 +663,7 @@ impl Engine {
         data_store::checkpoint::xxh64(&bytes, 0)
     }
 
-    /// Loads and verifies the checkpoint at `path`; the next [`Engine::run`]
+    /// Loads and verifies the checkpoint at `path`; the next [`Engine::execute`]
     /// then replays from that interval boundary instead of cold-starting.
     ///
     /// # Errors
@@ -753,6 +778,16 @@ impl Engine {
         &self.csr
     }
 
+    /// Former name of [`Engine::execute`]; forwards unchanged.
+    #[deprecated(
+        since = "0.10.0",
+        note = "renamed to `execute` when the unified job API landed; use `Engine::execute` \
+                (or submit a `facade_job::JobSpec`)"
+    )]
+    pub fn run(&mut self, app: &dyn VertexProgram) -> Result<RunOutcome, EngineError> {
+        self.execute(app)
+    }
+
     /// Runs `app` to convergence (or its iteration bound).
     ///
     /// Subintervals are distributed round-robin over `config.threads`
@@ -775,7 +810,7 @@ impl Engine {
     /// Returns [`EngineError`] when the failure survives every rung of the
     /// ladder (or `config.retry.enabled` is off) — the condition Table 3
     /// reports as `OME(n)`.
-    pub fn run(&mut self, app: &dyn VertexProgram) -> Result<RunOutcome, EngineError> {
+    pub fn execute(&mut self, app: &dyn VertexProgram) -> Result<RunOutcome, EngineError> {
         let mut ladder = Ladder::new(self.config.threads.max(1));
         let mut resilience = ResilienceReport::default();
         // Stats of stores torn down after a failure, folded into the final
@@ -1574,7 +1609,7 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        engine.run(app).expect("run completes")
+        engine.execute(app).expect("run completes")
     }
 
     #[test]
@@ -1628,7 +1663,7 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        let out = engine.run(&PageRank::new(3)).expect("run completes");
+        let out = engine.execute(&PageRank::new(3)).expect("run completes");
         assert_eq!(
             out.values, base.values,
             "durability must not perturb output"
@@ -1673,7 +1708,7 @@ mod tests {
         );
         // The discarded checkpoint surfaces in the next run's report, and
         // the cold start still produces a correct result.
-        let out = engine.run(&PageRank::new(1)).expect("cold start");
+        let out = engine.execute(&PageRank::new(1)).expect("cold start");
         assert_eq!(out.resilience.torn_checkpoints_discarded, 1);
         assert!(!out.resilience.is_clean(), "a discard is not a clean run");
         assert_eq!(out.resilience.recoveries, 0);
@@ -1689,10 +1724,10 @@ mod tests {
             ..EngineConfig::default()
         };
         let heap = Engine::new(&g, mk(Backend::Heap))
-            .run(&PageRank::new(2))
+            .execute(&PageRank::new(2))
             .unwrap();
         let facade = Engine::new(&g, mk(Backend::Facade))
-            .run(&PageRank::new(2))
+            .execute(&PageRank::new(2))
             .unwrap();
         assert!(heap.stats.gc_count > 0, "P must collect");
         assert_eq!(facade.stats.gc_count, 0, "P' must not collect");
@@ -1716,7 +1751,7 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        let result = engine.run(&PageRank::new(1));
+        let result = engine.execute(&PageRank::new(1));
         assert!(result.is_err(), "expected OME");
     }
 
@@ -1738,7 +1773,7 @@ mod tests {
                 },
             );
             // Zero passes: the run is exactly the degree pass.
-            let out = engine.run(&PageRank::new(0)).unwrap();
+            let out = engine.execute(&PageRank::new(0)).unwrap();
             assert_eq!(out.passes, 0);
             assert_eq!(out.values.len(), n as usize);
             assert!(
@@ -1771,7 +1806,7 @@ mod tests {
                             ..EngineConfig::default()
                         },
                     );
-                    engine.run(app.as_ref()).unwrap()
+                    engine.execute(app.as_ref()).unwrap()
                 };
                 let seq = run_with(1);
                 for threads in [2, 4] {
@@ -1802,7 +1837,7 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        let out = engine.run(&PageRank::new(3)).unwrap();
+        let out = engine.execute(&PageRank::new(3)).unwrap();
         assert!(
             out.stats.pages_to_pool > 0,
             "workers release pages at interval ends"
@@ -1830,7 +1865,7 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        let out = engine.run(&PageRank::new(3)).unwrap();
+        let out = engine.execute(&PageRank::new(3)).unwrap();
         assert!(
             out.stats.pages_to_pool > 0,
             "interval ends release pages to the pool even at one thread"
@@ -1931,7 +1966,7 @@ mod sssp_tests {
                     ..EngineConfig::default()
                 },
             );
-            let out = engine.run(&ShortestPaths::new(0, 100)).unwrap();
+            let out = engine.execute(&ShortestPaths::new(0, 100)).unwrap();
             assert_eq!(out.values, oracle, "{backend:?}");
             assert!(out.passes < 100, "converged early");
         }
@@ -1998,10 +2033,10 @@ mod resilience_tests {
         for backend in [Backend::Heap, Backend::Facade] {
             for threads in [1, 4] {
                 let clean = Engine::new(&g, config(backend, threads))
-                    .run(&PageRank::new(3))
+                    .execute(&PageRank::new(3))
                     .unwrap();
                 let faulty = Engine::new(&g, config(backend, threads))
-                    .run(&PanicOnce::new(PageRank::new(3)))
+                    .execute(&PanicOnce::new(PageRank::new(3)))
                     .unwrap();
                 assert_eq!(
                     clean.values, faulty.values,
@@ -2023,7 +2058,7 @@ mod resilience_tests {
         let mut cfg = config(Backend::Facade, 2);
         cfg.retry.enabled = false;
         let err = Engine::new(&g, cfg)
-            .run(&PanicOnce::new(PageRank::new(2)))
+            .execute(&PanicOnce::new(PageRank::new(2)))
             .unwrap_err();
         match err {
             EngineError::WorkerPanicked { ref message, .. } => {
@@ -2045,7 +2080,7 @@ mod resilience_tests {
             ..EngineConfig::default()
         };
         cfg.retry.enabled = false;
-        let err = Engine::new(&g, cfg).run(&PageRank::new(1)).unwrap_err();
+        let err = Engine::new(&g, cfg).execute(&PageRank::new(1)).unwrap_err();
         match err {
             EngineError::Oom { source, .. } => {
                 assert!(!source.is_injected());

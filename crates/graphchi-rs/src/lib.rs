@@ -62,7 +62,7 @@
 //!     ..EngineConfig::default()
 //! };
 //! let mut engine = Engine::new(&graph, config);
-//! let outcome = engine.run(&PageRank::new(3))?;
+//! let outcome = engine.execute(&PageRank::new(3))?;
 //! assert_eq!(outcome.values.len(), 500);
 //! # Ok::<(), graphchi_rs::EngineError>(())
 //! ```

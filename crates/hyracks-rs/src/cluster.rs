@@ -77,6 +77,18 @@ pub struct ClusterConfig {
     pub frame_bytes: usize,
     /// Failure-handling policy for job phases.
     pub retry: RetryPolicy,
+    /// Shared [`PagePool`] the job's facade workers draw from. `None` (the
+    /// default) builds a private per-job pool; a multi-job host (the
+    /// `facade-server` daemon) passes its resident pool here so concurrent
+    /// jobs share one page economy. Fault plans are then *not* installed on
+    /// the pool (it is not this job's to sabotage). Ignored under
+    /// [`Backend::Heap`].
+    pub pool: Option<Arc<PagePool>>,
+    /// Epoch tag stamped on every pool page this job acquires or releases
+    /// (see [`PagePool::begin_epoch`]). Meaningful only with an external
+    /// [`pool`](Self::pool); the default [`NO_EPOCH`](data_store::NO_EPOCH)
+    /// leaves traffic untagged.
+    pub job_epoch: u64,
     /// Deterministic fault plan installed on every worker store (and the
     /// job page pool) — the testing harness for the failure paths.
     #[cfg(feature = "fault-injection")]
@@ -105,6 +117,8 @@ impl Default for ClusterConfig {
             per_worker_budget: 16 << 20,
             frame_bytes: 32 << 10,
             retry: RetryPolicy::default(),
+            pool: None,
+            job_epoch: data_store::NO_EPOCH,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
             checkpoint_dir: None,
@@ -125,7 +139,8 @@ impl ClusterConfig {
     pub(crate) fn make_store(&self, pool: Option<&Arc<PagePool>>) -> Store {
         let mut builder = Store::builder()
             .backend(self.backend)
-            .budget(self.per_worker_budget);
+            .budget(self.per_worker_budget)
+            .job_epoch(self.job_epoch);
         if let (Backend::Facade, Some(pool)) = (self.backend, pool) {
             builder = builder.pool(Arc::clone(pool));
         }
@@ -139,15 +154,72 @@ impl ClusterConfig {
     /// One page supply per job on the facade backend: every phase's worker
     /// stores draw from (and at phase end return to) the same pool, so the
     /// reduce phase reuses the map phase's pages instead of growing fresh
-    /// ones on every node.
+    /// ones on every node. A host-provided [`pool`](Self::pool) is used
+    /// as-is — and is *not* given this job's fault plan, since other jobs
+    /// share it.
     pub(crate) fn job_page_pool(&self) -> Option<Arc<PagePool>> {
-        let pool =
-            (self.backend == Backend::Facade).then(|| Arc::new(PagePool::with_default_config()));
+        if self.backend != Backend::Facade {
+            return None;
+        }
+        if let Some(shared) = &self.pool {
+            return Some(Arc::clone(shared));
+        }
+        let pool = Arc::new(PagePool::with_default_config());
         #[cfg(feature = "fault-injection")]
-        if let (Some(pool), Some(plan)) = (&pool, &self.fault_plan) {
+        if let Some(plan) = &self.fault_plan {
             pool.set_fault_plan(plan.clone());
         }
-        pool
+        Some(pool)
+    }
+}
+
+/// The simulated cluster as a resident object: configure once, submit jobs.
+///
+/// This is the unified entry point the job API (the `facade-job` runners)
+/// and the serving daemon build on; the free functions
+/// [`run_wordcount`](crate::run_wordcount) and
+/// [`run_external_sort`](crate::run_external_sort) are deprecated shims
+/// over it. The struct holds only configuration — worker stores live for
+/// one job phase — so one `Cluster` can execute any number of jobs, and a
+/// host sharing its [`ClusterConfig::pool`] across clusters multiplexes
+/// them over one page economy.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// A cluster with the given sizing.
+    pub fn new(config: &ClusterConfig) -> Cluster {
+        Cluster {
+            config: config.clone(),
+        }
+    }
+
+    /// The configuration every submitted job runs under.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Runs the word-count job over `corpus`: map phase (tokenize + local
+    /// aggregation), hash shuffle, reduce phase — exact counts on both
+    /// backends.
+    ///
+    /// # Errors
+    ///
+    /// [`JobFailure`] when a worker failure survives the retry ladder.
+    pub fn word_count(&self, corpus: &[String]) -> Result<crate::WcOutput, JobFailure> {
+        crate::wordcount::wordcount_job(corpus, &self.config)
+    }
+
+    /// Runs the external-sort job over `corpus`: per-partition run sort,
+    /// k-way merge, order-sensitive checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`JobFailure`] when a worker failure survives the retry ladder.
+    pub fn external_sort(&self, corpus: &[String]) -> Result<crate::EsOutput, JobFailure> {
+        crate::extsort::external_sort_job(corpus, &self.config)
     }
 }
 

@@ -139,7 +139,21 @@ fn merge_runs(runs: Vec<Vec<Vec<u8>>>) -> Vec<Vec<u8>> {
 /// Returns [`JobFailure`] (`OME(n)`) if any worker exhausts its budget, or
 /// an injected-crash failure when the fault plan's `crash_in_phase` fires
 /// (phase 0 = sort, phase 1 = finish).
+#[deprecated(
+    since = "0.10.0",
+    note = "superseded by the resident `Cluster` API: \
+            `Cluster::new(&config).external_sort(corpus)` (or submit a `facade_job::JobSpec`)"
+)]
 pub fn run_external_sort(
+    corpus: &[String],
+    config: &ClusterConfig,
+) -> Result<EsOutput, JobFailure> {
+    external_sort_job(corpus, config)
+}
+
+/// The implementation behind [`crate::Cluster::external_sort`] and the
+/// deprecated [`run_external_sort`] shim.
+pub(crate) fn external_sort_job(
     corpus: &[String],
     config: &ClusterConfig,
 ) -> Result<EsOutput, JobFailure> {
@@ -276,8 +290,12 @@ mod tests {
     #[test]
     fn sort_is_correct_and_identical_across_backends() {
         let words = corpus(&CorpusSpec::new(30_000, 31));
-        let heap = run_external_sort(&words, &config(Backend::Heap)).unwrap();
-        let facade = run_external_sort(&words, &config(Backend::Facade)).unwrap();
+        let heap = crate::Cluster::new(&config(Backend::Heap))
+            .external_sort(&words)
+            .unwrap();
+        let facade = crate::Cluster::new(&config(Backend::Facade))
+            .external_sort(&words)
+            .unwrap();
         assert_eq!(heap.total_records, words.len() as u64);
         assert_eq!(heap.payload(), facade.payload());
     }
@@ -305,7 +323,7 @@ mod tests {
             checkpoint_dir: Some(tmp.path().to_path_buf()),
             ..config(Backend::Facade)
         };
-        let base = run_external_sort(&words, &cfg).unwrap();
+        let base = crate::Cluster::new(&cfg).external_sort(&words).unwrap();
 
         // Reconstruct the checkpoint a crashed run would have left after
         // the sort phase: each partition's words, sorted, under the job
@@ -322,13 +340,11 @@ mod tests {
         }
         data_store::checkpoint::write_manifest(&path, &manifest).unwrap();
 
-        let resumed = run_external_sort(
-            &words,
-            &ClusterConfig {
-                resume: true,
-                ..cfg.clone()
-            },
-        )
+        let resumed = crate::Cluster::new(&ClusterConfig {
+            resume: true,
+            ..cfg.clone()
+        })
+        .external_sort(&words)
         .unwrap();
         assert_eq!(
             resumed.payload(),
@@ -346,21 +362,17 @@ mod tests {
     #[test]
     fn heap_run_generation_triggers_gc() {
         let words = corpus(&CorpusSpec::new(200_000, 41));
-        let heap = run_external_sort(
-            &words,
-            &ClusterConfig {
-                per_worker_budget: 512 << 10,
-                ..config(Backend::Heap)
-            },
-        )
+        let heap = crate::Cluster::new(&ClusterConfig {
+            per_worker_budget: 512 << 10,
+            ..config(Backend::Heap)
+        })
+        .external_sort(&words)
         .unwrap();
-        let facade = run_external_sort(
-            &words,
-            &ClusterConfig {
-                per_worker_budget: 512 << 10,
-                ..config(Backend::Facade)
-            },
-        )
+        let facade = crate::Cluster::new(&ClusterConfig {
+            per_worker_budget: 512 << 10,
+            ..config(Backend::Facade)
+        })
+        .external_sort(&words)
         .unwrap();
         assert!(heap.stats.gc_count > 0);
         assert_eq!(facade.stats.gc_count, 0);

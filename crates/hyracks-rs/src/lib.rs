@@ -38,7 +38,13 @@ pub mod hashtable;
 mod steal;
 pub mod wordcount;
 
-pub use cluster::{ClusterConfig, FailureCause, JobFailure, JobStats, RetryPolicy, WorkerReport};
-pub use extsort::{EsOutput, run_external_sort};
+pub use cluster::{
+    Cluster, ClusterConfig, FailureCause, JobFailure, JobStats, RetryPolicy, WorkerReport,
+};
+pub use extsort::EsOutput;
+#[allow(deprecated)]
+pub use extsort::run_external_sort;
 pub use metrics::report::Backend;
-pub use wordcount::{WcOutput, run_wordcount};
+pub use wordcount::WcOutput;
+#[allow(deprecated)]
+pub use wordcount::run_wordcount;

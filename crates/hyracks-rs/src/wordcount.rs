@@ -20,8 +20,22 @@ pub struct WcOutput {
     pub distinct_words: u64,
     /// Total token count (must equal the corpus length).
     pub total_count: i64,
+    /// Per-word counts, word-sorted — deterministic at every worker and
+    /// thread count, and the resident result the serving layer answers
+    /// word-lookup queries from.
+    pub counts: Vec<(String, i64)>,
     /// Aggregate worker statistics.
     pub stats: JobStats,
+}
+
+impl WcOutput {
+    /// The count for one `word`, or `None` if it never appeared.
+    pub fn count_of(&self, word: &str) -> Option<i64> {
+        self.counts
+            .binary_search_by(|(w, _)| w.as_str().cmp(word))
+            .ok()
+            .map(|i| self.counts[i].1)
+    }
 }
 
 /// One partition's map output: `(word bytes, partial count)` pairs — the
@@ -144,7 +158,21 @@ fn reduce_worker(
 /// Returns [`JobFailure`] (`OME(n)`) if any worker exhausts its per-node
 /// budget, or an injected-crash failure when the fault plan's
 /// `crash_in_phase` fires (phase 0 = map, phase 1 = reduce).
+#[deprecated(
+    since = "0.10.0",
+    note = "superseded by the resident `Cluster` API: \
+            `Cluster::new(&config).word_count(corpus)` (or submit a `facade_job::JobSpec`)"
+)]
 pub fn run_wordcount(corpus: &[String], config: &ClusterConfig) -> Result<WcOutput, JobFailure> {
+    wordcount_job(corpus, config)
+}
+
+/// The implementation behind [`crate::Cluster::word_count`] and the
+/// deprecated [`run_wordcount`] shim.
+pub(crate) fn wordcount_job(
+    corpus: &[String],
+    config: &ClusterConfig,
+) -> Result<WcOutput, JobFailure> {
     let started = Instant::now();
     let mut stats = JobStats::default();
     let pool = config.job_page_pool();
@@ -239,12 +267,16 @@ pub fn run_wordcount(corpus: &[String], config: &ClusterConfig) -> Result<WcOutp
     // A crash here restarts from the map checkpoint and redoes the reduce.
     maybe_crash(config, 1, "reduce", started)?;
 
-    let mut distinct = 0u64;
-    let mut total = 0i64;
-    for part in reduce_out {
-        distinct += part.len() as u64;
-        total += part.iter().map(|(_, c)| c).sum::<i64>();
-    }
+    // Reducers own disjoint key ranges, so concatenating and word-sorting
+    // their outputs yields one deterministic count table.
+    let mut counts: Vec<(String, i64)> = reduce_out
+        .into_iter()
+        .flatten()
+        .map(|(w, c)| (String::from_utf8_lossy(&w).into_owned(), c))
+        .collect();
+    counts.sort_unstable();
+    let distinct = counts.len() as u64;
+    let total = counts.iter().map(|(_, c)| c).sum::<i64>();
     stats.elapsed = started.elapsed();
     finish_pool(&mut stats, pool.as_ref());
     if let Some((path, _)) = &ckpt {
@@ -264,6 +296,7 @@ pub fn run_wordcount(corpus: &[String], config: &ClusterConfig) -> Result<WcOutp
     Ok(WcOutput {
         distinct_words: distinct,
         total_count: total,
+        counts,
         stats,
     })
 }
@@ -296,9 +329,17 @@ mod tests {
             *truth.entry(w).or_default() += 1;
         }
         for backend in [Backend::Heap, Backend::Facade] {
-            let out = run_wordcount(&words, &config(backend, 32 << 20)).unwrap();
+            let out = crate::Cluster::new(&config(backend, 32 << 20))
+                .word_count(&words)
+                .unwrap();
             assert_eq!(out.total_count, words.len() as i64);
             assert_eq!(out.distinct_words, truth.len() as u64);
+            // The resident count table matches ground truth per word and is
+            // word-sorted, so `count_of` lookups resolve every entry.
+            assert!(out.counts.windows(2).all(|w| w[0].0 < w[1].0));
+            for (word, count) in &truth {
+                assert_eq!(out.count_of(word), Some(*count), "count of {word:?}");
+            }
         }
     }
 
@@ -306,12 +347,14 @@ mod tests {
     fn checkpointed_job_counts_writes_and_cleans_up() {
         let tmp = data_store::test_support::TempDir::new("wc-ckpt");
         let words = small_corpus();
-        let base = run_wordcount(&words, &config(Backend::Facade, 32 << 20)).unwrap();
+        let base = crate::Cluster::new(&config(Backend::Facade, 32 << 20))
+            .word_count(&words)
+            .unwrap();
         let cfg = ClusterConfig {
             checkpoint_dir: Some(tmp.path().to_path_buf()),
             ..config(Backend::Facade, 32 << 20)
         };
-        let out = run_wordcount(&words, &cfg).unwrap();
+        let out = crate::Cluster::new(&cfg).word_count(&words).unwrap();
         assert_eq!(
             (out.distinct_words, out.total_count),
             (base.distinct_words, base.total_count),
@@ -331,13 +374,11 @@ mod tests {
         );
         // Resuming with no checkpoint on disk is a routine cold start:
         // nothing recovered, nothing discarded.
-        let resumed = run_wordcount(
-            &words,
-            &ClusterConfig {
-                resume: true,
-                ..cfg.clone()
-            },
-        )
+        let resumed = crate::Cluster::new(&ClusterConfig {
+            resume: true,
+            ..cfg.clone()
+        })
+        .word_count(&words)
         .unwrap();
         assert_eq!(resumed.stats.resilience.recoveries, 0);
         assert!(resumed.stats.resilience.is_clean());
@@ -349,8 +390,12 @@ mod tests {
         // Enough tokens that the per-worker transient churn overflows the
         // young generation repeatedly.
         let words = corpus(&CorpusSpec::new(400_000, 11));
-        let heap = run_wordcount(&words, &config(Backend::Heap, 2 << 20)).unwrap();
-        let facade = run_wordcount(&words, &config(Backend::Facade, 32 << 20)).unwrap();
+        let heap = crate::Cluster::new(&config(Backend::Heap, 2 << 20))
+            .word_count(&words)
+            .unwrap();
+        let facade = crate::Cluster::new(&config(Backend::Facade, 32 << 20))
+            .word_count(&words)
+            .unwrap();
         assert!(heap.stats.gc_count > 0, "P collects");
         assert_eq!(facade.stats.gc_count, 0, "P' does not collect");
         assert!(facade.stats.pages_created > 0);
@@ -368,8 +413,8 @@ mod tests {
             seed: 23,
         });
         let budget = 512 << 10;
-        let heap = run_wordcount(&words, &config(Backend::Heap, budget));
-        let facade = run_wordcount(&words, &config(Backend::Facade, budget));
+        let heap = crate::Cluster::new(&config(Backend::Heap, budget)).word_count(&words);
+        let facade = crate::Cluster::new(&config(Backend::Facade, budget)).word_count(&words);
         assert!(heap.is_err(), "P should OME at this budget");
         assert!(
             facade.is_ok(),

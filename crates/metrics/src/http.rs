@@ -1,69 +1,173 @@
-//! A minimal hand-rolled HTTP listener serving the registry's Prometheus
-//! exposition.
+//! A minimal hand-rolled HTTP/1.1 server, and the Prometheus exposition
+//! endpoint built on it.
 //!
-//! [`Registry::render_prometheus`] has existed since the registry landed,
-//! but nothing served it — scraping meant reading a `.prom` file off disk.
-//! [`MetricsServer`] closes that gap with the smallest thing that a
-//! Prometheus scraper (or `curl`) accepts: a blocking [`TcpListener`], one
-//! request per connection, `GET /metrics` → `200 text/plain; version=0.0.4`,
-//! anything else → `404`. No threads pool, no keep-alive, no TLS — the
-//! bench binaries call [`serve_one`](MetricsServer::serve_one) in a loop
-//! (or a single time under `--serve-metrics` smoke runs), and the future
-//! facade-server daemon (ROADMAP item 2) will mount the same rendering
-//! behind a real front end.
+//! [`HttpServer`] is the workspace's one HTTP front end: a blocking
+//! [`TcpListener`] served by a **bounded acceptor pool** — `N` OS threads
+//! each looping `accept → parse → handle → respond → close`, so concurrency
+//! is bounded by the pool size with no per-connection spawning and no
+//! runtime dependency. Requests are parsed into a [`Request`] (method,
+//! path, query pairs, body bounded by `Content-Length`), dispatched through
+//! a [`Handler`], and answered with `Connection: close` (curl, Prometheus
+//! scrapers, and the facade-server clients all speak this fine).
+//!
+//! [`MetricsServer`] is the Prometheus endpoint on top: `GET /metrics` →
+//! `200 text/plain; version=0.0.4`. It began life as a one-shot listener
+//! (accept one, answer one) behind the bench binaries' `--serve-metrics`
+//! flag; [`MetricsServer::start`] now promotes the same bind into a
+//! persistent concurrent server with graceful shutdown, which is what the
+//! facade-server daemon mounts at `/metrics`. The one-shot
+//! [`serve_one`](MetricsServer::serve_one) survives for the smoke path.
 
 use crate::Registry;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Longest request head accepted before the connection is dropped; a plain
-/// `GET /metrics HTTP/1.1` plus scraper headers fits comfortably.
-const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Longest request head accepted before the connection is dropped; a
+/// request line plus ordinary client headers fits comfortably.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
 
-/// Per-connection socket timeout so a stalled peer cannot wedge
-/// [`serve_one`](MetricsServer::serve_one) forever.
+/// Largest request body accepted (a `JobSpec` submission is well under a
+/// kilobyte; anything bigger than this is not one of ours).
+const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// Per-connection socket timeout so a stalled peer cannot wedge an
+/// acceptor thread forever.
 const IO_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// A blocking one-request-at-a-time Prometheus exposition endpoint.
-///
-/// ```
-/// use metrics::{MetricsServer, Registry};
-/// use std::sync::Arc;
-///
-/// let registry = Arc::new(Registry::new());
-/// registry.counter("demo_requests_total").inc();
-/// let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
-/// let addr = server.local_addr();
-/// let client = std::thread::spawn(move || {
-///     use std::io::{Read, Write};
-///     let mut s = std::net::TcpStream::connect(addr).unwrap();
-///     s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
-///     let mut body = String::new();
-///     s.read_to_string(&mut body).unwrap();
-///     body
-/// });
-/// server.serve_one().unwrap();
-/// let response = client.join().unwrap();
-/// assert!(response.starts_with("HTTP/1.1 200 OK"));
-/// assert!(response.contains("demo_requests_total"));
-/// ```
-pub struct MetricsServer {
+/// A parsed HTTP request: what a [`Handler`] dispatches on.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method verb, uppercased as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path with the query string stripped (`/jobs/3`).
+    pub path: String,
+    /// Decoded query pairs in document order (`?k=10&tag=x` →
+    /// `[("k","10"),("tag","x")]`); bare keys get an empty value.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An HTTP response a [`Handler`] returns.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `404`, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// Reason phrase for the status line.
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            429 => "Too Many Requests",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+
+    /// A `200 OK` with a plain-text body.
+    pub fn text(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A JSON response with the given status code.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A `404 Not Found` with a short plain-text hint.
+    pub fn not_found(hint: &str) -> Response {
+        Response {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("not found; {hint}\n"),
+        }
+    }
+
+    /// A `405 Method Not Allowed`.
+    pub fn method_not_allowed() -> Response {
+        Response {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            body: "method not allowed\n".to_string(),
+        }
+    }
+
+    /// A `400 Bad Request` with a JSON error body.
+    pub fn bad_request(message: &str) -> Response {
+        Response::json(
+            400,
+            format!("{{\"error\": \"{}\"}}", crate::json::escape(message)),
+        )
+    }
+}
+
+/// Dispatches parsed requests to application logic. Implementations are
+/// shared across the acceptor pool, so they must be `Send + Sync`; state
+/// goes behind the usual interior-mutability primitives.
+pub trait Handler: Send + Sync + 'static {
+    /// Produces the response for one request.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+/// A bound-but-not-yet-serving HTTP server. Drive it with
+/// [`serve_one`](HttpServer::serve_one) (tests, smoke runs) or promote it
+/// to a persistent concurrent server with [`start`](HttpServer::start).
+pub struct HttpServer {
     listener: TcpListener,
-    registry: Arc<Registry>,
+    handler: Arc<dyn Handler>,
     local_addr: SocketAddr,
 }
 
-impl MetricsServer {
-    /// Binds `addr` (e.g. `"127.0.0.1:9184"`; port 0 picks a free one) and
-    /// serves `registry`'s Prometheus text from it.
-    pub fn bind(addr: &str, registry: Arc<Registry>) -> std::io::Result<MetricsServer> {
+impl HttpServer {
+    /// Binds `addr` (port 0 picks a free one) and routes every request
+    /// through `handler`.
+    pub fn bind(addr: &str, handler: Arc<dyn Handler>) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        Ok(MetricsServer {
+        Ok(HttpServer {
             listener,
-            registry,
+            handler,
             local_addr,
         })
     }
@@ -74,73 +178,321 @@ impl MetricsServer {
     }
 
     /// Accepts exactly one connection, answers exactly one request, closes
-    /// the connection. Renders the registry at response time, so each
-    /// scrape sees current values. I/O errors on the *connection* are
-    /// returned but are safe to ignore in a serving loop (the listener
-    /// itself is untouched); errors from `accept` generally are not.
+    /// the connection. I/O errors on the *connection* are returned but are
+    /// safe to ignore in a serving loop (the listener itself is untouched);
+    /// errors from `accept` generally are not.
     pub fn serve_one(&self) -> std::io::Result<()> {
         let (stream, _peer) = self.listener.accept()?;
-        self.answer(stream)
+        answer(stream, self.handler.as_ref(), &AtomicU64::new(0))
     }
 
-    fn answer(&self, mut stream: TcpStream) -> std::io::Result<()> {
-        stream.set_read_timeout(Some(IO_TIMEOUT))?;
-        stream.set_write_timeout(Some(IO_TIMEOUT))?;
-        let head = read_request_head(&mut stream)?;
-        let (status, content_type, body) = match parse_request_target(&head) {
-            Some(("GET", "/metrics")) => (
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                self.registry.render_prometheus(),
-            ),
-            Some(("GET", _)) => (
-                "404 Not Found",
-                "text/plain; charset=utf-8",
-                "not found; try /metrics\n".to_string(),
-            ),
-            _ => (
-                "405 Method Not Allowed",
-                "text/plain; charset=utf-8",
-                "only GET is supported\n".to_string(),
-            ),
-        };
-        let response = format!(
-            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-            body.len(),
-        );
-        stream.write_all(response.as_bytes())?;
-        stream.flush()
+    /// Starts the persistent server: `acceptors` threads (at least 1) share
+    /// the listener, each handling one connection at a time. Returns a
+    /// handle for observing traffic and shutting the pool down gracefully.
+    pub fn start(self, acceptors: usize) -> HttpServerHandle {
+        let acceptors = acceptors.max(1);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let threads = (0..acceptors)
+            .map(|i| {
+                let listener = self
+                    .listener
+                    .try_clone()
+                    .expect("listener handles are clonable");
+                let handler = Arc::clone(&self.handler);
+                let shutdown = Arc::clone(&shutdown);
+                let served = Arc::clone(&served);
+                std::thread::Builder::new()
+                    .name(format!("http-acceptor-{i}"))
+                    .spawn(move || {
+                        loop {
+                            let conn = listener.accept();
+                            if shutdown.load(Ordering::Acquire) {
+                                return;
+                            }
+                            match conn {
+                                // Connection-level errors are the peer's
+                                // problem; accept-level errors on a live
+                                // listener are transient (EMFILE, ECONNABORTED)
+                                // and retrying is the only useful move.
+                                Ok((stream, _peer)) => {
+                                    let _ = answer(stream, handler.as_ref(), &served);
+                                }
+                                Err(_) => continue,
+                            }
+                        }
+                    })
+                    .expect("spawn http acceptor")
+            })
+            .collect();
+        HttpServerHandle {
+            local_addr: self.local_addr,
+            shutdown,
+            served,
+            threads,
+        }
     }
 }
 
-/// Reads until the end of the request head (`\r\n\r\n`), a bounded number
-/// of bytes, or EOF — whichever comes first. The body (there should be
-/// none on a GET) is ignored.
-fn read_request_head(stream: &mut TcpStream) -> std::io::Result<String> {
+/// Handle to a running [`HttpServer`]: address, traffic counter, graceful
+/// shutdown. Dropping the handle without calling
+/// [`shutdown`](HttpServerHandle::shutdown) leaves the acceptor threads
+/// serving for the life of the process (what a daemon wants).
+pub struct HttpServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServerHandle {
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests fully answered so far (across all acceptors).
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until at least `n` requests have been answered — how the
+    /// bench binaries' `--serve-metrics` flag waits for its one scrape.
+    pub fn wait_for_requests(&self, n: u64) {
+        while self.served.load(Ordering::Relaxed) < n {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Graceful shutdown: flags the pool, unblocks every acceptor stuck in
+    /// `accept` by self-connecting, and joins the threads. In-flight
+    /// requests finish; no new connections are accepted afterwards.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::Release);
+        for _ in 0..self.threads.len() {
+            // A wake-up connection per acceptor; failure means the listener
+            // is already dead, which also unblocks accept.
+            let _ = TcpStream::connect(self.local_addr);
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Parses one request off `stream`, dispatches it, writes the response.
+fn answer(mut stream: TcpStream, handler: &dyn Handler, served: &AtomicU64) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let response = match read_request(&mut stream) {
+        Ok(Some(request)) => handler.handle(&request),
+        Ok(None) => return Ok(()), // empty connection (shutdown wake-up)
+        Err(RequestError::Malformed) => Response::bad_request("malformed request"),
+        Err(RequestError::Io(e)) => return Err(e),
+    };
+    let wire = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len(),
+        response.body,
+    );
+    stream.write_all(wire.as_bytes())?;
+    stream.flush()?;
+    served.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+enum RequestError {
+    Malformed,
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for RequestError {
+    fn from(e: std::io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Reads and parses one request. `Ok(None)` means the peer connected and
+/// sent nothing (the shutdown self-connect does exactly that).
+fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, RequestError> {
     let mut buf = Vec::with_capacity(256);
     let mut chunk = [0u8; 512];
-    loop {
+    let head_end = loop {
         let n = stream.read(&mut chunk)?;
         if n == 0 {
-            break;
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(RequestError::Malformed);
         }
         buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
-            break;
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(RequestError::Malformed);
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or(RequestError::Malformed)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(RequestError::Malformed)?.to_string();
+    let target = parts.next().ok_or(RequestError::Malformed)?;
+    let (path, query) = parse_target(target);
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| RequestError::Malformed)?;
+            }
         }
     }
-    Ok(String::from_utf8_lossy(&buf).into_owned())
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::Malformed);
+    }
+    let mut body = buf[head_end..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(RequestError::Malformed);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+    }))
 }
 
-/// Extracts `(method, path)` from the request line; `None` if malformed.
-/// The query string, if any, is ignored (`/metrics?x=1` serves `/metrics`).
-fn parse_request_target(head: &str) -> Option<(&str, &str)> {
-    let line = head.lines().next()?;
-    let mut parts = line.split_whitespace();
-    let method = parts.next()?;
-    let target = parts.next()?;
-    let path = target.split('?').next().unwrap_or(target);
-    Some((method, path))
+/// Splits a request target into path and decoded query pairs. Only `%xx`
+/// and `+` decoding — enough for the query shapes our endpoints define.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, query)) => {
+            let pairs = query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                    None => (percent_decode(pair), String::new()),
+                })
+                .collect();
+            (path.to_string(), pairs)
+        }
+    }
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 3 <= bytes.len() => match u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                Ok(b) => {
+                    out.push(b);
+                    i += 3;
+                }
+                Err(_) => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// The handler behind [`MetricsServer`]: `GET /metrics` renders `registry`
+/// at response time, so each scrape sees current values.
+struct MetricsHandler {
+    registry: Arc<Registry>,
+}
+
+impl Handler for MetricsHandler {
+    fn handle(&self, request: &Request) -> Response {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/metrics") => Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: self.registry.render_prometheus(),
+            },
+            ("GET", _) => Response::not_found("try /metrics"),
+            _ => Response::method_not_allowed(),
+        }
+    }
+}
+
+/// The Prometheus exposition endpoint: an [`HttpServer`] whose handler
+/// serves a [`Registry`]'s text rendering at `GET /metrics`.
+///
+/// ```
+/// use metrics::{MetricsServer, Registry};
+/// use std::sync::Arc;
+///
+/// let registry = Arc::new(Registry::new());
+/// registry.counter("demo_requests_total").inc();
+/// let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+/// let addr = server.local_addr();
+/// // Persistent mode: a bounded acceptor pool serves scrape after scrape.
+/// let handle = server.start(2);
+/// for _ in 0..3 {
+///     use std::io::{Read, Write};
+///     let mut s = std::net::TcpStream::connect(addr).unwrap();
+///     s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+///     let mut body = String::new();
+///     s.read_to_string(&mut body).unwrap();
+///     assert!(body.starts_with("HTTP/1.1 200 OK"));
+///     assert!(body.contains("demo_requests_total"));
+/// }
+/// assert!(handle.requests_served() >= 3);
+/// handle.shutdown();
+/// ```
+pub struct MetricsServer {
+    server: HttpServer,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`; port 0 picks a free one) and
+    /// serves `registry`'s Prometheus text from it.
+    pub fn bind(addr: &str, registry: Arc<Registry>) -> std::io::Result<MetricsServer> {
+        let server = HttpServer::bind(addr, Arc::new(MetricsHandler { registry }))?;
+        Ok(MetricsServer { server })
+    }
+
+    /// The bound address — useful when binding port 0.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Accepts exactly one connection, answers exactly one request, closes
+    /// the connection — the smoke-test path. See [`HttpServer::serve_one`].
+    pub fn serve_one(&self) -> std::io::Result<()> {
+        self.server.serve_one()
+    }
+
+    /// Promotes this bind into a persistent concurrent server with
+    /// `acceptors` pool threads. See [`HttpServer::start`].
+    pub fn start(self, acceptors: usize) -> HttpServerHandle {
+        self.server.start(acceptors)
+    }
 }
 
 #[cfg(test)]
@@ -222,5 +574,77 @@ mod tests {
         let response = client.join().unwrap();
         assert!(response.starts_with("HTTP/1.1 200"), "{response}");
         assert!(response.contains("http_query_total"), "{response}");
+    }
+
+    #[test]
+    fn persistent_server_answers_many_requests_then_shuts_down_cleanly() {
+        // The satellite fix in one test: more than one request per bind
+        // (the old serve_one-only server answered exactly one), served
+        // concurrently, then a graceful shutdown that leaves no thread
+        // behind and refuses new work.
+        let registry = Arc::new(Registry::new());
+        registry.counter("http_many_total").add(9);
+        let server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let addr = server.local_addr();
+        let handle = server.start(3);
+        let clients: Vec<_> = (0..16)
+            .map(|_| request(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n"))
+            .collect();
+        for c in clients {
+            let response = c.join().unwrap();
+            assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+            assert!(response.contains("http_many_total 9"), "{response}");
+        }
+        assert!(handle.requests_served() >= 16);
+        handle.shutdown();
+        // After shutdown the port no longer answers: either the connect
+        // fails outright or the accepted-then-ignored connection yields an
+        // empty response from a dead listener backlog.
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = s.write_all(b"GET /metrics HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+            let _ = s.read_to_string(&mut out);
+            assert!(out.is_empty(), "a shut-down server must not answer: {out}");
+        }
+    }
+
+    #[test]
+    fn custom_handlers_route_method_path_query_and_body() {
+        struct Echo;
+        impl Handler for Echo {
+            fn handle(&self, request: &Request) -> Response {
+                match (request.method.as_str(), request.path.as_str()) {
+                    ("POST", "/echo") => Response::json(
+                        202,
+                        format!(
+                            "{{\"got\": \"{}\", \"k\": \"{}\"}}",
+                            crate::json::escape(&String::from_utf8_lossy(&request.body)),
+                            request.query_value("k").unwrap_or("-"),
+                        ),
+                    ),
+                    _ => Response::not_found("try POST /echo"),
+                }
+            }
+        }
+        let server = HttpServer::bind("127.0.0.1:0", Arc::new(Echo)).unwrap();
+        let addr = server.local_addr();
+        let handle = server.start(2);
+        let body = "hello body";
+        let client = request(
+            addr,
+            &format!(
+                "POST /echo?k=a%20b+c HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            ),
+        );
+        let response = client.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 202 Accepted"), "{response}");
+        assert!(response.contains("\"got\": \"hello body\""), "{response}");
+        assert!(response.contains("\"k\": \"a b c\""), "{response}");
+        let miss = request(addr, "GET /nope HTTP/1.1\r\n\r\n").join().unwrap();
+        assert!(miss.starts_with("HTTP/1.1 404"), "{miss}");
+        handle.shutdown();
     }
 }

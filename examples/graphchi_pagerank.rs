@@ -31,7 +31,7 @@ fn main() {
                 ..EngineConfig::default()
             },
         );
-        let out = engine.run(&PageRank::new(4)).expect("run completes");
+        let out = engine.execute(&PageRank::new(4)).expect("run completes");
         println!(
             "{backend}: total {:.3}s  update {:.3}s  load {:.3}s  gc {:.3}s  \
              peak {:.1} MiB  data records {}  gc runs {}",

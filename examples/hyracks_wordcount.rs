@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example hyracks_wordcount`
 
 use facade::datagen::{CorpusSpec, corpus};
-use facade::hyracks::{Backend, ClusterConfig, run_wordcount};
+use facade::hyracks::{Backend, Cluster, ClusterConfig};
 
 fn main() {
     let words = corpus(&CorpusSpec {
@@ -25,7 +25,9 @@ fn main() {
             frame_bytes: 32 << 10,
             ..ClusterConfig::default()
         };
-        let out = run_wordcount(&words, &config).expect("run completes");
+        let out = Cluster::new(&config)
+            .word_count(&words)
+            .expect("run completes");
         println!(
             "{backend} (8 MiB/worker): {} distinct words, total {} in {:.3}s \
              (gc {:.3}s over {} runs, cluster peak {:.1} MiB)",
@@ -49,7 +51,7 @@ fn main() {
             frame_bytes: 32 << 10,
             ..ClusterConfig::default()
         };
-        match run_wordcount(&words, &config) {
+        match Cluster::new(&config).word_count(&words) {
             Ok(out) => println!(
                 "{backend}: completed with {} distinct words",
                 out.distinct_words

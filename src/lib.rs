@@ -26,12 +26,18 @@
 //! - [`metrics`] — timers, memory accounting, and report tables.
 //! - [`prof`] — critical-path and scaling-bottleneck analysis over
 //!   facade-trace timelines.
+//! - [`job`] — the unified `JobSpec`/`JobHandle` submission API spanning
+//!   both engines, with per-job pool epochs.
+//! - [`server`] — the resident multi-job daemon serving queries and job
+//!   submissions over HTTP (see `docs/SERVER.md`).
 
 pub use datagen;
 pub use facade_compiler as compiler;
 pub use facade_ir as ir;
+pub use facade_job as job;
 pub use facade_prof as prof;
 pub use facade_runtime as runtime;
+pub use facade_server as server;
 pub use facade_vm as vm;
 pub use gps_rs as gps;
 pub use graphchi_rs as graphchi;

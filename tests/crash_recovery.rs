@@ -12,7 +12,7 @@
 
 use facade::datagen::{CorpusSpec, Graph, GraphSpec, corpus};
 use facade::graphchi::{Backend, Engine, EngineConfig, EngineError, PageRank};
-use facade::hyracks::{ClusterConfig, run_external_sort, run_wordcount};
+use facade::hyracks::{Cluster, ClusterConfig};
 use facade::store::FaultPlan;
 use facade::store::test_support::TempDir;
 
@@ -40,7 +40,7 @@ fn graphchi_recovers_bit_identically_at_every_thread_count() {
     let graph = crash_graph();
     let app = PageRank::new(3);
     let reference = Engine::new(&graph, graphchi_config(1))
-        .run(&app)
+        .execute(&app)
         .expect("uninterrupted run");
 
     for threads in THREAD_COUNTS {
@@ -51,7 +51,7 @@ fn graphchi_recovers_bit_identically_at_every_thread_count() {
         config.checkpoint_dir = Some(tmp.path().to_path_buf());
         config.fault_plan = Some(FaultPlan::builder(90).crash_at_interval(5).build());
         let err = Engine::new(&graph, config.clone())
-            .run(&app)
+            .execute(&app)
             .expect_err("the crash fault must abort the run");
         assert!(
             matches!(
@@ -69,7 +69,7 @@ fn graphchi_recovers_bit_identically_at_every_thread_count() {
         config.fault_plan = None;
         let mut engine = Engine::new(&graph, config);
         engine.resume_from(&ckpt).expect("checkpoint verifies");
-        let recovered = engine.run(&app).expect("resumed run completes");
+        let recovered = engine.execute(&app).expect("resumed run completes");
 
         assert_eq!(
             recovered.values, reference.values,
@@ -96,7 +96,7 @@ fn graphchi_torn_checkpoint_falls_back_to_a_cold_start() {
     let graph = crash_graph();
     let app = PageRank::new(3);
     let reference = Engine::new(&graph, graphchi_config(1))
-        .run(&app)
+        .execute(&app)
         .expect("uninterrupted run");
 
     for threads in THREAD_COUNTS {
@@ -112,7 +112,7 @@ fn graphchi_torn_checkpoint_falls_back_to_a_cold_start() {
                 .build(),
         );
         Engine::new(&graph, config.clone())
-            .run(&app)
+            .execute(&app)
             .expect_err("the crash fault must abort the run");
         assert!(ckpt.exists(), "the torn checkpoint is still on disk");
 
@@ -127,7 +127,7 @@ fn graphchi_torn_checkpoint_falls_back_to_a_cold_start() {
         );
 
         // Cold start on the same engine: correct bits, discard on record.
-        let recovered = engine.run(&app).expect("cold start completes");
+        let recovered = engine.execute(&app).expect("cold start completes");
         assert_eq!(
             recovered.values, reference.values,
             "threads={threads}: cold-started vector must be bit-identical"
@@ -163,16 +163,14 @@ fn cluster_config(threads: usize, dir: &TempDir) -> ClusterConfig {
 #[test]
 fn wordcount_recovers_bit_identically_at_every_thread_count() {
     let words = crash_corpus();
-    let reference = run_wordcount(
-        &words,
-        &ClusterConfig {
-            workers: 4,
-            threads: 1,
-            backend: Backend::Facade,
-            frame_bytes: 4 << 10,
-            ..ClusterConfig::default()
-        },
-    )
+    let reference = Cluster::new(&ClusterConfig {
+        workers: 4,
+        threads: 1,
+        backend: Backend::Facade,
+        frame_bytes: 4 << 10,
+        ..ClusterConfig::default()
+    })
+    .word_count(&words)
     .expect("uninterrupted run");
 
     for threads in THREAD_COUNTS {
@@ -181,13 +179,17 @@ fn wordcount_recovers_bit_identically_at_every_thread_count() {
         let ckpt = config.checkpoint_path("wc").unwrap();
 
         config.fault_plan = Some(FaultPlan::builder(92).crash_in_phase(0).build());
-        let failure = run_wordcount(&words, &config).expect_err("crash aborts the job");
+        let failure = Cluster::new(&config)
+            .word_count(&words)
+            .expect_err("crash aborts the job");
         assert!(failure.to_string().contains("injected crash"), "{failure}");
         assert!(ckpt.exists(), "the crash left a durable checkpoint behind");
 
         config.fault_plan = None;
         config.resume = true;
-        let recovered = run_wordcount(&words, &config).expect("resumed job completes");
+        let recovered = Cluster::new(&config)
+            .word_count(&words)
+            .expect("resumed job completes");
         assert_eq!(
             (recovered.distinct_words, recovered.total_count),
             (reference.distinct_words, reference.total_count),
@@ -205,16 +207,14 @@ fn wordcount_recovers_bit_identically_at_every_thread_count() {
 #[test]
 fn extsort_recovers_and_survives_torn_checkpoints() {
     let words = crash_corpus();
-    let reference = run_external_sort(
-        &words,
-        &ClusterConfig {
-            workers: 4,
-            threads: 1,
-            backend: Backend::Facade,
-            frame_bytes: 4 << 10,
-            ..ClusterConfig::default()
-        },
-    )
+    let reference = Cluster::new(&ClusterConfig {
+        workers: 4,
+        threads: 1,
+        backend: Backend::Facade,
+        frame_bytes: 4 << 10,
+        ..ClusterConfig::default()
+    })
+    .external_sort(&words)
     .expect("uninterrupted run");
 
     for threads in THREAD_COUNTS {
@@ -223,12 +223,16 @@ fn extsort_recovers_and_survives_torn_checkpoints() {
         let mut config = cluster_config(threads, &tmp);
         let ckpt = config.checkpoint_path("es").unwrap();
         config.fault_plan = Some(FaultPlan::builder(93).crash_in_phase(0).build());
-        run_external_sort(&words, &config).expect_err("crash aborts the job");
+        Cluster::new(&config)
+            .external_sort(&words)
+            .expect_err("crash aborts the job");
         assert!(ckpt.exists());
 
         config.fault_plan = None;
         config.resume = true;
-        let recovered = run_external_sort(&words, &config).expect("resumed job completes");
+        let recovered = Cluster::new(&config)
+            .external_sort(&words)
+            .expect("resumed job completes");
         assert_eq!(
             recovered.payload(),
             reference.payload(),
@@ -247,12 +251,16 @@ fn extsort_recovers_and_survives_torn_checkpoints() {
                 .torn_checkpoint_writes()
                 .build(),
         );
-        run_external_sort(&words, &config).expect_err("crash aborts the job");
+        Cluster::new(&config)
+            .external_sort(&words)
+            .expect_err("crash aborts the job");
         assert!(ckpt.exists(), "the torn checkpoint is still on disk");
 
         config.fault_plan = None;
         config.resume = true;
-        let recovered = run_external_sort(&words, &config).expect("cold start completes");
+        let recovered = Cluster::new(&config)
+            .external_sort(&words)
+            .expect("cold start completes");
         assert_eq!(
             recovered.payload(),
             reference.payload(),
@@ -273,7 +281,7 @@ fn corrupt_checkpoint_bytes_fail_closed_and_cold_start() {
     let graph = crash_graph();
     let app = PageRank::new(3);
     let reference = Engine::new(&graph, graphchi_config(1))
-        .run(&app)
+        .execute(&app)
         .expect("uninterrupted run");
 
     let tmp = TempDir::new("corrupt-graphchi");
@@ -282,7 +290,7 @@ fn corrupt_checkpoint_bytes_fail_closed_and_cold_start() {
     config.checkpoint_dir = Some(tmp.path().to_path_buf());
     config.fault_plan = Some(FaultPlan::builder(95).crash_at_interval(3).build());
     Engine::new(&graph, config.clone())
-        .run(&app)
+        .execute(&app)
         .expect_err("crash aborts the run");
     config.fault_plan = None;
     let pristine = std::fs::read(&ckpt).expect("checkpoint bytes");
@@ -309,7 +317,7 @@ fn corrupt_checkpoint_bytes_fail_closed_and_cold_start() {
     // The fallback after the last rejection: cold start, reference bits.
     let mut engine = Engine::new(&graph, config);
     assert!(engine.resume_from(&ckpt).is_err());
-    let recovered = engine.run(&app).expect("cold start completes");
+    let recovered = engine.execute(&app).expect("cold start completes");
     assert_eq!(recovered.values, reference.values);
     assert_eq!(recovered.resilience.torn_checkpoints_discarded, 1);
 }

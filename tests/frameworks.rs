@@ -54,7 +54,7 @@ fn graphchi_pagerank_is_close_to_reference() {
             ..EngineConfig::default()
         },
     );
-    let out = engine.run(&PageRank::new(8)).unwrap();
+    let out = engine.execute(&PageRank::new(8)).unwrap();
     // Compare total mass within 15%.
     let ref_mass: f64 = reference.iter().sum();
     let got_mass: f64 = out.values.iter().sum();
@@ -97,7 +97,7 @@ fn graphchi_cc_matches_union_find() {
                 ..EngineConfig::default()
             },
         );
-        let out = engine.run(&ConnectedComponents::new(100)).unwrap();
+        let out = engine.execute(&ConnectedComponents::new(100)).unwrap();
         // Two vertices share a CC label iff they share a union-find root.
         for a in 0..graph.vertices as usize {
             for b in (a + 1..graph.vertices as usize).step_by(37) {
@@ -111,23 +111,21 @@ fn graphchi_cc_matches_union_find() {
 
 #[test]
 fn wordcount_matches_hashmap_oracle() {
-    use facade::hyracks::{ClusterConfig, run_wordcount};
+    use facade::hyracks::{Cluster, ClusterConfig};
     let words = corpus(&CorpusSpec::new(60_000, 3));
     let mut oracle: HashMap<&str, i64> = HashMap::new();
     for w in &words {
         *oracle.entry(w).or_default() += 1;
     }
     for backend in [Backend::Heap, Backend::Facade] {
-        let out = run_wordcount(
-            &words,
-            &ClusterConfig {
-                workers: 3,
-                backend,
-                per_worker_budget: 32 << 20,
-                frame_bytes: 8 << 10,
-                ..ClusterConfig::default()
-            },
-        )
+        let out = Cluster::new(&ClusterConfig {
+            workers: 3,
+            backend,
+            per_worker_budget: 32 << 20,
+            frame_bytes: 8 << 10,
+            ..ClusterConfig::default()
+        })
+        .word_count(&words)
         .unwrap();
         assert_eq!(out.distinct_words, oracle.len() as u64);
         assert_eq!(out.total_count, words.len() as i64);
@@ -136,29 +134,25 @@ fn wordcount_matches_hashmap_oracle() {
 
 #[test]
 fn external_sort_matches_std_sort() {
-    use facade::hyracks::{ClusterConfig, run_external_sort};
+    use facade::hyracks::{Cluster, ClusterConfig};
     let words = corpus(&CorpusSpec::new(40_000, 9));
-    let heap = run_external_sort(
-        &words,
-        &ClusterConfig {
-            workers: 2,
-            backend: Backend::Heap,
-            per_worker_budget: 8 << 20,
-            frame_bytes: 8 << 10,
-            ..ClusterConfig::default()
-        },
-    )
+    let heap = Cluster::new(&ClusterConfig {
+        workers: 2,
+        backend: Backend::Heap,
+        per_worker_budget: 8 << 20,
+        frame_bytes: 8 << 10,
+        ..ClusterConfig::default()
+    })
+    .external_sort(&words)
     .unwrap();
-    let facade = run_external_sort(
-        &words,
-        &ClusterConfig {
-            workers: 2,
-            backend: Backend::Facade,
-            per_worker_budget: 8 << 20,
-            frame_bytes: 8 << 10,
-            ..ClusterConfig::default()
-        },
-    )
+    let facade = Cluster::new(&ClusterConfig {
+        workers: 2,
+        backend: Backend::Facade,
+        per_worker_budget: 8 << 20,
+        frame_bytes: 8 << 10,
+        ..ClusterConfig::default()
+    })
+    .external_sort(&words)
     .unwrap();
     assert_eq!(heap.total_records, words.len() as u64);
     assert_eq!(heap.payload(), facade.payload());
@@ -191,7 +185,7 @@ fn budget_ordering_facade_completes_at_least_as_much_as_heap() {
     // Sweep budgets; at no budget may the heap complete while the facade
     // fails (it would contradict the paper's scaling claim at our record
     // shapes).
-    use facade::hyracks::{ClusterConfig, run_wordcount};
+    use facade::hyracks::{Cluster, ClusterConfig};
     let words = corpus(&CorpusSpec {
         bytes: 150_000,
         vocabulary: 4_000,
@@ -206,8 +200,10 @@ fn budget_ordering_facade_completes_at_least_as_much_as_heap() {
             frame_bytes: 8 << 10,
             ..ClusterConfig::default()
         };
-        let heap_ok = run_wordcount(&words, &mk(Backend::Heap)).is_ok();
-        let facade_ok = run_wordcount(&words, &mk(Backend::Facade)).is_ok();
+        let heap_ok = Cluster::new(&mk(Backend::Heap)).word_count(&words).is_ok();
+        let facade_ok = Cluster::new(&mk(Backend::Facade))
+            .word_count(&words)
+            .is_ok();
         assert!(
             !heap_ok || facade_ok,
             "heap completed but facade failed at budget {budget}"

@@ -6,7 +6,7 @@
 //! reordering of partition payloads, not just lost or duplicated work.
 
 use facade::datagen::{CorpusSpec, corpus};
-use facade::hyracks::{ClusterConfig, run_external_sort, run_wordcount};
+use facade::hyracks::{Cluster, ClusterConfig};
 use facade::metrics::report::Backend;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -26,9 +26,13 @@ fn config(backend: Backend, threads: usize) -> ClusterConfig {
 fn wordcount_is_bit_identical_across_thread_counts() {
     let words = corpus(&CorpusSpec::new(50_000, 17));
     for backend in [Backend::Heap, Backend::Facade] {
-        let reference = run_wordcount(&words, &config(backend, 1)).unwrap();
+        let reference = Cluster::new(&config(backend, 1))
+            .word_count(&words)
+            .unwrap();
         for &threads in &THREAD_COUNTS[1..] {
-            let out = run_wordcount(&words, &config(backend, threads)).unwrap();
+            let out = Cluster::new(&config(backend, threads))
+                .word_count(&words)
+                .unwrap();
             assert_eq!(
                 (reference.distinct_words, reference.total_count),
                 (out.distinct_words, out.total_count),
@@ -47,9 +51,13 @@ fn wordcount_is_bit_identical_across_thread_counts() {
 fn external_sort_is_bit_identical_across_thread_counts() {
     let words = corpus(&CorpusSpec::new(50_000, 19));
     for backend in [Backend::Heap, Backend::Facade] {
-        let reference = run_external_sort(&words, &config(backend, 1)).unwrap();
+        let reference = Cluster::new(&config(backend, 1))
+            .external_sort(&words)
+            .unwrap();
         for &threads in &THREAD_COUNTS[1..] {
-            let out = run_external_sort(&words, &config(backend, threads)).unwrap();
+            let out = Cluster::new(&config(backend, threads))
+                .external_sort(&words)
+                .unwrap();
             assert_eq!(
                 reference.payload(),
                 out.payload(),
@@ -63,7 +71,9 @@ fn external_sort_is_bit_identical_across_thread_counts() {
 #[test]
 fn per_worker_breakdown_sums_to_job_totals() {
     let words = corpus(&CorpusSpec::new(40_000, 23));
-    let out = run_wordcount(&words, &config(Backend::Facade, 4)).unwrap();
+    let out = Cluster::new(&config(Backend::Facade, 4))
+        .word_count(&words)
+        .unwrap();
     let per_worker_records: u64 = out
         .stats
         .per_worker
@@ -97,8 +107,12 @@ mod fault_injection {
     #[test]
     fn thread_sweep_is_bit_identical_under_seeded_faults() {
         let words = corpus(&CorpusSpec::new(50_000, 29));
-        let wc_ref = run_wordcount(&words, &config(Backend::Facade, 1)).unwrap();
-        let es_ref = run_external_sort(&words, &config(Backend::Facade, 1)).unwrap();
+        let wc_ref = Cluster::new(&config(Backend::Facade, 1))
+            .word_count(&words)
+            .unwrap();
+        let es_ref = Cluster::new(&config(Backend::Facade, 1))
+            .external_sort(&words)
+            .unwrap();
         for &threads in &THREAD_COUNTS {
             let plan = FaultPlan::builder(31)
                 .fail_nth_allocation(20_000)
@@ -106,8 +120,12 @@ mod fault_injection {
                 .build();
             let mut cfg = config(Backend::Facade, threads);
             cfg.fault_plan = Some(plan.clone());
-            let wc = run_wordcount(&words, &cfg).expect("WC survives the plan");
-            let es = run_external_sort(&words, &cfg).expect("ES survives the plan");
+            let wc = Cluster::new(&cfg)
+                .word_count(&words)
+                .expect("WC survives the plan");
+            let es = Cluster::new(&cfg)
+                .external_sort(&words)
+                .expect("ES survives the plan");
             assert_eq!(
                 (wc_ref.distinct_words, wc_ref.total_count),
                 (wc.distinct_words, wc.total_count),

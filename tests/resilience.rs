@@ -14,7 +14,7 @@ fn pressure_graph() -> Graph {
 
 fn pagerank(config: EngineConfig) -> RunOutcome {
     Engine::new(&pressure_graph(), config)
-        .run(&PageRank::new(3))
+        .execute(&PageRank::new(3))
         .expect("run completes (possibly degraded)")
 }
 
@@ -88,7 +88,7 @@ fn heap_backend_degrades_too_and_both_backends_agree() {
 mod fault_injection {
     use super::*;
     use facade::datagen::{CorpusSpec, corpus};
-    use facade::hyracks::{ClusterConfig, run_external_sort, run_wordcount};
+    use facade::hyracks::{Cluster, ClusterConfig};
     use facade::store::FaultPlan;
 
     /// Cycles every `FaultPlan` mode through the GraphChi engine: the run
@@ -215,8 +215,8 @@ mod fault_injection {
         };
         {
             let backend = Backend::Facade;
-            let wc_ref = run_wordcount(&words, &mk(backend)).unwrap();
-            let es_ref = run_external_sort(&words, &mk(backend)).unwrap();
+            let wc_ref = Cluster::new(&mk(backend)).word_count(&words).unwrap();
+            let es_ref = Cluster::new(&mk(backend)).external_sort(&words).unwrap();
             for seed in [11u64, 12, 13] {
                 let plan = FaultPlan::builder(seed)
                     .fail_nth_allocation(20_000)
@@ -225,13 +225,17 @@ mod fault_injection {
                     .build();
                 let mut config = mk(backend);
                 config.fault_plan = Some(plan.clone());
-                let wc = run_wordcount(&words, &config).expect("WC survives the plan");
+                let wc = Cluster::new(&config)
+                    .word_count(&words)
+                    .expect("WC survives the plan");
                 assert_eq!(
                     wc.distinct_words, wc_ref.distinct_words,
                     "{backend:?}/{seed}"
                 );
                 assert_eq!(wc.total_count, wc_ref.total_count, "{backend:?}/{seed}");
-                let es = run_external_sort(&words, &config).expect("ES survives the plan");
+                let es = Cluster::new(&config)
+                    .external_sort(&words)
+                    .expect("ES survives the plan");
                 assert_eq!(es.payload(), es_ref.payload(), "{backend:?}/{seed}");
                 assert!(
                     plan.faults_injected() >= 1,
