@@ -50,7 +50,8 @@ pub enum JobStatus {
     Completed,
     /// Finished with an error.
     Failed,
-    /// Canceled before an executor picked it up.
+    /// Canceled — either before an executor picked it up, or (for
+    /// iterative graph jobs) at the next interval boundary mid-run.
     Canceled,
 }
 
@@ -79,7 +80,9 @@ impl JobStatus {
 struct JobState {
     status: Mutex<(JobStatus, Option<Result<JobReport, JobError>>)>,
     done: Condvar,
-    cancel: AtomicBool,
+    /// Shared with the job's [`ExecContext`] so iterative engines can poll
+    /// it at interval boundaries while the job is running.
+    cancel: Arc<AtomicBool>,
 }
 
 impl JobState {
@@ -87,7 +90,7 @@ impl JobState {
         Arc::new(JobState {
             status: Mutex::new((JobStatus::Queued, None)),
             done: Condvar::new(),
-            cancel: AtomicBool::new(false),
+            cancel: Arc::new(AtomicBool::new(false)),
         })
     }
 
@@ -134,9 +137,10 @@ impl JobHandle {
     }
 
     /// Requests cancellation. Queued jobs are dropped before execution;
-    /// running jobs finish (engine runs are not interrupted mid-interval —
-    /// interval boundaries are the unit of consistency). Returns whether
-    /// the request could still matter.
+    /// running graph jobs (PR/CC) stop at the next interval boundary —
+    /// the unit of consistency, so nothing half-committed survives;
+    /// single-pass cluster jobs (WC/ES) are bounded and run to
+    /// completion. Returns whether the request could still matter.
     pub fn cancel(&self) -> bool {
         self.cancel_inner()
     }
@@ -387,6 +391,7 @@ fn run_one(shared: &Shared, job: QueuedJob) {
     let ctx = ExecContext {
         pool: uses_shared_pool.then(|| Arc::clone(shared.pool.as_ref().expect("checked"))),
         epoch,
+        cancel: Arc::clone(&state.cancel),
     };
 
     let runner = shared.runners.iter().find(|r| r.supports(&spec.workload));
@@ -414,10 +419,10 @@ fn run_one(shared: &Shared, job: QueuedJob) {
     }
 
     shared.running.fetch_sub(1, Ordering::Relaxed);
-    let status = if result.is_ok() {
-        JobStatus::Completed
-    } else {
-        JobStatus::Failed
+    let status = match &result {
+        Ok(_) => JobStatus::Completed,
+        Err(JobError::Canceled) => JobStatus::Canceled,
+        Err(_) => JobStatus::Failed,
     };
     if let Some(cb) = callback {
         cb(id, &result);
@@ -508,6 +513,27 @@ mod tests {
         assert_eq!(victim.wait().unwrap_err(), JobError::Canceled);
         assert_eq!(victim.status(), JobStatus::Canceled);
         slow.wait().expect("the running job is unaffected");
+        d.shutdown();
+    }
+
+    #[test]
+    fn running_graph_jobs_stop_at_the_next_interval_boundary() {
+        // A graph big enough that thousands of PageRank passes take far
+        // longer than the cancel round trip; if mid-run cancellation
+        // regressed, the test still terminates (iterations are capped) —
+        // it just fails on the status assertions below.
+        let mut config = DispatcherConfig::new(1, Dataset::synthetic(2_000, 20_000, 8_000, 3));
+        config.queue_depth = 4;
+        let d = Dispatcher::new(config);
+        let h = d
+            .submit(quick_spec(Workload::PageRank { iterations: 10_000 }))
+            .unwrap();
+        while h.status() == JobStatus::Queued {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(h.cancel(), "the job is still running");
+        assert_eq!(h.wait().unwrap_err(), JobError::Canceled);
+        assert_eq!(h.status(), JobStatus::Canceled);
         d.shutdown();
     }
 

@@ -50,4 +50,6 @@ pub use output::{JobError, JobOutput};
 pub use runner::{
     EpochSummary, ExecContext, GraphChiRunner, HyracksRunner, JobReport, JobRunner, default_runners,
 };
-pub use spec::{JobSpec, SpecError, Workload};
+pub use spec::{
+    JobSpec, MAX_INTERVALS, MAX_ITERATIONS, MAX_THREADS, MAX_WORKERS, SpecError, Workload,
+};

@@ -6,6 +6,7 @@ use graphchi_rs::{ConnectedComponents, Engine, EngineConfig, PageRank};
 use hyracks_rs::{Cluster, ClusterConfig};
 use metrics::ResilienceReport;
 use std::sync::Arc;
+use std::sync::atomic::AtomicBool;
 use std::time::{Duration, Instant};
 
 /// Execution-time context a host threads into a run: the shared page pool
@@ -19,6 +20,11 @@ pub struct ExecContext {
     /// Epoch tag for this job's pool traffic ([`data_store::NO_EPOCH`] =
     /// untagged).
     pub epoch: u64,
+    /// The job's cancellation flag ([`JobHandle::cancel`](crate::JobHandle)
+    /// sets it). Iterative engines poll it at interval boundaries so a
+    /// running job stops instead of finishing its remaining passes;
+    /// single-pass cluster jobs (WC/ES) are bounded and run to completion.
+    pub cancel: Arc<AtomicBool>,
 }
 
 /// Per-epoch page accounting at job retirement, with the reconciliation
@@ -118,6 +124,7 @@ impl JobRunner for GraphChiRunner {
             pool: ctx.pool.clone(),
             job_epoch: ctx.epoch,
             checkpoint_dir: spec.checkpoint_dir.clone(),
+            cancel: Arc::clone(&ctx.cancel),
             #[cfg(feature = "fault-injection")]
             fault_plan: spec.fault_plan.clone(),
             ..EngineConfig::default()
@@ -136,7 +143,10 @@ impl JobRunner for GraphChiRunner {
                 )));
             }
         }
-        .map_err(|e| JobError::Failed(e.to_string()))?;
+        .map_err(|e| match e {
+            graphchi_rs::EngineError::Canceled => JobError::Canceled,
+            e => JobError::Failed(e.to_string()),
+        })?;
         Ok(JobReport {
             spec: spec.clone(),
             output: JobOutput::Vertices {

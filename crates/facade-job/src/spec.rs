@@ -139,6 +139,24 @@ impl fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
+/// Most power/propagation iterations a single job may ask for. Specs come
+/// straight off the wire, and running jobs occupy an executor until they
+/// finish — without a ceiling one `POST /jobs` with `iterations:
+/// u64::MAX` parks an executor (and stalls drain-on-shutdown) for ever.
+/// Real convergence runs use tens of iterations; the cap leaves three
+/// orders of magnitude of headroom.
+pub const MAX_ITERATIONS: usize = 10_000;
+
+/// Ceiling on data partitions (`workers`) — each worker materializes
+/// per-partition state, so the wire must not pick an arbitrary count.
+pub const MAX_WORKERS: usize = 1_024;
+
+/// Ceiling on OS threads a spec may request.
+pub const MAX_THREADS: usize = 512;
+
+/// Ceiling on execution intervals (the paper fixes 20; leave headroom).
+pub const MAX_INTERVALS: usize = 10_000;
+
 impl JobSpec {
     /// Checks the spec for shapes no engine can run. Returns the spec back
     /// so submission sites can validate-and-forward in one expression.
@@ -146,8 +164,26 @@ impl JobSpec {
         if self.workers == 0 {
             return Err(SpecError("workers must be at least 1".into()));
         }
+        if self.workers > MAX_WORKERS {
+            return Err(SpecError(format!(
+                "workers {} exceeds the cap of {MAX_WORKERS}",
+                self.workers
+            )));
+        }
+        if self.threads > MAX_THREADS {
+            return Err(SpecError(format!(
+                "threads {} exceeds the cap of {MAX_THREADS}",
+                self.threads
+            )));
+        }
         if self.intervals == 0 {
             return Err(SpecError("intervals must be at least 1".into()));
+        }
+        if self.intervals > MAX_INTERVALS {
+            return Err(SpecError(format!(
+                "intervals {} exceeds the cap of {MAX_INTERVALS}",
+                self.intervals
+            )));
         }
         if self.budget_bytes < 64 << 10 {
             return Err(SpecError(format!(
@@ -165,6 +201,14 @@ impl JobSpec {
             Workload::ConnectedComponents { max_iterations: 0 } => Err(SpecError(
                 "connected_components needs at least 1 iteration".into(),
             )),
+            Workload::PageRank { iterations: n }
+            | Workload::ConnectedComponents { max_iterations: n }
+                if n > MAX_ITERATIONS =>
+            {
+                Err(SpecError(format!(
+                    "{n} iterations exceeds the cap of {MAX_ITERATIONS}"
+                )))
+            }
             _ => Ok(self),
         }
     }
@@ -306,5 +350,30 @@ mod tests {
             JobSpec::from_json("{\"workload\": \"page_rank\", \"iterations\": 0}").is_err(),
             "zero-iteration PR is unrunnable"
         );
+    }
+
+    #[test]
+    fn wire_sizing_is_capped() {
+        // One submission must not be able to park an executor indefinitely
+        // or blow up per-partition state: every wire-ingested sizing knob
+        // has a ceiling.
+        for body in [
+            format!(
+                "{{\"workload\": \"page_rank\", \"iterations\": {}}}",
+                u64::MAX
+            ),
+            format!(
+                "{{\"workload\": \"connected_components\", \"iterations\": {}}}",
+                MAX_ITERATIONS + 1
+            ),
+            format!("{{\"workers\": {}}}", MAX_WORKERS + 1),
+            format!("{{\"threads\": {}}}", MAX_THREADS + 1),
+            format!("{{\"intervals\": {}}}", MAX_INTERVALS + 1),
+        ] {
+            assert!(JobSpec::from_json(&body).is_err(), "must reject {body}");
+        }
+        // The caps themselves are accepted.
+        let body = format!("{{\"workload\": \"page_rank\", \"iterations\": {MAX_ITERATIONS}}}");
+        assert!(JobSpec::from_json(&body).is_ok());
     }
 }

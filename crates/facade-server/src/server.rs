@@ -72,6 +72,14 @@ impl Default for ServerConfig {
     }
 }
 
+/// Most *terminal* (completed/failed/canceled) jobs the daemon keeps in
+/// its jobs map. Every entry retains the job's full report for `GET
+/// /jobs/<id>`, so without a bound a resident server leaks one report per
+/// submission for its whole life; beyond the cap the oldest terminal
+/// entries are evicted (their ids then answer 404). Queued and running
+/// jobs are never evicted.
+pub(crate) const MAX_TERMINAL_JOBS: usize = 256;
+
 /// One tracked submission.
 pub(crate) struct JobEntry {
     pub(crate) handle: JobHandle,
@@ -135,6 +143,9 @@ impl ServerState {
                         let mut results = state.results.lock().unwrap_or_else(|p| p.into_inner());
                         results.insert(kind, report.clone());
                     }
+                    Err(JobError::Canceled) => {
+                        state.registry.counter("server_jobs_canceled").inc();
+                    }
                     Err(_) => {
                         state.registry.counter("server_jobs_failed").inc();
                     }
@@ -155,7 +166,8 @@ impl ServerState {
         };
         self.registry.counter("server_jobs_submitted").inc();
         let id = handle.id();
-        self.jobs.lock().unwrap_or_else(|p| p.into_inner()).insert(
+        let mut jobs = self.jobs.lock().unwrap_or_else(|p| p.into_inner());
+        jobs.insert(
             id,
             JobEntry {
                 handle,
@@ -163,6 +175,7 @@ impl ServerState {
                 admission_shrinks: shrinks,
             },
         );
+        evict_terminal(&mut jobs, MAX_TERMINAL_JOBS);
         Ok((id, shrinks))
     }
 
@@ -198,6 +211,27 @@ impl ServerState {
 /// The workload's stable key into the results cache.
 pub(crate) fn workload_key(workload: &Workload) -> &'static str {
     workload.kind()
+}
+
+/// Bounds the jobs map for a resident daemon: evicts the oldest terminal
+/// entries (ascending id = submission order) until at most `cap` entries
+/// remain. Queued and running jobs never count as evictable, so the map
+/// may transiently exceed `cap` by the in-flight job count (itself
+/// bounded by the dispatcher's queue depth plus its executors).
+pub(crate) fn evict_terminal(jobs: &mut BTreeMap<u64, JobEntry>, cap: usize) {
+    let excess = jobs.len().saturating_sub(cap);
+    if excess == 0 {
+        return;
+    }
+    let evict: Vec<u64> = jobs
+        .iter()
+        .filter(|(_, e)| e.handle.status().is_terminal())
+        .map(|(id, _)| *id)
+        .take(excess)
+        .collect();
+    for id in evict {
+        jobs.remove(&id);
+    }
 }
 
 /// What the daemon found when it drained and reconciled at shutdown. The
@@ -327,6 +361,52 @@ impl FacadeServer {
             pages_returned: self.state.pool.pages_returned(),
             requests_served,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oldest_terminal_jobs_are_evicted_beyond_the_cap() {
+        let dataset = Dataset::synthetic(100, 400, 8_000, 5);
+        let d = Dispatcher::new(DispatcherConfig::new(2, dataset));
+        let mut jobs = BTreeMap::new();
+        let mut last = None;
+        for _ in 0..6 {
+            let h = d
+                .submit(JobSpec {
+                    workload: Workload::WordCount,
+                    budget_bytes: 4 << 20,
+                    ..JobSpec::default()
+                })
+                .unwrap();
+            h.wait().expect("tiny WC job completes");
+            last = Some(h.id());
+            jobs.insert(
+                h.id(),
+                JobEntry {
+                    handle: h,
+                    spec: JobSpec::default(),
+                    admission_shrinks: 0,
+                },
+            );
+        }
+        evict_terminal(&mut jobs, 4);
+        assert_eq!(jobs.len(), 4, "bounded at the cap");
+        assert_eq!(
+            jobs.keys().next().copied(),
+            Some(3),
+            "the two oldest entries went first"
+        );
+        assert!(
+            jobs.contains_key(&last.unwrap()),
+            "the newest entry survives"
+        );
+        evict_terminal(&mut jobs, 4);
+        assert_eq!(jobs.len(), 4, "at the cap nothing more is evicted");
+        d.shutdown();
     }
 }
 

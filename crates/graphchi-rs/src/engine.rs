@@ -16,7 +16,7 @@ use std::error::Error;
 use std::fmt;
 use std::panic::{AssertUnwindSafe, catch_unwind};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -90,6 +90,12 @@ pub struct EngineConfig {
     /// durable boundary. `None` (the default) disables durability entirely
     /// — no I/O is added to the commit path.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Host-requested cancellation flag, polled at interval boundaries
+    /// (the unit of consistency): when a multi-job host (the
+    /// `facade-server` dispatcher) sets it, the run stops before the next
+    /// interval with [`EngineError::Canceled`] instead of finishing its
+    /// remaining passes. The default flag is never set.
+    pub cancel: Arc<AtomicBool>,
 }
 
 impl Default for EngineConfig {
@@ -107,6 +113,7 @@ impl Default for EngineConfig {
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
             checkpoint_dir: None,
+            cancel: Arc::new(AtomicBool::new(false)),
         }
     }
 }
@@ -175,6 +182,9 @@ pub enum EngineError {
         /// Interval index whose commit triggered the crash.
         interval: usize,
     },
+    /// The host set [`EngineConfig::cancel`]: the run stopped at the next
+    /// interval boundary without committing further work.
+    Canceled,
 }
 
 impl fmt::Display for EngineError {
@@ -203,6 +213,7 @@ impl fmt::Display for EngineError {
                     "injected crash after committing interval {interval} of pass {pass}"
                 )
             }
+            EngineError::Canceled => f.write_str("canceled at an interval boundary"),
         }
     }
 }
@@ -211,7 +222,9 @@ impl Error for EngineError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             EngineError::Oom { source, .. } => Some(source),
-            EngineError::WorkerPanicked { .. } | EngineError::Crashed { .. } => None,
+            EngineError::WorkerPanicked { .. }
+            | EngineError::Crashed { .. }
+            | EngineError::Canceled => None,
         }
     }
 }
@@ -224,6 +237,9 @@ impl From<EngineError> for FailureCause {
             EngineError::Oom { source, .. } => FailureCause::OutOfMemory(source),
             EngineError::WorkerPanicked { message, .. } => FailureCause::WorkerPanic(message),
             crash @ EngineError::Crashed { .. } => FailureCause::InjectedCrash(crash.to_string()),
+            // Cancellation is host-initiated and never enters the retry
+            // ladder; the arm exists only to keep the match total.
+            EngineError::Canceled => FailureCause::WorkerPanic("job canceled".into()),
         }
     }
 }
@@ -890,6 +906,12 @@ impl Engine {
             for (iv_idx, &interval) in intervals.iter().enumerate() {
                 if pass == start_pass && iv_idx < start_interval {
                     continue;
+                }
+                // Host cancellation lands here, at the interval boundary —
+                // nothing half-committed is left behind, and a long run
+                // cannot occupy its executor past the next interval.
+                if self.config.cancel.load(Ordering::Acquire) {
+                    return Err(EngineError::Canceled);
                 }
                 // Retry loop: the interval commits only when every
                 // subinterval succeeded, so a mid-interval failure leaves

@@ -214,9 +214,22 @@ impl HttpServer {
                                 // Connection-level errors are the peer's
                                 // problem; accept-level errors on a live
                                 // listener are transient (EMFILE, ECONNABORTED)
-                                // and retrying is the only useful move.
+                                // and retrying is the only useful move. A
+                                // panic while parsing or handling one request
+                                // must not take the acceptor thread with it —
+                                // the pool is bounded, so every lost thread
+                                // permanently shrinks the front end.
                                 Ok((stream, _peer)) => {
-                                    let _ = answer(stream, handler.as_ref(), &served);
+                                    let outcome =
+                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                            || answer(stream, handler.as_ref(), &served),
+                                        ));
+                                    if outcome.is_err() {
+                                        eprintln!(
+                                            "http-acceptor-{i}: request handler panicked; \
+                                             connection dropped"
+                                        );
+                                    }
                                 }
                                 Err(_) => continue,
                             }
@@ -392,6 +405,15 @@ fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
 }
 
 fn percent_decode(s: &str) -> String {
+    // Work on raw bytes throughout: slicing the &str by byte offsets would
+    // panic on a '%' followed by a multi-byte UTF-8 character (the offset
+    // may land inside it, off a char boundary).
+    let hex_val = |b: u8| match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    };
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -401,16 +423,18 @@ fn percent_decode(s: &str) -> String {
                 out.push(b' ');
                 i += 1;
             }
-            b'%' if i + 3 <= bytes.len() => match u8::from_str_radix(&s[i + 1..i + 3], 16) {
-                Ok(b) => {
-                    out.push(b);
-                    i += 3;
+            b'%' if i + 3 <= bytes.len() => {
+                match hex_val(bytes[i + 1]).zip(hex_val(bytes[i + 2])) {
+                    Some((hi, lo)) => {
+                        out.push(hi << 4 | lo);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
                 }
-                Err(_) => {
-                    out.push(b'%');
-                    i += 1;
-                }
-            },
+            }
             b => {
                 out.push(b);
                 i += 1;
@@ -607,6 +631,37 @@ mod tests {
             let _ = s.read_to_string(&mut out);
             assert!(out.is_empty(), "a shut-down server must not answer: {out}");
         }
+    }
+
+    #[test]
+    fn percent_decode_handles_multibyte_and_malformed_escapes() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("%e2%82%ac"), "\u{20ac}");
+        // '%' directly followed by a multi-byte UTF-8 character: the old
+        // &str-slicing implementation panicked off a char boundary here.
+        assert_eq!(percent_decode("%\u{20ac}"), "%\u{20ac}");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%2"), "%2");
+    }
+
+    #[test]
+    fn bad_escapes_in_the_query_do_not_kill_the_acceptor() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("http_survive_total").inc();
+        let server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let addr = server.local_addr();
+        // One acceptor: if the bad request wedged it, the follow-up would
+        // never be answered.
+        let handle = server.start(1);
+        let bad = request(addr, "GET /metrics?a=%\u{20ac} HTTP/1.1\r\nHost: t\r\n\r\n");
+        let _ = bad.join().unwrap();
+        let good = request(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+            .join()
+            .unwrap();
+        assert!(good.starts_with("HTTP/1.1 200 OK"), "{good}");
+        assert!(good.contains("http_survive_total 1"), "{good}");
+        handle.shutdown();
     }
 
     #[test]

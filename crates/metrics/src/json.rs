@@ -122,11 +122,18 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Deepest container nesting the parser accepts. The parser recurses per
+/// nesting level, so without a bound a wire-supplied document of ~200k
+/// `[` (well under the server's body cap) overflows the stack and aborts
+/// the process; no document of ours nests beyond a handful of levels.
+const MAX_DEPTH: usize = 128;
+
 /// Parses a complete JSON document; trailing non-whitespace is an error.
 pub fn parse(input: &str) -> Result<Json, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -140,6 +147,7 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -180,8 +188,8 @@ impl<'a> Parser<'a> {
 
     fn value(&mut self) -> Result<Json, ParseError> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.eat_literal("true", Json::Bool(true)),
             Some(b'f') => self.eat_literal("false", Json::Bool(false)),
@@ -189,6 +197,21 @@ impl<'a> Parser<'a> {
             Some(b'-' | b'0'..=b'9') => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
+    }
+
+    /// Runs a container parse one nesting level down, bounded by
+    /// [`MAX_DEPTH`] so hostile input cannot recurse the stack away.
+    fn nested(
+        &mut self,
+        container: fn(&mut Self) -> Result<Json, ParseError>,
+    ) -> Result<Json, ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        let value = container(self);
+        self.depth -= 1;
+        value
     }
 
     fn object(&mut self) -> Result<Json, ParseError> {
@@ -370,6 +393,41 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "must reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        // A body of ~200k '[' fits under the HTTP server's 256 KiB cap and
+        // used to abort the process with a stack overflow.
+        let hostile = "[".repeat(200_000);
+        let err = parse(&hostile).unwrap_err();
+        assert_eq!(err.message, "nesting too deep");
+        let hostile = "{\"k\":".repeat(100_000);
+        assert!(parse(&hostile).is_err());
+        // Reasonable nesting still parses, and the depth counter unwinds
+        // correctly between sibling containers.
+        let deep = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&deep).is_ok());
+        let siblings = format!(
+            "[{}, {}]",
+            format!(
+                "{}1{}",
+                "[".repeat(MAX_DEPTH - 1),
+                "]".repeat(MAX_DEPTH - 1)
+            ),
+            format!(
+                "{}2{}",
+                "[".repeat(MAX_DEPTH - 1),
+                "]".repeat(MAX_DEPTH - 1)
+            ),
+        );
+        assert!(parse(&siblings).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&too_deep).is_err());
     }
 
     #[test]
